@@ -1,0 +1,41 @@
+//! Ablation — cache aliasing: the §1 Sun bug, reproduced on purpose.
+//!
+//! "lmbench uncovered a problem in Sun's memory management software that
+//! made all pages map to the same location in the cache, effectively
+//! turning a 512 kilobyte cache into a 4K cache." This bench chases a
+//! small set of lines laid out two ways: packed (healthy page placement)
+//! and spaced by a large power of two (every line in the same set — the
+//! bug). The slowdown column is the bug's fingerprint.
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_mem::alias::{measure_alias, SpacedRing};
+use lmb_timing::{use_result, Harness, Options};
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick());
+    banner("Ablation", "cache aliasing (the paper's Sun pathology)");
+    for lines in [64usize, 256, 1024] {
+        let r = measure_alias(&h, lines, 256 << 10);
+        println!(
+            "  {lines:>5} lines: packed {:>6.2} ns/load, aliased {:>6.2} ns/load -> {:.1}x",
+            r.compact_ns,
+            r.aliased_ns,
+            r.slowdown()
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_aliasing");
+    let loads = 1 << 14;
+    for (label, spacing) in [("packed_64B", 64usize), ("aliased_256K", 256 << 10)] {
+        let ring = SpacedRing::build(512, spacing);
+        group.bench_function(label, |b| b.iter(|| use_result(ring.walk(loads))));
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,47 @@
+//! Ablation — Table 16's fixed knobs, swept: name length and directory
+//! population ("All the files are created in one directory and their names
+//! are short" — what if they weren't?).
+
+use criterion::{BenchmarkId, Criterion};
+use lmb_bench::{banner, quick_criterion};
+use lmb_fs::scaling::{measure_scaling, name_length_sweep, population_sweep};
+
+fn benches(c: &mut Criterion) {
+    banner("Ablation", "fs create/delete vs name length and population");
+    for p in name_length_sweep(&[2, 16, 64, 200], 200) {
+        println!(
+            "  name len {:>3}: create {:>8}, delete {:>8}",
+            p.name_len,
+            p.create.to_string(),
+            p.delete.to_string()
+        );
+    }
+    for p in population_sweep(&[0, 1000, 10_000], 200) {
+        println!(
+            "  population {:>6}: create {:>8}, delete {:>8}",
+            p.population,
+            p.create.to_string(),
+            p.delete.to_string()
+        );
+    }
+
+    let dir = std::env::temp_dir().join(format!("lmb-bench-fss-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let mut group = c.benchmark_group("ablation_fs_scaling");
+    group.sample_size(10);
+    for pop in [0usize, 5000] {
+        group.bench_with_input(
+            BenchmarkId::new("create_delete_100", pop),
+            &pop,
+            |b, &pop| b.iter(|| measure_scaling(&dir, pop, 100, 8)),
+        );
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

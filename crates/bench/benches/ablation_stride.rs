@@ -1,0 +1,51 @@
+//! Ablation — latency vs stride at a fixed memory-sized array (§6.2).
+//!
+//! The paper's cache-line detection rule rests on this curve: "The
+//! smallest stride that is the same as main memory speed is likely to be
+//! the cache line size because the strides that are faster than memory are
+//! getting more than one hit per cache line." The Stride pattern also
+//! exposes hardware prefetching (which the Random pattern defeats) — the
+//! §7 future-work comparison.
+
+use criterion::{BenchmarkId, Criterion};
+use lmb_bench::{banner, quick_criterion};
+use lmb_mem::lat::{measure_point, ChasePattern, ChaseRing};
+use lmb_timing::{use_result, Harness, Options};
+
+const SIZE: usize = 32 << 20;
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick());
+    banner("Ablation", "latency vs stride at 32 MB");
+    for stride in [8usize, 16, 32, 64, 128, 256, 1024, 4096] {
+        let seq = measure_point(&h, SIZE, stride, ChasePattern::Stride);
+        let rnd = measure_point(&h, SIZE, stride, ChasePattern::Random);
+        println!(
+            "  stride {:>5}B: stride-walk {:>7.2} ns/load, random-walk {:>7.2} ns/load",
+            stride, seq.ns_per_load, rnd.ns_per_load
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_stride");
+    for stride in [8usize, 64, 4096] {
+        for (pat_name, pattern) in [
+            ("stride", ChasePattern::Stride),
+            ("random", ChasePattern::Random),
+        ] {
+            let ring = ChaseRing::build(SIZE, stride, pattern);
+            let loads = 1 << 14;
+            group.bench_with_input(
+                BenchmarkId::new(pat_name, stride),
+                &stride,
+                |b, _| b.iter(|| use_result(ring.walk(loads))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

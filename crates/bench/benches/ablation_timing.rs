@@ -1,0 +1,70 @@
+//! Ablation — the paper's timing methodology choices (§3.4).
+//!
+//! 1. **Min-of-N vs mean vs median** under injected scheduler-style noise:
+//!    the paper takes the minimum because context-switch runs varied "up to
+//!    30%"; this ablation shows the minimum's error against a known ground
+//!    truth versus the alternatives.
+//! 2. **Loop scaling**: the cost of calibrating the iteration count, and
+//!    the error of timing a single operation versus a calibrated loop.
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_timing::{calibrate_iterations, Samples, SummaryPolicy};
+use std::time::Duration;
+
+/// Deterministic "noisy measurement" generator: ground truth plus a heavy
+/// one-sided tail (noise only ever adds time, as on a real machine).
+fn noisy_samples(truth: f64, n: usize, seed: u64) -> Samples {
+    let mut state = seed;
+    Samples::from_values((0..n).map(|_| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let unit = (state % 1000) as f64 / 1000.0;
+        // 70% of runs near truth, 30% disturbed by up to +30%.
+        let noise = if unit < 0.7 { unit * 0.01 } else { unit - 0.7 };
+        truth * (1.0 + noise)
+    }))
+}
+
+fn benches(c: &mut Criterion) {
+    banner("Ablation", "summary policy error under one-sided noise");
+    let truth = 100.0;
+    for (name, policy) in [
+        ("minimum", SummaryPolicy::Minimum),
+        ("median", SummaryPolicy::Median),
+        ("mean", SummaryPolicy::Mean),
+    ] {
+        let mut worst = 0.0f64;
+        for seed in 1..=20u64 {
+            let s = noisy_samples(truth, 11, seed);
+            let est = s.summarize(policy).unwrap();
+            worst = worst.max((est - truth).abs() / truth);
+        }
+        println!("  {name:>8}: worst-case relative error {:.3}", worst);
+    }
+
+    let mut group = c.benchmark_group("ablation_timing");
+    group.bench_function("calibrate_fast_body", |b| {
+        b.iter(|| {
+            calibrate_iterations(Duration::from_micros(50), || {
+                std::hint::black_box(1u64 + 1);
+            })
+        })
+    });
+    group.bench_function("summarize_min_of_1000", |b| {
+        let s = noisy_samples(truth, 1000, 7);
+        b.iter(|| s.summarize(SummaryPolicy::Minimum))
+    });
+    group.bench_function("summarize_median_of_1000", |b| {
+        let s = noisy_samples(truth, 1000, 7);
+        b.iter(|| s.summarize(SummaryPolicy::Median))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

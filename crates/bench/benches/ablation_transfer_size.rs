@@ -1,0 +1,45 @@
+//! Ablation — transfer-size choice for the IPC bandwidth benchmarks.
+//!
+//! §5.2: pipe transfers use 64K "chosen so that the overhead of system
+//! calls and context switching would not dominate", and TCP uses
+//! socket-buffer-sized 1M transfers because that "produces the greatest
+//! throughput over the most implementations". This sweep shows the curve
+//! those choices sit on.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use lmb_bench::{banner, quick_criterion};
+use lmb_ipc::{pipe_bw, tcp_bw, TCP_SOCKBUF};
+
+const TOTAL: usize = 4 << 20;
+
+fn benches(c: &mut Criterion) {
+    banner("Ablation", "IPC bandwidth vs transfer size");
+    for chunk in [512usize, 4 << 10, 64 << 10, 256 << 10] {
+        let bw = pipe_bw::run_once(TOTAL, chunk);
+        println!("  pipe chunk {:>7}B: {}", chunk, bw);
+    }
+    for chunk in [4usize << 10, 64 << 10, 1 << 20] {
+        let bw = tcp_bw::run_once(TOTAL, chunk, TCP_SOCKBUF);
+        println!("  tcp  chunk {:>7}B: {}", chunk, bw);
+    }
+
+    let mut group = c.benchmark_group("ablation_transfer_size");
+    group.throughput(Throughput::Bytes(TOTAL as u64));
+    for chunk in [512usize, 64 << 10] {
+        group.bench_with_input(BenchmarkId::new("pipe", chunk), &chunk, |b, &chunk| {
+            b.iter(|| pipe_bw::run_once(TOTAL, chunk))
+        });
+    }
+    for chunk in [4usize << 10, 1 << 20] {
+        group.bench_with_input(BenchmarkId::new("tcp", chunk), &chunk, |b, &chunk| {
+            b.iter(|| tcp_bw::run_once(TOTAL, chunk, TCP_SOCKBUF))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

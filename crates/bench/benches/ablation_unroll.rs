@@ -1,0 +1,57 @@
+//! Ablation — why the paper hand-unrolls its bandwidth loops (§5.1).
+//!
+//! Compares the suite's 8-way-unrolled read/copy kernels against naive
+//! one-element loops over the same 8 MB buffers. On 1995 compilers the gap
+//! was dramatic; modern LLVM narrows it (auto-vectorization), which this
+//! bench makes visible.
+
+use criterion::{Criterion, Throughput};
+use lmb_bench::{banner, quick_criterion};
+use lmb_mem::bw::{self, CopyBuffers};
+use lmb_timing::use_result;
+
+const BYTES: usize = 8 << 20;
+
+/// Deliberately naive read: one load-add per iteration, single
+/// accumulator (a serial dependence chain the unrolled kernel avoids).
+fn naive_sum(buf: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for &w in buf {
+        acc = acc.wrapping_add(w);
+    }
+    acc
+}
+
+/// Naive copy via an index loop.
+fn naive_copy(dst: &mut [u64], src: &[u64]) {
+    for i in 0..src.len() {
+        dst[i] = src[i];
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    banner("Ablation", "unrolled vs naive memory kernels (8 MB)");
+
+    let buf = vec![1u64; BYTES / 8];
+    let mut group = c.benchmark_group("ablation_unroll");
+    group.throughput(Throughput::Bytes(BYTES as u64));
+    group.bench_function("read_unrolled8", |b| {
+        b.iter(|| use_result(bw::read_sum(&buf)))
+    });
+    group.bench_function("read_naive", |b| b.iter(|| use_result(naive_sum(&buf))));
+
+    let mut bufs = CopyBuffers::new(BYTES);
+    group.bench_function("copy_unrolled8", |b| b.iter(|| bw::bcopy_unrolled(&mut bufs)));
+
+    let src = vec![2u64; BYTES / 8];
+    let mut dst = vec![0u64; BYTES / 8];
+    group.bench_function("copy_naive", |b| b.iter(|| naive_copy(&mut dst, &src)));
+    group.bench_function("copy_libc_memcpy", |b| b.iter(|| bw::bcopy_libc(&mut bufs)));
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,41 @@
+//! Extension — the paper's §7 dirty-read/write latency item: the clean
+//! pointer chase vs the line-dirtying chase at memory-sized working sets.
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_mem::dirty::{measure_dirty_point, DirtyRing};
+use lmb_mem::lat::{measure_point, ChasePattern, ChaseRing};
+use lmb_timing::{use_result, Harness, Options};
+
+const SIZE: usize = 32 << 20;
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick());
+    banner("Extension (paper §7)", "clean vs dirty chase latency");
+    let clean = measure_point(&h, SIZE, 64, ChasePattern::Random);
+    let dirty = measure_dirty_point(&h, SIZE, 64, ChasePattern::Random);
+    println!(
+        "32MB random chase: clean {:.2} ns/load, dirty {:.2} ns/load ({:+.0}% write-back tax)",
+        clean.ns_per_load,
+        dirty.ns_per_load,
+        (dirty.ns_per_load / clean.ns_per_load - 1.0) * 100.0
+    );
+
+    let mut group = c.benchmark_group("ext_dirty_lat");
+    let loads = 1 << 14;
+    let clean_ring = ChaseRing::build(SIZE, 64, ChasePattern::Random);
+    group.bench_function("clean_chase_32M", |b| {
+        b.iter(|| use_result(clean_ring.walk(loads)))
+    });
+    let mut dirty_ring = DirtyRing::build(SIZE, 64, ChasePattern::Random);
+    group.bench_function("dirty_chase_32M", |b| {
+        b.iter(|| use_result(dirty_ring.walk_dirty(loads)))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,39 @@
+//! Extension — memory-level parallelism: the gap between the paper's
+//! back-to-back-load latency (§6.1) and load-in-a-vacuum latency, measured
+//! as independent chains overlap misses.
+
+use criterion::{BenchmarkId, Criterion};
+use lmb_bench::{banner, quick_criterion};
+use lmb_mem::mlp::{effective_mlp, sweep, ParallelChains};
+use lmb_timing::{use_result, Harness, Options};
+
+const SIZE: usize = 32 << 20;
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick());
+    banner("Extension", "memory-level parallelism at 32 MB");
+    let points = sweep(&h, 8, SIZE, 64);
+    for p in &points {
+        println!("  {} chain(s): {:>7.2} ns/load", p.chains, p.ns_per_load);
+    }
+    println!(
+        "effective MLP: {:.1}x (back-to-back vs overlapped latency)",
+        effective_mlp(&points)
+    );
+
+    let mut group = c.benchmark_group("ext_mlp");
+    for k in [1usize, 2, 4, 8] {
+        let chains = ParallelChains::build(k, SIZE, 64);
+        let steps = 1 << 13;
+        group.bench_with_input(BenchmarkId::new("chains", k), &k, |b, _| {
+            b.iter(|| use_result(chains.walk(steps)))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

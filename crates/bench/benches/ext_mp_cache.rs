@@ -1,0 +1,34 @@
+//! Extension — the paper's §7 MP items: cache-to-cache latency and
+//! bandwidth between two cores.
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_mem::mp::{measure_cache_to_cache_bw, measure_line_pingpong};
+
+fn benches(c: &mut Criterion) {
+    banner("Extension (paper §7)", "MP cache-to-cache transfers");
+    println!(
+        "line ping-pong (one transfer): {}",
+        measure_line_pingpong(5000, 5)
+    );
+    println!(
+        "producer->consumer bandwidth (256K buffer): {}",
+        measure_cache_to_cache_bw(256 << 10, 16)
+    );
+
+    let mut group = c.benchmark_group("ext_mp_cache");
+    group.sample_size(10);
+    group.bench_function("pingpong_1000_roundtrips", |b| {
+        b.iter(|| measure_line_pingpong(1000, 1))
+    });
+    group.bench_function("c2c_bw_256K_x4", |b| {
+        b.iter(|| measure_cache_to_cache_bw(256 << 10, 4))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

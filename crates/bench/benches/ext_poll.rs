@@ -1,0 +1,30 @@
+//! Extension — `poll(2)` latency versus descriptor count (later lmbench's
+//! `lat_select`): entry cost plus a per-descriptor kernel walk.
+
+use criterion::{BenchmarkId, Criterion};
+use lmb_bench::{banner, quick_criterion};
+use lmb_proc::select::{sweep, PollSet};
+use lmb_timing::{Harness, Options};
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick());
+    banner("Extension", "poll(2) latency vs descriptor count");
+    for p in sweep(&h, &[1, 8, 64, 256, 1024]) {
+        println!("  {:>5} fds: {}", p.nfds, p.latency);
+    }
+
+    let mut group = c.benchmark_group("ext_poll");
+    for n in [1usize, 64, 1024] {
+        let mut set = PollSet::new(n);
+        group.bench_with_input(BenchmarkId::new("poll", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(set.poll_once()))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

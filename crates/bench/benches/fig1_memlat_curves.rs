@@ -1,0 +1,37 @@
+//! Figure 1 — the memory-latency surface: one curve per stride, sizes
+//! 512 B to 32 MB. Prints the rendered ASCII figure, then benchmarks
+//! representative (size, stride) chase points so regressions in the walk
+//! kernel are tracked.
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_core::report;
+use lmb_mem::lat::{self, ChasePattern, ChaseRing};
+use lmb_timing::{use_result, Harness, Options};
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick());
+    banner("Figure 1", "Memory read latency curves");
+    let sizes = lat::default_sizes(32 << 20);
+    let strides = vec![64usize, 256, 1024, 4096];
+    let curves = lat::sweep(&h, &sizes, &strides, ChasePattern::Stride);
+    println!("{}", report::figure_1(&curves));
+
+    let mut group = c.benchmark_group("fig1_memlat");
+    for &stride in &[64usize, 4096] {
+        for (tag, size) in [("small", 64usize << 10), ("large", 32 << 20)] {
+            let ring = ChaseRing::build(size, stride, ChasePattern::Stride);
+            let loads = 1 << 14;
+            group.bench_function(format!("stride{stride}_{tag}"), |b| {
+                b.iter(|| use_result(ring.walk(loads)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,37 @@
+//! Figure 2 — context switch times across ring sizes and footprints.
+//! Prints the rendered figure, then benchmarks a mid-grid configuration.
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_core::report;
+use lmb_proc::ctx;
+use lmb_timing::{Harness, Options};
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick().with_repetitions(2));
+    banner("Figure 2", "Context switch curves");
+    let curves = ctx::sweep(&h, &[2, 4, 8, 12, 16, 20], &[0, 16 << 10, 32 << 10], 200);
+    println!("{}", report::figure_2(&curves));
+
+    let mut group = c.benchmark_group("fig2_ctx");
+    group.sample_size(10);
+    group.bench_function("ring8_16K_sweep_cell", |b| {
+        b.iter(|| {
+            ctx::measure(
+                &h,
+                &ctx::CtxOptions {
+                    processes: 8,
+                    footprint_bytes: 16 << 10,
+                    passes: 50,
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,47 @@
+//! Table 2 — memory bandwidth: libc bcopy, unrolled bcopy, read, write.
+//!
+//! Prints the regenerated row for this host, then benchmarks each kernel
+//! over paper-sized (8 MB) buffers with Criterion throughput tracking.
+
+use criterion::{Criterion, Throughput};
+use lmb_bench::{banner, quick_criterion};
+use lmb_mem::bw::{self, CopyBuffers};
+use lmb_timing::{use_result, Harness, Options};
+
+const BYTES: usize = 8 << 20;
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick());
+    let row = bw::measure_all(&h, BYTES);
+    banner("Table 2", "Memory bandwidth (MB/s)");
+    println!(
+        "this host: unrolled {:.0}, libc {:.0}, read {:.0}, write {:.0}",
+        row.bcopy_unrolled.mb_per_s, row.bcopy_libc.mb_per_s, row.read.mb_per_s, row.write.mb_per_s
+    );
+
+    let mut group = c.benchmark_group("table02_membw");
+    group.throughput(Throughput::Bytes(BYTES as u64));
+
+    let mut bufs = CopyBuffers::new(BYTES);
+    group.bench_function("bcopy_libc_8M", |b| b.iter(|| bw::bcopy_libc(&mut bufs)));
+    group.bench_function("bcopy_unrolled_8M", |b| {
+        b.iter(|| bw::bcopy_unrolled(&mut bufs))
+    });
+
+    let read_buf = vec![1u64; BYTES / 8];
+    group.bench_function("read_sum_8M", |b| {
+        b.iter(|| use_result(bw::read_sum(&read_buf)))
+    });
+
+    let mut write_buf = vec![0u64; BYTES / 8];
+    group.bench_function("write_fill_8M", |b| {
+        b.iter(|| bw::write_fill(&mut write_buf, 7))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,36 @@
+//! Table 3 — pipe and local TCP bandwidth.
+//!
+//! Pipe: 64 KB transfers between forked processes; TCP: 1 MB transfers
+//! with 1 MB socket buffers on loopback. Each Criterion iteration moves a
+//! full 8 MB stream, reported as throughput.
+
+use criterion::{Criterion, Throughput};
+use lmb_bench::{banner, quick_criterion};
+use lmb_ipc::{pipe_bw, tcp_bw, PIPE_CHUNK, TCP_CHUNK, TCP_SOCKBUF};
+
+const TOTAL: usize = 8 << 20;
+
+fn benches(c: &mut Criterion) {
+    banner("Table 3", "Pipe and local TCP bandwidth (MB/s)");
+    println!(
+        "this host: pipe {:.0} MB/s, TCP {:.0} MB/s",
+        pipe_bw::run_once(TOTAL, PIPE_CHUNK).mb_per_s,
+        tcp_bw::run_once(TOTAL, TCP_CHUNK, TCP_SOCKBUF).mb_per_s
+    );
+
+    let mut group = c.benchmark_group("table03_ipc_bw");
+    group.throughput(Throughput::Bytes(TOTAL as u64));
+    group.bench_function("pipe_stream_64K_chunks", |b| {
+        b.iter(|| pipe_bw::run_once(TOTAL, PIPE_CHUNK))
+    });
+    group.bench_function("tcp_loopback_stream_1M_chunks", |b| {
+        b.iter(|| tcp_bw::run_once(TOTAL, TCP_CHUNK, TCP_SOCKBUF))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

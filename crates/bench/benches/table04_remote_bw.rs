@@ -1,0 +1,38 @@
+//! Table 4 — remote TCP bandwidth over the four simulated media.
+//!
+//! Measures loopback TCP bandwidth live, composes it with each link model,
+//! prints the regenerated table, and benchmarks the composition math (it
+//! runs inside report generation, so it should stay trivially cheap).
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_ipc::{tcp_bw, TCP_CHUNK, TCP_SOCKBUF};
+use lmb_net::remote::bandwidth_table;
+
+fn benches(c: &mut Criterion) {
+    let loopback = tcp_bw::run_once(8 << 20, TCP_CHUNK, TCP_SOCKBUF).mb_per_s;
+    banner("Table 4", "Remote TCP bandwidth (MB/s)");
+    println!("loopback software bandwidth: {loopback:.0} MB/s");
+    for row in bandwidth_table(loopback) {
+        println!(
+            "{:>9}: wire {:>7.1} MB/s -> composed {:>7.1} MB/s",
+            row.link.name, row.wire_mb_s, row.total_mb_s
+        );
+    }
+
+    let mut group = c.benchmark_group("table04_remote_bw");
+    group.bench_function("compose_four_links", |b| {
+        b.iter(|| bandwidth_table(std::hint::black_box(loopback)))
+    });
+    group.bench_function("wire_time_full_mtu", |b| {
+        let link = lmb_net::LinkModel::hippi();
+        b.iter(|| link.wire_time_us(std::hint::black_box(link.mtu)))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

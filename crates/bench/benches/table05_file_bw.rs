@@ -1,0 +1,49 @@
+//! Table 5 — file vs memory bandwidth: read(2) reread, mmap reread, libc
+//! bcopy, memory read, all over the same 8 MB working set.
+
+use criterion::{Criterion, Throughput};
+use lmb_bench::{banner, quick_criterion};
+use lmb_fs::{reread, ScratchFile};
+use lmb_sys::{Fd, FileMapping};
+use lmb_timing::{use_result, Harness, Options};
+
+const BYTES: usize = 8 << 20;
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick());
+    let scratch = ScratchFile::create("bench-t5", BYTES).expect("scratch");
+    banner("Table 5", "File vs. memory bandwidth (MB/s)");
+    println!(
+        "this host: file read {:.0}, file mmap {:.0}, mem read {:.0}, libc bcopy {:.0}",
+        lmb_fs::measure_file_reread(&h, scratch.path()).mb_per_s,
+        lmb_fs::measure_mmap_reread(&h, scratch.path()).mb_per_s,
+        lmb_mem::bw::measure_read(&h, BYTES).mb_per_s,
+        lmb_mem::bw::measure_bcopy_libc(&h, BYTES).mb_per_s,
+    );
+
+    let mut group = c.benchmark_group("table05_file_bw");
+    group.throughput(Throughput::Bytes(BYTES as u64));
+
+    let fd = Fd::open(scratch.path(), libc::O_RDONLY).expect("open");
+    let mut buf = vec![0u8; reread::BUFFER];
+    group.bench_function("file_reread_64K_buffers", |b| {
+        b.iter(|| use_result(reread::reread_pass(&fd, &mut buf).expect("pass")))
+    });
+
+    let map = FileMapping::map_file(scratch.path()).expect("map");
+    group.bench_function("mmap_reread_sum", |b| {
+        b.iter(|| use_result(lmb_fs::mmap_reread::sum_mapping(&map)))
+    });
+
+    let mem = vec![1u64; BYTES / 8];
+    group.bench_function("memory_read_sum", |b| {
+        b.iter(|| use_result(lmb_mem::bw::read_sum(&mem)))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

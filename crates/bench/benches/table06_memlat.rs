@@ -1,0 +1,40 @@
+//! Table 6 — cache and memory latency: dependent loads at sizes pinned
+//! inside L1, inside L2, and far beyond any cache, plus the full hierarchy
+//! extraction.
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_mem::hierarchy;
+use lmb_mem::lat::{ChasePattern, ChaseRing};
+use lmb_timing::{use_result, Harness, Options};
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick());
+    banner("Table 6", "Cache and memory latency (ns)");
+    if let Some(hier) = hierarchy::measure_hierarchy(&h, 32 << 20, 64) {
+        for level in &hier.levels {
+            match level.capacity {
+                Some(cap) => println!("  cache {:>9} bytes @ {:>6.1} ns", cap, level.latency_ns),
+                None => println!("  memory          @ {:>6.1} ns", level.latency_ns),
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("table06_memlat");
+    for (label, size) in [
+        ("chase_l1_16K", 16usize << 10),
+        ("chase_l2_512K", 512 << 10),
+        ("chase_memory_64M", 64 << 20),
+    ] {
+        let ring = ChaseRing::build(size, 64, ChasePattern::Random);
+        let loads = 1 << 15;
+        group.bench_function(label, |b| b.iter(|| use_result(ring.walk(loads))));
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

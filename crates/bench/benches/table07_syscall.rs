@@ -1,0 +1,39 @@
+//! Table 7 — simple system call time: one-word write to /dev/null (the
+//! never-optimized path) vs getpid (the heavily optimized one).
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_sys::Fd;
+use lmb_timing::{Harness, Options};
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick());
+    let costs = lmb_proc::syscall::measure_all(&h);
+    banner("Table 7", "Simple system call time (microseconds)");
+    println!(
+        "this host: write /dev/null {}, getpid {}, read /dev/zero {}",
+        costs.write_devnull, costs.getpid, costs.read_devzero
+    );
+
+    let mut group = c.benchmark_group("table07_syscall");
+    let devnull = Fd::open_dev_null().expect("open /dev/null");
+    let word = [0u8; 4];
+    group.bench_function("write_devnull_word", |b| {
+        b.iter(|| devnull.write(&word).expect("write"))
+    });
+    group.bench_function("getpid", |b| {
+        b.iter(|| std::hint::black_box(lmb_sys::getpid()))
+    });
+    let devzero = Fd::open(std::path::Path::new("/dev/zero"), libc::O_RDONLY).expect("open");
+    let mut buf = [0u8; 4];
+    group.bench_function("read_devzero_word", |b| {
+        b.iter(|| devzero.read(&mut buf).expect("read"))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,50 @@
+//! Table 8 — signal handling cost: sigaction installation and delivered
+//! self-signal dispatch, in one process, no context switches.
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_sys::signal::{install_handler, raise, reset_default, Signal};
+use lmb_timing::{Harness, Options};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+extern "C" fn handler_a(_: i32) {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+extern "C" fn handler_b(_: i32) {
+    HITS.fetch_add(2, Ordering::Relaxed);
+}
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick());
+    let costs = lmb_proc::signal::measure_all(&h);
+    banner("Table 8", "Signal times (microseconds)");
+    println!("this host: sigaction {}, handler {}", costs.install, costs.dispatch);
+
+    let mut group = c.benchmark_group("table08_signal");
+    let mut flip = false;
+    group.bench_function("sigaction_install", |b| {
+        b.iter(|| {
+            let handler = if flip { handler_a } else { handler_b };
+            flip = !flip;
+            install_handler(Signal::Usr2, handler).expect("sigaction");
+        })
+    });
+    reset_default(Signal::Usr2).expect("reset");
+
+    install_handler(Signal::Usr1, handler_a).expect("sigaction");
+    group.bench_function("signal_dispatch", |b| {
+        b.iter(|| raise(Signal::Usr1).expect("raise"))
+    });
+    reset_default(Signal::Usr1).expect("reset");
+    group.finish();
+    assert!(HITS.load(Ordering::Relaxed) > 0, "handler never ran");
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

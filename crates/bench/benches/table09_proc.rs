@@ -1,0 +1,57 @@
+//! Table 9 — process creation: fork+exit, fork+exec+exit, and the
+//! `sh -c` path the paper finds "frequently ten times as expensive".
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_sys::process::{execv, exit_immediately, fork, waitpid, ForkResult};
+use lmb_timing::{Harness, Options};
+
+fn fork_child(child: impl FnOnce() -> i32) {
+    match fork().expect("fork") {
+        ForkResult::Child => {
+            let code = child();
+            exit_immediately(code);
+        }
+        ForkResult::Parent(pid) => {
+            assert!(waitpid(pid).expect("wait").success());
+        }
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick().with_repetitions(2));
+    let costs = lmb_proc::proc::measure_all(&h);
+    banner("Table 9", "Process creation time (milliseconds)");
+    println!(
+        "this host: fork {}, fork+exec {}, fork+sh {}",
+        costs.fork_exit, costs.fork_exec, costs.fork_sh
+    );
+
+    let mut group = c.benchmark_group("table09_proc");
+    group.sample_size(10);
+    group.bench_function("fork_exit_wait", |b| b.iter(|| fork_child(|| 0)));
+    group.bench_function("fork_exec_true", |b| {
+        b.iter(|| {
+            fork_child(|| {
+                execv("/bin/true", &["true"]);
+                execv("/usr/bin/true", &["true"]);
+                127
+            })
+        })
+    });
+    group.bench_function("fork_sh_c_true", |b| {
+        b.iter(|| {
+            fork_child(|| {
+                execv("/bin/sh", &["sh", "-c", "true"]);
+                127
+            })
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

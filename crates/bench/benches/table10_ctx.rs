@@ -1,0 +1,58 @@
+//! Table 10 — context switch time over the paper's four corner
+//! configurations: {2, 8} processes x {0K, 32K} cache footprint, with
+//! single-process token-passing overhead subtracted.
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_proc::ctx::{measure, CtxOptions};
+use lmb_timing::{Harness, Options};
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick().with_repetitions(2));
+    banner("Table 10", "Context switch time (microseconds)");
+    for (procs, kb) in [(2usize, 0usize), (2, 32), (8, 0), (8, 32)] {
+        let r = measure(
+            &h,
+            &CtxOptions {
+                processes: procs,
+                footprint_bytes: kb << 10,
+                passes: 300,
+            },
+        );
+        println!(
+            "{procs} procs / {kb:>2}KB: {} per switch (overhead {})",
+            r.per_switch, r.overhead
+        );
+    }
+
+    // Criterion tracks the whole measured configuration (ring setup +
+    // passes); keep passes small so an iteration is milliseconds.
+    let mut group = c.benchmark_group("table10_ctx");
+    group.sample_size(10);
+    for (label, procs, kb) in [
+        ("ring2_0K", 2usize, 0usize),
+        ("ring2_32K", 2, 32),
+        ("ring8_0K", 8, 0),
+        ("ring8_32K", 8, 32),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                measure(
+                    &h,
+                    &CtxOptions {
+                        processes: procs,
+                        footprint_bytes: kb << 10,
+                        passes: 50,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

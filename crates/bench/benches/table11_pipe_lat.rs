@@ -1,0 +1,30 @@
+//! Table 11 — pipe latency: a word's round trip between two processes
+//! through a pair of pipes (context switches + pipe overhead included,
+//! per the paper's definition).
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_timing::{Harness, Options};
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick().with_repetitions(2));
+    banner("Table 11", "Pipe latency (microseconds)");
+    println!(
+        "this host: {}",
+        lmb_ipc::measure_pipe_latency(&h, 500)
+    );
+
+    let mut group = c.benchmark_group("table11_pipe_lat");
+    group.sample_size(10);
+    // Each iteration: spawn an echo child, do 100 round trips, reap.
+    group.bench_function("pipe_100_round_trips", |b| {
+        b.iter(|| lmb_ipc::measure_pipe_latency(&h, 100))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,44 @@
+//! Table 12 — TCP vs RPC/TCP latency: the layering-cost experiment.
+//! A persistent echo server serves both the raw word exchange and the
+//! full RPC stack (XDR + envelope + record marking + dispatch).
+
+use bytes::Bytes;
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_ipc::tcp_lat::TcpEchoPair;
+use lmb_rpc::{client::RpcClient, Protocol, Registry, RpcServer, ECHO_PROC, ECHO_PROGRAM, ECHO_VERSION};
+use lmb_timing::{Harness, Options};
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick().with_repetitions(2));
+    let registry = Registry::new();
+    let server = RpcServer::start(registry.clone()).expect("rpc server");
+    server.register(ECHO_PROGRAM, ECHO_VERSION, ECHO_PROC, Box::new(Ok));
+
+    banner("Table 12", "TCP latency (microseconds)");
+    println!(
+        "this host: TCP {}, RPC/TCP {}",
+        lmb_ipc::measure_tcp_latency(&h, 500),
+        lmb_rpc::client::measure_rpc_latency(&h, &registry, Protocol::Tcp, 500)
+    );
+
+    let mut group = c.benchmark_group("table12_tcp_rpc");
+    let mut raw = TcpEchoPair::start().expect("echo pair");
+    group.bench_function("tcp_word_round_trip", |b| {
+        b.iter(|| raw.round_trip().expect("round trip"))
+    });
+
+    let mut rpc = RpcClient::connect(&registry, ECHO_PROGRAM, ECHO_VERSION, Protocol::Tcp)
+        .expect("rpc client");
+    let word = Bytes::from_static(b"lmbw");
+    group.bench_function("rpc_tcp_word_round_trip", |b| {
+        b.iter(|| rpc.call(ECHO_PROC, word.clone()).expect("call"))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

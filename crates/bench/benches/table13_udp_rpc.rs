@@ -1,0 +1,43 @@
+//! Table 13 — UDP vs RPC/UDP latency: the datagram half of the
+//! layering-cost experiment.
+
+use bytes::Bytes;
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_ipc::udp_lat::UdpEchoPair;
+use lmb_rpc::{client::RpcClient, Protocol, Registry, RpcServer, ECHO_PROC, ECHO_PROGRAM, ECHO_VERSION};
+use lmb_timing::{Harness, Options};
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick().with_repetitions(2));
+    let registry = Registry::new();
+    let server = RpcServer::start(registry.clone()).expect("rpc server");
+    server.register(ECHO_PROGRAM, ECHO_VERSION, ECHO_PROC, Box::new(Ok));
+
+    banner("Table 13", "UDP latency (microseconds)");
+    println!(
+        "this host: UDP {}, RPC/UDP {}",
+        lmb_ipc::measure_udp_latency(&h, 500),
+        lmb_rpc::client::measure_rpc_latency(&h, &registry, Protocol::Udp, 500)
+    );
+
+    let mut group = c.benchmark_group("table13_udp_rpc");
+    let raw = UdpEchoPair::start().expect("echo pair");
+    group.bench_function("udp_word_round_trip", |b| {
+        b.iter(|| raw.round_trip().expect("round trip"))
+    });
+
+    let mut rpc = RpcClient::connect(&registry, ECHO_PROGRAM, ECHO_VERSION, Protocol::Udp)
+        .expect("rpc client");
+    let word = Bytes::from_static(b"lmbw");
+    group.bench_function("rpc_udp_word_round_trip", |b| {
+        b.iter(|| rpc.call(ECHO_PROC, word.clone()).expect("call"))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

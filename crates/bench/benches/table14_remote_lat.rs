@@ -1,0 +1,39 @@
+//! Table 14 — remote TCP/UDP latencies over the four simulated media:
+//! measured loopback round trips plus modeled wire time.
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_net::remote::{latency_table, remote_latency};
+use lmb_net::LinkModel;
+use lmb_timing::{Harness, Options};
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick().with_repetitions(2));
+    let tcp_rtt = lmb_ipc::measure_tcp_latency(&h, 500).as_micros();
+    let udp_rtt = lmb_ipc::measure_udp_latency(&h, 500).as_micros();
+
+    banner("Table 14", "Remote latencies (microseconds)");
+    for row in latency_table(tcp_rtt) {
+        let udp = remote_latency(row.link, udp_rtt);
+        println!(
+            "{:>9}: TCP {:>7.1}us  UDP {:>7.1}us  (wire RTT {:>6.1}us)",
+            row.link.name, row.total_us, udp.total_us, row.wire_rtt_us
+        );
+    }
+
+    let mut group = c.benchmark_group("table14_remote_lat");
+    group.bench_function("compose_latency_table", |b| {
+        b.iter(|| latency_table(std::hint::black_box(tcp_rtt)))
+    });
+    group.bench_function("wire_time_word_packet", |b| {
+        let link = LinkModel::ten_base_t();
+        b.iter(|| link.wire_time_us(std::hint::black_box(64)))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,26 @@
+//! Table 15 — TCP connection latency: repeated connect/close against an
+//! accept-and-drop server (the paper reports the fastest of 20).
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_ipc::tcp_connect::ConnectServer;
+use std::net::TcpStream;
+
+fn benches(c: &mut Criterion) {
+    banner("Table 15", "TCP connect latency (microseconds)");
+    println!("this host (best of 20): {}", lmb_ipc::measure_tcp_connect(20));
+
+    let server = ConnectServer::start().expect("server");
+    let addr = server.addr();
+    let mut group = c.benchmark_group("table15_connect");
+    group.bench_function("connect_close_loopback", |b| {
+        b.iter(|| drop(TcpStream::connect(addr).expect("connect")))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,49 @@
+//! Table 16 — file-system latency: create and delete zero-length files
+//! with short names in one directory.
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_fs::create_delete::{measure_in_tempdir, short_name};
+
+fn benches(c: &mut Criterion) {
+    banner("Table 16", "File system latency (microseconds)");
+    let r = measure_in_tempdir(1000);
+    println!("this host: create {}, delete {}", r.create, r.delete);
+
+    let dir = std::env::temp_dir().join(format!("lmb-bench-fs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let mut group = c.benchmark_group("table16_fs");
+    let mut i = 0usize;
+    group.bench_function("create_zero_length", |b| {
+        b.iter(|| {
+            std::fs::File::create(dir.join(short_name(i))).expect("create");
+            i += 1;
+        })
+    });
+    // Delete what the create bench left behind, one per iteration.
+    let mut j = 0usize;
+    group.bench_function("delete_zero_length", |b| {
+        b.iter(|| {
+            let path = dir.join(short_name(j));
+            if path.exists() {
+                std::fs::remove_file(path).expect("delete");
+            } else {
+                // The create bench made finitely many; keep the timing
+                // honest by re-creating on exhaustion.
+                std::fs::File::create(dir.join(short_name(j))).expect("refill");
+                std::fs::remove_file(dir.join(short_name(j))).expect("delete");
+            }
+            j += 1;
+        })
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

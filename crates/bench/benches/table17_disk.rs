@@ -1,0 +1,54 @@
+//! Table 17 — SCSI I/O overhead: sequential 512-byte reads served from the
+//! simulated drive's track buffer ("memory-to-memory transfers across a
+//! SCSI channel"), plus the saturation estimate.
+
+use criterion::Criterion;
+use lmb_bench::{banner, quick_criterion};
+use lmb_disk::{measure_overhead, saturation_drives, SimDisk};
+use lmb_timing::{Harness, Options};
+
+fn benches(c: &mut Criterion) {
+    let h = Harness::new(Options::quick());
+    let mut disk = SimDisk::classic_1995();
+    let r = measure_overhead(&h, &mut disk, 8192);
+    banner("Table 17", "SCSI I/O overhead (microseconds)");
+    println!(
+        "this host: modeled service {}, host CPU {}, hit rate {:.3}, {:.0} ops/s",
+        r.service, r.host_cpu, r.buffer_hit_rate, r.ops_per_sec
+    );
+    println!(
+        "saturation: a 50 ops/s database drive fleet tops out at {:.1} drives",
+        saturation_drives(r.service.as_micros() + r.host_cpu.as_micros(), 50.0)
+    );
+
+    let mut group = c.benchmark_group("table17_disk");
+    let mut seq = SimDisk::classic_1995();
+    let mut block = 0u64;
+    let wrap = seq.geometry.capacity() / 512;
+    group.bench_function("sequential_512B_command", |b| {
+        b.iter(|| {
+            let t = seq.read((block % wrap) * 512, 512);
+            block += 1;
+            std::hint::black_box(t.total_us())
+        })
+    });
+
+    let mut rnd = SimDisk::classic_1995();
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    group.bench_function("random_512B_command", |b| {
+        b.iter(|| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let t = rnd.read((state % wrap) * 512, 512);
+            std::hint::black_box(t.total_us())
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

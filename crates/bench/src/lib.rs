@@ -1,0 +1,32 @@
+//! Shared helpers for the per-table Criterion benches.
+//!
+//! Every bench in `benches/` regenerates one table or figure of the paper:
+//! it benchmarks the underlying operation with Criterion (so `cargo bench`
+//! tracks regressions) *and* prints the regenerated rows once at startup,
+//! so a bench run doubles as a report.
+
+use criterion::Criterion;
+
+/// Criterion tuned for micro-benchmarks that must finish quickly: small
+/// sample count, short warm-up and measurement windows.
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+        .configure_from_args()
+}
+
+/// Prints a banner naming the paper artifact a bench regenerates.
+pub fn banner(artifact: &str, what: &str) {
+    println!("=== {artifact}: {what} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_criterion_constructs() {
+        // Must not panic; Criterion validates its own options.
+        let _ = super::quick_criterion();
+    }
+}

@@ -1,0 +1,114 @@
+//! Suite configuration: the paper's sizing rules as tunable defaults.
+
+use lmb_timing::Options;
+
+/// How much of each benchmark to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteConfig {
+    /// Harness options (warm-up, repetitions, summary policy).
+    pub options: Options,
+    /// Bytes per side of the bcopy buffers (paper: 8 MB, auto-resized).
+    pub copy_bytes: usize,
+    /// Scratch file size for the re-read benchmarks (paper: 8 MB).
+    pub file_bytes: usize,
+    /// Largest array in the memory-latency sweep (paper: 8 MB+).
+    pub sweep_max: usize,
+    /// Total bytes streamed by the pipe/TCP bandwidth runs (paper: 50 MB).
+    pub stream_total: usize,
+    /// Token laps per context-switch repetition (paper: 2000 passes).
+    pub ctx_passes: usize,
+    /// Files for the create/delete benchmark (paper: 1000).
+    pub fs_files: usize,
+    /// Round trips per latency repetition.
+    pub round_trips: usize,
+    /// Connect attempts (paper: best of 20).
+    pub connect_attempts: u32,
+    /// Simulated-disk commands for the Table 17 run.
+    pub disk_ops: u64,
+}
+
+impl SuiteConfig {
+    /// Paper-scale parameters — minutes of wall time.
+    pub fn paper() -> Self {
+        Self {
+            options: Options::paper(),
+            copy_bytes: 8 << 20,
+            file_bytes: 8 << 20,
+            sweep_max: 32 << 20,
+            stream_total: 50 << 20,
+            ctx_passes: 2000,
+            fs_files: 1000,
+            round_trips: 1000,
+            connect_attempts: 20,
+            disk_ops: 8192,
+        }
+    }
+
+    /// Small parameters for smoke tests and CI — a few seconds.
+    pub fn quick() -> Self {
+        Self {
+            options: Options::quick().with_repetitions(2),
+            copy_bytes: 1 << 20,
+            file_bytes: 1 << 20,
+            sweep_max: 4 << 20,
+            stream_total: 4 << 20,
+            ctx_passes: 100,
+            fs_files: 100,
+            round_trips: 100,
+            connect_attempts: 5,
+            disk_ops: 1024,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical parameters (zero sizes/counts).
+    pub fn validate(&self) {
+        assert!(self.copy_bytes >= 4096, "copy buffer too small");
+        assert!(self.file_bytes >= 4096, "file too small");
+        assert!(self.sweep_max >= 64 << 10, "sweep too small");
+        assert!(self.stream_total >= 1 << 20, "stream too small");
+        assert!(self.ctx_passes > 0, "no ctx passes");
+        assert!(self.fs_files > 0, "no files");
+        assert!(self.round_trips > 0, "no round trips");
+        assert!(self.connect_attempts > 0, "no connects");
+        assert!(self.disk_ops > 0, "no disk ops");
+    }
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_presets_validate() {
+        SuiteConfig::paper().validate();
+        SuiteConfig::quick().validate();
+    }
+
+    #[test]
+    fn paper_matches_paper_parameters() {
+        let c = SuiteConfig::paper();
+        assert_eq!(c.copy_bytes, 8 << 20);
+        assert_eq!(c.stream_total, 50 << 20);
+        assert_eq!(c.ctx_passes, 2000);
+        assert_eq!(c.fs_files, 1000);
+        assert_eq!(c.connect_attempts, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy buffer too small")]
+    fn bad_config_caught() {
+        let mut c = SuiteConfig::quick();
+        c.copy_bytes = 16;
+        c.validate();
+    }
+}

@@ -1,0 +1,27 @@
+//! The lmbench-rs suite: configuration, host detection, orchestration and
+//! report generation.
+//!
+//! This crate is the paper's *product*: a portable micro-benchmark suite
+//! you point at a machine, which runs every experiment (§5 bandwidth, §6
+//! latency), appends the host to the results database, and regenerates the
+//! paper's tables and figures with the new row in place.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use lmb_core::{SuiteConfig, run_suite};
+//!
+//! let run = run_suite(&SuiteConfig::quick());
+//! println!("{}", lmb_core::report::full_report(Some(&run)));
+//! ```
+
+pub mod config;
+pub mod host;
+pub mod registry;
+pub mod report;
+pub mod suite;
+
+pub use config::SuiteConfig;
+pub use host::detect_host;
+pub use registry::{Benchmark, Category, Registry};
+pub use suite::run_suite;

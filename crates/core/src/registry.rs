@@ -1,0 +1,350 @@
+//! A name-addressable registry of the suite's benchmarks.
+//!
+//! Lets callers (CLI, examples, harnesses) run one benchmark by name —
+//! the lmbench idiom of individual `bw_*`/`lat_*` binaries — without
+//! linking the run-everything path.
+
+use crate::config::SuiteConfig;
+use crate::suite;
+use lmb_timing::Harness;
+
+/// The paper section a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// §5: data movement rates.
+    Bandwidth,
+    /// §6: operation latencies.
+    Latency,
+}
+
+/// One runnable benchmark.
+pub struct Benchmark {
+    /// CLI-style name ("lat_syscall", "bw_pipe").
+    pub name: &'static str,
+    /// Which table/figure it feeds.
+    pub produces: &'static str,
+    /// Paper section.
+    pub category: Category,
+    runner: fn(&Harness, &SuiteConfig) -> String,
+}
+
+impl Benchmark {
+    /// Runs the benchmark, returning a one-line human-readable result.
+    pub fn run(&self, h: &Harness, config: &SuiteConfig) -> String {
+        (self.runner)(h, config)
+    }
+}
+
+/// The full benchmark registry.
+pub struct Registry {
+    benchmarks: Vec<Benchmark>,
+}
+
+impl Registry {
+    /// Builds the registry with every suite benchmark.
+    pub fn standard() -> Self {
+        let benchmarks = vec![
+            Benchmark {
+                name: "bw_mem",
+                produces: "Table 2",
+                category: Category::Bandwidth,
+                runner: |h, c| {
+                    let r = suite::measure_mem_bw(h, c, "host");
+                    format!(
+                        "bcopy unrolled {:.0} / libc {:.0} / read {:.0} / write {:.0} MB/s",
+                        r.bcopy_unrolled, r.bcopy_libc, r.read, r.write
+                    )
+                },
+            },
+            Benchmark {
+                name: "bw_pipe_tcp",
+                produces: "Table 3",
+                category: Category::Bandwidth,
+                runner: |h, c| {
+                    let r = suite::measure_ipc_bw(h, c, "host");
+                    format!(
+                        "pipe {:.0} MB/s, TCP {:.0} MB/s",
+                        r.pipe,
+                        r.tcp.unwrap_or(0.0)
+                    )
+                },
+            },
+            Benchmark {
+                name: "bw_file",
+                produces: "Table 5",
+                category: Category::Bandwidth,
+                runner: |h, c| {
+                    let r = suite::measure_file_bw(h, c, "host");
+                    format!(
+                        "file read {:.0} / mmap {:.0} / mem read {:.0} MB/s",
+                        r.file_read, r.file_mmap, r.mem_read
+                    )
+                },
+            },
+            Benchmark {
+                name: "lat_mem_rd",
+                produces: "Table 6 / Figure 1",
+                category: Category::Latency,
+                runner: |h, c| {
+                    let r = suite::measure_cache_lat(h, c, "host");
+                    format!(
+                        "L1 {:.1}ns, L2 {:.1}ns, memory {:.1}ns",
+                        r.l1_ns.unwrap_or(0.0),
+                        r.l2_ns.unwrap_or(0.0),
+                        r.memory_ns
+                    )
+                },
+            },
+            Benchmark {
+                name: "lat_syscall",
+                produces: "Table 7",
+                category: Category::Latency,
+                runner: |h, _| {
+                    format!("{:.2}us", suite::measure_syscall(h, "host").syscall_us)
+                },
+            },
+            Benchmark {
+                name: "lat_sig",
+                produces: "Table 8",
+                category: Category::Latency,
+                runner: |h, _| {
+                    let r = suite::measure_signal(h, "host");
+                    format!("install {:.2}us, dispatch {:.2}us", r.sigaction_us, r.handler_us)
+                },
+            },
+            Benchmark {
+                name: "lat_proc",
+                produces: "Table 9",
+                category: Category::Latency,
+                runner: |h, _| {
+                    let r = suite::measure_proc(h, "host");
+                    format!(
+                        "fork {:.2}ms, exec {:.2}ms, sh {:.2}ms",
+                        r.fork_ms, r.fork_exec_ms, r.fork_sh_ms
+                    )
+                },
+            },
+            Benchmark {
+                name: "lat_ctx",
+                produces: "Table 10 / Figure 2",
+                category: Category::Latency,
+                runner: |h, c| {
+                    let r = suite::measure_ctx(h, c, "host");
+                    format!("2p/0K {:.1}us, 8p/32K {:.1}us", r.p2_0k, r.p8_32k)
+                },
+            },
+            Benchmark {
+                name: "lat_pipe",
+                produces: "Table 11",
+                category: Category::Latency,
+                runner: |h, c| {
+                    format!("{:.1}us", suite::measure_pipe_lat(h, c, "host").pipe_us)
+                },
+            },
+            Benchmark {
+                name: "lat_tcp_rpc",
+                produces: "Table 12",
+                category: Category::Latency,
+                runner: |h, c| {
+                    let r = suite::measure_tcp_rpc(h, c, "host");
+                    format!("TCP {:.1}us, RPC/TCP {:.1}us", r.tcp_us, r.rpc_tcp_us)
+                },
+            },
+            Benchmark {
+                name: "lat_udp_rpc",
+                produces: "Table 13",
+                category: Category::Latency,
+                runner: |h, c| {
+                    let r = suite::measure_udp_rpc(h, c, "host");
+                    format!("UDP {:.1}us, RPC/UDP {:.1}us", r.udp_us, r.rpc_udp_us)
+                },
+            },
+            Benchmark {
+                name: "lat_connect",
+                produces: "Table 15",
+                category: Category::Latency,
+                runner: |_, c| format!("{:.1}us", suite::measure_connect(c, "host").connect_us),
+            },
+            Benchmark {
+                name: "lat_fs",
+                produces: "Table 16",
+                category: Category::Latency,
+                runner: |_, c| {
+                    let r = suite::measure_fs_lat(c, "host");
+                    format!("create {:.1}us, delete {:.1}us", r.create_us, r.delete_us)
+                },
+            },
+            Benchmark {
+                name: "lat_disk",
+                produces: "Table 17",
+                category: Category::Latency,
+                runner: |h, c| format!("{:.1}us", suite::measure_disk(h, c, "host").overhead_us),
+            },
+            // Extensions: the paper's §7 future-work items and the §1
+            // aliasing pathology, runnable like any other benchmark.
+            Benchmark {
+                name: "bw_unix",
+                produces: "extension (later lmbench bw_unix)",
+                category: Category::Bandwidth,
+                runner: |_, c| {
+                    let bw = lmb_ipc::measure_unix_bw(
+                        c.stream_total,
+                        lmb_ipc::PIPE_CHUNK,
+                        c.options.repetitions.min(3),
+                        lmb_timing::SummaryPolicy::Last,
+                    );
+                    format!("{bw}")
+                },
+            },
+            Benchmark {
+                name: "lat_mem_dirty",
+                produces: "extension (paper \u{a7}7 dirty-read latency)",
+                category: Category::Latency,
+                runner: |h, c| {
+                    let clean = lmb_mem::lat::measure_point(
+                        h,
+                        c.sweep_max,
+                        64,
+                        lmb_mem::ChasePattern::Random,
+                    );
+                    let dirty = lmb_mem::measure_dirty_point(
+                        h,
+                        c.sweep_max,
+                        64,
+                        lmb_mem::ChasePattern::Random,
+                    );
+                    format!(
+                        "clean {:.1} ns/load, dirty {:.1} ns/load",
+                        clean.ns_per_load, dirty.ns_per_load
+                    )
+                },
+            },
+            Benchmark {
+                name: "lat_mp_c2c",
+                produces: "extension (paper \u{a7}7 MP cache-to-cache)",
+                category: Category::Latency,
+                runner: |_, _| {
+                    format!(
+                        "line transfer {}, c2c bandwidth {}",
+                        lmb_mem::measure_line_pingpong(2000, 3),
+                        lmb_mem::measure_cache_to_cache_bw(256 << 10, 8)
+                    )
+                },
+            },
+            Benchmark {
+                name: "lat_poll",
+                produces: "extension (later lmbench lat_select)",
+                category: Category::Latency,
+                runner: |h, _| {
+                    let few = lmb_proc::measure_poll(h, 8).latency;
+                    let many = lmb_proc::measure_poll(h, 1024).latency;
+                    format!("8 fds {few}, 1024 fds {many}")
+                },
+            },
+            Benchmark {
+                name: "lat_mlp",
+                produces: "extension (\u{a7}6.1 load-in-a-vacuum vs back-to-back)",
+                category: Category::Latency,
+                runner: |h, c| {
+                    let pts = lmb_mem::mlp::sweep(h, 4, c.sweep_max, 64);
+                    format!(
+                        "1 chain {:.1} ns, 4 chains {:.1} ns (MLP {:.1}x)",
+                        pts[0].ns_per_load,
+                        pts[3].ns_per_load,
+                        lmb_mem::mlp::effective_mlp(&pts)
+                    )
+                },
+            },
+            Benchmark {
+                name: "lat_alias",
+                produces: "extension (paper \u{a7}1 cache-aliasing check)",
+                category: Category::Latency,
+                runner: |h, _| {
+                    let r = lmb_mem::measure_alias(h, 512, 256 << 10);
+                    format!(
+                        "packed {:.1} ns, aliased {:.1} ns ({:.1}x)",
+                        r.compact_ns,
+                        r.aliased_ns,
+                        r.slowdown()
+                    )
+                },
+            },
+        ];
+        Self { benchmarks }
+    }
+
+    /// All benchmarks.
+    pub fn all(&self) -> &[Benchmark] {
+        &self.benchmarks
+    }
+
+    /// Finds one by name.
+    pub fn find(&self, name: &str) -> Option<&Benchmark> {
+        self.benchmarks.iter().find(|b| b.name == name)
+    }
+
+    /// Benchmark names, registry order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.benchmarks.iter().map(|b| b.name).collect()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_both_categories() {
+        let r = Registry::standard();
+        assert!(r.all().iter().any(|b| b.category == Category::Bandwidth));
+        assert!(r.all().iter().any(|b| b.category == Category::Latency));
+        assert!(r.all().len() >= 14);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names = Registry::standard().names();
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn find_works_and_misses_cleanly() {
+        let r = Registry::standard();
+        assert!(r.find("lat_syscall").is_some());
+        assert!(r.find("lat_nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_table_except_identity_ones_is_produced() {
+        let r = Registry::standard();
+        let produced: String = r
+            .all()
+            .iter()
+            .map(|b| b.produces)
+            .collect::<Vec<_>>()
+            .join(" ");
+        // Tables 1 (identity), 4 and 14 (composed from other measurements)
+        // have no standalone benchmark; everything else must appear.
+        for t in [2, 3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16, 17] {
+            assert!(produced.contains(&format!("Table {t}")), "Table {t} unproduced");
+        }
+    }
+
+    #[test]
+    fn a_cheap_benchmark_runs_end_to_end() {
+        let r = Registry::standard();
+        let h = Harness::new(lmb_timing::Options::quick());
+        let out = r
+            .find("lat_syscall")
+            .unwrap()
+            .run(&h, &SuiteConfig::quick());
+        assert!(out.contains("us"), "{out}");
+    }
+}

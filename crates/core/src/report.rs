@@ -1,0 +1,616 @@
+//! Regenerating every table and figure of the paper.
+//!
+//! Each `table_N` function renders the paper's Table N from the embedded
+//! dataset, appending the measured host row when one is supplied — exactly
+//! how the paper was produced: "All of the tables in this paper were
+//! produced from the database included in lmbench" (§3.5). Figures 1 and 2
+//! render from live sweep data via [`lmb_results::plot`].
+
+use lmb_results::dataset;
+use lmb_results::table::{Cell, SortOrder, Table};
+use lmb_results::{compare_rows, Better, Comparison, SuiteRun};
+
+fn kb_mb(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}M", bytes >> 20)
+    } else {
+        format!("{}K", bytes >> 10)
+    }
+}
+
+/// Table 1: system descriptions (not sorted; identity data).
+pub fn table_1(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 1. System descriptions.",
+        &["Name", "Vendor/model", "OS", "CPU", "Mhz", "Year", "SPECInt92", "Price k$"],
+    );
+    let mut add = |s: &lmb_results::SystemInfo| {
+        t.row(vec![
+            Cell::text(&s.name),
+            Cell::text(&s.vendor_model),
+            Cell::text(&s.os),
+            Cell::text(&s.cpu),
+            Cell::num(f64::from(s.mhz), 0),
+            Cell::num(f64::from(s.year), 0),
+            Cell::opt(s.specint92, 0),
+            Cell::opt(s.list_price_kusd, 0),
+        ]);
+    };
+    for s in dataset::systems() {
+        add(&s);
+    }
+    if let Some(s) = run.and_then(|r| r.system.as_ref()) {
+        add(s);
+    }
+    t
+}
+
+/// Table 2: memory bandwidth, sorted on unrolled bcopy.
+pub fn table_2(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 2. Memory bandwidth (MB/s)",
+        &["System", "bcopy unrolled", "bcopy libc", "read", "write"],
+    )
+    .sorted_on(1, SortOrder::HigherIsBetter);
+    let mut rows = dataset::mem_bw();
+    if let Some(r) = run.and_then(|r| r.mem_bw.clone()) {
+        rows.push(r);
+    }
+    for r in rows {
+        t.row(vec![
+            Cell::text(&r.system),
+            Cell::num(r.bcopy_unrolled, 0),
+            Cell::num(r.bcopy_libc, 0),
+            Cell::num(r.read, 0),
+            Cell::num(r.write, 0),
+        ]);
+    }
+    t
+}
+
+/// Table 3: pipe and local TCP bandwidth, sorted on pipe.
+pub fn table_3(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 3. Pipe and local TCP bandwidth (MB/s)",
+        &["System", "libc bcopy", "pipe", "TCP"],
+    )
+    .sorted_on(2, SortOrder::HigherIsBetter);
+    let mut rows = dataset::ipc_bw();
+    if let Some(r) = run.and_then(|r| r.ipc_bw.clone()) {
+        rows.push(r);
+    }
+    for r in rows {
+        t.row(vec![
+            Cell::text(&r.system),
+            Cell::num(r.bcopy_libc, 0),
+            Cell::num(r.pipe, 0),
+            Cell::opt(r.tcp, 0),
+        ]);
+    }
+    t
+}
+
+/// Table 4: remote TCP bandwidth, sorted on bandwidth.
+pub fn table_4(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 4. Remote TCP bandwidth (MB/s)",
+        &["System", "Network", "TCP bandwidth"],
+    )
+    .sorted_on(2, SortOrder::HigherIsBetter);
+    let mut rows = dataset::remote_bw();
+    if let Some(r) = run {
+        rows.extend(r.remote_bw.clone());
+    }
+    for r in rows {
+        t.row(vec![
+            Cell::text(&r.system),
+            Cell::text(&r.network),
+            Cell::num(r.tcp, 1),
+        ]);
+    }
+    t
+}
+
+/// Table 5: file vs memory bandwidth, sorted on file read.
+pub fn table_5(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 5. File vs. memory bandwidth (MB/s)",
+        &["System", "libc bcopy", "file read", "file mmap", "mem read"],
+    )
+    .sorted_on(2, SortOrder::HigherIsBetter);
+    let mut rows = dataset::file_bw();
+    if let Some(r) = run.and_then(|r| r.file_bw.clone()) {
+        rows.push(r);
+    }
+    for r in rows {
+        t.row(vec![
+            Cell::text(&r.system),
+            Cell::num(r.bcopy_libc, 0),
+            Cell::num(r.file_read, 0),
+            Cell::num(r.file_mmap, 0),
+            Cell::num(r.mem_read, 0),
+        ]);
+    }
+    t
+}
+
+/// Table 6: cache and memory latency, sorted on level-2 latency.
+pub fn table_6(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 6. Cache and memory latency (ns)",
+        &["System", "L1 lat", "L1 size", "L2 lat", "L2 size", "Memory"],
+    )
+    .sorted_on(3, SortOrder::LowerIsBetter);
+    let mut rows = dataset::cache_lat();
+    if let Some(r) = run.and_then(|r| r.cache_lat.clone()) {
+        rows.push(r);
+    }
+    for r in rows {
+        t.row(vec![
+            Cell::text(&r.system),
+            Cell::opt(r.l1_ns, 0),
+            r.l1_size.map_or(Cell::missing(), |s| Cell::text(kb_mb(s))),
+            Cell::opt(r.l2_ns, 0),
+            r.l2_size.map_or(Cell::missing(), |s| Cell::text(kb_mb(s))),
+            Cell::num(r.memory_ns, 0),
+        ]);
+    }
+    t
+}
+
+/// Table 7: simple system call time.
+pub fn table_7(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 7. Simple system call time (microseconds)",
+        &["System", "system call"],
+    )
+    .sorted_on(1, SortOrder::LowerIsBetter);
+    let mut rows = dataset::syscall();
+    if let Some(r) = run.and_then(|r| r.syscall.clone()) {
+        rows.push(r);
+    }
+    for r in rows {
+        t.row(vec![Cell::text(&r.system), Cell::num(r.syscall_us, 1)]);
+    }
+    t
+}
+
+/// Table 8: signal times, sorted on handler cost.
+pub fn table_8(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 8. Signal times (microseconds)",
+        &["System", "sigaction", "sig handler"],
+    )
+    .sorted_on(2, SortOrder::LowerIsBetter);
+    let mut rows = dataset::signal();
+    if let Some(r) = run.and_then(|r| r.signal.clone()) {
+        rows.push(r);
+    }
+    for r in rows {
+        t.row(vec![
+            Cell::text(&r.system),
+            Cell::num(r.sigaction_us, 1),
+            Cell::num(r.handler_us, 1),
+        ]);
+    }
+    t
+}
+
+/// Table 9: process creation, sorted on plain fork.
+pub fn table_9(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 9. Process creation time (milliseconds)",
+        &["System", "fork & exit", "fork, exec & exit", "fork, exec sh -c & exit"],
+    )
+    .sorted_on(1, SortOrder::LowerIsBetter);
+    let mut rows = dataset::proc();
+    if let Some(r) = run.and_then(|r| r.proc.clone()) {
+        rows.push(r);
+    }
+    for r in rows {
+        t.row(vec![
+            Cell::text(&r.system),
+            Cell::num(r.fork_ms, 1),
+            Cell::num(r.fork_exec_ms, 1),
+            Cell::num(r.fork_sh_ms, 1),
+        ]);
+    }
+    t
+}
+
+/// Table 10: context switch times, sorted on the 2-process 0K cell.
+pub fn table_10(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 10. Context switch time (microseconds)",
+        &["System", "2proc/0K", "2proc/32K", "8proc/0K", "8proc/32K"],
+    )
+    .sorted_on(1, SortOrder::LowerIsBetter);
+    let mut rows = dataset::ctx();
+    if let Some(r) = run.and_then(|r| r.ctx.clone()) {
+        rows.push(r);
+    }
+    for r in rows {
+        t.row(vec![
+            Cell::text(&r.system),
+            Cell::num(r.p2_0k, 1),
+            Cell::num(r.p2_32k, 1),
+            Cell::num(r.p8_0k, 1),
+            Cell::num(r.p8_32k, 1),
+        ]);
+    }
+    t
+}
+
+/// Table 11: pipe latency.
+pub fn table_11(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 11. Pipe latency (microseconds)",
+        &["System", "Pipe latency"],
+    )
+    .sorted_on(1, SortOrder::LowerIsBetter);
+    let mut rows = dataset::pipe_lat();
+    if let Some(r) = run.and_then(|r| r.pipe_lat.clone()) {
+        rows.push(r);
+    }
+    for r in rows {
+        t.row(vec![Cell::text(&r.system), Cell::num(r.pipe_us, 1)]);
+    }
+    t
+}
+
+/// Table 12: TCP vs RPC/TCP latency, sorted on RPC/TCP.
+pub fn table_12(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 12. TCP latency (microseconds)",
+        &["System", "TCP", "RPC/TCP"],
+    )
+    .sorted_on(2, SortOrder::LowerIsBetter);
+    let mut rows = dataset::tcp_rpc();
+    if let Some(r) = run.and_then(|r| r.tcp_rpc.clone()) {
+        rows.push(r);
+    }
+    for r in rows {
+        t.row(vec![
+            Cell::text(&r.system),
+            Cell::num(r.tcp_us, 0),
+            Cell::num(r.rpc_tcp_us, 0),
+        ]);
+    }
+    t
+}
+
+/// Table 13: UDP vs RPC/UDP latency, sorted on RPC/UDP.
+pub fn table_13(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 13. UDP latency (microseconds)",
+        &["System", "UDP", "RPC/UDP"],
+    )
+    .sorted_on(2, SortOrder::LowerIsBetter);
+    let mut rows = dataset::udp_rpc();
+    if let Some(r) = run.and_then(|r| r.udp_rpc.clone()) {
+        rows.push(r);
+    }
+    for r in rows {
+        t.row(vec![
+            Cell::text(&r.system),
+            Cell::num(r.udp_us, 0),
+            Cell::num(r.rpc_udp_us, 0),
+        ]);
+    }
+    t
+}
+
+/// Table 14: remote latencies, sorted on TCP.
+pub fn table_14(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 14. Remote latencies (microseconds)",
+        &["System", "Network", "TCP", "UDP"],
+    )
+    .sorted_on(2, SortOrder::LowerIsBetter);
+    let mut rows = dataset::remote_lat();
+    if let Some(r) = run {
+        rows.extend(r.remote_lat.clone());
+    }
+    for r in rows {
+        t.row(vec![
+            Cell::text(&r.system),
+            Cell::text(&r.network),
+            Cell::num(r.tcp_us, 0),
+            Cell::num(r.udp_us, 0),
+        ]);
+    }
+    t
+}
+
+/// Table 15: TCP connect latency.
+pub fn table_15(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 15. TCP connect latency (microseconds)",
+        &["System", "TCP connection"],
+    )
+    .sorted_on(1, SortOrder::LowerIsBetter);
+    let mut rows = dataset::connect();
+    if let Some(r) = run.and_then(|r| r.connect.clone()) {
+        rows.push(r);
+    }
+    for r in rows {
+        t.row(vec![Cell::text(&r.system), Cell::num(r.connect_us, 0)]);
+    }
+    t
+}
+
+/// Table 16: file system latency, sorted on create.
+pub fn table_16(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 16. File system latency (microseconds)",
+        &["System", "FS", "Create", "Delete"],
+    )
+    .sorted_on(2, SortOrder::LowerIsBetter);
+    let mut rows = dataset::fs_lat();
+    if let Some(r) = run.and_then(|r| r.fs_lat.clone()) {
+        rows.push(r);
+    }
+    for r in rows {
+        t.row(vec![
+            Cell::text(&r.system),
+            Cell::text(&r.fs),
+            Cell::num(r.create_us, 0),
+            Cell::num(r.delete_us, 0),
+        ]);
+    }
+    t
+}
+
+/// Table 17: SCSI I/O overhead.
+pub fn table_17(run: Option<&SuiteRun>) -> Table {
+    let mut t = Table::new(
+        "Table 17. SCSI I/O overhead (microseconds)",
+        &["System", "Disk latency"],
+    )
+    .sorted_on(1, SortOrder::LowerIsBetter);
+    let mut rows = dataset::disk();
+    if let Some(r) = run.and_then(|r| r.disk.clone()) {
+        rows.push(r);
+    }
+    for r in rows {
+        t.row(vec![Cell::text(&r.system), Cell::num(r.overhead_us, 0)]);
+    }
+    t
+}
+
+/// Renders every table, with the measured run merged in when given.
+pub fn full_report(run: Option<&SuiteRun>) -> String {
+    let mut out = String::new();
+    let tables = [
+        table_1(run),
+        table_2(run),
+        table_3(run),
+        table_4(run),
+        table_5(run),
+        table_6(run),
+        table_7(run),
+        table_8(run),
+        table_9(run),
+        table_10(run),
+        table_11(run),
+        table_12(run),
+        table_13(run),
+        table_14(run),
+        table_15(run),
+        table_16(run),
+        table_17(run),
+    ];
+    for mut t in tables {
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 1 from live sweep data: one series per stride.
+pub fn figure_1(curves: &[lmb_mem::LatencyCurve]) -> String {
+    let mut plot = lmb_results::AsciiPlot::new(
+        "Figure 1. Memory latency (ns per load vs array size)",
+        64,
+        20,
+    )
+    .labels("log2(array size)", "latency (ns)")
+    .log2_x();
+    for c in curves {
+        plot = plot.series(lmb_results::Series::new(
+            format!("stride={}", c.stride),
+            c.points
+                .iter()
+                .map(|p| (p.size as f64, p.ns_per_load))
+                .collect(),
+        ));
+    }
+    plot.render()
+}
+
+/// Figure 2 from live sweep data: one series per footprint size.
+pub fn figure_2(curves: &[lmb_proc::ctx::CtxCurve]) -> String {
+    let mut plot = lmb_results::AsciiPlot::new(
+        "Figure 2. Context switch times (us vs number of processes)",
+        64,
+        20,
+    )
+    .labels("processes", "ctx switch (us)");
+    for c in curves {
+        plot = plot.series(lmb_results::Series::new(
+            format!(
+                "size={}KB overhead={:.0}us",
+                c.footprint_bytes >> 10,
+                c.overhead_us
+            ),
+            c.points.iter().map(|&(p, us)| (p as f64, us)).collect(),
+        ));
+    }
+    plot.render()
+}
+
+/// Paper-vs-measured comparisons for every metric the run produced — the
+/// EXPERIMENTS.md feed.
+pub fn comparisons(run: &SuiteRun) -> Vec<Comparison> {
+    let mut out = Vec::new();
+    if let Some(r) = &run.mem_bw {
+        let col: Vec<f64> = dataset::mem_bw().iter().map(|x| x.bcopy_unrolled).collect();
+        out.push(compare_rows("T2 bcopy unrolled (MB/s)", r.bcopy_unrolled, &col, Better::Higher));
+        let col: Vec<f64> = dataset::mem_bw().iter().map(|x| x.read).collect();
+        out.push(compare_rows("T2 memory read (MB/s)", r.read, &col, Better::Higher));
+    }
+    if let Some(r) = &run.ipc_bw {
+        let col: Vec<f64> = dataset::ipc_bw().iter().map(|x| x.pipe).collect();
+        out.push(compare_rows("T3 pipe bandwidth (MB/s)", r.pipe, &col, Better::Higher));
+        if let Some(tcp) = r.tcp {
+            let col: Vec<f64> = dataset::ipc_bw().iter().filter_map(|x| x.tcp).collect();
+            out.push(compare_rows("T3 TCP bandwidth (MB/s)", tcp, &col, Better::Higher));
+        }
+    }
+    if let Some(r) = &run.file_bw {
+        let col: Vec<f64> = dataset::file_bw().iter().map(|x| x.file_read).collect();
+        out.push(compare_rows("T5 file reread (MB/s)", r.file_read, &col, Better::Higher));
+        let col: Vec<f64> = dataset::file_bw().iter().map(|x| x.file_mmap).collect();
+        out.push(compare_rows("T5 mmap reread (MB/s)", r.file_mmap, &col, Better::Higher));
+    }
+    if let Some(r) = &run.cache_lat {
+        let col: Vec<f64> = dataset::cache_lat().iter().map(|x| x.memory_ns).collect();
+        out.push(compare_rows("T6 memory latency (ns)", r.memory_ns, &col, Better::Lower));
+    }
+    if let Some(r) = &run.syscall {
+        let col: Vec<f64> = dataset::syscall().iter().map(|x| x.syscall_us).collect();
+        out.push(compare_rows("T7 system call (us)", r.syscall_us, &col, Better::Lower));
+    }
+    if let Some(r) = &run.signal {
+        let col: Vec<f64> = dataset::signal().iter().map(|x| x.handler_us).collect();
+        out.push(compare_rows("T8 signal handler (us)", r.handler_us, &col, Better::Lower));
+    }
+    if let Some(r) = &run.proc {
+        let col: Vec<f64> = dataset::proc().iter().map(|x| x.fork_ms).collect();
+        out.push(compare_rows("T9 fork+exit (ms)", r.fork_ms, &col, Better::Lower));
+    }
+    if let Some(r) = &run.ctx {
+        let col: Vec<f64> = dataset::ctx().iter().map(|x| x.p2_0k).collect();
+        out.push(compare_rows("T10 ctx switch 2p/0K (us)", r.p2_0k, &col, Better::Lower));
+    }
+    if let Some(r) = &run.pipe_lat {
+        let col: Vec<f64> = dataset::pipe_lat().iter().map(|x| x.pipe_us).collect();
+        out.push(compare_rows("T11 pipe latency (us)", r.pipe_us, &col, Better::Lower));
+    }
+    if let Some(r) = &run.tcp_rpc {
+        let col: Vec<f64> = dataset::tcp_rpc().iter().map(|x| x.tcp_us).collect();
+        out.push(compare_rows("T12 TCP latency (us)", r.tcp_us, &col, Better::Lower));
+        let col: Vec<f64> = dataset::tcp_rpc().iter().map(|x| x.rpc_tcp_us).collect();
+        out.push(compare_rows("T12 RPC/TCP latency (us)", r.rpc_tcp_us, &col, Better::Lower));
+    }
+    if let Some(r) = &run.udp_rpc {
+        let col: Vec<f64> = dataset::udp_rpc().iter().map(|x| x.udp_us).collect();
+        out.push(compare_rows("T13 UDP latency (us)", r.udp_us, &col, Better::Lower));
+        let col: Vec<f64> = dataset::udp_rpc().iter().map(|x| x.rpc_udp_us).collect();
+        out.push(compare_rows("T13 RPC/UDP latency (us)", r.rpc_udp_us, &col, Better::Lower));
+    }
+    if let Some(r) = &run.connect {
+        let col: Vec<f64> = dataset::connect().iter().map(|x| x.connect_us).collect();
+        out.push(compare_rows("T15 TCP connect (us)", r.connect_us, &col, Better::Lower));
+    }
+    if let Some(r) = &run.fs_lat {
+        let col: Vec<f64> = dataset::fs_lat().iter().map(|x| x.create_us).collect();
+        out.push(compare_rows("T16 file create (us)", r.create_us, &col, Better::Lower));
+        let col: Vec<f64> = dataset::fs_lat().iter().map(|x| x.delete_us).collect();
+        out.push(compare_rows("T16 file delete (us)", r.delete_us, &col, Better::Lower));
+    }
+    if let Some(r) = &run.disk {
+        let col: Vec<f64> = dataset::disk().iter().map(|x| x.overhead_us).collect();
+        out.push(compare_rows("T17 disk overhead (us)", r.overhead_us, &col, Better::Lower));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_results::SyscallRow;
+
+    #[test]
+    fn all_seventeen_tables_render_from_paper_data_alone() {
+        let report = full_report(None);
+        for n in 1..=17 {
+            assert!(
+                report.contains(&format!("Table {n}.")),
+                "Table {n} missing from report"
+            );
+        }
+        // Spot-check paper values survive rendering.
+        assert!(report.contains("IBM Power2"));
+        assert!(report.contains("79.3"), "hippi bandwidth missing");
+    }
+
+    #[test]
+    fn measured_row_appears_in_table() {
+        let run = SuiteRun {
+            syscall: Some(SyscallRow {
+                system: "this-host".into(),
+                syscall_us: 0.1,
+            }),
+            ..Default::default()
+        };
+        let rendered = table_7(Some(&run)).render();
+        assert!(rendered.contains("this-host"));
+        // 0.1us beats every 1995 system: first data row.
+        let first_data_line = rendered.lines().nth(3).unwrap();
+        assert!(first_data_line.contains("this-host"), "{rendered}");
+    }
+
+    #[test]
+    fn tables_sort_best_to_worst() {
+        let rendered = table_11(None).render();
+        let first = rendered.lines().nth(3).unwrap();
+        assert!(first.contains("Linux/i686"), "best 1995 pipe latency row: {first}");
+    }
+
+    #[test]
+    fn figure_1_renders_from_synthetic_curves() {
+        let curve = lmb_mem::hierarchy::synthetic_curve(
+            &[(8 << 10, 10.0), (512 << 10, 60.0)],
+            300.0,
+            &lmb_mem::lat::default_sizes(8 << 20),
+            64,
+        );
+        let fig = figure_1(&[curve]);
+        assert!(fig.contains("Figure 1"));
+        assert!(fig.contains("stride=64"));
+        assert!(fig.contains("2^"), "log2 axis missing: {fig}");
+    }
+
+    #[test]
+    fn figure_2_renders_from_hand_built_curves() {
+        let curves = vec![lmb_proc::ctx::CtxCurve {
+            footprint_bytes: 32 << 10,
+            overhead_us: 129.0,
+            points: vec![(2, 10.0), (8, 20.0), (16, 40.0)],
+        }];
+        let fig = figure_2(&curves);
+        assert!(fig.contains("Figure 2"));
+        assert!(fig.contains("size=32KB overhead=129us"));
+    }
+
+    #[test]
+    fn comparisons_cover_every_populated_metric() {
+        let run = SuiteRun {
+            syscall: Some(SyscallRow {
+                system: "h".into(),
+                syscall_us: 0.2,
+            }),
+            ..Default::default()
+        };
+        let cmp = comparisons(&run);
+        assert_eq!(cmp.len(), 1);
+        assert_eq!(cmp[0].rank, 1, "0.2us should beat all 1995 syscalls");
+        assert!(cmp[0].summary().contains("T7"));
+    }
+
+    #[test]
+    fn empty_run_produces_no_comparisons() {
+        assert!(comparisons(&SuiteRun::default()).is_empty());
+    }
+}

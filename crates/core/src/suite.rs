@@ -1,0 +1,347 @@
+//! Running the full suite and filling a [`SuiteRun`].
+
+use crate::config::SuiteConfig;
+use crate::host::detect_host;
+use lmb_results::*;
+use lmb_timing::{Harness, SummaryPolicy};
+
+/// Runs every benchmark in the suite at the configured scale and returns
+/// the host's complete result set.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or a benchmark's environment is
+/// broken (no `/dev/null`, no loopback, no temp dir) — a machine on which
+/// the paper's suite could not run either.
+pub fn run_suite(config: &SuiteConfig) -> SuiteRun {
+    config.validate();
+    let h = Harness::new(config.options);
+    let host = detect_host();
+    let name = host.name.clone();
+
+    let mut run = SuiteRun {
+        system: Some(host),
+        ..Default::default()
+    };
+
+    run.mem_bw = Some(measure_mem_bw(&h, config, &name));
+    run.ipc_bw = Some(measure_ipc_bw(&h, config, &name));
+    run.file_bw = Some(measure_file_bw(&h, config, &name));
+    run.cache_lat = Some(measure_cache_lat(&h, config, &name));
+    run.syscall = Some(measure_syscall(&h, &name));
+    run.signal = Some(measure_signal(&h, &name));
+    run.proc = Some(measure_proc(&h, &name));
+    run.ctx = Some(measure_ctx(&h, config, &name));
+    run.pipe_lat = Some(measure_pipe_lat(&h, config, &name));
+    run.tcp_rpc = Some(measure_tcp_rpc(&h, config, &name));
+    run.udp_rpc = Some(measure_udp_rpc(&h, config, &name));
+    run.connect = Some(measure_connect(config, &name));
+    run.fs_lat = Some(measure_fs_lat(config, &name));
+    run.disk = Some(measure_disk(&h, config, &name));
+
+    // Remote tables compose measured loopback numbers with link models.
+    if let (Some(ipc), Some(tcp_rpc), Some(udp_rpc)) = (&run.ipc_bw, &run.tcp_rpc, &run.udp_rpc) {
+        if let Some(tcp_bw) = ipc.tcp {
+            run.remote_bw = lmb_net::remote::bandwidth_table(tcp_bw)
+                .into_iter()
+                .map(|r| RemoteBwRow {
+                    system: name.clone(),
+                    network: r.link.name.into(),
+                    tcp: r.total_mb_s,
+                })
+                .collect();
+        }
+        run.remote_lat = lmb_net::remote::latency_table(tcp_rpc.tcp_us)
+            .into_iter()
+            .map(|r| {
+                let udp = lmb_net::remote::remote_latency(r.link, udp_rpc.udp_us);
+                RemoteLatRow {
+                    system: name.clone(),
+                    network: r.link.name.into(),
+                    tcp_us: r.total_us,
+                    udp_us: udp.total_us,
+                }
+            })
+            .collect();
+    }
+
+    run
+}
+
+/// Table 2 row for this host.
+pub fn measure_mem_bw(h: &Harness, config: &SuiteConfig, name: &str) -> MemBwRow {
+    let r = lmb_mem::bw::measure_all(h, config.copy_bytes);
+    MemBwRow {
+        system: name.into(),
+        bcopy_unrolled: r.bcopy_unrolled.mb_per_s,
+        bcopy_libc: r.bcopy_libc.mb_per_s,
+        read: r.read.mb_per_s,
+        write: r.write.mb_per_s,
+    }
+}
+
+/// Table 3 row.
+pub fn measure_ipc_bw(h: &Harness, config: &SuiteConfig, name: &str) -> IpcBwRow {
+    let reps = config.options.repetitions.min(3);
+    let pipe = lmb_ipc::pipe_bw::measure_pipe_bw(
+        config.stream_total,
+        lmb_ipc::PIPE_CHUNK,
+        reps,
+        SummaryPolicy::Last,
+    );
+    let tcp = lmb_ipc::tcp_bw::measure_tcp_bw(
+        config.stream_total,
+        lmb_ipc::TCP_CHUNK,
+        lmb_ipc::TCP_SOCKBUF,
+        reps,
+        SummaryPolicy::Last,
+    );
+    IpcBwRow {
+        system: name.into(),
+        bcopy_libc: lmb_mem::bw::measure_bcopy_libc(h, config.copy_bytes).mb_per_s,
+        pipe: pipe.mb_per_s,
+        tcp: Some(tcp.mb_per_s),
+    }
+}
+
+/// Table 5 row.
+pub fn measure_file_bw(h: &Harness, config: &SuiteConfig, name: &str) -> FileBwRow {
+    let scratch = lmb_fs::ScratchFile::create("suite", config.file_bytes).expect("scratch file");
+    FileBwRow {
+        system: name.into(),
+        bcopy_libc: lmb_mem::bw::measure_bcopy_libc(h, config.copy_bytes).mb_per_s,
+        file_read: lmb_fs::measure_file_reread(h, scratch.path()).mb_per_s,
+        file_mmap: lmb_fs::measure_mmap_reread(h, scratch.path()).mb_per_s,
+        mem_read: lmb_mem::bw::measure_read(h, config.copy_bytes).mb_per_s,
+    }
+}
+
+/// Table 6 row, via the latency sweep and hierarchy analyzer.
+pub fn measure_cache_lat(h: &Harness, config: &SuiteConfig, name: &str) -> CacheLatRow {
+    let hier = lmb_mem::hierarchy::measure_hierarchy(h, config.sweep_max, 64)
+        .expect("hierarchy analysis");
+    let l1 = hier.l1();
+    let l2 = hier.l2();
+    CacheLatRow {
+        system: name.into(),
+        clock_ns: 0.0, // Modern CPUs scale frequency; a fixed clock is fiction.
+        l1_ns: l1.map(|l| l.latency_ns),
+        l1_size: l1.and_then(|l| l.capacity).map(|c| c as u64),
+        l2_ns: l2.map(|l| l.latency_ns),
+        l2_size: l2.and_then(|l| l.capacity).map(|c| c as u64),
+        memory_ns: hier.memory_latency_ns().unwrap_or(0.0),
+    }
+}
+
+/// Table 7 row.
+pub fn measure_syscall(h: &Harness, name: &str) -> SyscallRow {
+    SyscallRow {
+        system: name.into(),
+        syscall_us: lmb_proc::syscall::measure_write_devnull(h).as_micros(),
+    }
+}
+
+/// Table 8 row.
+pub fn measure_signal(h: &Harness, name: &str) -> SignalRow {
+    let c = lmb_proc::signal::measure_all(h);
+    SignalRow {
+        system: name.into(),
+        sigaction_us: c.install.as_micros(),
+        handler_us: c.dispatch.as_micros(),
+    }
+}
+
+/// Table 9 row.
+pub fn measure_proc(h: &Harness, name: &str) -> ProcRow {
+    let c = lmb_proc::proc::measure_all(h);
+    ProcRow {
+        system: name.into(),
+        fork_ms: c.fork_exit.value,
+        fork_exec_ms: c.fork_exec.value,
+        fork_sh_ms: c.fork_sh.value,
+    }
+}
+
+/// Table 10 row: the four corner configurations.
+pub fn measure_ctx(h: &Harness, config: &SuiteConfig, name: &str) -> CtxRow {
+    let cell = |processes: usize, footprint_bytes: usize| {
+        lmb_proc::ctx::measure(
+            h,
+            &lmb_proc::ctx::CtxOptions {
+                processes,
+                footprint_bytes,
+                passes: config.ctx_passes,
+            },
+        )
+        .per_switch
+        .as_micros()
+    };
+    CtxRow {
+        system: name.into(),
+        p2_0k: cell(2, 0),
+        p2_32k: cell(2, 32 << 10),
+        p8_0k: cell(8, 0),
+        p8_32k: cell(8, 32 << 10),
+    }
+}
+
+/// Table 11 row.
+pub fn measure_pipe_lat(h: &Harness, config: &SuiteConfig, name: &str) -> PipeLatRow {
+    PipeLatRow {
+        system: name.into(),
+        pipe_us: lmb_ipc::measure_pipe_latency(h, config.round_trips).as_micros(),
+    }
+}
+
+/// Table 12 row: raw TCP and RPC/TCP.
+pub fn measure_tcp_rpc(h: &Harness, config: &SuiteConfig, name: &str) -> TcpRpcRow {
+    let tcp = lmb_ipc::measure_tcp_latency(h, config.round_trips).as_micros();
+    let registry = lmb_rpc::Registry::new();
+    let server = lmb_rpc::RpcServer::start(registry.clone()).expect("rpc server");
+    server.register(
+        lmb_rpc::ECHO_PROGRAM,
+        lmb_rpc::ECHO_VERSION,
+        lmb_rpc::ECHO_PROC,
+        Box::new(Ok),
+    );
+    let rpc = lmb_rpc::client::measure_rpc_latency(
+        h,
+        &registry,
+        lmb_rpc::Protocol::Tcp,
+        config.round_trips,
+    )
+    .as_micros();
+    TcpRpcRow {
+        system: name.into(),
+        tcp_us: tcp,
+        rpc_tcp_us: rpc,
+    }
+}
+
+/// Table 13 row: raw UDP and RPC/UDP.
+pub fn measure_udp_rpc(h: &Harness, config: &SuiteConfig, name: &str) -> UdpRpcRow {
+    let udp = lmb_ipc::measure_udp_latency(h, config.round_trips).as_micros();
+    let registry = lmb_rpc::Registry::new();
+    let server = lmb_rpc::RpcServer::start(registry.clone()).expect("rpc server");
+    server.register(
+        lmb_rpc::ECHO_PROGRAM,
+        lmb_rpc::ECHO_VERSION,
+        lmb_rpc::ECHO_PROC,
+        Box::new(Ok),
+    );
+    let rpc = lmb_rpc::client::measure_rpc_latency(
+        h,
+        &registry,
+        lmb_rpc::Protocol::Udp,
+        config.round_trips,
+    )
+    .as_micros();
+    UdpRpcRow {
+        system: name.into(),
+        udp_us: udp,
+        rpc_udp_us: rpc,
+    }
+}
+
+/// Table 15 row.
+pub fn measure_connect(config: &SuiteConfig, name: &str) -> ConnectRow {
+    ConnectRow {
+        system: name.into(),
+        connect_us: lmb_ipc::measure_tcp_connect(config.connect_attempts).as_micros(),
+    }
+}
+
+/// Table 16 row.
+pub fn measure_fs_lat(config: &SuiteConfig, name: &str) -> FsLatRow {
+    let r = lmb_fs::create_delete::measure_in_tempdir(config.fs_files);
+    FsLatRow {
+        system: name.into(),
+        fs: detect_fs_type(),
+        create_us: r.create.as_micros(),
+        delete_us: r.delete.as_micros(),
+    }
+}
+
+/// Table 17 row against the simulated classic drive.
+pub fn measure_disk(h: &Harness, config: &SuiteConfig, name: &str) -> DiskRow {
+    let mut disk = lmb_disk::SimDisk::classic_1995();
+    let r = lmb_disk::measure_overhead(h, &mut disk, config.disk_ops);
+    DiskRow {
+        system: name.into(),
+        overhead_us: r.service.as_micros() + r.host_cpu.as_micros(),
+    }
+}
+
+/// Best-effort file-system type of the temp directory.
+fn detect_fs_type() -> String {
+    let mounts = std::fs::read_to_string("/proc/mounts").unwrap_or_default();
+    let tmp = std::env::temp_dir();
+    let mut best: (usize, &str) = (0, "unknown");
+    for line in mounts.lines() {
+        let mut fields = line.split_whitespace();
+        let (Some(_dev), Some(mount), Some(fstype)) =
+            (fields.next(), fields.next(), fields.next())
+        else {
+            continue;
+        };
+        if tmp.starts_with(mount) && mount.len() >= best.0 {
+            best = (mount.len(), fstype);
+        }
+    }
+    best.1.to_uppercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> (Harness, SuiteConfig) {
+        let c = SuiteConfig::quick();
+        (Harness::new(c.options), c)
+    }
+
+    #[test]
+    fn syscall_row_is_sane() {
+        let (h, _) = quick();
+        let r = measure_syscall(&h, "host");
+        assert!(r.syscall_us > 0.0 && r.syscall_us < 1000.0);
+    }
+
+    #[test]
+    fn mem_bw_row_is_sane() {
+        let (h, c) = quick();
+        let r = measure_mem_bw(&h, &c, "host");
+        for v in [r.bcopy_unrolled, r.bcopy_libc, r.read, r.write] {
+            assert!(v > 0.0 && v.is_finite());
+        }
+    }
+
+    #[test]
+    fn fs_type_detection_returns_something() {
+        let t = detect_fs_type();
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn disk_row_is_paper_scale() {
+        let (h, c) = quick();
+        let r = measure_disk(&h, &c, "host");
+        // Command overhead constant is 100us; total must exceed it.
+        assert!(r.overhead_us > 100.0, "{}", r.overhead_us);
+        assert!(r.overhead_us < 10_000.0);
+    }
+
+    #[test]
+    fn tcp_rpc_row_shows_rpc_tax() {
+        let (h, mut c) = quick();
+        c.round_trips = 30;
+        let r = measure_tcp_rpc(&h, &c, "host");
+        assert!(r.tcp_us > 0.0);
+        assert!(
+            r.rpc_tcp_us > r.tcp_us * 0.8,
+            "RPC {} implausibly below raw TCP {}",
+            r.rpc_tcp_us,
+            r.tcp_us
+        );
+    }
+}

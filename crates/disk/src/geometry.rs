@@ -1,0 +1,175 @@
+//! Disk geometry: mapping byte offsets to cylinder/track/sector and the
+//! physics constants the service-time model needs.
+
+/// Physical layout of a simulated drive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskGeometry {
+    /// Bytes per sector (512 for every drive of the era).
+    pub sector_bytes: u32,
+    /// Sectors per track.
+    pub sectors_per_track: u32,
+    /// Tracks per cylinder (number of heads).
+    pub tracks_per_cylinder: u32,
+    /// Total cylinders.
+    pub cylinders: u32,
+    /// Spindle speed.
+    pub rpm: u32,
+    /// Single-cylinder seek time, milliseconds.
+    pub seek_min_ms: f64,
+    /// Full-stroke seek time, milliseconds.
+    pub seek_max_ms: f64,
+}
+
+impl DiskGeometry {
+    /// A mid-1990s fast SCSI drive: 512-byte sectors, 64 KB tracks, 8
+    /// heads, ~2 GB, 7200 rpm, 1–18 ms seeks.
+    pub fn classic_1995() -> Self {
+        Self {
+            sector_bytes: 512,
+            sectors_per_track: 128,
+            tracks_per_cylinder: 8,
+            cylinders: 3984,
+            rpm: 7200,
+            seek_min_ms: 1.0,
+            seek_max_ms: 18.0,
+        }
+    }
+
+    /// Bytes per track.
+    pub fn track_bytes(&self) -> u64 {
+        u64::from(self.sector_bytes) * u64::from(self.sectors_per_track)
+    }
+
+    /// Bytes per cylinder.
+    pub fn cylinder_bytes(&self) -> u64 {
+        self.track_bytes() * u64::from(self.tracks_per_cylinder)
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.cylinder_bytes() * u64::from(self.cylinders)
+    }
+
+    /// One full revolution, in microseconds.
+    pub fn revolution_us(&self) -> f64 {
+        60e6 / f64::from(self.rpm)
+    }
+
+    /// Sustained media transfer rate while on-track, MB/s (2^20 bytes).
+    pub fn media_rate_mb_s(&self) -> f64 {
+        let bytes_per_rev = self.track_bytes() as f64;
+        bytes_per_rev / (1 << 20) as f64 / (self.revolution_us() / 1e6)
+    }
+
+    /// Decomposes a byte offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is at or beyond capacity.
+    pub fn address(&self, offset: u64) -> DiskAddress {
+        assert!(offset < self.capacity(), "offset beyond end of disk");
+        let sector_index = offset / u64::from(self.sector_bytes);
+        let track_index = sector_index / u64::from(self.sectors_per_track);
+        let cylinder = track_index / u64::from(self.tracks_per_cylinder);
+        DiskAddress {
+            cylinder: cylinder as u32,
+            track: (track_index % u64::from(self.tracks_per_cylinder)) as u32,
+            sector: (sector_index % u64::from(self.sectors_per_track)) as u32,
+            track_index,
+        }
+    }
+
+    /// Seek time between cylinders: the classic `min + (max - min) *
+    /// sqrt(distance / stroke)` curve (short seeks are settle-dominated,
+    /// long seeks velocity-limited).
+    pub fn seek_us(&self, from_cyl: u32, to_cyl: u32) -> f64 {
+        if from_cyl == to_cyl {
+            return 0.0;
+        }
+        let dist = f64::from(from_cyl.abs_diff(to_cyl));
+        let stroke = f64::from(self.cylinders.max(2) - 1);
+        (self.seek_min_ms + (self.seek_max_ms - self.seek_min_ms) * (dist / stroke).sqrt()) * 1e3
+    }
+}
+
+/// A decomposed disk location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskAddress {
+    /// Cylinder number.
+    pub cylinder: u32,
+    /// Track within the cylinder (head).
+    pub track: u32,
+    /// Sector within the track.
+    pub sector: u32,
+    /// Absolute track number across the whole disk.
+    pub track_index: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_drive_is_about_2gb() {
+        let g = DiskGeometry::classic_1995();
+        let gb = g.capacity() as f64 / (1u64 << 30) as f64;
+        assert!((1.5..2.5).contains(&gb), "capacity {gb} GB");
+    }
+
+    #[test]
+    fn address_decomposition_round_trips() {
+        let g = DiskGeometry::classic_1995();
+        let addr = g.address(0);
+        assert_eq!((addr.cylinder, addr.track, addr.sector), (0, 0, 0));
+
+        // One full track in: track 1, sector 0.
+        let addr = g.address(g.track_bytes());
+        assert_eq!((addr.cylinder, addr.track, addr.sector), (0, 1, 0));
+
+        // One full cylinder in: cylinder 1.
+        let addr = g.address(g.cylinder_bytes());
+        assert_eq!((addr.cylinder, addr.track, addr.sector), (1, 0, 0));
+
+        // Last byte.
+        let addr = g.address(g.capacity() - 1);
+        assert_eq!(addr.cylinder, g.cylinders - 1);
+        assert_eq!(addr.track, g.tracks_per_cylinder - 1);
+        assert_eq!(addr.sector, g.sectors_per_track - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond end")]
+    fn address_beyond_capacity_panics() {
+        let g = DiskGeometry::classic_1995();
+        g.address(g.capacity());
+    }
+
+    #[test]
+    fn revolution_time_matches_rpm() {
+        let g = DiskGeometry::classic_1995();
+        // 7200 rpm = 120 rev/s = 8333us per revolution.
+        assert!((g.revolution_us() - 8333.3).abs() < 1.0);
+    }
+
+    #[test]
+    fn seek_curve_is_monotone_and_bounded() {
+        let g = DiskGeometry::classic_1995();
+        assert_eq!(g.seek_us(100, 100), 0.0);
+        let mut last = 0.0;
+        for dist in [1u32, 2, 10, 100, 1000, g.cylinders - 1] {
+            let t = g.seek_us(0, dist);
+            assert!(t >= last, "seek not monotone at distance {dist}");
+            last = t;
+        }
+        assert!((g.seek_us(0, g.cylinders - 1) - g.seek_max_ms * 1e3).abs() < 1.0);
+        assert!(g.seek_us(0, 1) >= g.seek_min_ms * 1e3);
+    }
+
+    #[test]
+    fn media_rate_is_era_plausible() {
+        // 64KB per 8.3ms revolution ≈ 7.5 MB/s — matches the paper's
+        // "6M/second to be disk speed" footnote.
+        let rate = DiskGeometry::classic_1995().media_rate_mb_s();
+        assert!((5.0..10.0).contains(&rate), "media rate {rate} MB/s");
+    }
+}

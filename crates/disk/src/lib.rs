@@ -1,0 +1,30 @@
+//! Simulated SCSI disk substrate and the §6.9 disk-overhead benchmark.
+//!
+//! The paper's disk experiment needs a raw SCSI disk with a 32–128 KB track
+//! read-ahead buffer: "The benchmark simulates a large number of disks by
+//! reading 512byte transfers sequentially from the raw disk device ...
+//! Since the disk can read ahead faster than the system can request data,
+//! the benchmark is doing small transfers of data from the disk's track
+//! buffer. Another way to look at this is that the benchmark is doing
+//! memory-to-memory transfers across a SCSI channel."
+//!
+//! We do not have that hardware, so this crate builds the disk: a
+//! geometry-accurate model ([`geometry`]) with a seek curve, rotational
+//! position, a track read-ahead buffer and a SCSI bus with per-command
+//! overhead ([`model`]). The Table 17 experiment ([`overhead`]) then runs
+//! the same 512-byte sequential-read workload against it, reporting both
+//! the model's per-command service time and the *real, measured* host CPU
+//! cost of driving a command through the stack — the processor-overhead
+//! lower bound the paper is after. The drives-per-system saturation
+//! estimate ("how many drives a system can support before the system
+//! becomes CPU-limited") falls out of the same numbers.
+
+pub mod geometry;
+pub mod model;
+pub mod overhead;
+pub mod zbr;
+
+pub use geometry::{DiskAddress, DiskGeometry};
+pub use model::{ScsiBus, ServiceTime, SimDisk, TrackBuffer};
+pub use overhead::{measure_overhead, saturation_drives, OverheadReport};
+pub use zbr::{Zone, ZonedDisk};

@@ -1,0 +1,468 @@
+//! The disk service-time model: SCSI bus, track read-ahead buffer,
+//! rotational position, seeks.
+//!
+//! The piece of 1995 reality that makes the paper's experiment work is the
+//! track buffer: "most disks have 32-128K read-ahead buffers and ... they
+//! can read ahead faster than the processor can request the chunks of
+//! data." A sequential 512-byte read stream therefore hits the buffer on
+//! all but the first request per track, and each request costs only the
+//! SCSI command overhead plus 512 bytes of bus time.
+
+use crate::geometry::DiskGeometry;
+
+/// SCSI bus and controller characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScsiBus {
+    /// Burst transfer rate over the bus, MB/s (fast-wide SCSI-2: 20).
+    pub rate_mb_s: f64,
+    /// Fixed per-command cost: selection, command transfer, status,
+    /// controller firmware — the bus-side share of per-op overhead, µs.
+    pub command_overhead_us: f64,
+}
+
+impl ScsiBus {
+    /// Fast-wide SCSI-2 era defaults.
+    pub fn fast_wide() -> Self {
+        Self {
+            rate_mb_s: 20.0,
+            command_overhead_us: 100.0,
+        }
+    }
+
+    /// Bus time to move `bytes`, µs.
+    pub fn transfer_us(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.rate_mb_s * (1 << 20) as f64) * 1e6
+    }
+}
+
+/// The drive's track read-ahead buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackBuffer {
+    /// Capacity in bytes (32–128 KB in the paper's drives).
+    pub capacity: u64,
+    /// Absolute track numbers currently buffered, oldest first.
+    resident: Vec<u64>,
+}
+
+impl TrackBuffer {
+    /// Creates an empty buffer of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            resident: Vec::new(),
+        }
+    }
+
+    /// How many whole tracks fit.
+    pub fn tracks_fitting(&self, track_bytes: u64) -> usize {
+        (self.capacity / track_bytes.max(1)) as usize
+    }
+
+    /// True if `track` is buffered.
+    pub fn contains(&self, track: u64) -> bool {
+        self.resident.contains(&track)
+    }
+
+    /// Inserts `track`, evicting oldest entries to respect capacity.
+    pub fn fill(&mut self, track: u64, track_bytes: u64) {
+        if self.contains(track) {
+            return;
+        }
+        let cap = self.tracks_fitting(track_bytes).max(1);
+        while self.resident.len() >= cap {
+            self.resident.remove(0);
+        }
+        self.resident.push(track);
+    }
+
+    /// Drops all buffered data.
+    pub fn invalidate(&mut self) {
+        self.resident.clear();
+    }
+}
+
+/// Breakdown of one request's service time (all µs of *virtual* time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceTime {
+    /// Fixed SCSI command cost.
+    pub command_us: f64,
+    /// Arm movement.
+    pub seek_us: f64,
+    /// Rotational wait.
+    pub rotation_us: f64,
+    /// On-media transfer (zero on buffer hits).
+    pub media_us: f64,
+    /// Bus transfer of the requested bytes.
+    pub bus_us: f64,
+    /// Whether the track buffer satisfied the request.
+    pub buffer_hit: bool,
+}
+
+impl ServiceTime {
+    /// Total service time, µs.
+    pub fn total_us(&self) -> f64 {
+        self.command_us + self.seek_us + self.rotation_us + self.media_us + self.bus_us
+    }
+}
+
+/// A simulated disk: geometry + bus + buffer + head/rotor state.
+#[derive(Debug, Clone)]
+pub struct SimDisk {
+    /// Physical layout.
+    pub geometry: DiskGeometry,
+    /// Bus characteristics.
+    pub bus: ScsiBus,
+    buffer: TrackBuffer,
+    head_cylinder: u32,
+    /// Virtual time since spin-up, µs; rotational position derives from it.
+    now_us: f64,
+}
+
+impl SimDisk {
+    /// Builds a drive with a track buffer of `buffer_bytes`.
+    pub fn new(geometry: DiskGeometry, bus: ScsiBus, buffer_bytes: u64) -> Self {
+        Self {
+            geometry,
+            bus,
+            buffer: TrackBuffer::new(buffer_bytes),
+            head_cylinder: 0,
+            now_us: 0.0,
+        }
+    }
+
+    /// A paper-typical drive: classic geometry, fast-wide bus, 64 KB
+    /// buffer.
+    pub fn classic_1995() -> Self {
+        Self::new(
+            DiskGeometry::classic_1995(),
+            ScsiBus::fast_wide(),
+            64 << 10,
+        )
+    }
+
+    /// Virtual clock, µs since spin-up.
+    pub fn now_us(&self) -> f64 {
+        self.now_us
+    }
+
+    /// Rotational angle as a sector index at virtual time `t_us`.
+    fn sector_under_head(&self, t_us: f64) -> f64 {
+        let rev = self.geometry.revolution_us();
+        (t_us % rev) / rev * f64::from(self.geometry.sectors_per_track)
+    }
+
+    /// Services one read of `bytes` at byte `offset`, advancing virtual
+    /// time; returns the time breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request crosses the end of the disk or `bytes` is 0.
+    pub fn read(&mut self, offset: u64, bytes: u64) -> ServiceTime {
+        assert!(bytes > 0, "zero-byte read");
+        assert!(
+            offset + bytes <= self.geometry.capacity(),
+            "read past end of disk"
+        );
+        let addr = self.geometry.address(offset);
+        let bus_us = self.bus.transfer_us(bytes);
+        let command_us = self.bus.command_overhead_us;
+
+        if self.buffer.contains(addr.track_index) {
+            // Buffer hit: no mechanical work at all — "memory-to-memory
+            // transfers across a SCSI channel".
+            let t = ServiceTime {
+                command_us,
+                seek_us: 0.0,
+                rotation_us: 0.0,
+                media_us: 0.0,
+                bus_us,
+                buffer_hit: true,
+            };
+            self.now_us += t.total_us();
+            return t;
+        }
+
+        // Miss: seek, wait for the requested sector, then read ahead the
+        // whole track into the buffer (one revolution from first sector
+        // touch; we bill media time for the request itself and let the
+        // read-ahead complete "behind" subsequent hits, as real drives do).
+        let seek_us = self.geometry.seek_us(self.head_cylinder, addr.cylinder);
+        self.head_cylinder = addr.cylinder;
+
+        let arrive = self.now_us + command_us + seek_us;
+        let rev_us = self.geometry.revolution_us();
+        let sector_now = self.sector_under_head(arrive);
+        let want = f64::from(addr.sector);
+        let sectors_away = (want - sector_now).rem_euclid(f64::from(self.geometry.sectors_per_track));
+        let rotation_us = sectors_away / f64::from(self.geometry.sectors_per_track) * rev_us;
+
+        let sectors = bytes.div_ceil(u64::from(self.geometry.sector_bytes));
+        let media_us =
+            sectors as f64 / f64::from(self.geometry.sectors_per_track) * rev_us;
+
+        self.buffer
+            .fill(addr.track_index, self.geometry.track_bytes());
+
+        let t = ServiceTime {
+            command_us,
+            seek_us,
+            rotation_us,
+            media_us,
+            bus_us,
+            buffer_hit: false,
+        };
+        self.now_us += t.total_us();
+        t
+    }
+
+    /// Drops buffered tracks (e.g. to model a cache-flushing run).
+    pub fn invalidate_buffer(&mut self) {
+        self.buffer.invalidate();
+    }
+
+    /// Services one write of `bytes` at `offset`, advancing virtual time.
+    ///
+    /// With `write_cache` the drive acknowledges as soon as the data is in
+    /// its buffer (command + bus time only), destaging behind the host's
+    /// back — era drives shipped this way, which is exactly why the
+    /// paper's §6.8 file-system-integrity discussion distinguishes systems
+    /// that force synchronous metadata writes. Without it the write pays
+    /// the full mechanical path like a buffer-missing read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request crosses the end of the disk or `bytes` is 0.
+    pub fn write(&mut self, offset: u64, bytes: u64, write_cache: bool) -> ServiceTime {
+        assert!(bytes > 0, "zero-byte write");
+        assert!(
+            offset + bytes <= self.geometry.capacity(),
+            "write past end of disk"
+        );
+        let bus_us = self.bus.transfer_us(bytes);
+        let command_us = self.bus.command_overhead_us;
+        if write_cache {
+            let t = ServiceTime {
+                command_us,
+                seek_us: 0.0,
+                rotation_us: 0.0,
+                media_us: 0.0,
+                bus_us,
+                buffer_hit: true,
+            };
+            self.now_us += t.total_us();
+            return t;
+        }
+        // Write-through: position the head and put the sectors on media.
+        let addr = self.geometry.address(offset);
+        let seek_us = self.geometry.seek_us(self.head_cylinder, addr.cylinder);
+        self.head_cylinder = addr.cylinder;
+        let arrive = self.now_us + command_us + seek_us;
+        let rev_us = self.geometry.revolution_us();
+        let sector_now = self.sector_under_head(arrive);
+        let want = f64::from(addr.sector);
+        let sectors_away =
+            (want - sector_now).rem_euclid(f64::from(self.geometry.sectors_per_track));
+        let rotation_us = sectors_away / f64::from(self.geometry.sectors_per_track) * rev_us;
+        let sectors = bytes.div_ceil(u64::from(self.geometry.sector_bytes));
+        let media_us = sectors as f64 / f64::from(self.geometry.sectors_per_track) * rev_us;
+        // The written track's old buffered contents are stale.
+        self.buffer.invalidate();
+        let t = ServiceTime {
+            command_us,
+            seek_us,
+            rotation_us,
+            media_us,
+            bus_us,
+            buffer_hit: false,
+        };
+        self.now_us += t.total_us();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_read_misses_second_hits() {
+        let mut d = SimDisk::classic_1995();
+        let a = d.read(0, 512);
+        assert!(!a.buffer_hit);
+        assert!(a.total_us() > a.command_us + a.bus_us);
+        let b = d.read(512, 512);
+        assert!(b.buffer_hit);
+        assert_eq!(b.seek_us, 0.0);
+        assert_eq!(b.media_us, 0.0);
+    }
+
+    #[test]
+    fn hit_is_always_faster_than_the_miss_that_filled_it() {
+        let mut d = SimDisk::classic_1995();
+        let miss = d.read(0, 512).total_us();
+        let hit = d.read(1024, 512).total_us();
+        assert!(hit < miss, "hit {hit}us >= miss {miss}us");
+    }
+
+    #[test]
+    fn sequential_track_crossing_misses_once_per_track() {
+        let mut d = SimDisk::classic_1995();
+        let track = d.geometry.track_bytes();
+        let mut misses = 0;
+        let reads = (track / 512) * 3; // Three tracks of 512B reads.
+        for i in 0..reads {
+            if !d.read(i * 512, 512).buffer_hit {
+                misses += 1;
+            }
+        }
+        assert_eq!(misses, 3);
+    }
+
+    #[test]
+    fn random_reads_mostly_miss() {
+        let mut d = SimDisk::classic_1995();
+        let cap = d.geometry.capacity();
+        let mut misses = 0;
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..100 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let offset = (state % (cap / 512 - 1)) * 512;
+            if !d.read(offset, 512).buffer_hit {
+                misses += 1;
+            }
+        }
+        assert!(misses >= 95, "only {misses}/100 random reads missed");
+    }
+
+    #[test]
+    fn buffer_evicts_oldest_track() {
+        let mut buf = TrackBuffer::new(2 * 65536);
+        buf.fill(10, 65536);
+        buf.fill(11, 65536);
+        buf.fill(12, 65536);
+        assert!(!buf.contains(10), "oldest track not evicted");
+        assert!(buf.contains(11) && buf.contains(12));
+    }
+
+    #[test]
+    fn invalidate_forces_miss() {
+        let mut d = SimDisk::classic_1995();
+        d.read(0, 512);
+        assert!(d.read(512, 512).buffer_hit);
+        d.invalidate_buffer();
+        assert!(!d.read(1024, 512).buffer_hit);
+    }
+
+    #[test]
+    fn virtual_time_advances_by_service_time() {
+        let mut d = SimDisk::classic_1995();
+        let before = d.now_us();
+        let t = d.read(0, 512);
+        assert!((d.now_us() - before - t.total_us()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_wait_is_under_one_revolution() {
+        let mut d = SimDisk::classic_1995();
+        for offset in [0u64, 123 * 512, 1 << 20, 5 << 20] {
+            d.invalidate_buffer();
+            let t = d.read(offset, 512);
+            assert!(
+                t.rotation_us < d.geometry.revolution_us(),
+                "rotation {t:?} exceeds a revolution"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_write_is_cheap_uncached_is_mechanical() {
+        let mut d = SimDisk::classic_1995();
+        let cached = d.write(0, 4096, true);
+        assert!(cached.buffer_hit);
+        assert_eq!(cached.seek_us + cached.rotation_us + cached.media_us, 0.0);
+        let mut d = SimDisk::classic_1995();
+        let through = d.write(5 << 20, 4096, false);
+        assert!(!through.buffer_hit);
+        assert!(through.total_us() > cached.total_us() * 2.0);
+    }
+
+    #[test]
+    fn write_through_invalidates_stale_buffer() {
+        let mut d = SimDisk::classic_1995();
+        d.read(0, 512);
+        assert!(d.read(512, 512).buffer_hit);
+        d.write(0, 512, false);
+        assert!(!d.read(1024, 512).buffer_hit, "stale track survived a write");
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn write_past_capacity_panics() {
+        let mut d = SimDisk::classic_1995();
+        let cap = d.geometry.capacity();
+        d.write(cap - 256, 512, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn read_past_capacity_panics() {
+        let mut d = SimDisk::classic_1995();
+        let cap = d.geometry.capacity();
+        d.read(cap - 256, 512);
+    }
+
+    #[test]
+    fn bus_time_scales_with_bytes() {
+        let bus = ScsiBus::fast_wide();
+        let t512 = bus.transfer_us(512);
+        let t64k = bus.transfer_us(64 << 10);
+        assert!((t64k / t512 - 128.0).abs() < 1e-9);
+        // 512B at 20MB/s ≈ 24us.
+        assert!((20.0..30.0).contains(&t512), "512B bus time {t512}us");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every read costs at least the command overhead plus bus time,
+        /// and the virtual clock only moves forward.
+        #[test]
+        fn service_time_floor_and_clock_monotone(
+            offsets in proptest::collection::vec(0u64..3_000_000, 1..50),
+        ) {
+            let mut d = SimDisk::classic_1995();
+            let mut last_now = d.now_us();
+            for &block in &offsets {
+                let offset = block * 512 % (d.geometry.capacity() - 512);
+                let t = d.read(offset, 512);
+                let floor = d.bus.command_overhead_us + d.bus.transfer_us(512);
+                prop_assert!(t.total_us() >= floor - 1e-9);
+                prop_assert!(d.now_us() > last_now);
+                last_now = d.now_us();
+            }
+        }
+
+        /// Rotation waits never reach a full revolution; seeks never
+        /// exceed the full stroke.
+        #[test]
+        fn mechanical_bounds(offsets in proptest::collection::vec(0u64..3_000_000, 1..50)) {
+            let mut d = SimDisk::classic_1995();
+            let rev = d.geometry.revolution_us();
+            let max_seek = d.geometry.seek_us(0, d.geometry.cylinders - 1);
+            for &block in &offsets {
+                let offset = block * 512 % (d.geometry.capacity() - 512);
+                let t = d.read(offset, 512);
+                prop_assert!(t.rotation_us < rev);
+                prop_assert!(t.seek_us <= max_seek + 1e-9);
+            }
+        }
+    }
+}

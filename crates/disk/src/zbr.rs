@@ -1,0 +1,282 @@
+//! Zone-bit recording: outer tracks hold more sectors.
+//!
+//! The classic-1995 model in [`crate::geometry`] uses constant
+//! sectors-per-track; real drives of the era were already zoned — constant
+//! linear density means outer cylinders stream faster than inner ones,
+//! which is exactly what `lmdd`-style sequential sweeps across a raw disk
+//! reveal (the canonical "bandwidth staircase" plot users produced with
+//! the original tool). This module adds that dimension.
+
+/// One recording zone: a contiguous cylinder range at one sectors-per-track
+/// value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Zone {
+    /// First cylinder of the zone.
+    pub first_cylinder: u32,
+    /// Cylinders in the zone.
+    pub cylinders: u32,
+    /// Sectors per track within the zone.
+    pub sectors_per_track: u32,
+}
+
+/// A zoned drive: geometry-lite (sector size, heads, rpm) plus zones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZonedDisk {
+    /// Bytes per sector.
+    pub sector_bytes: u32,
+    /// Tracks per cylinder.
+    pub tracks_per_cylinder: u32,
+    /// Spindle speed.
+    pub rpm: u32,
+    zones: Vec<Zone>,
+    /// Cumulative capacity at the start of each zone, bytes.
+    zone_starts: Vec<u64>,
+}
+
+impl ZonedDisk {
+    /// Builds a zoned drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zones` is empty, zones are not contiguous from cylinder
+    /// zero, or any zone is empty.
+    pub fn new(sector_bytes: u32, tracks_per_cylinder: u32, rpm: u32, zones: Vec<Zone>) -> Self {
+        assert!(!zones.is_empty(), "need at least one zone");
+        let mut expected_first = 0u32;
+        for z in &zones {
+            assert_eq!(z.first_cylinder, expected_first, "zones must be contiguous");
+            assert!(z.cylinders > 0, "empty zone");
+            assert!(z.sectors_per_track > 0, "zone with no sectors");
+            expected_first += z.cylinders;
+        }
+        let mut zone_starts = Vec::with_capacity(zones.len());
+        let mut acc = 0u64;
+        for z in &zones {
+            zone_starts.push(acc);
+            acc += u64::from(z.cylinders)
+                * u64::from(tracks_per_cylinder)
+                * u64::from(z.sectors_per_track)
+                * u64::from(sector_bytes);
+        }
+        Self {
+            sector_bytes,
+            tracks_per_cylinder,
+            rpm,
+            zones,
+            zone_starts,
+        }
+    }
+
+    /// A 1995-plausible three-zone drive: 160/128/96 sectors per track
+    /// outer to inner (75/60/45 KB tracks), 8 heads, 7200 rpm, ~2.3 GB.
+    pub fn classic_zoned() -> Self {
+        Self::new(
+            512,
+            8,
+            7200,
+            vec![
+                Zone {
+                    first_cylinder: 0,
+                    cylinders: 1300,
+                    sectors_per_track: 160,
+                },
+                Zone {
+                    first_cylinder: 1300,
+                    cylinders: 1300,
+                    sectors_per_track: 128,
+                },
+                Zone {
+                    first_cylinder: 2600,
+                    cylinders: 1384,
+                    sectors_per_track: 96,
+                },
+            ],
+        )
+    }
+
+    /// Total capacity, bytes.
+    pub fn capacity(&self) -> u64 {
+        let last = self.zones.len() - 1;
+        self.zone_starts[last]
+            + u64::from(self.zones[last].cylinders)
+                * u64::from(self.tracks_per_cylinder)
+                * u64::from(self.zones[last].sectors_per_track)
+                * u64::from(self.sector_bytes)
+    }
+
+    /// The zone containing byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is at or beyond capacity.
+    pub fn zone_of(&self, offset: u64) -> &Zone {
+        assert!(offset < self.capacity(), "offset beyond end of disk");
+        let idx = match self.zone_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        &self.zones[idx]
+    }
+
+    /// One revolution, µs.
+    pub fn revolution_us(&self) -> f64 {
+        60e6 / f64::from(self.rpm)
+    }
+
+    /// Sustained media rate at `offset`, MB/s — higher in outer zones.
+    pub fn media_rate_mb_s(&self, offset: u64) -> f64 {
+        let z = self.zone_of(offset);
+        let track_bytes = f64::from(z.sectors_per_track) * f64::from(self.sector_bytes);
+        track_bytes / (1 << 20) as f64 / (self.revolution_us() / 1e6)
+    }
+
+    /// Time to stream `bytes` starting at `offset` with the head already
+    /// on track, µs (crossing into slower zones is accounted for).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds capacity or `bytes` is zero.
+    pub fn stream_us(&self, offset: u64, bytes: u64) -> f64 {
+        assert!(bytes > 0, "zero-byte stream");
+        assert!(offset + bytes <= self.capacity(), "stream past end of disk");
+        let mut remaining = bytes;
+        let mut pos = offset;
+        let mut us = 0.0;
+        while remaining > 0 {
+            let zone_idx = match self.zone_starts.binary_search(&pos) {
+                Ok(i) => i,
+                Err(i) => i - 1,
+            };
+            let zone_end = self
+                .zone_starts
+                .get(zone_idx + 1)
+                .copied()
+                .unwrap_or_else(|| self.capacity());
+            let chunk = remaining.min(zone_end - pos);
+            let rate_bytes_per_us = self.media_rate_mb_s(pos) * (1 << 20) as f64 / 1e6;
+            us += chunk as f64 / rate_bytes_per_us;
+            pos += chunk;
+            remaining -= chunk;
+        }
+        us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_zoned_capacity_is_about_2gb() {
+        let d = ZonedDisk::classic_zoned();
+        let gb = d.capacity() as f64 / (1u64 << 30) as f64;
+        assert!((1.5..3.0).contains(&gb), "{gb} GB");
+    }
+
+    #[test]
+    fn outer_zone_streams_faster_than_inner() {
+        let d = ZonedDisk::classic_zoned();
+        let outer = d.media_rate_mb_s(0);
+        let inner = d.media_rate_mb_s(d.capacity() - 512);
+        assert!(
+            outer > inner * 1.5,
+            "outer {outer} MB/s vs inner {inner} MB/s"
+        );
+        // 160 sectors * 512B per 8.33ms rev = ~9.4 MB/s outer.
+        assert!((7.0..12.0).contains(&outer), "outer {outer}");
+    }
+
+    #[test]
+    fn zone_lookup_hits_boundaries_exactly() {
+        let d = ZonedDisk::classic_zoned();
+        assert_eq!(d.zone_of(0).sectors_per_track, 160);
+        let second_start = d.zone_starts[1];
+        assert_eq!(d.zone_of(second_start - 1).sectors_per_track, 160);
+        assert_eq!(d.zone_of(second_start).sectors_per_track, 128);
+        assert_eq!(d.zone_of(d.capacity() - 1).sectors_per_track, 96);
+    }
+
+    #[test]
+    fn stream_time_scales_inversely_with_rate() {
+        let d = ZonedDisk::classic_zoned();
+        let mb = 1u64 << 20;
+        let outer = d.stream_us(0, mb);
+        let inner = d.stream_us(d.capacity() - 2 * mb, mb);
+        assert!(inner > outer, "inner {inner}us not slower than outer {outer}us");
+        // Ratio equals the sectors-per-track ratio (160/96).
+        let ratio = inner / outer;
+        assert!((ratio - 160.0 / 96.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn stream_across_zone_boundary_blends_rates() {
+        let d = ZonedDisk::classic_zoned();
+        let boundary = d.zone_starts[1];
+        let span = 4u64 << 20;
+        let crossing = d.stream_us(boundary - span / 2, span);
+        let pure_fast = d.stream_us(boundary - span, span);
+        let pure_slow = d.stream_us(boundary, span);
+        assert!(crossing > pure_fast && crossing < pure_slow);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn gapped_zones_rejected() {
+        ZonedDisk::new(
+            512,
+            8,
+            7200,
+            vec![
+                Zone {
+                    first_cylinder: 0,
+                    cylinders: 10,
+                    sectors_per_track: 100,
+                },
+                Zone {
+                    first_cylinder: 11,
+                    cylinders: 10,
+                    sectors_per_track: 90,
+                },
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond end")]
+    fn zone_of_past_capacity_panics() {
+        let d = ZonedDisk::classic_zoned();
+        d.zone_of(d.capacity());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Streaming is additive: a range costs the same as its two
+        /// halves.
+        #[test]
+        fn stream_time_additive(start in 0u64..1_000_000, a in 1u64..500_000, b in 1u64..500_000) {
+            let d = ZonedDisk::classic_zoned();
+            let start = start * 512 % (d.capacity() / 2);
+            let whole = d.stream_us(start, a + b);
+            let halves = d.stream_us(start, a) + d.stream_us(start + a, b);
+            prop_assert!((whole - halves).abs() < 1e-6 * whole.max(1.0));
+        }
+
+        /// Media rate never increases toward the spindle.
+        #[test]
+        fn rates_monotone_inward(a in 0u64..4_000_000, b in 0u64..4_000_000) {
+            let d = ZonedDisk::classic_zoned();
+            let cap = d.capacity();
+            let (near, far) = {
+                let x = a * 512 % cap;
+                let y = b * 512 % cap;
+                if x <= y { (x, y) } else { (y, x) }
+            };
+            prop_assert!(d.media_rate_mb_s(near) >= d.media_rate_mb_s(far));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! File-system create/delete latency (paper §6.8, Table 16).
+//!
+//! "File system latency is defined as the time required to create or delete
+//! a zero length file. ... The benchmark creates 1,000 zero-sized files and
+//! then deletes them. All the files are created in one directory and their
+//! names are short, such as "a", "b", "c", ... "aa", "ab", ..."
+//!
+//! The paper's spread here was three orders of magnitude: systems doing
+//! synchronous directory updates (BSD FFS) paid tens of milliseconds per
+//! file, log or in-memory systems (XFS, ext2) tens to hundreds of
+//! microseconds.
+
+use lmb_timing::clock::Stopwatch;
+use lmb_timing::{Latency, TimeUnit};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Per-file create and delete latencies — one Table 16 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CreateDeleteResult {
+    /// Files created/deleted.
+    pub files: usize,
+    /// Per-file creation latency.
+    pub create: Latency,
+    /// Per-file deletion latency.
+    pub delete: Latency,
+}
+
+/// Generates the paper's short names: "a".."z", "aa", "ab", ... (bijective
+/// base-26).
+pub fn short_name(mut i: usize) -> String {
+    let mut out = Vec::new();
+    loop {
+        out.push(b'a' + (i % 26) as u8);
+        i /= 26;
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+    }
+    out.reverse();
+    String::from_utf8(out).expect("ascii")
+}
+
+/// Creates `files` zero-length files in `dir`, timing the batch; then
+/// deletes them, timing that batch. Returns per-file latencies.
+///
+/// # Panics
+///
+/// Panics if `files` is zero or any file operation fails.
+pub fn measure_create_delete(dir: &Path, files: usize) -> CreateDeleteResult {
+    assert!(files > 0, "need at least one file");
+    let names: Vec<PathBuf> = (0..files).map(|i| dir.join(short_name(i))).collect();
+
+    let sw = Stopwatch::start();
+    for name in &names {
+        fs::File::create(name).expect("create zero-length file");
+    }
+    let create_ns = sw.elapsed_ns() / files as f64;
+
+    let sw = Stopwatch::start();
+    for name in &names {
+        fs::remove_file(name).expect("delete file");
+    }
+    let delete_ns = sw.elapsed_ns() / files as f64;
+
+    CreateDeleteResult {
+        files,
+        create: Latency::from_ns(create_ns, TimeUnit::Micros),
+        delete: Latency::from_ns(delete_ns, TimeUnit::Micros),
+    }
+}
+
+/// Runs [`measure_create_delete`] in a fresh scratch directory with the
+/// paper's 1 000 files, cleaning up afterwards.
+pub fn measure_in_tempdir(files: usize) -> CreateDeleteResult {
+    let dir = std::env::temp_dir().join(format!(
+        "lmb-fslat-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0)
+    ));
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    let result = measure_create_delete(&dir, files);
+    let _ = fs::remove_dir(&dir);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_names_match_the_paper() {
+        assert_eq!(short_name(0), "a");
+        assert_eq!(short_name(1), "b");
+        assert_eq!(short_name(25), "z");
+        assert_eq!(short_name(26), "aa");
+        assert_eq!(short_name(27), "ab");
+        assert_eq!(short_name(26 + 26 * 26), "aaa");
+    }
+
+    #[test]
+    fn short_names_are_unique() {
+        let names: std::collections::HashSet<String> = (0..2000).map(short_name).collect();
+        assert_eq!(names.len(), 2000);
+    }
+
+    #[test]
+    fn create_delete_round_trip_cleans_dir() {
+        let r = measure_in_tempdir(100);
+        assert_eq!(r.files, 100);
+        assert!(r.create.as_micros() > 0.0);
+        assert!(r.delete.as_micros() > 0.0);
+    }
+
+    #[test]
+    fn latencies_are_bounded_sane() {
+        let r = measure_in_tempdir(200);
+        // Even a synchronous-update fs stays under 100ms/file.
+        assert!(r.create.as_micros() < 100_000.0, "create {}", r.create);
+        assert!(r.delete.as_micros() < 100_000.0, "delete {}", r.delete);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one file")]
+    fn zero_files_rejected() {
+        measure_in_tempdir(0);
+    }
+}

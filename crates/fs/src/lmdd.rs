@@ -1,0 +1,357 @@
+//! `lmdd` — the suite's dd-style I/O workhorse (paper §2, §6.9).
+//!
+//! "We wrote a small, simple I/O benchmark, `lmdd`, that measures sequential
+//! and random I/O ... optionally generates patterns on output and checks
+//! them on input ... and has a very flexible user interface. Many I/O
+//! benchmarks can be trivially replaced with a perl script wrapped around
+//! `lmdd`." At least one disk vendor used it for drive qualification.
+//!
+//! The pattern is deterministic in the *absolute file offset*: the 4-byte
+//! word at byte offset `o` holds `o / 4`. A block read from anywhere in the
+//! file can therefore be verified in isolation, which is what makes the
+//! random-I/O check mode work.
+
+use lmb_timing::clock::Stopwatch;
+use lmb_timing::Bandwidth;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+/// Block visit order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeekMode {
+    /// Blocks in file order — streaming I/O.
+    Sequential,
+    /// Blocks in a seeded random permutation — seek-bound I/O.
+    Random {
+        /// RNG seed, so runs are reproducible.
+        seed: u64,
+    },
+}
+
+/// An `lmdd` invocation.
+#[derive(Debug, Clone)]
+pub struct Lmdd {
+    /// File to read (`if=`); `None` synthesizes input in memory.
+    pub input: Option<PathBuf>,
+    /// File to write (`of=`); `None` discards output.
+    pub output: Option<PathBuf>,
+    /// Bytes per block (`bs=`).
+    pub block_size: usize,
+    /// Number of blocks (`count=`).
+    pub count: usize,
+    /// Visit order.
+    pub seek_mode: SeekMode,
+    /// Fill output blocks with the offset pattern (`opat=1`).
+    pub generate_pattern: bool,
+    /// Verify input blocks against the offset pattern (`ipat=1`).
+    pub check_pattern: bool,
+    /// `fsync` the output before stopping the clock (`sync=1`).
+    pub fsync: bool,
+}
+
+impl Lmdd {
+    /// A sequential write of `count` pattern blocks to `path`.
+    pub fn write_pattern(path: PathBuf, block_size: usize, count: usize) -> Self {
+        Self {
+            input: None,
+            output: Some(path),
+            block_size,
+            count,
+            seek_mode: SeekMode::Sequential,
+            generate_pattern: true,
+            check_pattern: false,
+            fsync: true,
+        }
+    }
+
+    /// A read of `count` blocks from `path` with pattern checking.
+    pub fn check_read(path: PathBuf, block_size: usize, count: usize, mode: SeekMode) -> Self {
+        Self {
+            input: Some(path),
+            output: None,
+            block_size,
+            count,
+            seek_mode: mode,
+            generate_pattern: false,
+            check_pattern: true,
+            fsync: false,
+        }
+    }
+}
+
+/// The result of one `lmdd` run — the numbers `lmdd` prints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmddReport {
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// Wall time, nanoseconds.
+    pub elapsed_ns: f64,
+    /// Bytes / time.
+    pub bandwidth: Bandwidth,
+    /// Block operations performed.
+    pub ops: usize,
+    /// Operations per second.
+    pub ops_per_sec: f64,
+    /// Pattern words that failed verification (0 when checking is off).
+    pub pattern_errors: u64,
+}
+
+/// Fills `buf` with the offset pattern for a block starting at `offset`.
+pub fn fill_pattern(buf: &mut [u8], offset: u64) {
+    for (i, chunk) in buf.chunks_exact_mut(4).enumerate() {
+        let word = (offset / 4 + i as u64) as u32;
+        chunk.copy_from_slice(&word.to_le_bytes());
+    }
+}
+
+/// Counts pattern mismatches in a block read from `offset`.
+pub fn check_block(buf: &[u8], offset: u64) -> u64 {
+    let mut errors = 0;
+    for (i, chunk) in buf.chunks_exact(4).enumerate() {
+        let want = (offset / 4 + i as u64) as u32;
+        let got = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        if got != want {
+            errors += 1;
+        }
+    }
+    errors
+}
+
+impl Lmdd {
+    /// The block offsets this run will visit, in order.
+    pub fn offsets(&self) -> Vec<u64> {
+        let mut offsets: Vec<u64> = (0..self.count)
+            .map(|b| (b * self.block_size) as u64)
+            .collect();
+        if let SeekMode::Random { seed } = self.seek_mode {
+            let mut rng = StdRng::seed_from_u64(seed);
+            offsets.shuffle(&mut rng);
+        }
+        offsets
+    }
+
+    /// Executes the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero, `count` is zero, or pattern modes
+    /// are requested with a block size that is not a multiple of 4.
+    pub fn run(&self) -> io::Result<LmddReport> {
+        assert!(self.block_size > 0, "bs must be nonzero");
+        assert!(self.count > 0, "count must be nonzero");
+        if self.generate_pattern || self.check_pattern {
+            assert_eq!(
+                self.block_size % 4,
+                0,
+                "pattern modes need 4-byte-aligned blocks"
+            );
+        }
+        let offsets = self.offsets();
+        let mut buf = vec![0u8; self.block_size];
+
+        let mut input = match &self.input {
+            Some(p) => Some(File::open(p)?),
+            None => None,
+        };
+        let mut output = match &self.output {
+            Some(p) => Some(
+                OpenOptions::new()
+                    .create(true)
+                    .write(true)
+                    .truncate(false)
+                    .open(p)?,
+            ),
+            None => None,
+        };
+
+        let mut errors = 0u64;
+        let mut bytes = 0u64;
+        let sequential = matches!(self.seek_mode, SeekMode::Sequential);
+
+        let sw = Stopwatch::start();
+        for &offset in &offsets {
+            if let Some(f) = input.as_mut() {
+                if !sequential {
+                    f.seek(SeekFrom::Start(offset))?;
+                }
+                f.read_exact(&mut buf)?;
+                if self.check_pattern {
+                    errors += check_block(&buf, offset);
+                }
+            } else if self.generate_pattern {
+                fill_pattern(&mut buf, offset);
+            }
+            if let Some(f) = output.as_mut() {
+                if self.generate_pattern && input.is_none() {
+                    // Pattern already in buf.
+                } else if input.is_none() {
+                    buf.fill(0);
+                }
+                if !sequential {
+                    f.seek(SeekFrom::Start(offset))?;
+                }
+                f.write_all(&buf)?;
+            }
+            bytes += self.block_size as u64;
+        }
+        if self.fsync {
+            if let Some(f) = output.as_mut() {
+                f.sync_all()?;
+            }
+        }
+        let elapsed_ns = sw.elapsed_ns();
+
+        Ok(LmddReport {
+            bytes,
+            elapsed_ns,
+            bandwidth: Bandwidth::from_bytes_ns(bytes, elapsed_ns),
+            ops: offsets.len(),
+            ops_per_sec: if elapsed_ns > 0.0 {
+                offsets.len() as f64 / (elapsed_ns / 1e9)
+            } else {
+                f64::INFINITY
+            },
+            pattern_errors: errors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("lmb-lmdd-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn write_then_check_sequential_is_clean() {
+        let path = tmp("seq");
+        let w = Lmdd::write_pattern(path.clone(), 4096, 64).run().unwrap();
+        assert_eq!(w.bytes, 4096 * 64);
+        assert_eq!(w.ops, 64);
+        let r = Lmdd::check_read(path.clone(), 4096, 64, SeekMode::Sequential)
+            .run()
+            .unwrap();
+        assert_eq!(r.pattern_errors, 0);
+        assert_eq!(r.bytes, 4096 * 64);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn random_read_visits_every_block_once() {
+        let path = tmp("rand");
+        Lmdd::write_pattern(path.clone(), 1024, 32).run().unwrap();
+        let run = Lmdd::check_read(path.clone(), 1024, 32, SeekMode::Random { seed: 7 });
+        let offsets = run.offsets();
+        let mut sorted = offsets.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32u64).map(|b| b * 1024).collect::<Vec<_>>());
+        assert_ne!(offsets, sorted, "seed 7 produced identity permutation");
+        let r = run.run().unwrap();
+        assert_eq!(r.pattern_errors, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn random_order_is_reproducible_per_seed() {
+        let a = Lmdd::check_read(tmp("x"), 512, 100, SeekMode::Random { seed: 3 }).offsets();
+        let b = Lmdd::check_read(tmp("y"), 512, 100, SeekMode::Random { seed: 3 }).offsets();
+        let c = Lmdd::check_read(tmp("z"), 512, 100, SeekMode::Random { seed: 4 }).offsets();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let path = tmp("corrupt");
+        Lmdd::write_pattern(path.clone(), 512, 16).run().unwrap();
+        // Flip one byte in the middle.
+        let mut data = std::fs::read(&path).unwrap();
+        data[3000] ^= 0x40;
+        std::fs::write(&path, &data).unwrap();
+        let r = Lmdd::check_read(path.clone(), 512, 16, SeekMode::Sequential)
+            .run()
+            .unwrap();
+        assert_eq!(r.pattern_errors, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn discard_output_still_counts_bytes() {
+        let r = Lmdd {
+            input: None,
+            output: None,
+            block_size: 8192,
+            count: 10,
+            seek_mode: SeekMode::Sequential,
+            generate_pattern: true,
+            check_pattern: false,
+            fsync: false,
+        }
+        .run()
+        .unwrap();
+        assert_eq!(r.bytes, 81920);
+        assert!(r.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "4-byte-aligned")]
+    fn odd_block_size_with_pattern_rejected() {
+        let _ = Lmdd::write_pattern(tmp("odd"), 1001, 1).run();
+    }
+
+    #[test]
+    fn missing_input_file_is_io_error() {
+        let r = Lmdd::check_read(PathBuf::from("/no/such/lmdd/input"), 512, 1, SeekMode::Sequential)
+            .run();
+        assert!(r.is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any single-byte corruption anywhere in the file is detected by
+        /// the pattern checker (and exactly one word reports it).
+        #[test]
+        fn any_single_byte_corruption_detected(
+            byte_index in 0usize..(512 * 8),
+            flip in 1u8..=255,
+        ) {
+            let path = std::env::temp_dir().join(format!(
+                "lmb-lmdd-prop-{}-{byte_index}-{flip}",
+                std::process::id()
+            ));
+            Lmdd::write_pattern(path.clone(), 512, 8).run().unwrap();
+            let mut data = std::fs::read(&path).unwrap();
+            data[byte_index] ^= flip;
+            std::fs::write(&path, &data).unwrap();
+            let r = Lmdd::check_read(path.clone(), 512, 8, SeekMode::Sequential)
+                .run()
+                .unwrap();
+            std::fs::remove_file(&path).unwrap();
+            prop_assert_eq!(r.pattern_errors, 1);
+        }
+
+        /// Random mode offsets are always a permutation of sequential
+        /// offsets.
+        #[test]
+        fn random_offsets_are_a_permutation(seed in any::<u64>(), count in 1usize..128) {
+            let run = Lmdd::check_read(PathBuf::from("/dev/null"), 256, count, SeekMode::Random { seed });
+            let mut offsets = run.offsets();
+            offsets.sort_unstable();
+            let expected: Vec<u64> = (0..count as u64).map(|b| b * 256).collect();
+            prop_assert_eq!(offsets, expected);
+        }
+    }
+}

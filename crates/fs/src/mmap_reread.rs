@@ -1,0 +1,76 @@
+//! Memory-mapped file re-read bandwidth (paper §5.3, Table 5 "File mmap").
+//!
+//! "The `mmap` interface provides a way to access the kernel's file cache
+//! without copying the data. The benchmark is implemented by mapping the
+//! entire file (typically 8M) into the process's address space. The file is
+//! then summed to force the data into the cache." The paper observes that
+//! mmap re-read "should approach memory-read performance, but is often
+//! dramatically worse ... a potential area for operating system
+//! improvements."
+
+use lmb_sys::FileMapping;
+use lmb_timing::{use_result, Bandwidth, Harness};
+use std::path::Path;
+
+/// Sums a mapped file's u32 words.
+#[inline]
+pub fn sum_mapping(map: &FileMapping) -> u64 {
+    let mut acc = 0u64;
+    for &w in map.words() {
+        acc = acc.wrapping_add(u64::from(w));
+    }
+    acc
+}
+
+/// Measures mmap re-read bandwidth of the file at `path`.
+///
+/// One untimed summing pass faults every page in (and warms the cache);
+/// subsequent timed passes measure pure access cost through the mapping.
+///
+/// # Panics
+///
+/// Panics if the file cannot be mapped.
+pub fn measure_mmap_reread(h: &Harness, path: &Path) -> Bandwidth {
+    let map = FileMapping::map_file(path).expect("map scratch file");
+    use_result(sum_mapping(&map));
+    let bytes = map.len() as u64;
+    h.measure_block(1, || {
+        use_result(sum_mapping(&map));
+    })
+    .bandwidth(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScratchFile;
+    use lmb_timing::Options;
+
+    #[test]
+    fn mapping_sum_matches_read_sum() {
+        let f = ScratchFile::create("mmapsum", 256 << 10).unwrap();
+        let map = FileMapping::map_file(f.path()).unwrap();
+        let words = (256 << 10) / 4;
+        assert_eq!(sum_mapping(&map), (0..words as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn measured_bandwidth_positive() {
+        let f = ScratchFile::create("mmapbw", 4 << 20).unwrap();
+        let h = Harness::new(Options::quick());
+        let bw = measure_mmap_reread(&h, f.path());
+        assert!(bw.mb_per_s > 0.0);
+    }
+
+    #[test]
+    fn mmap_and_read_agree_on_content() {
+        // Table 5's apples-to-apples requirement: both interfaces must
+        // deliver identical data.
+        let f = ScratchFile::create("agree", 128 << 10).unwrap();
+        let map = FileMapping::map_file(f.path()).unwrap();
+        let fd = lmb_sys::Fd::open(f.path(), libc::O_RDONLY).unwrap();
+        let mut buf = vec![0u8; crate::reread::BUFFER];
+        let (_, read_sum) = crate::reread::reread_pass(&fd, &mut buf).unwrap();
+        assert_eq!(sum_mapping(&map), read_sum);
+    }
+}

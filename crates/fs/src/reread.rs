@@ -1,0 +1,120 @@
+//! Cached file re-read bandwidth (paper §5.3, Table 5 "File read").
+//!
+//! "The `read` interface copies data from the kernel's file system page
+//! cache into the process's buffer, using 64K buffers. ... The benchmark is
+//! implemented by rereading a file (typically 8M) in 64K buffers. Each
+//! buffer is summed as a series of integers in the user process" — the sum
+//! both matches the mmap benchmark's work and stops the transfer from being
+//! optimized into nothing. This is *not* an I/O benchmark: the file is warm
+//! in the page cache and the measured cost is kernel copy + fs overhead.
+
+use lmb_sys::Fd;
+use lmb_timing::{use_result, Bandwidth, Harness};
+use std::path::Path;
+
+/// Default buffer size: 64 KB, "chosen to minimize the kernel entry
+/// overhead while remaining realistically sized".
+pub const BUFFER: usize = 64 << 10;
+
+/// Sums a byte buffer as native-endian u32 words (the paper's "series of
+/// integers").
+#[inline]
+pub fn sum_words(buf: &[u8]) -> u64 {
+    let mut acc = 0u64;
+    let mut chunks = buf.chunks_exact(4);
+    for c in &mut chunks {
+        acc = acc.wrapping_add(u64::from(u32::from_ne_bytes([c[0], c[1], c[2], c[3]])));
+    }
+    for &b in chunks.remainder() {
+        acc = acc.wrapping_add(u64::from(b));
+    }
+    acc
+}
+
+/// One full pass over the file: read in `buffer`-sized chunks, summing
+/// each. Returns (bytes read, checksum).
+pub fn reread_pass(fd: &Fd, buf: &mut [u8]) -> std::io::Result<(u64, u64)> {
+    fd.seek_to(0)?;
+    let mut total = 0u64;
+    let mut sum = 0u64;
+    loop {
+        let n = fd.read_full(buf)?;
+        if n == 0 {
+            break;
+        }
+        sum = sum.wrapping_add(sum_words(&buf[..n]));
+        total += n as u64;
+    }
+    Ok((total, sum))
+}
+
+/// Measures cached re-read bandwidth of the file at `path`.
+///
+/// The file is read once untimed to warm the page cache (the paper's
+/// warm-cache convention), then re-read per the harness policy.
+///
+/// # Panics
+///
+/// Panics if the file cannot be opened or read, or is empty.
+pub fn measure_file_reread(h: &Harness, path: &Path) -> Bandwidth {
+    let fd = Fd::open(path, libc::O_RDONLY).expect("open scratch file");
+    let mut buf = vec![0u8; BUFFER];
+    let (bytes, _) = reread_pass(&fd, &mut buf).expect("warm pass");
+    assert!(bytes > 0, "empty file");
+    h.measure_block(1, || {
+        let (_, sum) = reread_pass(&fd, &mut buf).expect("reread");
+        use_result(sum);
+    })
+    .bandwidth(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScratchFile;
+    use lmb_timing::Options;
+
+    #[test]
+    fn sum_words_matches_manual() {
+        let bytes: Vec<u8> = (0u32..100).flat_map(|w| w.to_ne_bytes()).collect();
+        assert_eq!(sum_words(&bytes), (0..100u64).sum::<u64>());
+    }
+
+    #[test]
+    fn sum_words_handles_tail_bytes() {
+        let mut bytes: Vec<u8> = 7u32.to_ne_bytes().to_vec();
+        bytes.push(3);
+        assert_eq!(sum_words(&bytes), 10);
+    }
+
+    #[test]
+    fn reread_pass_sees_whole_file() {
+        let f = ScratchFile::create("reread", 300_000).unwrap();
+        let fd = Fd::open(f.path(), libc::O_RDONLY).unwrap();
+        let mut buf = vec![0u8; BUFFER];
+        let (bytes, sum) = reread_pass(&fd, &mut buf).unwrap();
+        assert_eq!(bytes, 300_000);
+        let words = 300_000 / 4;
+        assert_eq!(sum, (0..words as u64).sum::<u64>());
+        // Second pass gives identical results (seek rewinds).
+        let (bytes2, sum2) = reread_pass(&fd, &mut buf).unwrap();
+        assert_eq!((bytes, sum), (bytes2, sum2));
+    }
+
+    #[test]
+    fn measured_bandwidth_positive() {
+        let f = ScratchFile::create("rereadbw", 4 << 20).unwrap();
+        let h = Harness::new(Options::quick());
+        let bw = measure_file_reread(&h, f.path());
+        assert!(bw.mb_per_s > 0.0);
+        assert!(bw.mb_per_s.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty file")]
+    fn empty_file_rejected() {
+        let f = ScratchFile::create("empty", 0).unwrap();
+        let h = Harness::new(Options::quick());
+        measure_file_reread(&h, f.path());
+    }
+}

@@ -1,0 +1,178 @@
+//! File-system latency scaling: name length and directory population.
+//!
+//! Table 16 fixes both knobs ("All the files are created in one directory
+//! and their names are short"); this extension sweeps them, exposing the
+//! directory-lookup data structures behind the fixed-point number — linear
+//! directories of the era degraded visibly with population, hashed/tree
+//! directories do not.
+
+use lmb_timing::clock::Stopwatch;
+use lmb_timing::{Latency, TimeUnit};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Pre-existing files in the directory when measuring.
+    pub population: usize,
+    /// Length of each file name, bytes.
+    pub name_len: usize,
+    /// Per-file create latency.
+    pub create: Latency,
+    /// Per-file delete latency.
+    pub delete: Latency,
+}
+
+/// Deterministic name for index `i`, padded with `_` to `len` bytes.
+///
+/// The unique base (bijective base-26, as in Table 16) is always kept
+/// whole, so names stay unique even when the base exceeds `len`.
+pub fn fixed_name(i: usize, len: usize) -> String {
+    assert!(len >= 1, "name too short");
+    let mut name = crate::create_delete::short_name(i);
+    while name.len() < len {
+        name.push('_');
+    }
+    name
+}
+
+/// Measures create/delete of `files` files with `name_len`-byte names in a
+/// directory already holding `population` files.
+///
+/// # Panics
+///
+/// Panics if `files` is zero or filesystem operations fail.
+pub fn measure_scaling(
+    dir: &Path,
+    population: usize,
+    files: usize,
+    name_len: usize,
+) -> ScalingPoint {
+    assert!(files > 0, "need at least one file");
+    // Pre-populate with names disjoint from the measured set.
+    let existing: Vec<PathBuf> = (0..population)
+        .map(|i| dir.join(format!("pre{i:08}")))
+        .collect();
+    for p in &existing {
+        fs::File::create(p).expect("pre-populate");
+    }
+
+    let targets: Vec<PathBuf> = (0..files).map(|i| dir.join(fixed_name(i, name_len))).collect();
+    let sw = Stopwatch::start();
+    for t in &targets {
+        fs::File::create(t).expect("create");
+    }
+    let create_ns = sw.elapsed_ns() / files as f64;
+    let sw = Stopwatch::start();
+    for t in &targets {
+        fs::remove_file(t).expect("delete");
+    }
+    let delete_ns = sw.elapsed_ns() / files as f64;
+
+    for p in &existing {
+        let _ = fs::remove_file(p);
+    }
+    ScalingPoint {
+        population,
+        name_len,
+        create: Latency::from_ns(create_ns, TimeUnit::Micros),
+        delete: Latency::from_ns(delete_ns, TimeUnit::Micros),
+    }
+}
+
+/// Sweeps directory populations at fixed name length, in a fresh temp dir.
+pub fn population_sweep(populations: &[usize], files: usize) -> Vec<ScalingPoint> {
+    let dir = scratch_dir("pop");
+    let out = populations
+        .iter()
+        .map(|&p| measure_scaling(&dir, p, files, 8))
+        .collect();
+    let _ = fs::remove_dir(&dir);
+    out
+}
+
+/// Sweeps name lengths at fixed (zero) population.
+pub fn name_length_sweep(lengths: &[usize], files: usize) -> Vec<ScalingPoint> {
+    let dir = scratch_dir("names");
+    let out = lengths
+        .iter()
+        .map(|&l| measure_scaling(&dir, 0, files, l))
+        .collect();
+    let _ = fs::remove_dir(&dir);
+    out
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "lmb-fsscale-{tag}-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0)
+    ));
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_names_are_unique_and_sized() {
+        let names: std::collections::HashSet<String> =
+            (0..500).map(|i| fixed_name(i, 8)).collect();
+        assert_eq!(names.len(), 500);
+        assert!(names.iter().all(|n| n.len() == 8));
+    }
+
+    #[test]
+    fn long_names_keep_uniqueness() {
+        let a = fixed_name(0, 64);
+        let b = fixed_name(1, 64);
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 64);
+    }
+
+    #[test]
+    fn scaling_point_cleans_up_fully() {
+        let dir = scratch_dir("clean");
+        let p = measure_scaling(&dir, 50, 50, 8);
+        assert!(p.create.as_micros() > 0.0);
+        assert!(p.delete.as_micros() > 0.0);
+        assert_eq!(
+            fs::read_dir(&dir).unwrap().count(),
+            0,
+            "scaling run leaked files"
+        );
+        fs::remove_dir(&dir).unwrap();
+    }
+
+    #[test]
+    fn population_sweep_produces_requested_points() {
+        let pts = population_sweep(&[0, 200], 50);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].population, 0);
+        assert_eq!(pts[1].population, 200);
+        for p in &pts {
+            assert!(p.create.as_micros() > 0.0);
+        }
+    }
+
+    #[test]
+    fn name_length_sweep_produces_requested_points() {
+        let pts = name_length_sweep(&[2, 32], 50);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].name_len, 2);
+        assert_eq!(pts[1].name_len, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one file")]
+    fn zero_files_rejected() {
+        let dir = scratch_dir("zero");
+        measure_scaling(&dir, 0, 0, 8);
+    }
+}

@@ -1,0 +1,139 @@
+//! Named-pipe (FIFO) latency — the filesystem-visible sibling of
+//! [`crate::pipe_lat`].
+//!
+//! A FIFO travels the same kernel byte-stream path as an anonymous pipe
+//! but is opened by pathname, so two unrelated processes can rendezvous on
+//! it; later lmbench releases measured it as `lat_fifo`. Comparing the two
+//! isolates the cost (if any) the filesystem namespace adds to the data
+//! path — on every system the paper's authors would have recognized, the
+//! answer is "none once open(2) has happened".
+
+use crate::WORD;
+use lmb_sys::process::{exit_immediately, fork, waitpid, ForkResult};
+use lmb_sys::Fd;
+use lmb_timing::{Harness, Latency, TimeUnit};
+use std::path::PathBuf;
+
+/// In-band shutdown word (see `pipe_lat` for why EOF cannot be used).
+const STOP: [u8; 4] = [0xFF; 4];
+
+/// Creates a FIFO in the temp directory.
+fn make_fifo(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "lmb-fifo-{tag}-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0)
+    ));
+    let cpath = std::ffi::CString::new(path.to_str().expect("utf8 path")).expect("no NUL");
+    // SAFETY: `cpath` is a valid NUL-terminated path; 0o600 is a plain
+    // mode; a -1 return (e.g. EEXIST) is checked.
+    let ret = unsafe { libc::mkfifo(cpath.as_ptr(), 0o600) };
+    assert_eq!(ret, 0, "mkfifo failed: {}", std::io::Error::last_os_error());
+    path
+}
+
+/// Measures FIFO round-trip latency: a word bounced between parent and a
+/// forked echo child over two named pipes.
+///
+/// # Panics
+///
+/// Panics if `round_trips` is zero or on FIFO/process failures.
+pub fn measure_fifo_latency(h: &Harness, round_trips: usize) -> Latency {
+    assert!(round_trips > 0, "need at least one round trip");
+    let to_child_path = make_fifo("tc");
+    let to_parent_path = make_fifo("tp");
+
+    match fork().expect("fork echo child") {
+        ForkResult::Child => {
+            // Open order matters: FIFO open(2) blocks until the peer end
+            // exists, so both sides open read-then-write... which would
+            // deadlock symmetrically. Child opens its *read* side first;
+            // parent opens its *write* side first.
+            let inbound = Fd::open(&to_child_path, libc::O_RDONLY);
+            let outbound = Fd::open(&to_parent_path, libc::O_WRONLY);
+            let (inbound, outbound) = match (inbound, outbound) {
+                (Ok(i), Ok(o)) => (i, o),
+                _ => exit_immediately(2),
+            };
+            let mut word = [0u8; WORD.len()];
+            loop {
+                match inbound.read_full(&mut word) {
+                    Ok(n) if n == word.len() => {}
+                    _ => exit_immediately(3),
+                }
+                if outbound.write_all(&word).is_err() {
+                    exit_immediately(4);
+                }
+                if word == STOP {
+                    exit_immediately(0);
+                }
+            }
+        }
+        ForkResult::Parent(pid) => {
+            let outbound = Fd::open(&to_child_path, libc::O_WRONLY).expect("open fifo wr");
+            let inbound = Fd::open(&to_parent_path, libc::O_RDONLY).expect("open fifo rd");
+            let mut word = WORD;
+            let m = h.measure_block(round_trips as u64, || {
+                for _ in 0..round_trips {
+                    outbound.write_all(&word).expect("fifo write");
+                    inbound.read_full(&mut word).expect("fifo read");
+                }
+            });
+            outbound.write_all(&STOP).expect("send STOP");
+            let mut echo = [0u8; 4];
+            inbound.read_full(&mut echo).expect("STOP echo");
+            assert!(waitpid(pid).expect("waitpid").success());
+            let _ = std::fs::remove_file(&to_child_path);
+            let _ = std::fs::remove_file(&to_parent_path);
+            m.latency(TimeUnit::Micros)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_timing::Options;
+
+    #[test]
+    fn fifo_round_trip_positive_and_bounded() {
+        let h = Harness::new(Options::quick().with_repetitions(2));
+        let us = measure_fifo_latency(&h, 50).as_micros();
+        assert!(us > 0.0);
+        assert!(us < 10_000.0, "FIFO RTT {us}us");
+    }
+
+    #[test]
+    fn fifo_latency_tracks_anonymous_pipe_latency() {
+        // Same kernel path once open: within a small factor of pipes.
+        let h = Harness::new(Options::quick().with_repetitions(2));
+        let fifo = measure_fifo_latency(&h, 50).as_micros();
+        let pipe = crate::measure_pipe_latency(&h, 50).as_micros();
+        assert!(
+            fifo < pipe * 10.0 + 50.0,
+            "FIFO {fifo}us wildly above pipe {pipe}us"
+        );
+        assert!(pipe < fifo * 10.0 + 50.0);
+    }
+
+    #[test]
+    fn fifos_are_cleaned_up() {
+        let before = count_lmb_fifos();
+        let h = Harness::new(Options::quick().with_repetitions(2));
+        let _ = measure_fifo_latency(&h, 10);
+        assert!(count_lmb_fifos() <= before, "leaked FIFO files");
+    }
+
+    fn count_lmb_fifos() -> usize {
+        std::fs::read_dir(std::env::temp_dir())
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.file_name().to_string_lossy().starts_with("lmb-fifo-"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}

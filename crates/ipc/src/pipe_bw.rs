@@ -1,0 +1,111 @@
+//! Pipe bandwidth (paper §5.2, Table 3).
+//!
+//! "Pipe bandwidth is measured by creating two processes, a writer and a
+//! reader, which transfer 50M of data in 64K transfers. ... The reader
+//! prints the timing results, which guarantees that all data has been moved
+//! before the timing is finished."
+
+use lmb_sys::pipe::Pipe;
+use lmb_sys::process::{exit_immediately, fork, waitpid, ForkResult};
+use lmb_timing::clock::Stopwatch;
+use lmb_timing::{Bandwidth, Samples, SummaryPolicy};
+
+/// One writer-process/reader-process transfer of `total` bytes in `chunk`
+/// sized writes; returns the reader-observed bandwidth.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero or `total < chunk`, or on process failures.
+pub fn run_once(total: usize, chunk: usize) -> Bandwidth {
+    assert!(chunk > 0, "chunk must be nonzero");
+    assert!(total >= chunk, "total below one chunk");
+    let chunks = total / chunk;
+    let payload = chunks * chunk;
+
+    // Buffers allocated pre-fork: the writer child must not allocate.
+    let out = vec![0xA5u8; chunk];
+    let mut inbuf = vec![0u8; chunk];
+
+    let (read_end, write_end) = Pipe::new().expect("pipe").split();
+    match fork().expect("fork writer") {
+        ForkResult::Child => {
+            // Writer: stream all chunks, then exit. Only read/write/_exit.
+            drop(read_end);
+            for _ in 0..chunks {
+                if write_end.write_all(&out).is_err() {
+                    exit_immediately(2);
+                }
+            }
+            exit_immediately(0);
+        }
+        ForkResult::Parent(pid) => {
+            drop(write_end);
+            let sw = Stopwatch::start();
+            let mut received = 0usize;
+            while received < payload {
+                let want = chunk.min(payload - received);
+                let n = read_end.read_full(&mut inbuf[..want]).expect("pipe read");
+                assert!(n > 0, "writer hung up early at {received}/{payload}");
+                received += n;
+            }
+            let elapsed = sw.elapsed_ns();
+            assert!(waitpid(pid).expect("waitpid").success(), "writer failed");
+            Bandwidth::from_bytes_ns(payload as u64, elapsed)
+        }
+    }
+}
+
+/// Repeats [`run_once`] and summarizes — warm run discarded, then
+/// `repetitions` measured, summarized by `policy` (the paper records the
+/// last warm run; [`SummaryPolicy::Last`] reproduces that).
+pub fn measure_pipe_bw(
+    total: usize,
+    chunk: usize,
+    repetitions: u32,
+    policy: SummaryPolicy,
+) -> Bandwidth {
+    assert!(repetitions > 0, "need at least one repetition");
+    let _warm = run_once(total, chunk);
+    let samples = Samples::from_values((0..repetitions).map(|_| run_once(total, chunk).mb_per_s));
+    Bandwidth {
+        mb_per_s: samples.summarize(policy).unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfers_complete_and_report_positive_bandwidth() {
+        let bw = run_once(4 << 20, 64 << 10);
+        assert!(bw.mb_per_s > 0.0);
+        assert!(bw.mb_per_s.is_finite());
+    }
+
+    #[test]
+    fn small_chunks_are_slower_than_big_chunks() {
+        // Per-syscall overhead dominates at tiny chunk sizes — the very
+        // reason the paper picked 64K. Compare 256-byte vs 64K chunks.
+        let small = measure_pipe_bw(2 << 20, 256, 2, SummaryPolicy::Minimum);
+        let big = measure_pipe_bw(8 << 20, 64 << 10, 2, SummaryPolicy::Minimum);
+        assert!(
+            big.mb_per_s > small.mb_per_s,
+            "64K chunks ({}) not faster than 256B chunks ({})",
+            big.mb_per_s,
+            small.mb_per_s
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "total below one chunk")]
+    fn rejects_total_smaller_than_chunk() {
+        run_once(1024, 64 << 10);
+    }
+
+    #[test]
+    fn non_multiple_totals_round_down() {
+        let bw = run_once((1 << 20) + 5000, 64 << 10);
+        assert!(bw.mb_per_s > 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Pipe latency (paper §6.7, Table 11).
+//!
+//! "Pipe latency is measured by creating a pair of pipes, forking a child
+//! process, and passing a word back and forth. This benchmark is identical
+//! to the two-process, zero-sized context switch benchmark, except that it
+//! includes both the context switching time and the pipe overhead in the
+//! results." The reported number is the full round trip A→B→A.
+
+use crate::WORD;
+use lmb_sys::pipe::Pipe;
+use lmb_sys::process::{exit_immediately, fork, waitpid, ForkResult};
+use lmb_timing::{Harness, Latency, TimeUnit};
+
+/// The shutdown word. A forked child inherits copies of every pipe fd in
+/// the process — including other tests' pipes and its *own* inbound pipe's
+/// write end — so EOF can never be relied on to terminate ring members;
+/// shutdown must be an explicit in-band message.
+const STOP: [u8; 4] = [0xFF; 4];
+
+/// Measures pipe round-trip latency with `h`'s repetition/summary policy.
+///
+/// Each repetition times `round_trips` full A→B→A exchanges.
+///
+/// # Panics
+///
+/// Panics if `round_trips` is zero or on process failures.
+pub fn measure_pipe_latency(h: &Harness, round_trips: usize) -> Latency {
+    assert!(round_trips > 0, "need at least one round trip");
+    let to_child = Pipe::new().expect("pipe");
+    let to_parent = Pipe::new().expect("pipe");
+
+    match fork().expect("fork echo child") {
+        ForkResult::Child => {
+            // Echo child: read a word, write it back; STOP-or-error exits.
+            let mut word = [0u8; WORD.len()];
+            loop {
+                match to_child.read.read_full(&mut word) {
+                    Ok(n) if n == word.len() => {}
+                    _ => exit_immediately(2),
+                }
+                if to_parent.write.write_all(&word).is_err() {
+                    exit_immediately(3);
+                }
+                if word == STOP {
+                    exit_immediately(0);
+                }
+            }
+        }
+        ForkResult::Parent(pid) => {
+            let mut word = WORD;
+            let m = h.measure_block(round_trips as u64, || {
+                for _ in 0..round_trips {
+                    to_child.write.write_all(&word).expect("parent write");
+                    to_parent.read.read_full(&mut word).expect("parent read");
+                }
+            });
+            to_child.write.write_all(&STOP).expect("send STOP");
+            let mut echo = [0u8; 4];
+            to_parent.read.read_full(&mut echo).expect("STOP echo");
+            assert_eq!(echo, STOP);
+            assert!(waitpid(pid).expect("waitpid").success());
+            m.latency(TimeUnit::Micros)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_timing::Options;
+
+    #[test]
+    fn round_trip_is_positive_and_bounded() {
+        let h = Harness::new(Options::quick().with_repetitions(2));
+        let lat = measure_pipe_latency(&h, 50);
+        let us = lat.as_micros();
+        assert!(us > 0.0);
+        // Table 11 spans 26-278us on 1995 machines; a modern box does a few
+        // us. 10ms means a broken divide.
+        assert!(us < 10_000.0, "pipe RTT {us}us");
+    }
+
+    #[test]
+    fn word_survives_the_loop_intact() {
+        // Run the exchange manually once to check data integrity.
+        let to_child = Pipe::new().unwrap();
+        let to_parent = Pipe::new().unwrap();
+        match fork().unwrap() {
+            ForkResult::Child => {
+                let mut w = [0u8; 4];
+                let _ = to_child.read.read_full(&mut w);
+                let _ = to_parent.write.write_all(&w);
+                exit_immediately(0);
+            }
+            ForkResult::Parent(pid) => {
+                to_child.write.write_all(&WORD).unwrap();
+                let mut back = [0u8; 4];
+                to_parent.read.read_full(&mut back).unwrap();
+                assert_eq!(back, WORD);
+                assert!(waitpid(pid).unwrap().success());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round trip")]
+    fn zero_round_trips_rejected() {
+        let h = Harness::new(Options::quick());
+        measure_pipe_latency(&h, 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Loopback TCP bandwidth (paper §5.2, Table 3).
+//!
+//! "TCP bandwidth is measured similarly [to pipes], except the data is
+//! transferred in 1M page aligned transfers instead of 64K transfers. If the
+//! TCP implementation supports it, the send and receive socket buffers are
+//! enlarged to 1M. ... All of the TCP results are in loopback mode."
+
+use lmb_sys::sock::set_socket_buffers;
+use lmb_timing::clock::Stopwatch;
+use lmb_timing::{Bandwidth, Samples, SummaryPolicy};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// One sender-thread/receiver transfer of `total` bytes in `chunk`-sized
+/// writes over loopback TCP; returns receiver-observed bandwidth.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero or `total < chunk`, or on socket failures.
+pub fn run_once(total: usize, chunk: usize, sockbuf: usize) -> Bandwidth {
+    assert!(chunk > 0, "chunk must be nonzero");
+    assert!(total >= chunk, "total below one chunk");
+    let chunks = total / chunk;
+    let payload = chunks * chunk;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    set_socket_buffers(&listener, sockbuf).expect("sockbuf");
+    let addr = listener.local_addr().expect("addr");
+
+    let sender = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        set_socket_buffers(&stream, sockbuf).expect("sockbuf");
+        let out = vec![0x5Au8; chunk];
+        for _ in 0..chunks {
+            stream.write_all(&out).expect("tcp write");
+        }
+    });
+
+    let (mut conn, _) = listener.accept().expect("accept");
+    let mut inbuf = vec![0u8; chunk];
+    let sw = Stopwatch::start();
+    let mut received = 0usize;
+    while received < payload {
+        let n = conn.read(&mut inbuf).expect("tcp read");
+        assert!(n > 0, "sender hung up early at {received}/{payload}");
+        received += n;
+    }
+    let elapsed = sw.elapsed_ns();
+    sender.join().expect("sender thread");
+    Bandwidth::from_bytes_ns(payload as u64, elapsed)
+}
+
+/// Repeats [`run_once`] (after one warm run) and summarizes by `policy`.
+pub fn measure_tcp_bw(
+    total: usize,
+    chunk: usize,
+    sockbuf: usize,
+    repetitions: u32,
+    policy: SummaryPolicy,
+) -> Bandwidth {
+    assert!(repetitions > 0, "need at least one repetition");
+    let _warm = run_once(total, chunk, sockbuf);
+    let samples =
+        Samples::from_values((0..repetitions).map(|_| run_once(total, chunk, sockbuf).mb_per_s));
+    Bandwidth {
+        mb_per_s: samples.summarize(policy).unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TCP_CHUNK, TCP_SOCKBUF};
+
+    #[test]
+    fn loopback_tcp_moves_data() {
+        let bw = run_once(8 << 20, TCP_CHUNK, TCP_SOCKBUF);
+        assert!(bw.mb_per_s > 0.0);
+        assert!(bw.mb_per_s.is_finite());
+    }
+
+    #[test]
+    fn measure_summarizes_repetitions() {
+        let bw = measure_tcp_bw(2 << 20, 1 << 20, TCP_SOCKBUF, 2, SummaryPolicy::Minimum);
+        assert!(bw.mb_per_s > 0.0);
+    }
+
+    #[test]
+    fn tiny_chunks_pay_syscall_tax() {
+        let small = measure_tcp_bw(1 << 20, 512, TCP_SOCKBUF, 2, SummaryPolicy::Minimum);
+        let big = measure_tcp_bw(8 << 20, TCP_CHUNK, TCP_SOCKBUF, 2, SummaryPolicy::Minimum);
+        assert!(
+            big.mb_per_s > small.mb_per_s,
+            "1M chunks ({}) not faster than 512B chunks ({})",
+            big.mb_per_s,
+            small.mb_per_s
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_chunk_rejected() {
+        run_once(1 << 20, 0, TCP_SOCKBUF);
+    }
+}

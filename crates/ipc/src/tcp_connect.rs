@@ -1,0 +1,121 @@
+//! TCP connection-establishment latency (paper §6.7, Table 15).
+//!
+//! "Connection cost is measured by having a server, registered using the
+//! port mapper, waiting for connections. The client figures out where the
+//! server is registered and then repeatedly times a `connect` system call to
+//! the server. The socket is closed after each connect. Twenty connects are
+//! completed and the fastest of them is used as the result."
+
+use lmb_timing::clock::Stopwatch;
+use lmb_timing::{Latency, Samples, SummaryPolicy, TimeUnit};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A loopback accept-and-drop server for connect timing.
+pub struct ConnectServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ConnectServer {
+    /// Starts the server; it accepts and immediately closes connections
+    /// until dropped.
+    pub fn start() -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                // Accepted connection drops immediately — connect cost only.
+                let _ = listener.accept();
+            }
+        });
+        Ok(Self {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// Where clients should connect.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ConnectServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the final accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Times `attempts` connect/close cycles and reports per the paper: the
+/// *fastest* (the three-way handshake's two local packets with no
+/// scheduling noise).
+///
+/// # Panics
+///
+/// Panics if `attempts` is zero or the server cannot be started.
+pub fn measure_tcp_connect(attempts: u32) -> Latency {
+    assert!(attempts > 0, "need at least one attempt");
+    let server = ConnectServer::start().expect("connect server");
+    let addr = server.addr();
+    // One warm connect (ARP-equivalent loopback setup, allocator warm-up).
+    let _ = TcpStream::connect(addr).expect("warm connect");
+
+    let mut samples = Samples::new();
+    for _ in 0..attempts {
+        let sw = Stopwatch::start();
+        let stream = TcpStream::connect(addr).expect("connect");
+        let ns = sw.elapsed_ns();
+        drop(stream);
+        samples.push(ns);
+    }
+    Latency::from_ns(
+        samples.summarize(SummaryPolicy::Minimum).unwrap_or(0.0),
+        TimeUnit::Micros,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_latency_positive_and_bounded() {
+        let lat = measure_tcp_connect(20);
+        let us = lat.as_micros();
+        assert!(us > 0.0);
+        // Table 15 spans 238-3047us in 1995; loopback today is tens of us.
+        assert!(us < 100_000.0, "connect {us}us");
+    }
+
+    #[test]
+    fn server_survives_many_connects() {
+        let server = ConnectServer::start().unwrap();
+        for _ in 0..50 {
+            let _ = TcpStream::connect(server.addr()).unwrap();
+        }
+    }
+
+    #[test]
+    fn connect_costs_more_than_nothing_less_than_a_second() {
+        let lat = measure_tcp_connect(5);
+        assert!(lat.as_ns() > 100.0);
+        assert!(lat.as_ns() < 1e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempts_rejected() {
+        measure_tcp_connect(0);
+    }
+}

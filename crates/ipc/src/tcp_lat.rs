@@ -1,0 +1,123 @@
+//! Loopback TCP latency (paper §6.7, Table 12).
+//!
+//! "TCP latency is measured by having a server process that waits for
+//! connections and a client process that connects to the server. The two
+//! processes then exchange a word between them in a loop. The latency
+//! reported is one round-trip time." The Oracle distributed lock manager's
+//! locks-per-second "are accurately modeled by the TCP latency test".
+
+use crate::WORD;
+use lmb_timing::{Harness, Latency, TimeUnit};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// An echo server plus a connected client, reusable across repetitions.
+pub struct TcpEchoPair {
+    client: TcpStream,
+    server: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpEchoPair {
+    /// Starts a loopback echo server thread and connects to it.
+    ///
+    /// `TCP_NODELAY` is set on both ends: a word-sized hot potato with
+    /// Nagle enabled would measure the delayed-ACK timer, not the stack.
+    pub fn start() -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let server = std::thread::spawn(move || {
+            if let Ok((mut conn, _)) = listener.accept() {
+                let _ = conn.set_nodelay(true);
+                let mut word = [0u8; WORD.len()];
+                loop {
+                    match conn.read_exact(&mut word) {
+                        Ok(()) => {
+                            if conn.write_all(&word).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+        });
+        let client = TcpStream::connect(addr)?;
+        client.set_nodelay(true)?;
+        client.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+        Ok(Self {
+            client,
+            server: Some(server),
+        })
+    }
+
+    /// One word round trip.
+    pub fn round_trip(&mut self) -> std::io::Result<()> {
+        let mut word = WORD;
+        self.client.write_all(&word)?;
+        self.client.read_exact(&mut word)?;
+        Ok(())
+    }
+}
+
+impl Drop for TcpEchoPair {
+    fn drop(&mut self) {
+        let _ = self.client.shutdown(std::net::Shutdown::Both);
+        if let Some(h) = self.server.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Measures loopback TCP round-trip latency; each repetition times
+/// `round_trips` exchanges.
+///
+/// # Panics
+///
+/// Panics if `round_trips` is zero or the loopback pair cannot be built.
+pub fn measure_tcp_latency(h: &Harness, round_trips: usize) -> Latency {
+    assert!(round_trips > 0, "need at least one round trip");
+    let mut pair = TcpEchoPair::start().expect("echo pair");
+    h.measure_block(round_trips as u64, || {
+        for _ in 0..round_trips {
+            pair.round_trip().expect("round trip");
+        }
+    })
+    .latency(TimeUnit::Micros)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_timing::Options;
+
+    #[test]
+    fn echo_pair_round_trips() {
+        let mut pair = TcpEchoPair::start().unwrap();
+        for _ in 0..10 {
+            pair.round_trip().unwrap();
+        }
+    }
+
+    #[test]
+    fn latency_positive_and_bounded() {
+        let h = Harness::new(Options::quick().with_repetitions(2));
+        let lat = measure_tcp_latency(&h, 50);
+        let us = lat.as_micros();
+        assert!(us > 0.0);
+        assert!(us < 50_000.0, "TCP RTT {us}us");
+    }
+
+    #[test]
+    fn tcp_latency_exceeds_pipe_latency_typically() {
+        // Table 11 vs 12: TCP round trips cost more than pipe round trips
+        // on every system (protocol work on both sides). Allow equality
+        // within noise.
+        let h = Harness::new(Options::quick().with_repetitions(2));
+        let tcp = measure_tcp_latency(&h, 50).as_micros();
+        let pipe = crate::measure_pipe_latency(&h, 50).as_micros();
+        assert!(
+            tcp * 3.0 > pipe,
+            "TCP {tcp}us implausibly below pipe {pipe}us"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Loopback UDP latency (paper §6.7, Table 13).
+//!
+//! "UDP sockets are unreliable messages that leave the retransmission
+//! issues to the application. ... Like TCP latency, UDP latency is measured
+//! by having a server process that waits for connections and a client
+//! process that connects to the server. The two processes then exchange a
+//! word between them in a loop." NFS was the era's canonical RPC/UDP user.
+
+use crate::WORD;
+use lmb_timing::{Harness, Latency, TimeUnit};
+use std::net::UdpSocket;
+
+/// A UDP echo server thread plus a connected client socket.
+pub struct UdpEchoPair {
+    client: UdpSocket,
+    server: Option<std::thread::JoinHandle<()>>,
+}
+
+impl UdpEchoPair {
+    /// Starts the loopback echo pair. Both sockets are `connect`ed so each
+    /// exchange is a bare `send`/`recv` pair — the cheapest UDP path.
+    pub fn start() -> std::io::Result<Self> {
+        let server_sock = UdpSocket::bind("127.0.0.1:0")?;
+        let server_addr = server_sock.local_addr()?;
+        let client = UdpSocket::bind("127.0.0.1:0")?;
+        let client_addr = client.local_addr()?;
+        client.connect(server_addr)?;
+        client.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+        server_sock.connect(client_addr)?;
+        let server = std::thread::spawn(move || {
+            let mut word = [0u8; WORD.len()];
+            loop {
+                match server_sock.recv(&mut word) {
+                    // A zero-length datagram is the shutdown signal.
+                    Ok(0) => break,
+                    Ok(_) => {
+                        if server_sock.send(&word).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Self {
+            client,
+            server: Some(server),
+        })
+    }
+
+    /// One word round trip.
+    pub fn round_trip(&self) -> std::io::Result<()> {
+        let mut word = WORD;
+        self.client.send(&word)?;
+        self.client.recv(&mut word)?;
+        Ok(())
+    }
+}
+
+impl Drop for UdpEchoPair {
+    fn drop(&mut self) {
+        let _ = self.client.send(&[]);
+        if let Some(h) = self.server.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Measures loopback UDP round-trip latency; each repetition times
+/// `round_trips` exchanges.
+///
+/// # Panics
+///
+/// Panics if `round_trips` is zero or the pair cannot be built.
+pub fn measure_udp_latency(h: &Harness, round_trips: usize) -> Latency {
+    assert!(round_trips > 0, "need at least one round trip");
+    let pair = UdpEchoPair::start().expect("echo pair");
+    h.measure_block(round_trips as u64, || {
+        for _ in 0..round_trips {
+            pair.round_trip().expect("round trip");
+        }
+    })
+    .latency(TimeUnit::Micros)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_timing::Options;
+
+    #[test]
+    fn echo_pair_round_trips() {
+        let pair = UdpEchoPair::start().unwrap();
+        for _ in 0..10 {
+            pair.round_trip().unwrap();
+        }
+    }
+
+    #[test]
+    fn latency_positive_and_bounded() {
+        let h = Harness::new(Options::quick().with_repetitions(2));
+        let lat = measure_udp_latency(&h, 50);
+        let us = lat.as_micros();
+        assert!(us > 0.0);
+        assert!(us < 50_000.0, "UDP RTT {us}us");
+    }
+
+    #[test]
+    fn udp_and_tcp_latencies_are_same_order() {
+        // Loopback word exchange costs are within a small factor of each
+        // other on modern stacks (Table 12 vs 13 shows the same).
+        let h = Harness::new(Options::quick().with_repetitions(2));
+        let udp = measure_udp_latency(&h, 50).as_micros();
+        let tcp = crate::measure_tcp_latency(&h, 50).as_micros();
+        assert!(udp < tcp * 20.0 + 100.0);
+        assert!(tcp < udp * 20.0 + 100.0);
+    }
+}

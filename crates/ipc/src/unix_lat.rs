@@ -1,0 +1,118 @@
+//! AF_UNIX stream-socket latency — a later-lmbench extension.
+//!
+//! The 1996 paper measures pipes, TCP and UDP; subsequent lmbench releases
+//! added Unix-domain sockets, which sit between pipes (no protocol work)
+//! and TCP (full socket layer) and make the socket-layer cost visible in
+//! isolation. Included here for the same comparison.
+
+use crate::WORD;
+use lmb_timing::{Harness, Latency, TimeUnit};
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+
+/// An AF_UNIX echo server thread plus connected client.
+pub struct UnixEchoPair {
+    client: UnixStream,
+    server: Option<std::thread::JoinHandle<()>>,
+    path: std::path::PathBuf,
+}
+
+impl UnixEchoPair {
+    /// Starts the pair on a socket file in the temp directory.
+    pub fn start() -> std::io::Result<Self> {
+        let path = std::env::temp_dir().join(format!(
+            "lmb-unix-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        let listener = UnixListener::bind(&path)?;
+        let server = std::thread::spawn(move || {
+            if let Ok((mut conn, _)) = listener.accept() {
+                let mut word = [0u8; WORD.len()];
+                while conn.read_exact(&mut word).is_ok() {
+                    if conn.write_all(&word).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        let client = UnixStream::connect(&path)?;
+        client.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+        Ok(Self {
+            client,
+            server: Some(server),
+            path,
+        })
+    }
+
+    /// One word round trip.
+    pub fn round_trip(&mut self) -> std::io::Result<()> {
+        let mut word = WORD;
+        self.client.write_all(&word)?;
+        self.client.read_exact(&mut word)?;
+        Ok(())
+    }
+}
+
+impl Drop for UnixEchoPair {
+    fn drop(&mut self) {
+        let _ = self.client.shutdown(std::net::Shutdown::Both);
+        if let Some(h) = self.server.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Measures AF_UNIX round-trip latency; each repetition times
+/// `round_trips` exchanges.
+///
+/// # Panics
+///
+/// Panics if `round_trips` is zero or the pair cannot be built.
+pub fn measure_unix_latency(h: &Harness, round_trips: usize) -> Latency {
+    assert!(round_trips > 0, "need at least one round trip");
+    let mut pair = UnixEchoPair::start().expect("echo pair");
+    h.measure_block(round_trips as u64, || {
+        for _ in 0..round_trips {
+            pair.round_trip().expect("round trip");
+        }
+    })
+    .latency(TimeUnit::Micros)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_timing::Options;
+
+    #[test]
+    fn echo_pair_round_trips() {
+        let mut pair = UnixEchoPair::start().unwrap();
+        for _ in 0..10 {
+            pair.round_trip().unwrap();
+        }
+    }
+
+    #[test]
+    fn socket_file_is_cleaned_up() {
+        let path;
+        {
+            let pair = UnixEchoPair::start().unwrap();
+            path = pair.path.clone();
+            assert!(path.exists());
+        }
+        assert!(!path.exists(), "socket file leaked at {path:?}");
+    }
+
+    #[test]
+    fn latency_positive_and_bounded() {
+        let h = Harness::new(Options::quick().with_repetitions(2));
+        let us = measure_unix_latency(&h, 50).as_micros();
+        assert!(us > 0.0);
+        assert!(us < 50_000.0, "AF_UNIX RTT {us}us");
+    }
+}

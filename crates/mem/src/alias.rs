@@ -1,0 +1,199 @@
+//! Cache-aliasing pathology — the bug that motivated lmbench (§1).
+//!
+//! "lmbench uncovered a problem in Sun's memory management software that
+//! made all pages map to the same location in the cache, effectively
+//! turning a 512 kilobyte (K) cache into a 4K cache."
+//!
+//! This module reproduces that failure mode deliberately: a chase whose
+//! elements all collide in the same cache set (spaced by an exact
+//! power-of-two "alias stride") versus a compact chase over the same
+//! *number* of lines. When the element count exceeds the cache's
+//! associativity, the aliased layout misses on every load while the
+//! compact one still fits — the measured ratio is the §1 bug made visible.
+//! It is also why the bandwidth benchmarks "took care to ensure that the
+//! source and destination locations would not map to the same lines if any
+//! of the caches were direct-mapped" (§5.1).
+
+use crate::lat::ChasePattern;
+use lmb_timing::{use_result, Harness};
+
+/// A chase over `lines` elements spaced `spacing` bytes apart.
+///
+/// With `spacing` equal to a cache's size/associativity stride, all
+/// elements index the same set; with `spacing == 64` they pack densely.
+#[derive(Debug)]
+pub struct SpacedRing {
+    ring: Vec<usize>,
+    slots: Vec<usize>,
+}
+
+impl SpacedRing {
+    /// Builds a ring of `lines` elements at `spacing`-byte intervals, in a
+    /// Sattolo-shuffled (prefetch-proof) visit order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines < 2` or `spacing < 64` or not 8-byte aligned.
+    pub fn build(lines: usize, spacing: usize) -> Self {
+        assert!(lines >= 2, "need at least two lines");
+        assert!(spacing >= 64, "spacing below a cache line");
+        assert_eq!(spacing % 8, 0, "spacing must be word-aligned");
+        let step = spacing / 8;
+        let ring = vec![0usize; lines * step];
+        let slots: Vec<usize> = (0..lines).map(|i| i * step).collect();
+        let mut s = Self { ring, slots };
+        s.link(ChasePattern::Random);
+        s
+    }
+
+    fn link(&mut self, pattern: ChasePattern) {
+        let n = self.slots.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        if matches!(pattern, ChasePattern::Random) {
+            let mut state = 0x853c_49e6_748f_ea9bu64;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for i in (1..n).rev() {
+                let j = (next() % i as u64) as usize;
+                order.swap(i, j);
+            }
+        }
+        for w in 0..n {
+            self.ring[self.slots[order[w]]] = self.slots[order[(w + 1) % n]];
+        }
+    }
+
+    /// Dependent-load walk of `loads` steps; consume the result with
+    /// [`lmb_timing::use_result`].
+    #[inline]
+    pub fn walk(&self, loads: usize) -> usize {
+        let ring = &self.ring;
+        let mut p = 0usize;
+        for _ in 0..loads {
+            p = ring[p];
+        }
+        p
+    }
+
+    /// Number of distinct lines visited.
+    pub fn lines(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Result of the aliasing experiment at one line count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AliasReport {
+    /// Lines in each working set.
+    pub lines: usize,
+    /// Alias spacing used, bytes.
+    pub alias_spacing: usize,
+    /// ns/load with all lines in one cache set.
+    pub aliased_ns: f64,
+    /// ns/load with the lines packed densely.
+    pub compact_ns: f64,
+}
+
+impl AliasReport {
+    /// Slowdown factor caused by aliasing.
+    pub fn slowdown(&self) -> f64 {
+        if self.compact_ns > 0.0 {
+            self.aliased_ns / self.compact_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Runs the experiment: `lines` lines, aliased at `alias_spacing` vs
+/// packed at 64 B.
+pub fn measure_alias(h: &Harness, lines: usize, alias_spacing: usize) -> AliasReport {
+    let loads = (lines * 64).max(1 << 16);
+    let aliased = SpacedRing::build(lines, alias_spacing);
+    let aliased_ns = h
+        .measure_block(loads as u64, || {
+            use_result(aliased.walk(loads));
+        })
+        .per_op_ns();
+    let compact = SpacedRing::build(lines, 64);
+    let compact_ns = h
+        .measure_block(loads as u64, || {
+            use_result(compact.walk(loads));
+        })
+        .per_op_ns();
+    AliasReport {
+        lines,
+        alias_spacing,
+        aliased_ns,
+        compact_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_timing::Options;
+
+    #[test]
+    fn spaced_ring_is_a_cycle_over_all_slots() {
+        let ring = SpacedRing::build(64, 4096);
+        let mut p = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            seen.insert(p);
+            p = ring.ring[p];
+        }
+        assert_eq!(p, 0, "not a cycle");
+        assert_eq!(seen.len(), 64, "cycle skips slots");
+    }
+
+    #[test]
+    fn walk_counts_match() {
+        let ring = SpacedRing::build(16, 1024);
+        assert_eq!(ring.lines(), 16);
+        assert_eq!(ring.walk(16 * 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two lines")]
+    fn single_line_rejected() {
+        SpacedRing::build(1, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "below a cache line")]
+    fn narrow_spacing_rejected() {
+        SpacedRing::build(8, 32);
+    }
+
+    #[test]
+    fn alias_report_math() {
+        let r = AliasReport {
+            lines: 64,
+            alias_spacing: 256 << 10,
+            aliased_ns: 80.0,
+            compact_ns: 4.0,
+        };
+        assert_eq!(r.slowdown(), 20.0);
+    }
+
+    #[test]
+    fn aliased_chase_is_not_faster_than_compact() {
+        // 512 lines spaced 256K apart collide brutally in any L2; packed
+        // at 64B they fit in L1. The exact ratio is arch-specific, but the
+        // direction is universal.
+        let h = Harness::new(Options::quick());
+        let r = measure_alias(&h, 512, 256 << 10);
+        assert!(r.aliased_ns > 0.0 && r.compact_ns > 0.0);
+        assert!(
+            r.slowdown() > 0.9,
+            "aliased {} vs compact {} — no conflict effect at all",
+            r.aliased_ns,
+            r.compact_ns
+        );
+    }
+}

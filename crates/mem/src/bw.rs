@@ -1,0 +1,286 @@
+//! Memory bandwidth kernels (paper §5.1, Table 2).
+//!
+//! Four numbers per system, exactly as the paper reports them:
+//!
+//! * **libc bcopy** — whatever the platform `memcpy` does (vendor-tuned).
+//! * **unrolled bcopy** — "a hand-unrolled loop that loads and stores
+//!   aligned 8-byte words".
+//! * **read** — "an unrolled loop that sums up a series of integers"; the
+//!   sum is consumed so the compiler cannot delete the loop (the paper's
+//!   pass-to-finish-timing trick, here [`lmb_timing::use_result`]).
+//! * **write** — "an unrolled loop that stores a value into an integer and
+//!   then increments the pointer".
+//!
+//! The paper takes "care to ensure that the source and destination locations
+//! would not map to the same lines if any of the caches were direct-mapped";
+//! [`CopyBuffers`] offsets the destination by half a page for the same
+//! effect.
+
+use lmb_timing::{use_result, Bandwidth, Harness};
+
+/// Number of accumulators/lanes in the unrolled kernels. Eight covers the
+/// issue width of every target while keeping the code readable.
+const UNROLL: usize = 8;
+
+/// Offset (in u64 words) inserted before the destination so src/dst never
+/// share direct-mapped cache lines: half a 4 KiB page.
+const ANTI_ALIAS_WORDS: usize = 2048 / 8;
+
+/// Source and destination buffers for the copy kernels, padded so they
+/// cannot collide in a direct-mapped cache.
+pub struct CopyBuffers {
+    src: Vec<u64>,
+    dst: Vec<u64>,
+    words: usize,
+}
+
+impl CopyBuffers {
+    /// Allocates two `bytes`-sized buffers (rounded down to whole u64
+    /// words, minimum one word) and touches every page of both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes < 8`.
+    pub fn new(bytes: usize) -> Self {
+        assert!(bytes >= 8, "need at least one word");
+        let words = bytes / 8;
+        let src = vec![0x5aa5_5aa5_5aa5_5aa5u64; words];
+        // The destination over-allocates by the anti-alias pad and uses the
+        // tail, so its base address is offset from src's by ~half a page.
+        let mut dst = vec![0u64; words + ANTI_ALIAS_WORDS];
+        dst.truncate(words + ANTI_ALIAS_WORDS);
+        Self { src, dst, words }
+    }
+
+    /// Payload size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.words * 8
+    }
+
+    #[cfg(test)]
+    fn dst_slice(&mut self) -> &mut [u64] {
+        &mut self.dst[ANTI_ALIAS_WORDS..ANTI_ALIAS_WORDS + self.words]
+    }
+}
+
+/// libc-style copy: delegates to the platform `memcpy` via
+/// `copy_from_slice`.
+pub fn bcopy_libc(bufs: &mut CopyBuffers) {
+    let words = bufs.words;
+    let (src, dst) = (&bufs.src[..words], &mut bufs.dst[ANTI_ALIAS_WORDS..]);
+    dst[..words].copy_from_slice(src);
+}
+
+/// Hand-unrolled copy of aligned 8-byte words, `UNROLL` at a time.
+pub fn bcopy_unrolled(bufs: &mut CopyBuffers) {
+    let words = bufs.words;
+    let src = &bufs.src[..words];
+    let dst = &mut bufs.dst[ANTI_ALIAS_WORDS..ANTI_ALIAS_WORDS + words];
+    let mut chunks_d = dst.chunks_exact_mut(UNROLL);
+    let mut chunks_s = src.chunks_exact(UNROLL);
+    for (d, s) in (&mut chunks_d).zip(&mut chunks_s) {
+        d[0] = s[0];
+        d[1] = s[1];
+        d[2] = s[2];
+        d[3] = s[3];
+        d[4] = s[4];
+        d[5] = s[5];
+        d[6] = s[6];
+        d[7] = s[7];
+    }
+    for (d, s) in chunks_d
+        .into_remainder()
+        .iter_mut()
+        .zip(chunks_s.remainder())
+    {
+        *d = *s;
+    }
+}
+
+/// Unrolled read: sums the buffer with `UNROLL` independent accumulators
+/// (a load and an integer add per word, as in the paper) and returns the
+/// sum so callers can feed it to [`lmb_timing::use_result`].
+pub fn read_sum(buf: &[u64]) -> u64 {
+    let mut acc = [0u64; UNROLL];
+    let mut chunks = buf.chunks_exact(UNROLL);
+    for c in &mut chunks {
+        acc[0] = acc[0].wrapping_add(c[0]);
+        acc[1] = acc[1].wrapping_add(c[1]);
+        acc[2] = acc[2].wrapping_add(c[2]);
+        acc[3] = acc[3].wrapping_add(c[3]);
+        acc[4] = acc[4].wrapping_add(c[4]);
+        acc[5] = acc[5].wrapping_add(c[5]);
+        acc[6] = acc[6].wrapping_add(c[6]);
+        acc[7] = acc[7].wrapping_add(c[7]);
+    }
+    let mut total = chunks
+        .remainder()
+        .iter()
+        .fold(0u64, |a, &b| a.wrapping_add(b));
+    for a in acc {
+        total = total.wrapping_add(a);
+    }
+    total
+}
+
+/// Unrolled write: stores `value` into every word.
+pub fn write_fill(buf: &mut [u64], value: u64) {
+    let mut chunks = buf.chunks_exact_mut(UNROLL);
+    for c in &mut chunks {
+        c[0] = value;
+        c[1] = value;
+        c[2] = value;
+        c[3] = value;
+        c[4] = value;
+        c[5] = value;
+        c[6] = value;
+        c[7] = value;
+    }
+    for w in chunks.into_remainder() {
+        *w = value;
+    }
+}
+
+/// The four Table 2 numbers for one buffer size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthReport {
+    /// Buffer size used, in bytes.
+    pub bytes: usize,
+    /// libc `memcpy` copy bandwidth.
+    pub bcopy_libc: Bandwidth,
+    /// Hand-unrolled word copy bandwidth.
+    pub bcopy_unrolled: Bandwidth,
+    /// Read (sum) bandwidth.
+    pub read: Bandwidth,
+    /// Write (fill) bandwidth.
+    pub write: Bandwidth,
+}
+
+/// Measures libc bcopy bandwidth over `bytes`-sized buffers.
+pub fn measure_bcopy_libc(h: &Harness, bytes: usize) -> Bandwidth {
+    let mut bufs = CopyBuffers::new(bytes);
+    let payload = bufs.bytes() as u64;
+    h.measure_block(1, || bcopy_libc(&mut bufs)).bandwidth(payload)
+}
+
+/// Measures hand-unrolled bcopy bandwidth over `bytes`-sized buffers.
+pub fn measure_bcopy_unrolled(h: &Harness, bytes: usize) -> Bandwidth {
+    let mut bufs = CopyBuffers::new(bytes);
+    let payload = bufs.bytes() as u64;
+    h.measure_block(1, || bcopy_unrolled(&mut bufs))
+        .bandwidth(payload)
+}
+
+/// Measures read (sum) bandwidth over a `bytes`-sized buffer.
+pub fn measure_read(h: &Harness, bytes: usize) -> Bandwidth {
+    let buf = vec![1u64; (bytes / 8).max(1)];
+    let payload = (buf.len() * 8) as u64;
+    h.measure_block(1, || {
+        use_result(read_sum(&buf));
+    })
+    .bandwidth(payload)
+}
+
+/// Measures write (fill) bandwidth over a `bytes`-sized buffer.
+pub fn measure_write(h: &Harness, bytes: usize) -> Bandwidth {
+    let mut buf = vec![0u64; (bytes / 8).max(1)];
+    let payload = (buf.len() * 8) as u64;
+    let mut v = 1u64;
+    h.measure_block(1, || {
+        write_fill(&mut buf, v);
+        v = v.wrapping_add(1);
+    })
+    .bandwidth(payload)
+}
+
+/// Runs all four kernels at one size — one Table 2 row.
+pub fn measure_all(h: &Harness, bytes: usize) -> BandwidthReport {
+    BandwidthReport {
+        bytes,
+        bcopy_libc: measure_bcopy_libc(h, bytes),
+        bcopy_unrolled: measure_bcopy_unrolled(h, bytes),
+        read: measure_read(h, bytes),
+        write: measure_write(h, bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_timing::Options;
+
+    #[test]
+    fn copies_are_correct() {
+        let mut bufs = CopyBuffers::new(4096 + 24);
+        bcopy_libc(&mut bufs);
+        assert!(bufs.dst_slice().iter().all(|&w| w == 0x5aa5_5aa5_5aa5_5aa5));
+        let mut bufs = CopyBuffers::new(4096 + 24);
+        bcopy_unrolled(&mut bufs);
+        assert!(bufs.dst_slice().iter().all(|&w| w == 0x5aa5_5aa5_5aa5_5aa5));
+    }
+
+    #[test]
+    fn unrolled_copy_handles_non_multiple_lengths() {
+        for words in [1usize, 7, 8, 9, 15, 17] {
+            let mut bufs = CopyBuffers::new(words * 8);
+            bcopy_unrolled(&mut bufs);
+            assert_eq!(bufs.dst_slice().len(), words);
+            assert!(bufs.dst_slice().iter().all(|&w| w == 0x5aa5_5aa5_5aa5_5aa5));
+        }
+    }
+
+    #[test]
+    fn read_sum_matches_naive() {
+        let buf: Vec<u64> = (0..1000).collect();
+        assert_eq!(read_sum(&buf), (0..1000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn read_sum_wraps_not_panics() {
+        let buf = vec![u64::MAX; 9];
+        let _ = read_sum(&buf);
+    }
+
+    #[test]
+    fn write_fill_sets_every_word() {
+        for words in [1usize, 8, 13] {
+            let mut buf = vec![0u64; words];
+            write_fill(&mut buf, 7);
+            assert!(buf.iter().all(|&w| w == 7));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn tiny_buffers_rejected() {
+        CopyBuffers::new(4);
+    }
+
+    #[test]
+    fn measured_bandwidths_are_positive_and_ordered_sanely() {
+        let h = Harness::new(Options::quick());
+        let r = measure_all(&h, 1 << 20);
+        for bw in [r.bcopy_libc, r.bcopy_unrolled, r.read, r.write] {
+            assert!(bw.mb_per_s > 0.0, "zero bandwidth in {r:?}");
+        }
+        // Paper §5.1: "pure reads should run at roughly twice the speed of
+        // bcopy"; we only assert reads are not *slower* than the unrolled
+        // copy by more than 4x (very loose CI-safe bound).
+        assert!(
+            r.read.mb_per_s * 4.0 > r.bcopy_unrolled.mb_per_s,
+            "read {} vs copy {}",
+            r.read.mb_per_s,
+            r.bcopy_unrolled.mb_per_s
+        );
+    }
+
+    #[test]
+    fn src_dst_are_offset() {
+        // 1 MiB allocations come from mmap and are page-aligned, making the
+        // half-page offset between src and dst deterministic.
+        let bufs = CopyBuffers::new(1 << 20);
+        let src_addr = bufs.src.as_ptr() as usize;
+        let dst_addr = bufs.dst[ANTI_ALIAS_WORDS..].as_ptr() as usize;
+        assert_ne!(src_addr % 4096, dst_addr % 4096, "src/dst page-aligned identically");
+    }
+}

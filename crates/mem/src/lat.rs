@@ -1,0 +1,330 @@
+//! Back-to-back-load memory latency via pointer chasing (paper §6.1–6.2).
+//!
+//! "The benchmark varies two parameters, array size and array stride. For
+//! each size, a list of pointers is created for all of the different
+//! strides. Then the list is walked thus: `p = *p`. The time to do about
+//! 1,000,000 loads (the list wraps) is measured and reported."
+//!
+//! lmbench measures *back-to-back-load* latency deliberately: each load's
+//! address depends on the previous load's data, so no amount of out-of-order
+//! machinery can overlap them — "it is the only measurement that may be
+//! easily measured from software and ... what most software developers
+//! consider to be memory latency."
+//!
+//! Two walk orders are provided: [`ChasePattern::Stride`] is the paper's
+//! forward-stride ring; [`ChasePattern::Random`] is the §7 future-work
+//! extension ("making the benchmark impervious to sequential prefetching")
+//! — a Sattolo-cycle permutation that defeats stride prefetchers.
+
+use lmb_timing::{use_result, Harness};
+
+/// Walk order for the chase ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChasePattern {
+    /// Paper-faithful: element `i` points to `i + stride`, wrapping.
+    Stride,
+    /// Prefetch-defeating single cycle visiting the same elements in a
+    /// pseudo-random order (Sattolo's algorithm, deterministic seed).
+    Random,
+}
+
+/// One measured point of the latency surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPoint {
+    /// Array size in bytes.
+    pub size: usize,
+    /// Stride in bytes.
+    pub stride: usize,
+    /// Nanoseconds per dependent load.
+    pub ns_per_load: f64,
+}
+
+/// All points measured for one stride, sizes ascending — one curve of
+/// Figure 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyCurve {
+    /// Stride in bytes.
+    pub stride: usize,
+    /// Points (size ascending).
+    pub points: Vec<LatencyPoint>,
+}
+
+/// A pointer-chase ring: `ring[i]` is the index of the next element.
+///
+/// Indices stand in for pointers; on 64-bit targets a `usize` load is the
+/// same 8-byte dependent load the C `p = *p` performs.
+#[derive(Debug)]
+pub struct ChaseRing {
+    ring: Vec<usize>,
+    hops: usize,
+}
+
+impl ChaseRing {
+    /// Builds a ring covering `size` bytes at `stride`-byte spacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is smaller than one word (8 bytes), not a
+    /// multiple of 8, or `size < stride`.
+    pub fn build(size: usize, stride: usize, pattern: ChasePattern) -> Self {
+        assert!(stride >= 8, "stride below word size");
+        assert_eq!(stride % 8, 0, "stride must be word-aligned");
+        assert!(size >= stride, "array smaller than one stride");
+        let words = size / 8;
+        let step = stride / 8;
+        let hops = words / step;
+        let mut ring = vec![0usize; words];
+        match pattern {
+            ChasePattern::Stride => {
+                for h in 0..hops {
+                    let from = h * step;
+                    let to = ((h + 1) % hops) * step;
+                    ring[from] = to;
+                }
+            }
+            ChasePattern::Random => {
+                // Sattolo's algorithm over the hop slots yields one cycle
+                // through all of them in pseudo-random order. Deterministic
+                // xorshift seed keeps runs comparable.
+                let slots: Vec<usize> = (0..hops).map(|h| h * step).collect();
+                let mut perm: Vec<usize> = (0..hops).collect();
+                let mut state = 0x9e3779b97f4a7c15u64;
+                let mut next = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                for i in (1..hops).rev() {
+                    let j = (next() % i as u64) as usize;
+                    perm.swap(i, j);
+                }
+                for w in 0..hops {
+                    ring[slots[perm[w]]] = slots[perm[(w + 1) % hops]];
+                }
+            }
+        }
+        Self { ring, hops }
+    }
+
+    /// Number of elements in the cycle.
+    pub fn hops(&self) -> usize {
+        self.hops
+    }
+
+    /// Follows the chain for `loads` dependent loads, returning the final
+    /// index (which callers must consume via [`lmb_timing::use_result`] so
+    /// the chase cannot be elided).
+    #[inline]
+    pub fn walk(&self, loads: usize) -> usize {
+        let ring = &self.ring;
+        let mut p = 0usize;
+        // Unrolled by 8: the loop counter bookkeeping amortizes to noise
+        // while each step stays a dependent load.
+        let rounds = loads / 8;
+        for _ in 0..rounds {
+            p = ring[p];
+            p = ring[p];
+            p = ring[p];
+            p = ring[p];
+            p = ring[p];
+            p = ring[p];
+            p = ring[p];
+            p = ring[p];
+        }
+        for _ in 0..loads % 8 {
+            p = ring[p];
+        }
+        p
+    }
+
+    /// Consumes the ring, yielding the raw next-index table (used by the
+    /// dirty-walk variant, which needs mutable access to payload words).
+    pub fn into_inner(self) -> Vec<usize> {
+        self.ring
+    }
+
+    /// One step of the chase from `cursor` (used by the multi-chain MLP
+    /// walker, which interleaves several rings).
+    #[inline(always)]
+    pub fn peek(&self, cursor: usize) -> usize {
+        self.ring[cursor]
+    }
+
+    /// Verifies the ring is a single cycle visiting every slot exactly once
+    /// (test and debugging aid).
+    pub fn is_single_cycle(&self) -> bool {
+        let mut seen = 0usize;
+        let mut p = 0usize;
+        for _ in 0..self.hops {
+            p = self.ring[p];
+            seen += 1;
+        }
+        p == 0 && seen == self.hops
+    }
+}
+
+/// Loads per timing interval; ~1,000,000 in the paper, scaled down for
+/// small rings where one lap already gives signal.
+fn loads_for(ring: &ChaseRing) -> usize {
+    // At least 4 laps around the ring and at least 2^17 loads.
+    (ring.hops() * 4).max(1 << 17)
+}
+
+/// Measures ns per dependent load at one (size, stride) point.
+pub fn measure_point(h: &Harness, size: usize, stride: usize, pattern: ChasePattern) -> LatencyPoint {
+    let ring = ChaseRing::build(size, stride, pattern);
+    let loads = loads_for(&ring);
+    let m = h.measure_block(loads as u64, || {
+        use_result(ring.walk(loads));
+    });
+    LatencyPoint {
+        size,
+        stride,
+        ns_per_load: m.per_op_ns(),
+    }
+}
+
+/// Default Figure 1 size grid: 512 bytes to `max_size`, powers of two plus
+/// the halfway points (the paper plots ~quarter-decade resolution).
+pub fn default_sizes(max_size: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut s = 512usize;
+    while s <= max_size {
+        sizes.push(s);
+        if s + s / 2 <= max_size && s >= 1024 {
+            sizes.push(s + s / 2);
+        }
+        s *= 2;
+    }
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes
+}
+
+/// Default Figure 1 stride grid: 8 bytes to 4 KiB, powers of two.
+pub fn default_strides() -> Vec<usize> {
+    (3..=12).map(|p| 1usize << p).collect()
+}
+
+/// Sweeps the full (size × stride) grid — the data behind Figure 1.
+pub fn sweep(
+    h: &Harness,
+    sizes: &[usize],
+    strides: &[usize],
+    pattern: ChasePattern,
+) -> Vec<LatencyCurve> {
+    strides
+        .iter()
+        .map(|&stride| LatencyCurve {
+            stride,
+            points: sizes
+                .iter()
+                .filter(|&&size| size >= stride * 2)
+                .map(|&size| measure_point(h, size, stride, pattern))
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_timing::Options;
+
+    #[test]
+    fn stride_ring_is_single_cycle() {
+        for (size, stride) in [(4096usize, 8usize), (4096, 64), (8192, 512), (1024, 1024)] {
+            let ring = ChaseRing::build(size, stride, ChasePattern::Stride);
+            assert!(ring.is_single_cycle(), "size {size} stride {stride}");
+            assert_eq!(ring.hops(), size / stride.max(8));
+        }
+    }
+
+    #[test]
+    fn random_ring_is_single_cycle() {
+        for (size, stride) in [(4096usize, 8usize), (65536, 64), (8192, 256)] {
+            let ring = ChaseRing::build(size, stride, ChasePattern::Random);
+            assert!(ring.is_single_cycle(), "size {size} stride {stride}");
+        }
+    }
+
+    #[test]
+    fn random_ring_differs_from_stride_ring() {
+        let a = ChaseRing::build(1 << 16, 64, ChasePattern::Stride);
+        let b = ChaseRing::build(1 << 16, 64, ChasePattern::Random);
+        assert_ne!(a.ring, b.ring);
+    }
+
+    #[test]
+    fn walk_returns_to_start_after_full_laps() {
+        let ring = ChaseRing::build(4096, 64, ChasePattern::Stride);
+        assert_eq!(ring.walk(ring.hops() * 3), 0);
+    }
+
+    #[test]
+    fn walk_partial_lap_lands_mid_ring() {
+        let ring = ChaseRing::build(4096, 64, ChasePattern::Stride);
+        // One hop from slot 0 at stride 64 = word index 8.
+        assert_eq!(ring.walk(1), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn unaligned_stride_rejected() {
+        ChaseRing::build(4096, 12, ChasePattern::Stride);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than one stride")]
+    fn size_below_stride_rejected() {
+        ChaseRing::build(64, 128, ChasePattern::Stride);
+    }
+
+    #[test]
+    fn grids_are_sorted_unique() {
+        let sizes = default_sizes(1 << 20);
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*sizes.first().unwrap(), 512);
+        assert!(*sizes.last().unwrap() <= 1 << 20);
+        let strides = default_strides();
+        assert_eq!(strides.first(), Some(&8));
+        assert_eq!(strides.last(), Some(&4096));
+    }
+
+    #[test]
+    fn cache_resident_latency_is_small() {
+        let h = Harness::new(Options::quick());
+        // 4 KiB at stride 64 lives in L1 on anything modern.
+        let p = measure_point(&h, 4096, 64, ChasePattern::Stride);
+        assert!(p.ns_per_load > 0.0);
+        assert!(
+            p.ns_per_load < 50.0,
+            "L1 chase took {} ns/load — harness broken",
+            p.ns_per_load
+        );
+    }
+
+    #[test]
+    fn big_random_chase_is_slower_than_l1() {
+        let h = Harness::new(Options::quick());
+        let l1 = measure_point(&h, 4096, 64, ChasePattern::Random);
+        let mem = measure_point(&h, 64 << 20, 64, ChasePattern::Random);
+        assert!(
+            mem.ns_per_load > l1.ns_per_load * 2.0,
+            "no hierarchy visible: L1 {} vs mem {}",
+            l1.ns_per_load,
+            mem.ns_per_load
+        );
+    }
+
+    #[test]
+    fn sweep_skips_degenerate_points() {
+        let h = Harness::new(Options::quick());
+        let curves = sweep(&h, &[512, 1024, 2048], &[8, 1024], ChasePattern::Stride);
+        assert_eq!(curves.len(), 2);
+        // Stride 1024 needs size >= 2048.
+        assert_eq!(curves[1].points.len(), 1);
+        assert_eq!(curves[1].points[0].size, 2048);
+    }
+}

@@ -1,0 +1,39 @@
+//! Memory-subsystem benchmarks: bandwidth, latency, and hierarchy analysis.
+//!
+//! Implements the paper's §5.1 (memory bandwidth: `bcopy`, read, write),
+//! §6.1–6.2 (back-to-back-load memory latency via pointer chasing over an
+//! (array size × stride) grid), the Table 6 cache-hierarchy extraction, and
+//! three of the §7 future-work items: TLB-miss latency, McCalpin STREAM
+//! kernels, and a prefetch-defeating (random-permutation) chase pattern.
+//!
+//! # Examples
+//!
+//! ```
+//! use lmb_timing::{Harness, Options};
+//! use lmb_mem::bw;
+//!
+//! let h = Harness::new(Options::quick());
+//! // A deliberately small copy (fits in cache) just to exercise the API.
+//! let report = bw::measure_all(&h, 1 << 16);
+//! assert!(report.bcopy_libc.mb_per_s > 0.0);
+//! ```
+
+pub mod alias;
+pub mod bw;
+pub mod dirty;
+pub mod hierarchy;
+pub mod lat;
+pub mod mlp;
+pub mod mp;
+pub mod stream;
+pub mod tlb;
+
+pub use alias::{measure_alias, AliasReport, SpacedRing};
+pub use bw::{BandwidthReport, CopyBuffers};
+pub use dirty::{measure_dirty_point, DirtyRing};
+pub use hierarchy::{CacheLevel, Hierarchy};
+pub use lat::{ChasePattern, LatencyCurve, LatencyPoint};
+pub use mlp::{effective_mlp, MlpPoint, ParallelChains};
+pub use mp::{measure_cache_to_cache_bw, measure_line_pingpong};
+pub use stream::StreamReport;
+pub use tlb::TlbEstimate;

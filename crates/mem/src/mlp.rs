@@ -1,0 +1,181 @@
+//! Memory-level parallelism: how many misses the machine overlaps.
+//!
+//! The paper's §6.1 taxonomy distinguishes *back-to-back-load* latency
+//! (serial dependent misses — what [`crate::lat`] measures) from
+//! *load-in-a-vacuum* latency, noting that nonblocking loads let "the
+//! perceived load latency \[be\] much less than the real latency" when
+//! independent work exists. This probe quantifies exactly that: walk `k`
+//! *independent* pointer chains simultaneously. With `k = 1` it reproduces
+//! the back-to-back number; as `k` grows, the memory system overlaps the
+//! misses until its miss-handling resources saturate. The ratio
+//! `latency(1) / latency(k)` is the machine's usable memory-level
+//! parallelism — the quantity that separates the paper's two definitions.
+
+use crate::lat::{ChasePattern, ChaseRing};
+use lmb_timing::{use_result, Harness};
+
+/// Maximum simultaneous chains supported.
+pub const MAX_CHAINS: usize = 8;
+
+/// A set of `k` independent chase rings walked in lock-step.
+#[derive(Debug)]
+pub struct ParallelChains {
+    rings: Vec<ChaseRing>,
+}
+
+impl ParallelChains {
+    /// Builds `k` independent rings, each covering `size` bytes at
+    /// `stride` spacing with distinct random cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds [`MAX_CHAINS`], or on invalid
+    /// size/stride (see [`ChaseRing::build`]).
+    pub fn build(k: usize, size: usize, stride: usize) -> Self {
+        assert!((1..=MAX_CHAINS).contains(&k), "chain count {k} out of range");
+        // Each ring is its own allocation, so chains never share lines;
+        // the Random pattern keeps the prefetcher out of the experiment.
+        let rings = (0..k)
+            .map(|_| ChaseRing::build(size, stride, ChasePattern::Random))
+            .collect();
+        Self { rings }
+    }
+
+    /// Number of chains.
+    pub fn chains(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Advances every chain `steps` times (total loads = `steps * k`).
+    ///
+    /// The chains are interleaved one step at a time, so at any instant
+    /// there are `k` independent outstanding loads — the load-in-a-vacuum
+    /// end of the paper's spectrum as `k` grows.
+    #[inline]
+    pub fn walk(&self, steps: usize) -> usize {
+        let mut cursors = [0usize; MAX_CHAINS];
+        let k = self.rings.len();
+        for _ in 0..steps {
+            for (c, ring) in cursors[..k].iter_mut().zip(&self.rings) {
+                *c = ring.peek(*c);
+            }
+        }
+        cursors[..k].iter().sum()
+    }
+}
+
+/// One point of the MLP curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpPoint {
+    /// Simultaneous chains.
+    pub chains: usize,
+    /// Nanoseconds per load (total loads across all chains).
+    pub ns_per_load: f64,
+}
+
+/// Measures effective per-load latency at `k` chains over `size` bytes.
+pub fn measure_chains(h: &Harness, k: usize, size: usize, stride: usize) -> MlpPoint {
+    let chains = ParallelChains::build(k, size, stride);
+    let steps = ((size / stride) * 4 / k.max(1)).max(1 << 14);
+    let total_loads = (steps * k) as u64;
+    let m = h.measure_block(total_loads, || {
+        use_result(chains.walk(steps));
+    });
+    MlpPoint {
+        chains: k,
+        ns_per_load: m.per_op_ns(),
+    }
+}
+
+/// Sweeps chain counts 1..=`max_chains` — the MLP curve.
+pub fn sweep(h: &Harness, max_chains: usize, size: usize, stride: usize) -> Vec<MlpPoint> {
+    (1..=max_chains.min(MAX_CHAINS))
+        .map(|k| measure_chains(h, k, size, stride))
+        .collect()
+}
+
+/// The machine's usable memory-level parallelism: serial latency divided
+/// by the best overlapped per-load latency.
+pub fn effective_mlp(points: &[MlpPoint]) -> f64 {
+    let serial = points
+        .iter()
+        .find(|p| p.chains == 1)
+        .map(|p| p.ns_per_load)
+        .unwrap_or(0.0);
+    let best = points
+        .iter()
+        .map(|p| p.ns_per_load)
+        .fold(f64::INFINITY, f64::min);
+    if best > 0.0 && serial > 0.0 {
+        serial / best
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_timing::Options;
+
+    #[test]
+    fn single_chain_matches_serial_chase_closely() {
+        let h = Harness::new(Options::quick());
+        let serial = crate::lat::measure_point(&h, 8 << 20, 64, ChasePattern::Random).ns_per_load;
+        let one = measure_chains(&h, 1, 8 << 20, 64).ns_per_load;
+        assert!(one > 0.0);
+        // Debug builds add bounds-check overhead to the multi-cursor walk
+        // that the serial chase does not pay, so the bound is loose; in
+        // release the two agree within ~20%.
+        assert!(
+            (one / serial) > 0.3 && (one / serial) < 4.0,
+            "1-chain MLP walk {one} ns vs serial chase {serial} ns"
+        );
+    }
+
+    #[test]
+    fn more_chains_do_not_slow_per_load_cost_dramatically() {
+        // Overlap can only help or saturate; 4 chains must not be slower
+        // per load than 1 chain by more than noise.
+        let h = Harness::new(Options::quick());
+        let pts = sweep(&h, 4, 16 << 20, 64);
+        let one = pts[0].ns_per_load;
+        let four = pts[3].ns_per_load;
+        assert!(
+            four < one * 1.5,
+            "4 chains {four} ns/load vs 1 chain {one} ns/load"
+        );
+    }
+
+    #[test]
+    fn mlp_math() {
+        let pts = vec![
+            MlpPoint { chains: 1, ns_per_load: 80.0 },
+            MlpPoint { chains: 2, ns_per_load: 42.0 },
+            MlpPoint { chains: 4, ns_per_load: 25.0 },
+        ];
+        assert!((effective_mlp(&pts) - 80.0 / 25.0).abs() < 1e-12);
+        assert_eq!(effective_mlp(&[]), 0.0);
+    }
+
+    #[test]
+    fn chains_are_independent_cycles() {
+        let c = ParallelChains::build(3, 1 << 16, 64);
+        assert_eq!(c.chains(), 3);
+        // Walking a full lap returns every cursor to zero -> sum 0.
+        let laps = (1 << 16) / 64;
+        assert_eq!(c.walk(laps), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_chains_rejected() {
+        ParallelChains::build(0, 4096, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn too_many_chains_rejected() {
+        ParallelChains::build(MAX_CHAINS + 1, 4096, 64);
+    }
+}

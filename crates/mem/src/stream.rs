@@ -1,0 +1,167 @@
+//! McCalpin STREAM-style bandwidth kernels.
+//!
+//! The paper's §7 says "We will probably incorporate part or all of
+//! [McCalpin's stream benchmark] into lmbench" — done here. The four
+//! canonical kernels over `f64` arrays:
+//!
+//! * `copy`:  `c[i] = a[i]`
+//! * `scale`: `b[i] = k * c[i]`
+//! * `add`:   `c[i] = a[i] + b[i]`
+//! * `triad`: `a[i] = b[i] + k * c[i]`
+//!
+//! Reported bandwidth counts *all* memory moved (reads + writes), which is
+//! why the paper notes STREAM numbers "should be approximately one-half to
+//! one-third" above its own bcopy numbers (§5.1): STREAM reports all bytes
+//! touched where bcopy reports bytes copied.
+
+use lmb_timing::{use_result, Bandwidth, Harness};
+
+/// The four STREAM bandwidths for one array size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamReport {
+    /// Elements per array.
+    pub elements: usize,
+    /// `c[i] = a[i]` — 16 bytes moved per element.
+    pub copy: Bandwidth,
+    /// `b[i] = k*c[i]` — 16 bytes per element.
+    pub scale: Bandwidth,
+    /// `c[i] = a[i] + b[i]` — 24 bytes per element.
+    pub add: Bandwidth,
+    /// `a[i] = b[i] + k*c[i]` — 24 bytes per element.
+    pub triad: Bandwidth,
+}
+
+/// Working arrays for the kernels.
+pub struct StreamArrays {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c: Vec<f64>,
+}
+
+impl StreamArrays {
+    /// Allocates three `elements`-long arrays with the canonical initial
+    /// values (a=1.0, b=2.0, c=0.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements` is zero.
+    pub fn new(elements: usize) -> Self {
+        assert!(elements > 0, "need at least one element");
+        Self {
+            a: vec![1.0; elements],
+            b: vec![2.0; elements],
+            c: vec![0.0; elements],
+        }
+    }
+
+    /// `c[i] = a[i]`.
+    pub fn copy(&mut self) {
+        self.c.copy_from_slice(&self.a);
+    }
+
+    /// `b[i] = k * c[i]`.
+    pub fn scale(&mut self, k: f64) {
+        for (b, c) in self.b.iter_mut().zip(&self.c) {
+            *b = k * *c;
+        }
+    }
+
+    /// `c[i] = a[i] + b[i]`.
+    pub fn add(&mut self) {
+        for ((c, a), b) in self.c.iter_mut().zip(&self.a).zip(&self.b) {
+            *c = *a + *b;
+        }
+    }
+
+    /// `a[i] = b[i] + k * c[i]`.
+    pub fn triad(&mut self, k: f64) {
+        for ((a, b), c) in self.a.iter_mut().zip(&self.b).zip(&self.c) {
+            *a = *b + k * *c;
+        }
+    }
+
+    /// Checksum over all three arrays (consumed by the harness so kernels
+    /// cannot be elided).
+    pub fn checksum(&self) -> f64 {
+        self.a.iter().sum::<f64>() + self.b.iter().sum::<f64>() + self.c.iter().sum::<f64>()
+    }
+}
+
+/// Measures all four kernels over arrays of `bytes` total footprint each.
+pub fn measure(h: &Harness, bytes_per_array: usize) -> StreamReport {
+    let elements = (bytes_per_array / 8).max(1);
+    let mut arrays = StreamArrays::new(elements);
+    let k = 3.0f64;
+    let el_bytes = (elements * 8) as u64;
+
+    let copy = h
+        .measure_block(1, || arrays.copy())
+        .bandwidth(el_bytes * 2);
+    let scale = h
+        .measure_block(1, || arrays.scale(k))
+        .bandwidth(el_bytes * 2);
+    let add = h.measure_block(1, || arrays.add()).bandwidth(el_bytes * 3);
+    let triad = h
+        .measure_block(1, || arrays.triad(k))
+        .bandwidth(el_bytes * 3);
+    use_result(arrays.checksum());
+
+    StreamReport {
+        elements,
+        copy,
+        scale,
+        add,
+        triad,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_timing::Options;
+
+    #[test]
+    fn kernels_compute_correct_values() {
+        let mut s = StreamArrays::new(100);
+        s.copy(); // c = 1
+        s.scale(3.0); // b = 3
+        s.add(); // c = a + b = 4
+        s.triad(2.0); // a = b + 2c = 3 + 8 = 11
+        assert!(s.a.iter().all(|&v| v == 11.0));
+        assert!(s.b.iter().all(|&v| v == 3.0));
+        assert!(s.c.iter().all(|&v| v == 4.0));
+        assert_eq!(s.checksum(), 100.0 * (11.0 + 3.0 + 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_elements_rejected() {
+        StreamArrays::new(0);
+    }
+
+    #[test]
+    fn measured_stream_bandwidths_positive() {
+        let h = Harness::new(Options::quick());
+        let r = measure(&h, 1 << 20);
+        for bw in [r.copy, r.scale, r.add, r.triad] {
+            assert!(bw.mb_per_s > 0.0);
+            assert!(bw.mb_per_s.is_finite());
+        }
+    }
+
+    #[test]
+    fn stream_counts_more_bytes_than_bcopy() {
+        // Same traffic, different accounting: STREAM copy reports 2x the
+        // bytes a bcopy-style report would, so at equal sizes the STREAM
+        // MB/s should be roughly >= the bcopy MB/s.
+        let h = Harness::new(Options::quick());
+        let stream = measure(&h, 1 << 20).copy;
+        let bcopy = crate::bw::measure_bcopy_libc(&h, 1 << 20);
+        assert!(
+            stream.mb_per_s > bcopy.mb_per_s * 0.8,
+            "stream {} vs bcopy {}",
+            stream.mb_per_s,
+            bcopy.mb_per_s
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! TLB-miss latency probe (paper §7 future work; cf. Saavedra & Smith 1995).
+//!
+//! The paper stopped at main memory: "Measuring TLB miss time is problematic
+//! because different systems map different amounts of memory with their TLB
+//! hardware." This probe sidesteps the problem the way later lmbench
+//! versions did: chase one pointer per page across an increasing number of
+//! pages. While the page count fits the TLB, each load costs a cache miss at
+//! most; once the count exceeds TLB capacity every load adds a page-table
+//! walk. The knee of the curve estimates TLB reach; the step height
+//! estimates the miss cost.
+
+use crate::lat::{ChasePattern, ChaseRing};
+use lmb_timing::{use_result, Harness};
+
+/// Result of the TLB probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TlbEstimate {
+    /// Probed (pages, ns-per-load) points, page count ascending.
+    pub points: Vec<(usize, f64)>,
+    /// Estimated TLB coverage in pages (the knee), if one was visible.
+    pub coverage_pages: Option<usize>,
+    /// Estimated added cost of a TLB miss in nanoseconds, if a knee was
+    /// visible.
+    pub miss_cost_ns: Option<f64>,
+}
+
+/// Page size used for the probe (one load per page).
+pub const PAGE: usize = 4096;
+
+/// Measures ns/load chasing one pointer per page over `pages` pages, in a
+/// random (prefetch-defeating) order.
+pub fn measure_pages(h: &Harness, pages: usize) -> f64 {
+    let ring = ChaseRing::build(pages * PAGE, PAGE, ChasePattern::Random);
+    let loads = (pages * 8).max(1 << 15);
+    h.measure_block(loads as u64, || {
+        use_result(ring.walk(loads));
+    })
+    .per_op_ns()
+}
+
+/// Runs the probe over a doubling page-count grid up to `max_pages`.
+pub fn probe(h: &Harness, max_pages: usize) -> TlbEstimate {
+    let mut points = Vec::new();
+    let mut pages = 8usize;
+    while pages <= max_pages {
+        points.push((pages, measure_pages(h, pages)));
+        pages *= 2;
+    }
+    let (coverage_pages, miss_cost_ns) = find_knee(&points);
+    TlbEstimate {
+        points,
+        coverage_pages,
+        miss_cost_ns,
+    }
+}
+
+/// Finds the largest page count before the steepest sustained latency rise.
+///
+/// Returns `(coverage, step_height)` when the post-knee plateau is at least
+/// 1.5x the pre-knee plateau, else `(None, None)`.
+pub fn find_knee(points: &[(usize, f64)]) -> (Option<usize>, Option<f64>) {
+    if points.len() < 3 {
+        return (None, None);
+    }
+    // Knee = the doubling with the largest latency ratio.
+    let mut best_i = 0;
+    let mut best_ratio = 0.0f64;
+    for i in 0..points.len() - 1 {
+        let (_, a) = points[i];
+        let (_, b) = points[i + 1];
+        if a > 0.0 && b / a > best_ratio {
+            best_ratio = b / a;
+            best_i = i;
+        }
+    }
+    if best_ratio < 1.5 {
+        return (None, None);
+    }
+    let before = points[best_i].1;
+    // Miss cost: settle on the median of the post-knee points minus the
+    // pre-knee level.
+    let mut after: Vec<f64> = points[best_i + 1..].iter().map(|&(_, l)| l).collect();
+    after.sort_by(|a, b| a.total_cmp(b));
+    let after_med = after[after.len() / 2];
+    (Some(points[best_i].0), Some((after_med - before).max(0.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_timing::Options;
+
+    #[test]
+    fn knee_detection_on_synthetic_step() {
+        // 64-entry TLB: flat 5ns to 64 pages, 45ns beyond.
+        let points: Vec<(usize, f64)> = (3..12)
+            .map(|p| {
+                let pages = 1usize << p;
+                (pages, if pages <= 64 { 5.0 } else { 45.0 })
+            })
+            .collect();
+        let (cov, cost) = find_knee(&points);
+        assert_eq!(cov, Some(64));
+        assert!((cost.unwrap() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_curve_has_no_knee() {
+        let points: Vec<(usize, f64)> = (3..12).map(|p| (1usize << p, 7.0)).collect();
+        assert_eq!(find_knee(&points), (None, None));
+    }
+
+    #[test]
+    fn short_curves_have_no_knee() {
+        assert_eq!(find_knee(&[(8, 1.0), (16, 50.0)]), (None, None));
+    }
+
+    #[test]
+    fn live_probe_produces_monotonic_page_counts() {
+        let h = Harness::new(Options::quick());
+        let est = probe(&h, 256);
+        assert!(est.points.len() >= 5);
+        assert!(est.points.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(est.points.iter().all(|&(_, l)| l > 0.0));
+    }
+}

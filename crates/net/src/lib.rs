@@ -1,0 +1,22 @@
+//! Simulated network links for the paper's *remote* experiments
+//! (Tables 4 and 14).
+//!
+//! The paper measured four physical media between machine pairs we do not
+//! have: 10baseT, 100baseT, FDDI, and HIPPI. But it also hands us the
+//! decomposition that makes simulation sound (§6.7): "The times shown
+//! include the time on the wire, which is about 130 microseconds for 10Mbit
+//! ethernet, 13 microseconds for 100Mbit ethernet and FDDI, and less than
+//! 10 microseconds for Hippi" — i.e. remote cost = *software overhead*
+//! (measurable on loopback, which traverses both protocol stacks) + *wire
+//! time* (pure physics: serialization at the bit rate plus media access).
+//!
+//! [`LinkModel`] captures the physics; [`remote`] composes it with real
+//! loopback measurements from `lmb-ipc` to regenerate the remote tables'
+//! shape: HIPPI far ahead on bandwidth, 100baseT competitive with FDDI
+//! despite FDDI's ~3x larger packets, 10baseT an order of magnitude behind.
+
+pub mod link;
+pub mod remote;
+
+pub use link::{standard_links, LinkModel};
+pub use remote::{remote_bandwidth, remote_latency, RemoteBandwidth, RemoteLatency};

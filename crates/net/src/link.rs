@@ -1,0 +1,200 @@
+//! Link physics: bit rate, MTU, per-packet media access cost.
+
+/// A physical network medium.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Medium name as the paper prints it.
+    pub name: &'static str,
+    /// Raw bit rate, megabits per second.
+    pub bandwidth_mbit: f64,
+    /// Maximum payload per packet, bytes.
+    pub mtu: usize,
+    /// Fixed per-packet cost: media access, preamble, PHY latency — µs.
+    pub per_packet_us: f64,
+    /// Per-packet protocol header bytes on the wire.
+    pub header_bytes: usize,
+    /// True if the adapter checksums TCP in hardware (the paper's SGI
+    /// HIPPI: "hardware support for TCP checksums").
+    pub checksum_offload: bool,
+}
+
+impl LinkModel {
+    /// 10 Mb/s Ethernet (10baseT).
+    pub fn ten_base_t() -> Self {
+        Self {
+            name: "10baseT",
+            bandwidth_mbit: 10.0,
+            mtu: 1500,
+            per_packet_us: 10.0,
+            header_bytes: 18 + 20 + 20, // eth + IP + TCP
+            checksum_offload: false,
+        }
+    }
+
+    /// 100 Mb/s Ethernet (100baseT).
+    pub fn hundred_base_t() -> Self {
+        Self {
+            name: "100baseT",
+            bandwidth_mbit: 100.0,
+            mtu: 1500,
+            per_packet_us: 1.5,
+            header_bytes: 18 + 20 + 20,
+            checksum_offload: false,
+        }
+    }
+
+    /// FDDI: 100 Mb/s token ring, "packets that are almost three times
+    /// larger" than Ethernet's.
+    pub fn fddi() -> Self {
+        Self {
+            name: "fddi",
+            bandwidth_mbit: 100.0,
+            mtu: 4352,
+            per_packet_us: 4.0, // Token rotation share.
+            header_bytes: 13 + 20 + 20,
+            checksum_offload: false,
+        }
+    }
+
+    /// HIPPI: 800 Mb/s, huge frames, hardware TCP checksums.
+    pub fn hippi() -> Self {
+        Self {
+            name: "hippi",
+            bandwidth_mbit: 800.0,
+            mtu: 65280,
+            per_packet_us: 2.0,
+            header_bytes: 40 + 20 + 20,
+            checksum_offload: true,
+        }
+    }
+
+    /// Wire time to move `bytes` of payload one way, µs: packetization at
+    /// the MTU, each packet paying the fixed cost plus serialization of
+    /// payload + headers at the bit rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn wire_time_us(&self, bytes: usize) -> f64 {
+        assert!(bytes > 0, "zero-byte transfer");
+        let packets = bytes.div_ceil(self.mtu);
+        let on_wire_bits = ((bytes + packets * self.header_bytes) * 8) as f64;
+        packets as f64 * self.per_packet_us + on_wire_bits / self.bandwidth_mbit
+    }
+
+    /// Steady-state payload throughput of the medium alone, MB/s
+    /// (2^20 bytes), at full-MTU packets.
+    pub fn throughput_mb_s(&self) -> f64 {
+        let per_packet_s = self.wire_time_us(self.mtu) / 1e6
+            - 0.0; // Full-MTU packets back to back.
+        (self.mtu as f64 / (1 << 20) as f64) / per_packet_s
+    }
+}
+
+/// The paper's four media, fastest wire first.
+pub fn standard_links() -> Vec<LinkModel> {
+    vec![
+        LinkModel::hippi(),
+        LinkModel::hundred_base_t(),
+        LinkModel::fddi(),
+        LinkModel::ten_base_t(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_packet_wire_times_match_paper_quotes() {
+        // §6.7: ~65us one-way on 10Mbit for the latency benchmark's small
+        // packet; 13us for 100Mbit/FDDI; <10us for HIPPI.
+        let word_packet = 64; // Word + padding to minimum frame.
+        let t10 = LinkModel::ten_base_t().wire_time_us(word_packet);
+        assert!((40.0..120.0).contains(&t10), "10baseT {t10}us");
+        let t100 = LinkModel::hundred_base_t().wire_time_us(word_packet);
+        assert!((5.0..20.0).contains(&t100), "100baseT {t100}us");
+        let tf = LinkModel::fddi().wire_time_us(word_packet);
+        assert!((5.0..20.0).contains(&tf), "fddi {tf}us");
+        let th = LinkModel::hippi().wire_time_us(word_packet);
+        assert!(th < 10.0, "hippi {th}us");
+    }
+
+    #[test]
+    fn wire_time_scales_with_size_and_packetizes() {
+        let link = LinkModel::hundred_base_t();
+        let one = link.wire_time_us(1500);
+        let two = link.wire_time_us(3000);
+        assert!(two > one * 1.9 && two < one * 2.1);
+        // 1501 bytes needs two packets: strictly more than one full MTU.
+        assert!(link.wire_time_us(1501) > one);
+    }
+
+    #[test]
+    fn medium_throughput_ordering_matches_table_4() {
+        let hippi = LinkModel::hippi().throughput_mb_s();
+        let hundred = LinkModel::hundred_base_t().throughput_mb_s();
+        let fddi = LinkModel::fddi().throughput_mb_s();
+        let ten = LinkModel::ten_base_t().throughput_mb_s();
+        assert!(hippi > fddi && hippi > hundred, "hippi {hippi}");
+        assert!(fddi > ten && hundred > ten);
+        // "100baseT is looking quite competitive when compared to FDDI":
+        // within ~25% despite FDDI's 3x packets.
+        assert!(
+            (hundred / fddi) > 0.75,
+            "100baseT {hundred} vs FDDI {fddi}"
+        );
+        // Raw sanity: 10baseT tops out near 1.2 MB/s.
+        assert!((0.8..1.3).contains(&ten), "10baseT {ten} MB/s");
+    }
+
+    #[test]
+    fn only_hippi_offloads_checksums() {
+        let links = standard_links();
+        assert_eq!(links.len(), 4);
+        for l in &links {
+            assert_eq!(l.checksum_offload, l.name == "hippi", "{}", l.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-byte")]
+    fn zero_bytes_rejected() {
+        LinkModel::hippi().wire_time_us(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn any_link() -> impl Strategy<Value = LinkModel> {
+        (0..4usize).prop_map(|i| standard_links()[i])
+    }
+
+    proptest! {
+        /// Wire time is strictly monotone in payload size.
+        #[test]
+        fn wire_time_monotone(link in any_link(), a in 1usize..100_000, b in 1usize..100_000) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(link.wire_time_us(lo) <= link.wire_time_us(hi));
+        }
+
+        /// Payload throughput never exceeds the raw bit rate.
+        #[test]
+        fn throughput_below_bit_rate(link in any_link()) {
+            let raw_mb_s = link.bandwidth_mbit / 8.0 * 1e6 / (1 << 20) as f64;
+            prop_assert!(link.throughput_mb_s() <= raw_mb_s);
+        }
+
+        /// Packetization: wire time is superadditive across a split
+        /// (two transfers cost at least one combined transfer).
+        #[test]
+        fn splitting_never_cheaper(link in any_link(), a in 1usize..50_000, b in 1usize..50_000) {
+            let together = link.wire_time_us(a + b);
+            let split = link.wire_time_us(a) + link.wire_time_us(b);
+            prop_assert!(split >= together - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Composing measured loopback software cost with modeled wire time —
+//! the regeneration path for Tables 4 and 14.
+//!
+//! Loopback traverses the sender *and* receiver protocol stacks on one
+//! machine, so a loopback measurement is exactly the "software overhead"
+//! term of the paper's decomposition. The remote number adds the wire:
+//!
+//! * latency:   `RTT_remote = RTT_loopback + 2 x wire_time(word packet)`
+//! * bandwidth: per-byte costs add — `1/bw_remote = 1/bw_software +
+//!   1/bw_wire` (+ a software checksum term when the adapter does not
+//!   offload, per the paper's "the majority of the TCP cost is in the
+//!   bcopy, the checksum, and the driver").
+
+use crate::link::LinkModel;
+
+/// Size of the latency benchmark's packet on the wire: a word padded to
+/// the 64-byte minimum Ethernet frame.
+pub const WORD_PACKET: usize = 64;
+
+/// Throughput of a software TCP checksum pass, MB/s: one pass over the
+/// data at cache speed on the era of hardware the tables model.
+pub const SW_CHECKSUM_MB_S: f64 = 300.0;
+
+/// A Table 14 row: remote round-trip latency over one medium.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteLatency {
+    /// The medium.
+    pub link: LinkModel,
+    /// Measured loopback round trip (software both sides), µs.
+    pub loopback_rtt_us: f64,
+    /// Modeled two-way wire time, µs.
+    pub wire_rtt_us: f64,
+    /// Composed remote round trip, µs.
+    pub total_us: f64,
+}
+
+/// A Table 4 row: remote TCP bandwidth over one medium.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteBandwidth {
+    /// The medium.
+    pub link: LinkModel,
+    /// Measured loopback software bandwidth, MB/s.
+    pub loopback_mb_s: f64,
+    /// The medium's own payload throughput, MB/s.
+    pub wire_mb_s: f64,
+    /// Composed end-to-end bandwidth, MB/s.
+    pub total_mb_s: f64,
+}
+
+/// Composes a measured loopback RTT with a link's wire time.
+///
+/// # Panics
+///
+/// Panics if `loopback_rtt_us` is not positive.
+pub fn remote_latency(link: LinkModel, loopback_rtt_us: f64) -> RemoteLatency {
+    assert!(loopback_rtt_us > 0.0, "loopback RTT must be positive");
+    let wire_rtt_us = 2.0 * link.wire_time_us(WORD_PACKET);
+    RemoteLatency {
+        link,
+        loopback_rtt_us,
+        wire_rtt_us,
+        total_us: loopback_rtt_us + wire_rtt_us,
+    }
+}
+
+/// Composes a measured loopback bandwidth with a link's throughput.
+///
+/// Without checksum offload, a software checksum pass over every byte is
+/// added to the software term (on loopback the checksum "may be safely
+/// eliminated", §5.2, so it is *not* already in the measurement).
+///
+/// # Panics
+///
+/// Panics if `loopback_mb_s` is not positive.
+pub fn remote_bandwidth(link: LinkModel, loopback_mb_s: f64) -> RemoteBandwidth {
+    assert!(loopback_mb_s > 0.0, "loopback bandwidth must be positive");
+    let wire_mb_s = link.throughput_mb_s();
+    let us_per_byte_at = |mb_s: f64| 1e6 / (mb_s * (1 << 20) as f64);
+    let mut sw_us_per_byte = us_per_byte_at(loopback_mb_s);
+    if !link.checksum_offload {
+        sw_us_per_byte += us_per_byte_at(SW_CHECKSUM_MB_S);
+    }
+    let wire_us_per_byte = us_per_byte_at(wire_mb_s);
+    let total_us_per_byte = sw_us_per_byte + wire_us_per_byte;
+    RemoteBandwidth {
+        link,
+        loopback_mb_s,
+        wire_mb_s,
+        total_mb_s: 1.0 / total_us_per_byte / (1 << 20) as f64 * 1e6,
+    }
+}
+
+/// Builds the full Table 14 (all four media) from one loopback RTT.
+pub fn latency_table(loopback_rtt_us: f64) -> Vec<RemoteLatency> {
+    crate::link::standard_links()
+        .into_iter()
+        .map(|l| remote_latency(l, loopback_rtt_us))
+        .collect()
+}
+
+/// Builds the full Table 4 from one loopback bandwidth.
+pub fn bandwidth_table(loopback_mb_s: f64) -> Vec<RemoteBandwidth> {
+    crate::link::standard_links()
+        .into_iter()
+        .map(|l| remote_bandwidth(l, loopback_mb_s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::standard_links;
+
+    #[test]
+    fn remote_latency_adds_paper_scale_wire_time() {
+        // A 1995 loopback RTC of ~300us over 10baseT gains ~130us of wire.
+        let r = remote_latency(LinkModel::ten_base_t(), 300.0);
+        assert!(r.wire_rtt_us > 80.0 && r.wire_rtt_us < 250.0, "{r:?}");
+        assert!((r.total_us - r.loopback_rtt_us - r.wire_rtt_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remote_bandwidth_never_exceeds_either_term() {
+        for link in standard_links() {
+            let r = remote_bandwidth(link, 30.0);
+            assert!(
+                r.total_mb_s <= r.loopback_mb_s + 1e-9,
+                "{}: {} > sw {}",
+                link.name,
+                r.total_mb_s,
+                r.loopback_mb_s
+            );
+            assert!(r.total_mb_s <= r.wire_mb_s + 1e-9);
+        }
+    }
+
+    #[test]
+    fn table4_shape_hippi_wins_10baset_trails() {
+        // SGI-like software: 60 MB/s loopback.
+        let rows = bandwidth_table(60.0);
+        let by_name = |n: &str| rows.iter().find(|r| r.link.name == n).unwrap().total_mb_s;
+        let hippi = by_name("hippi");
+        let hundred = by_name("100baseT");
+        let fddi = by_name("fddi");
+        let ten = by_name("10baseT");
+        assert!(hippi > 2.0 * hundred, "hippi {hippi} vs 100baseT {hundred}");
+        assert!(hundred > 5.0 * ten, "100baseT {hundred} vs 10baseT {ten}");
+        // Table 4: 100baseT (9.5) competitive with FDDI (8.8).
+        assert!((hundred / fddi) > 0.7 && (hundred / fddi) < 1.5);
+        // 10baseT lands near the paper's ~0.9 MB/s.
+        assert!((0.5..1.3).contains(&ten), "10baseT {ten}");
+    }
+
+    #[test]
+    fn table14_ordering_ethernet_lowest_latency() {
+        // §6.7: "the most heavily used network interfaces (i.e. ethernet)
+        // have the lowest latencies" — with equal software overhead, the
+        // wire term orders hippi < fddi/100baseT < 10baseT.
+        let rows = latency_table(400.0);
+        let by_name = |n: &str| rows.iter().find(|r| r.link.name == n).unwrap().total_us;
+        assert!(by_name("hippi") < by_name("100baseT"));
+        assert!(by_name("100baseT") < by_name("10baseT"));
+        assert!(by_name("fddi") < by_name("10baseT"));
+    }
+
+    #[test]
+    fn checksum_offload_helps_bandwidth() {
+        // Same wire, with and without offload.
+        let mut with = LinkModel::hippi();
+        let mut without = with;
+        with.checksum_offload = true;
+        without.checksum_offload = false;
+        let sw = 60.0;
+        assert!(
+            remote_bandwidth(with, sw).total_mb_s > remote_bandwidth(without, sw).total_mb_s
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_loopback_rejected() {
+        remote_latency(LinkModel::fddi(), 0.0);
+    }
+}

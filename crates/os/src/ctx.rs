@@ -1,0 +1,371 @@
+//! Context-switch time via a ring of token-passing processes (paper §6.6).
+//!
+//! "The context switch benchmark is implemented as a ring of two to twenty
+//! processes that are connected with Unix pipes. A token is passed from
+//! process to process, forcing context switches. ... In order to calculate
+//! just the context switching time, the benchmark first measures the cost of
+//! passing the token through a ring of pipes in a single process. This
+//! overhead time ... is not included in the reported context switch time."
+//!
+//! The variable *cache footprint* is the paper's second axis: "we add an
+//! artificial variable size 'cache footprint' to the switching processes ...
+//! having the process allocate an array of data and sum the array as a
+//! series of integers after receiving the token but before passing the token
+//! to the next process." The overhead loop sums the same array, so the
+//! hot-cache access cost is subtracted too — only the switch (and the cache
+//! refill it causes) remains.
+
+use lmb_sys::pipe::Pipe;
+use lmb_sys::process::{exit_immediately, fork, waitpid, ForkResult, Pid};
+use lmb_sys::Fd;
+use lmb_timing::{Harness, Latency, TimeUnit};
+
+/// Token bytes.
+const TOKEN_GO: u8 = 0x01;
+const TOKEN_STOP: u8 = 0xFF;
+
+/// Configuration for one context-switch measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtxOptions {
+    /// Ring size, 2..=64 (the paper sweeps 2..=20).
+    pub processes: usize,
+    /// Per-process array summed on each token receipt, in bytes.
+    pub footprint_bytes: usize,
+    /// Token laps around the ring per timed repetition (paper: 2000
+    /// passes total).
+    pub passes: usize,
+}
+
+impl CtxOptions {
+    /// Paper-scale defaults: 2 processes, no footprint, 2000 passes.
+    pub fn paper() -> Self {
+        Self {
+            processes: 2,
+            footprint_bytes: 0,
+            passes: 2000,
+        }
+    }
+
+    /// Small, fast settings for tests.
+    pub fn quick() -> Self {
+        Self {
+            processes: 2,
+            footprint_bytes: 0,
+            passes: 100,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            (2..=64).contains(&self.processes),
+            "ring size {} out of range",
+            self.processes
+        );
+        assert!(self.passes > 0, "need at least one pass");
+    }
+}
+
+/// One measured context-switch configuration — a cell of Table 10 / a
+/// point of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtxResult {
+    /// Ring size.
+    pub processes: usize,
+    /// Footprint per process, bytes.
+    pub footprint_bytes: usize,
+    /// Overhead-subtracted time per context switch.
+    pub per_switch: Latency,
+    /// Single-process token-passing overhead per transfer (subtracted).
+    pub overhead: Latency,
+    /// Raw time per transfer in the live ring (switch + overhead).
+    pub raw_per_transfer: Latency,
+}
+
+/// Sums a footprint array; the child's cache-dirtying work.
+#[inline]
+fn sum_footprint(buf: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for &w in buf {
+        acc = acc.wrapping_add(w);
+    }
+    acc
+}
+
+/// Measures the single-process token-passing overhead per transfer, in
+/// nanoseconds (paper: "the cost of passing the token" which "also includes
+/// the cost of accessing the data, in the same way as the actual
+/// benchmark").
+fn measure_overhead_ns(h: &Harness, opts: &CtxOptions) -> f64 {
+    let pipes: Vec<Pipe> = (0..opts.processes)
+        .map(|_| Pipe::new().expect("pipe"))
+        .collect();
+    let mut footprint = vec![1u64; opts.footprint_bytes / 8];
+    dirty(&mut footprint);
+    let transfers = (opts.passes * opts.processes) as u64;
+    let token = [TOKEN_GO];
+    h.measure_block(transfers, || {
+        for _ in 0..opts.passes {
+            for pipe in &pipes {
+                pipe.write.write_all(&token).expect("overhead write");
+                let mut byte = [0u8; 1];
+                pipe.read.read_full(&mut byte).expect("overhead read");
+                std::hint::black_box(sum_footprint(&footprint));
+            }
+        }
+    })
+    .per_op_ns()
+}
+
+/// Writes every word so the array's pages are private to this process
+/// (after `fork`, copy-on-write would otherwise share them between ring
+/// members, understating the cache footprint).
+fn dirty(buf: &mut [u64]) {
+    for (i, w) in buf.iter_mut().enumerate() {
+        *w = i as u64;
+    }
+}
+
+/// The child side: receive token, sum footprint, pass token on; forward
+/// STOP and exit.
+///
+/// Runs post-`fork`, so it confines itself to async-signal-safe operations:
+/// `read`, `write`, arithmetic over a pre-allocated buffer, `_exit`.
+fn child_loop(inbound: &Fd, outbound: &Fd, footprint: &mut [u64]) -> ! {
+    dirty(footprint);
+    let mut byte = [0u8; 1];
+    loop {
+        if inbound.read_full(&mut byte).is_err() {
+            exit_immediately(2);
+        }
+        if byte[0] == TOKEN_STOP {
+            let _ = outbound.write_all(&byte);
+            exit_immediately(0);
+        }
+        std::hint::black_box(sum_footprint(footprint));
+        if outbound.write_all(&byte).is_err() {
+            exit_immediately(3);
+        }
+    }
+}
+
+/// Measures one configuration.
+///
+/// # Panics
+///
+/// Panics on invalid options or if any ring process fails.
+pub fn measure(h: &Harness, opts: &CtxOptions) -> CtxResult {
+    opts.validate();
+    let overhead_ns = measure_overhead_ns(h, opts);
+
+    // pipes[i] delivers the token INTO ring position i; position i writes
+    // to pipes[(i + 1) % n]. Position 0 is the parent.
+    let n = opts.processes;
+    let pipes: Vec<Pipe> = (0..n).map(|_| Pipe::new().expect("pipe")).collect();
+
+    // Allocate every child's footprint *before* forking: a forked child of
+    // a multi-threaded process must not call the allocator.
+    let words = opts.footprint_bytes / 8;
+    let mut footprints: Vec<Vec<u64>> = (0..n).map(|_| vec![0u64; words]).collect();
+
+    let mut children: Vec<Pid> = Vec::with_capacity(n - 1);
+    for i in 1..n {
+        match fork().expect("fork ring member") {
+            ForkResult::Child => {
+                let inbound = &pipes[i].read;
+                let outbound = &pipes[(i + 1) % n].write;
+                child_loop(inbound, outbound, &mut footprints[i]);
+            }
+            ForkResult::Parent(pid) => children.push(pid),
+        }
+    }
+
+    // Parent is ring position 0.
+    let inbound = &pipes[0].read;
+    let outbound = &pipes[1 % n].write;
+    dirty(&mut footprints[0]);
+
+    let lap = |token: u8| {
+        outbound.write_all(&[token]).expect("parent write");
+        let mut byte = [0u8; 1];
+        inbound.read_full(&mut byte).expect("parent read");
+        std::hint::black_box(sum_footprint(&footprints[0]));
+        byte[0]
+    };
+
+    // Warm the ring (faults in the children's code paths, first-touch
+    // costs) before timing — the paper's warm-cache convention.
+    for _ in 0..3 {
+        lap(TOKEN_GO);
+    }
+
+    let transfers = (opts.passes * n) as u64;
+    let raw_ns = h
+        .measure_block(transfers, || {
+            for _ in 0..opts.passes {
+                lap(TOKEN_GO);
+            }
+        })
+        .per_op_ns();
+
+    // Shut the ring down and reap.
+    let stop = lap(TOKEN_STOP);
+    assert_eq!(stop, TOKEN_STOP, "ring failed to forward STOP");
+    for pid in children {
+        let status = waitpid(pid).expect("waitpid ring member");
+        assert!(status.success(), "ring member exited {status:?}");
+    }
+
+    let per_switch_ns = (raw_ns - overhead_ns).max(0.0);
+    CtxResult {
+        processes: n,
+        footprint_bytes: opts.footprint_bytes,
+        per_switch: Latency::from_ns(per_switch_ns, TimeUnit::Micros),
+        overhead: Latency::from_ns(overhead_ns, TimeUnit::Micros),
+        raw_per_transfer: Latency::from_ns(raw_ns, TimeUnit::Micros),
+    }
+}
+
+/// One Figure 2 curve: a fixed footprint swept over ring sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtxCurve {
+    /// Footprint per process, bytes.
+    pub footprint_bytes: usize,
+    /// Single-process overhead at this footprint (the figure's legend
+    /// annotates each curve with it), microseconds.
+    pub overhead_us: f64,
+    /// (ring size, per-switch microseconds), ring size ascending.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Sweeps the full Figure 2 grid: every footprint in `footprints` across
+/// every ring size in `ring_sizes`.
+pub fn sweep(
+    h: &Harness,
+    ring_sizes: &[usize],
+    footprints: &[usize],
+    passes: usize,
+) -> Vec<CtxCurve> {
+    footprints
+        .iter()
+        .map(|&footprint_bytes| {
+            let mut overhead_us = 0.0;
+            let points = ring_sizes
+                .iter()
+                .map(|&processes| {
+                    let r = measure(
+                        h,
+                        &CtxOptions {
+                            processes,
+                            footprint_bytes,
+                            passes,
+                        },
+                    );
+                    overhead_us = r.overhead.as_micros();
+                    (processes, r.per_switch.as_micros())
+                })
+                .collect();
+            CtxCurve {
+                footprint_bytes,
+                overhead_us,
+                points,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_timing::Options;
+
+    fn harness() -> Harness {
+        Harness::new(Options::quick().with_repetitions(2))
+    }
+
+    #[test]
+    fn two_process_ring_measures_switches() {
+        let r = measure(&harness(), &CtxOptions::quick());
+        assert_eq!(r.processes, 2);
+        assert!(r.raw_per_transfer.as_micros() > 0.0);
+        assert!(r.overhead.as_micros() >= 0.0);
+        assert!(
+            r.raw_per_transfer.as_micros() < 10_000.0,
+            "transfer {} implausibly slow",
+            r.raw_per_transfer
+        );
+    }
+
+    #[test]
+    fn switching_costs_more_than_self_transfer() {
+        // A real ring forces scheduler activity the single-process loop
+        // does not; raw transfer must exceed overhead.
+        let r = measure(&harness(), &CtxOptions::quick());
+        assert!(
+            r.raw_per_transfer.as_micros() > r.overhead.as_micros(),
+            "raw {} <= overhead {}",
+            r.raw_per_transfer,
+            r.overhead
+        );
+    }
+
+    #[test]
+    fn eight_process_ring_works() {
+        let r = measure(
+            &harness(),
+            &CtxOptions {
+                processes: 8,
+                footprint_bytes: 0,
+                passes: 50,
+            },
+        );
+        assert_eq!(r.processes, 8);
+        assert!(r.raw_per_transfer.as_micros() > 0.0);
+    }
+
+    #[test]
+    fn footprint_increases_raw_transfer_cost() {
+        let h = harness();
+        let small = measure(&h, &CtxOptions::quick());
+        let big = measure(
+            &h,
+            &CtxOptions {
+                processes: 2,
+                footprint_bytes: 256 << 10,
+                passes: 50,
+            },
+        );
+        // Summing 256K per transfer must cost more than summing nothing.
+        assert!(
+            big.raw_per_transfer.as_micros() > small.raw_per_transfer.as_micros(),
+            "big {} vs small {}",
+            big.raw_per_transfer,
+            small.raw_per_transfer
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_process_ring_rejected() {
+        measure(
+            &harness(),
+            &CtxOptions {
+                processes: 1,
+                footprint_bytes: 0,
+                passes: 10,
+            },
+        );
+    }
+
+    #[test]
+    fn sweep_produces_full_grid() {
+        let curves = sweep(&harness(), &[2, 4], &[0, 4096], 30);
+        assert_eq!(curves.len(), 2);
+        for c in &curves {
+            assert_eq!(c.points.len(), 2);
+            assert_eq!(c.points[0].0, 2);
+            assert_eq!(c.points[1].0, 4);
+        }
+        assert_eq!(curves[0].footprint_bytes, 0);
+        assert_eq!(curves[1].footprint_bytes, 4096);
+    }
+}

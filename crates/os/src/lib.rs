@@ -1,0 +1,18 @@
+//! OS primitive benchmarks: system-call entry, signals, process creation,
+//! and context switching (paper §6.3–6.6).
+//!
+//! Every benchmark here times a *kernel* operation with as little user-space
+//! framing as possible; the syscall wrappers come from [`lmb_sys`] and the
+//! measurement loop from [`lmb_timing`].
+
+pub mod ctx;
+pub mod proc;
+pub mod select;
+pub mod signal;
+pub mod syscall;
+
+pub use ctx::{CtxOptions, CtxResult};
+pub use proc::ProcCreation;
+pub use select::{measure_poll, PollPoint, PollSet};
+pub use signal::SignalCosts;
+pub use syscall::SyscallCosts;

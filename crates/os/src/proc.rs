@@ -1,0 +1,149 @@
+//! Process creation costs (paper §6.5, Table 9).
+//!
+//! Three escalating measurements, each reported in **milliseconds**:
+//!
+//! * **fork & exit** — "simple process creation": fork a child that
+//!   immediately `_exit`s; parent waits. Includes the fork, the exit, one
+//!   `wait` and the two context switches — the paper shows those extras are
+//!   "insignificant" at millisecond scale.
+//! * **fork, exec & exit** — "new process creation": the child execs a tiny
+//!   program (we use `/bin/true`, the closest analog of the paper's
+//!   hello-world that "prints and exits").
+//! * **fork, exec sh -c & exit** — "complicated new process creation": ask
+//!   `/bin/sh` to find and start the program, the `popen`/`system` path.
+//!   The paper finds this "frequently ten times as expensive as just
+//!   creating a new process".
+
+use lmb_sys::process::{execv, exit_immediately, fork, waitpid, ForkResult};
+use lmb_timing::{Harness, Latency, TimeUnit};
+
+/// The three Table 9 columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcCreation {
+    /// fork + exit + wait.
+    pub fork_exit: Latency,
+    /// fork + exec(tiny program) + exit + wait.
+    pub fork_exec: Latency,
+    /// fork + exec(/bin/sh -c tiny-program) + exit + wait.
+    pub fork_sh: Latency,
+}
+
+/// Candidate paths for the tiny do-nothing program.
+const TRUE_PATHS: [&str; 2] = ["/bin/true", "/usr/bin/true"];
+
+/// Candidate shells.
+const SH_PATHS: [&str; 2] = ["/bin/sh", "/usr/bin/sh"];
+
+fn run_child(child: impl FnOnce() -> i32) -> bool {
+    match fork().expect("fork") {
+        ForkResult::Child => {
+            // The child must never return into the caller's world (stdio
+            // buffers, test harness state); _exit is the only way out.
+            let code = child();
+            exit_immediately(code);
+        }
+        ForkResult::Parent(pid) => waitpid(pid).expect("waitpid").success(),
+    }
+}
+
+/// Measures fork + exit + wait.
+pub fn measure_fork_exit(h: &Harness) -> Latency {
+    h.measure(|| {
+        let ok = run_child(|| 0);
+        assert!(ok, "fork/exit child failed");
+    })
+    .latency(TimeUnit::Millis)
+}
+
+/// Measures fork + exec of a do-nothing binary + wait.
+///
+/// # Panics
+///
+/// Panics if no `true(1)` binary exists on this system.
+pub fn measure_fork_exec(h: &Harness) -> Latency {
+    let path = TRUE_PATHS
+        .iter()
+        .find(|p| std::path::Path::new(p).exists())
+        .expect("no true(1) binary found");
+    h.measure(|| {
+        let ok = run_child(|| {
+            execv(path, &["true"]);
+            127 // Exec failed; report it as a child failure.
+        });
+        assert!(ok, "fork/exec child failed");
+    })
+    .latency(TimeUnit::Millis)
+}
+
+/// Measures fork + exec of `/bin/sh -c true` + wait — the `system(3)` path.
+///
+/// # Panics
+///
+/// Panics if no shell exists on this system.
+pub fn measure_fork_sh(h: &Harness) -> Latency {
+    let sh = SH_PATHS
+        .iter()
+        .find(|p| std::path::Path::new(p).exists())
+        .expect("no shell found");
+    h.measure(|| {
+        let ok = run_child(|| {
+            execv(sh, &["sh", "-c", "true"]);
+            127
+        });
+        assert!(ok, "fork/sh child failed");
+    })
+    .latency(TimeUnit::Millis)
+}
+
+/// Measures all three creation flavors.
+pub fn measure_all(h: &Harness) -> ProcCreation {
+    ProcCreation {
+        fork_exit: measure_fork_exit(h),
+        fork_exec: measure_fork_exec(h),
+        fork_sh: measure_fork_sh(h),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_timing::Options;
+
+    fn quick() -> Harness {
+        // Process creation is inherently slow; keep repetitions minimal.
+        Harness::new(Options::quick().with_repetitions(2))
+    }
+
+    #[test]
+    fn fork_exit_is_measurable() {
+        let lat = measure_fork_exit(&quick());
+        let us = lat.as_micros();
+        assert!(us > 1.0, "fork+exit {us}us is implausibly fast");
+        assert!(us < 1_000_000.0, "fork+exit {us}us is implausibly slow");
+    }
+
+    #[test]
+    fn exec_costs_more_than_plain_fork() {
+        let h = quick();
+        let fork_only = measure_fork_exit(&h).as_micros();
+        let with_exec = measure_fork_exec(&h).as_micros();
+        // Table 9: exec'ing roughly doubles-to-10x's the cost everywhere.
+        // CI noise bound: merely require exec not be dramatically cheaper.
+        assert!(
+            with_exec * 2.0 > fork_only,
+            "exec {with_exec}us vs fork {fork_only}us"
+        );
+    }
+
+    #[test]
+    fn shell_is_the_most_expensive_path() {
+        let h = quick();
+        let with_exec = measure_fork_exec(&h).as_micros();
+        let with_sh = measure_fork_sh(&h).as_micros();
+        // Paper: sh -c is ~4x the explicit exec; allow anything >= 1x.
+        assert!(
+            with_sh >= with_exec,
+            "sh -c ({with_sh}us) cheaper than exec ({with_exec}us)"
+        );
+    }
+}

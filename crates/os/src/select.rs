@@ -1,0 +1,145 @@
+//! `poll(2)` latency versus descriptor count — later lmbench's
+//! `lat_select`, included as an extension.
+//!
+//! The paper's Table 7 measures one fixed-cost kernel entry; `poll` adds a
+//! per-descriptor kernel walk, so its latency is a *line*, not a point:
+//! `cost(n) = entry + n * per_fd`. Networking servers of the era lived and
+//! died by that slope. The benchmark holds `n` pipes (none readable, so
+//! the call scans everything and times out immediately) and reports the
+//! per-call cost at each `n`.
+
+use lmb_sys::pipe::Pipe;
+use lmb_timing::{Harness, Latency, TimeUnit};
+
+/// One point: `poll` cost at a given descriptor count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PollPoint {
+    /// Descriptors polled.
+    pub nfds: usize,
+    /// Per-call latency.
+    pub latency: Latency,
+}
+
+/// A held-open set of pipes whose read ends get polled.
+pub struct PollSet {
+    pipes: Vec<Pipe>,
+    fds: Vec<libc::pollfd>,
+}
+
+impl PollSet {
+    /// Opens `n` pipes (2n descriptors; only the read ends are polled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or pipes cannot be created (fd limit).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one descriptor");
+        let pipes: Vec<Pipe> = (0..n).map(|_| Pipe::new().expect("pipe")).collect();
+        let fds = pipes
+            .iter()
+            .map(|p| libc::pollfd {
+                fd: p.read.raw(),
+                events: libc::POLLIN,
+                revents: 0,
+            })
+            .collect();
+        Self { pipes, fds }
+    }
+
+    /// Number of polled descriptors.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// True if the set is empty (cannot occur via [`PollSet::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// One `poll` call with zero timeout; returns the number of ready
+    /// descriptors.
+    #[inline]
+    pub fn poll_once(&mut self) -> usize {
+        // SAFETY: `fds` is a valid array of `len()` pollfd structs owned by
+        // self; the kernel writes only the `revents` fields; timeout 0
+        // makes the call non-blocking.
+        let ready = unsafe {
+            libc::poll(
+                self.fds.as_mut_ptr(),
+                self.fds.len() as libc::nfds_t,
+                0,
+            )
+        };
+        assert!(ready >= 0, "poll failed");
+        ready as usize
+    }
+
+    /// Makes the first pipe readable (for readiness-detection tests).
+    pub fn make_first_ready(&self) {
+        self.pipes[0].write.write_all(&[1]).expect("write");
+    }
+}
+
+/// Measures `poll` cost at one descriptor count.
+pub fn measure_poll(h: &Harness, nfds: usize) -> PollPoint {
+    let mut set = PollSet::new(nfds);
+    let m = h.measure(|| {
+        std::hint::black_box(set.poll_once());
+    });
+    PollPoint {
+        nfds,
+        latency: m.latency(TimeUnit::Micros),
+    }
+}
+
+/// Sweeps descriptor counts — the `lat_select` curve.
+pub fn sweep(h: &Harness, counts: &[usize]) -> Vec<PollPoint> {
+    counts.iter().map(|&n| measure_poll(h, n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_timing::Options;
+
+    #[test]
+    fn poll_reports_no_ready_fds_on_idle_pipes() {
+        let mut set = PollSet::new(8);
+        assert_eq!(set.len(), 8);
+        assert_eq!(set.poll_once(), 0);
+    }
+
+    #[test]
+    fn poll_detects_a_readable_pipe() {
+        let mut set = PollSet::new(4);
+        set.make_first_ready();
+        assert_eq!(set.poll_once(), 1);
+    }
+
+    #[test]
+    fn poll_cost_grows_with_descriptor_count() {
+        let h = Harness::new(Options::quick());
+        let few = measure_poll(&h, 2).latency.as_micros();
+        let many = measure_poll(&h, 256).latency.as_micros();
+        assert!(few > 0.0);
+        assert!(
+            many > few,
+            "poll(256 fds) {many}us not above poll(2 fds) {few}us"
+        );
+    }
+
+    #[test]
+    fn sweep_is_ordered() {
+        let h = Harness::new(Options::quick());
+        let pts = sweep(&h, &[1, 16, 64]);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].nfds, 1);
+        assert_eq!(pts[2].nfds, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one descriptor")]
+    fn empty_set_rejected() {
+        PollSet::new(0);
+    }
+}

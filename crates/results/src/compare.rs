@@ -1,0 +1,141 @@
+//! Paper-vs-measured comparison.
+//!
+//! EXPERIMENTS.md records, for every table, what the paper saw and what
+//! this host measured. [`compare_rows`] computes that pairing: given the
+//! paper's values and the measured value for one metric, it reports where
+//! the host would land in the 1995 ranking and the speedup over the paper's
+//! best and worst — the "shape" checks (who wins, by what factor) that a
+//! reproduction can meaningfully assert.
+
+/// Direction of merit for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Better {
+    /// Bandwidths.
+    Higher,
+    /// Latencies.
+    Lower,
+}
+
+/// The outcome of comparing one measured value against the paper's column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Metric name ("pipe latency (us)").
+    pub metric: String,
+    /// The measured value.
+    pub measured: f64,
+    /// Paper's best value.
+    pub paper_best: f64,
+    /// Paper's worst value.
+    pub paper_worst: f64,
+    /// Paper's median value.
+    pub paper_median: f64,
+    /// Rank the host would take among the paper's systems (1 = best).
+    pub rank: usize,
+    /// Total entrants including the host.
+    pub out_of: usize,
+    /// measured / paper_best as a merit ratio: > 1 means the host beats
+    /// the 1995 best (for either direction of merit).
+    pub vs_best: f64,
+}
+
+/// Compares `measured` against the paper's `values` for one metric.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-finite entries.
+pub fn compare_rows(metric: &str, measured: f64, values: &[f64], better: Better) -> Comparison {
+    assert!(!values.is_empty(), "no paper values for {metric}");
+    assert!(
+        values.iter().all(|v| v.is_finite()),
+        "non-finite paper value in {metric}"
+    );
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let (best, worst) = match better {
+        Better::Higher => (*sorted.last().unwrap(), sorted[0]),
+        Better::Lower => (sorted[0], *sorted.last().unwrap()),
+    };
+    let median = sorted[sorted.len() / 2];
+    let beats = |a: f64, b: f64| match better {
+        Better::Higher => a > b,
+        Better::Lower => a < b,
+    };
+    let rank = 1 + values.iter().filter(|&&v| beats(v, measured)).count();
+    let vs_best = match better {
+        Better::Higher => measured / best,
+        Better::Lower => best / measured,
+    };
+    Comparison {
+        metric: metric.into(),
+        measured,
+        paper_best: best,
+        paper_worst: worst,
+        paper_median: median,
+        rank,
+        out_of: values.len() + 1,
+        vs_best,
+    }
+}
+
+impl Comparison {
+    /// One formatted EXPERIMENTS.md line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: measured {:.2} vs paper best {:.2} / median {:.2} / worst {:.2} -> rank {}/{} ({:.1}x the 1995 best)",
+            self.metric,
+            self.measured,
+            self.paper_best,
+            self.paper_median,
+            self.paper_worst,
+            self.rank,
+            self.out_of,
+            self.vs_best
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_is_better_ranking() {
+        // Paper latencies 10, 20, 30; host measures 15 -> rank 2 of 4.
+        let c = compare_rows("lat", 15.0, &[10.0, 20.0, 30.0], Better::Lower);
+        assert_eq!(c.rank, 2);
+        assert_eq!(c.out_of, 4);
+        assert_eq!(c.paper_best, 10.0);
+        assert_eq!(c.paper_worst, 30.0);
+        assert_eq!(c.paper_median, 20.0);
+        assert!((c.vs_best - 10.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_is_better_ranking() {
+        let c = compare_rows("bw", 500.0, &[100.0, 200.0], Better::Higher);
+        assert_eq!(c.rank, 1, "host should beat all 1995 bandwidths");
+        assert_eq!(c.paper_best, 200.0);
+        assert!((c.vs_best - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn host_worse_than_everything_ranks_last() {
+        let c = compare_rows("lat", 99.0, &[1.0, 2.0, 3.0], Better::Lower);
+        assert_eq!(c.rank, 4);
+        assert!(c.vs_best < 1.0);
+    }
+
+    #[test]
+    fn summary_mentions_rank_and_ratio() {
+        let c = compare_rows("pipe latency (us)", 5.0, &[26.0, 278.0], Better::Lower);
+        let s = c.summary();
+        assert!(s.contains("rank 1/3"), "{s}");
+        assert!(s.contains("pipe latency"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no paper values")]
+    fn empty_paper_column_rejected() {
+        compare_rows("x", 1.0, &[], Better::Lower);
+    }
+}

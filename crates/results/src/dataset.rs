@@ -1,0 +1,627 @@
+//! The paper's own results, transcribed (Tables 1–17).
+//!
+//! "lmbench includes a database of results that is useful for comparison
+//! purposes" — this module is that database for the 1996 paper itself, so
+//! report tooling can regenerate every table and append freshly measured
+//! rows next to the 1995 machines.
+//!
+//! Transcription fidelity: Tables 4, 8, 9, 11, 12, 13, 14, 15 and 17 read
+//! cleanly from the source. In Tables 2, 3, 5, 6, 7, 10 and 16 the source
+//! scan interleaves neighbouring cells; row membership and magnitudes are
+//! faithful, but a few intra-row column assignments are best-effort
+//! reconstructions (anchored on the paper's prose where it pins a cell,
+//! e.g. the 400 ns DEC 8400 load or the Pentium Pro's read ≫ write).
+
+use crate::schema::*;
+
+fn sys(
+    name: &str,
+    vendor_model: &str,
+    multiprocessor: bool,
+    os: &str,
+    cpu: &str,
+    mhz: u32,
+    year: u32,
+    specint92: Option<f64>,
+    price: Option<f64>,
+) -> SystemInfo {
+    SystemInfo {
+        name: name.into(),
+        vendor_model: vendor_model.into(),
+        multiprocessor,
+        os: os.into(),
+        cpu: cpu.into(),
+        mhz,
+        year,
+        specint92,
+        list_price_kusd: price,
+    }
+}
+
+/// Table 1: the paper's system descriptions.
+pub fn systems() -> Vec<SystemInfo> {
+    vec![
+        sys("IBM PowerPC", "IBM 43P", false, "AIX 3.?", "MPC604", 133, 1995, Some(176.0), Some(15.0)),
+        sys("IBM Power2", "IBM 990", false, "AIX 4.?", "Power2", 71, 1993, Some(126.0), Some(110.0)),
+        sys("FreeBSD/i586", "ASUS P55TP4XE", false, "FreeBSD 2.1", "Pentium", 133, 1995, Some(190.0), Some(3.0)),
+        sys("HP K210", "HP 9000/859", true, "HP-UX B.10.01", "PA 7200", 120, 1995, Some(167.0), Some(35.0)),
+        sys("SGI Challenge", "SGI Challenge", true, "IRIX 6.2-alpha", "R4400", 200, 1994, Some(140.0), Some(80.0)),
+        sys("SGI Indigo2", "SGI Indigo2", false, "IRIX 5.3", "R4400", 200, 1994, Some(135.0), Some(15.0)),
+        sys("Linux/Alpha", "DEC Cabriolet", false, "Linux 1.3.38", "Alpha 21064A", 275, 1994, Some(189.0), Some(9.0)),
+        sys("Linux/i586", "Triton/EDO RAM", false, "Linux 1.3.28", "Pentium", 120, 1995, Some(155.0), Some(5.0)),
+        sys("Linux/i686", "Intel Alder", false, "Linux 1.3.37", "Pentium Pro", 200, 1995, Some(320.0), Some(7.0)),
+        sys("DEC Alpha@150", "DEC 3000/500", false, "OSF1 3.0", "Alpha 21064", 150, 1993, Some(84.0), Some(35.0)),
+        sys("DEC Alpha@300", "DEC 8400 5/300", true, "OSF1 3.2", "Alpha 21164", 300, 1995, Some(341.0), Some(250.0)),
+        sys("Sun Ultra1", "Sun Ultra1", false, "SunOS 5.5", "UltraSPARC", 167, 1995, Some(250.0), Some(21.0)),
+        sys("Sun SC1000", "Sun SC1000", true, "SunOS 5.5-beta", "SuperSPARC", 50, 1992, Some(65.0), Some(35.0)),
+        sys("Solaris/i686", "Intel Alder", false, "SunOS 5.5.1", "Pentium Pro", 133, 1995, Some(215.0), Some(5.0)),
+        sys("Unixware/i686", "Intel Aurora", false, "Unixware 5.4.2", "Pentium Pro", 200, 1995, Some(320.0), Some(7.0)),
+    ]
+}
+
+/// Table 2: memory bandwidth (MB/s), sorted on the unrolled-bcopy column.
+pub fn mem_bw() -> Vec<MemBwRow> {
+    let rows: &[(&str, f64, f64, f64, f64)] = &[
+        // (system, unrolled, libc, read, write)
+        ("IBM Power2", 242.0, 171.0, 205.0, 364.0),
+        ("Sun Ultra1", 152.0, 167.0, 129.0, 85.0),
+        ("DEC Alpha@300", 120.0, 123.0, 80.0, 85.0),
+        ("HP K210", 117.0, 57.0, 126.0, 78.0),
+        ("Unixware/i686", 65.0, 58.0, 235.0, 88.0),
+        ("Solaris/i686", 52.0, 48.0, 159.0, 71.0),
+        ("DEC Alpha@150", 46.0, 45.0, 79.0, 91.0),
+        ("Linux/i686", 42.0, 56.0, 208.0, 56.0),
+        ("FreeBSD/i586", 39.0, 42.0, 83.0, 73.0),
+        ("Linux/Alpha", 39.0, 39.0, 73.0, 71.0),
+        ("Linux/i586", 38.0, 42.0, 74.0, 75.0),
+        ("SGI Challenge", 35.0, 36.0, 67.0, 65.0),
+        ("SGI Indigo2", 31.0, 32.0, 69.0, 66.0),
+        ("IBM PowerPC", 21.0, 21.0, 63.0, 26.0),
+        ("Sun SC1000", 15.0, 17.0, 38.0, 31.0),
+    ];
+    rows.iter()
+        .map(|&(s, u, l, r, w)| MemBwRow {
+            system: s.into(),
+            bcopy_unrolled: u,
+            bcopy_libc: l,
+            read: r,
+            write: w,
+        })
+        .collect()
+}
+
+/// Table 3: pipe and local TCP bandwidth (MB/s), sorted on pipe.
+pub fn ipc_bw() -> Vec<IpcBwRow> {
+    let rows: &[(&str, f64, f64, Option<f64>)] = &[
+        // (system, libc bcopy, pipe, tcp)
+        ("HP K210", 57.0, 93.0, Some(34.0)),
+        ("Linux/i686", 56.0, 89.0, Some(18.0)),
+        ("IBM Power2", 171.0, 84.0, Some(10.0)),
+        ("Linux/Alpha", 39.0, 73.0, Some(9.0)),
+        ("Unixware/i686", 58.0, 68.0, None),
+        ("Sun Ultra1", 167.0, 61.0, Some(51.0)),
+        ("DEC Alpha@300", 80.0, 46.0, Some(11.0)),
+        ("Solaris/i686", 48.0, 38.0, Some(20.0)),
+        ("DEC Alpha@150", 45.0, 35.0, Some(9.0)),
+        ("SGI Indigo2", 32.0, 34.0, Some(22.0)),
+        ("Linux/i586", 42.0, 34.0, Some(7.0)),
+        ("IBM PowerPC", 21.0, 30.0, Some(17.0)),
+        ("FreeBSD/i586", 42.0, 23.0, Some(13.0)),
+        ("SGI Challenge", 36.0, 31.0, Some(17.0)),
+        ("Sun SC1000", 15.0, 11.0, Some(9.0)),
+    ];
+    rows.iter()
+        .map(|&(s, l, p, t)| IpcBwRow {
+            system: s.into(),
+            bcopy_libc: l,
+            pipe: p,
+            tcp: t,
+        })
+        .collect()
+}
+
+/// Table 4: remote TCP bandwidth (MB/s).
+pub fn remote_bw() -> Vec<RemoteBwRow> {
+    [
+        ("SGI PowerChallenge", "hippi", 79.3),
+        ("Sun Ultra1", "100baseT", 9.5),
+        ("HP 9000/735", "fddi", 8.8),
+        ("FreeBSD/i586", "100baseT", 7.9),
+        ("SGI Indigo2", "10baseT", 0.9),
+        ("HP 9000/735", "10baseT", 0.9),
+        ("Linux/i586@90", "10baseT", 0.7),
+    ]
+    .map(|(s, n, t)| RemoteBwRow {
+        system: s.into(),
+        network: n.into(),
+        tcp: t,
+    })
+    .to_vec()
+}
+
+/// Table 5: file vs memory bandwidth (MB/s).
+pub fn file_bw() -> Vec<FileBwRow> {
+    let rows: &[(&str, f64, f64, f64, f64)] = &[
+        // (system, libc bcopy, file read, file mmap, mem read)
+        ("IBM Power2", 171.0, 187.0, 106.0, 205.0),
+        ("HP K210", 57.0, 88.0, 52.0, 117.0),
+        ("Sun Ultra1", 167.0, 101.0, 85.0, 129.0),
+        ("DEC Alpha@300", 78.0, 67.0, 62.0, 80.0),
+        ("Unixware/i686", 58.0, 200.0, 235.0, 62.0),
+        ("Solaris/i686", 48.0, 52.0, 94.0, 159.0),
+        ("DEC Alpha@150", 45.0, 50.0, 40.0, 79.0),
+        ("Linux/i686", 56.0, 40.0, 36.0, 208.0),
+        ("IBM PowerPC", 21.0, 40.0, 51.0, 63.0),
+        ("SGI Challenge", 36.0, 36.0, 56.0, 65.0),
+        ("SGI Indigo2", 32.0, 32.0, 44.0, 69.0),
+        ("FreeBSD/i586", 42.0, 30.0, 53.0, 73.0),
+        ("Linux/Alpha", 39.0, 24.0, 18.0, 73.0),
+        ("Linux/i586", 42.0, 23.0, 9.0, 74.0),
+        ("Sun SC1000", 15.0, 20.0, 28.0, 38.0),
+    ];
+    rows.iter()
+        .map(|&(s, b, fr, fm, mr)| FileBwRow {
+            system: s.into(),
+            bcopy_libc: b,
+            file_read: fr,
+            file_mmap: fm,
+            mem_read: mr,
+        })
+        .collect()
+}
+
+/// Table 6: cache and memory latency (ns), sorted on level-2 latency.
+///
+/// Prose anchors: the 300 MHz DEC 8400's 400 ns load and 22-clock (66 ns)
+/// level-2 cache; the HP/IBM single-level one-clock caches; the Pentium
+/// Pro / Ultra 5–6-clock level-2 caches; SGI/DEC "large second level
+/// caches to hide their long latency from main memory".
+pub fn cache_lat() -> Vec<CacheLatRow> {
+    let k = |n: u64| n << 10;
+    let m = |n: u64| n << 20;
+    let rows: &[(&str, f64, Option<f64>, Option<u64>, Option<f64>, Option<u64>, f64)] = &[
+        // (system, clk, l1 ns, l1 size, l2 ns, l2 size, memory ns)
+        ("HP K210", 8.0, Some(8.0), Some(k(256)), Some(8.0), Some(k(256)), 349.0),
+        ("IBM Power2", 14.0, Some(13.0), Some(k(256)), Some(13.0), Some(k(256)), 260.0),
+        ("Unixware/i686", 5.0, Some(5.0), Some(k(8)), Some(25.0), Some(k(256)), 175.0),
+        ("Linux/i686", 5.0, Some(10.0), Some(k(8)), Some(30.0), Some(k(256)), 179.0),
+        ("Sun Ultra1", 6.0, Some(6.0), Some(k(16)), Some(42.0), Some(k(512)), 270.0),
+        ("Linux/Alpha", 3.6, Some(6.0), Some(k(8)), Some(46.0), Some(k(96)), 357.0),
+        ("Solaris/i686", 7.0, Some(14.0), Some(k(8)), Some(48.0), Some(k(256)), 281.0),
+        ("FreeBSD/i586", 7.5, Some(5.0), Some(k(8)), Some(64.0), Some(k(256)), 1170.0),
+        ("SGI Indigo2", 5.0, Some(8.0), Some(k(16)), Some(64.0), Some(m(2)), 1189.0),
+        ("DEC Alpha@300", 3.3, Some(5.0), Some(k(8)), Some(66.0), Some(m(4)), 400.0),
+        ("SGI Challenge", 5.0, Some(8.0), Some(k(16)), Some(64.0), Some(m(4)), 1189.0),
+        ("DEC Alpha@150", 6.7, Some(12.0), Some(k(8)), Some(67.0), Some(k(512)), 291.0),
+        ("Linux/i586", 8.3, Some(8.0), Some(k(8)), Some(107.0), Some(k(256)), 182.0),
+        ("Sun SC1000", 20.0, Some(20.0), Some(k(8)), Some(140.0), Some(m(1)), 1236.0),
+        ("IBM PowerPC", 7.5, Some(7.0), Some(k(16)), Some(164.0), Some(k(512)), 394.0),
+    ];
+    rows.iter()
+        .map(|&(s, c, l1, l1s, l2, l2s, mem)| CacheLatRow {
+            system: s.into(),
+            clock_ns: c,
+            l1_ns: l1,
+            l1_size: l1s,
+            l2_ns: l2,
+            l2_size: l2s,
+            memory_ns: mem,
+        })
+        .collect()
+}
+
+/// Table 7: simple system-call time (µs).
+pub fn syscall() -> Vec<SyscallRow> {
+    [
+        ("Linux/Alpha", 2.0),
+        ("Linux/i586", 2.0),
+        ("Linux/i686", 3.0),
+        ("Unixware/i686", 4.0),
+        ("Sun Ultra1", 5.0),
+        ("FreeBSD/i586", 6.0),
+        ("Solaris/i686", 7.0),
+        ("DEC Alpha@300", 8.0),
+        ("Sun SC1000", 9.0),
+        ("HP K210", 10.0),
+        ("SGI Indigo2", 11.0),
+        ("DEC Alpha@150", 11.0),
+        ("IBM PowerPC", 12.0),
+        ("IBM Power2", 16.0),
+        ("SGI Challenge", 24.0),
+    ]
+    .map(|(s, v)| SyscallRow {
+        system: s.into(),
+        syscall_us: v,
+    })
+    .to_vec()
+}
+
+/// Table 8: signal costs (µs).
+pub fn signal() -> Vec<SignalRow> {
+    [
+        ("SGI Indigo2", 4.0, 7.0),
+        ("SGI Challenge", 4.0, 9.0),
+        ("HP K210", 4.0, 13.0),
+        ("FreeBSD/i586", 4.0, 21.0),
+        ("Linux/i686", 4.0, 22.0),
+        ("Unixware/i686", 6.0, 25.0),
+        ("IBM Power2", 10.0, 27.0),
+        ("Solaris/i686", 9.0, 45.0),
+        ("IBM PowerPC", 10.0, 52.0),
+        ("Linux/i586", 7.0, 52.0),
+        ("DEC Alpha@150", 6.0, 59.0),
+        ("Linux/Alpha", 13.0, 138.0),
+    ]
+    .map(|(s, a, h)| SignalRow {
+        system: s.into(),
+        sigaction_us: a,
+        handler_us: h,
+    })
+    .to_vec()
+}
+
+/// Table 9: process creation (ms).
+pub fn proc() -> Vec<ProcRow> {
+    [
+        ("Linux/i686", 0.4, 5.0, 14.0),
+        ("Linux/Alpha", 0.7, 3.0, 12.0),
+        ("Linux/i586", 0.9, 5.0, 16.0),
+        ("Unixware/i686", 0.9, 5.0, 10.0),
+        ("IBM Power2", 1.2, 8.0, 16.0),
+        ("DEC Alpha@300", 2.0, 6.0, 16.0),
+        ("FreeBSD/i586", 2.0, 11.0, 19.0),
+        ("IBM PowerPC", 2.9, 8.0, 50.0),
+        ("SGI Indigo2", 3.1, 8.0, 19.0),
+        ("HP K210", 3.1, 11.0, 20.0),
+        ("Sun Ultra1", 3.7, 20.0, 37.0),
+        ("SGI Challenge", 4.0, 14.0, 24.0),
+        ("Solaris/i686", 4.5, 22.0, 46.0),
+        ("DEC Alpha@150", 4.6, 13.0, 39.0),
+        ("Sun SC1000", 14.0, 69.0, 281.0),
+    ]
+    .map(|(s, f, e, sh)| ProcRow {
+        system: s.into(),
+        fork_ms: f,
+        fork_exec_ms: e,
+        fork_sh_ms: sh,
+    })
+    .to_vec()
+}
+
+/// Table 10: context switch times (µs).
+pub fn ctx() -> Vec<CtxRow> {
+    [
+        // (system, 2p/0K, 2p/32K, 8p/0K, 8p/32K)
+        ("Linux/i686", 6.0, 18.0, 7.0, 101.0),
+        ("Linux/i586", 10.0, 78.0, 13.0, 163.0),
+        ("Linux/Alpha", 11.0, 70.0, 13.0, 215.0),
+        ("IBM Power2", 13.0, 16.0, 18.0, 43.0),
+        ("Sun Ultra1", 14.0, 31.0, 20.0, 102.0),
+        ("DEC Alpha@300", 14.0, 17.0, 22.0, 41.0),
+        ("IBM PowerPC", 16.0, 26.0, 87.0, 144.0),
+        ("HP K210", 17.0, 17.0, 18.0, 99.0),
+        ("Unixware/i686", 17.0, 17.0, 18.0, 72.0),
+        ("FreeBSD/i586", 27.0, 34.0, 33.0, 102.0),
+        ("Solaris/i686", 36.0, 54.0, 43.0, 118.0),
+        ("SGI Indigo2", 40.0, 47.0, 38.0, 104.0),
+        ("DEC Alpha@150", 53.0, 68.0, 59.0, 134.0),
+        ("SGI Challenge", 63.0, 93.0, 69.0, 80.0),
+        ("Sun SC1000", 104.0, 142.0, 107.0, 197.0),
+    ]
+    .map(|(s, a, b, c, d)| CtxRow {
+        system: s.into(),
+        p2_0k: a,
+        p2_32k: b,
+        p8_0k: c,
+        p8_32k: d,
+    })
+    .to_vec()
+}
+
+/// Table 11: pipe latency (µs).
+pub fn pipe_lat() -> Vec<PipeLatRow> {
+    [
+        ("Linux/i686", 26.0),
+        ("Linux/i586", 33.0),
+        ("Linux/Alpha", 34.0),
+        ("Sun Ultra1", 62.0),
+        ("IBM PowerPC", 65.0),
+        ("Unixware/i686", 70.0),
+        ("DEC Alpha@300", 71.0),
+        ("HP K210", 78.0),
+        ("IBM Power2", 91.0),
+        ("Solaris/i686", 101.0),
+        ("FreeBSD/i586", 104.0),
+        ("SGI Indigo2", 131.0),
+        ("DEC Alpha@150", 179.0),
+        ("SGI Challenge", 251.0),
+        ("Sun SC1000", 278.0),
+    ]
+    .map(|(s, v)| PipeLatRow {
+        system: s.into(),
+        pipe_us: v,
+    })
+    .to_vec()
+}
+
+/// Table 12: TCP and RPC/TCP latency (µs).
+pub fn tcp_rpc() -> Vec<TcpRpcRow> {
+    [
+        ("Linux/i686", 216.0, 346.0),
+        ("Sun Ultra1", 162.0, 346.0),
+        ("DEC Alpha@300", 267.0, 371.0),
+        ("FreeBSD/i586", 256.0, 440.0),
+        ("Solaris/i686", 305.0, 528.0),
+        ("Linux/Alpha", 429.0, 602.0),
+        ("HP K210", 146.0, 606.0),
+        ("SGI Indigo2", 278.0, 641.0),
+        ("IBM Power2", 332.0, 649.0),
+        ("IBM PowerPC", 299.0, 698.0),
+        ("Linux/i586", 467.0, 713.0),
+        ("DEC Alpha@150", 485.0, 788.0),
+        ("SGI Challenge", 546.0, 900.0),
+        ("Sun SC1000", 855.0, 1386.0),
+    ]
+    .map(|(s, t, r)| TcpRpcRow {
+        system: s.into(),
+        tcp_us: t,
+        rpc_tcp_us: r,
+    })
+    .to_vec()
+}
+
+/// Table 13: UDP and RPC/UDP latency (µs).
+pub fn udp_rpc() -> Vec<UdpRpcRow> {
+    [
+        ("Linux/i686", 93.0, 180.0),
+        ("Sun Ultra1", 197.0, 267.0),
+        ("Linux/Alpha", 180.0, 317.0),
+        ("DEC Alpha@300", 259.0, 358.0),
+        ("Linux/i586", 187.0, 366.0),
+        ("FreeBSD/i586", 212.0, 375.0),
+        ("Solaris/i686", 348.0, 454.0),
+        ("IBM Power2", 254.0, 531.0),
+        ("IBM PowerPC", 206.0, 536.0),
+        ("HP K210", 152.0, 543.0),
+        ("SGI Indigo2", 313.0, 671.0),
+        ("DEC Alpha@150", 489.0, 834.0),
+        ("SGI Challenge", 678.0, 893.0),
+        ("Sun SC1000", 739.0, 1101.0),
+    ]
+    .map(|(s, u, r)| UdpRpcRow {
+        system: s.into(),
+        udp_us: u,
+        rpc_udp_us: r,
+    })
+    .to_vec()
+}
+
+/// Table 14: remote latencies (µs).
+pub fn remote_lat() -> Vec<RemoteLatRow> {
+    [
+        ("Sun Ultra1", "100baseT", 280.0, 308.0),
+        ("FreeBSD/i586", "100baseT", 365.0, 304.0),
+        ("HP 9000/735", "fddi", 425.0, 441.0),
+        ("SGI Indigo2", "10baseT", 543.0, 602.0),
+        ("HP 9000/735", "10baseT", 603.0, 592.0),
+        ("SGI PowerChallenge", "hippi", 1068.0, 1099.0),
+        ("Linux/i586@90", "10baseT", 2954.0, 1912.0),
+    ]
+    .map(|(s, n, t, u)| RemoteLatRow {
+        system: s.into(),
+        network: n.into(),
+        tcp_us: t,
+        udp_us: u,
+    })
+    .to_vec()
+}
+
+/// Table 15: TCP connection latency (µs).
+pub fn connect() -> Vec<ConnectRow> {
+    [
+        ("HP K210", 238.0),
+        ("Linux/i686", 263.0),
+        ("IBM Power2", 339.0),
+        ("FreeBSD/i586", 418.0),
+        ("Linux/i586", 606.0),
+        ("SGI Challenge", 716.0),
+        ("Sun Ultra1", 852.0),
+        ("Solaris/i686", 1230.0),
+        ("Sun SC1000", 3047.0),
+    ]
+    .map(|(s, v)| ConnectRow {
+        system: s.into(),
+        connect_us: v,
+    })
+    .to_vec()
+}
+
+/// Table 16: file-system create/delete latency (µs).
+pub fn fs_lat() -> Vec<FsLatRow> {
+    [
+        ("Linux/i686", "EXT2FS", 751.0, 45.0),
+        ("HP K210", "HFS", 579.0, 67.0),
+        ("Linux/i586", "EXT2FS", 1114.0, 95.0),
+        ("Linux/Alpha", "EXT2FS", 834.0, 115.0),
+        ("Unixware/i686", "UFS", 450.0, 369.0),
+        ("SGI Challenge", "XFS", 3508.0, 4016.0),
+        ("DEC Alpha@300", "ADVFS", 4184.0, 4255.0),
+        ("Solaris/i686", "UFS", 23809.0, 7246.0),
+        ("Sun Ultra1", "UFS", 8333.0, 18181.0),
+        ("Sun SC1000", "UFS", 11111.0, 25000.0),
+        ("FreeBSD/i586", "UFS", 11235.0, 28571.0),
+        ("SGI Indigo2", "EFS", 11904.0, 11494.0),
+        ("DEC Alpha@150", "?", 12345.0, 38461.0),
+        ("IBM PowerPC", "JFS", 12658.0, 12658.0),
+        ("IBM Power2", "JFS", 12820.0, 13333.0),
+    ]
+    .map(|(s, f, c, d)| FsLatRow {
+        system: s.into(),
+        fs: f.into(),
+        create_us: c,
+        delete_us: d,
+    })
+    .to_vec()
+}
+
+/// Table 17: SCSI I/O overhead (µs).
+pub fn disk() -> Vec<DiskRow> {
+    [
+        ("SGI Challenge", 920.0),
+        ("SGI Indigo2", 984.0),
+        ("HP K210", 1103.0),
+        ("DEC Alpha@150", 1436.0),
+        ("Sun SC1000", 1466.0),
+        ("Sun Ultra1", 2242.0),
+    ]
+    .map(|(s, v)| DiskRow {
+        system: s.into(),
+        overhead_us: v,
+    })
+    .to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fifteen_systems_described() {
+        let s = systems();
+        assert_eq!(s.len(), 15);
+        let names: HashSet<&str> = s.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names.len(), 15, "duplicate system names");
+    }
+
+    #[test]
+    fn every_result_row_names_a_known_or_remote_system() {
+        let known: HashSet<String> = systems().into_iter().map(|s| s.name).collect();
+        // Remote tables include machines outside Table 1 (HP 9000/735,
+        // PowerChallenge, Linux/i586@90) — the paper did the same.
+        let extra: HashSet<&str> =
+            ["HP 9000/735", "SGI PowerChallenge", "Linux/i586@90"].into_iter().collect();
+        let check = |name: &str| {
+            assert!(
+                known.contains(name) || extra.contains(name),
+                "unknown system {name}"
+            );
+        };
+        for r in mem_bw() {
+            check(&r.system);
+        }
+        for r in ipc_bw() {
+            check(&r.system);
+        }
+        for r in remote_bw() {
+            check(&r.system);
+        }
+        for r in file_bw() {
+            check(&r.system);
+        }
+        for r in cache_lat() {
+            check(&r.system);
+        }
+        for r in syscall() {
+            check(&r.system);
+        }
+        for r in signal() {
+            check(&r.system);
+        }
+        for r in proc() {
+            check(&r.system);
+        }
+        for r in ctx() {
+            check(&r.system);
+        }
+        for r in pipe_lat() {
+            check(&r.system);
+        }
+        for r in tcp_rpc() {
+            check(&r.system);
+        }
+        for r in udp_rpc() {
+            check(&r.system);
+        }
+        for r in remote_lat() {
+            check(&r.system);
+        }
+        for r in connect() {
+            check(&r.system);
+        }
+        for r in fs_lat() {
+            check(&r.system);
+        }
+        for r in disk() {
+            check(&r.system);
+        }
+    }
+
+    #[test]
+    fn rpc_always_costs_more_than_raw_transport() {
+        // The paper's Table 12/13 claim, preserved in the transcription.
+        for r in tcp_rpc() {
+            assert!(r.rpc_tcp_us > r.tcp_us, "{}", r.system);
+        }
+        for r in udp_rpc() {
+            assert!(r.rpc_udp_us > r.udp_us, "{}", r.system);
+        }
+    }
+
+    #[test]
+    fn linux_wins_syscalls_as_the_prose_says() {
+        let rows = syscall();
+        let best = rows
+            .iter()
+            .min_by(|a, b| a.syscall_us.total_cmp(&b.syscall_us))
+            .unwrap();
+        assert!(best.system.starts_with("Linux"), "winner {}", best.system);
+    }
+
+    #[test]
+    fn shell_start_is_most_expensive_in_every_row() {
+        for r in proc() {
+            assert!(r.fork_sh_ms >= r.fork_exec_ms, "{}", r.system);
+            assert!(r.fork_exec_ms >= r.fork_ms, "{}", r.system);
+        }
+    }
+
+    #[test]
+    fn dec8400_anchors_match_prose() {
+        // "the load itself takes 400ns on a 300 Mhz DEC 8400" and a 22-clock
+        // (66ns) L2.
+        let row = cache_lat()
+            .into_iter()
+            .find(|r| r.system == "DEC Alpha@300")
+            .unwrap();
+        assert_eq!(row.memory_ns, 400.0);
+        assert_eq!(row.l2_ns, Some(66.0));
+        assert_eq!(row.l2_size, Some(4 << 20));
+    }
+
+    #[test]
+    fn hippi_has_best_remote_bandwidth_10baset_worst() {
+        let rows = remote_bw();
+        let best = rows.iter().map(|r| r.tcp).fold(f64::MIN, f64::max);
+        assert_eq!(best, 79.3);
+        let worst = rows.iter().map(|r| r.tcp).fold(f64::MAX, f64::min);
+        assert!(worst < 1.0);
+    }
+
+    #[test]
+    fn table17_is_sorted_best_to_worst() {
+        let rows = disk();
+        assert!(rows.windows(2).all(|w| w[0].overhead_us <= w[1].overhead_us));
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn paper_fs_spread_spans_orders_of_magnitude() {
+        // "Linux does extremely well here, 2 to 3 orders of magnitude
+        // faster than the slowest systems" (delete column).
+        let rows = fs_lat();
+        let best = rows.iter().map(|r| r.delete_us).fold(f64::MAX, f64::min);
+        let worst = rows.iter().map(|r| r.delete_us).fold(f64::MIN, f64::max);
+        assert!(worst / best > 100.0, "spread {}x", worst / best);
+    }
+}

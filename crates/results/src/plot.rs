@@ -1,0 +1,307 @@
+//! Terminal line plots for Figures 1 and 2.
+//!
+//! Figure 1 plots memory latency (ns, linear Y) against log2(array size)
+//! with one series per stride; Figure 2 plots context-switch time (µs)
+//! against process count with one series per footprint. [`AsciiPlot`]
+//! renders either: multi-series scatter/line charts on a character grid
+//! with per-series glyphs, axes, ticks and a legend.
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label ("stride=64", "size=32KB ovr=129us").
+    pub label: String,
+    /// (x, y) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Glyphs assigned to series, in order (the paper's figures use the same
+/// trick with ∆, ×, ∗, •, +).
+const GLYPHS: &[char] = &['*', 'x', 'o', '+', '@', '#', '%', '&', '=', '~'];
+
+/// A multi-series character plot.
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: usize,
+    height: usize,
+    log2_x: bool,
+    series: Vec<Series>,
+}
+
+impl AsciiPlot {
+    /// Creates a plot; `width`/`height` are the data-grid dimensions in
+    /// characters (axes and legend are extra).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 16` or `height < 4`.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 16, "plot too narrow");
+        assert!(height >= 4, "plot too short");
+        Self {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            width,
+            height,
+            log2_x: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the axis labels.
+    pub fn labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Plots X on a log2 scale (Figure 1's array-size axis).
+    pub fn log2_x(mut self) -> Self {
+        self.log2_x = true;
+        self
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    fn x_of(&self, x: f64) -> f64 {
+        if self.log2_x {
+            x.max(f64::MIN_POSITIVE).log2()
+        } else {
+            x
+        }
+    }
+
+    /// Renders the plot. Returns a note instead of a grid when no series
+    /// has any points.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, y)| (self.x_of(x), y)))
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if pts.is_empty() {
+            return format!("{} (no data)\n", self.title);
+        }
+        let (mut x_min, mut x_max) = (f64::MAX, f64::MIN);
+        let (mut y_min, mut y_max) = (f64::MAX, f64::MIN);
+        for &(x, y) in &pts {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        // Ground the Y axis at zero when the data is near it (both
+        // figures do), and avoid degenerate ranges.
+        if y_min > 0.0 && y_min < y_max * 0.5 {
+            y_min = 0.0;
+        }
+        if (x_max - x_min).abs() < 1e-12 {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_max = y_min + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                let (px, py) = (self.x_of(x), y);
+                if !px.is_finite() || !py.is_finite() {
+                    continue;
+                }
+                let col = ((px - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
+                    as usize;
+                let row = ((py - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
+                    as usize;
+                let row = self.height - 1 - row.min(self.height - 1);
+                grid[row][col.min(self.width - 1)] = glyph;
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        if !self.y_label.is_empty() {
+            let _ = writeln!(out, "{}", self.y_label);
+        }
+        let y_fmt = |v: f64| {
+            if v.abs() >= 100.0 {
+                format!("{v:.0}")
+            } else {
+                format!("{v:.1}")
+            }
+        };
+        let label_w = y_fmt(y_max).len().max(y_fmt(y_min).len());
+        for (i, row) in grid.iter().enumerate() {
+            let tick = if i == 0 {
+                y_fmt(y_max)
+            } else if i == self.height - 1 {
+                y_fmt(y_min)
+            } else {
+                String::new()
+            };
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "{tick:>label_w$} |{}", line.trim_end());
+        }
+        let _ = writeln!(out, "{} +{}", " ".repeat(label_w), "-".repeat(self.width));
+        let x_lo = if self.log2_x {
+            format!("2^{x_min:.0}")
+        } else {
+            format!("{x_min:.0}")
+        };
+        let x_hi = if self.log2_x {
+            format!("2^{x_max:.0}")
+        } else {
+            format!("{x_max:.0}")
+        };
+        let gap = self
+            .width
+            .saturating_sub(x_lo.len() + x_hi.len())
+            .max(1);
+        let _ = writeln!(
+            out,
+            "{} {x_lo}{}{x_hi}  {}",
+            " ".repeat(label_w),
+            " ".repeat(gap),
+            self.x_label
+        );
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "  {} {}", GLYPHS[si % GLYPHS.len()], s.label);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_plot() -> AsciiPlot {
+        AsciiPlot::new("test", 40, 10)
+            .labels("x", "y")
+            .series(Series::new("up", vec![(0.0, 0.0), (10.0, 100.0)]))
+            .series(Series::new("down", vec![(0.0, 100.0), (10.0, 0.0)]))
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let out = simple_plot().render();
+        assert!(out.contains("test"));
+        assert!(out.contains("* up"));
+        assert!(out.contains("x down"));
+        assert!(out.contains('|'));
+        assert!(out.contains('+'));
+    }
+
+    #[test]
+    fn glyphs_land_in_expected_corners() {
+        let out = simple_plot().render();
+        let grid: Vec<&str> = out
+            .lines()
+            .filter(|l| l.contains('|'))
+            .collect();
+        // Top row holds the y-max points: "up" ends high (right), "down"
+        // starts high (left).
+        let top = grid.first().unwrap();
+        assert!(top.contains('*') && top.contains('x'), "{out}");
+        let top_star = top.rfind('*').unwrap();
+        let top_x = top.find('x').unwrap();
+        assert!(top_x < top_star, "{out}");
+    }
+
+    #[test]
+    fn empty_plot_says_no_data() {
+        let out = AsciiPlot::new("empty", 40, 10).render();
+        assert!(out.contains("no data"));
+    }
+
+    #[test]
+    fn log2_axis_labels_in_powers() {
+        let out = AsciiPlot::new("mem", 40, 10)
+            .log2_x()
+            .series(Series::new("s", vec![(512.0, 5.0), (8388608.0, 300.0)]))
+            .render();
+        assert!(out.contains("2^9"), "{out}");
+        assert!(out.contains("2^23"), "{out}");
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let out = AsciiPlot::new("flat", 40, 10)
+            .series(Series::new("c", vec![(1.0, 5.0), (2.0, 5.0)]))
+            .render();
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let out = AsciiPlot::new("nan", 40, 10)
+            .series(Series::new("n", vec![(1.0, f64::NAN), (2.0, 7.0), (f64::INFINITY, 3.0)]))
+            .render();
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too narrow")]
+    fn tiny_plots_rejected() {
+        AsciiPlot::new("t", 2, 10);
+    }
+
+    #[test]
+    fn many_series_cycle_glyphs() {
+        let mut p = AsciiPlot::new("many", 40, 10);
+        for i in 0..12 {
+            p = p.series(Series::new(format!("s{i}"), vec![(i as f64, i as f64)]));
+        }
+        let out = p.render();
+        // Series 0 and 10 share the '*' glyph (cycled).
+        assert_eq!(out.matches("* s").count(), 2, "{out}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Rendering never panics and always emits the legend, whatever
+        /// finite data arrives.
+        #[test]
+        fn render_total(points in proptest::collection::vec((0.0f64..1e9, -1e6f64..1e6), 0..64)) {
+            let plot = AsciiPlot::new("prop", 32, 8)
+                .series(Series::new("s", points));
+            let out = plot.render();
+            prop_assert!(out.contains("prop"));
+        }
+
+        /// Log2 mode handles any positive x without panicking.
+        #[test]
+        fn log_axis_total(xs in proptest::collection::vec(1.0f64..1e12, 1..32)) {
+            let points: Vec<(f64, f64)> = xs.iter().map(|&x| (x, x.ln())).collect();
+            let out = AsciiPlot::new("logp", 32, 8).log2_x().series(Series::new("s", points)).render();
+            prop_assert!(out.contains("logp"));
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Typed rows for every table in the paper.
+//!
+//! Each struct is one row of one numbered table; a [`SuiteRun`] bundles a
+//! system description with whichever measurements a run produced. All types
+//! serialize with serde so runs can be stored, shipped and merged — the
+//! paper's "results may be donated by users" workflow.
+
+use serde::{Deserialize, Serialize};
+
+/// Table 1: a system description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemInfo {
+    /// The short name used in every results table ("Linux/i686").
+    pub name: String,
+    /// Vendor and model ("Intel Alder").
+    pub vendor_model: String,
+    /// Multiprocessor or uniprocessor.
+    pub multiprocessor: bool,
+    /// Operating system and version.
+    pub os: String,
+    /// CPU name.
+    pub cpu: String,
+    /// Clock, MHz.
+    pub mhz: u32,
+    /// Year of introduction (approximate, per the paper).
+    pub year: u32,
+    /// SPECInt92, where known.
+    pub specint92: Option<f64>,
+    /// Approximate list price, thousands of USD.
+    pub list_price_kusd: Option<f64>,
+}
+
+/// Table 2: memory bandwidth, MB/s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemBwRow {
+    /// System name.
+    pub system: String,
+    /// Hand-unrolled 8-byte-word copy.
+    pub bcopy_unrolled: f64,
+    /// Library `bcopy`/`memcpy`.
+    pub bcopy_libc: f64,
+    /// Unrolled summing read.
+    pub read: f64,
+    /// Unrolled store loop.
+    pub write: f64,
+}
+
+/// Table 3: pipe and local TCP bandwidth, MB/s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IpcBwRow {
+    /// System name.
+    pub system: String,
+    /// Library bcopy for reference.
+    pub bcopy_libc: f64,
+    /// Pipe bandwidth.
+    pub pipe: f64,
+    /// Loopback TCP bandwidth; `None` where the paper printed "-1".
+    pub tcp: Option<f64>,
+}
+
+/// Table 4: remote TCP bandwidth, MB/s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemoteBwRow {
+    /// System name.
+    pub system: String,
+    /// Medium ("hippi", "100baseT", "fddi", "10baseT").
+    pub network: String,
+    /// TCP bandwidth over the medium.
+    pub tcp: f64,
+}
+
+/// Table 5: file vs memory bandwidth, MB/s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileBwRow {
+    /// System name.
+    pub system: String,
+    /// Library bcopy.
+    pub bcopy_libc: f64,
+    /// Cached file re-read through `read(2)`.
+    pub file_read: f64,
+    /// Cached file re-read through `mmap(2)`.
+    pub file_mmap: f64,
+    /// Raw memory read.
+    pub mem_read: f64,
+}
+
+/// Table 6: cache and memory latency, ns (sizes in bytes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheLatRow {
+    /// System name.
+    pub system: String,
+    /// Processor cycle, ns.
+    pub clock_ns: f64,
+    /// Level-1 latency, ns.
+    pub l1_ns: Option<f64>,
+    /// Level-1 size, bytes.
+    pub l1_size: Option<u64>,
+    /// Level-2 latency, ns.
+    pub l2_ns: Option<f64>,
+    /// Level-2 size, bytes.
+    pub l2_size: Option<u64>,
+    /// Main-memory latency, ns.
+    pub memory_ns: f64,
+}
+
+/// Table 7: simple system-call time, µs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyscallRow {
+    /// System name.
+    pub system: String,
+    /// One-word write to /dev/null.
+    pub syscall_us: f64,
+}
+
+/// Table 8: signal costs, µs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignalRow {
+    /// System name.
+    pub system: String,
+    /// Handler installation via sigaction.
+    pub sigaction_us: f64,
+    /// Delivered self-signal.
+    pub handler_us: f64,
+}
+
+/// Table 9: process creation, ms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcRow {
+    /// System name.
+    pub system: String,
+    /// fork + exit + wait.
+    pub fork_ms: f64,
+    /// fork + exec + exit.
+    pub fork_exec_ms: f64,
+    /// fork + sh -c + exit.
+    pub fork_sh_ms: f64,
+}
+
+/// Table 10: context switch times, µs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CtxRow {
+    /// System name.
+    pub system: String,
+    /// 2 processes, 0 KB footprint.
+    pub p2_0k: f64,
+    /// 2 processes, 32 KB.
+    pub p2_32k: f64,
+    /// 8 processes, 0 KB.
+    pub p8_0k: f64,
+    /// 8 processes, 32 KB.
+    pub p8_32k: f64,
+}
+
+/// Table 11: pipe round-trip latency, µs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipeLatRow {
+    /// System name.
+    pub system: String,
+    /// Round trip.
+    pub pipe_us: f64,
+}
+
+/// Table 12: TCP and RPC/TCP latency, µs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcpRpcRow {
+    /// System name.
+    pub system: String,
+    /// Raw TCP round trip.
+    pub tcp_us: f64,
+    /// RPC-over-TCP round trip.
+    pub rpc_tcp_us: f64,
+}
+
+/// Table 13: UDP and RPC/UDP latency, µs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UdpRpcRow {
+    /// System name.
+    pub system: String,
+    /// Raw UDP round trip.
+    pub udp_us: f64,
+    /// RPC-over-UDP round trip.
+    pub rpc_udp_us: f64,
+}
+
+/// Table 14: remote round-trip latencies, µs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemoteLatRow {
+    /// System name.
+    pub system: String,
+    /// Medium.
+    pub network: String,
+    /// TCP round trip.
+    pub tcp_us: f64,
+    /// UDP round trip.
+    pub udp_us: f64,
+}
+
+/// Table 15: TCP connection latency, µs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectRow {
+    /// System name.
+    pub system: String,
+    /// Best-of-20 connect cost.
+    pub connect_us: f64,
+}
+
+/// Table 16: file-system create/delete latency, µs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FsLatRow {
+    /// System name.
+    pub system: String,
+    /// File system type ("EXT2FS", "UFS", ...).
+    pub fs: String,
+    /// Zero-length file creation.
+    pub create_us: f64,
+    /// Deletion.
+    pub delete_us: f64,
+}
+
+/// Table 17: SCSI I/O overhead, µs (lower bound).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiskRow {
+    /// System name.
+    pub system: String,
+    /// Per-command processor overhead.
+    pub overhead_us: f64,
+}
+
+/// A full suite run: everything one machine produced.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SuiteRun {
+    /// The machine (Table 1 row).
+    pub system: Option<SystemInfo>,
+    /// Table 2 measurements.
+    pub mem_bw: Option<MemBwRow>,
+    /// Table 3.
+    pub ipc_bw: Option<IpcBwRow>,
+    /// Table 4 (one row per simulated medium).
+    pub remote_bw: Vec<RemoteBwRow>,
+    /// Table 5.
+    pub file_bw: Option<FileBwRow>,
+    /// Table 6.
+    pub cache_lat: Option<CacheLatRow>,
+    /// Table 7.
+    pub syscall: Option<SyscallRow>,
+    /// Table 8.
+    pub signal: Option<SignalRow>,
+    /// Table 9.
+    pub proc: Option<ProcRow>,
+    /// Table 10.
+    pub ctx: Option<CtxRow>,
+    /// Table 11.
+    pub pipe_lat: Option<PipeLatRow>,
+    /// Table 12.
+    pub tcp_rpc: Option<TcpRpcRow>,
+    /// Table 13.
+    pub udp_rpc: Option<UdpRpcRow>,
+    /// Table 14 (one row per simulated medium).
+    pub remote_lat: Vec<RemoteLatRow>,
+    /// Table 15.
+    pub connect: Option<ConnectRow>,
+    /// Table 16.
+    pub fs_lat: Option<FsLatRow>,
+    /// Table 17.
+    pub disk: Option<DiskRow>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_run_serializes_round_trip() {
+        let run = SuiteRun {
+            system: Some(SystemInfo {
+                name: "Test/host".into(),
+                vendor_model: "QEMU".into(),
+                multiprocessor: true,
+                os: "Linux 6.x".into(),
+                cpu: "x86_64".into(),
+                mhz: 3000,
+                year: 2026,
+                specint92: None,
+                list_price_kusd: None,
+            }),
+            syscall: Some(SyscallRow {
+                system: "Test/host".into(),
+                syscall_us: 0.2,
+            }),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&run).unwrap();
+        let back: SuiteRun = serde_json::from_str(&json).unwrap();
+        assert_eq!(run, back);
+    }
+
+    #[test]
+    fn default_run_is_empty() {
+        let run = SuiteRun::default();
+        assert!(run.system.is_none());
+        assert!(run.remote_bw.is_empty());
+        assert!(run.remote_lat.is_empty());
+    }
+
+    #[test]
+    fn optional_tcp_handles_the_papers_minus_one() {
+        let row = IpcBwRow {
+            system: "Unixware/i686".into(),
+            bcopy_libc: 58.0,
+            pipe: 68.0,
+            tcp: None,
+        };
+        let json = serde_json::to_string(&row).unwrap();
+        assert!(json.contains("null"));
+        let back: IpcBwRow = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.tcp, None);
+    }
+}

@@ -1,0 +1,219 @@
+//! Per-host text summaries — the lmbench `make summary` idiom.
+//!
+//! The original distribution printed one dense block per host covering
+//! every measurement, which is what people actually mailed to the results
+//! list. [`host_summary`] renders that block from a [`SuiteRun`];
+//! [`db_summary`] lines several hosts up side by side for the
+//! quick-comparison use case ("These tools can be, and currently are, used
+//! to compare different system implementations from different vendors",
+//! §1).
+
+use crate::schema::SuiteRun;
+use crate::ResultsDb;
+use std::fmt::Write as _;
+
+fn line(out: &mut String, label: &str, value: Option<String>) {
+    let _ = writeln!(out, "{label:<34} {}", value.unwrap_or_else(|| "-".into()));
+}
+
+fn us(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0} us")
+    } else {
+        format!("{v:.2} us")
+    }
+}
+
+fn mb(v: f64) -> String {
+    format!("{v:.0} MB/s")
+}
+
+/// Renders the full one-host summary block.
+pub fn host_summary(name: &str, run: &SuiteRun) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "SUMMARY for {name}");
+    if let Some(s) = &run.system {
+        let _ = writeln!(
+            out,
+            "  {} / {} / {} MHz / {}",
+            s.vendor_model,
+            s.cpu,
+            s.mhz,
+            if s.multiprocessor { "MP" } else { "UP" }
+        );
+    }
+    let _ = writeln!(out, "Processor, Processes - times in microseconds");
+    line(
+        &mut out,
+        "  null syscall (write /dev/null)",
+        run.syscall.as_ref().map(|r| us(r.syscall_us)),
+    );
+    line(
+        &mut out,
+        "  signal install / handler",
+        run.signal
+            .as_ref()
+            .map(|r| format!("{} / {}", us(r.sigaction_us), us(r.handler_us))),
+    );
+    line(
+        &mut out,
+        "  fork / fork+exec / sh -c (ms)",
+        run.proc
+            .as_ref()
+            .map(|r| format!("{:.2} / {:.2} / {:.2}", r.fork_ms, r.fork_exec_ms, r.fork_sh_ms)),
+    );
+    line(
+        &mut out,
+        "  ctx switch 2p/0K .. 8p/32K",
+        run.ctx
+            .as_ref()
+            .map(|r| format!("{} .. {}", us(r.p2_0k), us(r.p8_32k))),
+    );
+    let _ = writeln!(out, "Communication latencies in microseconds");
+    line(&mut out, "  pipe", run.pipe_lat.as_ref().map(|r| us(r.pipe_us)));
+    line(
+        &mut out,
+        "  TCP / RPC-TCP",
+        run.tcp_rpc
+            .as_ref()
+            .map(|r| format!("{} / {}", us(r.tcp_us), us(r.rpc_tcp_us))),
+    );
+    line(
+        &mut out,
+        "  UDP / RPC-UDP",
+        run.udp_rpc
+            .as_ref()
+            .map(|r| format!("{} / {}", us(r.udp_us), us(r.rpc_udp_us))),
+    );
+    line(
+        &mut out,
+        "  TCP connect",
+        run.connect.as_ref().map(|r| us(r.connect_us)),
+    );
+    let _ = writeln!(out, "File & VM latencies in microseconds");
+    line(
+        &mut out,
+        "  file create / delete",
+        run.fs_lat
+            .as_ref()
+            .map(|r| format!("{} / {} ({})", us(r.create_us), us(r.delete_us), r.fs)),
+    );
+    line(
+        &mut out,
+        "  disk command overhead",
+        run.disk.as_ref().map(|r| us(r.overhead_us)),
+    );
+    let _ = writeln!(out, "Bandwidths in MB/s");
+    line(
+        &mut out,
+        "  bcopy libc / unrolled",
+        run.mem_bw
+            .as_ref()
+            .map(|r| format!("{} / {}", mb(r.bcopy_libc), mb(r.bcopy_unrolled))),
+    );
+    line(
+        &mut out,
+        "  memory read / write",
+        run.mem_bw
+            .as_ref()
+            .map(|r| format!("{} / {}", mb(r.read), mb(r.write))),
+    );
+    line(
+        &mut out,
+        "  pipe / TCP",
+        run.ipc_bw.as_ref().map(|r| {
+            format!(
+                "{} / {}",
+                mb(r.pipe),
+                r.tcp.map(mb).unwrap_or_else(|| "-".into())
+            )
+        }),
+    );
+    line(
+        &mut out,
+        "  file reread / mmap reread",
+        run.file_bw
+            .as_ref()
+            .map(|r| format!("{} / {}", mb(r.file_read), mb(r.file_mmap))),
+    );
+    let _ = writeln!(out, "Memory latencies in nanoseconds");
+    line(
+        &mut out,
+        "  L1 / L2 / main memory",
+        run.cache_lat.as_ref().map(|r| {
+            format!(
+                "{:.1} / {:.1} / {:.1} ns",
+                r.l1_ns.unwrap_or(0.0),
+                r.l2_ns.unwrap_or(0.0),
+                r.memory_ns
+            )
+        }),
+    );
+    out
+}
+
+/// Renders summaries for every host in a database, name order.
+pub fn db_summary(db: &ResultsDb) -> String {
+    let mut out = String::new();
+    for (name, run) in db.iter() {
+        out.push_str(&host_summary(name, run));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{MemBwRow, SyscallRow};
+
+    fn partial_run() -> SuiteRun {
+        SuiteRun {
+            syscall: Some(SyscallRow {
+                system: "h".into(),
+                syscall_us: 0.5,
+            }),
+            mem_bw: Some(MemBwRow {
+                system: "h".into(),
+                bcopy_unrolled: 1000.0,
+                bcopy_libc: 1200.0,
+                read: 3000.0,
+                write: 2000.0,
+            }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn summary_prints_present_metrics() {
+        let s = host_summary("testhost", &partial_run());
+        assert!(s.contains("SUMMARY for testhost"));
+        assert!(s.contains("0.50 us"));
+        assert!(s.contains("1200 MB/s"));
+    }
+
+    #[test]
+    fn missing_metrics_render_as_dashes_not_panics() {
+        let s = host_summary("empty", &SuiteRun::default());
+        assert!(s.contains("SUMMARY for empty"));
+        assert!(s.contains('-'));
+        assert!(!s.contains("0.00 us"), "phantom value in {s}");
+    }
+
+    #[test]
+    fn db_summary_covers_every_host() {
+        let mut db = ResultsDb::new();
+        db.insert("beta", partial_run());
+        db.insert("alpha", SuiteRun::default());
+        let s = db_summary(&db);
+        let alpha = s.find("SUMMARY for alpha").unwrap();
+        let beta = s.find("SUMMARY for beta").unwrap();
+        assert!(alpha < beta, "hosts out of order");
+    }
+
+    #[test]
+    fn unit_formatting_switches_precision() {
+        assert_eq!(us(250.0), "250 us");
+        assert_eq!(us(2.5), "2.50 us");
+    }
+}

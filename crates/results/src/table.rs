@@ -1,0 +1,328 @@
+//! Table rendering with the paper's conventions.
+//!
+//! §4.1: "All of the tables are sorted, from best to worst. Some tables
+//! have multiple columns of results and those tables are sorted on only one
+//! of the columns. The sorted column's heading will be in bold." In a
+//! terminal we render the bold heading in CAPITALS bracketed by `*`.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Left-aligned (names).
+    #[default]
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// Whether larger or smaller values are "better" for the sort column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Bandwidths: larger first.
+    HigherIsBetter,
+    /// Latencies: smaller first.
+    LowerIsBetter,
+}
+
+/// One table cell: text plus an optional numeric sort key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    text: String,
+    key: Option<f64>,
+}
+
+impl Cell {
+    /// A text cell (not sortable).
+    pub fn text(s: impl Into<String>) -> Self {
+        Self {
+            text: s.into(),
+            key: None,
+        }
+    }
+
+    /// A numeric cell rendered with `decimals` places.
+    pub fn num(v: f64, decimals: usize) -> Self {
+        Self {
+            text: format!("{v:.decimals$}"),
+            key: Some(v),
+        }
+    }
+
+    /// A missing value (the paper prints "-1" or "?"; we print "-").
+    pub fn missing() -> Self {
+        Self {
+            text: "-".into(),
+            key: None,
+        }
+    }
+
+    /// An optional numeric cell.
+    pub fn opt(v: Option<f64>, decimals: usize) -> Self {
+        match v {
+            Some(v) => Self::num(v, decimals),
+            None => Self::missing(),
+        }
+    }
+}
+
+/// A renderable results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<Cell>>,
+    sort_column: Option<(usize, SortOrder)>,
+}
+
+impl Table {
+    /// Creates a table with `headers`; the first column is left-aligned,
+    /// the rest right-aligned (override with [`Table::align`]).
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        let aligns = (0..headers.len())
+            .map(|i| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            aligns,
+            rows: Vec::new(),
+            sort_column: None,
+        }
+    }
+
+    /// Overrides one column's alignment.
+    pub fn align(mut self, column: usize, align: Align) -> Self {
+        self.aligns[column] = align;
+        self
+    }
+
+    /// Declares the bold sorted column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` is out of range.
+    pub fn sorted_on(mut self, column: usize, order: SortOrder) -> Self {
+        assert!(column < self.headers.len(), "sort column out of range");
+        self.sort_column = Some((column, order));
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<Cell>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sorts rows best-to-worst on the declared column. Rows without a
+    /// numeric key in that column sink to the bottom (the paper's "-1"
+    /// rows). Stable, so equal keys keep insertion order.
+    pub fn sort(&mut self) {
+        let Some((col, order)) = self.sort_column else {
+            return;
+        };
+        self.rows.sort_by(|a, b| {
+            let ka = a[col].key;
+            let kb = b[col].key;
+            match (ka, kb) {
+                (Some(x), Some(y)) => match order {
+                    SortOrder::HigherIsBetter => y.total_cmp(&x),
+                    SortOrder::LowerIsBetter => x.total_cmp(&y),
+                },
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => std::cmp::Ordering::Equal,
+            }
+        });
+    }
+
+    /// The sorted-column values, best first (for tests and comparisons).
+    pub fn column_keys(&self, column: usize) -> Vec<Option<f64>> {
+        self.rows.iter().map(|r| r[column].key).collect()
+    }
+
+    /// Renders to a string, sorting first.
+    pub fn render(&mut self) -> String {
+        self.sort();
+        let mut headers = self.headers.clone();
+        if let Some((col, _)) = self.sort_column {
+            headers[col] = format!("*{}*", headers[col].to_uppercase());
+        }
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.text.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for (i, (text, width)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                match aligns[i] {
+                    Align::Left => line.push_str(&format!("{text:<width$}")),
+                    Align::Right => line.push_str(&format!("{text:>width$}")),
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&headers, &widths, &self.aligns));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            let texts: Vec<String> = row.iter().map(|c| c.text.clone()).collect();
+            out.push_str(&fmt_row(&texts, &widths, &self.aligns));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.clone().render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Latency (us)", &["System", "lat"])
+            .sorted_on(1, SortOrder::LowerIsBetter);
+        t.row(vec![Cell::text("slow"), Cell::num(30.0, 0)]);
+        t.row(vec![Cell::text("fast"), Cell::num(3.0, 0)]);
+        t.row(vec![Cell::text("mid"), Cell::num(10.0, 0)]);
+        t
+    }
+
+    #[test]
+    fn sorts_best_to_worst_lower_better() {
+        let mut t = sample();
+        t.sort();
+        assert_eq!(
+            t.column_keys(1),
+            vec![Some(3.0), Some(10.0), Some(30.0)]
+        );
+    }
+
+    #[test]
+    fn sorts_best_to_worst_higher_better() {
+        let mut t = Table::new("BW", &["System", "MB/s"]).sorted_on(1, SortOrder::HigherIsBetter);
+        t.row(vec![Cell::text("a"), Cell::num(10.0, 0)]);
+        t.row(vec![Cell::text("b"), Cell::num(90.0, 0)]);
+        t.sort();
+        assert_eq!(t.column_keys(1), vec![Some(90.0), Some(10.0)]);
+    }
+
+    #[test]
+    fn missing_values_sink_to_bottom() {
+        let mut t = Table::new("BW", &["System", "MB/s"]).sorted_on(1, SortOrder::HigherIsBetter);
+        t.row(vec![Cell::text("broken"), Cell::missing()]);
+        t.row(vec![Cell::text("works"), Cell::num(5.0, 0)]);
+        t.sort();
+        assert_eq!(t.column_keys(1), vec![Some(5.0), None]);
+    }
+
+    #[test]
+    fn render_marks_the_bold_column() {
+        let rendered = sample().render();
+        assert!(rendered.contains("*LAT*"), "{rendered}");
+        assert!(rendered.contains("Latency (us)"));
+        // Best row first.
+        let fast_pos = rendered.find("fast").unwrap();
+        let slow_pos = rendered.find("slow").unwrap();
+        assert!(fast_pos < slow_pos);
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let rendered = sample().render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        // Header + rule + 3 rows + title.
+        assert_eq!(lines.len(), 6);
+        // All data lines have the same width or less (trailing trim).
+        let rule = lines[2];
+        assert!(rule.chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn sort_is_stable_for_ties() {
+        let mut t = Table::new("T", &["Sys", "v"]).sorted_on(1, SortOrder::LowerIsBetter);
+        t.row(vec![Cell::text("first"), Cell::num(5.0, 0)]);
+        t.row(vec![Cell::text("second"), Cell::num(5.0, 0)]);
+        t.sort();
+        let r = t.render();
+        assert!(r.find("first").unwrap() < r.find("second").unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(vec![Cell::text("only one")]);
+    }
+
+    #[test]
+    fn unsorted_table_keeps_insertion_order() {
+        let mut t = Table::new("T", &["Sys", "v"]);
+        t.row(vec![Cell::text("z"), Cell::num(9.0, 0)]);
+        t.row(vec![Cell::text("a"), Cell::num(1.0, 0)]);
+        let r = t.render();
+        assert!(r.find('z').unwrap() < r.rfind('a').unwrap());
+        assert!(!r.contains('*'));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Sorting is a permutation: same multiset of keys, monotone order.
+        #[test]
+        fn sort_is_monotone_permutation(values in proptest::collection::vec(0.0f64..1e6, 1..40)) {
+            let mut t = Table::new("T", &["n", "v"]).sorted_on(1, SortOrder::LowerIsBetter);
+            for (i, v) in values.iter().enumerate() {
+                t.row(vec![Cell::text(format!("r{i}")), Cell::num(*v, 3)]);
+            }
+            t.sort();
+            let keys: Vec<f64> = t.column_keys(1).into_iter().flatten().collect();
+            prop_assert_eq!(keys.len(), values.len());
+            for w in keys.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+            let mut sorted_in = values.clone();
+            sorted_in.sort_by(|a, b| a.total_cmp(b));
+            let mut sorted_out = keys;
+            sorted_out.sort_by(|a, b| a.total_cmp(b));
+            // Same multiset up to the 3-decimal rendering (keys are exact).
+            prop_assert_eq!(sorted_in, sorted_out);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! TCP record marking (RFC 1057 §10).
+//!
+//! RPC messages over TCP are framed into records; each fragment is preceded
+//! by a 4-byte big-endian header whose top bit marks the final fragment and
+//! whose low 31 bits give the fragment length. This framing — one extra
+//! write, one extra read, one length check per message — is part of the
+//! layering cost the paper measures.
+
+use bytes::{Buf, Bytes, BytesMut};
+use std::io::{self, Read, Write};
+
+/// Largest fragment this implementation emits or accepts.
+pub const MAX_FRAGMENT: usize = 1 << 24;
+
+/// Writes `payload` as one or more record fragments.
+pub fn write_record<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let mut chunks = payload.chunks(MAX_FRAGMENT).peekable();
+    // A zero-length record is still one (final, empty) fragment.
+    if payload.is_empty() {
+        w.write_all(&0x8000_0000u32.to_be_bytes())?;
+        return Ok(());
+    }
+    while let Some(chunk) = chunks.next() {
+        let last = chunks.peek().is_none();
+        let mut header = chunk.len() as u32;
+        if last {
+            header |= 0x8000_0000;
+        }
+        w.write_all(&header.to_be_bytes())?;
+        w.write_all(chunk)?;
+    }
+    Ok(())
+}
+
+/// Reads one complete record (possibly multiple fragments).
+pub fn read_record<R: Read>(r: &mut R) -> io::Result<Bytes> {
+    let mut out = BytesMut::new();
+    loop {
+        let mut hdr = [0u8; 4];
+        r.read_exact(&mut hdr)?;
+        let word = u32::from_be_bytes(hdr);
+        let last = word & 0x8000_0000 != 0;
+        let len = (word & 0x7FFF_FFFF) as usize;
+        if len > MAX_FRAGMENT {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("fragment of {len} bytes exceeds cap"),
+            ));
+        }
+        let start = out.len();
+        out.resize(start + len, 0);
+        r.read_exact(&mut out[start..])?;
+        if last {
+            return Ok(out.freeze());
+        }
+    }
+}
+
+/// In-memory framing helper for datagram-over-stream tests: frames
+/// `payload` and returns the raw stream bytes.
+pub fn frame(payload: &[u8]) -> Bytes {
+    let mut buf = Vec::with_capacity(payload.len() + 8);
+    write_record(&mut buf, payload).expect("vec write cannot fail");
+    Bytes::from(buf)
+}
+
+/// Parses all records out of a contiguous stream buffer (test helper).
+pub fn deframe_all(mut stream: Bytes) -> io::Result<Vec<Bytes>> {
+    let mut out = Vec::new();
+    while stream.has_remaining() {
+        let mut cursor = io::Cursor::new(stream.as_ref());
+        let record = read_record(&mut cursor)?;
+        let consumed = cursor.position() as usize;
+        stream.advance(consumed);
+        out.push(record);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_fragment_round_trip() {
+        let framed = frame(b"hello rpc");
+        let records = deframe_all(framed).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].as_ref(), b"hello rpc");
+    }
+
+    #[test]
+    fn empty_record_round_trips() {
+        let framed = frame(b"");
+        assert_eq!(framed.as_ref(), &[0x80, 0, 0, 0]);
+        let records = deframe_all(framed).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].is_empty());
+    }
+
+    #[test]
+    fn back_to_back_records_separate_cleanly() {
+        let mut stream = Vec::new();
+        write_record(&mut stream, b"first").unwrap();
+        write_record(&mut stream, b"second message").unwrap();
+        write_record(&mut stream, b"").unwrap();
+        let records = deframe_all(Bytes::from(stream)).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].as_ref(), b"first");
+        assert_eq!(records[1].as_ref(), b"second message");
+        assert!(records[2].is_empty());
+    }
+
+    #[test]
+    fn header_carries_last_bit_and_length() {
+        let framed = frame(b"abc");
+        assert_eq!(framed[0], 0x80);
+        assert_eq!(framed[3], 3);
+    }
+
+    #[test]
+    fn truncated_stream_errors_not_panics() {
+        let framed = frame(b"full message");
+        let cut = framed.slice(0..6);
+        let mut cursor = std::io::Cursor::new(cut.as_ref());
+        assert!(read_record(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn multi_fragment_records_reassemble() {
+        // Hand-build two fragments: "abc" (not last) + "def" (last).
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&3u32.to_be_bytes());
+        stream.extend_from_slice(b"abc");
+        stream.extend_from_slice(&(3u32 | 0x8000_0000).to_be_bytes());
+        stream.extend_from_slice(b"def");
+        let mut cursor = std::io::Cursor::new(stream.as_slice());
+        let record = read_record(&mut cursor).unwrap();
+        assert_eq!(record.as_ref(), b"abcdef");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn any_payload_round_trips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let records = deframe_all(frame(&data)).unwrap();
+            prop_assert_eq!(records.len(), 1);
+            prop_assert_eq!(records[0].as_ref(), data.as_slice());
+        }
+
+        #[test]
+        fn concatenated_payloads_stay_separate(
+            a in proptest::collection::vec(any::<u8>(), 0..512),
+            b in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let mut stream = Vec::new();
+            write_record(&mut stream, &a).unwrap();
+            write_record(&mut stream, &b).unwrap();
+            let records = deframe_all(Bytes::from(stream)).unwrap();
+            prop_assert_eq!(records.len(), 2);
+            prop_assert_eq!(records[0].as_ref(), a.as_slice());
+            prop_assert_eq!(records[1].as_ref(), b.as_slice());
+        }
+    }
+}

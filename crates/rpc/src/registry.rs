@@ -1,0 +1,145 @@
+//! An in-process port mapper.
+//!
+//! Sun RPC servers register (program, version, protocol) → port with the
+//! portmapper; clients "figure out where the server is registered" before
+//! connecting (paper §6.7, the connect benchmark's first step). This
+//! registry reproduces the lookup indirection without requiring a privileged
+//! daemon on port 111.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Transport protocol of a registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// TCP with record marking.
+    Tcp,
+    /// UDP, one message per datagram.
+    Udp,
+}
+
+/// Registration key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    program: u32,
+    version: u32,
+    protocol: Protocol,
+}
+
+/// A shareable program→port registry.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    map: Arc<RwLock<HashMap<Key, u16>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a service; replaces any previous registration and returns
+    /// the port it displaced, if any.
+    pub fn register(
+        &self,
+        program: u32,
+        version: u32,
+        protocol: Protocol,
+        port: u16,
+    ) -> Option<u16> {
+        self.map.write().insert(
+            Key {
+                program,
+                version,
+                protocol,
+            },
+            port,
+        )
+    }
+
+    /// Looks a service up.
+    pub fn lookup(&self, program: u32, version: u32, protocol: Protocol) -> Option<u16> {
+        self.map
+            .read()
+            .get(&Key {
+                program,
+                version,
+                protocol,
+            })
+            .copied()
+    }
+
+    /// Removes a registration, returning its port.
+    pub fn unregister(&self, program: u32, version: u32, protocol: Protocol) -> Option<u16> {
+        self.map.write().remove(&Key {
+            program,
+            version,
+            protocol,
+        })
+    }
+
+    /// Number of live registrations.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_unregister_cycle() {
+        let r = Registry::new();
+        assert!(r.is_empty());
+        assert_eq!(r.register(100, 1, Protocol::Tcp, 5000), None);
+        assert_eq!(r.lookup(100, 1, Protocol::Tcp), Some(5000));
+        assert_eq!(r.lookup(100, 1, Protocol::Udp), None);
+        assert_eq!(r.lookup(100, 2, Protocol::Tcp), None);
+        assert_eq!(r.unregister(100, 1, Protocol::Tcp), Some(5000));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn re_registration_displaces() {
+        let r = Registry::new();
+        r.register(7, 1, Protocol::Udp, 4000);
+        assert_eq!(r.register(7, 1, Protocol::Udp, 4001), Some(4000));
+        assert_eq!(r.lookup(7, 1, Protocol::Udp), Some(4001));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Registry::new();
+        let b = a.clone();
+        a.register(1, 1, Protocol::Tcp, 9);
+        assert_eq!(b.lookup(1, 1, Protocol::Tcp), Some(9));
+    }
+
+    #[test]
+    fn concurrent_registrations_are_safe() {
+        let r = Registry::new();
+        let handles: Vec<_> = (0..8u32)
+            .map(|i| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for v in 0..100u32 {
+                        r.register(i, v, Protocol::Tcp, (i * 100 + v) as u16);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.len(), 800);
+        assert_eq!(r.lookup(3, 42, Protocol::Tcp), Some(342));
+    }
+}

@@ -1,0 +1,282 @@
+//! RPC server: dispatch loop over TCP and UDP.
+//!
+//! A server owns a set of [`Procedure`] handlers keyed by (program,
+//! version, procedure); each incoming call is decoded, dispatched, and
+//! answered with a success or fault reply. One thread per transport — the
+//! benchmark traffic is strictly request/response on a single connection,
+//! matching the paper's setup.
+
+use crate::message::{Body, RpcFault, RpcMessage};
+use crate::record::{read_record, write_record};
+use crate::registry::{Protocol, Registry};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A procedure implementation: XDR-encoded args in, XDR-encoded result out.
+///
+/// Returning `Err` produces a `GARBAGE_ARGS` fault.
+pub type Procedure = Box<dyn Fn(Bytes) -> Result<Bytes, ()> + Send + Sync>;
+
+#[derive(Default)]
+struct Dispatch {
+    procs: HashMap<(u32, u32, u32), Procedure>,
+    versions: HashMap<u32, Vec<u32>>,
+}
+
+impl Dispatch {
+    fn answer(&self, call: RpcMessage) -> RpcMessage {
+        let xid = call.xid;
+        let c = match call.body {
+            Body::Call(c) => c,
+            Body::Reply(_) => return RpcMessage::reply_fault(xid, RpcFault::GarbageArguments),
+        };
+        if c.program == 0 {
+            // The decoder marks wrong-rpc-version calls with program 0.
+            return RpcMessage::reply_fault(xid, RpcFault::RpcMismatch);
+        }
+        match self.procs.get(&(c.program, c.version, c.procedure)) {
+            Some(handler) => match handler(c.args) {
+                Ok(result) => RpcMessage::reply_success(xid, result),
+                Err(()) => RpcMessage::reply_fault(xid, RpcFault::GarbageArguments),
+            },
+            None => {
+                let versions = self.versions.get(&c.program);
+                match versions {
+                    None => RpcMessage::reply_fault(xid, RpcFault::ProgramUnavailable),
+                    Some(vs) if !vs.contains(&c.version) => {
+                        RpcMessage::reply_fault(xid, RpcFault::VersionMismatch)
+                    }
+                    Some(_) => RpcMessage::reply_fault(xid, RpcFault::ProcedureUnavailable),
+                }
+            }
+        }
+    }
+}
+
+/// An RPC server serving registered programs over loopback TCP and UDP.
+pub struct RpcServer {
+    dispatch: Arc<RwLock<Dispatch>>,
+    registry: Registry,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    tcp_port: u16,
+    udp_port: u16,
+}
+
+impl RpcServer {
+    /// Binds loopback TCP and UDP transports and starts their service
+    /// threads. Registered programs are announced in `registry`.
+    pub fn start(registry: Registry) -> io::Result<Self> {
+        let dispatch = Arc::new(RwLock::new(Dispatch::default()));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let tcp_port = listener.local_addr()?.port();
+        let udp = UdpSocket::bind("127.0.0.1:0")?;
+        let udp_port = udp.local_addr()?.port();
+        udp.set_read_timeout(Some(std::time::Duration::from_millis(50)))?;
+
+        let mut threads = Vec::new();
+        {
+            let dispatch = Arc::clone(&dispatch);
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                tcp_loop(&listener, &dispatch, &stop);
+            }));
+        }
+        {
+            let dispatch = Arc::clone(&dispatch);
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                udp_loop(&udp, &dispatch, &stop);
+            }));
+        }
+
+        Ok(Self {
+            dispatch,
+            registry,
+            stop,
+            threads,
+            tcp_port,
+            udp_port,
+        })
+    }
+
+    /// Registers a procedure and announces the program in the registry.
+    pub fn register(
+        &self,
+        program: u32,
+        version: u32,
+        procedure: u32,
+        handler: Procedure,
+    ) {
+        let mut d = self.dispatch.write();
+        d.procs.insert((program, version, procedure), handler);
+        let versions = d.versions.entry(program).or_default();
+        if !versions.contains(&version) {
+            versions.push(version);
+        }
+        drop(d);
+        self.registry
+            .register(program, version, Protocol::Tcp, self.tcp_port);
+        self.registry
+            .register(program, version, Protocol::Udp, self.udp_port);
+    }
+
+    /// TCP port of this server.
+    pub fn tcp_port(&self) -> u16 {
+        self.tcp_port
+    }
+
+    /// UDP port of this server.
+    pub fn udp_port(&self) -> u16 {
+        self.udp_port
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the TCP accept with a dummy connection.
+        let _ = std::net::TcpStream::connect(("127.0.0.1", self.tcp_port));
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn tcp_loop(listener: &TcpListener, dispatch: &Arc<RwLock<Dispatch>>, stop: &Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        let (mut conn, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => continue,
+        };
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let _ = conn.set_nodelay(true);
+        // Serve this connection until it closes; benchmark clients hold one
+        // connection for the whole run.
+        loop {
+            let record = match read_record(&mut conn) {
+                Ok(r) => r,
+                Err(_) => break,
+            };
+            let reply = match RpcMessage::decode(record) {
+                Ok(call) => dispatch.read().answer(call),
+                Err(_) => break,
+            };
+            if write_record(&mut conn, &reply.encode()).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+fn udp_loop(udp: &UdpSocket, dispatch: &Arc<RwLock<Dispatch>>, stop: &Arc<AtomicBool>) {
+    let mut buf = vec![0u8; 64 << 10];
+    while !stop.load(Ordering::Relaxed) {
+        let (n, peer) = match udp.recv_from(&mut buf) {
+            Ok(x) => x,
+            Err(_) => continue, // Timeout: re-check stop flag.
+        };
+        let reply = match RpcMessage::decode(Bytes::copy_from_slice(&buf[..n])) {
+            Ok(call) => dispatch.read().answer(call),
+            Err(_) => continue, // Undecodable datagram: drop, as real servers do.
+        };
+        let _ = udp.send_to(&reply.encode(), peer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{ReplyBody, RpcFault};
+
+    fn echo_server() -> (RpcServer, Registry) {
+        let registry = Registry::new();
+        let server = RpcServer::start(registry.clone()).unwrap();
+        server.register(
+            crate::ECHO_PROGRAM,
+            crate::ECHO_VERSION,
+            crate::ECHO_PROC,
+            Box::new(Ok),
+        );
+        (server, registry)
+    }
+
+    #[test]
+    fn server_announces_itself() {
+        let (server, registry) = echo_server();
+        assert_eq!(
+            registry.lookup(crate::ECHO_PROGRAM, crate::ECHO_VERSION, Protocol::Tcp),
+            Some(server.tcp_port())
+        );
+        assert_eq!(
+            registry.lookup(crate::ECHO_PROGRAM, crate::ECHO_VERSION, Protocol::Udp),
+            Some(server.udp_port())
+        );
+    }
+
+    #[test]
+    fn dispatch_faults_are_specific() {
+        let d = {
+            let mut d = Dispatch::default();
+            d.procs
+                .insert((5, 1, 0), Box::new(Ok) as Procedure);
+            d.versions.insert(5, vec![1]);
+            d
+        };
+        let fault = |msg: RpcMessage| match d.answer(msg).body {
+            Body::Reply(ReplyBody::Fault(f)) => f,
+            other => panic!("expected fault, got {other:?}"),
+        };
+        assert_eq!(
+            fault(RpcMessage::call(1, 999, 1, 0, Bytes::new())),
+            RpcFault::ProgramUnavailable
+        );
+        assert_eq!(
+            fault(RpcMessage::call(1, 5, 9, 0, Bytes::new())),
+            RpcFault::VersionMismatch
+        );
+        assert_eq!(
+            fault(RpcMessage::call(1, 5, 1, 7, Bytes::new())),
+            RpcFault::ProcedureUnavailable
+        );
+    }
+
+    #[test]
+    fn dispatch_success_echoes() {
+        let mut d = Dispatch::default();
+        d.procs.insert((5, 1, 0), Box::new(Ok) as Procedure);
+        d.versions.insert(5, vec![1]);
+        let args = Bytes::from_static(b"1234");
+        let reply = d.answer(RpcMessage::call(77, 5, 1, 0, args.clone()));
+        assert_eq!(reply.xid, 77);
+        assert_eq!(reply.body, Body::Reply(ReplyBody::Success(args)));
+    }
+
+    #[test]
+    fn handler_error_becomes_garbage_args() {
+        let mut d = Dispatch::default();
+        d.procs
+            .insert((5, 1, 0), Box::new(|_| Err(())) as Procedure);
+        d.versions.insert(5, vec![1]);
+        let reply = d.answer(RpcMessage::call(1, 5, 1, 0, Bytes::new()));
+        assert_eq!(
+            reply.body,
+            Body::Reply(ReplyBody::Fault(RpcFault::GarbageArguments))
+        );
+    }
+
+    #[test]
+    fn server_shuts_down_cleanly() {
+        let (server, _registry) = echo_server();
+        drop(server); // Must not hang.
+    }
+}

@@ -1,0 +1,432 @@
+//! External Data Representation — the RFC 4506 subset RPC needs.
+//!
+//! XDR is big-endian with every item padded to a 4-byte boundary. The paper
+//! notes the latency cost is *not* here ("the data being passed back and
+//! forth is a byte, so there is no XDR to be done") but a faithful RPC layer
+//! still runs every argument through this discipline.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Decode-side failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XdrError {
+    /// Fewer bytes remained than the item requires.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A variable-length item declared a length above the decoder's cap.
+    LengthOverflow {
+        /// Declared length.
+        declared: u32,
+        /// The cap in force.
+        cap: u32,
+    },
+    /// A bool was neither 0 nor 1.
+    BadBool(u32),
+    /// Non-zero padding bytes (XDR requires zero fill).
+    BadPadding,
+    /// A string was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for XdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XdrError::Truncated { needed, remaining } => {
+                write!(f, "truncated: needed {needed} bytes, {remaining} remain")
+            }
+            XdrError::LengthOverflow { declared, cap } => {
+                write!(f, "declared length {declared} exceeds cap {cap}")
+            }
+            XdrError::BadBool(v) => write!(f, "bool encoded as {v}"),
+            XdrError::BadPadding => write!(f, "non-zero pad bytes"),
+            XdrError::BadUtf8 => write!(f, "string is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for XdrError {}
+
+/// Largest variable-length item the decoder will accept, guarding against
+/// hostile length words allocating gigabytes.
+pub const MAX_ITEM: u32 = 16 << 20;
+
+fn pad_len(n: usize) -> usize {
+    (4 - (n % 4)) % 4
+}
+
+/// Serializes items in XDR order.
+#[derive(Debug, Default)]
+pub struct XdrEncoder {
+    buf: BytesMut,
+}
+
+impl XdrEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes, yielding the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Encodes an unsigned 32-bit integer.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32(v);
+        self
+    }
+
+    /// Encodes a signed 32-bit integer.
+    pub fn put_i32(&mut self, v: i32) -> &mut Self {
+        self.buf.put_i32(v);
+        self
+    }
+
+    /// Encodes an unsigned 64-bit "hyper".
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64(v);
+        self
+    }
+
+    /// Encodes a signed 64-bit "hyper".
+    pub fn put_i64(&mut self, v: i64) -> &mut Self {
+        self.buf.put_i64(v);
+        self
+    }
+
+    /// Encodes a boolean as 0/1.
+    pub fn put_bool(&mut self, v: bool) -> &mut Self {
+        self.put_u32(u32::from(v))
+    }
+
+    /// Encodes fixed-length opaque data (no length word), zero-padded to 4.
+    pub fn put_opaque_fixed(&mut self, data: &[u8]) -> &mut Self {
+        self.buf.put_slice(data);
+        for _ in 0..pad_len(data.len()) {
+            self.buf.put_u8(0);
+        }
+        self
+    }
+
+    /// Encodes variable-length opaque data (length word + bytes + pad).
+    pub fn put_opaque(&mut self, data: &[u8]) -> &mut Self {
+        self.put_u32(data.len() as u32);
+        self.put_opaque_fixed(data)
+    }
+
+    /// Encodes a string (same wire form as variable opaque).
+    pub fn put_string(&mut self, s: &str) -> &mut Self {
+        self.put_opaque(s.as_bytes())
+    }
+
+    /// Encodes a counted array via a per-element closure.
+    pub fn put_array<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Self, &T)) -> &mut Self {
+        self.put_u32(items.len() as u32);
+        for item in items {
+            f(self, item);
+        }
+        self
+    }
+}
+
+/// Deserializes items in XDR order.
+#[derive(Debug)]
+pub struct XdrDecoder {
+    buf: Bytes,
+}
+
+impl XdrDecoder {
+    /// Wraps encoded bytes.
+    pub fn new(buf: Bytes) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn need(&self, n: usize) -> Result<(), XdrError> {
+        if self.buf.len() < n {
+            Err(XdrError::Truncated {
+                needed: n,
+                remaining: self.buf.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Decodes an unsigned 32-bit integer.
+    pub fn get_u32(&mut self) -> Result<u32, XdrError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32())
+    }
+
+    /// Decodes a signed 32-bit integer.
+    pub fn get_i32(&mut self) -> Result<i32, XdrError> {
+        self.need(4)?;
+        Ok(self.buf.get_i32())
+    }
+
+    /// Decodes an unsigned 64-bit hyper.
+    pub fn get_u64(&mut self) -> Result<u64, XdrError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64())
+    }
+
+    /// Decodes a signed 64-bit hyper.
+    pub fn get_i64(&mut self) -> Result<i64, XdrError> {
+        self.need(8)?;
+        Ok(self.buf.get_i64())
+    }
+
+    /// Decodes a boolean, rejecting values other than 0/1.
+    pub fn get_bool(&mut self) -> Result<bool, XdrError> {
+        match self.get_u32()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(XdrError::BadBool(v)),
+        }
+    }
+
+    /// Decodes `len` bytes of fixed opaque data plus pad.
+    pub fn get_opaque_fixed(&mut self, len: usize) -> Result<Bytes, XdrError> {
+        let padded = len + pad_len(len);
+        self.need(padded)?;
+        let data = self.buf.split_to(len);
+        let pad = self.buf.split_to(pad_len(len));
+        if pad.iter().any(|&b| b != 0) {
+            return Err(XdrError::BadPadding);
+        }
+        Ok(data)
+    }
+
+    /// Decodes variable-length opaque data.
+    pub fn get_opaque(&mut self) -> Result<Bytes, XdrError> {
+        let len = self.get_u32()?;
+        if len > MAX_ITEM {
+            return Err(XdrError::LengthOverflow {
+                declared: len,
+                cap: MAX_ITEM,
+            });
+        }
+        self.get_opaque_fixed(len as usize)
+    }
+
+    /// Decodes a string.
+    pub fn get_string(&mut self) -> Result<String, XdrError> {
+        let bytes = self.get_opaque()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| XdrError::BadUtf8)
+    }
+
+    /// Decodes a counted array via a per-element closure.
+    pub fn get_array<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, XdrError>,
+    ) -> Result<Vec<T>, XdrError> {
+        let len = self.get_u32()?;
+        if len > MAX_ITEM {
+            return Err(XdrError::LengthOverflow {
+                declared: len,
+                cap: MAX_ITEM,
+            });
+        }
+        let mut out = Vec::with_capacity((len as usize).min(4096));
+        for _ in 0..len {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = XdrEncoder::new();
+        e.put_u32(7)
+            .put_i32(-9)
+            .put_u64(u64::MAX)
+            .put_i64(i64::MIN)
+            .put_bool(true)
+            .put_bool(false);
+        let mut d = XdrDecoder::new(e.finish());
+        assert_eq!(d.get_u32().unwrap(), 7);
+        assert_eq!(d.get_i32().unwrap(), -9);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX);
+        assert_eq!(d.get_i64().unwrap(), i64::MIN);
+        assert!(d.get_bool().unwrap());
+        assert!(!d.get_bool().unwrap());
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn everything_is_four_byte_aligned() {
+        for len in 0..9usize {
+            let data = vec![0xEEu8; len];
+            let mut e = XdrEncoder::new();
+            e.put_opaque(&data);
+            assert_eq!(e.len() % 4, 0, "opaque of {len} not aligned");
+        }
+    }
+
+    #[test]
+    fn opaque_round_trip_preserves_bytes() {
+        let data = b"exactly thirteen".to_vec();
+        let mut e = XdrEncoder::new();
+        e.put_opaque(&data);
+        let mut d = XdrDecoder::new(e.finish());
+        assert_eq!(d.get_opaque().unwrap().as_ref(), data.as_slice());
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let mut e = XdrEncoder::new();
+        e.put_string("héllo wörld");
+        let mut d = XdrDecoder::new(e.finish());
+        assert_eq!(d.get_string().unwrap(), "héllo wörld");
+    }
+
+    #[test]
+    fn truncated_input_is_detected() {
+        let mut e = XdrEncoder::new();
+        e.put_u64(1);
+        let bytes = e.finish().slice(0..5);
+        let mut d = XdrDecoder::new(bytes);
+        assert!(matches!(d.get_u64(), Err(XdrError::Truncated { .. })));
+    }
+
+    #[test]
+    fn hostile_length_word_is_capped() {
+        let mut e = XdrEncoder::new();
+        e.put_u32(u32::MAX); // Claims a 4 GiB opaque.
+        let mut d = XdrDecoder::new(e.finish());
+        assert!(matches!(
+            d.get_opaque(),
+            Err(XdrError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn nonzero_padding_rejected() {
+        // Hand-craft: length 1, byte, then garbage pad.
+        let mut raw = BytesMut::new();
+        raw.put_u32(1);
+        raw.put_u8(0xAA);
+        raw.put_u8(0x01); // Should be zero.
+        raw.put_u8(0);
+        raw.put_u8(0);
+        let mut d = XdrDecoder::new(raw.freeze());
+        assert_eq!(d.get_opaque(), Err(XdrError::BadPadding));
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        let mut e = XdrEncoder::new();
+        e.put_u32(2);
+        let mut d = XdrDecoder::new(e.finish());
+        assert_eq!(d.get_bool(), Err(XdrError::BadBool(2)));
+    }
+
+    #[test]
+    fn invalid_utf8_string_rejected() {
+        let mut e = XdrEncoder::new();
+        e.put_opaque(&[0xFF, 0xFE]);
+        let mut d = XdrDecoder::new(e.finish());
+        assert_eq!(d.get_string(), Err(XdrError::BadUtf8));
+    }
+
+    #[test]
+    fn arrays_round_trip() {
+        let items = vec![3u32, 1, 4, 1, 5];
+        let mut e = XdrEncoder::new();
+        e.put_array(&items, |e, &v| {
+            e.put_u32(v);
+        });
+        let mut d = XdrDecoder::new(e.finish());
+        assert_eq!(d.get_array(|d| d.get_u32()).unwrap(), items);
+    }
+
+    #[test]
+    fn wire_format_is_big_endian() {
+        let mut e = XdrEncoder::new();
+        e.put_u32(0x0102_0304);
+        assert_eq!(e.finish().as_ref(), &[1, 2, 3, 4]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn any_opaque_round_trips(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let mut e = XdrEncoder::new();
+            e.put_opaque(&data);
+            let mut d = XdrDecoder::new(e.finish());
+            let got = d.get_opaque().unwrap();
+            prop_assert_eq!(got.as_ref(), data.as_slice());
+            prop_assert_eq!(d.remaining(), 0);
+        }
+
+        #[test]
+        fn any_string_round_trips(s in "\\PC{0,200}") {
+            let mut e = XdrEncoder::new();
+            e.put_string(&s);
+            let mut d = XdrDecoder::new(e.finish());
+            prop_assert_eq!(d.get_string().unwrap(), s);
+        }
+
+        #[test]
+        fn mixed_sequences_round_trip(
+            u in any::<u32>(),
+            i in any::<i64>(),
+            b in any::<bool>(),
+            data in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let mut e = XdrEncoder::new();
+            e.put_u32(u).put_i64(i).put_bool(b).put_opaque(&data);
+            let mut d = XdrDecoder::new(e.finish());
+            prop_assert_eq!(d.get_u32().unwrap(), u);
+            prop_assert_eq!(d.get_i64().unwrap(), i);
+            prop_assert_eq!(d.get_bool().unwrap(), b);
+            let got = d.get_opaque().unwrap();
+            prop_assert_eq!(got.as_ref(), data.as_slice());
+        }
+
+        #[test]
+        fn truncation_never_panics(
+            data in proptest::collection::vec(any::<u8>(), 0..64),
+            cut in 0usize..64,
+        ) {
+            let mut e = XdrEncoder::new();
+            e.put_opaque(&data);
+            let full = e.finish();
+            let cut = cut.min(full.len());
+            let mut d = XdrDecoder::new(full.slice(0..cut));
+            // Must return Ok or a structured error, never panic.
+            let _ = d.get_opaque();
+        }
+    }
+}

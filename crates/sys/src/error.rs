@@ -1,0 +1,99 @@
+//! `errno`-based error handling.
+
+use std::fmt;
+
+/// A captured `errno` value from a failed syscall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Errno(pub i32);
+
+/// Result alias for syscall wrappers.
+pub type Result<T> = std::result::Result<T, Errno>;
+
+impl Errno {
+    /// Reads the calling thread's current `errno`.
+    #[inline]
+    pub fn last() -> Self {
+        Self(std::io::Error::last_os_error().raw_os_error().unwrap_or(0))
+    }
+
+    /// The raw errno number.
+    #[inline]
+    pub fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// True if this is `EINTR` — callers in timing loops restart on it so a
+    /// stray signal does not abort a benchmark.
+    #[inline]
+    pub fn is_interrupted(self) -> bool {
+        self.0 == libc::EINTR
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", std::io::Error::from_raw_os_error(self.0))
+    }
+}
+
+impl std::error::Error for Errno {}
+
+impl From<Errno> for std::io::Error {
+    fn from(e: Errno) -> Self {
+        std::io::Error::from_raw_os_error(e.0)
+    }
+}
+
+/// Converts a `-1`-on-error syscall return into a [`Result`].
+#[inline]
+pub(crate) fn check(ret: isize) -> Result<usize> {
+    if ret < 0 {
+        Err(Errno::last())
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// Converts a `-1`-on-error `c_int` syscall return into a [`Result`].
+#[inline]
+pub(crate) fn check_int(ret: i32) -> Result<i32> {
+    if ret < 0 {
+        Err(Errno::last())
+    } else {
+        Ok(ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_passes_positive() {
+        assert_eq!(check(42), Ok(42));
+        assert_eq!(check(0), Ok(0));
+    }
+
+    #[test]
+    fn check_int_passes_zero() {
+        assert_eq!(check_int(0), Ok(0));
+    }
+
+    #[test]
+    fn eintr_detection() {
+        assert!(Errno(libc::EINTR).is_interrupted());
+        assert!(!Errno(libc::EBADF).is_interrupted());
+    }
+
+    #[test]
+    fn display_names_the_error() {
+        let msg = Errno(libc::EBADF).to_string();
+        assert!(!msg.is_empty());
+    }
+
+    #[test]
+    fn converts_to_io_error() {
+        let io: std::io::Error = Errno(libc::ENOENT).into();
+        assert_eq!(io.raw_os_error(), Some(libc::ENOENT));
+    }
+}

@@ -1,0 +1,191 @@
+//! Owned file descriptors and raw read/write.
+
+use crate::error::{check, Errno, Result};
+use std::ffi::CString;
+use std::os::unix::ffi::OsStrExt;
+use std::path::Path;
+
+/// An owned file descriptor, closed on drop.
+///
+/// Unlike `std::fs::File`, reads and writes take `&self` and map 1:1 onto
+/// the `read(2)`/`write(2)` syscalls with no buffering, so a benchmark loop
+/// around them times exactly one kernel entry per call.
+#[derive(Debug)]
+pub struct Fd(i32);
+
+impl Fd {
+    /// Wraps a raw descriptor, taking ownership (it will be closed on drop).
+    ///
+    /// # Safety
+    ///
+    /// `raw` must be a valid, open file descriptor that no other owner will
+    /// close.
+    #[inline]
+    pub unsafe fn from_raw(raw: i32) -> Self {
+        Self(raw)
+    }
+
+    /// The underlying descriptor number.
+    #[inline]
+    pub fn raw(&self) -> i32 {
+        self.0
+    }
+
+    /// Opens `path` with the given `open(2)` flags and mode 0o644.
+    pub fn open(path: &Path, flags: i32) -> Result<Self> {
+        let cpath = CString::new(path.as_os_str().as_bytes()).map_err(|_| Errno(libc::EINVAL))?;
+        // SAFETY: `cpath` is a valid NUL-terminated string; flags/mode are
+        // plain integers; open returns -1 on failure which `check_int`
+        // converts.
+        let fd = crate::error::check_int(unsafe { libc::open(cpath.as_ptr(), flags, 0o644) })?;
+        Ok(Self(fd))
+    }
+
+    /// Opens `/dev/null` for writing — the paper's "nontrivial entry into
+    /// the operating system" target (§6.3): never optimized, exercises the
+    /// full syscall path (user-copy check, fd lookup, vnode dispatch).
+    pub fn open_dev_null() -> Result<Self> {
+        Self::open(Path::new("/dev/null"), libc::O_WRONLY)
+    }
+
+    /// One `write(2)` call. Returns bytes written.
+    #[inline]
+    pub fn write(&self, buf: &[u8]) -> Result<usize> {
+        // SAFETY: `buf` is a valid initialized slice for the duration of the
+        // call; the kernel reads at most `buf.len()` bytes from it.
+        check(unsafe { libc::write(self.0, buf.as_ptr().cast(), buf.len()) })
+    }
+
+    /// One `read(2)` call. Returns bytes read (0 at EOF).
+    #[inline]
+    pub fn read(&self, buf: &mut [u8]) -> Result<usize> {
+        // SAFETY: `buf` is valid writable memory of `buf.len()` bytes; the
+        // kernel writes at most that many bytes into it.
+        check(unsafe { libc::read(self.0, buf.as_mut_ptr().cast(), buf.len()) })
+    }
+
+    /// `write`, restarted on `EINTR`, erroring on short writes.
+    pub fn write_all(&self, mut buf: &[u8]) -> Result<()> {
+        while !buf.is_empty() {
+            match self.write(buf) {
+                Ok(0) => return Err(Errno(libc::EIO)),
+                Ok(n) => buf = &buf[n..],
+                Err(e) if e.is_interrupted() => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// `read` until `buf` is full or EOF, restarted on `EINTR`. Returns
+    /// total bytes read.
+    pub fn read_full(&self, buf: &mut [u8]) -> Result<usize> {
+        let mut total = 0;
+        while total < buf.len() {
+            match self.read(&mut buf[total..]) {
+                Ok(0) => break,
+                Ok(n) => total += n,
+                Err(e) if e.is_interrupted() => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total)
+    }
+
+    /// `lseek(2)` to an absolute offset. Returns the new offset.
+    pub fn seek_to(&self, offset: u64) -> Result<u64> {
+        // SAFETY: plain integer arguments; -1 indicates failure.
+        let ret = unsafe { libc::lseek(self.0, offset as libc::off_t, libc::SEEK_SET) };
+        if ret < 0 {
+            Err(Errno::last())
+        } else {
+            Ok(ret as u64)
+        }
+    }
+
+    /// Releases ownership without closing; returns the raw descriptor.
+    #[inline]
+    pub fn into_raw(self) -> i32 {
+        let fd = self.0;
+        std::mem::forget(self);
+        fd
+    }
+}
+
+impl Drop for Fd {
+    fn drop(&mut self) {
+        // SAFETY: we own `self.0` (invariant of the type); double-close is
+        // impossible because drop runs once and `into_raw` forgets `self`.
+        unsafe {
+            libc::close(self.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dev_null_accepts_writes() {
+        let fd = Fd::open_dev_null().expect("open /dev/null");
+        assert_eq!(fd.write(b"word").unwrap(), 4);
+        fd.write_all(b"more words").unwrap();
+    }
+
+    #[test]
+    fn open_missing_file_reports_enoent() {
+        let err = Fd::open(Path::new("/definitely/not/here"), libc::O_RDONLY).unwrap_err();
+        assert_eq!(err.raw(), libc::ENOENT);
+    }
+
+    #[test]
+    fn read_write_roundtrip_through_tmpfile() {
+        let dir = std::env::temp_dir().join(format!("lmb-sys-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip");
+        {
+            let fd = Fd::open(&path, libc::O_CREAT | libc::O_WRONLY | libc::O_TRUNC).unwrap();
+            fd.write_all(b"hello lmbench").unwrap();
+        }
+        let fd = Fd::open(&path, libc::O_RDONLY).unwrap();
+        let mut buf = [0u8; 32];
+        let n = fd.read_full(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello lmbench");
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn seek_repositions_reads() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("lmb-sys-seek-{}", std::process::id()));
+        {
+            let fd = Fd::open(&path, libc::O_CREAT | libc::O_WRONLY | libc::O_TRUNC).unwrap();
+            fd.write_all(b"0123456789").unwrap();
+        }
+        let fd = Fd::open(&path, libc::O_RDONLY).unwrap();
+        assert_eq!(fd.seek_to(5).unwrap(), 5);
+        let mut buf = [0u8; 5];
+        assert_eq!(fd.read_full(&mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"56789");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn into_raw_prevents_close() {
+        let fd = Fd::open_dev_null().unwrap();
+        let raw = fd.into_raw();
+        // SAFETY: `raw` came from `into_raw`, so we are the sole owner and
+        // may re-wrap it.
+        let fd2 = unsafe { Fd::from_raw(raw) };
+        assert_eq!(fd2.write(b"x").unwrap(), 1);
+    }
+
+    #[test]
+    fn read_on_write_only_fd_fails() {
+        let fd = Fd::open_dev_null().unwrap();
+        let mut buf = [0u8; 1];
+        assert!(fd.read(&mut buf).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! `mmap(2)` wrappers for the file-mapping benchmarks.
+//!
+//! Paper §5.3: "The `mmap` interface provides a way to access the kernel's
+//! file cache without copying the data." [`FileMapping`] maps a whole file
+//! read-only so the benchmark can sum it in place.
+
+use crate::error::{Errno, Result};
+use crate::fd::Fd;
+use std::path::Path;
+
+/// A read-only, shared mapping of an entire file, unmapped on drop.
+#[derive(Debug)]
+pub struct FileMapping {
+    addr: *mut libc::c_void,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only and the struct is the unique owner of the
+// address range; moving it across threads cannot create aliased mutation.
+unsafe impl Send for FileMapping {}
+// SAFETY: all accessors take &self and only read; concurrent reads of a
+// MAP_SHARED PROT_READ mapping are race-free.
+unsafe impl Sync for FileMapping {}
+
+impl FileMapping {
+    /// Maps all `len` bytes of the file at `path` read-only.
+    ///
+    /// Fails with `EINVAL` for an empty file (zero-length `mmap` is
+    /// unspecified).
+    pub fn map_file(path: &Path) -> Result<Self> {
+        let fd = Fd::open(path, libc::O_RDONLY)?;
+        let len = std::fs::metadata(path)
+            .map_err(|e| Errno(e.raw_os_error().unwrap_or(libc::EIO)))?
+            .len() as usize;
+        if len == 0 {
+            return Err(Errno(libc::EINVAL));
+        }
+        // SAFETY: fd is open for reading, len matches the file size, addr
+        // NULL lets the kernel choose placement. MAP_FAILED is checked.
+        let addr = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                len,
+                libc::PROT_READ,
+                libc::MAP_SHARED,
+                fd.raw(),
+                0,
+            )
+        };
+        if addr == libc::MAP_FAILED {
+            return Err(Errno::last());
+        }
+        Ok(Self { addr, len })
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: `addr` points to `len` mapped readable bytes for the
+        // lifetime of `self` (unmapped only in drop, which requires
+        // exclusive ownership).
+        unsafe { std::slice::from_raw_parts(self.addr.cast::<u8>(), self.len) }
+    }
+
+    /// The mapping viewed as aligned `u32` words (the unit the summing
+    /// benchmark reads); trailing bytes that do not fill a word are ignored.
+    #[inline]
+    pub fn words(&self) -> &[u32] {
+        let words = self.len / std::mem::size_of::<u32>();
+        // SAFETY: mmap returns page-aligned memory, so the cast to u32 is
+        // aligned; `words * 4 <= len` bounds the slice within the mapping.
+        unsafe { std::slice::from_raw_parts(self.addr.cast::<u32>(), words) }
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for an empty mapping (cannot occur via `map_file`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for FileMapping {
+    fn drop(&mut self) {
+        // SAFETY: `addr`/`len` describe exactly the region mmap returned and
+        // nothing else unmaps it (unique ownership).
+        unsafe {
+            libc::munmap(self.addr, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmpfile(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("lmb-mmap-{}-{name}", std::process::id()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapping_reflects_file_contents() {
+        let path = tmpfile("contents", b"mapped bytes!");
+        let map = FileMapping::map_file(&path).unwrap();
+        assert_eq!(map.bytes(), b"mapped bytes!");
+        assert_eq!(map.len(), 13);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn words_view_truncates_tail() {
+        let path = tmpfile("words", &[1, 0, 0, 0, 2, 0, 0, 0, 9]);
+        let map = FileMapping::map_file(&path).unwrap();
+        assert_eq!(map.words(), &[1u32, 2u32]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_is_rejected() {
+        let path = tmpfile("empty", b"");
+        assert!(FileMapping::map_file(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_rejected() {
+        assert!(FileMapping::map_file(Path::new("/no/such/file")).is_err());
+    }
+
+    #[test]
+    fn summing_words_matches_manual_sum() {
+        let data: Vec<u8> = (0u32..256).flat_map(|w| w.to_ne_bytes()).collect();
+        let path = tmpfile("sum", &data);
+        let map = FileMapping::map_file(&path).unwrap();
+        let total: u64 = map.words().iter().map(|&w| u64::from(w)).sum();
+        assert_eq!(total, (0..256u64).sum::<u64>());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

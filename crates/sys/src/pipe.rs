@@ -1,0 +1,76 @@
+//! `pipe(2)` wrapper.
+
+use crate::error::{check_int, Result};
+use crate::fd::Fd;
+
+/// A Unix pipe: "a one-way byte stream. Each end of the stream has an
+/// associated file descriptor; one is the write descriptor and the other the
+/// read descriptor" (paper §5.2).
+#[derive(Debug)]
+pub struct Pipe {
+    /// Read end.
+    pub read: Fd,
+    /// Write end.
+    pub write: Fd,
+}
+
+impl Pipe {
+    /// Creates a pipe.
+    pub fn new() -> Result<Self> {
+        let mut fds = [0i32; 2];
+        // SAFETY: `fds` is a valid 2-element int array; pipe writes both
+        // entries exactly when it returns 0.
+        check_int(unsafe { libc::pipe(fds.as_mut_ptr()) })?;
+        // SAFETY: on success both descriptors are open and owned solely by
+        // us; each is wrapped exactly once.
+        unsafe {
+            Ok(Self {
+                read: Fd::from_raw(fds[0]),
+                write: Fd::from_raw(fds[1]),
+            })
+        }
+    }
+
+    /// Splits into (read end, write end) — used when the two ends move to
+    /// different processes after `fork`.
+    pub fn split(self) -> (Fd, Fd) {
+        (self.read, self.write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_transfers_bytes() {
+        let p = Pipe::new().unwrap();
+        p.write.write_all(b"token").unwrap();
+        let mut buf = [0u8; 5];
+        assert_eq!(p.read.read_full(&mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"token");
+    }
+
+    #[test]
+    fn reading_after_writer_close_gives_eof() {
+        let (read, write) = Pipe::new().unwrap().split();
+        write.write_all(b"x").unwrap();
+        drop(write);
+        let mut buf = [0u8; 8];
+        assert_eq!(read.read(&mut buf).unwrap(), 1);
+        assert_eq!(read.read(&mut buf).unwrap(), 0, "expected EOF");
+    }
+
+    #[test]
+    fn many_small_writes_preserve_order() {
+        let p = Pipe::new().unwrap();
+        for i in 0u8..32 {
+            p.write.write_all(&[i]).unwrap();
+        }
+        let mut buf = [0u8; 32];
+        p.read.read_full(&mut buf).unwrap();
+        for (i, b) in buf.iter().enumerate() {
+            assert_eq!(*b as usize, i);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Loop calibration: choose how many operations to time per interval.
+//!
+//! This is the heart of the paper's clock-resolution compensation (§3.4):
+//! "the benchmarks are hand-tuned to measure many operations within a single
+//! time interval lasting for many clock ticks. Typically, this is done by
+//! executing the operation in a small loop ... and then dividing the loop
+//! time by the loop count." We automate the hand-tuning: a geometric ramp
+//! doubles the loop count until one timed interval exceeds the target.
+
+use crate::clock::Stopwatch;
+use std::time::Duration;
+
+/// Result of calibrating a benchmark body against the clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Calibration {
+    /// Iterations per timed interval.
+    pub iterations: u64,
+    /// The interval the calibration aimed for.
+    pub target: Duration,
+}
+
+/// Upper bound on the calibration ramp; protects against a body that the
+/// optimizer reduced to nothing (which would otherwise ramp forever).
+pub const MAX_ITERATIONS: u64 = 1 << 34;
+
+/// Finds an iteration count such that `iterations` runs of `body` take at
+/// least `target` wall time.
+///
+/// The ramp starts at 1 and doubles. The returned count is the first power
+/// of two whose measured interval met the target, scaled linearly from the
+/// last observation so the final interval lands near the target rather than
+/// up to 2x beyond it.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// let cal = lmb_timing::calibrate_iterations(Duration::from_micros(200), || {
+///     std::hint::black_box((0..64u64).sum::<u64>());
+/// });
+/// assert!(cal.iterations >= 1);
+/// ```
+pub fn calibrate_iterations(target: Duration, mut body: impl FnMut()) -> Calibration {
+    let target_ns = target.as_nanos() as f64;
+    let mut n: u64 = 1;
+    loop {
+        let sw = Stopwatch::start();
+        for _ in 0..n {
+            body();
+        }
+        let elapsed = sw.elapsed_ns();
+        if elapsed >= target_ns {
+            return Calibration {
+                iterations: n,
+                target,
+            };
+        }
+        if n >= MAX_ITERATIONS {
+            // The body is unmeasurably fast; report the cap. Per-op times
+            // computed with this count will read as ~0, matching the paper's
+            // "reported time may be zero" convention.
+            return Calibration {
+                iterations: MAX_ITERATIONS,
+                target,
+            };
+        }
+        // Jump straight to the projected count when we have signal, else
+        // double. The 1.2 fudge covers per-iteration cost shrinking as loop
+        // overhead amortizes.
+        let next = if elapsed > 0.0 {
+            let projected = (n as f64 * target_ns / elapsed * 1.2).ceil() as u64;
+            projected.clamp(n * 2, n.saturating_mul(16))
+        } else {
+            n * 2
+        };
+        n = next.min(MAX_ITERATIONS);
+    }
+}
+
+/// Times `iterations` runs of `body` and returns nanoseconds per iteration.
+///
+/// This is the measurement half of the `BENCH` macro: calibration picks the
+/// loop count, this divides the interval by it.
+pub fn time_per_iteration(iterations: u64, mut body: impl FnMut()) -> f64 {
+    assert!(iterations > 0, "cannot time zero iterations");
+    let sw = Stopwatch::start();
+    for _ in 0..iterations {
+        body();
+    }
+    sw.elapsed_ns() / iterations as f64
+}
+
+/// Times a single run of `body` that internally performs `ops` operations
+/// and returns nanoseconds per operation.
+///
+/// Used by benchmarks whose body is itself a loop over a buffer (bandwidth
+/// kernels), where the harness must not add an outer loop.
+pub fn time_block(ops: u64, body: impl FnOnce()) -> f64 {
+    assert!(ops > 0, "cannot time zero operations");
+    let sw = Stopwatch::start();
+    body();
+    sw.elapsed_ns() / ops as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn calibration_meets_target() {
+        let target = Duration::from_micros(500);
+        let cal = calibrate_iterations(target, || {
+            std::hint::black_box((0..32u64).fold(0, |a, b| a ^ b));
+        });
+        // Re-run at the calibrated count; it should take at least ~half the
+        // target (allowing for warm-up effects in the calibration pass).
+        let per_op = time_per_iteration(cal.iterations, || {
+            std::hint::black_box((0..32u64).fold(0, |a, b| a ^ b));
+        });
+        let total = per_op * cal.iterations as f64;
+        assert!(
+            total >= target.as_nanos() as f64 * 0.25,
+            "calibrated interval {total}ns far below target"
+        );
+    }
+
+    #[test]
+    fn calibration_of_slow_body_stays_small() {
+        let cal = calibrate_iterations(Duration::from_micros(100), || {
+            std::thread::sleep(Duration::from_micros(200));
+        });
+        assert_eq!(cal.iterations, 1);
+    }
+
+    #[test]
+    fn calibration_runs_body_at_least_once() {
+        let count = AtomicU64::new(0);
+        calibrate_iterations(Duration::from_nanos(1), || {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(count.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn time_per_iteration_divides_by_count() {
+        let per_op = time_per_iteration(10, || {
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        assert!(per_op >= 0.8e6, "per-op {per_op}ns, expected ~1ms");
+        assert!(per_op <= 20e6);
+    }
+
+    #[test]
+    fn time_block_divides_by_ops() {
+        let per_op = time_block(1000, || {
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        assert!(per_op >= 1_000.0, "per-op {per_op}ns");
+        assert!(per_op <= 1_000_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero iterations")]
+    fn zero_iterations_rejected() {
+        time_per_iteration(0, || {});
+    }
+}

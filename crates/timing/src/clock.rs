@@ -1,0 +1,180 @@
+//! Monotonic-clock introspection.
+//!
+//! The paper (§3.4, "Clock resolution") reads the system clock via
+//! `gettimeofday`, whose resolution on some 1995 systems was 10 ms — a long
+//! time relative to benchmarks measured in microseconds. lmbench compensates
+//! by timing many operations per interval. We use `std::time::Instant`
+//! (`CLOCK_MONOTONIC` on Linux) but keep the compensation machinery, because
+//! even a nanosecond-granular clock has a *read overhead* of tens of
+//! nanoseconds that would otherwise pollute sub-100ns measurements.
+
+use std::time::{Duration, Instant};
+
+/// Observed properties of the monotonic clock on this host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockInfo {
+    /// Smallest nonzero tick the clock can report, in nanoseconds.
+    pub resolution_ns: f64,
+    /// Median cost of one `Instant::now()` call, in nanoseconds.
+    pub overhead_ns: f64,
+}
+
+impl ClockInfo {
+    /// Probes the clock and returns its resolution and read overhead.
+    ///
+    /// The probe is cheap (well under a millisecond) and deterministic in
+    /// structure, so it is safe to call at harness construction time.
+    pub fn probe() -> Self {
+        Self {
+            resolution_ns: clock_resolution_ns(),
+            overhead_ns: clock_overhead_ns(),
+        }
+    }
+
+    /// Minimum interval a timed region should span so that clock
+    /// quantization contributes at most `1/multiple` relative error.
+    pub fn min_interval(&self, multiple: u32) -> Duration {
+        let floor_ns = (self.resolution_ns.max(self.overhead_ns)) * f64::from(multiple);
+        // Never time an interval shorter than 10us even on perfect clocks:
+        // scheduler jitter dominates below that.
+        Duration::from_nanos(floor_ns.max(10_000.0) as u64)
+    }
+}
+
+impl Default for ClockInfo {
+    fn default() -> Self {
+        Self::probe()
+    }
+}
+
+/// Measures the smallest nonzero delta the monotonic clock reports.
+///
+/// Spins reading the clock until it advances, many times, and returns the
+/// smallest observed advance in nanoseconds. On modern Linux this is a few
+/// tens of nanoseconds; on the paper's 1995 systems the analogous probe
+/// would have reported 10 ms.
+pub fn clock_resolution_ns() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..64 {
+        let start = Instant::now();
+        let mut now = Instant::now();
+        // Spin until the clock visibly advances.
+        while now == start {
+            now = Instant::now();
+        }
+        let delta = now.duration_since(start).as_nanos() as f64;
+        if delta > 0.0 && delta < best {
+            best = delta;
+        }
+    }
+    if best.is_finite() {
+        best
+    } else {
+        // The clock never advanced during the probe; assume 1ns (the type's
+        // granularity) rather than reporting an infinite resolution.
+        1.0
+    }
+}
+
+/// Measures the median cost of a single `Instant::now()` call.
+pub fn clock_overhead_ns() -> f64 {
+    const BATCH: u32 = 1024;
+    let mut samples = Vec::with_capacity(16);
+    for _ in 0..16 {
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            std::hint::black_box(Instant::now());
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        samples.push(elapsed / f64::from(BATCH));
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// A started stopwatch; reading it yields elapsed nanoseconds.
+///
+/// This is the direct analog of lmbench's `start()` / `stop()` pair.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[inline(always)]
+    pub fn start() -> Self {
+        Self {
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since [`Stopwatch::start`], in nanoseconds.
+    #[inline(always)]
+    pub fn elapsed_ns(&self) -> f64 {
+        self.started.elapsed().as_nanos() as f64
+    }
+
+    /// Elapsed time since [`Stopwatch::start`].
+    #[inline(always)]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_is_positive_and_sane() {
+        let r = clock_resolution_ns();
+        assert!(r >= 1.0, "resolution {r} below 1ns");
+        // Anything coarser than 10ms would break the suite the same way it
+        // broke 1995 gettimeofday users; modern clocks are far better.
+        assert!(r < 10_000_000.0, "resolution {r} ns is implausibly coarse");
+    }
+
+    #[test]
+    fn overhead_is_positive_and_sane() {
+        let o = clock_overhead_ns();
+        assert!(o > 0.0);
+        assert!(o < 100_000.0, "Instant::now() cost {o} ns is implausible");
+    }
+
+    #[test]
+    fn min_interval_scales_with_multiple() {
+        let info = ClockInfo {
+            resolution_ns: 100.0,
+            overhead_ns: 20.0,
+        };
+        let small = info.min_interval(100);
+        let large = info.min_interval(10_000);
+        assert!(large >= small);
+        assert!(large >= Duration::from_nanos(100 * 10_000));
+    }
+
+    #[test]
+    fn min_interval_has_floor() {
+        let info = ClockInfo {
+            resolution_ns: 1.0,
+            overhead_ns: 1.0,
+        };
+        assert!(info.min_interval(1) >= Duration::from_micros(10));
+    }
+
+    #[test]
+    fn stopwatch_measures_sleep() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(5));
+        let ns = sw.elapsed_ns();
+        assert!(ns >= 4_000_000.0, "slept 5ms but measured {ns}ns");
+    }
+
+    #[test]
+    fn probe_populates_both_fields() {
+        let info = ClockInfo::probe();
+        assert!(info.resolution_ns >= 1.0);
+        assert!(info.overhead_ns > 0.0);
+    }
+}

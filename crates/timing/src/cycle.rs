@@ -1,0 +1,130 @@
+//! CPU clock-rate estimation.
+//!
+//! The paper derives cycle time to convert load latencies into clocks
+//! (Table 6 discussion: "we calculate the clock rate to get the
+//! instruction execution time. If the clock rate is off, so is the load
+//! time" — footnote 3). The estimator times a long serial chain of
+//! dependent integer adds: each add retires in exactly one cycle on every
+//! target this suite cares about, and the dependence chain defeats
+//! superscalar overlap, so `adds / seconds ≈ core frequency`.
+//!
+//! Modern caveat (documented, not hidden): DVFS means "the" clock is a
+//! moving target; the estimate reflects the sustained boost clock under a
+//! serial integer workload.
+
+use crate::clock::Stopwatch;
+
+/// Adds per timing block; long enough to swamp loop overhead.
+const CHAIN: u64 = 1 << 22;
+
+/// Runs one serial dependent-add chain of [`CHAIN`] adds and returns the
+/// elapsed nanoseconds. The chain value is returned too so callers can
+/// black-box it.
+#[inline(never)]
+fn timed_chain(seed: u64) -> (f64, u64) {
+    // Alternating add/xor with loop-carried operands: the mixed operators
+    // are not mutually associative, so the compiler can neither fold the
+    // chain to one add nor vectorize it — every operation stays a serial
+    // ~1-cycle dependency (pure `acc += 1` chains constant-fold away).
+    let mut acc = std::hint::black_box(seed | 1);
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let sw = Stopwatch::start();
+    let iters = CHAIN / 8;
+    for _ in 0..iters {
+        acc = acc.wrapping_add(x);
+        x ^= acc;
+        acc = acc.wrapping_add(x);
+        x ^= acc;
+        acc = acc.wrapping_add(x);
+        x ^= acc;
+        acc = acc.wrapping_add(x);
+        x ^= acc;
+    }
+    (sw.elapsed_ns(), acc ^ x)
+}
+
+/// Estimated processor clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockEstimate {
+    /// Estimated frequency, MHz.
+    pub mhz: f64,
+    /// Cycle time, nanoseconds.
+    pub cycle_ns: f64,
+}
+
+impl ClockEstimate {
+    /// Converts a latency in nanoseconds into (approximate) clock cycles.
+    pub fn cycles(&self, ns: f64) -> f64 {
+        if self.cycle_ns > 0.0 {
+            ns / self.cycle_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Estimates the core clock from the best of `runs` dependent-add chains
+/// (minimum time = least-disturbed run, per the suite's policy).
+///
+/// # Panics
+///
+/// Panics if `runs` is zero.
+pub fn estimate_clock(runs: u32) -> ClockEstimate {
+    assert!(runs > 0, "need at least one run");
+    let mut best_ns = f64::INFINITY;
+    let mut sink = 0u64;
+    for i in 0..runs {
+        let (ns, acc) = timed_chain(u64::from(i));
+        sink = sink.wrapping_add(acc);
+        if ns < best_ns {
+            best_ns = ns;
+        }
+    }
+    std::hint::black_box(sink);
+    let cycle_ns = best_ns / CHAIN as f64;
+    ClockEstimate {
+        mhz: 1e3 / cycle_ns,
+        cycle_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_is_in_plausible_cpu_range() {
+        let est = estimate_clock(5);
+        // Anything from an embedded core to an overclocked desktop.
+        // (Debug builds add loop overhead, inflating cycle_ns ~2-3x, so
+        // the lower bound is generous.)
+        assert!(est.mhz > 100.0, "estimated {} MHz", est.mhz);
+        assert!(est.mhz < 10_000.0, "estimated {} MHz", est.mhz);
+    }
+
+    #[test]
+    fn cycle_time_is_inverse_of_frequency() {
+        let est = estimate_clock(3);
+        assert!((est.cycle_ns * est.mhz - 1e3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cycles_conversion() {
+        let est = ClockEstimate {
+            mhz: 1000.0,
+            cycle_ns: 1.0,
+        };
+        assert_eq!(est.cycles(66.0), 66.0);
+        let zero = ClockEstimate {
+            mhz: 0.0,
+            cycle_ns: 0.0,
+        };
+        assert_eq!(zero.cycles(10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        estimate_clock(0);
+    }
+}

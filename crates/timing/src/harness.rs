@@ -1,0 +1,275 @@
+//! The benchmark harness: warm-up, calibration, repetition, summary.
+//!
+//! Composes the pieces of this crate into the measurement loop every
+//! lmbench-rs benchmark uses:
+//!
+//! 1. probe the clock ([`crate::clock`]),
+//! 2. warm caches by running the body a few times (paper §3.4 "Caching"),
+//! 3. calibrate a loop count so each interval spans many clock ticks
+//!    ([`crate::calibrate`]),
+//! 4. repeat the timed interval N times,
+//! 5. summarize with the benchmark's policy ([`crate::stats`]), minimum by
+//!    default (paper §3.4 "Variability").
+
+use crate::calibrate::{calibrate_iterations, time_block, time_per_iteration};
+use crate::clock::ClockInfo;
+use crate::result::Measurement;
+use crate::stats::{Samples, SummaryPolicy};
+use std::time::Duration;
+
+/// Tunable harness parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Options {
+    /// Untimed runs of the body before measurement (cache warm-up).
+    pub warmup_runs: u32,
+    /// Timed repetitions to collect.
+    pub repetitions: u32,
+    /// Required ratio between a timed interval and the clock resolution.
+    pub resolution_multiple: u32,
+    /// Hard floor for each timed interval, whatever the clock says.
+    pub min_interval: Duration,
+    /// Default summary policy.
+    pub policy: SummaryPolicy,
+}
+
+impl Options {
+    /// Paper-faithful defaults: warm twice, eleven repetitions, each
+    /// interval at least 10 000 clock resolutions and 5 ms.
+    pub fn paper() -> Self {
+        Self {
+            warmup_runs: 2,
+            repetitions: 11,
+            resolution_multiple: 10_000,
+            min_interval: Duration::from_millis(5),
+            policy: SummaryPolicy::Minimum,
+        }
+    }
+
+    /// Fast settings for tests and smoke runs: one warm-up, three
+    /// repetitions, 200 µs intervals.
+    pub fn quick() -> Self {
+        Self {
+            warmup_runs: 1,
+            repetitions: 3,
+            resolution_multiple: 100,
+            min_interval: Duration::from_micros(200),
+            policy: SummaryPolicy::Minimum,
+        }
+    }
+
+    /// Replaces the summary policy.
+    pub fn with_policy(mut self, policy: SummaryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the repetition count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetitions` is zero.
+    pub fn with_repetitions(mut self, repetitions: u32) -> Self {
+        assert!(repetitions > 0, "need at least one repetition");
+        self.repetitions = repetitions;
+        self
+    }
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A configured measurement harness.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    options: Options,
+    clock: ClockInfo,
+}
+
+impl Harness {
+    /// Builds a harness, probing the clock once up front.
+    pub fn new(options: Options) -> Self {
+        Self {
+            options,
+            clock: ClockInfo::probe(),
+        }
+    }
+
+    /// The probed clock characteristics.
+    pub fn clock(&self) -> ClockInfo {
+        self.clock
+    }
+
+    /// The options in force.
+    pub fn options(&self) -> Options {
+        self.options
+    }
+
+    /// The interval each timed region must span.
+    pub fn target_interval(&self) -> Duration {
+        self.clock
+            .min_interval(self.options.resolution_multiple)
+            .max(self.options.min_interval)
+    }
+
+    /// Measures the per-call cost of `body`.
+    ///
+    /// The harness adds the outer loop: `body` should perform exactly one
+    /// operation (one syscall, one signal, ...). Use [`Harness::measure_block`]
+    /// when the body is itself a loop.
+    pub fn measure(&self, mut body: impl FnMut()) -> Measurement {
+        for _ in 0..self.options.warmup_runs {
+            body();
+        }
+        let cal = calibrate_iterations(self.target_interval(), &mut body);
+        let mut samples = Samples::new();
+        for _ in 0..self.options.repetitions {
+            samples.push(time_per_iteration(cal.iterations, &mut body));
+        }
+        Measurement::from_per_op_samples(samples, cal.iterations, self.options.policy)
+    }
+
+    /// Measures a body that internally performs `ops` operations per call
+    /// (e.g. one pass over an 8 MB buffer counted as `ops` word reads).
+    ///
+    /// No outer loop is added; the body is run once per repetition after
+    /// warm-up, and per-op time is `elapsed / ops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is zero.
+    pub fn measure_block(&self, ops: u64, mut body: impl FnMut()) -> Measurement {
+        assert!(ops > 0, "measure_block needs ops > 0");
+        for _ in 0..self.options.warmup_runs {
+            body();
+        }
+        let mut samples = Samples::new();
+        for _ in 0..self.options.repetitions {
+            samples.push(time_block(ops, &mut body));
+        }
+        Measurement::from_per_op_samples(samples, ops, self.options.policy)
+    }
+
+    /// Measures the *difference* between `body` and `baseline`, both run at
+    /// the same calibrated iteration count.
+    ///
+    /// This implements the paper's overhead-subtraction idiom: the context
+    /// switch benchmark "first measures the cost of passing the token
+    /// through a ring of pipes in a single process" and reports only the
+    /// remainder (§6.6). Negative differences clamp to zero.
+    pub fn measure_minus(&self, mut body: impl FnMut(), mut baseline: impl FnMut()) -> Measurement {
+        let with = self.measure(&mut body);
+        let without = self.measure(&mut baseline);
+        let diff = (with.per_op_ns() - without.per_op_ns()).max(0.0);
+        Measurement::from_per_op_samples(
+            Samples::from_values([diff]),
+            with.ops_per_sample(),
+            self.options.policy,
+        )
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new(Options::paper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn measure_reports_positive_time_for_real_work() {
+        let h = Harness::new(Options::quick());
+        let m = h.measure(|| {
+            let mut acc = 0u64;
+            for i in 0..256u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        });
+        assert!(m.per_op_ns() > 0.0);
+        assert_eq!(m.samples().len() as u32, Options::quick().repetitions);
+    }
+
+    #[test]
+    fn warmup_runs_happen_before_timing() {
+        let count = AtomicU64::new(0);
+        let h = Harness::new(Options::quick());
+        h.measure(|| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        let calls = count.load(Ordering::Relaxed);
+        assert!(
+            calls > u64::from(Options::quick().warmup_runs),
+            "body called only {calls} times"
+        );
+    }
+
+    #[test]
+    fn measure_block_divides_by_ops() {
+        let h = Harness::new(Options::quick());
+        let ops = 1u64 << 16;
+        let m = h.measure_block(ops, || {
+            let mut acc = 0u64;
+            for i in 0..(1u64 << 16) {
+                acc = acc.wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        });
+        // Per-add cost must be well under a microsecond.
+        assert!(m.per_op_ns() < 1_000.0, "per-op {}ns", m.per_op_ns());
+    }
+
+    #[test]
+    fn measure_minus_clamps_to_zero() {
+        let h = Harness::new(Options::quick());
+        // Baseline strictly more expensive than body.
+        let m = h.measure_minus(
+            || {
+                std::hint::black_box(1u32);
+            },
+            || {
+                let mut acc = 0u64;
+                for i in 0..4096u64 {
+                    acc = acc.wrapping_add(i * i);
+                }
+                std::hint::black_box(acc);
+            },
+        );
+        assert_eq!(m.per_op_ns(), 0.0);
+    }
+
+    #[test]
+    fn measure_minus_detects_extra_work() {
+        let h = Harness::new(Options::quick());
+        let heavy = || {
+            let mut acc = 0u64;
+            for i in 0..65_536u64 {
+                acc = acc.wrapping_mul(3).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        };
+        let light = || {
+            std::hint::black_box(0u64);
+        };
+        let m = h.measure_minus(heavy, light);
+        assert!(m.per_op_ns() > 0.0);
+    }
+
+    #[test]
+    fn target_interval_respects_floor() {
+        let h = Harness::new(Options::quick());
+        assert!(h.target_interval() >= Options::quick().min_interval);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_repetitions_rejected() {
+        Options::quick().with_repetitions(0);
+    }
+}

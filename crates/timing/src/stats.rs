@@ -1,0 +1,301 @@
+//! Sample statistics and the summary policies the paper argues for.
+//!
+//! lmbench (§3.4, "Variability") observed up to 30% run-to-run variation in
+//! context-switch times and compensated by "running the benchmark in a loop
+//! and taking the minimum result" — the minimum being the run least
+//! disturbed by cache collisions, daemons and scheduler noise. Bandwidth
+//! benchmarks, by contrast, report the *last* of several warm runs, and some
+//! consumers want medians. [`SummaryPolicy`] captures the choice.
+
+/// How to collapse repeated measurements into one reported number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SummaryPolicy {
+    /// Minimum over all repetitions — the paper's choice for latency
+    /// benchmarks with high variability (context switches, connect).
+    #[default]
+    Minimum,
+    /// Median — robust middle ground, used by our analyzers.
+    Median,
+    /// Arithmetic mean.
+    Mean,
+    /// The final repetition — the paper's choice for cache-warm bandwidth
+    /// runs ("the benchmark is typically run several times; only the last
+    /// result is recorded", §3.4).
+    Last,
+}
+
+/// A set of repeated measurements of the same quantity.
+///
+/// Values are kept in insertion order; queries that need order sort a copy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a sample set from raw values, ignoring non-finite entries.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut s = Self::new();
+        for v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Records one measurement. Non-finite values are ignored (a timer
+    /// anomaly must not poison the summary).
+    pub fn push(&mut self, value: f64) {
+        if value.is_finite() {
+            self.values.push(value);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw values, in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().max_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+
+    /// Median (lower-middle for even counts), or `None` if empty.
+    pub fn median(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Inclusive percentile in `[0, 100]` using nearest-rank, or `None` if
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0.0, 100.0]` or NaN.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank])
+    }
+
+    /// Population standard deviation, or `None` if empty.
+    pub fn stddev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self
+            .values
+            .iter()
+            .map(|v| {
+                let d = v - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.values.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Median absolute deviation — a robust spread estimate used by the
+    /// curve analyzers to reject scheduler-noise outliers.
+    pub fn mad(&self) -> Option<f64> {
+        let med = self.median()?;
+        let deviations = Samples::from_values(self.values.iter().map(|v| (v - med).abs()));
+        deviations.median()
+    }
+
+    /// Last recorded sample, or `None` if empty.
+    pub fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Collapses the samples with the given policy, or `None` if empty.
+    pub fn summarize(&self, policy: SummaryPolicy) -> Option<f64> {
+        match policy {
+            SummaryPolicy::Minimum => self.min(),
+            SummaryPolicy::Median => self.median(),
+            SummaryPolicy::Mean => self.mean(),
+            SummaryPolicy::Last => self.last(),
+        }
+    }
+
+    /// Relative spread `(max - min) / median`; 0.0 for degenerate sets.
+    ///
+    /// The paper quotes "up to 30%" here for context switching — this is the
+    /// statistic that claim refers to.
+    pub fn relative_spread(&self) -> f64 {
+        match (self.min(), self.max(), self.median()) {
+            (Some(lo), Some(hi), Some(med)) if med != 0.0 => (hi - lo) / med,
+            _ => 0.0,
+        }
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Self::from_values(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(values: &[f64]) -> Samples {
+        Samples::from_values(values.iter().copied())
+    }
+
+    #[test]
+    fn empty_set_returns_none_everywhere() {
+        let s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.median(), None);
+        assert_eq!(s.stddev(), None);
+        assert_eq!(s.mad(), None);
+        assert_eq!(s.summarize(SummaryPolicy::Minimum), None);
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let s = sample(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(5.0));
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.median(), Some(3.0));
+        assert_eq!(s.last(), Some(5.0));
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored() {
+        let s = sample(&[1.0, f64::NAN, f64::INFINITY, 2.0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.max(), Some(2.0));
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s = sample(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(s.percentile(0.0), Some(10.0));
+        assert_eq!(s.percentile(50.0), Some(30.0));
+        assert_eq!(s.percentile(100.0), Some(50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_rejects_out_of_range() {
+        sample(&[1.0]).percentile(101.0);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let s = sample(&[7.0; 10]);
+        assert_eq!(s.stddev(), Some(0.0));
+        assert_eq!(s.mad(), Some(0.0));
+        assert_eq!(s.relative_spread(), 0.0);
+    }
+
+    #[test]
+    fn summary_policies_differ_as_expected() {
+        let s = sample(&[5.0, 1.0, 9.0]);
+        assert_eq!(s.summarize(SummaryPolicy::Minimum), Some(1.0));
+        assert_eq!(s.summarize(SummaryPolicy::Median), Some(5.0));
+        assert_eq!(s.summarize(SummaryPolicy::Mean), Some(5.0));
+        assert_eq!(s.summarize(SummaryPolicy::Last), Some(9.0));
+    }
+
+    #[test]
+    fn relative_spread_matches_paper_definition() {
+        // min 70, max 91, median 80 -> spread (91-70)/80 = 0.2625
+        let s = sample(&[70.0, 80.0, 91.0]);
+        let expected = (91.0 - 70.0) / 80.0;
+        assert!((s.relative_spread() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        let mut clean = sample(&[10.0, 11.0, 9.0, 10.0, 10.0]);
+        let clean_mad = clean.mad().unwrap();
+        clean.push(1000.0);
+        let with_outlier = clean.mad().unwrap();
+        assert!(with_outlier <= 1.5, "MAD {with_outlier} blew up on outlier");
+        assert!(clean_mad <= 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every summary policy lands within [min, max] of the samples.
+        #[test]
+        fn summaries_are_bounded(values in proptest::collection::vec(0.0f64..1e9, 1..64)) {
+            let s = Samples::from_values(values.iter().copied());
+            let lo = s.min().unwrap();
+            let hi = s.max().unwrap();
+            for policy in [
+                SummaryPolicy::Minimum,
+                SummaryPolicy::Median,
+                SummaryPolicy::Mean,
+                SummaryPolicy::Last,
+            ] {
+                let v = s.summarize(policy).unwrap();
+                prop_assert!(v >= lo && v <= hi, "{policy:?} gave {v} outside [{lo}, {hi}]");
+            }
+        }
+
+        /// Percentiles are monotone in p.
+        #[test]
+        fn percentiles_monotone(values in proptest::collection::vec(0.0f64..1e6, 1..64)) {
+            let s = Samples::from_values(values.iter().copied());
+            let mut last = f64::MIN;
+            for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+                let v = s.percentile(p).unwrap();
+                prop_assert!(v >= last);
+                last = v;
+            }
+        }
+
+        /// MAD is never larger than the full spread.
+        #[test]
+        fn mad_bounded_by_range(values in proptest::collection::vec(0.0f64..1e6, 2..64)) {
+            let s = Samples::from_values(values.iter().copied());
+            let spread = s.max().unwrap() - s.min().unwrap();
+            prop_assert!(s.mad().unwrap() <= spread + 1e-9);
+        }
+    }
+}

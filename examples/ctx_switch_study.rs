@@ -1,0 +1,53 @@
+//! Figure 2: context-switch cost as rings grow and cache footprints swell.
+//!
+//! Reproduces the paper's §6.6 study: rings of 2–20 processes passing a
+//! token through pipes, each summing a 0–64 KB array per receipt. The
+//! single-process token-passing overhead is measured separately and
+//! subtracted, and each curve's legend carries that overhead — exactly the
+//! annotations on the paper's Figure 2.
+//!
+//! ```sh
+//! cargo run --release --example ctx_switch_study
+//! ```
+
+use lmbench::core::report;
+use lmbench::proc::ctx;
+use lmbench::timing::{Harness, Options};
+
+fn main() {
+    let h = Harness::new(Options::quick().with_repetitions(2));
+    let rings = vec![2usize, 4, 8, 12, 16, 20];
+    let footprints = vec![0usize, 4 << 10, 16 << 10, 32 << 10, 64 << 10];
+    let passes = 300;
+
+    eprintln!(
+        "sweeping {} ring sizes x {} footprints ({} passes each)...",
+        rings.len(),
+        footprints.len(),
+        passes
+    );
+    let curves = ctx::sweep(&h, &rings, &footprints, passes);
+
+    println!("{}", report::figure_2(&curves));
+
+    println!("Per-configuration detail:");
+    for c in &curves {
+        print!("  {:>3}KB footprint:", c.footprint_bytes >> 10);
+        for &(procs, us) in &c.points {
+            print!("  {procs}p={us:.1}us");
+        }
+        println!("  (overhead {:.1}us)", c.overhead_us);
+    }
+
+    // The paper's observation: times stay flat until the aggregate working
+    // set spills the last-level cache, then climb.
+    if let (Some(small), Some(big)) = (curves.first(), curves.last()) {
+        let small_max = small.points.iter().map(|&(_, us)| us).fold(0.0, f64::max);
+        let big_max = big.points.iter().map(|&(_, us)| us).fold(0.0, f64::max);
+        println!(
+            "\nLargest footprint switches are {:.1}x the zero-footprint ones \
+             (cache refill is the context-switch tax).",
+            if small_max > 0.0 { big_max / small_max } else { f64::NAN }
+        );
+    }
+}

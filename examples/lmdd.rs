@@ -1,0 +1,107 @@
+//! `lmdd` — the paper's dd-style I/O benchmark, as a command-line tool.
+//!
+//! "lmdd, which is patterned after the Unix utility dd, measures both
+//! sequential and random I/O, optionally generates patterns on output and
+//! checks them on input ... and has a very flexible user interface" (§6.9).
+//!
+//! ```sh
+//! cargo run --release --example lmdd -- of=/tmp/x bs=65536 count=128 opat=1
+//! cargo run --release --example lmdd -- if=/tmp/x bs=65536 count=128 ipat=1 rand=1
+//! ```
+
+use lmbench::fs::lmdd::{Lmdd, SeekMode};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn parse_args() -> Result<Lmdd, String> {
+    let mut run = Lmdd {
+        input: None,
+        output: None,
+        block_size: 8 << 10,
+        count: 128,
+        seek_mode: SeekMode::Sequential,
+        generate_pattern: false,
+        check_pattern: false,
+        fsync: false,
+    };
+    for arg in std::env::args().skip(1) {
+        let (key, value) = arg
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got {arg:?}"))?;
+        match key {
+            "if" => run.input = Some(PathBuf::from(value)),
+            "of" => run.output = Some(PathBuf::from(value)),
+            "bs" => {
+                run.block_size = parse_size(value)?;
+            }
+            "count" => {
+                run.count = value.parse().map_err(|_| format!("bad count {value:?}"))?;
+            }
+            "rand" => {
+                if value != "0" {
+                    run.seek_mode = SeekMode::Random { seed: 42 };
+                }
+            }
+            "seed" => {
+                let seed = value.parse().map_err(|_| format!("bad seed {value:?}"))?;
+                run.seek_mode = SeekMode::Random { seed };
+            }
+            "opat" => run.generate_pattern = value != "0",
+            "ipat" => run.check_pattern = value != "0",
+            "sync" => run.fsync = value != "0",
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(run)
+}
+
+/// Parses dd-style sizes: plain bytes, or k/m suffixes.
+fn parse_size(s: &str) -> Result<usize, String> {
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'k') | Some(b'K') => (&s[..s.len() - 1], 1 << 10),
+        Some(b'm') | Some(b'M') => (&s[..s.len() - 1], 1 << 20),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<usize>()
+        .map(|n| n * mult)
+        .map_err(|_| format!("bad size {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let run = match parse_args() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lmdd: {e}");
+            eprintln!("usage: lmdd [if=FILE] [of=FILE] [bs=N[k|m]] [count=N] [rand=1] [seed=N] [opat=1] [ipat=1] [sync=1]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run.run() {
+        Ok(report) => {
+            println!(
+                "{} bytes in {:.4} secs, {} ({:.0} ops/sec, {} byte blocks, {})",
+                report.bytes,
+                report.elapsed_ns / 1e9,
+                report.bandwidth,
+                report.ops_per_sec,
+                run.block_size,
+                match run.seek_mode {
+                    SeekMode::Sequential => "sequential".to_string(),
+                    SeekMode::Random { seed } => format!("random seed={seed}"),
+                },
+            );
+            if run.check_pattern {
+                println!("pattern errors: {}", report.pattern_errors);
+                if report.pattern_errors > 0 {
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lmdd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! A distributed-lock-manager workload: TCP latency as destiny.
+//!
+//! The paper's motivating claim (§1, §6.7): "the TCP latency benchmark is
+//! an accurate predictor of the Oracle distributed lock manager's
+//! performance. ... The default Oracle distributed lock manager uses TCP
+//! sockets, and the locks per second available from this service are
+//! accurately modeled by the TCP latency test."
+//!
+//! This example builds a tiny lock manager — a TCP server granting and
+//! releasing named locks — drives it with a client acquiring/releasing in
+//! a loop, and compares the achieved locks/second against the prediction
+//! `1e6 / tcp_round_trip_us` from the plain TCP latency benchmark.
+//!
+//! ```sh
+//! cargo run --release --example lock_manager
+//! ```
+
+use lmbench::timing::clock::Stopwatch;
+use lmbench::timing::{Harness, Options};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Wire ops: 1 byte opcode + 1 byte lock id; reply 1 byte status.
+const OP_ACQUIRE: u8 = 1;
+const OP_RELEASE: u8 = 2;
+const OP_QUIT: u8 = 3;
+const STATUS_GRANTED: u8 = 0;
+const STATUS_BUSY: u8 = 1;
+
+fn lock_server(listener: TcpListener) {
+    let (mut conn, _) = listener.accept().expect("accept");
+    conn.set_nodelay(true).expect("nodelay");
+    let mut held: HashMap<u8, bool> = HashMap::new();
+    let mut req = [0u8; 2];
+    loop {
+        if conn.read_exact(&mut req).is_err() {
+            return;
+        }
+        let [op, lock_id] = req;
+        let status = match op {
+            OP_ACQUIRE => {
+                let slot = held.entry(lock_id).or_insert(false);
+                if *slot {
+                    STATUS_BUSY
+                } else {
+                    *slot = true;
+                    STATUS_GRANTED
+                }
+            }
+            OP_RELEASE => {
+                held.insert(lock_id, false);
+                STATUS_GRANTED
+            }
+            _ => return, // OP_QUIT
+        };
+        if conn.write_all(&[status]).is_err() {
+            return;
+        }
+    }
+}
+
+fn main() {
+    let h = Harness::new(Options::quick());
+    let round_trips = 400;
+
+    // Step 1: the plain TCP latency benchmark — the paper's predictor.
+    let tcp_rtt_us = lmbench::ipc::measure_tcp_latency(&h, round_trips).as_micros();
+    let predicted_locks_per_sec = 1e6 / tcp_rtt_us / 2.0; // acquire + release per cycle
+    println!("TCP word round trip: {tcp_rtt_us:.1} us");
+    println!("predicted lock cycles/sec (acquire+release): {predicted_locks_per_sec:.0}");
+
+    // Step 2: the actual lock manager.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = std::thread::spawn(move || lock_server(listener));
+
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_nodelay(true).expect("nodelay");
+    let mut reply = [0u8; 1];
+    // Warm up.
+    for _ in 0..50 {
+        conn.write_all(&[OP_ACQUIRE, 7]).unwrap();
+        conn.read_exact(&mut reply).unwrap();
+        conn.write_all(&[OP_RELEASE, 7]).unwrap();
+        conn.read_exact(&mut reply).unwrap();
+    }
+
+    let cycles = 2000u32;
+    let sw = Stopwatch::start();
+    for i in 0..cycles {
+        let lock_id = (i % 16) as u8;
+        conn.write_all(&[OP_ACQUIRE, lock_id]).unwrap();
+        conn.read_exact(&mut reply).unwrap();
+        assert_eq!(reply[0], STATUS_GRANTED, "lock {lock_id} busy");
+        conn.write_all(&[OP_RELEASE, lock_id]).unwrap();
+        conn.read_exact(&mut reply).unwrap();
+    }
+    let elapsed_s = sw.elapsed_ns() / 1e9;
+    let achieved = f64::from(cycles) / elapsed_s;
+
+    conn.write_all(&[OP_QUIT, 0]).unwrap();
+    drop(conn);
+    server.join().unwrap();
+
+    println!("achieved lock cycles/sec: {achieved:.0}");
+    let ratio = achieved / predicted_locks_per_sec;
+    println!(
+        "achieved/predicted = {ratio:.2} — the paper's claim holds when this \
+         sits near 1.0 (each lock cycle is two TCP round trips and little else)."
+    );
+}

@@ -1,0 +1,61 @@
+//! Figure 1: walk the memory hierarchy and plot its plateaus.
+//!
+//! Sweeps the back-to-back-load latency benchmark over (array size x
+//! stride), renders the Figure 1 curves as an ASCII plot, then runs the
+//! Table 6 analyzer to name each plateau — "the point where each plateau
+//! ends and the line rises marks the end of that portion of the memory
+//! hierarchy" (§6.2).
+//!
+//! ```sh
+//! cargo run --release --example memory_hierarchy
+//! cargo run --release --example memory_hierarchy -- --random  # defeat prefetch
+//! ```
+
+use lmbench::core::report;
+use lmbench::mem::hierarchy;
+use lmbench::mem::lat::{self, ChasePattern};
+use lmbench::timing::{Harness, Options};
+
+fn main() {
+    let pattern = if std::env::args().any(|a| a == "--random") {
+        ChasePattern::Random
+    } else {
+        ChasePattern::Stride
+    };
+    let h = Harness::new(Options::quick());
+    let max = 32 << 20;
+
+    eprintln!("sweeping sizes 512B..{}MB (pattern {pattern:?})...", max >> 20);
+    let sizes = lat::default_sizes(max);
+    let strides = vec![64usize, 128, 512, 4096];
+    let curves = lat::sweep(&h, &sizes, &strides, pattern);
+
+    println!("{}", report::figure_1(&curves));
+
+    // Analyze the cache-line-sized stride curve for the Table 6 row.
+    let base = &curves[0];
+    if let Some(hier) = hierarchy::analyze(base) {
+        println!("Extracted hierarchy (stride {}):", base.stride);
+        for (i, level) in hier.levels.iter().enumerate() {
+            match level.capacity {
+                Some(cap) => println!(
+                    "  level {}: {:>8} bytes  @ {:>6.1} ns/load",
+                    i + 1,
+                    cap,
+                    level.latency_ns
+                ),
+                None => println!("  main memory:        @ {:>6.1} ns/load", level.latency_ns),
+            }
+        }
+    }
+    if let Some(line) = hierarchy::detect_line_size(&curves) {
+        println!("Estimated cache line size: {line} bytes");
+    }
+
+    let tlb = lmbench::mem::tlb::probe(&h, 4096);
+    if let (Some(pages), Some(cost)) = (tlb.coverage_pages, tlb.miss_cost_ns) {
+        println!("TLB: ~{pages} pages covered, miss adds ~{cost:.1} ns");
+    } else {
+        println!("TLB: no knee visible up to 4096 pages");
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerate every table of the paper, with this host as one more row.
+//!
+//! Runs the full suite, merges the measured row into the paper's embedded
+//! results database, renders Tables 1–17 exactly as §3.5 describes ("it is
+//! quite easy to build the source, run the benchmark, and produce a table
+//! of results that includes the run"), and finishes with the
+//! paper-vs-measured ranking summary that feeds EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release --example paper_report            # quick settings
+//! cargo run --release --example paper_report -- --paper # paper-scale
+//! ```
+
+use lmbench::core::{report, run_suite, SuiteConfig};
+
+fn main() {
+    let paper_scale = std::env::args().any(|a| a == "--paper");
+    let config = if paper_scale {
+        SuiteConfig::paper()
+    } else {
+        SuiteConfig::quick()
+    };
+    eprintln!(
+        "running full suite at {} scale...",
+        if paper_scale { "paper" } else { "quick" }
+    );
+    let run = run_suite(&config);
+
+    println!("{}", report::full_report(Some(&run)));
+
+    println!("=== This host vs the paper's 1995 fleet ===");
+    for cmp in report::comparisons(&run) {
+        println!("{}", cmp.summary());
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: measure this machine's basic OS and memory costs.
+//!
+//! Runs a handful of the suite's headline micro-benchmarks at quick
+//! settings and prints one line each — the "what does my machine look
+//! like" five-minute tour.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lmbench::core::SuiteConfig;
+use lmbench::timing::Harness;
+
+fn main() {
+    let config = SuiteConfig::quick();
+    let h = Harness::new(config.options);
+
+    println!("lmbench-rs quickstart");
+    println!(
+        "clock: resolution {:.0}ns, read overhead {:.0}ns",
+        h.clock().resolution_ns,
+        h.clock().overhead_ns
+    );
+    println!();
+
+    let syscall = lmbench::proc::syscall::measure_all(&h);
+    println!("null syscall (write /dev/null): {}", syscall.write_devnull);
+    println!("getpid:                         {}", syscall.getpid);
+
+    let signal = lmbench::proc::signal::measure_all(&h);
+    println!("signal install (sigaction):     {}", signal.install);
+    println!("signal dispatch:                {}", signal.dispatch);
+
+    let procs = lmbench::proc::proc::measure_all(&h);
+    println!("fork + exit:                    {}", procs.fork_exit);
+    println!("fork + exec:                    {}", procs.fork_exec);
+    println!("fork + sh -c:                   {}", procs.fork_sh);
+
+    let pipe = lmbench::ipc::measure_pipe_latency(&h, config.round_trips);
+    println!("pipe round trip:                {pipe}");
+
+    let ctx = lmbench::proc::ctx::measure(&h, &lmbench::proc::ctx::CtxOptions::quick());
+    println!("context switch (2 procs):       {}", ctx.per_switch);
+
+    let bw = lmbench::mem::bw::measure_all(&h, config.copy_bytes);
+    println!();
+    println!("memory bandwidth over {} MB buffers:", config.copy_bytes >> 20);
+    println!("  bcopy (libc):     {}", bw.bcopy_libc);
+    println!("  bcopy (unrolled): {}", bw.bcopy_unrolled);
+    println!("  read:             {}", bw.read);
+    println!("  write:            {}", bw.write);
+}

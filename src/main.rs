@@ -1,0 +1,90 @@
+//! The `lmbench` command-line tool.
+//!
+//! Mirrors the original suite's usage: individual benchmarks are runnable
+//! by name (the `bw_*`/`lat_*` binaries of the C distribution), and the
+//! whole suite can run and report against the embedded paper database.
+//!
+//! ```sh
+//! lmbench list                 # every benchmark and what it produces
+//! lmbench run lat_syscall      # one benchmark, quick settings
+//! lmbench suite [--paper]      # the full suite -> JSON on stdout
+//! lmbench report [--paper]     # full suite + all 17 regenerated tables
+//! ```
+
+use lmbench::core::{report, run_suite, Registry, SuiteConfig};
+use lmbench::results::ResultsDb;
+use lmbench::timing::Harness;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: lmbench <list|run NAME|suite [--paper]|report [--paper]>");
+    ExitCode::FAILURE
+}
+
+fn config_from_args(args: &[String]) -> SuiteConfig {
+    if args.iter().any(|a| a == "--paper") {
+        SuiteConfig::paper()
+    } else {
+        SuiteConfig::quick()
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    match command {
+        "list" => {
+            let registry = Registry::standard();
+            println!("{:<14} {:<22} category", "name", "produces");
+            for b in registry.all() {
+                println!(
+                    "{:<14} {:<22} {:?}",
+                    b.name, b.produces, b.category
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let Some(name) = args.get(1) else {
+                eprintln!("lmbench run: missing benchmark name (try `lmbench list`)");
+                return ExitCode::FAILURE;
+            };
+            let registry = Registry::standard();
+            let Some(bench) = registry.find(name) else {
+                eprintln!("lmbench run: unknown benchmark {name:?} (try `lmbench list`)");
+                return ExitCode::FAILURE;
+            };
+            let config = config_from_args(&args);
+            let h = Harness::new(config.options);
+            println!("{}: {}", bench.name, bench.run(&h, &config));
+            ExitCode::SUCCESS
+        }
+        "suite" => {
+            let config = config_from_args(&args);
+            let run = run_suite(&config);
+            let name = run
+                .system
+                .as_ref()
+                .map(|s| s.name.clone())
+                .unwrap_or_else(|| "host".into());
+            let mut db = ResultsDb::new();
+            db.insert(name, run);
+            println!("{}", db.to_json());
+            ExitCode::SUCCESS
+        }
+        "report" => {
+            let config = config_from_args(&args);
+            eprintln!("running full suite...");
+            let run = run_suite(&config);
+            println!("{}", report::full_report(Some(&run)));
+            println!("=== This host vs the paper's 1995 fleet ===");
+            for cmp in report::comparisons(&run) {
+                println!("{}", cmp.summary());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

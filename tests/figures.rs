@@ -1,0 +1,59 @@
+//! Figure generation from live (small) sweeps: the Figure 1 and Figure 2
+//! pipelines must run end to end and show the paper's qualitative shapes.
+
+use lmbench::core::report;
+use lmbench::mem::lat::{self, ChasePattern};
+use lmbench::proc::ctx;
+use lmbench::timing::{Harness, Options};
+
+#[test]
+fn figure_1_pipeline_shows_the_hierarchy() {
+    let h = Harness::new(Options::quick());
+    let sizes: Vec<usize> = lat::default_sizes(16 << 20);
+    let strides = vec![64usize, 512];
+    let curves = lat::sweep(&h, &sizes, &strides, ChasePattern::Random);
+    assert_eq!(curves.len(), 2);
+
+    let fig = report::figure_1(&curves);
+    assert!(fig.contains("Figure 1"));
+    assert!(fig.contains("stride=64"));
+    assert!(fig.contains("stride=512"));
+
+    // The qualitative Figure 1 shape: the largest arrays are slower per
+    // load than the smallest ones on every curve.
+    for c in &curves {
+        let first = c.points.first().unwrap().ns_per_load;
+        let last = c.points.last().unwrap().ns_per_load;
+        assert!(
+            last > first,
+            "stride {}: no rise from {first} to {last}",
+            c.stride
+        );
+    }
+}
+
+#[test]
+fn figure_2_pipeline_renders_every_series() {
+    let h = Harness::new(Options::quick().with_repetitions(2));
+    let curves = ctx::sweep(&h, &[2, 4], &[0, 16 << 10], 50);
+    assert_eq!(curves.len(), 2);
+    let fig = report::figure_2(&curves);
+    assert!(fig.contains("Figure 2"));
+    assert!(fig.contains("size=0KB"));
+    assert!(fig.contains("size=16KB"));
+    // Legends carry the measured overhead annotation like the paper's.
+    assert!(fig.contains("overhead="), "{fig}");
+}
+
+#[test]
+fn hierarchy_analyzer_consumes_live_sweep() {
+    let h = Harness::new(Options::quick());
+    let hier = lmbench::mem::hierarchy::measure_hierarchy(&h, 16 << 20, 64)
+        .expect("analysis produced no hierarchy");
+    // At minimum, a fastest level and a memory level must both exist and
+    // be ordered.
+    assert!(!hier.levels.is_empty());
+    let first = hier.levels.first().unwrap().latency_ns;
+    let last = hier.levels.last().unwrap().latency_ns;
+    assert!(last >= first);
+}

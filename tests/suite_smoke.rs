@@ -1,0 +1,95 @@
+//! End-to-end suite smoke test: run everything quick, check every table
+//! row materializes, the report renders, and results round-trip through
+//! the database.
+
+use lmbench::core::{report, run_suite, SuiteConfig};
+use lmbench::results::ResultsDb;
+
+#[test]
+fn full_quick_suite_populates_every_row_and_reports() {
+    let run = run_suite(&SuiteConfig::quick());
+
+    // Every table's row must be present.
+    assert!(run.system.is_some(), "table 1 row missing");
+    assert!(run.mem_bw.is_some(), "table 2 row missing");
+    assert!(run.ipc_bw.is_some(), "table 3 row missing");
+    assert!(!run.remote_bw.is_empty(), "table 4 rows missing");
+    assert!(run.file_bw.is_some(), "table 5 row missing");
+    assert!(run.cache_lat.is_some(), "table 6 row missing");
+    assert!(run.syscall.is_some(), "table 7 row missing");
+    assert!(run.signal.is_some(), "table 8 row missing");
+    assert!(run.proc.is_some(), "table 9 row missing");
+    assert!(run.ctx.is_some(), "table 10 row missing");
+    assert!(run.pipe_lat.is_some(), "table 11 row missing");
+    assert!(run.tcp_rpc.is_some(), "table 12 row missing");
+    assert!(run.udp_rpc.is_some(), "table 13 row missing");
+    assert!(!run.remote_lat.is_empty(), "table 14 rows missing");
+    assert!(run.connect.is_some(), "table 15 row missing");
+    assert!(run.fs_lat.is_some(), "table 16 row missing");
+    assert!(run.disk.is_some(), "table 17 row missing");
+
+    // The four simulated media appear in both remote tables.
+    assert_eq!(run.remote_bw.len(), 4);
+    assert_eq!(run.remote_lat.len(), 4);
+
+    // Report contains all seventeen tables and the measured host's name.
+    let host_name = run.system.as_ref().unwrap().name.clone();
+    let rendered = report::full_report(Some(&run));
+    for n in 1..=17 {
+        assert!(rendered.contains(&format!("Table {n}.")), "Table {n} missing");
+    }
+    assert!(
+        rendered.contains(&host_name),
+        "host row {host_name} absent from report"
+    );
+
+    // Comparisons cover the major metrics.
+    let cmp = report::comparisons(&run);
+    assert!(cmp.len() >= 15, "only {} comparisons", cmp.len());
+    for c in &cmp {
+        assert!(c.measured.is_finite(), "{} not finite", c.metric);
+        assert!(c.rank >= 1 && c.rank <= c.out_of, "{} bad rank", c.metric);
+    }
+
+    // Database round trip preserves the run's structure and values to
+    // within float-printing precision (JSON re-parsing may flip the last
+    // ULP of a double, so exact equality is too strong).
+    let mut db = ResultsDb::new();
+    db.insert(&host_name, run.clone());
+    let back = ResultsDb::from_json(&db.to_json()).unwrap();
+    let restored = back.get(&host_name).expect("run lost in round trip");
+    assert_eq!(restored.system, run.system);
+    assert_eq!(restored.remote_bw.len(), run.remote_bw.len());
+    assert_eq!(restored.remote_lat.len(), run.remote_lat.len());
+    let close = |a: f64, b: f64| (a - b).abs() <= a.abs().max(b.abs()) * 1e-12;
+    assert!(close(
+        restored.syscall.as_ref().unwrap().syscall_us,
+        run.syscall.as_ref().unwrap().syscall_us
+    ));
+    assert!(close(
+        restored.mem_bw.as_ref().unwrap().read,
+        run.mem_bw.as_ref().unwrap().read
+    ));
+    assert!(close(
+        restored.disk.as_ref().unwrap().overhead_us,
+        run.disk.as_ref().unwrap().overhead_us
+    ));
+}
+
+#[test]
+fn a_2026_host_beats_the_1995_fleet_where_it_matters() {
+    // Modern hardware should outrank every 1995 machine on raw memory
+    // bandwidth and syscall latency — if it doesn't, the harness is
+    // mis-measuring by orders of magnitude.
+    let run = run_suite(&SuiteConfig::quick());
+    let cmp = report::comparisons(&run);
+    let by_name = |prefix: &str| {
+        cmp.iter()
+            .find(|c| c.metric.starts_with(prefix))
+            .unwrap_or_else(|| panic!("no comparison {prefix}"))
+    };
+    let bw = by_name("T2 bcopy unrolled");
+    assert_eq!(bw.rank, 1, "memory bandwidth rank: {}", bw.summary());
+    let sys = by_name("T7 system call");
+    assert_eq!(sys.rank, 1, "syscall rank: {}", sys.summary());
+}
