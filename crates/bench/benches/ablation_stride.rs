@@ -34,11 +34,9 @@ fn benches(c: &mut Criterion) {
         ] {
             let ring = ChaseRing::build(SIZE, stride, pattern);
             let loads = 1 << 14;
-            group.bench_with_input(
-                BenchmarkId::new(pat_name, stride),
-                &stride,
-                |b, _| b.iter(|| use_result(ring.walk(loads))),
-            );
+            group.bench_with_input(BenchmarkId::new(pat_name, stride), &stride, |b, _| {
+                b.iter(|| use_result(ring.walk(loads)))
+            });
         }
     }
     group.finish();

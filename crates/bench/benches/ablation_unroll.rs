@@ -23,6 +23,7 @@ fn naive_sum(buf: &[u64]) -> u64 {
 }
 
 /// Naive copy via an index loop.
+#[allow(clippy::manual_memcpy)] // the index loop IS the ablation subject
 fn naive_copy(dst: &mut [u64], src: &[u64]) {
     for i in 0..src.len() {
         dst[i] = src[i];
@@ -41,7 +42,9 @@ fn benches(c: &mut Criterion) {
     group.bench_function("read_naive", |b| b.iter(|| use_result(naive_sum(&buf))));
 
     let mut bufs = CopyBuffers::new(BYTES);
-    group.bench_function("copy_unrolled8", |b| b.iter(|| bw::bcopy_unrolled(&mut bufs)));
+    group.bench_function("copy_unrolled8", |b| {
+        b.iter(|| bw::bcopy_unrolled(&mut bufs))
+    });
 
     let src = vec![2u64; BYTES / 8];
     let mut dst = vec![0u64; BYTES / 8];

@@ -21,7 +21,10 @@ fn benches(c: &mut Criterion) {
     let h = Harness::new(Options::quick());
     let costs = lmb_proc::signal::measure_all(&h);
     banner("Table 8", "Signal times (microseconds)");
-    println!("this host: sigaction {}, handler {}", costs.install, costs.dispatch);
+    println!(
+        "this host: sigaction {}, handler {}",
+        costs.install, costs.dispatch
+    );
 
     let mut group = c.benchmark_group("table08_signal");
     let mut flip = false;

@@ -9,10 +9,7 @@ use lmb_timing::{Harness, Options};
 fn benches(c: &mut Criterion) {
     let h = Harness::new(Options::quick().with_repetitions(2));
     banner("Table 11", "Pipe latency (microseconds)");
-    println!(
-        "this host: {}",
-        lmb_ipc::measure_pipe_latency(&h, 500)
-    );
+    println!("this host: {}", lmb_ipc::measure_pipe_latency(&h, 500));
 
     let mut group = c.benchmark_group("table11_pipe_lat");
     group.sample_size(10);

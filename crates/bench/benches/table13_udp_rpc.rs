@@ -5,7 +5,9 @@ use bytes::Bytes;
 use criterion::Criterion;
 use lmb_bench::{banner, quick_criterion};
 use lmb_ipc::udp_lat::UdpEchoPair;
-use lmb_rpc::{client::RpcClient, Protocol, Registry, RpcServer, ECHO_PROC, ECHO_PROGRAM, ECHO_VERSION};
+use lmb_rpc::{
+    client::RpcClient, Protocol, Registry, RpcServer, ECHO_PROC, ECHO_PROGRAM, ECHO_VERSION,
+};
 use lmb_timing::{Harness, Options};
 
 fn benches(c: &mut Criterion) {

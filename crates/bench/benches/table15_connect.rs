@@ -8,7 +8,10 @@ use std::net::TcpStream;
 
 fn benches(c: &mut Criterion) {
     banner("Table 15", "TCP connect latency (microseconds)");
-    println!("this host (best of 20): {}", lmb_ipc::measure_tcp_connect(20));
+    println!(
+        "this host (best of 20): {}",
+        lmb_ipc::measure_tcp_connect(20)
+    );
 
     let server = ConnectServer::start().expect("server");
     let addr = server.addr();

@@ -1,9 +1,54 @@
 //! Suite configuration: the paper's sizing rules as tunable defaults.
 
+use crate::error::SuiteError;
 use lmb_timing::Options;
+use std::time::Duration;
+
+/// When the engine re-runs a noisy benchmark.
+///
+/// The paper compensates for run-to-run variability by repeating and
+/// summarizing (§3.4); the engine adds one more layer on top: if a
+/// benchmark's samples disperse beyond `cv_threshold`, it is re-run from
+/// scratch, up to `max_attempts` total tries, and the quietest attempt's
+/// result is kept implicitly (later attempts replace earlier ones).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct RetryPolicy {
+    /// Total tries per benchmark (1 = never retry).
+    pub max_attempts: u32,
+    /// Coefficient-of-variation ceiling above which a retry triggers.
+    pub cv_threshold: f64,
+}
+
+impl RetryPolicy {
+    /// Never retry.
+    #[must_use]
+    pub fn never() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            cv_threshold: f64::INFINITY,
+        }
+    }
+
+    /// One retry when samples spread more than 25% around their mean —
+    /// the paper's observation that context-switch style numbers vary "by
+    /// up to 30%" motivates the ballpark.
+    #[must_use]
+    pub fn on_noise() -> Self {
+        RetryPolicy {
+            max_attempts: 2,
+            cv_threshold: 0.25,
+        }
+    }
+}
 
 /// How much of each benchmark to run.
+///
+/// Construct via [`SuiteConfig::paper`] or [`SuiteConfig::quick`] and
+/// refine with the `with_*` builders; the struct is `#[non_exhaustive]`
+/// so engine knobs can be added without breaking downstream constructors.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct SuiteConfig {
     /// Harness options (warm-up, repetitions, summary policy).
     pub options: Options,
@@ -25,10 +70,18 @@ pub struct SuiteConfig {
     pub connect_attempts: u32,
     /// Simulated-disk commands for the Table 17 run.
     pub disk_ops: u64,
+    /// Wall-clock budget per benchmark before the engine declares it hung.
+    pub bench_timeout: Duration,
+    /// When to re-run a noisy benchmark.
+    pub retry: RetryPolicy,
+    /// Worker threads for non-exclusive benchmarks (1 = fully serial).
+    pub workers: usize,
 }
 
 impl SuiteConfig {
-    /// Paper-scale parameters — minutes of wall time.
+    /// Paper-scale parameters — minutes of wall time. Fully serial
+    /// (`workers: 1`): concurrent benchmarks perturb each other's numbers,
+    /// and at paper scale fidelity beats wall clock.
     pub fn paper() -> Self {
         Self {
             options: Options::paper(),
@@ -41,10 +94,14 @@ impl SuiteConfig {
             round_trips: 1000,
             connect_attempts: 20,
             disk_ops: 8192,
+            bench_timeout: Duration::from_secs(900),
+            retry: RetryPolicy::on_noise(),
+            workers: 1,
         }
     }
 
-    /// Small parameters for smoke tests and CI — a few seconds.
+    /// Small parameters for smoke tests and CI — a few seconds. Runs
+    /// non-exclusive benchmarks two at a time.
     pub fn quick() -> Self {
         Self {
             options: Options::quick().with_repetitions(2),
@@ -57,24 +114,76 @@ impl SuiteConfig {
             round_trips: 100,
             connect_attempts: 5,
             disk_ops: 1024,
+            bench_timeout: Duration::from_secs(120),
+            retry: RetryPolicy::never(),
+            workers: 2,
         }
     }
 
-    /// Validates internal consistency.
-    ///
-    /// # Panics
-    ///
-    /// Panics on nonsensical parameters (zero sizes/counts).
-    pub fn validate(&self) {
-        assert!(self.copy_bytes >= 4096, "copy buffer too small");
-        assert!(self.file_bytes >= 4096, "file too small");
-        assert!(self.sweep_max >= 64 << 10, "sweep too small");
-        assert!(self.stream_total >= 1 << 20, "stream too small");
-        assert!(self.ctx_passes > 0, "no ctx passes");
-        assert!(self.fs_files > 0, "no files");
-        assert!(self.round_trips > 0, "no round trips");
-        assert!(self.connect_attempts > 0, "no connects");
-        assert!(self.disk_ops > 0, "no disk ops");
+    /// Replaces the harness options.
+    #[must_use]
+    pub fn with_options(mut self, options: Options) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the harness summary policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: lmb_timing::SummaryPolicy) -> Self {
+        self.options = self.options.with_policy(policy);
+        self
+    }
+
+    /// Replaces the harness repetition count.
+    #[must_use]
+    pub fn with_repetitions(mut self, repetitions: u32) -> Self {
+        self.options = self.options.with_repetitions(repetitions);
+        self
+    }
+
+    /// Replaces the per-benchmark wall-clock budget.
+    #[must_use]
+    pub fn with_timeout(mut self, bench_timeout: Duration) -> Self {
+        self.bench_timeout = bench_timeout;
+        self
+    }
+
+    /// Replaces the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the worker-pool width for non-exclusive benchmarks.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Validates internal consistency; `Err` names the violated rule.
+    pub fn validate(&self) -> Result<(), SuiteError> {
+        fn rule(ok: bool, what: &'static str) -> Result<(), SuiteError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(SuiteError::InvalidConfig { what })
+            }
+        }
+        rule(self.copy_bytes >= 4096, "copy buffer too small")?;
+        rule(self.file_bytes >= 4096, "file too small")?;
+        rule(self.sweep_max >= 64 << 10, "sweep too small")?;
+        rule(self.stream_total >= 1 << 20, "stream too small")?;
+        rule(self.ctx_passes > 0, "no ctx passes")?;
+        rule(self.fs_files > 0, "no files")?;
+        rule(self.round_trips > 0, "no round trips")?;
+        rule(self.connect_attempts > 0, "no connects")?;
+        rule(self.disk_ops > 0, "no disk ops")?;
+        rule(!self.bench_timeout.is_zero(), "zero benchmark timeout")?;
+        rule(self.retry.max_attempts > 0, "zero retry attempts")?;
+        rule(self.workers > 0, "zero workers")?;
+        Ok(())
     }
 }
 
@@ -90,8 +199,8 @@ mod tests {
 
     #[test]
     fn both_presets_validate() {
-        SuiteConfig::paper().validate();
-        SuiteConfig::quick().validate();
+        SuiteConfig::paper().validate().unwrap();
+        SuiteConfig::quick().validate().unwrap();
     }
 
     #[test]
@@ -105,10 +214,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "copy buffer too small")]
-    fn bad_config_caught() {
+    fn bad_config_is_an_error_not_a_panic() {
         let mut c = SuiteConfig::quick();
         c.copy_bytes = 16;
-        c.validate();
+        assert_eq!(
+            c.validate(),
+            Err(SuiteError::InvalidConfig {
+                what: "copy buffer too small"
+            })
+        );
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = SuiteConfig::quick()
+            .with_timeout(Duration::from_secs(7))
+            .with_repetitions(5)
+            .with_retry(RetryPolicy::on_noise())
+            .with_workers(3);
+        assert_eq!(c.bench_timeout, Duration::from_secs(7));
+        assert_eq!(c.options.repetitions, 5);
+        assert_eq!(c.retry.max_attempts, 2);
+        assert_eq!(c.workers, 3);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_timeout_rejected() {
+        let c = SuiteConfig::quick().with_timeout(Duration::ZERO);
+        assert!(matches!(
+            c.validate(),
+            Err(SuiteError::InvalidConfig {
+                what: "zero benchmark timeout"
+            })
+        ));
     }
 }

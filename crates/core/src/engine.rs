@@ -1,0 +1,517 @@
+//! The suite execution engine: one uniform, fault-isolated path for every
+//! registered benchmark.
+//!
+//! Each benchmark runs on its own thread behind `catch_unwind` and a
+//! wall-clock budget, so a panicking or wedged benchmark costs its own
+//! result and nothing else: the engine records a [`BenchStatus`] per
+//! registry entry, applies surviving [`TablePatch`]es to a partial
+//! [`SuiteRun`], and returns both alongside a [`RunReport`] with full
+//! measurement provenance.
+//!
+//! Scheduling follows the registry metadata: entries marked `exclusive`
+//! (memory sweeps, context switching — anything the paper's methodology
+//! wants alone on the machine, §3.4) run serially; everything else runs on
+//! a small worker pool. `derived` entries run in a second phase against a
+//! snapshot of the measured results, replacing the hard-coded composition
+//! the old `run_suite` performed inline.
+
+use crate::config::SuiteConfig;
+use crate::error::SuiteError;
+use crate::host::detect_host;
+use crate::registry::{Benchmark, Registry};
+use lmb_results::{BenchRecord, BenchStatus, Provenance, RunReport, SuiteRun, TablePatch};
+use lmb_timing::{new_recorder, take_events, Harness, MeasureEvent};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// An OS facility a benchmark needs; probed before launch so a degraded
+/// machine yields `Skipped` rows instead of mid-run crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Substrate {
+    /// A writable `/dev/null` (the paper's "simplest nontrivial syscall").
+    DevNull,
+    /// A bindable loopback interface for TCP/UDP benchmarks.
+    Loopback,
+    /// A writable temp directory for file benchmarks.
+    TempDir,
+}
+
+impl Substrate {
+    /// Human name for skip reasons.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            Substrate::DevNull => "/dev/null",
+            Substrate::Loopback => "loopback networking",
+            Substrate::TempDir => "writable temp directory",
+        }
+    }
+
+    /// Cheap liveness probe; `Err` carries a skip reason.
+    pub fn probe(self) -> Result<(), String> {
+        let fail = |e: &dyn std::fmt::Display| Err(format!("{} unavailable: {e}", self.describe()));
+        match self {
+            Substrate::DevNull => {
+                use std::io::Write;
+                match std::fs::OpenOptions::new().write(true).open("/dev/null") {
+                    Ok(mut f) => f.write_all(b"x").or_else(|e| fail(&e)),
+                    Err(e) => fail(&e),
+                }
+            }
+            Substrate::Loopback => std::net::TcpListener::bind(("127.0.0.1", 0))
+                .map(drop)
+                .or_else(|e| fail(&e)),
+            Substrate::TempDir => {
+                let path =
+                    std::env::temp_dir().join(format!("lmbench-probe-{}", std::process::id()));
+                match std::fs::write(&path, b"probe") {
+                    Ok(()) => {
+                        let _ = std::fs::remove_file(&path);
+                        Ok(())
+                    }
+                    Err(e) => fail(&e),
+                }
+            }
+        }
+    }
+}
+
+/// Everything a benchmark runner may consult. Owned (no borrows) so the
+/// engine can move it onto the watchdogged benchmark thread.
+#[derive(Debug, Clone)]
+pub struct RunCtx {
+    /// Measurement harness, pre-wired with the engine's provenance
+    /// recorder.
+    pub harness: Harness,
+    /// Suite configuration.
+    pub config: SuiteConfig,
+    /// Host name for result rows.
+    pub host: String,
+    /// Results measured so far — empty in phase 1, populated for
+    /// `derived` entries in phase 2.
+    pub snapshot: SuiteRun,
+}
+
+/// Injected failures, for tests and fault drills. Each field names the
+/// benchmark to sabotage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Panic inside this benchmark's runner.
+    pub panic_in: Option<String>,
+    /// Hang this benchmark past any reasonable budget.
+    pub hang_in: Option<String>,
+    /// Make this benchmark's substrate probe report a missing facility.
+    pub deny_substrate_in: Option<String>,
+}
+
+impl FaultPlan {
+    /// Reads the `LMBENCH_FAULT_PANIC`, `LMBENCH_FAULT_HANG` and
+    /// `LMBENCH_FAULT_NOSUBSTRATE` environment variables (each naming a
+    /// benchmark), so fault drills can target a released binary.
+    #[must_use]
+    pub fn from_env() -> Self {
+        FaultPlan {
+            panic_in: std::env::var("LMBENCH_FAULT_PANIC").ok(),
+            hang_in: std::env::var("LMBENCH_FAULT_HANG").ok(),
+            deny_substrate_in: std::env::var("LMBENCH_FAULT_NOSUBSTRATE").ok(),
+        }
+    }
+
+    fn names(&self, bench: &str) -> (bool, bool, bool) {
+        let hit = |v: &Option<String>| v.as_deref() == Some(bench);
+        (
+            hit(&self.panic_in),
+            hit(&self.hang_in),
+            hit(&self.deny_substrate_in),
+        )
+    }
+}
+
+/// What [`Engine::execute`] produces.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// The (possibly partial) result set.
+    pub run: SuiteRun,
+    /// Per-benchmark outcomes and provenance, registry order.
+    pub report: RunReport,
+}
+
+/// What one isolated benchmark run yields: its report record plus the
+/// table patches to fold into the suite result.
+type BenchResult = (BenchRecord, Vec<TablePatch>);
+
+/// The suite execution engine.
+pub struct Engine {
+    registry: Registry,
+    config: SuiteConfig,
+    faults: FaultPlan,
+}
+
+impl Engine {
+    /// Builds an engine over a registry; rejects invalid configurations.
+    pub fn new(registry: Registry, config: SuiteConfig) -> Result<Self, SuiteError> {
+        config.validate()?;
+        Ok(Engine {
+            registry,
+            config,
+            faults: FaultPlan::default(),
+        })
+    }
+
+    /// Installs a fault plan (tests, drills).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Runs every registered benchmark and returns the partial result set
+    /// plus the run report. Never panics on a benchmark's behalf.
+    pub fn execute(&self) -> EngineOutcome {
+        let host = detect_host().name;
+        let benches = self.registry.all();
+        let slots: Mutex<Vec<Option<BenchResult>>> =
+            Mutex::new((0..benches.len()).map(|_| None).collect());
+
+        // Phase 1a: independent benchmarks on the worker pool.
+        let empty = SuiteRun::default();
+        let pool_queue: Mutex<VecDeque<usize>> = Mutex::new(
+            (0..benches.len())
+                .filter(|&i| !benches[i].derived && !benches[i].exclusive)
+                .collect(),
+        );
+        let workers = self.config.workers.max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = pool_queue.lock().expect("queue lock").pop_front();
+                    let Some(idx) = idx else { break };
+                    let result = self.run_one(&benches[idx], &host, &empty);
+                    slots.lock().expect("slots lock")[idx] = Some(result);
+                });
+            }
+        });
+
+        // Phase 1b: interference-sensitive benchmarks, strictly serial.
+        for (idx, bench) in benches.iter().enumerate() {
+            if bench.exclusive && !bench.derived {
+                let result = self.run_one(bench, &host, &empty);
+                slots.lock().expect("slots lock")[idx] = Some(result);
+            }
+        }
+
+        // Apply measured patches in registry (= table) order.
+        let mut slots = slots.into_inner().expect("slots lock");
+        let mut run = SuiteRun::default();
+        for (_, patches) in slots.iter_mut().flatten() {
+            for patch in std::mem::take(patches) {
+                patch.apply(&mut run);
+            }
+        }
+
+        // Phase 2: derived entries see the measured snapshot; each one's
+        // patches land before the next runs.
+        for (idx, bench) in benches.iter().enumerate() {
+            if bench.derived {
+                let snapshot = run.clone();
+                let (record, patches) = self.run_one(bench, &host, &snapshot);
+                for patch in patches {
+                    patch.apply(&mut run);
+                }
+                slots[idx] = Some((record, Vec::new()));
+            }
+        }
+
+        let report = RunReport {
+            records: slots
+                .into_iter()
+                .map(|slot| slot.expect("every benchmark produced a record").0)
+                .collect(),
+        };
+        EngineOutcome { run, report }
+    }
+
+    /// Runs one benchmark through probes, isolation, timeout and retry.
+    fn run_one(&self, bench: &Benchmark, host: &str, snapshot: &SuiteRun) -> BenchResult {
+        let started = Instant::now();
+        let mut record = BenchRecord {
+            name: bench.name.to_string(),
+            produces: bench.produces.to_string(),
+            status: BenchStatus::Ok,
+            attempts: 0,
+            wall_ms: 0.0,
+            exclusive: bench.exclusive,
+            provenance: None,
+        };
+        let (inject_panic, inject_hang, deny_substrate) = self.faults.names(bench.name);
+
+        let probe_failure = if deny_substrate {
+            Some("injected fault: substrate reported missing".to_string())
+        } else {
+            bench.requires.iter().find_map(|s| s.probe().err())
+        };
+        if let Some(reason) = probe_failure {
+            record.status = BenchStatus::Skipped(reason);
+            record.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            return (record, Vec::new());
+        }
+
+        let timeout = self.config.bench_timeout;
+        let limit_ms = timeout.as_millis() as u64;
+        let max_attempts = if bench.derived {
+            1
+        } else {
+            self.config.retry.max_attempts.max(1)
+        };
+        let mut patches = Vec::new();
+        loop {
+            record.attempts += 1;
+            let recorder = new_recorder();
+            let ctx = RunCtx {
+                harness: Harness::new(self.config.options).with_recorder(recorder.clone()),
+                config: self.config,
+                host: host.to_string(),
+                snapshot: snapshot.clone(),
+            };
+            let runner = bench.runner_fn();
+            let (tx, rx) = mpsc::channel();
+            // Detached on purpose: a wedged benchmark thread is abandoned at
+            // the deadline (it cannot be cancelled), and only its result
+            // channel is dropped. The fork-based `lmb_sys::run_isolated` is
+            // the heavier alternative when abandonment is not acceptable.
+            std::thread::Builder::new()
+                .name(format!("bench-{}", bench.name))
+                .spawn(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if inject_panic {
+                            panic!("injected fault: forced panic");
+                        }
+                        if inject_hang {
+                            std::thread::sleep(Duration::from_secs(86_400));
+                        }
+                        runner(&ctx)
+                    }));
+                    let _ = tx.send(outcome.map_err(panic_message));
+                })
+                .expect("spawn benchmark thread");
+
+            match rx.recv_timeout(timeout) {
+                Err(_) => {
+                    record.status = BenchStatus::TimedOut { limit_ms };
+                    break;
+                }
+                Ok(Err(panic_msg)) => {
+                    record.status = BenchStatus::Failed(panic_msg);
+                    break;
+                }
+                Ok(Ok(output)) => {
+                    record.provenance = provenance_from(&take_events(&recorder));
+                    if let Some(reason) = output.skip {
+                        record.status = BenchStatus::Skipped(reason);
+                        break;
+                    }
+                    record.status = BenchStatus::Ok;
+                    patches = output.patches;
+                    let noisy = record
+                        .provenance
+                        .as_ref()
+                        .is_some_and(|p| p.cv > self.config.retry.cv_threshold);
+                    if noisy && record.attempts < max_attempts {
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+        record.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        (record, patches)
+    }
+}
+
+/// Renders a panic payload as a failure reason.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Summarizes recorded events: calibration and samples of the *noisiest*
+/// measurement (ties broken toward the last), plus the total measurement
+/// count — the dispersion a reader should worry about, not the prettiest.
+fn provenance_from(events: &[MeasureEvent]) -> Option<Provenance> {
+    let worst = events
+        .iter()
+        .enumerate()
+        .max_by(|(ai, a), (bi, b)| a.cv().total_cmp(&b.cv()).then(ai.cmp(bi)))
+        .map(|(_, e)| e)?;
+    Some(Provenance {
+        repetitions: worst.per_op_ns.len() as u32,
+        warmup_runs: worst.warmup_runs,
+        calibrated_iterations: worst.iterations,
+        clock_resolution_ns: worst.clock_resolution_ns,
+        sample_min_ns: worst.min_ns(),
+        sample_median_ns: worst.median_ns(),
+        sample_max_ns: worst.max_ns(),
+        min_median_gap: worst.min_median_gap(),
+        cv: worst.cv(),
+        measure_calls: events.len() as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RetryPolicy;
+
+    fn engine_for(names: &[&str], config: SuiteConfig) -> Engine {
+        Engine::new(Registry::standard().filtered(names).unwrap(), config).unwrap()
+    }
+
+    fn fast_config() -> SuiteConfig {
+        SuiteConfig::quick().with_workers(1)
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let mut config = SuiteConfig::quick();
+        config.copy_bytes = 1;
+        assert!(matches!(
+            Engine::new(Registry::standard(), config),
+            Err(SuiteError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn clean_run_applies_patches_and_records_provenance() {
+        let outcome = engine_for(&["sys_info", "lat_syscall"], fast_config()).execute();
+        assert!(outcome.run.system.is_some(), "sys_info patch applied");
+        assert!(outcome.run.syscall.is_some(), "lat_syscall patch applied");
+        let rec = outcome.report.find("lat_syscall").unwrap();
+        assert!(rec.status.is_ok());
+        assert_eq!(rec.attempts, 1);
+        let prov = rec.provenance.as_ref().expect("provenance recorded");
+        assert!(prov.calibrated_iterations > 0);
+        assert!(prov.sample_min_ns > 0.0);
+        assert!(prov.sample_median_ns >= prov.sample_min_ns);
+        assert!(prov.measure_calls >= 1);
+    }
+
+    #[test]
+    fn injected_panic_becomes_failed_not_a_crash() {
+        let engine =
+            engine_for(&["sys_info", "lat_syscall"], fast_config()).with_faults(FaultPlan {
+                panic_in: Some("lat_syscall".into()),
+                ..FaultPlan::default()
+            });
+        let outcome = engine.execute();
+        let rec = outcome.report.find("lat_syscall").unwrap();
+        match &rec.status {
+            BenchStatus::Failed(reason) => assert!(reason.contains("forced panic"), "{reason}"),
+            other => panic!("want Failed, got {other:?}"),
+        }
+        assert!(outcome.run.syscall.is_none(), "no patch from a failed run");
+        // The rest of the suite survived.
+        assert!(outcome.report.find("sys_info").unwrap().status.is_ok());
+        assert!(outcome.run.system.is_some());
+    }
+
+    #[test]
+    fn injected_hang_becomes_timed_out_within_budget() {
+        let config = fast_config().with_timeout(Duration::from_millis(150));
+        let engine = engine_for(&["lat_syscall"], config).with_faults(FaultPlan {
+            hang_in: Some("lat_syscall".into()),
+            ..FaultPlan::default()
+        });
+        let started = Instant::now();
+        let outcome = engine.execute();
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "engine blocked on the hung benchmark"
+        );
+        assert_eq!(
+            outcome.report.find("lat_syscall").unwrap().status,
+            BenchStatus::TimedOut { limit_ms: 150 }
+        );
+        assert!(outcome.run.syscall.is_none());
+    }
+
+    #[test]
+    fn denied_substrate_becomes_skipped() {
+        let engine = engine_for(&["lat_syscall"], fast_config()).with_faults(FaultPlan {
+            deny_substrate_in: Some("lat_syscall".into()),
+            ..FaultPlan::default()
+        });
+        let outcome = engine.execute();
+        match &outcome.report.find("lat_syscall").unwrap().status {
+            BenchStatus::Skipped(reason) => assert!(reason.contains("substrate"), "{reason}"),
+            other => panic!("want Skipped, got {other:?}"),
+        }
+        assert!(outcome.run.syscall.is_none());
+    }
+
+    #[test]
+    fn noisy_benchmark_is_retried_up_to_the_policy_limit() {
+        // cv is always > -1, so every attempt looks noisy: the engine must
+        // stop at max_attempts, keeping the final attempt's result.
+        let config = fast_config().with_retry(RetryPolicy {
+            max_attempts: 3,
+            cv_threshold: -1.0,
+        });
+        let outcome = engine_for(&["lat_syscall"], config).execute();
+        let rec = outcome.report.find("lat_syscall").unwrap();
+        assert_eq!(rec.attempts, 3);
+        assert!(rec.status.is_ok());
+        assert!(outcome.run.syscall.is_some());
+    }
+
+    #[test]
+    fn derived_entry_composes_from_measured_snapshot() {
+        let outcome = engine_for(&["bw_pipe_tcp", "remote_bw_model"], fast_config()).execute();
+        assert!(outcome.run.ipc_bw.is_some());
+        let rec = outcome.report.find("remote_bw_model").unwrap();
+        assert!(rec.status.is_ok(), "status {:?}", rec.status);
+        assert!(!outcome.run.remote_bw.is_empty(), "Table 4 rows composed");
+    }
+
+    #[test]
+    fn derived_entry_skips_when_its_input_failed() {
+        // Sabotage the measured input; the model must degrade to Skipped.
+        let engine =
+            engine_for(&["bw_pipe_tcp", "remote_bw_model"], fast_config()).with_faults(FaultPlan {
+                panic_in: Some("bw_pipe_tcp".into()),
+                ..FaultPlan::default()
+            });
+        let outcome = engine.execute();
+        assert!(matches!(
+            outcome.report.find("remote_bw_model").unwrap().status,
+            BenchStatus::Skipped(_)
+        ));
+        assert!(outcome.run.remote_bw.is_empty());
+    }
+
+    #[test]
+    fn report_covers_every_registry_entry_in_order() {
+        let names = ["sys_info", "lat_syscall", "lat_disk"];
+        let outcome = engine_for(&names, fast_config()).execute();
+        let reported: Vec<&str> = outcome
+            .report
+            .records
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
+        assert_eq!(reported, names);
+    }
+
+    #[test]
+    fn substrate_probes_pass_on_a_healthy_machine() {
+        for s in [Substrate::DevNull, Substrate::Loopback, Substrate::TempDir] {
+            assert_eq!(s.probe(), Ok(()), "{}", s.describe());
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Suite-level errors: conditions the caller chose, not conditions the
+//! machine produced.
+//!
+//! A benchmark that crashes or hangs is *data* — the engine records it in
+//! the [`lmb_results::RunReport`] and keeps going. [`SuiteError`] is
+//! reserved for the cases where there is nothing sensible to run at all:
+//! a nonsensical configuration or a benchmark name that does not exist.
+//! The CLI maps each variant to a distinct exit code so scripts can react
+//! without parsing stderr.
+
+use std::fmt;
+
+/// Why a suite invocation could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SuiteError {
+    /// The configuration fails validation; `what` names the bad knob.
+    InvalidConfig {
+        /// Which constraint was violated.
+        what: &'static str,
+    },
+    /// A benchmark name matched nothing in the registry.
+    UnknownBenchmark {
+        /// The name as given.
+        name: String,
+    },
+}
+
+impl SuiteError {
+    /// Process exit code for the CLI: distinct per variant, disjoint from
+    /// the generic usage error (2).
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            SuiteError::InvalidConfig { .. } => 3,
+            SuiteError::UnknownBenchmark { .. } => 4,
+        }
+    }
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteError::InvalidConfig { what } => {
+                write!(f, "invalid suite configuration: {what}")
+            }
+            SuiteError::UnknownBenchmark { name } => {
+                write!(f, "unknown benchmark {name:?} (try `lmbench list`)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_have_distinct_exit_codes() {
+        let invalid = SuiteError::InvalidConfig { what: "x" };
+        let unknown = SuiteError::UnknownBenchmark { name: "y".into() };
+        assert_ne!(invalid.exit_code(), unknown.exit_code());
+        assert!(invalid.exit_code() > 2, "2 is reserved for usage errors");
+        assert!(unknown.exit_code() > 2);
+    }
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = SuiteError::UnknownBenchmark {
+            name: "lat_warp".into(),
+        };
+        assert!(e.to_string().contains("lat_warp"));
+        let e = SuiteError::InvalidConfig {
+            what: "copy buffer too small",
+        };
+        assert!(e.to_string().contains("copy buffer too small"));
+    }
+}

@@ -56,7 +56,11 @@ pub fn detect_host() -> SystemInfo {
 pub fn total_memory_bytes() -> u64 {
     let meminfo = std::fs::read_to_string("/proc/meminfo").unwrap_or_default();
     proc_field(&meminfo, "MemTotal")
-        .and_then(|v| v.split_whitespace().next().and_then(|n| n.parse::<u64>().ok()))
+        .and_then(|v| {
+            v.split_whitespace()
+                .next()
+                .and_then(|n| n.parse::<u64>().ok())
+        })
         .map(|kb| kb * 1024)
         .unwrap_or(0)
 }

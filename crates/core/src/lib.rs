@@ -6,22 +6,33 @@
 //! latency), appends the host to the results database, and regenerates the
 //! paper's tables and figures with the new row in place.
 //!
+//! Every benchmark reaches the machine through the execution [`engine`]:
+//! substrate probes, per-benchmark panic/timeout isolation, retry-on-noise
+//! and measurement provenance, producing a partial result set plus a
+//! [`lmb_results::RunReport`] instead of an all-or-nothing run.
+//!
 //! # Examples
 //!
 //! ```no_run
 //! use lmb_core::{SuiteConfig, run_suite};
 //!
-//! let run = run_suite(&SuiteConfig::quick());
+//! let run = run_suite(&SuiteConfig::quick()).expect("valid config");
 //! println!("{}", lmb_core::report::full_report(Some(&run)));
 //! ```
 
 pub mod config;
+pub mod engine;
+pub mod error;
 pub mod host;
+pub mod output;
 pub mod registry;
 pub mod report;
 pub mod suite;
 
-pub use config::SuiteConfig;
+pub use config::{RetryPolicy, SuiteConfig};
+pub use engine::{Engine, EngineOutcome, FaultPlan, RunCtx, Substrate};
+pub use error::SuiteError;
 pub use host::detect_host;
+pub use output::{BenchOutput, Metric, Unit};
 pub use registry::{Benchmark, Category, Registry};
-pub use suite::run_suite;
+pub use suite::{run_suite, run_suite_with_report};

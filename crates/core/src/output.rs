@@ -1,0 +1,190 @@
+//! Typed benchmark output: measurements plus the table rows they feed.
+//!
+//! Benchmark runners used to return a formatted `String`, which made the
+//! suite path re-measure everything separately from the per-benchmark
+//! path. A [`BenchOutput`] carries both faces of a result: [`Metric`]s
+//! (headline numbers with units, rendered by `Display` into the old
+//! one-line text) and [`lmb_results::TablePatch`]es (the typed rows the
+//! engine applies to the `SuiteRun`).
+
+use lmb_results::TablePatch;
+use std::fmt;
+
+/// The unit of a headline metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Megabytes per second (bandwidths, §5).
+    MbPerSec,
+    /// Microseconds (most latencies, §6).
+    Micros,
+    /// Milliseconds (process creation).
+    Millis,
+    /// Nanoseconds (memory hierarchy).
+    Nanos,
+    /// A dimensionless multiplier.
+    Ratio,
+    /// A dimensionless count.
+    Count,
+}
+
+impl Unit {
+    /// Unit suffix as printed.
+    #[must_use]
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Unit::MbPerSec => " MB/s",
+            Unit::Micros => "us",
+            Unit::Millis => "ms",
+            Unit::Nanos => "ns",
+            Unit::Ratio => "x",
+            Unit::Count => "",
+        }
+    }
+
+    /// Decimal places appropriate for the unit's typical magnitude.
+    fn precision(self) -> usize {
+        match self {
+            Unit::MbPerSec | Unit::Count => 0,
+            Unit::Micros | Unit::Millis => 2,
+            Unit::Nanos | Unit::Ratio => 1,
+        }
+    }
+}
+
+/// One headline number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// What was measured ("bcopy unrolled", "fork").
+    pub label: &'static str,
+    /// The value, in `unit`s.
+    pub value: f64,
+    /// The value's unit.
+    pub unit: Unit,
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.label.is_empty() {
+            write!(
+                f,
+                "{:.prec$}{}",
+                self.value,
+                self.unit.suffix(),
+                prec = self.unit.precision()
+            )
+        } else {
+            write!(
+                f,
+                "{} {:.prec$}{}",
+                self.label,
+                self.value,
+                self.unit.suffix(),
+                prec = self.unit.precision()
+            )
+        }
+    }
+}
+
+/// What a benchmark runner hands back to the engine.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchOutput {
+    /// Headline numbers, display order.
+    pub metrics: Vec<Metric>,
+    /// Typed rows for the `SuiteRun`.
+    pub patches: Vec<TablePatch>,
+    /// Set when the benchmark discovered mid-run that it cannot measure
+    /// anything here (the engine reports `Skipped` and applies no patches).
+    pub skip: Option<String>,
+}
+
+impl BenchOutput {
+    /// An empty output, ready for builder calls.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An output that declares the benchmark unrunnable here.
+    #[must_use]
+    pub fn skipped(reason: impl Into<String>) -> Self {
+        BenchOutput {
+            skip: Some(reason.into()),
+            ..Self::default()
+        }
+    }
+
+    /// Appends a headline metric.
+    #[must_use]
+    pub fn metric(mut self, label: &'static str, value: f64, unit: Unit) -> Self {
+        self.metrics.push(Metric { label, value, unit });
+        self
+    }
+
+    /// Appends a table patch.
+    #[must_use]
+    pub fn patch(mut self, patch: TablePatch) -> Self {
+        self.patches.push(patch);
+        self
+    }
+
+    /// The old one-line text form (also available via `Display`), kept so
+    /// `lmbench run NAME` output is unchanged across the API redesign.
+    #[must_use]
+    pub fn run_line(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for BenchOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(reason) = &self.skip {
+            return write!(f, "skipped: {reason}");
+        }
+        let mut first = true;
+        for m in &self.metrics {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{m}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_results::SyscallRow;
+
+    #[test]
+    fn display_joins_metrics_with_units() {
+        let out = BenchOutput::new()
+            .metric("pipe", 330.4, Unit::MbPerSec)
+            .metric("TCP", 9.1, Unit::Micros);
+        assert_eq!(out.to_string(), "pipe 330 MB/s, TCP 9.10us");
+        assert_eq!(out.run_line(), out.to_string());
+    }
+
+    #[test]
+    fn unlabeled_metric_is_bare_value() {
+        let out = BenchOutput::new().metric("", 4.7, Unit::Micros);
+        assert_eq!(out.to_string(), "4.70us");
+    }
+
+    #[test]
+    fn skip_wins_over_metrics() {
+        let out = BenchOutput::skipped("no loopback");
+        assert_eq!(out.to_string(), "skipped: no loopback");
+        assert!(out.patches.is_empty());
+    }
+
+    #[test]
+    fn patches_accumulate() {
+        let out = BenchOutput::new().patch(TablePatch::Syscall(SyscallRow {
+            system: "t".into(),
+            syscall_us: 4.0,
+        }));
+        assert_eq!(out.patches.len(), 1);
+    }
+}

@@ -1,11 +1,19 @@
 //! A name-addressable registry of the suite's benchmarks.
 //!
 //! Lets callers (CLI, examples, harnesses) run one benchmark by name —
-//! the lmbench idiom of individual `bw_*`/`lat_*` binaries — without
-//! linking the run-everything path.
+//! the lmbench idiom of individual `bw_*`/`lat_*` binaries — and gives
+//! the execution engine everything it needs to schedule them: substrate
+//! requirements, interference sensitivity (`exclusive`), the [`SuiteRun`]
+//! fields each entry fills, and whether the entry derives its rows from
+//! other entries' measurements instead of measuring itself.
 
 use crate::config::SuiteConfig;
+use crate::engine::{RunCtx, Substrate};
+use crate::error::SuiteError;
+use crate::host::detect_host;
+use crate::output::{BenchOutput, Unit};
 use crate::suite;
+use lmb_results::{RemoteBwRow, RemoteLatRow, SuiteField, SuiteRun, TablePatch};
 use lmb_timing::Harness;
 
 /// The paper section a benchmark belongs to.
@@ -15,6 +23,8 @@ pub enum Category {
     Bandwidth,
     /// §6: operation latencies.
     Latency,
+    /// Identity data (Table 1), not a measurement.
+    Identity,
 }
 
 /// One runnable benchmark.
@@ -25,13 +35,42 @@ pub struct Benchmark {
     pub produces: &'static str,
     /// Paper section.
     pub category: Category,
-    runner: fn(&Harness, &SuiteConfig) -> String,
+    /// Interference-sensitive: the engine never runs it concurrently with
+    /// anything else (memory sweeps, context switching).
+    pub exclusive: bool,
+    /// OS facilities probed before launch; missing ones skip the benchmark
+    /// instead of crashing it.
+    pub requires: &'static [Substrate],
+    /// [`SuiteRun`] fields this entry's patches populate.
+    pub fills: &'static [SuiteField],
+    /// Derives its rows from earlier entries' results (runs in the
+    /// engine's second phase with a populated snapshot, never retried).
+    pub derived: bool,
+    runner: fn(&RunCtx) -> BenchOutput,
 }
 
 impl Benchmark {
-    /// Runs the benchmark, returning a one-line human-readable result.
-    pub fn run(&self, h: &Harness, config: &SuiteConfig) -> String {
-        (self.runner)(h, config)
+    /// Runs the benchmark against an execution context.
+    pub fn run(&self, ctx: &RunCtx) -> BenchOutput {
+        (self.runner)(ctx)
+    }
+
+    /// The raw runner, for the engine to move onto a watchdogged thread
+    /// (fn pointers are `'static`; `&Benchmark` is not).
+    pub(crate) fn runner_fn(&self) -> fn(&RunCtx) -> BenchOutput {
+        self.runner
+    }
+
+    /// Compatibility wrapper for the pre-engine API: runs with an empty
+    /// snapshot and returns the one-line human-readable result.
+    pub fn run_line(&self, h: &Harness, config: &SuiteConfig) -> String {
+        let ctx = RunCtx {
+            harness: h.clone(),
+            config: *config,
+            host: "host".into(),
+            snapshot: SuiteRun::default(),
+        };
+        self.run(&ctx).run_line()
     }
 }
 
@@ -41,236 +80,439 @@ pub struct Registry {
 }
 
 impl Registry {
-    /// Builds the registry with every suite benchmark.
+    /// Builds the registry with every suite benchmark, in table order.
     pub fn standard() -> Self {
         let benchmarks = vec![
+            Benchmark {
+                name: "sys_info",
+                produces: "Table 1",
+                category: Category::Identity,
+                exclusive: false,
+                requires: &[],
+                fills: &[SuiteField::System],
+                derived: false,
+                runner: |_| {
+                    let info = detect_host();
+                    BenchOutput::new()
+                        .metric("cpu MHz", f64::from(info.mhz), Unit::Count)
+                        .patch(TablePatch::System(info))
+                },
+            },
             Benchmark {
                 name: "bw_mem",
                 produces: "Table 2",
                 category: Category::Bandwidth,
-                runner: |h, c| {
-                    let r = suite::measure_mem_bw(h, c, "host");
-                    format!(
-                        "bcopy unrolled {:.0} / libc {:.0} / read {:.0} / write {:.0} MB/s",
-                        r.bcopy_unrolled, r.bcopy_libc, r.read, r.write
-                    )
+                exclusive: true,
+                requires: &[],
+                fills: &[SuiteField::MemBw],
+                derived: false,
+                runner: |ctx| {
+                    let r = suite::measure_mem_bw(&ctx.harness, &ctx.config, &ctx.host);
+                    BenchOutput::new()
+                        .metric("bcopy unrolled", r.bcopy_unrolled, Unit::MbPerSec)
+                        .metric("bcopy libc", r.bcopy_libc, Unit::MbPerSec)
+                        .metric("read", r.read, Unit::MbPerSec)
+                        .metric("write", r.write, Unit::MbPerSec)
+                        .patch(TablePatch::MemBw(r))
                 },
             },
             Benchmark {
                 name: "bw_pipe_tcp",
                 produces: "Table 3",
                 category: Category::Bandwidth,
-                runner: |h, c| {
-                    let r = suite::measure_ipc_bw(h, c, "host");
-                    format!(
-                        "pipe {:.0} MB/s, TCP {:.0} MB/s",
-                        r.pipe,
-                        r.tcp.unwrap_or(0.0)
-                    )
+                exclusive: false,
+                requires: &[Substrate::Loopback],
+                fills: &[SuiteField::IpcBw],
+                derived: false,
+                runner: |ctx| {
+                    let r = suite::measure_ipc_bw(&ctx.harness, &ctx.config, &ctx.host);
+                    BenchOutput::new()
+                        .metric("pipe", r.pipe, Unit::MbPerSec)
+                        .metric("TCP", r.tcp.unwrap_or(0.0), Unit::MbPerSec)
+                        .patch(TablePatch::IpcBw(r))
+                },
+            },
+            Benchmark {
+                name: "remote_bw_model",
+                produces: "Table 4",
+                category: Category::Bandwidth,
+                exclusive: false,
+                requires: &[],
+                fills: &[SuiteField::RemoteBw],
+                derived: true,
+                runner: |ctx| {
+                    let Some(tcp_bw) = ctx.snapshot.ipc_bw.as_ref().and_then(|r| r.tcp) else {
+                        return BenchOutput::skipped("needs a measured Table 3 TCP bandwidth");
+                    };
+                    let rows: Vec<RemoteBwRow> = lmb_net::remote::bandwidth_table(tcp_bw)
+                        .into_iter()
+                        .map(|r| RemoteBwRow {
+                            system: ctx.host.clone(),
+                            network: r.link.name.into(),
+                            tcp: r.total_mb_s,
+                        })
+                        .collect();
+                    BenchOutput::new()
+                        .metric("links modeled", rows.len() as f64, Unit::Count)
+                        .patch(TablePatch::RemoteBw(rows))
                 },
             },
             Benchmark {
                 name: "bw_file",
                 produces: "Table 5",
                 category: Category::Bandwidth,
-                runner: |h, c| {
-                    let r = suite::measure_file_bw(h, c, "host");
-                    format!(
-                        "file read {:.0} / mmap {:.0} / mem read {:.0} MB/s",
-                        r.file_read, r.file_mmap, r.mem_read
-                    )
+                exclusive: true,
+                requires: &[Substrate::TempDir],
+                fills: &[SuiteField::FileBw],
+                derived: false,
+                runner: |ctx| {
+                    let r = suite::measure_file_bw(&ctx.harness, &ctx.config, &ctx.host);
+                    BenchOutput::new()
+                        .metric("file read", r.file_read, Unit::MbPerSec)
+                        .metric("mmap", r.file_mmap, Unit::MbPerSec)
+                        .metric("mem read", r.mem_read, Unit::MbPerSec)
+                        .patch(TablePatch::FileBw(r))
                 },
             },
             Benchmark {
                 name: "lat_mem_rd",
                 produces: "Table 6 / Figure 1",
                 category: Category::Latency,
-                runner: |h, c| {
-                    let r = suite::measure_cache_lat(h, c, "host");
-                    format!(
-                        "L1 {:.1}ns, L2 {:.1}ns, memory {:.1}ns",
-                        r.l1_ns.unwrap_or(0.0),
-                        r.l2_ns.unwrap_or(0.0),
-                        r.memory_ns
-                    )
+                exclusive: true,
+                requires: &[],
+                fills: &[SuiteField::CacheLat],
+                derived: false,
+                runner: |ctx| {
+                    let r = suite::measure_cache_lat(&ctx.harness, &ctx.config, &ctx.host);
+                    BenchOutput::new()
+                        .metric("L1", r.l1_ns.unwrap_or(0.0), Unit::Nanos)
+                        .metric("L2", r.l2_ns.unwrap_or(0.0), Unit::Nanos)
+                        .metric("memory", r.memory_ns, Unit::Nanos)
+                        .patch(TablePatch::CacheLat(r))
                 },
             },
             Benchmark {
                 name: "lat_syscall",
                 produces: "Table 7",
                 category: Category::Latency,
-                runner: |h, _| {
-                    format!("{:.2}us", suite::measure_syscall(h, "host").syscall_us)
+                exclusive: false,
+                requires: &[Substrate::DevNull],
+                fills: &[SuiteField::Syscall],
+                derived: false,
+                runner: |ctx| {
+                    let r = suite::measure_syscall(&ctx.harness, &ctx.host);
+                    BenchOutput::new()
+                        .metric("", r.syscall_us, Unit::Micros)
+                        .patch(TablePatch::Syscall(r))
                 },
             },
             Benchmark {
                 name: "lat_sig",
                 produces: "Table 8",
                 category: Category::Latency,
-                runner: |h, _| {
-                    let r = suite::measure_signal(h, "host");
-                    format!("install {:.2}us, dispatch {:.2}us", r.sigaction_us, r.handler_us)
+                exclusive: false,
+                requires: &[],
+                fills: &[SuiteField::Signal],
+                derived: false,
+                runner: |ctx| {
+                    let r = suite::measure_signal(&ctx.harness, &ctx.host);
+                    BenchOutput::new()
+                        .metric("install", r.sigaction_us, Unit::Micros)
+                        .metric("dispatch", r.handler_us, Unit::Micros)
+                        .patch(TablePatch::Signal(r))
                 },
             },
             Benchmark {
                 name: "lat_proc",
                 produces: "Table 9",
                 category: Category::Latency,
-                runner: |h, _| {
-                    let r = suite::measure_proc(h, "host");
-                    format!(
-                        "fork {:.2}ms, exec {:.2}ms, sh {:.2}ms",
-                        r.fork_ms, r.fork_exec_ms, r.fork_sh_ms
-                    )
+                exclusive: false,
+                requires: &[],
+                fills: &[SuiteField::Proc],
+                derived: false,
+                runner: |ctx| {
+                    let r = suite::measure_proc(&ctx.harness, &ctx.host);
+                    BenchOutput::new()
+                        .metric("fork", r.fork_ms, Unit::Millis)
+                        .metric("exec", r.fork_exec_ms, Unit::Millis)
+                        .metric("sh", r.fork_sh_ms, Unit::Millis)
+                        .patch(TablePatch::Proc(r))
                 },
             },
             Benchmark {
                 name: "lat_ctx",
                 produces: "Table 10 / Figure 2",
                 category: Category::Latency,
-                runner: |h, c| {
-                    let r = suite::measure_ctx(h, c, "host");
-                    format!("2p/0K {:.1}us, 8p/32K {:.1}us", r.p2_0k, r.p8_32k)
+                exclusive: true,
+                requires: &[],
+                fills: &[SuiteField::Ctx],
+                derived: false,
+                runner: |ctx| {
+                    let r = suite::measure_ctx(&ctx.harness, &ctx.config, &ctx.host);
+                    BenchOutput::new()
+                        .metric("2p/0K", r.p2_0k, Unit::Micros)
+                        .metric("8p/32K", r.p8_32k, Unit::Micros)
+                        .patch(TablePatch::Ctx(r))
                 },
             },
             Benchmark {
                 name: "lat_pipe",
                 produces: "Table 11",
                 category: Category::Latency,
-                runner: |h, c| {
-                    format!("{:.1}us", suite::measure_pipe_lat(h, c, "host").pipe_us)
+                exclusive: false,
+                requires: &[],
+                fills: &[SuiteField::PipeLat],
+                derived: false,
+                runner: |ctx| {
+                    let r = suite::measure_pipe_lat(&ctx.harness, &ctx.config, &ctx.host);
+                    BenchOutput::new()
+                        .metric("", r.pipe_us, Unit::Micros)
+                        .patch(TablePatch::PipeLat(r))
                 },
             },
             Benchmark {
                 name: "lat_tcp_rpc",
                 produces: "Table 12",
                 category: Category::Latency,
-                runner: |h, c| {
-                    let r = suite::measure_tcp_rpc(h, c, "host");
-                    format!("TCP {:.1}us, RPC/TCP {:.1}us", r.tcp_us, r.rpc_tcp_us)
+                exclusive: false,
+                requires: &[Substrate::Loopback],
+                fills: &[SuiteField::TcpRpc],
+                derived: false,
+                runner: |ctx| {
+                    let r = suite::measure_tcp_rpc(&ctx.harness, &ctx.config, &ctx.host);
+                    BenchOutput::new()
+                        .metric("TCP", r.tcp_us, Unit::Micros)
+                        .metric("RPC/TCP", r.rpc_tcp_us, Unit::Micros)
+                        .patch(TablePatch::TcpRpc(r))
                 },
             },
             Benchmark {
                 name: "lat_udp_rpc",
                 produces: "Table 13",
                 category: Category::Latency,
-                runner: |h, c| {
-                    let r = suite::measure_udp_rpc(h, c, "host");
-                    format!("UDP {:.1}us, RPC/UDP {:.1}us", r.udp_us, r.rpc_udp_us)
+                exclusive: false,
+                requires: &[Substrate::Loopback],
+                fills: &[SuiteField::UdpRpc],
+                derived: false,
+                runner: |ctx| {
+                    let r = suite::measure_udp_rpc(&ctx.harness, &ctx.config, &ctx.host);
+                    BenchOutput::new()
+                        .metric("UDP", r.udp_us, Unit::Micros)
+                        .metric("RPC/UDP", r.rpc_udp_us, Unit::Micros)
+                        .patch(TablePatch::UdpRpc(r))
+                },
+            },
+            Benchmark {
+                name: "remote_lat_model",
+                produces: "Table 14",
+                category: Category::Latency,
+                exclusive: false,
+                requires: &[],
+                fills: &[SuiteField::RemoteLat],
+                derived: true,
+                runner: |ctx| {
+                    let (Some(tcp_rpc), Some(udp_rpc)) =
+                        (&ctx.snapshot.tcp_rpc, &ctx.snapshot.udp_rpc)
+                    else {
+                        return BenchOutput::skipped(
+                            "needs measured Table 12 and 13 round-trip latencies",
+                        );
+                    };
+                    let rows: Vec<RemoteLatRow> = lmb_net::remote::latency_table(tcp_rpc.tcp_us)
+                        .into_iter()
+                        .map(|r| {
+                            let udp = lmb_net::remote::remote_latency(r.link, udp_rpc.udp_us);
+                            RemoteLatRow {
+                                system: ctx.host.clone(),
+                                network: r.link.name.into(),
+                                tcp_us: r.total_us,
+                                udp_us: udp.total_us,
+                            }
+                        })
+                        .collect();
+                    BenchOutput::new()
+                        .metric("links modeled", rows.len() as f64, Unit::Count)
+                        .patch(TablePatch::RemoteLat(rows))
                 },
             },
             Benchmark {
                 name: "lat_connect",
                 produces: "Table 15",
                 category: Category::Latency,
-                runner: |_, c| format!("{:.1}us", suite::measure_connect(c, "host").connect_us),
+                exclusive: false,
+                requires: &[Substrate::Loopback],
+                fills: &[SuiteField::Connect],
+                derived: false,
+                runner: |ctx| {
+                    let r = suite::measure_connect(&ctx.config, &ctx.host);
+                    BenchOutput::new()
+                        .metric("", r.connect_us, Unit::Micros)
+                        .patch(TablePatch::Connect(r))
+                },
             },
             Benchmark {
                 name: "lat_fs",
                 produces: "Table 16",
                 category: Category::Latency,
-                runner: |_, c| {
-                    let r = suite::measure_fs_lat(c, "host");
-                    format!("create {:.1}us, delete {:.1}us", r.create_us, r.delete_us)
+                exclusive: false,
+                requires: &[Substrate::TempDir],
+                fills: &[SuiteField::FsLat],
+                derived: false,
+                runner: |ctx| {
+                    let r = suite::measure_fs_lat(&ctx.config, &ctx.host);
+                    BenchOutput::new()
+                        .metric("create", r.create_us, Unit::Micros)
+                        .metric("delete", r.delete_us, Unit::Micros)
+                        .patch(TablePatch::FsLat(r))
                 },
             },
             Benchmark {
                 name: "lat_disk",
                 produces: "Table 17",
                 category: Category::Latency,
-                runner: |h, c| format!("{:.1}us", suite::measure_disk(h, c, "host").overhead_us),
+                exclusive: false,
+                requires: &[],
+                fills: &[SuiteField::Disk],
+                derived: false,
+                runner: |ctx| {
+                    let r = suite::measure_disk(&ctx.harness, &ctx.config, &ctx.host);
+                    BenchOutput::new()
+                        .metric("", r.overhead_us, Unit::Micros)
+                        .patch(TablePatch::Disk(r))
+                },
             },
             // Extensions: the paper's §7 future-work items and the §1
-            // aliasing pathology, runnable like any other benchmark.
+            // aliasing pathology, runnable like any other benchmark. They
+            // fill no SuiteRun field (no 1995 table to regenerate).
             Benchmark {
                 name: "bw_unix",
                 produces: "extension (later lmbench bw_unix)",
                 category: Category::Bandwidth,
-                runner: |_, c| {
+                exclusive: false,
+                requires: &[],
+                fills: &[],
+                derived: false,
+                runner: |ctx| {
                     let bw = lmb_ipc::measure_unix_bw(
-                        c.stream_total,
+                        ctx.config.stream_total,
                         lmb_ipc::PIPE_CHUNK,
-                        c.options.repetitions.min(3),
+                        ctx.config.options.repetitions.min(3),
                         lmb_timing::SummaryPolicy::Last,
                     );
-                    format!("{bw}")
+                    BenchOutput::new().metric("unix socket", bw.mb_per_s, Unit::MbPerSec)
                 },
             },
             Benchmark {
                 name: "lat_mem_dirty",
                 produces: "extension (paper \u{a7}7 dirty-read latency)",
                 category: Category::Latency,
-                runner: |h, c| {
+                exclusive: true,
+                requires: &[],
+                fills: &[],
+                derived: false,
+                runner: |ctx| {
                     let clean = lmb_mem::lat::measure_point(
-                        h,
-                        c.sweep_max,
+                        &ctx.harness,
+                        ctx.config.sweep_max,
                         64,
                         lmb_mem::ChasePattern::Random,
                     );
                     let dirty = lmb_mem::measure_dirty_point(
-                        h,
-                        c.sweep_max,
+                        &ctx.harness,
+                        ctx.config.sweep_max,
                         64,
                         lmb_mem::ChasePattern::Random,
                     );
-                    format!(
-                        "clean {:.1} ns/load, dirty {:.1} ns/load",
-                        clean.ns_per_load, dirty.ns_per_load
-                    )
+                    BenchOutput::new()
+                        .metric("clean", clean.ns_per_load, Unit::Nanos)
+                        .metric("dirty", dirty.ns_per_load, Unit::Nanos)
                 },
             },
             Benchmark {
                 name: "lat_mp_c2c",
                 produces: "extension (paper \u{a7}7 MP cache-to-cache)",
                 category: Category::Latency,
-                runner: |_, _| {
-                    format!(
-                        "line transfer {}, c2c bandwidth {}",
-                        lmb_mem::measure_line_pingpong(2000, 3),
-                        lmb_mem::measure_cache_to_cache_bw(256 << 10, 8)
-                    )
+                exclusive: true,
+                requires: &[],
+                fills: &[],
+                derived: false,
+                runner: |_| {
+                    let line = lmb_mem::measure_line_pingpong(2000, 3);
+                    let bw = lmb_mem::measure_cache_to_cache_bw(256 << 10, 8);
+                    BenchOutput::new()
+                        .metric("line transfer", line.as_micros(), Unit::Micros)
+                        .metric("c2c bandwidth", bw.mb_per_s, Unit::MbPerSec)
                 },
             },
             Benchmark {
                 name: "lat_poll",
                 produces: "extension (later lmbench lat_select)",
                 category: Category::Latency,
-                runner: |h, _| {
-                    let few = lmb_proc::measure_poll(h, 8).latency;
-                    let many = lmb_proc::measure_poll(h, 1024).latency;
-                    format!("8 fds {few}, 1024 fds {many}")
+                exclusive: false,
+                requires: &[],
+                fills: &[],
+                derived: false,
+                runner: |ctx| {
+                    let few = lmb_proc::measure_poll(&ctx.harness, 8).latency;
+                    let many = lmb_proc::measure_poll(&ctx.harness, 1024).latency;
+                    BenchOutput::new()
+                        .metric("8 fds", few.as_micros(), Unit::Micros)
+                        .metric("1024 fds", many.as_micros(), Unit::Micros)
                 },
             },
             Benchmark {
                 name: "lat_mlp",
                 produces: "extension (\u{a7}6.1 load-in-a-vacuum vs back-to-back)",
                 category: Category::Latency,
-                runner: |h, c| {
-                    let pts = lmb_mem::mlp::sweep(h, 4, c.sweep_max, 64);
-                    format!(
-                        "1 chain {:.1} ns, 4 chains {:.1} ns (MLP {:.1}x)",
-                        pts[0].ns_per_load,
-                        pts[3].ns_per_load,
-                        lmb_mem::mlp::effective_mlp(&pts)
-                    )
+                exclusive: true,
+                requires: &[],
+                fills: &[],
+                derived: false,
+                runner: |ctx| {
+                    let pts = lmb_mem::mlp::sweep(&ctx.harness, 4, ctx.config.sweep_max, 64);
+                    BenchOutput::new()
+                        .metric("1 chain", pts[0].ns_per_load, Unit::Nanos)
+                        .metric("4 chains", pts[3].ns_per_load, Unit::Nanos)
+                        .metric("MLP", lmb_mem::mlp::effective_mlp(&pts), Unit::Ratio)
                 },
             },
             Benchmark {
                 name: "lat_alias",
                 produces: "extension (paper \u{a7}1 cache-aliasing check)",
                 category: Category::Latency,
-                runner: |h, _| {
-                    let r = lmb_mem::measure_alias(h, 512, 256 << 10);
-                    format!(
-                        "packed {:.1} ns, aliased {:.1} ns ({:.1}x)",
-                        r.compact_ns,
-                        r.aliased_ns,
-                        r.slowdown()
-                    )
+                exclusive: true,
+                requires: &[],
+                fills: &[],
+                derived: false,
+                runner: |ctx| {
+                    let r = lmb_mem::measure_alias(&ctx.harness, 512, 256 << 10);
+                    BenchOutput::new()
+                        .metric("packed", r.compact_ns, Unit::Nanos)
+                        .metric("aliased", r.aliased_ns, Unit::Nanos)
+                        .metric("slowdown", r.slowdown(), Unit::Ratio)
                 },
             },
         ];
         Self { benchmarks }
+    }
+
+    /// Restricts the registry to the named benchmarks, preserving registry
+    /// order; errors on the first unknown name.
+    pub fn filtered(self, names: &[&str]) -> Result<Self, SuiteError> {
+        for name in names {
+            if !self.benchmarks.iter().any(|b| b.name == *name) {
+                return Err(SuiteError::UnknownBenchmark {
+                    name: (*name).to_string(),
+                });
+            }
+        }
+        Ok(Self {
+            benchmarks: self
+                .benchmarks
+                .into_iter()
+                .filter(|b| names.contains(&b.name))
+                .collect(),
+        })
     }
 
     /// All benchmarks.
@@ -300,10 +542,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_both_categories() {
+    fn registry_has_all_categories() {
         let r = Registry::standard();
         assert!(r.all().iter().any(|b| b.category == Category::Bandwidth));
         assert!(r.all().iter().any(|b| b.category == Category::Latency));
+        assert!(r.all().iter().any(|b| b.category == Category::Identity));
         assert!(r.all().len() >= 14);
     }
 
@@ -322,7 +565,7 @@ mod tests {
     }
 
     #[test]
-    fn every_table_except_identity_ones_is_produced() {
+    fn every_paper_table_is_produced() {
         let r = Registry::standard();
         let produced: String = r
             .all()
@@ -330,11 +573,54 @@ mod tests {
             .map(|b| b.produces)
             .collect::<Vec<_>>()
             .join(" ");
-        // Tables 1 (identity), 4 and 14 (composed from other measurements)
-        // have no standalone benchmark; everything else must appear.
-        for t in [2, 3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16, 17] {
-            assert!(produced.contains(&format!("Table {t}")), "Table {t} unproduced");
+        // With sys_info and the remote link models in the registry, every
+        // table of the paper has exactly one producing entry.
+        for t in 1..=17 {
+            assert!(
+                produced.contains(&format!("Table {t}")),
+                "Table {t} unproduced"
+            );
         }
+    }
+
+    #[test]
+    fn every_suite_field_is_filled_by_exactly_one_entry() {
+        let r = Registry::standard();
+        for field in SuiteField::ALL {
+            let fillers: Vec<&str> = r
+                .all()
+                .iter()
+                .filter(|b| b.fills.contains(&field))
+                .map(|b| b.name)
+                .collect();
+            assert_eq!(
+                fillers.len(),
+                1,
+                "{field:?} filled by {fillers:?}, want exactly one entry"
+            );
+        }
+    }
+
+    #[test]
+    fn derived_entries_come_after_their_inputs() {
+        let r = Registry::standard();
+        let pos = |name: &str| r.all().iter().position(|b| b.name == name).unwrap();
+        assert!(pos("remote_bw_model") > pos("bw_pipe_tcp"));
+        assert!(pos("remote_lat_model") > pos("lat_udp_rpc"));
+    }
+
+    #[test]
+    fn filtered_preserves_order_and_rejects_unknown() {
+        let r = Registry::standard()
+            .filtered(&["lat_syscall", "bw_mem"])
+            .unwrap();
+        // Registry order, not argument order.
+        assert_eq!(r.names(), vec!["bw_mem", "lat_syscall"]);
+        let err = match Registry::standard().filtered(&["lat_warp"]) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown name accepted"),
+        };
+        assert!(matches!(err, SuiteError::UnknownBenchmark { .. }));
     }
 
     #[test]
@@ -344,7 +630,18 @@ mod tests {
         let out = r
             .find("lat_syscall")
             .unwrap()
-            .run(&h, &SuiteConfig::quick());
+            .run_line(&h, &SuiteConfig::quick());
         assert!(out.contains("us"), "{out}");
+    }
+
+    #[test]
+    fn derived_entry_skips_on_empty_snapshot() {
+        let r = Registry::standard();
+        let h = Harness::new(lmb_timing::Options::quick());
+        let out = r
+            .find("remote_bw_model")
+            .unwrap()
+            .run_line(&h, &SuiteConfig::quick());
+        assert!(out.starts_with("skipped:"), "{out}");
     }
 }

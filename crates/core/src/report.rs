@@ -22,7 +22,16 @@ fn kb_mb(bytes: u64) -> String {
 pub fn table_1(run: Option<&SuiteRun>) -> Table {
     let mut t = Table::new(
         "Table 1. System descriptions.",
-        &["Name", "Vendor/model", "OS", "CPU", "Mhz", "Year", "SPECInt92", "Price k$"],
+        &[
+            "Name",
+            "Vendor/model",
+            "OS",
+            "CPU",
+            "Mhz",
+            "Year",
+            "SPECInt92",
+            "Price k$",
+        ],
     );
     let mut add = |s: &lmb_results::SystemInfo| {
         t.row(vec![
@@ -200,7 +209,12 @@ pub fn table_8(run: Option<&SuiteRun>) -> Table {
 pub fn table_9(run: Option<&SuiteRun>) -> Table {
     let mut t = Table::new(
         "Table 9. Process creation time (milliseconds)",
-        &["System", "fork & exit", "fork, exec & exit", "fork, exec sh -c & exit"],
+        &[
+            "System",
+            "fork & exit",
+            "fork, exec & exit",
+            "fork, exec sh -c & exit",
+        ],
     )
     .sorted_on(1, SortOrder::LowerIsBetter);
     let mut rows = dataset::proc();
@@ -455,73 +469,173 @@ pub fn comparisons(run: &SuiteRun) -> Vec<Comparison> {
     let mut out = Vec::new();
     if let Some(r) = &run.mem_bw {
         let col: Vec<f64> = dataset::mem_bw().iter().map(|x| x.bcopy_unrolled).collect();
-        out.push(compare_rows("T2 bcopy unrolled (MB/s)", r.bcopy_unrolled, &col, Better::Higher));
+        out.push(compare_rows(
+            "T2 bcopy unrolled (MB/s)",
+            r.bcopy_unrolled,
+            &col,
+            Better::Higher,
+        ));
         let col: Vec<f64> = dataset::mem_bw().iter().map(|x| x.read).collect();
-        out.push(compare_rows("T2 memory read (MB/s)", r.read, &col, Better::Higher));
+        out.push(compare_rows(
+            "T2 memory read (MB/s)",
+            r.read,
+            &col,
+            Better::Higher,
+        ));
     }
     if let Some(r) = &run.ipc_bw {
         let col: Vec<f64> = dataset::ipc_bw().iter().map(|x| x.pipe).collect();
-        out.push(compare_rows("T3 pipe bandwidth (MB/s)", r.pipe, &col, Better::Higher));
+        out.push(compare_rows(
+            "T3 pipe bandwidth (MB/s)",
+            r.pipe,
+            &col,
+            Better::Higher,
+        ));
         if let Some(tcp) = r.tcp {
             let col: Vec<f64> = dataset::ipc_bw().iter().filter_map(|x| x.tcp).collect();
-            out.push(compare_rows("T3 TCP bandwidth (MB/s)", tcp, &col, Better::Higher));
+            out.push(compare_rows(
+                "T3 TCP bandwidth (MB/s)",
+                tcp,
+                &col,
+                Better::Higher,
+            ));
         }
     }
     if let Some(r) = &run.file_bw {
         let col: Vec<f64> = dataset::file_bw().iter().map(|x| x.file_read).collect();
-        out.push(compare_rows("T5 file reread (MB/s)", r.file_read, &col, Better::Higher));
+        out.push(compare_rows(
+            "T5 file reread (MB/s)",
+            r.file_read,
+            &col,
+            Better::Higher,
+        ));
         let col: Vec<f64> = dataset::file_bw().iter().map(|x| x.file_mmap).collect();
-        out.push(compare_rows("T5 mmap reread (MB/s)", r.file_mmap, &col, Better::Higher));
+        out.push(compare_rows(
+            "T5 mmap reread (MB/s)",
+            r.file_mmap,
+            &col,
+            Better::Higher,
+        ));
     }
     if let Some(r) = &run.cache_lat {
         let col: Vec<f64> = dataset::cache_lat().iter().map(|x| x.memory_ns).collect();
-        out.push(compare_rows("T6 memory latency (ns)", r.memory_ns, &col, Better::Lower));
+        out.push(compare_rows(
+            "T6 memory latency (ns)",
+            r.memory_ns,
+            &col,
+            Better::Lower,
+        ));
     }
     if let Some(r) = &run.syscall {
         let col: Vec<f64> = dataset::syscall().iter().map(|x| x.syscall_us).collect();
-        out.push(compare_rows("T7 system call (us)", r.syscall_us, &col, Better::Lower));
+        out.push(compare_rows(
+            "T7 system call (us)",
+            r.syscall_us,
+            &col,
+            Better::Lower,
+        ));
     }
     if let Some(r) = &run.signal {
         let col: Vec<f64> = dataset::signal().iter().map(|x| x.handler_us).collect();
-        out.push(compare_rows("T8 signal handler (us)", r.handler_us, &col, Better::Lower));
+        out.push(compare_rows(
+            "T8 signal handler (us)",
+            r.handler_us,
+            &col,
+            Better::Lower,
+        ));
     }
     if let Some(r) = &run.proc {
         let col: Vec<f64> = dataset::proc().iter().map(|x| x.fork_ms).collect();
-        out.push(compare_rows("T9 fork+exit (ms)", r.fork_ms, &col, Better::Lower));
+        out.push(compare_rows(
+            "T9 fork+exit (ms)",
+            r.fork_ms,
+            &col,
+            Better::Lower,
+        ));
     }
     if let Some(r) = &run.ctx {
         let col: Vec<f64> = dataset::ctx().iter().map(|x| x.p2_0k).collect();
-        out.push(compare_rows("T10 ctx switch 2p/0K (us)", r.p2_0k, &col, Better::Lower));
+        out.push(compare_rows(
+            "T10 ctx switch 2p/0K (us)",
+            r.p2_0k,
+            &col,
+            Better::Lower,
+        ));
     }
     if let Some(r) = &run.pipe_lat {
         let col: Vec<f64> = dataset::pipe_lat().iter().map(|x| x.pipe_us).collect();
-        out.push(compare_rows("T11 pipe latency (us)", r.pipe_us, &col, Better::Lower));
+        out.push(compare_rows(
+            "T11 pipe latency (us)",
+            r.pipe_us,
+            &col,
+            Better::Lower,
+        ));
     }
     if let Some(r) = &run.tcp_rpc {
         let col: Vec<f64> = dataset::tcp_rpc().iter().map(|x| x.tcp_us).collect();
-        out.push(compare_rows("T12 TCP latency (us)", r.tcp_us, &col, Better::Lower));
+        out.push(compare_rows(
+            "T12 TCP latency (us)",
+            r.tcp_us,
+            &col,
+            Better::Lower,
+        ));
         let col: Vec<f64> = dataset::tcp_rpc().iter().map(|x| x.rpc_tcp_us).collect();
-        out.push(compare_rows("T12 RPC/TCP latency (us)", r.rpc_tcp_us, &col, Better::Lower));
+        out.push(compare_rows(
+            "T12 RPC/TCP latency (us)",
+            r.rpc_tcp_us,
+            &col,
+            Better::Lower,
+        ));
     }
     if let Some(r) = &run.udp_rpc {
         let col: Vec<f64> = dataset::udp_rpc().iter().map(|x| x.udp_us).collect();
-        out.push(compare_rows("T13 UDP latency (us)", r.udp_us, &col, Better::Lower));
+        out.push(compare_rows(
+            "T13 UDP latency (us)",
+            r.udp_us,
+            &col,
+            Better::Lower,
+        ));
         let col: Vec<f64> = dataset::udp_rpc().iter().map(|x| x.rpc_udp_us).collect();
-        out.push(compare_rows("T13 RPC/UDP latency (us)", r.rpc_udp_us, &col, Better::Lower));
+        out.push(compare_rows(
+            "T13 RPC/UDP latency (us)",
+            r.rpc_udp_us,
+            &col,
+            Better::Lower,
+        ));
     }
     if let Some(r) = &run.connect {
         let col: Vec<f64> = dataset::connect().iter().map(|x| x.connect_us).collect();
-        out.push(compare_rows("T15 TCP connect (us)", r.connect_us, &col, Better::Lower));
+        out.push(compare_rows(
+            "T15 TCP connect (us)",
+            r.connect_us,
+            &col,
+            Better::Lower,
+        ));
     }
     if let Some(r) = &run.fs_lat {
         let col: Vec<f64> = dataset::fs_lat().iter().map(|x| x.create_us).collect();
-        out.push(compare_rows("T16 file create (us)", r.create_us, &col, Better::Lower));
+        out.push(compare_rows(
+            "T16 file create (us)",
+            r.create_us,
+            &col,
+            Better::Lower,
+        ));
         let col: Vec<f64> = dataset::fs_lat().iter().map(|x| x.delete_us).collect();
-        out.push(compare_rows("T16 file delete (us)", r.delete_us, &col, Better::Lower));
+        out.push(compare_rows(
+            "T16 file delete (us)",
+            r.delete_us,
+            &col,
+            Better::Lower,
+        ));
     }
     if let Some(r) = &run.disk {
         let col: Vec<f64> = dataset::disk().iter().map(|x| x.overhead_us).collect();
-        out.push(compare_rows("T17 disk overhead (us)", r.overhead_us, &col, Better::Lower));
+        out.push(compare_rows(
+            "T17 disk overhead (us)",
+            r.overhead_us,
+            &col,
+            Better::Lower,
+        ));
     }
     out
 }
@@ -565,7 +679,10 @@ mod tests {
     fn tables_sort_best_to_worst() {
         let rendered = table_11(None).render();
         let first = rendered.lines().nth(3).unwrap();
-        assert!(first.contains("Linux/i686"), "best 1995 pipe latency row: {first}");
+        assert!(
+            first.contains("Linux/i686"),
+            "best 1995 pipe latency row: {first}"
+        );
     }
 
     #[test]

@@ -1,71 +1,31 @@
 //! Running the full suite and filling a [`SuiteRun`].
+//!
+//! [`run_suite`] delegates to the execution engine ([`crate::engine`]):
+//! every registered benchmark runs through the same fault-isolated,
+//! timeout-guarded path, and the remote tables (4 and 14) are composed by
+//! the registry's `derived` model entries instead of inline glue here.
+//! The `measure_*` functions below remain the suite's measurement
+//! vocabulary, called by the registry runners and usable standalone.
 
 use crate::config::SuiteConfig;
-use crate::host::detect_host;
+use crate::engine::{Engine, EngineOutcome};
+use crate::error::SuiteError;
+use crate::registry::Registry;
 use lmb_results::*;
 use lmb_timing::{Harness, SummaryPolicy};
 
 /// Runs every benchmark in the suite at the configured scale and returns
-/// the host's complete result set.
-///
-/// # Panics
-///
-/// Panics if the configuration is invalid or a benchmark's environment is
-/// broken (no `/dev/null`, no loopback, no temp dir) — a machine on which
-/// the paper's suite could not run either.
-pub fn run_suite(config: &SuiteConfig) -> SuiteRun {
-    config.validate();
-    let h = Harness::new(config.options);
-    let host = detect_host();
-    let name = host.name.clone();
+/// the host's (possibly partial) result set. Individual benchmark
+/// failures, timeouts and skips cost their own rows only; use
+/// [`run_suite_with_report`] to see per-benchmark outcomes.
+pub fn run_suite(config: &SuiteConfig) -> Result<SuiteRun, SuiteError> {
+    run_suite_with_report(config).map(|outcome| outcome.run)
+}
 
-    let mut run = SuiteRun {
-        system: Some(host),
-        ..Default::default()
-    };
-
-    run.mem_bw = Some(measure_mem_bw(&h, config, &name));
-    run.ipc_bw = Some(measure_ipc_bw(&h, config, &name));
-    run.file_bw = Some(measure_file_bw(&h, config, &name));
-    run.cache_lat = Some(measure_cache_lat(&h, config, &name));
-    run.syscall = Some(measure_syscall(&h, &name));
-    run.signal = Some(measure_signal(&h, &name));
-    run.proc = Some(measure_proc(&h, &name));
-    run.ctx = Some(measure_ctx(&h, config, &name));
-    run.pipe_lat = Some(measure_pipe_lat(&h, config, &name));
-    run.tcp_rpc = Some(measure_tcp_rpc(&h, config, &name));
-    run.udp_rpc = Some(measure_udp_rpc(&h, config, &name));
-    run.connect = Some(measure_connect(config, &name));
-    run.fs_lat = Some(measure_fs_lat(config, &name));
-    run.disk = Some(measure_disk(&h, config, &name));
-
-    // Remote tables compose measured loopback numbers with link models.
-    if let (Some(ipc), Some(tcp_rpc), Some(udp_rpc)) = (&run.ipc_bw, &run.tcp_rpc, &run.udp_rpc) {
-        if let Some(tcp_bw) = ipc.tcp {
-            run.remote_bw = lmb_net::remote::bandwidth_table(tcp_bw)
-                .into_iter()
-                .map(|r| RemoteBwRow {
-                    system: name.clone(),
-                    network: r.link.name.into(),
-                    tcp: r.total_mb_s,
-                })
-                .collect();
-        }
-        run.remote_lat = lmb_net::remote::latency_table(tcp_rpc.tcp_us)
-            .into_iter()
-            .map(|r| {
-                let udp = lmb_net::remote::remote_latency(r.link, udp_rpc.udp_us);
-                RemoteLatRow {
-                    system: name.clone(),
-                    network: r.link.name.into(),
-                    tcp_us: r.total_us,
-                    udp_us: udp.total_us,
-                }
-            })
-            .collect();
-    }
-
-    run
+/// Like [`run_suite`], also returning the per-benchmark
+/// [`lmb_results::RunReport`] with statuses and measurement provenance.
+pub fn run_suite_with_report(config: &SuiteConfig) -> Result<EngineOutcome, SuiteError> {
+    Ok(Engine::new(Registry::standard(), *config)?.execute())
 }
 
 /// Table 2 row for this host.
@@ -118,8 +78,8 @@ pub fn measure_file_bw(h: &Harness, config: &SuiteConfig, name: &str) -> FileBwR
 
 /// Table 6 row, via the latency sweep and hierarchy analyzer.
 pub fn measure_cache_lat(h: &Harness, config: &SuiteConfig, name: &str) -> CacheLatRow {
-    let hier = lmb_mem::hierarchy::measure_hierarchy(h, config.sweep_max, 64)
-        .expect("hierarchy analysis");
+    let hier =
+        lmb_mem::hierarchy::measure_hierarchy(h, config.sweep_max, 64).expect("hierarchy analysis");
     let l1 = hier.l1();
     let l2 = hier.l2();
     CacheLatRow {
@@ -279,8 +239,7 @@ fn detect_fs_type() -> String {
     let mut best: (usize, &str) = (0, "unknown");
     for line in mounts.lines() {
         let mut fields = line.split_whitespace();
-        let (Some(_dev), Some(mount), Some(fstype)) =
-            (fields.next(), fields.next(), fields.next())
+        let (Some(_dev), Some(mount), Some(fstype)) = (fields.next(), fields.next(), fields.next())
         else {
             continue;
         };

@@ -133,11 +133,7 @@ impl SimDisk {
     /// A paper-typical drive: classic geometry, fast-wide bus, 64 KB
     /// buffer.
     pub fn classic_1995() -> Self {
-        Self::new(
-            DiskGeometry::classic_1995(),
-            ScsiBus::fast_wide(),
-            64 << 10,
-        )
+        Self::new(DiskGeometry::classic_1995(), ScsiBus::fast_wide(), 64 << 10)
     }
 
     /// Virtual clock, µs since spin-up.
@@ -193,12 +189,12 @@ impl SimDisk {
         let rev_us = self.geometry.revolution_us();
         let sector_now = self.sector_under_head(arrive);
         let want = f64::from(addr.sector);
-        let sectors_away = (want - sector_now).rem_euclid(f64::from(self.geometry.sectors_per_track));
+        let sectors_away =
+            (want - sector_now).rem_euclid(f64::from(self.geometry.sectors_per_track));
         let rotation_us = sectors_away / f64::from(self.geometry.sectors_per_track) * rev_us;
 
         let sectors = bytes.div_ceil(u64::from(self.geometry.sector_bytes));
-        let media_us =
-            sectors as f64 / f64::from(self.geometry.sectors_per_track) * rev_us;
+        let media_us = sectors as f64 / f64::from(self.geometry.sectors_per_track) * rev_us;
 
         self.buffer
             .fill(addr.track_index, self.geometry.track_bytes());
@@ -394,7 +390,10 @@ mod tests {
         d.read(0, 512);
         assert!(d.read(512, 512).buffer_hit);
         d.write(0, 512, false);
-        assert!(!d.read(1024, 512).buffer_hit, "stale track survived a write");
+        assert!(
+            !d.read(1024, 512).buffer_hit,
+            "stale track survived a write"
+        );
     }
 
     #[test]

@@ -47,13 +47,11 @@ pub fn measure_overhead(h: &Harness, disk: &mut SimDisk, ops: u64) -> OverheadRe
     // Pass 1: modeled service time and hit rate over the real workload.
     let start_virtual = disk.now_us();
     let mut hits = 0u64;
-    let mut offset_block = 0u64;
-    for _ in 0..ops {
+    for offset_block in 0..ops {
         let t = disk.read((offset_block % wrap) * sector, sector);
         if t.buffer_hit {
             hits += 1;
         }
-        offset_block += 1;
     }
     let service_us = (disk.now_us() - start_virtual) / ops as f64;
 
@@ -73,7 +71,11 @@ pub fn measure_overhead(h: &Harness, disk: &mut SimDisk, ops: u64) -> OverheadRe
         buffer_hit_rate: hits as f64 / ops as f64,
         service: Latency::from_ns(service_us * 1e3, TimeUnit::Micros),
         host_cpu: host.latency(TimeUnit::Micros),
-        ops_per_sec: if total_us > 0.0 { 1e6 / total_us } else { f64::INFINITY },
+        ops_per_sec: if total_us > 0.0 {
+            1e6 / total_us
+        } else {
+            f64::INFINITY
+        },
     }
 }
 

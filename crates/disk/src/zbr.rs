@@ -202,7 +202,10 @@ mod tests {
         let mb = 1u64 << 20;
         let outer = d.stream_us(0, mb);
         let inner = d.stream_us(d.capacity() - 2 * mb, mb);
-        assert!(inner > outer, "inner {inner}us not slower than outer {outer}us");
+        assert!(
+            inner > outer,
+            "inner {inner}us not slower than outer {outer}us"
+        );
         // Ratio equals the sectors-per-track ratio (160/96).
         let ratio = inner / outer;
         assert!((ratio - 160.0 / 96.0).abs() < 0.05, "ratio {ratio}");

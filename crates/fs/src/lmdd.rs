@@ -307,8 +307,13 @@ mod tests {
 
     #[test]
     fn missing_input_file_is_io_error() {
-        let r = Lmdd::check_read(PathBuf::from("/no/such/lmdd/input"), 512, 1, SeekMode::Sequential)
-            .run();
+        let r = Lmdd::check_read(
+            PathBuf::from("/no/such/lmdd/input"),
+            512,
+            1,
+            SeekMode::Sequential,
+        )
+        .run();
         assert!(r.is_err());
     }
 }

@@ -58,7 +58,9 @@ pub fn measure_scaling(
         fs::File::create(p).expect("pre-populate");
     }
 
-    let targets: Vec<PathBuf> = (0..files).map(|i| dir.join(fixed_name(i, name_len))).collect();
+    let targets: Vec<PathBuf> = (0..files)
+        .map(|i| dir.join(fixed_name(i, name_len)))
+        .collect();
     let sw = Stopwatch::start();
     for t in &targets {
         fs::File::create(t).expect("create");
@@ -122,8 +124,7 @@ mod tests {
 
     #[test]
     fn fixed_names_are_unique_and_sized() {
-        let names: std::collections::HashSet<String> =
-            (0..500).map(|i| fixed_name(i, 8)).collect();
+        let names: std::collections::HashSet<String> = (0..500).map(|i| fixed_name(i, 8)).collect();
         assert_eq!(names.len(), 500);
         assert!(names.iter().all(|n| n.len() == 8));
     }

@@ -29,14 +29,9 @@ impl TcpEchoPair {
             if let Ok((mut conn, _)) = listener.accept() {
                 let _ = conn.set_nodelay(true);
                 let mut word = [0u8; WORD.len()];
-                loop {
-                    match conn.read_exact(&mut word) {
-                        Ok(()) => {
-                            if conn.write_all(&word).is_err() {
-                                break;
-                            }
-                        }
-                        Err(_) => break,
+                while conn.read_exact(&mut word).is_ok() {
+                    if conn.write_all(&word).is_err() {
+                        break;
                     }
                 }
             }

@@ -160,7 +160,8 @@ pub struct BandwidthReport {
 pub fn measure_bcopy_libc(h: &Harness, bytes: usize) -> Bandwidth {
     let mut bufs = CopyBuffers::new(bytes);
     let payload = bufs.bytes() as u64;
-    h.measure_block(1, || bcopy_libc(&mut bufs)).bandwidth(payload)
+    h.measure_block(1, || bcopy_libc(&mut bufs))
+        .bandwidth(payload)
 }
 
 /// Measures hand-unrolled bcopy bandwidth over `bytes`-sized buffers.
@@ -281,6 +282,10 @@ mod tests {
         let bufs = CopyBuffers::new(1 << 20);
         let src_addr = bufs.src.as_ptr() as usize;
         let dst_addr = bufs.dst[ANTI_ALIAS_WORDS..].as_ptr() as usize;
-        assert_ne!(src_addr % 4096, dst_addr % 4096, "src/dst page-aligned identically");
+        assert_ne!(
+            src_addr % 4096,
+            dst_addr % 4096,
+            "src/dst page-aligned identically"
+        );
     }
 }

@@ -151,10 +151,7 @@ pub fn detect_line_size(curves: &[LatencyCurve]) -> Option<usize> {
         return None;
     }
     at_max.sort_by_key(|&(stride, _)| stride);
-    let worst = at_max
-        .iter()
-        .map(|&(_, l)| l)
-        .fold(f64::MIN, f64::max);
+    let worst = at_max.iter().map(|&(_, l)| l).fold(f64::MIN, f64::max);
     at_max
         .iter()
         .find(|&&(_, lat)| lat >= worst * 0.8)
@@ -235,7 +232,12 @@ mod tests {
         let l2 = h.l2().unwrap();
         assert_eq!(l1.capacity, Some(8 << 10), "L1 size; levels {:?}", h.levels);
         assert!((l1.latency_ns - 13.0).abs() < 3.0);
-        assert_eq!(l2.capacity, Some(512 << 10), "L2 size; levels {:?}", h.levels);
+        assert_eq!(
+            l2.capacity,
+            Some(512 << 10),
+            "L2 size; levels {:?}",
+            h.levels
+        );
         assert!((l2.latency_ns - 67.0).abs() < 15.0);
         let mem = h.memory_latency_ns().unwrap();
         assert!((mem - 291.0).abs() < 40.0, "memory latency {mem}");

@@ -172,7 +172,12 @@ fn loads_for(ring: &ChaseRing) -> usize {
 }
 
 /// Measures ns per dependent load at one (size, stride) point.
-pub fn measure_point(h: &Harness, size: usize, stride: usize, pattern: ChasePattern) -> LatencyPoint {
+pub fn measure_point(
+    h: &Harness,
+    size: usize,
+    stride: usize,
+    pattern: ChasePattern,
+) -> LatencyPoint {
     let ring = ChaseRing::build(size, stride, pattern);
     let loads = loads_for(&ring);
     let m = h.measure_block(loads as u64, || {

@@ -32,7 +32,10 @@ impl ParallelChains {
     /// Panics if `k` is 0 or exceeds [`MAX_CHAINS`], or on invalid
     /// size/stride (see [`ChaseRing::build`]).
     pub fn build(k: usize, size: usize, stride: usize) -> Self {
-        assert!((1..=MAX_CHAINS).contains(&k), "chain count {k} out of range");
+        assert!(
+            (1..=MAX_CHAINS).contains(&k),
+            "chain count {k} out of range"
+        );
         // Each ring is its own allocation, so chains never share lines;
         // the Random pattern keeps the prefetcher out of the experiment.
         let rings = (0..k)
@@ -150,9 +153,18 @@ mod tests {
     #[test]
     fn mlp_math() {
         let pts = vec![
-            MlpPoint { chains: 1, ns_per_load: 80.0 },
-            MlpPoint { chains: 2, ns_per_load: 42.0 },
-            MlpPoint { chains: 4, ns_per_load: 25.0 },
+            MlpPoint {
+                chains: 1,
+                ns_per_load: 80.0,
+            },
+            MlpPoint {
+                chains: 2,
+                ns_per_load: 42.0,
+            },
+            MlpPoint {
+                chains: 4,
+                ns_per_load: 25.0,
+            },
         ];
         assert!((effective_mlp(&pts) - 80.0 / 25.0).abs() < 1e-12);
         assert_eq!(effective_mlp(&[]), 0.0);

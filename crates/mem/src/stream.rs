@@ -94,9 +94,7 @@ pub fn measure(h: &Harness, bytes_per_array: usize) -> StreamReport {
     let k = 3.0f64;
     let el_bytes = (elements * 8) as u64;
 
-    let copy = h
-        .measure_block(1, || arrays.copy())
-        .bandwidth(el_bytes * 2);
+    let copy = h.measure_block(1, || arrays.copy()).bandwidth(el_bytes * 2);
     let scale = h
         .measure_block(1, || arrays.scale(k))
         .bandwidth(el_bytes * 2);

@@ -85,8 +85,7 @@ impl LinkModel {
     /// Steady-state payload throughput of the medium alone, MB/s
     /// (2^20 bytes), at full-MTU packets.
     pub fn throughput_mb_s(&self) -> f64 {
-        let per_packet_s = self.wire_time_us(self.mtu) / 1e6
-            - 0.0; // Full-MTU packets back to back.
+        let per_packet_s = self.wire_time_us(self.mtu) / 1e6 - 0.0; // Full-MTU packets back to back.
         (self.mtu as f64 / (1 << 20) as f64) / per_packet_s
     }
 }
@@ -140,10 +139,7 @@ mod tests {
         assert!(fddi > ten && hundred > ten);
         // "100baseT is looking quite competitive when compared to FDDI":
         // within ~25% despite FDDI's 3x packets.
-        assert!(
-            (hundred / fddi) > 0.75,
-            "100baseT {hundred} vs FDDI {fddi}"
-        );
+        assert!((hundred / fddi) > 0.75, "100baseT {hundred} vs FDDI {fddi}");
         // Raw sanity: 10baseT tops out near 1.2 MB/s.
         assert!((0.8..1.3).contains(&ten), "10baseT {ten} MB/s");
     }

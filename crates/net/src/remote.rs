@@ -171,9 +171,7 @@ mod tests {
         with.checksum_offload = true;
         without.checksum_offload = false;
         let sw = 60.0;
-        assert!(
-            remote_bandwidth(with, sw).total_mb_s > remote_bandwidth(without, sw).total_mb_s
-        );
+        assert!(remote_bandwidth(with, sw).total_mb_s > remote_bandwidth(without, sw).total_mb_s);
     }
 
     #[test]

@@ -137,13 +137,22 @@ mod tests {
 
     #[test]
     fn shell_is_the_most_expensive_path() {
-        let h = quick();
-        let with_exec = measure_fork_exec(&h).as_micros();
-        let with_sh = measure_fork_sh(&h).as_micros();
         // Paper: sh -c is ~4x the explicit exec; allow anything >= 1x.
-        assert!(
-            with_sh >= with_exec,
-            "sh -c ({with_sh}us) cheaper than exec ({with_exec}us)"
+        // The two rungs sit close enough that scheduler noise on a loaded
+        // single-core host can invert one measurement, so allow retries.
+        let h = quick();
+        let mut last = (0.0, 0.0);
+        for _ in 0..3 {
+            let with_exec = measure_fork_exec(&h).as_micros();
+            let with_sh = measure_fork_sh(&h).as_micros();
+            if with_sh >= with_exec {
+                return;
+            }
+            last = (with_sh, with_exec);
+        }
+        panic!(
+            "sh -c ({}us) cheaper than exec ({}us) on every attempt",
+            last.0, last.1
         );
     }
 }

@@ -63,13 +63,7 @@ impl PollSet {
         // SAFETY: `fds` is a valid array of `len()` pollfd structs owned by
         // self; the kernel writes only the `revents` fields; timeout 0
         // makes the call non-blocking.
-        let ready = unsafe {
-            libc::poll(
-                self.fds.as_mut_ptr(),
-                self.fds.len() as libc::nfds_t,
-                0,
-            )
-        };
+        let ready = unsafe { libc::poll(self.fds.as_mut_ptr(), self.fds.len() as libc::nfds_t, 0) };
         assert!(ready >= 0, "poll failed");
         ready as usize
     }

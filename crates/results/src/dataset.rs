@@ -14,6 +14,7 @@
 
 use crate::schema::*;
 
+#[allow(clippy::too_many_arguments)] // mirrors Table 1's nine columns
 fn sys(
     name: &str,
     vendor_model: &str,
@@ -41,21 +42,171 @@ fn sys(
 /// Table 1: the paper's system descriptions.
 pub fn systems() -> Vec<SystemInfo> {
     vec![
-        sys("IBM PowerPC", "IBM 43P", false, "AIX 3.?", "MPC604", 133, 1995, Some(176.0), Some(15.0)),
-        sys("IBM Power2", "IBM 990", false, "AIX 4.?", "Power2", 71, 1993, Some(126.0), Some(110.0)),
-        sys("FreeBSD/i586", "ASUS P55TP4XE", false, "FreeBSD 2.1", "Pentium", 133, 1995, Some(190.0), Some(3.0)),
-        sys("HP K210", "HP 9000/859", true, "HP-UX B.10.01", "PA 7200", 120, 1995, Some(167.0), Some(35.0)),
-        sys("SGI Challenge", "SGI Challenge", true, "IRIX 6.2-alpha", "R4400", 200, 1994, Some(140.0), Some(80.0)),
-        sys("SGI Indigo2", "SGI Indigo2", false, "IRIX 5.3", "R4400", 200, 1994, Some(135.0), Some(15.0)),
-        sys("Linux/Alpha", "DEC Cabriolet", false, "Linux 1.3.38", "Alpha 21064A", 275, 1994, Some(189.0), Some(9.0)),
-        sys("Linux/i586", "Triton/EDO RAM", false, "Linux 1.3.28", "Pentium", 120, 1995, Some(155.0), Some(5.0)),
-        sys("Linux/i686", "Intel Alder", false, "Linux 1.3.37", "Pentium Pro", 200, 1995, Some(320.0), Some(7.0)),
-        sys("DEC Alpha@150", "DEC 3000/500", false, "OSF1 3.0", "Alpha 21064", 150, 1993, Some(84.0), Some(35.0)),
-        sys("DEC Alpha@300", "DEC 8400 5/300", true, "OSF1 3.2", "Alpha 21164", 300, 1995, Some(341.0), Some(250.0)),
-        sys("Sun Ultra1", "Sun Ultra1", false, "SunOS 5.5", "UltraSPARC", 167, 1995, Some(250.0), Some(21.0)),
-        sys("Sun SC1000", "Sun SC1000", true, "SunOS 5.5-beta", "SuperSPARC", 50, 1992, Some(65.0), Some(35.0)),
-        sys("Solaris/i686", "Intel Alder", false, "SunOS 5.5.1", "Pentium Pro", 133, 1995, Some(215.0), Some(5.0)),
-        sys("Unixware/i686", "Intel Aurora", false, "Unixware 5.4.2", "Pentium Pro", 200, 1995, Some(320.0), Some(7.0)),
+        sys(
+            "IBM PowerPC",
+            "IBM 43P",
+            false,
+            "AIX 3.?",
+            "MPC604",
+            133,
+            1995,
+            Some(176.0),
+            Some(15.0),
+        ),
+        sys(
+            "IBM Power2",
+            "IBM 990",
+            false,
+            "AIX 4.?",
+            "Power2",
+            71,
+            1993,
+            Some(126.0),
+            Some(110.0),
+        ),
+        sys(
+            "FreeBSD/i586",
+            "ASUS P55TP4XE",
+            false,
+            "FreeBSD 2.1",
+            "Pentium",
+            133,
+            1995,
+            Some(190.0),
+            Some(3.0),
+        ),
+        sys(
+            "HP K210",
+            "HP 9000/859",
+            true,
+            "HP-UX B.10.01",
+            "PA 7200",
+            120,
+            1995,
+            Some(167.0),
+            Some(35.0),
+        ),
+        sys(
+            "SGI Challenge",
+            "SGI Challenge",
+            true,
+            "IRIX 6.2-alpha",
+            "R4400",
+            200,
+            1994,
+            Some(140.0),
+            Some(80.0),
+        ),
+        sys(
+            "SGI Indigo2",
+            "SGI Indigo2",
+            false,
+            "IRIX 5.3",
+            "R4400",
+            200,
+            1994,
+            Some(135.0),
+            Some(15.0),
+        ),
+        sys(
+            "Linux/Alpha",
+            "DEC Cabriolet",
+            false,
+            "Linux 1.3.38",
+            "Alpha 21064A",
+            275,
+            1994,
+            Some(189.0),
+            Some(9.0),
+        ),
+        sys(
+            "Linux/i586",
+            "Triton/EDO RAM",
+            false,
+            "Linux 1.3.28",
+            "Pentium",
+            120,
+            1995,
+            Some(155.0),
+            Some(5.0),
+        ),
+        sys(
+            "Linux/i686",
+            "Intel Alder",
+            false,
+            "Linux 1.3.37",
+            "Pentium Pro",
+            200,
+            1995,
+            Some(320.0),
+            Some(7.0),
+        ),
+        sys(
+            "DEC Alpha@150",
+            "DEC 3000/500",
+            false,
+            "OSF1 3.0",
+            "Alpha 21064",
+            150,
+            1993,
+            Some(84.0),
+            Some(35.0),
+        ),
+        sys(
+            "DEC Alpha@300",
+            "DEC 8400 5/300",
+            true,
+            "OSF1 3.2",
+            "Alpha 21164",
+            300,
+            1995,
+            Some(341.0),
+            Some(250.0),
+        ),
+        sys(
+            "Sun Ultra1",
+            "Sun Ultra1",
+            false,
+            "SunOS 5.5",
+            "UltraSPARC",
+            167,
+            1995,
+            Some(250.0),
+            Some(21.0),
+        ),
+        sys(
+            "Sun SC1000",
+            "Sun SC1000",
+            true,
+            "SunOS 5.5-beta",
+            "SuperSPARC",
+            50,
+            1992,
+            Some(65.0),
+            Some(35.0),
+        ),
+        sys(
+            "Solaris/i686",
+            "Intel Alder",
+            false,
+            "SunOS 5.5.1",
+            "Pentium Pro",
+            133,
+            1995,
+            Some(215.0),
+            Some(5.0),
+        ),
+        sys(
+            "Unixware/i686",
+            "Intel Aurora",
+            false,
+            "Unixware 5.4.2",
+            "Pentium Pro",
+            200,
+            1995,
+            Some(320.0),
+            Some(7.0),
+        ),
     ]
 }
 
@@ -176,26 +327,155 @@ pub fn file_bw() -> Vec<FileBwRow> {
 /// level-2 cache; the HP/IBM single-level one-clock caches; the Pentium
 /// Pro / Ultra 5–6-clock level-2 caches; SGI/DEC "large second level
 /// caches to hide their long latency from main memory".
+#[allow(clippy::type_complexity)] // one tuple per Table 6 column set
 pub fn cache_lat() -> Vec<CacheLatRow> {
     let k = |n: u64| n << 10;
     let m = |n: u64| n << 20;
-    let rows: &[(&str, f64, Option<f64>, Option<u64>, Option<f64>, Option<u64>, f64)] = &[
+    let rows: &[(
+        &str,
+        f64,
+        Option<f64>,
+        Option<u64>,
+        Option<f64>,
+        Option<u64>,
+        f64,
+    )] = &[
         // (system, clk, l1 ns, l1 size, l2 ns, l2 size, memory ns)
-        ("HP K210", 8.0, Some(8.0), Some(k(256)), Some(8.0), Some(k(256)), 349.0),
-        ("IBM Power2", 14.0, Some(13.0), Some(k(256)), Some(13.0), Some(k(256)), 260.0),
-        ("Unixware/i686", 5.0, Some(5.0), Some(k(8)), Some(25.0), Some(k(256)), 175.0),
-        ("Linux/i686", 5.0, Some(10.0), Some(k(8)), Some(30.0), Some(k(256)), 179.0),
-        ("Sun Ultra1", 6.0, Some(6.0), Some(k(16)), Some(42.0), Some(k(512)), 270.0),
-        ("Linux/Alpha", 3.6, Some(6.0), Some(k(8)), Some(46.0), Some(k(96)), 357.0),
-        ("Solaris/i686", 7.0, Some(14.0), Some(k(8)), Some(48.0), Some(k(256)), 281.0),
-        ("FreeBSD/i586", 7.5, Some(5.0), Some(k(8)), Some(64.0), Some(k(256)), 1170.0),
-        ("SGI Indigo2", 5.0, Some(8.0), Some(k(16)), Some(64.0), Some(m(2)), 1189.0),
-        ("DEC Alpha@300", 3.3, Some(5.0), Some(k(8)), Some(66.0), Some(m(4)), 400.0),
-        ("SGI Challenge", 5.0, Some(8.0), Some(k(16)), Some(64.0), Some(m(4)), 1189.0),
-        ("DEC Alpha@150", 6.7, Some(12.0), Some(k(8)), Some(67.0), Some(k(512)), 291.0),
-        ("Linux/i586", 8.3, Some(8.0), Some(k(8)), Some(107.0), Some(k(256)), 182.0),
-        ("Sun SC1000", 20.0, Some(20.0), Some(k(8)), Some(140.0), Some(m(1)), 1236.0),
-        ("IBM PowerPC", 7.5, Some(7.0), Some(k(16)), Some(164.0), Some(k(512)), 394.0),
+        (
+            "HP K210",
+            8.0,
+            Some(8.0),
+            Some(k(256)),
+            Some(8.0),
+            Some(k(256)),
+            349.0,
+        ),
+        (
+            "IBM Power2",
+            14.0,
+            Some(13.0),
+            Some(k(256)),
+            Some(13.0),
+            Some(k(256)),
+            260.0,
+        ),
+        (
+            "Unixware/i686",
+            5.0,
+            Some(5.0),
+            Some(k(8)),
+            Some(25.0),
+            Some(k(256)),
+            175.0,
+        ),
+        (
+            "Linux/i686",
+            5.0,
+            Some(10.0),
+            Some(k(8)),
+            Some(30.0),
+            Some(k(256)),
+            179.0,
+        ),
+        (
+            "Sun Ultra1",
+            6.0,
+            Some(6.0),
+            Some(k(16)),
+            Some(42.0),
+            Some(k(512)),
+            270.0,
+        ),
+        (
+            "Linux/Alpha",
+            3.6,
+            Some(6.0),
+            Some(k(8)),
+            Some(46.0),
+            Some(k(96)),
+            357.0,
+        ),
+        (
+            "Solaris/i686",
+            7.0,
+            Some(14.0),
+            Some(k(8)),
+            Some(48.0),
+            Some(k(256)),
+            281.0,
+        ),
+        (
+            "FreeBSD/i586",
+            7.5,
+            Some(5.0),
+            Some(k(8)),
+            Some(64.0),
+            Some(k(256)),
+            1170.0,
+        ),
+        (
+            "SGI Indigo2",
+            5.0,
+            Some(8.0),
+            Some(k(16)),
+            Some(64.0),
+            Some(m(2)),
+            1189.0,
+        ),
+        (
+            "DEC Alpha@300",
+            3.3,
+            Some(5.0),
+            Some(k(8)),
+            Some(66.0),
+            Some(m(4)),
+            400.0,
+        ),
+        (
+            "SGI Challenge",
+            5.0,
+            Some(8.0),
+            Some(k(16)),
+            Some(64.0),
+            Some(m(4)),
+            1189.0,
+        ),
+        (
+            "DEC Alpha@150",
+            6.7,
+            Some(12.0),
+            Some(k(8)),
+            Some(67.0),
+            Some(k(512)),
+            291.0,
+        ),
+        (
+            "Linux/i586",
+            8.3,
+            Some(8.0),
+            Some(k(8)),
+            Some(107.0),
+            Some(k(256)),
+            182.0,
+        ),
+        (
+            "Sun SC1000",
+            20.0,
+            Some(20.0),
+            Some(k(8)),
+            Some(140.0),
+            Some(m(1)),
+            1236.0,
+        ),
+        (
+            "IBM PowerPC",
+            7.5,
+            Some(7.0),
+            Some(k(16)),
+            Some(164.0),
+            Some(k(512)),
+            394.0,
+        ),
     ];
     rows.iter()
         .map(|&(s, c, l1, l1s, l2, l2s, mem)| CacheLatRow {
@@ -499,8 +779,9 @@ mod tests {
         let known: HashSet<String> = systems().into_iter().map(|s| s.name).collect();
         // Remote tables include machines outside Table 1 (HP 9000/735,
         // PowerChallenge, Linux/i586@90) — the paper did the same.
-        let extra: HashSet<&str> =
-            ["HP 9000/735", "SGI PowerChallenge", "Linux/i586@90"].into_iter().collect();
+        let extra: HashSet<&str> = ["HP 9000/735", "SGI PowerChallenge", "Linux/i586@90"]
+            .into_iter()
+            .collect();
         let check = |name: &str| {
             assert!(
                 known.contains(name) || extra.contains(name),
@@ -611,7 +892,9 @@ mod tests {
     #[test]
     fn table17_is_sorted_best_to_worst() {
         let rows = disk();
-        assert!(rows.windows(2).all(|w| w[0].overhead_us <= w[1].overhead_us));
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].overhead_us <= w[1].overhead_us));
         assert_eq!(rows.len(), 6);
     }
 

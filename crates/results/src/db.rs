@@ -121,7 +121,15 @@ mod tests {
         new.insert("other", SuiteRun::default());
         old.merge(new);
         assert_eq!(old.len(), 2);
-        assert_eq!(old.get("host").unwrap().syscall.as_ref().unwrap().syscall_us, 1.0);
+        assert_eq!(
+            old.get("host")
+                .unwrap()
+                .syscall
+                .as_ref()
+                .unwrap()
+                .syscall_us,
+            1.0
+        );
     }
 
     #[test]

@@ -25,14 +25,18 @@
 pub mod compare;
 pub mod dataset;
 pub mod db;
+pub mod patch;
 pub mod plot;
+pub mod runreport;
 pub mod schema;
 pub mod summary;
 pub mod table;
 
 pub use compare::{compare_rows, Better, Comparison};
 pub use db::ResultsDb;
+pub use patch::{SuiteField, TablePatch};
 pub use plot::{AsciiPlot, Series};
+pub use runreport::{BenchRecord, BenchStatus, Provenance, RunReport};
 pub use schema::*;
 pub use summary::{db_summary, host_summary};
 pub use table::{Align, SortOrder, Table};

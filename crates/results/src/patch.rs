@@ -1,0 +1,187 @@
+//! Typed updates to a [`SuiteRun`], and the field map they write to.
+//!
+//! The execution engine runs benchmarks in isolation; each one hands back
+//! [`TablePatch`]es instead of mutating shared state, and the engine
+//! applies them in registry order. [`SuiteField`] names every slot of
+//! [`SuiteRun`] so a completeness check can assert that each field is
+//! produced by exactly one registry entry — the drift between a hard-coded
+//! suite path and the registry that this design replaces.
+
+use crate::schema::*;
+
+/// One slot of a [`SuiteRun`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteField {
+    System,
+    MemBw,
+    IpcBw,
+    RemoteBw,
+    FileBw,
+    CacheLat,
+    Syscall,
+    Signal,
+    Proc,
+    Ctx,
+    PipeLat,
+    TcpRpc,
+    UdpRpc,
+    RemoteLat,
+    Connect,
+    FsLat,
+    Disk,
+}
+
+impl SuiteField {
+    /// Every field of [`SuiteRun`], declaration order.
+    pub const ALL: [SuiteField; 17] = [
+        SuiteField::System,
+        SuiteField::MemBw,
+        SuiteField::IpcBw,
+        SuiteField::RemoteBw,
+        SuiteField::FileBw,
+        SuiteField::CacheLat,
+        SuiteField::Syscall,
+        SuiteField::Signal,
+        SuiteField::Proc,
+        SuiteField::Ctx,
+        SuiteField::PipeLat,
+        SuiteField::TcpRpc,
+        SuiteField::UdpRpc,
+        SuiteField::RemoteLat,
+        SuiteField::Connect,
+        SuiteField::FsLat,
+        SuiteField::Disk,
+    ];
+
+    /// Is this field populated on `run`?
+    #[must_use]
+    pub fn is_present_in(self, run: &SuiteRun) -> bool {
+        match self {
+            SuiteField::System => run.system.is_some(),
+            SuiteField::MemBw => run.mem_bw.is_some(),
+            SuiteField::IpcBw => run.ipc_bw.is_some(),
+            SuiteField::RemoteBw => !run.remote_bw.is_empty(),
+            SuiteField::FileBw => run.file_bw.is_some(),
+            SuiteField::CacheLat => run.cache_lat.is_some(),
+            SuiteField::Syscall => run.syscall.is_some(),
+            SuiteField::Signal => run.signal.is_some(),
+            SuiteField::Proc => run.proc.is_some(),
+            SuiteField::Ctx => run.ctx.is_some(),
+            SuiteField::PipeLat => run.pipe_lat.is_some(),
+            SuiteField::TcpRpc => run.tcp_rpc.is_some(),
+            SuiteField::UdpRpc => run.udp_rpc.is_some(),
+            SuiteField::RemoteLat => !run.remote_lat.is_empty(),
+            SuiteField::Connect => run.connect.is_some(),
+            SuiteField::FsLat => run.fs_lat.is_some(),
+            SuiteField::Disk => run.disk.is_some(),
+        }
+    }
+}
+
+/// One typed write to a [`SuiteRun`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TablePatch {
+    System(SystemInfo),
+    MemBw(MemBwRow),
+    IpcBw(IpcBwRow),
+    RemoteBw(Vec<RemoteBwRow>),
+    FileBw(FileBwRow),
+    CacheLat(CacheLatRow),
+    Syscall(SyscallRow),
+    Signal(SignalRow),
+    Proc(ProcRow),
+    Ctx(CtxRow),
+    PipeLat(PipeLatRow),
+    TcpRpc(TcpRpcRow),
+    UdpRpc(UdpRpcRow),
+    RemoteLat(Vec<RemoteLatRow>),
+    Connect(ConnectRow),
+    FsLat(FsLatRow),
+    Disk(DiskRow),
+}
+
+impl TablePatch {
+    /// The field this patch writes.
+    #[must_use]
+    pub fn field(&self) -> SuiteField {
+        match self {
+            TablePatch::System(_) => SuiteField::System,
+            TablePatch::MemBw(_) => SuiteField::MemBw,
+            TablePatch::IpcBw(_) => SuiteField::IpcBw,
+            TablePatch::RemoteBw(_) => SuiteField::RemoteBw,
+            TablePatch::FileBw(_) => SuiteField::FileBw,
+            TablePatch::CacheLat(_) => SuiteField::CacheLat,
+            TablePatch::Syscall(_) => SuiteField::Syscall,
+            TablePatch::Signal(_) => SuiteField::Signal,
+            TablePatch::Proc(_) => SuiteField::Proc,
+            TablePatch::Ctx(_) => SuiteField::Ctx,
+            TablePatch::PipeLat(_) => SuiteField::PipeLat,
+            TablePatch::TcpRpc(_) => SuiteField::TcpRpc,
+            TablePatch::UdpRpc(_) => SuiteField::UdpRpc,
+            TablePatch::RemoteLat(_) => SuiteField::RemoteLat,
+            TablePatch::Connect(_) => SuiteField::Connect,
+            TablePatch::FsLat(_) => SuiteField::FsLat,
+            TablePatch::Disk(_) => SuiteField::Disk,
+        }
+    }
+
+    /// Write this patch into `run`, replacing any previous value.
+    pub fn apply(self, run: &mut SuiteRun) {
+        match self {
+            TablePatch::System(v) => run.system = Some(v),
+            TablePatch::MemBw(v) => run.mem_bw = Some(v),
+            TablePatch::IpcBw(v) => run.ipc_bw = Some(v),
+            TablePatch::RemoteBw(v) => run.remote_bw = v,
+            TablePatch::FileBw(v) => run.file_bw = Some(v),
+            TablePatch::CacheLat(v) => run.cache_lat = Some(v),
+            TablePatch::Syscall(v) => run.syscall = Some(v),
+            TablePatch::Signal(v) => run.signal = Some(v),
+            TablePatch::Proc(v) => run.proc = Some(v),
+            TablePatch::Ctx(v) => run.ctx = Some(v),
+            TablePatch::PipeLat(v) => run.pipe_lat = Some(v),
+            TablePatch::TcpRpc(v) => run.tcp_rpc = Some(v),
+            TablePatch::UdpRpc(v) => run.udp_rpc = Some(v),
+            TablePatch::RemoteLat(v) => run.remote_lat = v,
+            TablePatch::Connect(v) => run.connect = Some(v),
+            TablePatch::FsLat(v) => run.fs_lat = Some(v),
+            TablePatch::Disk(v) => run.disk = Some(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_populates_exactly_the_named_field() {
+        let mut run = SuiteRun::default();
+        let patch = TablePatch::Syscall(SyscallRow {
+            system: "t".into(),
+            syscall_us: 4.7,
+        });
+        let field = patch.field();
+        assert_eq!(field, SuiteField::Syscall);
+        assert!(!field.is_present_in(&run));
+        patch.apply(&mut run);
+        assert!(field.is_present_in(&run));
+        // Every other field is still absent.
+        let others = SuiteField::ALL.iter().filter(|f| **f != field);
+        for f in others {
+            assert!(!f.is_present_in(&run), "{f:?} unexpectedly present");
+        }
+    }
+
+    #[test]
+    fn vector_fields_count_presence_by_non_empty() {
+        let mut run = SuiteRun::default();
+        assert!(!SuiteField::RemoteBw.is_present_in(&run));
+        TablePatch::RemoteBw(vec![RemoteBwRow {
+            system: "t".into(),
+            network: "fddi".into(),
+            tcp: 9.5,
+        }])
+        .apply(&mut run);
+        assert!(SuiteField::RemoteBw.is_present_in(&run));
+    }
+}

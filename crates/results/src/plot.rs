@@ -131,10 +131,10 @@ impl AsciiPlot {
                 if !px.is_finite() || !py.is_finite() {
                     continue;
                 }
-                let col = ((px - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
-                    as usize;
-                let row = ((py - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
-                    as usize;
+                let col =
+                    ((px - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let row =
+                    ((py - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - row.min(self.height - 1);
                 grid[row][col.min(self.width - 1)] = glyph;
             }
@@ -175,10 +175,7 @@ impl AsciiPlot {
         } else {
             format!("{x_max:.0}")
         };
-        let gap = self
-            .width
-            .saturating_sub(x_lo.len() + x_hi.len())
-            .max(1);
+        let gap = self.width.saturating_sub(x_lo.len() + x_hi.len()).max(1);
         let _ = writeln!(
             out,
             "{} {x_lo}{}{x_hi}  {}",
@@ -217,10 +214,7 @@ mod tests {
     #[test]
     fn glyphs_land_in_expected_corners() {
         let out = simple_plot().render();
-        let grid: Vec<&str> = out
-            .lines()
-            .filter(|l| l.contains('|'))
-            .collect();
+        let grid: Vec<&str> = out.lines().filter(|l| l.contains('|')).collect();
         // Top row holds the y-max points: "up" ends high (right), "down"
         // starts high (left).
         let top = grid.first().unwrap();
@@ -257,7 +251,10 @@ mod tests {
     #[test]
     fn non_finite_points_are_skipped() {
         let out = AsciiPlot::new("nan", 40, 10)
-            .series(Series::new("n", vec![(1.0, f64::NAN), (2.0, 7.0), (f64::INFINITY, 3.0)]))
+            .series(Series::new(
+                "n",
+                vec![(1.0, f64::NAN), (2.0, 7.0), (f64::INFINITY, 3.0)],
+            ))
             .render();
         assert!(out.contains('*'));
     }

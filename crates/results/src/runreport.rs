@@ -1,0 +1,299 @@
+//! Per-benchmark execution outcomes and measurement provenance.
+//!
+//! A suite run no longer succeeds or dies as a unit: the engine records one
+//! [`BenchRecord`] per registry entry, whatever happened, and the resulting
+//! [`RunReport`] travels next to the partial `SuiteRun` it annotates. This
+//! is the machine-readable answer to "which numbers can I trust, and what
+//! did the harness actually do to produce them?" (paper §3.4 discusses the
+//! methodology; here we archive it per row).
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// What happened to one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchStatus {
+    /// Ran to completion; its patches were applied to the `SuiteRun`.
+    Ok,
+    /// Panicked or reported an error; reason attached.
+    Failed(String),
+    /// Did not finish inside the engine's per-benchmark budget.
+    TimedOut {
+        /// The budget that was exceeded, milliseconds.
+        limit_ms: u64,
+    },
+    /// Pre-flight probe found the substrate missing (no loopback, no
+    /// writable temp dir, ...); reason attached.
+    Skipped(String),
+}
+
+impl BenchStatus {
+    /// Did the benchmark produce usable results?
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, BenchStatus::Ok)
+    }
+
+    /// Short fixed-width tag for tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            BenchStatus::Ok => "ok",
+            BenchStatus::Failed(_) => "failed",
+            BenchStatus::TimedOut { .. } => "timeout",
+            BenchStatus::Skipped(_) => "skipped",
+        }
+    }
+
+    /// Human-readable detail (empty for `Ok`).
+    #[must_use]
+    pub fn detail(&self) -> String {
+        match self {
+            BenchStatus::Ok => String::new(),
+            BenchStatus::Failed(reason) | BenchStatus::Skipped(reason) => reason.clone(),
+            BenchStatus::TimedOut { limit_ms } => format!("exceeded {limit_ms} ms budget"),
+        }
+    }
+}
+
+// The derive shim only handles structs; enums lower by hand to a tagged
+// object so archived reports stay self-describing.
+impl Serialize for BenchStatus {
+    fn to_value(&self) -> Value {
+        let mut obj = Value::object();
+        obj.set("status", Value::Str(self.label().to_owned()));
+        match self {
+            BenchStatus::Ok => {}
+            BenchStatus::Failed(reason) | BenchStatus::Skipped(reason) => {
+                obj.set("reason", Value::Str(reason.clone()));
+            }
+            BenchStatus::TimedOut { limit_ms } => {
+                obj.set("limit_ms", Value::Int(i128::from(*limit_ms)));
+            }
+        }
+        obj
+    }
+}
+
+impl Deserialize for BenchStatus {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let obj = value.expect_object("BenchStatus")?;
+        let tag = String::from_value(obj.field("status")).map_err(|e| e.in_field("status"))?;
+        match tag.as_str() {
+            "ok" => Ok(BenchStatus::Ok),
+            "failed" => Ok(BenchStatus::Failed(
+                String::from_value(obj.field("reason")).map_err(|e| e.in_field("reason"))?,
+            )),
+            "skipped" => Ok(BenchStatus::Skipped(
+                String::from_value(obj.field("reason")).map_err(|e| e.in_field("reason"))?,
+            )),
+            "timeout" => Ok(BenchStatus::TimedOut {
+                limit_ms: u64::from_value(obj.field("limit_ms"))
+                    .map_err(|e| e.in_field("limit_ms"))?,
+            }),
+            other => Err(DeError::new(format!("unknown BenchStatus tag `{other}`"))),
+        }
+    }
+}
+
+/// How a benchmark's headline numbers were obtained: the calibration
+/// decisions and sample dispersion of its *last* harness measurement,
+/// plus how many measurements it made in total.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Timed repetitions per measurement.
+    pub repetitions: u32,
+    /// Untimed warm-up runs before sampling.
+    pub warmup_runs: u32,
+    /// Calibrated loop iterations per timed interval.
+    pub calibrated_iterations: u64,
+    /// Probed clock resolution, ns.
+    pub clock_resolution_ns: f64,
+    /// Fastest repetition, ns per operation.
+    pub sample_min_ns: f64,
+    /// Median repetition, ns per operation.
+    pub sample_median_ns: f64,
+    /// Slowest repetition, ns per operation.
+    pub sample_max_ns: f64,
+    /// `(median - min) / min` dispersion; near zero on a quiet machine.
+    pub min_median_gap: f64,
+    /// Coefficient of variation (stddev / mean) across repetitions.
+    pub cv: f64,
+    /// Harness measurements the benchmark performed in total.
+    pub measure_calls: u32,
+}
+
+/// One registry entry's outcome within a suite run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Registry name (`lat_syscall`, `bw_mem`, ...).
+    pub name: String,
+    /// What the benchmark produces ("Table 7", ...).
+    pub produces: String,
+    /// Outcome.
+    pub status: BenchStatus,
+    /// Attempts made (> 1 when the noise-retry policy re-ran it).
+    pub attempts: u32,
+    /// Wall-clock time spent across all attempts, milliseconds.
+    pub wall_ms: f64,
+    /// Whether the engine serialized this benchmark (interference-sensitive).
+    pub exclusive: bool,
+    /// Measurement provenance, when the benchmark ran far enough to record
+    /// any (absent for skips and derived/model entries).
+    pub provenance: Option<Provenance>,
+}
+
+/// Everything the engine can say about a suite run, beyond the results.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// One record per registry entry, in registry order.
+    pub records: Vec<BenchRecord>,
+}
+
+impl RunReport {
+    /// Look up a record by benchmark name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&BenchRecord> {
+        self.records.iter().find(|r| r.name == name)
+    }
+
+    /// Count of records with the given status label.
+    #[must_use]
+    pub fn count(&self, label: &str) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.status.label() == label)
+            .count()
+    }
+
+    /// Were all benchmarks that actually ran successful?
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.records
+            .iter()
+            .all(|r| matches!(r.status, BenchStatus::Ok | BenchStatus::Skipped(_)))
+    }
+
+    /// Render the report as a fixed-width text table with a trailing
+    /// status summary line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:<22} {:<8} {:>3} {:>9}  {}\n",
+            "benchmark", "produces", "status", "try", "wall(ms)", "detail"
+        ));
+        for r in &self.records {
+            let detail = r.status.detail();
+            out.push_str(&format!(
+                "{:<16} {:<22} {:<8} {:>3} {:>9.1}  {}\n",
+                r.name,
+                r.produces,
+                r.status.label(),
+                r.attempts,
+                r.wall_ms,
+                detail
+            ));
+        }
+        out.push_str(&format!(
+            "{} ok, {} failed, {} timeout, {} skipped of {} benchmarks\n",
+            self.count("ok"),
+            self.count("failed"),
+            self.count("timeout"),
+            self.count("skipped"),
+            self.records.len()
+        ));
+        out
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, status: BenchStatus) -> BenchRecord {
+        BenchRecord {
+            name: name.into(),
+            produces: "Table 7".into(),
+            status,
+            attempts: 1,
+            wall_ms: 12.5,
+            exclusive: false,
+            provenance: None,
+        }
+    }
+
+    #[test]
+    fn status_labels_and_details() {
+        assert!(BenchStatus::Ok.is_ok());
+        assert_eq!(BenchStatus::Ok.detail(), "");
+        let failed = BenchStatus::Failed("index out of bounds".into());
+        assert!(!failed.is_ok());
+        assert_eq!(failed.label(), "failed");
+        assert_eq!(
+            BenchStatus::TimedOut { limit_ms: 500 }.detail(),
+            "exceeded 500 ms budget"
+        );
+    }
+
+    #[test]
+    fn every_status_roundtrips_through_value() {
+        let statuses = [
+            BenchStatus::Ok,
+            BenchStatus::Failed("boom".into()),
+            BenchStatus::TimedOut { limit_ms: 1234 },
+            BenchStatus::Skipped("no loopback".into()),
+        ];
+        for s in &statuses {
+            let back = BenchStatus::from_value(&s.to_value()).expect("roundtrip");
+            assert_eq!(&back, s);
+        }
+    }
+
+    #[test]
+    fn report_counts_and_render() {
+        let report = RunReport {
+            records: vec![
+                record("lat_syscall", BenchStatus::Ok),
+                record("bw_mem", BenchStatus::Failed("forced panic".into())),
+                record("lat_ctx", BenchStatus::TimedOut { limit_ms: 100 }),
+                record("lat_disk", BenchStatus::Skipped("no raw device".into())),
+            ],
+        };
+        assert_eq!(report.count("ok"), 1);
+        assert_eq!(report.count("failed"), 1);
+        assert!(!report.all_ok());
+        assert!(report.find("bw_mem").is_some());
+        let text = report.render();
+        assert!(text.contains("forced panic"));
+        assert!(text.contains("1 ok, 1 failed, 1 timeout, 1 skipped of 4"));
+    }
+
+    #[test]
+    fn record_with_provenance_roundtrips() {
+        let mut rec = record("lat_syscall", BenchStatus::Ok);
+        rec.provenance = Some(Provenance {
+            repetitions: 11,
+            warmup_runs: 2,
+            calibrated_iterations: 4096,
+            clock_resolution_ns: 30.0,
+            sample_min_ns: 100.0,
+            sample_median_ns: 104.0,
+            sample_max_ns: 131.0,
+            min_median_gap: 0.04,
+            cv: 0.09,
+            measure_calls: 3,
+        });
+        let report = RunReport {
+            records: vec![rec.clone()],
+        };
+        let back = RunReport::from_value(&report.to_value()).expect("roundtrip");
+        assert_eq!(back.records[0], rec);
+    }
+}

@@ -58,9 +58,12 @@ pub fn host_summary(name: &str, run: &SuiteRun) -> String {
     line(
         &mut out,
         "  fork / fork+exec / sh -c (ms)",
-        run.proc
-            .as_ref()
-            .map(|r| format!("{:.2} / {:.2} / {:.2}", r.fork_ms, r.fork_exec_ms, r.fork_sh_ms)),
+        run.proc.as_ref().map(|r| {
+            format!(
+                "{:.2} / {:.2} / {:.2}",
+                r.fork_ms, r.fork_exec_ms, r.fork_sh_ms
+            )
+        }),
     );
     line(
         &mut out,
@@ -70,7 +73,11 @@ pub fn host_summary(name: &str, run: &SuiteRun) -> String {
             .map(|r| format!("{} .. {}", us(r.p2_0k), us(r.p8_32k))),
     );
     let _ = writeln!(out, "Communication latencies in microseconds");
-    line(&mut out, "  pipe", run.pipe_lat.as_ref().map(|r| us(r.pipe_us)));
+    line(
+        &mut out,
+        "  pipe",
+        run.pipe_lat.as_ref().map(|r| us(r.pipe_us)),
+    );
     line(
         &mut out,
         "  TCP / RPC-TCP",

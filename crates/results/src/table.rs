@@ -212,8 +212,8 @@ mod tests {
     use super::*;
 
     fn sample() -> Table {
-        let mut t = Table::new("Latency (us)", &["System", "lat"])
-            .sorted_on(1, SortOrder::LowerIsBetter);
+        let mut t =
+            Table::new("Latency (us)", &["System", "lat"]).sorted_on(1, SortOrder::LowerIsBetter);
         t.row(vec![Cell::text("slow"), Cell::num(30.0, 0)]);
         t.row(vec![Cell::text("fast"), Cell::num(3.0, 0)]);
         t.row(vec![Cell::text("mid"), Cell::num(10.0, 0)]);
@@ -224,10 +224,7 @@ mod tests {
     fn sorts_best_to_worst_lower_better() {
         let mut t = sample();
         t.sort();
-        assert_eq!(
-            t.column_keys(1),
-            vec![Some(3.0), Some(10.0), Some(30.0)]
-        );
+        assert_eq!(t.column_keys(1), vec![Some(3.0), Some(10.0), Some(30.0)]);
     }
 
     #[test]

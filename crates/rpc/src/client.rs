@@ -137,17 +137,15 @@ pub fn measure_rpc_latency(
     round_trips: usize,
 ) -> Latency {
     assert!(round_trips > 0, "need at least one round trip");
-    let mut client = RpcClient::connect(
-        registry,
-        crate::ECHO_PROGRAM,
-        crate::ECHO_VERSION,
-        protocol,
-    )
-    .expect("connect to echo service");
+    let mut client =
+        RpcClient::connect(registry, crate::ECHO_PROGRAM, crate::ECHO_VERSION, protocol)
+            .expect("connect to echo service");
     let word = Bytes::from_static(b"lmbw");
     h.measure_block(round_trips as u64, || {
         for _ in 0..round_trips {
-            let reply = client.call(crate::ECHO_PROC, word.clone()).expect("echo call");
+            let reply = client
+                .call(crate::ECHO_PROC, word.clone())
+                .expect("echo call");
             debug_assert_eq!(reply, word);
         }
     })

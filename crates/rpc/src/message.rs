@@ -221,8 +221,8 @@ impl RpcMessage {
                             let consumed = total - d.remaining();
                             Ok(RpcMessage::reply_success(xid, bytes.slice(consumed..)))
                         } else {
-                            let fault = RpcFault::from_wire(accept)
-                                .unwrap_or(RpcFault::GarbageArguments);
+                            let fault =
+                                RpcFault::from_wire(accept).unwrap_or(RpcFault::GarbageArguments);
                             Ok(RpcMessage::reply_fault(xid, fault))
                         }
                     }

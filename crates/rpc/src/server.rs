@@ -108,13 +108,7 @@ impl RpcServer {
     }
 
     /// Registers a procedure and announces the program in the registry.
-    pub fn register(
-        &self,
-        program: u32,
-        version: u32,
-        procedure: u32,
-        handler: Procedure,
-    ) {
+    pub fn register(&self, program: u32, version: u32, procedure: u32, handler: Procedure) {
         let mut d = self.dispatch.write();
         d.procs.insert((program, version, procedure), handler);
         let versions = d.versions.entry(program).or_default();
@@ -162,11 +156,7 @@ fn tcp_loop(listener: &TcpListener, dispatch: &Arc<RwLock<Dispatch>>, stop: &Arc
         let _ = conn.set_nodelay(true);
         // Serve this connection until it closes; benchmark clients hold one
         // connection for the whole run.
-        loop {
-            let record = match read_record(&mut conn) {
-                Ok(r) => r,
-                Err(_) => break,
-            };
+        while let Ok(record) = read_record(&mut conn) {
             let reply = match RpcMessage::decode(record) {
                 Ok(call) => dispatch.read().answer(call),
                 Err(_) => break,
@@ -227,8 +217,7 @@ mod tests {
     fn dispatch_faults_are_specific() {
         let d = {
             let mut d = Dispatch::default();
-            d.procs
-                .insert((5, 1, 0), Box::new(Ok) as Procedure);
+            d.procs.insert((5, 1, 0), Box::new(Ok) as Procedure);
             d.versions.insert(5, vec![1]);
             d
         };

@@ -1,0 +1,139 @@
+//! Fault isolation via a forked child with a kill-on-timeout watchdog.
+//!
+//! The suite engine needs to survive a benchmark that segfaults, wedges in
+//! an uninterruptible syscall, or loops forever. A thread can contain a
+//! panic but not a stuck syscall; a forked child can be `SIGKILL`ed no
+//! matter what it is doing. [`run_isolated`] runs a closure in a fresh
+//! child process and reports how it ended, enforcing a wall-clock budget
+//! from the parent.
+
+use crate::error::{Errno, Result};
+use crate::process::{decode_wait_status, exit_immediately, fork, ExitStatus, ForkResult, Pid};
+use std::time::{Duration, Instant};
+
+/// How an isolated child ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildOutcome {
+    /// Clean `_exit` with this code.
+    Exited(i32),
+    /// Killed by this signal (a crash — SIGSEGV, SIGBUS, ...).
+    Signaled(i32),
+    /// Still running at the deadline; the watchdog SIGKILLed it.
+    TimedOut,
+}
+
+impl ChildOutcome {
+    /// True for a clean `_exit(0)`.
+    #[must_use]
+    pub fn success(self) -> bool {
+        self == ChildOutcome::Exited(0)
+    }
+}
+
+/// Polling interval for the parent's `WNOHANG` wait loop. Coarse enough to
+/// stay invisible next to benchmark runtimes, fine enough that a timeout is
+/// detected promptly.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Runs `child_fn` in a forked child, waits at most `timeout`, and reports
+/// the outcome. The child `_exit`s with the closure's return value; on
+/// timeout it is SIGKILLed and reaped, so no zombie survives the call.
+pub fn run_isolated(timeout: Duration, child_fn: impl FnOnce() -> i32) -> Result<ChildOutcome> {
+    let pid = match fork()? {
+        ForkResult::Child => {
+            let code = child_fn();
+            exit_immediately(code & 0x7f);
+        }
+        ForkResult::Parent(pid) => pid,
+    };
+    let deadline = Instant::now() + timeout;
+    loop {
+        match try_wait(pid)? {
+            Some(ExitStatus::Exited(code)) => return Ok(ChildOutcome::Exited(code)),
+            Some(ExitStatus::Signaled(sig)) => return Ok(ChildOutcome::Signaled(sig)),
+            Some(ExitStatus::Other(_)) | None => {}
+        }
+        if Instant::now() >= deadline {
+            kill_and_reap(pid)?;
+            return Ok(ChildOutcome::TimedOut);
+        }
+        std::thread::sleep(POLL_INTERVAL.min(deadline.saturating_duration_since(Instant::now())));
+    }
+}
+
+/// Non-blocking `waitpid`: `Ok(None)` while the child is still running.
+fn try_wait(pid: Pid) -> Result<Option<ExitStatus>> {
+    let mut status: i32 = 0;
+    loop {
+        // SAFETY: `status` is a valid out-pointer for the duration of the
+        // call; WNOHANG makes the wait non-blocking.
+        let ret = unsafe { libc::waitpid(pid.0, &mut status, libc::WNOHANG) };
+        if ret < 0 {
+            let err = Errno::last();
+            if err.is_interrupted() {
+                continue;
+            }
+            return Err(err);
+        }
+        if ret == 0 {
+            return Ok(None);
+        }
+        return Ok(Some(decode_wait_status(status)));
+    }
+}
+
+/// SIGKILL the child and block until it is reaped.
+fn kill_and_reap(pid: Pid) -> Result<()> {
+    // SAFETY: kill takes a pid and signal number, no pointers.
+    let ret = unsafe { libc::kill(pid.0, libc::SIGKILL) };
+    if ret < 0 {
+        return Err(Errno::last());
+    }
+    crate::process::waitpid(pid)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_child_reports_its_exit_code() {
+        let outcome = run_isolated(Duration::from_secs(5), || 7).unwrap();
+        assert_eq!(outcome, ChildOutcome::Exited(7));
+        assert!(!outcome.success());
+        assert!(run_isolated(Duration::from_secs(5), || 0)
+            .unwrap()
+            .success());
+    }
+
+    #[test]
+    fn crashing_child_reports_the_signal() {
+        let outcome = run_isolated(Duration::from_secs(5), || {
+            // SAFETY: killing ourselves takes no pointers and never returns
+            // control to the closure.
+            unsafe {
+                libc::kill(libc::getpid(), libc::SIGTERM);
+            }
+            0
+        })
+        .unwrap();
+        assert_eq!(outcome, ChildOutcome::Signaled(libc::SIGTERM));
+    }
+
+    #[test]
+    fn hung_child_is_killed_at_the_deadline() {
+        let started = Instant::now();
+        let outcome = run_isolated(Duration::from_millis(50), || {
+            std::thread::sleep(Duration::from_secs(600));
+            0
+        })
+        .unwrap();
+        assert_eq!(outcome, ChildOutcome::TimedOut);
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "watchdog took {:?}",
+            started.elapsed()
+        );
+    }
+}

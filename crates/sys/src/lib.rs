@@ -13,6 +13,7 @@
 
 pub mod error;
 pub mod fd;
+pub mod isolate;
 pub mod mem;
 pub mod pipe;
 pub mod process;
@@ -21,6 +22,7 @@ pub mod sock;
 
 pub use error::{Errno, Result};
 pub use fd::Fd;
+pub use isolate::{run_isolated, ChildOutcome};
 pub use mem::FileMapping;
 pub use pipe::Pipe;
 pub use process::{fork, getpid, waitpid, ExitStatus, ForkResult, Pid};

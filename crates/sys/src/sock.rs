@@ -39,7 +39,13 @@ pub fn socket_buffer_sizes<S: AsRawFd>(sock: &S) -> Result<(usize, usize)> {
         let mut len = std::mem::size_of::<libc::c_int>() as libc::socklen_t;
         // SAFETY: `val`/`len` are valid out-pointers sized for a c_int.
         check_int(unsafe {
-            libc::getsockopt(fd, libc::SOL_SOCKET, opt, (&mut val as *mut libc::c_int).cast(), &mut len)
+            libc::getsockopt(
+                fd,
+                libc::SOL_SOCKET,
+                opt,
+                (&mut val as *mut libc::c_int).cast(),
+                &mut len,
+            )
         })?;
         out[i] = val as usize;
     }

@@ -13,12 +13,18 @@
 
 use crate::calibrate::{calibrate_iterations, time_block, time_per_iteration};
 use crate::clock::ClockInfo;
+use crate::record::{MeasureEvent, Recorder};
 use crate::result::Measurement;
 use crate::stats::{Samples, SummaryPolicy};
 use std::time::Duration;
 
 /// Tunable harness parameters.
+///
+/// Construct via [`Options::paper`] or [`Options::quick`] and refine with
+/// the `with_*` builders; the struct is `#[non_exhaustive]` so future
+/// engine knobs can be added without breaking downstream constructors.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct Options {
     /// Untimed runs of the body before measurement (cache warm-up).
     pub warmup_runs: u32,
@@ -73,6 +79,24 @@ impl Options {
         self.repetitions = repetitions;
         self
     }
+
+    /// Replaces the warm-up run count.
+    pub fn with_warmup_runs(mut self, warmup_runs: u32) -> Self {
+        self.warmup_runs = warmup_runs;
+        self
+    }
+
+    /// Replaces the clock-resolution multiple each interval must span.
+    pub fn with_resolution_multiple(mut self, resolution_multiple: u32) -> Self {
+        self.resolution_multiple = resolution_multiple;
+        self
+    }
+
+    /// Replaces the hard floor for each timed interval.
+    pub fn with_min_interval(mut self, min_interval: Duration) -> Self {
+        self.min_interval = min_interval;
+        self
+    }
 }
 
 impl Default for Options {
@@ -86,6 +110,7 @@ impl Default for Options {
 pub struct Harness {
     options: Options,
     clock: ClockInfo,
+    recorder: Option<Recorder>,
 }
 
 impl Harness {
@@ -94,6 +119,25 @@ impl Harness {
         Self {
             options,
             clock: ClockInfo::probe(),
+            recorder: None,
+        }
+    }
+
+    /// Attaches a provenance recorder: every subsequent measurement pushes
+    /// a [`MeasureEvent`] describing its calibration and samples.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    fn record(&self, iterations: u64, samples: &Samples) {
+        if let Some(recorder) = &self.recorder {
+            recorder.lock().expect("recorder lock").push(MeasureEvent {
+                iterations,
+                warmup_runs: self.options.warmup_runs,
+                clock_resolution_ns: self.clock.resolution_ns,
+                per_op_ns: samples.values().to_vec(),
+            });
         }
     }
 
@@ -128,6 +172,7 @@ impl Harness {
         for _ in 0..self.options.repetitions {
             samples.push(time_per_iteration(cal.iterations, &mut body));
         }
+        self.record(cal.iterations, &samples);
         Measurement::from_per_op_samples(samples, cal.iterations, self.options.policy)
     }
 
@@ -149,6 +194,7 @@ impl Harness {
         for _ in 0..self.options.repetitions {
             samples.push(time_block(ops, &mut body));
         }
+        self.record(ops, &samples);
         Measurement::from_per_op_samples(samples, ops, self.options.policy)
     }
 
@@ -271,5 +317,41 @@ mod tests {
     #[should_panic(expected = "at least one repetition")]
     fn zero_repetitions_rejected() {
         Options::quick().with_repetitions(0);
+    }
+
+    #[test]
+    fn builders_replace_every_knob() {
+        let o = Options::quick()
+            .with_warmup_runs(7)
+            .with_repetitions(9)
+            .with_resolution_multiple(50)
+            .with_min_interval(Duration::from_micros(123))
+            .with_policy(SummaryPolicy::Median);
+        assert_eq!(o.warmup_runs, 7);
+        assert_eq!(o.repetitions, 9);
+        assert_eq!(o.resolution_multiple, 50);
+        assert_eq!(o.min_interval, Duration::from_micros(123));
+        assert_eq!(o.policy, SummaryPolicy::Median);
+    }
+
+    #[test]
+    fn recorder_captures_calibration_and_samples() {
+        let recorder = crate::record::new_recorder();
+        let h = Harness::new(Options::quick()).with_recorder(recorder.clone());
+        h.measure(|| {
+            std::hint::black_box(1u64 + 1);
+        });
+        h.measure_block(512, || {
+            std::hint::black_box((0..512u64).sum::<u64>());
+        });
+        let events = crate::record::take_events(&recorder);
+        assert_eq!(events.len(), 2);
+        assert!(events[0].iterations > 0, "calibrated count missing");
+        assert_eq!(events[1].iterations, 512, "block ops recorded");
+        for e in &events {
+            assert_eq!(e.per_op_ns.len() as u32, Options::quick().repetitions);
+            assert_eq!(e.warmup_runs, Options::quick().warmup_runs);
+            assert!(e.clock_resolution_ns > 0.0);
+        }
     }
 }

@@ -30,17 +30,19 @@
 //! ```
 
 pub mod calibrate;
-pub mod cycle;
 pub mod clock;
+pub mod cycle;
 pub mod harness;
+pub mod record;
 pub mod result;
 pub mod sizing;
 pub mod stats;
 
 pub use calibrate::{calibrate_iterations, Calibration};
-pub use cycle::{estimate_clock, ClockEstimate};
 pub use clock::{clock_overhead_ns, clock_resolution_ns, ClockInfo};
+pub use cycle::{estimate_clock, ClockEstimate};
 pub use harness::{Harness, Options};
+pub use record::{new_recorder, take_events, MeasureEvent, Recorder};
 pub use result::{Bandwidth, Latency, Measurement, TimeUnit};
 pub use sizing::{probe_available_memory, MemorySizer};
 pub use stats::{Samples, SummaryPolicy};

@@ -1,0 +1,144 @@
+//! Measurement provenance: what the harness actually did to produce a
+//! number.
+//!
+//! The paper's §3.4 discusses clock resolution, warm-up and run-to-run
+//! variability at length but the original tools never *recorded* any of
+//! it — a result row said "6 µs" with no way to ask how noisy the samples
+//! were or what iteration count the calibrator picked. A [`Recorder`]
+//! attached to a [`crate::Harness`] captures one [`MeasureEvent`] per
+//! measurement so the suite engine can archive calibration decisions and
+//! dispersion alongside every result.
+
+use std::sync::{Arc, Mutex};
+
+/// One harness measurement, as it happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureEvent {
+    /// Loop iterations per timed interval (calibrated, or the caller's
+    /// `ops` for block measurements).
+    pub iterations: u64,
+    /// Untimed warm-up runs before the first sample.
+    pub warmup_runs: u32,
+    /// Probed clock resolution at measurement time, ns.
+    pub clock_resolution_ns: f64,
+    /// Per-operation time of every repetition, ns, in collection order.
+    pub per_op_ns: Vec<f64>,
+}
+
+impl MeasureEvent {
+    /// Fastest repetition, ns.
+    #[must_use]
+    pub fn min_ns(&self) -> f64 {
+        self.per_op_ns.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Slowest repetition, ns.
+    #[must_use]
+    pub fn max_ns(&self) -> f64 {
+        self.per_op_ns
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Median repetition, ns.
+    #[must_use]
+    pub fn median_ns(&self) -> f64 {
+        let mut sorted = self.per_op_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        match sorted.len() {
+            0 => f64::NAN,
+            n if n % 2 == 1 => sorted[n / 2],
+            n => (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0,
+        }
+    }
+
+    /// `(median - min) / min`: how far the typical sample sits above the
+    /// paper's preferred minimum. Near zero means a quiet machine.
+    #[must_use]
+    pub fn min_median_gap(&self) -> f64 {
+        let (min, median) = (self.min_ns(), self.median_ns());
+        if min > 0.0 {
+            (median - min) / min
+        } else {
+            0.0
+        }
+    }
+
+    /// Coefficient of variation (stddev / mean) across repetitions.
+    #[must_use]
+    pub fn cv(&self) -> f64 {
+        let n = self.per_op_ns.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.per_op_ns.iter().sum::<f64>() / n as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .per_op_ns
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// Shared event sink: clone one end into a [`crate::Harness`], keep the
+/// other to read events back after the benchmark body returns (or is
+/// abandoned on timeout — the sink stays readable either way).
+pub type Recorder = Arc<Mutex<Vec<MeasureEvent>>>;
+
+/// A fresh, empty recorder.
+#[must_use]
+pub fn new_recorder() -> Recorder {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+/// Drain every event recorded so far.
+#[must_use]
+pub fn take_events(recorder: &Recorder) -> Vec<MeasureEvent> {
+    std::mem::take(&mut *recorder.lock().expect("recorder lock"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(samples: &[f64]) -> MeasureEvent {
+        MeasureEvent {
+            iterations: 100,
+            warmup_runs: 1,
+            clock_resolution_ns: 30.0,
+            per_op_ns: samples.to_vec(),
+        }
+    }
+
+    #[test]
+    fn dispersion_metrics() {
+        let e = event(&[10.0, 12.0, 11.0, 20.0]);
+        assert_eq!(e.min_ns(), 10.0);
+        assert_eq!(e.max_ns(), 20.0);
+        assert_eq!(e.median_ns(), 11.5);
+        assert!((e.min_median_gap() - 0.15).abs() < 1e-12);
+        assert!(e.cv() > 0.0);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_dispersion() {
+        let e = event(&[5.0, 5.0, 5.0]);
+        assert_eq!(e.min_median_gap(), 0.0);
+        assert_eq!(e.cv(), 0.0);
+    }
+
+    #[test]
+    fn recorder_roundtrip() {
+        let r = new_recorder();
+        r.lock().unwrap().push(event(&[1.0]));
+        let events = take_events(&r);
+        assert_eq!(events.len(), 1);
+        assert!(take_events(&r).is_empty(), "take drains");
+    }
+}

@@ -53,7 +53,11 @@ pub struct Measurement {
 
 impl Measurement {
     /// Builds a measurement from per-operation samples (nanoseconds per op).
-    pub fn from_per_op_samples(samples: Samples, ops_per_sample: u64, policy: SummaryPolicy) -> Self {
+    pub fn from_per_op_samples(
+        samples: Samples,
+        ops_per_sample: u64,
+        policy: SummaryPolicy,
+    ) -> Self {
         Self {
             samples,
             ops_per_sample,
@@ -211,7 +215,10 @@ mod tests {
     fn per_op_respects_policy() {
         let m = meas(&[100.0, 150.0, 120.0]);
         assert_eq!(m.per_op_ns(), 100.0);
-        assert_eq!(m.clone().with_policy(SummaryPolicy::Median).per_op_ns(), 120.0);
+        assert_eq!(
+            m.clone().with_policy(SummaryPolicy::Median).per_op_ns(),
+            120.0
+        );
     }
 
     #[test]
@@ -260,15 +267,27 @@ mod tests {
     #[test]
     fn display_precision_varies_with_magnitude() {
         assert_eq!(
-            Latency { value: 123.4, unit: TimeUnit::Micros }.to_string(),
+            Latency {
+                value: 123.4,
+                unit: TimeUnit::Micros
+            }
+            .to_string(),
             "123us"
         );
         assert_eq!(
-            Latency { value: 12.34, unit: TimeUnit::Micros }.to_string(),
+            Latency {
+                value: 12.34,
+                unit: TimeUnit::Micros
+            }
+            .to_string(),
             "12.3us"
         );
         assert_eq!(
-            Latency { value: 1.234, unit: TimeUnit::Micros }.to_string(),
+            Latency {
+                value: 1.234,
+                unit: TimeUnit::Micros
+            }
+            .to_string(),
             "1.23us"
         );
         assert_eq!(Bandwidth { mb_per_s: 171.4 }.to_string(), "171 MB/s");

@@ -220,7 +220,10 @@ mod tests {
 
     #[test]
     fn stream_total_bounds() {
-        assert_eq!(MemorySizer::with_available(1 << 30).stream_total(), 50 << 20);
+        assert_eq!(
+            MemorySizer::with_available(1 << 30).stream_total(),
+            50 << 20
+        );
         let tiny = MemorySizer::with_available(2 << 20).stream_total();
         assert_eq!(tiny, 1 << 20);
     }

@@ -47,7 +47,11 @@ fn main() {
         println!(
             "\nLargest footprint switches are {:.1}x the zero-footprint ones \
              (cache refill is the context-switch tax).",
-            if small_max > 0.0 { big_max / small_max } else { f64::NAN }
+            if small_max > 0.0 {
+                big_max / small_max
+            } else {
+                f64::NAN
+            }
         );
     }
 }

@@ -15,7 +15,7 @@ use lmbench::results::dataset;
 fn main() {
     let config = SuiteConfig::quick();
     eprintln!("running full suite (quick scale)...");
-    let run = run_suite(&config);
+    let run = run_suite(&config).expect("valid config");
     let host = run
         .system
         .as_ref()
@@ -25,7 +25,9 @@ fn main() {
     println!("# EXPERIMENTS — paper vs. measured\n");
     println!("Host: {host}.");
     println!("Suite scale: quick (see `SuiteConfig::quick`); rerun with `--paper` sizes for publication-grade numbers.");
-    println!("All 1995 numbers are the paper's, from the embedded dataset (`lmb-results::dataset`).\n");
+    println!(
+        "All 1995 numbers are the paper's, from the embedded dataset (`lmb-results::dataset`).\n"
+    );
     println!("Absolute magnitudes are expected to differ by ~2-3 orders of magnitude after three decades; the reproduction target is the paper's *shape*: orderings, ratios, and crossovers. Each shape check below is also enforced by an integration test in `tests/`.\n");
 
     // Per-table comparisons from the generic machinery.
@@ -50,13 +52,20 @@ fn main() {
     shape(
         "T3: pipes outrun loopback TCP locally (all but two 1995 systems)",
         ipc.pipe > ipc.tcp.unwrap_or(0.0),
-        &format!("pipe {:.0} vs TCP {:.0} MB/s", ipc.pipe, ipc.tcp.unwrap_or(0.0)),
+        &format!(
+            "pipe {:.0} vs TCP {:.0} MB/s",
+            ipc.pipe,
+            ipc.tcp.unwrap_or(0.0)
+        ),
     );
     let file = run.file_bw.as_ref().unwrap();
     shape(
         "T5: memory read beats file re-read (the read(2) copy tax)",
         file.mem_read > file.file_read,
-        &format!("mem {:.0} vs file {:.0} MB/s", file.mem_read, file.file_read),
+        &format!(
+            "mem {:.0} vs file {:.0} MB/s",
+            file.mem_read, file.file_read
+        ),
     );
     let cache = run.cache_lat.as_ref().unwrap();
     shape(
@@ -91,16 +100,28 @@ fn main() {
     shape(
         "T12: RPC/TCP > TCP (the layering cost)",
         tcp_rpc.rpc_tcp_us > tcp_rpc.tcp_us,
-        &format!("TCP {:.1}us vs RPC/TCP {:.1}us", tcp_rpc.tcp_us, tcp_rpc.rpc_tcp_us),
+        &format!(
+            "TCP {:.1}us vs RPC/TCP {:.1}us",
+            tcp_rpc.tcp_us, tcp_rpc.rpc_tcp_us
+        ),
     );
     let udp_rpc = run.udp_rpc.as_ref().unwrap();
     shape(
         "T13: RPC/UDP > UDP",
         udp_rpc.rpc_udp_us > udp_rpc.udp_us,
-        &format!("UDP {:.1}us vs RPC/UDP {:.1}us", udp_rpc.udp_us, udp_rpc.rpc_udp_us),
+        &format!(
+            "UDP {:.1}us vs RPC/UDP {:.1}us",
+            udp_rpc.udp_us, udp_rpc.rpc_udp_us
+        ),
     );
     let bw_rows = &run.remote_bw;
-    let get = |n: &str| bw_rows.iter().find(|r| r.network == n).map(|r| r.tcp).unwrap_or(0.0);
+    let get = |n: &str| {
+        bw_rows
+            .iter()
+            .find(|r| r.network == n)
+            .map(|r| r.tcp)
+            .unwrap_or(0.0)
+    };
     shape(
         "T4: hippi > {100baseT, fddi} > 10baseT; 100baseT competitive with FDDI",
         get("hippi") > get("fddi")
@@ -116,7 +137,13 @@ fn main() {
         ),
     );
     let lat_rows = &run.remote_lat;
-    let getl = |n: &str| lat_rows.iter().find(|r| r.network == n).map(|r| r.tcp_us).unwrap_or(0.0);
+    let getl = |n: &str| {
+        lat_rows
+            .iter()
+            .find(|r| r.network == n)
+            .map(|r| r.tcp_us)
+            .unwrap_or(0.0)
+    };
     shape(
         "T14: 10baseT remote latency worst, hippi best",
         getl("10baseT") > getl("100baseT") && getl("100baseT") > getl("hippi"),
@@ -131,7 +158,11 @@ fn main() {
     shape(
         "T17: per-command overhead supports >1000 sequential ops/s (paper §6.9)",
         1e6 / disk.overhead_us > 1000.0,
-        &format!("{:.0}us/op -> {:.0} ops/s", disk.overhead_us, 1e6 / disk.overhead_us),
+        &format!(
+            "{:.0}us/op -> {:.0} ops/s",
+            disk.overhead_us,
+            1e6 / disk.overhead_us
+        ),
     );
 
     // Figures.
@@ -156,7 +187,8 @@ fn main() {
     );
 
     eprintln!("sweeping Figure 2...");
-    let ctx_curves = lmbench::proc::ctx::sweep(&h, &[2, 4, 8, 16, 20], &[0, 16 << 10, 64 << 10], 150);
+    let ctx_curves =
+        lmbench::proc::ctx::sweep(&h, &[2, 4, 8, 16, 20], &[0, 16 << 10, 64 << 10], 150);
     println!("### Figure 2 — context switch curves (this host)\n");
     println!("```text\n{}```\n", report::figure_2(&ctx_curves));
     let small = &ctx_curves[0];

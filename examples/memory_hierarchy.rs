@@ -25,7 +25,10 @@ fn main() {
     let h = Harness::new(Options::quick());
     let max = 32 << 20;
 
-    eprintln!("sweeping sizes 512B..{}MB (pattern {pattern:?})...", max >> 20);
+    eprintln!(
+        "sweeping sizes 512B..{}MB (pattern {pattern:?})...",
+        max >> 20
+    );
     let sizes = lat::default_sizes(max);
     let strides = vec![64usize, 128, 512, 4096];
     let curves = lat::sweep(&h, &sizes, &strides, pattern);

@@ -24,7 +24,7 @@ fn main() {
         "running full suite at {} scale...",
         if paper_scale { "paper" } else { "quick" }
     );
-    let run = run_suite(&config);
+    let run = run_suite(&config).expect("valid config");
 
     println!("{}", report::full_report(Some(&run)));
 

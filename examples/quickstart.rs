@@ -44,7 +44,10 @@ fn main() {
 
     let bw = lmbench::mem::bw::measure_all(&h, config.copy_bytes);
     println!();
-    println!("memory bandwidth over {} MB buffers:", config.copy_bytes >> 20);
+    println!(
+        "memory bandwidth over {} MB buffers:",
+        config.copy_bytes >> 20
+    );
     println!("  bcopy (libc):     {}", bw.bcopy_libc);
     println!("  bcopy (unrolled): {}", bw.bcopy_unrolled);
     println!("  read:             {}", bw.read);

@@ -10,9 +10,7 @@
 //! ```
 
 use bytes::Bytes;
-use lmbench::rpc::{
-    Protocol, Registry, RpcClient, RpcServer, XdrDecoder, XdrEncoder,
-};
+use lmbench::rpc::{Protocol, Registry, RpcClient, RpcServer, XdrDecoder, XdrEncoder};
 use lmbench::timing::{Harness, Options};
 use parking_lot_store::KvStore;
 
@@ -112,10 +110,7 @@ fn main() {
         let reply = client.call(PROC_GET, e.finish()).expect("get");
         let mut d = XdrDecoder::new(reply);
         assert!(d.get_bool().expect("found flag"));
-        println!(
-            "{protocol:?} GET -> {:?}",
-            d.get_string().expect("value")
-        );
+        println!("{protocol:?} GET -> {:?}", d.get_string().expect("value"));
     }
 
     let mut client =

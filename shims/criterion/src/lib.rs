@@ -1,0 +1,283 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the configuration, group, and bencher surface the
+//! `crates/bench` suite uses, backed by a simple but real measurement
+//! loop: calibrate an iteration batch against the measurement window,
+//! time `sample_size` batches, and report the median per-iteration time
+//! (plus derived throughput when one is declared). No statistics engine,
+//! no HTML reports — `cargo bench` still runs every benchmark and prints
+//! one line per measurement.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(700),
+        }
+    }
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    #[must_use]
+    pub fn warm_up_time(mut self, window: Duration) -> Self {
+        self.warm_up_time = window;
+        self
+    }
+
+    #[must_use]
+    pub fn measurement_time(mut self, window: Duration) -> Self {
+        self.measurement_time = window;
+        self
+    }
+
+    /// The real crate parses `cargo bench` CLI flags here; the shim keeps
+    /// its compiled-in configuration.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(
+            &id.full_name,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            None,
+            f,
+        );
+        self
+    }
+
+    /// The real crate prints the aggregate report here; measurements were
+    /// already reported per-benchmark.
+    pub fn final_summary(&self) {}
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id.full_name),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full_name: String,
+}
+
+impl BenchmarkId {
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full_name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            full_name: name.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(full_name: String) -> Self {
+        BenchmarkId { full_name }
+    }
+}
+
+/// Work per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Time the routine: warm up for the configured window (measuring a
+    /// rough per-call cost as a side effect), then time `sample_size`
+    /// equal batches sized to fill the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = Some(samples_ns[samples_ns.len() / 2]);
+    }
+}
+
+fn run_benchmark<F>(
+    name: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        warm_up_time,
+        measurement_time,
+        sample_size,
+        median_ns: None,
+    };
+    f(&mut bencher);
+    match bencher.median_ns {
+        Some(ns) => {
+            let rate = match throughput {
+                Some(Throughput::Bytes(bytes)) => {
+                    format!("  ({:.1} MB/s)", bytes as f64 / ns * 1e9 / 1e6)
+                }
+                Some(Throughput::Elements(n)) => {
+                    format!("  ({:.0} elem/s)", n as f64 / ns * 1e9)
+                }
+                None => String::new(),
+            };
+            println!("bench {name:<48} {}{rate}", format_time(ns));
+        }
+        None => println!("bench {name:<48} (no measurement)"),
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:9.1} ns/iter")
+    } else if ns < 1e6 {
+        format!("{:9.2} us/iter", ns / 1e3)
+    } else {
+        format!("{:9.3} ms/iter", ns / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_plausible() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15))
+            .configure_from_args();
+        let mut group = c.benchmark_group("shim_self_test");
+        group.throughput(Throughput::Bytes(8));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("add", 1u64), &1u64, |b, &x| {
+            b.iter(|| black_box(x) + 1);
+            ran = true;
+        });
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| black_box(2u64) * 2));
+        c.final_summary();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,366 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! crate provides the subset the results pipeline needs: `Serialize` and
+//! `Deserialize` traits defined over an owned [`Value`] tree, primitive and
+//! container impls, and re-exported derive macros. `serde_json` (also
+//! shimmed) renders and parses that tree.
+//!
+//! The design intentionally trades serde's zero-copy visitor machinery for
+//! a tiny, auditable data model: every type lowers to a `Value`, and JSON
+//! is a rendering of `Value`. That is plenty for result archiving, which
+//! is the only (de)serialization this workspace performs.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed or to-be-rendered data tree.
+///
+/// Objects preserve insertion order (a `Vec` of pairs, not a map) so the
+/// rendered JSON matches struct declaration order, which keeps archived
+/// results diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All integers ride in `i128`, wide enough for any primitive int.
+    Int(i128),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object, ready for [`Value::set`] calls.
+    #[must_use]
+    pub fn object() -> Self {
+        Value::Object(Vec::new())
+    }
+
+    /// Insert or replace a key on an object; no-op on other variants.
+    pub fn set(&mut self, key: &str, value: Value) {
+        if let Value::Object(pairs) = self {
+            if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = value;
+            } else {
+                pairs.push((key.to_owned(), value));
+            }
+        }
+    }
+
+    /// Look up a key on an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Look up a key, treating a missing key as JSON `null` (so `Option`
+    /// fields tolerate both `"k": null` and an absent `"k"`).
+    #[must_use]
+    pub fn field(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+
+    /// Require this value to be an object, with a type name for errors.
+    pub fn expect_object(&self, type_name: &str) -> Result<&Self, DeError> {
+        match self {
+            Value::Object(_) => Ok(self),
+            other => Err(DeError::new(format!(
+                "expected JSON object for `{type_name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure: what was expected, and where.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Prefix the error with the field it occurred under.
+    #[must_use]
+    pub fn in_field(self, field: &str) -> Self {
+        DeError {
+            message: format!("{field}: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lower a value into the [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild a value from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Int(i) => <$ty>::try_from(*i).map_err(|_| {
+                        DeError::new(format!(
+                            "integer {i} out of range for {}",
+                            stringify!($ty)
+                        ))
+                    }),
+                    other => Err(DeError::new(format!(
+                        "expected integer, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = *self as f64;
+                // JSON has no NaN/Infinity; match serde_json's lossy `null`.
+                if v.is_finite() {
+                    Value::Float(v)
+                } else {
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Float(f) => Ok(*f as $ty),
+                    Value::Int(i) => Ok(*i as $ty),
+                    // Non-finite floats were rendered as null.
+                    Value::Null => Ok(<$ty>::NAN),
+                    other => Err(DeError::new(format!(
+                        "expected number, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| T::from_value(v).map_err(|e| e.in_field(&format!("[{i}]"))))
+                .collect(),
+            other => Err(DeError::new(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    V::from_value(v)
+                        .map(|v| (k.clone(), v))
+                        .map_err(|e| e.in_field(k))
+                })
+                .collect(),
+            other => Err(DeError::new(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_set_get_and_order() {
+        let mut obj = Value::object();
+        obj.set("b", Value::Int(2));
+        obj.set("a", Value::Int(1));
+        obj.set("b", Value::Int(3));
+        assert_eq!(obj.get("b"), Some(&Value::Int(3)));
+        // Insertion order preserved, replacement in place.
+        if let Value::Object(pairs) = &obj {
+            assert_eq!(pairs[0].0, "b");
+            assert_eq!(pairs[1].0, "a");
+        } else {
+            panic!("expected object");
+        }
+    }
+
+    #[test]
+    fn option_roundtrips_through_null_and_missing() {
+        let some: Option<f64> = Some(4.5);
+        let none: Option<f64> = None;
+        assert_eq!(Option::<f64>::from_value(&some.to_value()), Ok(Some(4.5)));
+        assert_eq!(Option::<f64>::from_value(&none.to_value()), Ok(None));
+        // A missing field reads as Null, which is None.
+        let obj = Value::object();
+        assert_eq!(Option::<f64>::from_value(obj.field("absent")), Ok(None));
+    }
+
+    #[test]
+    fn int_range_errors_are_reported() {
+        let v = Value::Int(-1);
+        assert!(u32::from_value(&v).is_err());
+        assert_eq!(i64::from_value(&v), Ok(-1));
+    }
+}

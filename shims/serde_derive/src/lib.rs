@@ -1,0 +1,132 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Without crates.io access there is no `syn`/`quote`, so the derives here
+//! parse the incoming token stream by hand. The supported shape is exactly
+//! what this workspace uses: non-generic structs with named fields. The
+//! generated impls lower to / rebuild from the shim `serde::Value` tree,
+//! one object key per field in declaration order.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let target = parse_struct(input);
+    let sets: String = target
+        .fields
+        .iter()
+        .map(|f| format!("__obj.set({f:?}, ::serde::Serialize::to_value(&self.{f}));"))
+        .collect();
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn to_value(&self) -> ::serde::Value {{\
+                 let mut __obj = ::serde::Value::object();\
+                 {sets}\
+                 __obj\
+             }}\
+         }}",
+        name = target.name,
+    );
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let target = parse_struct(input);
+    let inits: String = target
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(__obj.field({f:?}))\
+                     .map_err(|e| e.in_field({f:?}))?,"
+            )
+        })
+        .collect();
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\
+             fn from_value(__value: &::serde::Value)\
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\
+                 let __obj = __value.expect_object({name:?})?;\
+                 ::std::result::Result::Ok(Self {{ {inits} }})\
+             }}\
+         }}",
+        name = target.name,
+    );
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+struct Target {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extract the struct name and its named fields from a derive input.
+///
+/// Walks the token stream for the `struct` keyword, takes the next ident as
+/// the name, then scans the brace group: a field name is the last ident seen
+/// before a top-level `:`; everything after it up to the next top-level `,`
+/// is the type and is skipped (tracking `<`/`>` depth so generic arguments
+/// and their commas don't end a field early).
+fn parse_struct(input: TokenStream) -> Target {
+    let mut iter = input.into_iter();
+    let mut name = None;
+    for tt in iter.by_ref() {
+        if matches!(&tt, TokenTree::Ident(id) if id.to_string() == "struct") {
+            break;
+        }
+    }
+    if let Some(TokenTree::Ident(id)) = iter.next() {
+        name = Some(id.to_string());
+    }
+    let name = name.expect("derive target must be a struct");
+
+    let mut fields = Vec::new();
+    for tt in iter {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("shim serde derives do not support generic structs ({name})")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                fields = parse_named_fields(g.stream());
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                panic!("shim serde derives require named fields ({name} is a unit/tuple struct)")
+            }
+            _ => {}
+        }
+    }
+    Target { name, fields }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut iter = stream.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Field attribute like `#[doc = "..."]`: `#` then a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+            TokenTree::Punct(p) if p.as_char() == ':' => {
+                fields.push(last_ident.take().expect("ident precedes `:` in a field"));
+                // Consume the type, through to the field-separating comma.
+                let mut angle_depth = 0i32;
+                for ty_tt in iter.by_ref() {
+                    match ty_tt {
+                        TokenTree::Punct(q) if q.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(q) if q.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(q) if q.as_char() == ',' && angle_depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}

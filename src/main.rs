@@ -2,31 +2,94 @@
 //!
 //! Mirrors the original suite's usage: individual benchmarks are runnable
 //! by name (the `bw_*`/`lat_*` binaries of the C distribution), and the
-//! whole suite can run and report against the embedded paper database.
+//! whole suite runs through the fault-isolated execution engine.
 //!
 //! ```sh
-//! lmbench list                 # every benchmark and what it produces
-//! lmbench run lat_syscall      # one benchmark, quick settings
-//! lmbench suite [--paper]      # the full suite -> JSON on stdout
-//! lmbench report [--paper]     # full suite + all 17 regenerated tables
+//! lmbench list                       # every benchmark and what it produces
+//! lmbench run lat_syscall            # one benchmark, quick settings
+//! lmbench suite [--paper] [--only a,b]  # engine run -> JSON on stdout,
+//!                                       # run report on stderr
+//! lmbench report [--paper]           # suite + all 17 tables + provenance
 //! ```
+//!
+//! Exit codes: 0 success (including suites with failed benchmarks — see
+//! the stderr report), 2 usage, 3 invalid configuration, 4 unknown
+//! benchmark name.
 
-use lmbench::core::{report, run_suite, Registry, SuiteConfig};
-use lmbench::results::ResultsDb;
+use lmbench::core::{report, Engine, FaultPlan, Registry, SuiteConfig, SuiteError};
+use lmbench::results::{ResultsDb, RunReport};
 use lmbench::timing::Harness;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: lmbench <list|run NAME|suite [--paper]|report [--paper]>");
-    ExitCode::FAILURE
+    eprintln!("usage: lmbench <list|run NAME|suite [--paper] [--only A,B]|report [--paper]>");
+    ExitCode::from(2)
+}
+
+fn fail(err: &SuiteError) -> ExitCode {
+    eprintln!("lmbench: {err}");
+    ExitCode::from(err.exit_code())
 }
 
 fn config_from_args(args: &[String]) -> SuiteConfig {
-    if args.iter().any(|a| a == "--paper") {
+    let mut config = if args.iter().any(|a| a == "--paper") {
         SuiteConfig::paper()
     } else {
         SuiteConfig::quick()
+    };
+    // Fault-drill hook: lets tests shrink the per-benchmark budget without
+    // a dedicated flag.
+    if let Some(ms) = std::env::var("LMBENCH_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        config = config.with_timeout(Duration::from_millis(ms));
     }
+    config
+}
+
+/// The registry, restricted by `--only a,b,c` when present.
+fn registry_from_args(args: &[String]) -> Result<Registry, SuiteError> {
+    let registry = Registry::standard();
+    let Some(pos) = args.iter().position(|a| a == "--only") else {
+        return Ok(registry);
+    };
+    let names: Vec<&str> = args
+        .get(pos + 1)
+        .map(|list| list.split(',').filter(|n| !n.is_empty()).collect())
+        .unwrap_or_default();
+    if names.is_empty() {
+        return Err(SuiteError::InvalidConfig {
+            what: "--only given without any benchmark names",
+        });
+    }
+    registry.filtered(&names)
+}
+
+/// Renders the provenance section of `lmbench report`: what the harness
+/// actually did for every measured row.
+fn provenance_section(report: &RunReport) -> String {
+    let mut out = String::from("=== Measurement provenance ===\n");
+    out.push_str(&format!(
+        "{:<16} {:<22} {:>4} {:>12} {:>11} {:>11} {:>8} {:>7}\n",
+        "benchmark", "produces", "reps", "iterations", "min(ns)", "median(ns)", "gap", "cv"
+    ));
+    for rec in &report.records {
+        let Some(p) = &rec.provenance else { continue };
+        out.push_str(&format!(
+            "{:<16} {:<22} {:>4} {:>12} {:>11.1} {:>11.1} {:>7.1}% {:>6.1}%\n",
+            rec.name,
+            rec.produces,
+            p.repetitions,
+            p.calibrated_iterations,
+            p.sample_min_ns,
+            p.sample_median_ns,
+            p.min_median_gap * 100.0,
+            p.cv * 100.0
+        ));
+    }
+    out
 }
 
 fn main() -> ExitCode {
@@ -37,11 +100,17 @@ fn main() -> ExitCode {
     match command {
         "list" => {
             let registry = Registry::standard();
-            println!("{:<14} {:<22} category", "name", "produces");
+            println!(
+                "{:<16} {:<22} {:<10} exclusive",
+                "name", "produces", "category"
+            );
             for b in registry.all() {
                 println!(
-                    "{:<14} {:<22} {:?}",
-                    b.name, b.produces, b.category
+                    "{:<16} {:<22} {:<10} {}",
+                    b.name,
+                    b.produces,
+                    format!("{:?}", b.category),
+                    if b.exclusive { "yes" } else { "" }
                 );
             }
             ExitCode::SUCCESS
@@ -49,38 +118,57 @@ fn main() -> ExitCode {
         "run" => {
             let Some(name) = args.get(1) else {
                 eprintln!("lmbench run: missing benchmark name (try `lmbench list`)");
-                return ExitCode::FAILURE;
+                return usage();
             };
             let registry = Registry::standard();
             let Some(bench) = registry.find(name) else {
-                eprintln!("lmbench run: unknown benchmark {name:?} (try `lmbench list`)");
-                return ExitCode::FAILURE;
+                return fail(&SuiteError::UnknownBenchmark { name: name.clone() });
             };
             let config = config_from_args(&args);
+            if let Err(err) = config.validate() {
+                return fail(&err);
+            }
             let h = Harness::new(config.options);
-            println!("{}: {}", bench.name, bench.run(&h, &config));
+            println!("{}: {}", bench.name, bench.run_line(&h, &config));
             ExitCode::SUCCESS
         }
         "suite" => {
             let config = config_from_args(&args);
-            let run = run_suite(&config);
-            let name = run
+            let registry = match registry_from_args(&args) {
+                Ok(r) => r,
+                Err(err) => return fail(&err),
+            };
+            let engine = match Engine::new(registry, config) {
+                Ok(e) => e,
+                Err(err) => return fail(&err),
+            };
+            let outcome = engine.with_faults(FaultPlan::from_env()).execute();
+            // Per-benchmark outcomes to stderr; a failed benchmark costs
+            // its own rows, not the run (exit stays 0 so harnesses can
+            // collect the partial results).
+            eprint!("{}", outcome.report.render());
+            let name = outcome
+                .run
                 .system
                 .as_ref()
                 .map(|s| s.name.clone())
                 .unwrap_or_else(|| "host".into());
             let mut db = ResultsDb::new();
-            db.insert(name, run);
+            db.insert(name, outcome.run);
             println!("{}", db.to_json());
             ExitCode::SUCCESS
         }
         "report" => {
             let config = config_from_args(&args);
             eprintln!("running full suite...");
-            let run = run_suite(&config);
-            println!("{}", report::full_report(Some(&run)));
+            let outcome = match lmbench::core::run_suite_with_report(&config) {
+                Ok(o) => o,
+                Err(err) => return fail(&err),
+            };
+            println!("{}", report::full_report(Some(&outcome.run)));
+            println!("{}", provenance_section(&outcome.report));
             println!("=== This host vs the paper's 1995 fleet ===");
-            for cmp in report::comparisons(&run) {
+            for cmp in report::comparisons(&outcome.run) {
                 println!("{}", cmp.summary());
             }
             ExitCode::SUCCESS

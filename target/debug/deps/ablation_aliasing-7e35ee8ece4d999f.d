@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_aliasing-7e35ee8ece4d999f.d: crates/bench/benches/ablation_aliasing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_aliasing-7e35ee8ece4d999f.rmeta: crates/bench/benches/ablation_aliasing.rs Cargo.toml
+
+crates/bench/benches/ablation_aliasing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_stride-e0c1a77fa4db22ff.d: crates/bench/benches/ablation_stride.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_stride-e0c1a77fa4db22ff.rmeta: crates/bench/benches/ablation_stride.rs Cargo.toml
+
+crates/bench/benches/ablation_stride.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_timing-f8699f6f82b7ac8a.d: crates/bench/benches/ablation_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_timing-f8699f6f82b7ac8a.rmeta: crates/bench/benches/ablation_timing.rs Cargo.toml
+
+crates/bench/benches/ablation_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

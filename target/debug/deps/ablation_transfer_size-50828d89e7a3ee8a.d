@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_transfer_size-50828d89e7a3ee8a.d: crates/bench/benches/ablation_transfer_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_transfer_size-50828d89e7a3ee8a.rmeta: crates/bench/benches/ablation_transfer_size.rs Cargo.toml
+
+crates/bench/benches/ablation_transfer_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-c72d1e673d46d7a6.d: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-c72d1e673d46d7a6.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-c72d1e673d46d7a6.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-eb860a35b265dbd0.d: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-eb860a35b265dbd0: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

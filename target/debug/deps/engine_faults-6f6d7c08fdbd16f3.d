@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/engine_faults-6f6d7c08fdbd16f3.d: tests/engine_faults.rs
+
+/root/repo/target/debug/deps/engine_faults-6f6d7c08fdbd16f3: tests/engine_faults.rs
+
+tests/engine_faults.rs:
+
+# env-dep:CARGO_BIN_EXE_lmbench=/root/repo/target/debug/lmbench

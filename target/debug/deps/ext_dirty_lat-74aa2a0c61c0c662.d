@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_dirty_lat-74aa2a0c61c0c662.d: crates/bench/benches/ext_dirty_lat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_dirty_lat-74aa2a0c61c0c662.rmeta: crates/bench/benches/ext_dirty_lat.rs Cargo.toml
+
+crates/bench/benches/ext_dirty_lat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_mlp-7346728302a53ea7.d: crates/bench/benches/ext_mlp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_mlp-7346728302a53ea7.rmeta: crates/bench/benches/ext_mlp.rs Cargo.toml
+
+crates/bench/benches/ext_mlp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

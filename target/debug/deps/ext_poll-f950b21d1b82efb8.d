@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_poll-f950b21d1b82efb8.d: crates/bench/benches/ext_poll.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_poll-f950b21d1b82efb8.rmeta: crates/bench/benches/ext_poll.rs Cargo.toml
+
+crates/bench/benches/ext_poll.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-b9489467e0a5d7d2.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-b9489467e0a5d7d2: tests/extensions.rs
+
+tests/extensions.rs:

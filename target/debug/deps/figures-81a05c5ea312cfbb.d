@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-81a05c5ea312cfbb.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-81a05c5ea312cfbb: tests/figures.rs
+
+tests/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/libc-254551fc3935c6e5.d: shims/libc/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblibc-254551fc3935c6e5.rmeta: shims/libc/src/lib.rs Cargo.toml
+
+shims/libc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

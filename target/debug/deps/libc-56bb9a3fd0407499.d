@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/libc-56bb9a3fd0407499.d: shims/libc/src/lib.rs
+
+/root/repo/target/debug/deps/liblibc-56bb9a3fd0407499.rlib: shims/libc/src/lib.rs
+
+/root/repo/target/debug/deps/liblibc-56bb9a3fd0407499.rmeta: shims/libc/src/lib.rs
+
+shims/libc/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/libc-eb8655b7b1930e1f.d: shims/libc/src/lib.rs
+
+/root/repo/target/debug/deps/libc-eb8655b7b1930e1f: shims/libc/src/lib.rs
+
+shims/libc/src/lib.rs:

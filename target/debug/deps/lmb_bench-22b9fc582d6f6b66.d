@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lmb_bench-22b9fc582d6f6b66.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmb_bench-22b9fc582d6f6b66.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

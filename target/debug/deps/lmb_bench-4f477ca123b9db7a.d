@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lmb_bench-4f477ca123b9db7a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/lmb_bench-4f477ca123b9db7a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

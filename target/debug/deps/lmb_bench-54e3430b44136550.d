@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lmb_bench-54e3430b44136550.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblmb_bench-54e3430b44136550.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblmb_bench-54e3430b44136550.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lmb_disk-86304ca2be96bc78.d: crates/disk/src/lib.rs crates/disk/src/geometry.rs crates/disk/src/model.rs crates/disk/src/overhead.rs crates/disk/src/zbr.rs
+
+/root/repo/target/debug/deps/lmb_disk-86304ca2be96bc78: crates/disk/src/lib.rs crates/disk/src/geometry.rs crates/disk/src/model.rs crates/disk/src/overhead.rs crates/disk/src/zbr.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/geometry.rs:
+crates/disk/src/model.rs:
+crates/disk/src/overhead.rs:
+crates/disk/src/zbr.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lmb_fs-0fe6439eb2e2cd5f.d: crates/fs/src/lib.rs crates/fs/src/create_delete.rs crates/fs/src/lmdd.rs crates/fs/src/mmap_reread.rs crates/fs/src/reread.rs crates/fs/src/scaling.rs
+
+/root/repo/target/debug/deps/lmb_fs-0fe6439eb2e2cd5f: crates/fs/src/lib.rs crates/fs/src/create_delete.rs crates/fs/src/lmdd.rs crates/fs/src/mmap_reread.rs crates/fs/src/reread.rs crates/fs/src/scaling.rs
+
+crates/fs/src/lib.rs:
+crates/fs/src/create_delete.rs:
+crates/fs/src/lmdd.rs:
+crates/fs/src/mmap_reread.rs:
+crates/fs/src/reread.rs:
+crates/fs/src/scaling.rs:

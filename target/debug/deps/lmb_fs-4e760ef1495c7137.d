@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lmb_fs-4e760ef1495c7137.d: crates/fs/src/lib.rs crates/fs/src/create_delete.rs crates/fs/src/lmdd.rs crates/fs/src/mmap_reread.rs crates/fs/src/reread.rs crates/fs/src/scaling.rs
+
+/root/repo/target/debug/deps/liblmb_fs-4e760ef1495c7137.rlib: crates/fs/src/lib.rs crates/fs/src/create_delete.rs crates/fs/src/lmdd.rs crates/fs/src/mmap_reread.rs crates/fs/src/reread.rs crates/fs/src/scaling.rs
+
+/root/repo/target/debug/deps/liblmb_fs-4e760ef1495c7137.rmeta: crates/fs/src/lib.rs crates/fs/src/create_delete.rs crates/fs/src/lmdd.rs crates/fs/src/mmap_reread.rs crates/fs/src/reread.rs crates/fs/src/scaling.rs
+
+crates/fs/src/lib.rs:
+crates/fs/src/create_delete.rs:
+crates/fs/src/lmdd.rs:
+crates/fs/src/mmap_reread.rs:
+crates/fs/src/reread.rs:
+crates/fs/src/scaling.rs:

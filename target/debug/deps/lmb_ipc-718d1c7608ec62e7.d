@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lmb_ipc-718d1c7608ec62e7.d: crates/ipc/src/lib.rs crates/ipc/src/fifo_lat.rs crates/ipc/src/pipe_bw.rs crates/ipc/src/pipe_lat.rs crates/ipc/src/tcp_bw.rs crates/ipc/src/tcp_connect.rs crates/ipc/src/tcp_lat.rs crates/ipc/src/udp_lat.rs crates/ipc/src/unix_bw.rs crates/ipc/src/unix_lat.rs
+
+/root/repo/target/debug/deps/lmb_ipc-718d1c7608ec62e7: crates/ipc/src/lib.rs crates/ipc/src/fifo_lat.rs crates/ipc/src/pipe_bw.rs crates/ipc/src/pipe_lat.rs crates/ipc/src/tcp_bw.rs crates/ipc/src/tcp_connect.rs crates/ipc/src/tcp_lat.rs crates/ipc/src/udp_lat.rs crates/ipc/src/unix_bw.rs crates/ipc/src/unix_lat.rs
+
+crates/ipc/src/lib.rs:
+crates/ipc/src/fifo_lat.rs:
+crates/ipc/src/pipe_bw.rs:
+crates/ipc/src/pipe_lat.rs:
+crates/ipc/src/tcp_bw.rs:
+crates/ipc/src/tcp_connect.rs:
+crates/ipc/src/tcp_lat.rs:
+crates/ipc/src/udp_lat.rs:
+crates/ipc/src/unix_bw.rs:
+crates/ipc/src/unix_lat.rs:

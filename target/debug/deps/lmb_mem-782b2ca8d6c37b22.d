@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lmb_mem-782b2ca8d6c37b22.d: crates/mem/src/lib.rs crates/mem/src/alias.rs crates/mem/src/bw.rs crates/mem/src/dirty.rs crates/mem/src/hierarchy.rs crates/mem/src/lat.rs crates/mem/src/mlp.rs crates/mem/src/mp.rs crates/mem/src/stream.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/lmb_mem-782b2ca8d6c37b22: crates/mem/src/lib.rs crates/mem/src/alias.rs crates/mem/src/bw.rs crates/mem/src/dirty.rs crates/mem/src/hierarchy.rs crates/mem/src/lat.rs crates/mem/src/mlp.rs crates/mem/src/mp.rs crates/mem/src/stream.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/alias.rs:
+crates/mem/src/bw.rs:
+crates/mem/src/dirty.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/lat.rs:
+crates/mem/src/mlp.rs:
+crates/mem/src/mp.rs:
+crates/mem/src/stream.rs:
+crates/mem/src/tlb.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lmb_net-0bc50b52c451837d.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/remote.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmb_net-0bc50b52c451837d.rmeta: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/remote.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/remote.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

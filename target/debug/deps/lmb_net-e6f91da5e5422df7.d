@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lmb_net-e6f91da5e5422df7.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/remote.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmb_net-e6f91da5e5422df7.rmeta: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/remote.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/remote.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lmb_net-f60baa287c3487d7.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/remote.rs
+
+/root/repo/target/debug/deps/liblmb_net-f60baa287c3487d7.rlib: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/remote.rs
+
+/root/repo/target/debug/deps/liblmb_net-f60baa287c3487d7.rmeta: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/remote.rs
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/remote.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lmb_net-f7ac26848a31f21b.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/remote.rs
+
+/root/repo/target/debug/deps/lmb_net-f7ac26848a31f21b: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/remote.rs
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/remote.rs:

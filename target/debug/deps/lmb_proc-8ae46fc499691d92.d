@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lmb_proc-8ae46fc499691d92.d: crates/os/src/lib.rs crates/os/src/ctx.rs crates/os/src/proc.rs crates/os/src/select.rs crates/os/src/signal.rs crates/os/src/syscall.rs
+
+/root/repo/target/debug/deps/lmb_proc-8ae46fc499691d92: crates/os/src/lib.rs crates/os/src/ctx.rs crates/os/src/proc.rs crates/os/src/select.rs crates/os/src/signal.rs crates/os/src/syscall.rs
+
+crates/os/src/lib.rs:
+crates/os/src/ctx.rs:
+crates/os/src/proc.rs:
+crates/os/src/select.rs:
+crates/os/src/signal.rs:
+crates/os/src/syscall.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lmb_proc-a1e1a7bd6175d34f.d: crates/os/src/lib.rs crates/os/src/ctx.rs crates/os/src/proc.rs crates/os/src/select.rs crates/os/src/signal.rs crates/os/src/syscall.rs
+
+/root/repo/target/debug/deps/liblmb_proc-a1e1a7bd6175d34f.rlib: crates/os/src/lib.rs crates/os/src/ctx.rs crates/os/src/proc.rs crates/os/src/select.rs crates/os/src/signal.rs crates/os/src/syscall.rs
+
+/root/repo/target/debug/deps/liblmb_proc-a1e1a7bd6175d34f.rmeta: crates/os/src/lib.rs crates/os/src/ctx.rs crates/os/src/proc.rs crates/os/src/select.rs crates/os/src/signal.rs crates/os/src/syscall.rs
+
+crates/os/src/lib.rs:
+crates/os/src/ctx.rs:
+crates/os/src/proc.rs:
+crates/os/src/select.rs:
+crates/os/src/signal.rs:
+crates/os/src/syscall.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lmb_results-12658d2c0eb88a90.d: crates/results/src/lib.rs crates/results/src/compare.rs crates/results/src/dataset.rs crates/results/src/db.rs crates/results/src/patch.rs crates/results/src/plot.rs crates/results/src/runreport.rs crates/results/src/schema.rs crates/results/src/summary.rs crates/results/src/table.rs
+
+/root/repo/target/debug/deps/liblmb_results-12658d2c0eb88a90.rlib: crates/results/src/lib.rs crates/results/src/compare.rs crates/results/src/dataset.rs crates/results/src/db.rs crates/results/src/patch.rs crates/results/src/plot.rs crates/results/src/runreport.rs crates/results/src/schema.rs crates/results/src/summary.rs crates/results/src/table.rs
+
+/root/repo/target/debug/deps/liblmb_results-12658d2c0eb88a90.rmeta: crates/results/src/lib.rs crates/results/src/compare.rs crates/results/src/dataset.rs crates/results/src/db.rs crates/results/src/patch.rs crates/results/src/plot.rs crates/results/src/runreport.rs crates/results/src/schema.rs crates/results/src/summary.rs crates/results/src/table.rs
+
+crates/results/src/lib.rs:
+crates/results/src/compare.rs:
+crates/results/src/dataset.rs:
+crates/results/src/db.rs:
+crates/results/src/patch.rs:
+crates/results/src/plot.rs:
+crates/results/src/runreport.rs:
+crates/results/src/schema.rs:
+crates/results/src/summary.rs:
+crates/results/src/table.rs:

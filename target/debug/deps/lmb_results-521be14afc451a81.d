@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lmb_results-521be14afc451a81.d: crates/results/src/lib.rs crates/results/src/compare.rs crates/results/src/dataset.rs crates/results/src/db.rs crates/results/src/patch.rs crates/results/src/plot.rs crates/results/src/runreport.rs crates/results/src/schema.rs crates/results/src/summary.rs crates/results/src/table.rs
+
+/root/repo/target/debug/deps/lmb_results-521be14afc451a81: crates/results/src/lib.rs crates/results/src/compare.rs crates/results/src/dataset.rs crates/results/src/db.rs crates/results/src/patch.rs crates/results/src/plot.rs crates/results/src/runreport.rs crates/results/src/schema.rs crates/results/src/summary.rs crates/results/src/table.rs
+
+crates/results/src/lib.rs:
+crates/results/src/compare.rs:
+crates/results/src/dataset.rs:
+crates/results/src/db.rs:
+crates/results/src/patch.rs:
+crates/results/src/plot.rs:
+crates/results/src/runreport.rs:
+crates/results/src/schema.rs:
+crates/results/src/summary.rs:
+crates/results/src/table.rs:

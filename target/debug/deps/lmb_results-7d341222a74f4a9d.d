@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lmb_results-7d341222a74f4a9d.d: crates/results/src/lib.rs crates/results/src/compare.rs crates/results/src/dataset.rs crates/results/src/db.rs crates/results/src/patch.rs crates/results/src/plot.rs crates/results/src/runreport.rs crates/results/src/schema.rs crates/results/src/summary.rs crates/results/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmb_results-7d341222a74f4a9d.rmeta: crates/results/src/lib.rs crates/results/src/compare.rs crates/results/src/dataset.rs crates/results/src/db.rs crates/results/src/patch.rs crates/results/src/plot.rs crates/results/src/runreport.rs crates/results/src/schema.rs crates/results/src/summary.rs crates/results/src/table.rs Cargo.toml
+
+crates/results/src/lib.rs:
+crates/results/src/compare.rs:
+crates/results/src/dataset.rs:
+crates/results/src/db.rs:
+crates/results/src/patch.rs:
+crates/results/src/plot.rs:
+crates/results/src/runreport.rs:
+crates/results/src/schema.rs:
+crates/results/src/summary.rs:
+crates/results/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lmb_rpc-56c0ec9e3bac5d26.d: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/registry.rs crates/rpc/src/server.rs crates/rpc/src/xdr.rs
+
+/root/repo/target/debug/deps/lmb_rpc-56c0ec9e3bac5d26: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/registry.rs crates/rpc/src/server.rs crates/rpc/src/xdr.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/client.rs:
+crates/rpc/src/message.rs:
+crates/rpc/src/record.rs:
+crates/rpc/src/registry.rs:
+crates/rpc/src/server.rs:
+crates/rpc/src/xdr.rs:

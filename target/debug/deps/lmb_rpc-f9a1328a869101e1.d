@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lmb_rpc-f9a1328a869101e1.d: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/registry.rs crates/rpc/src/server.rs crates/rpc/src/xdr.rs
+
+/root/repo/target/debug/deps/liblmb_rpc-f9a1328a869101e1.rlib: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/registry.rs crates/rpc/src/server.rs crates/rpc/src/xdr.rs
+
+/root/repo/target/debug/deps/liblmb_rpc-f9a1328a869101e1.rmeta: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/registry.rs crates/rpc/src/server.rs crates/rpc/src/xdr.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/client.rs:
+crates/rpc/src/message.rs:
+crates/rpc/src/record.rs:
+crates/rpc/src/registry.rs:
+crates/rpc/src/server.rs:
+crates/rpc/src/xdr.rs:

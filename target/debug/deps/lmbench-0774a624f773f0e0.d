@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lmbench-0774a624f773f0e0.d: src/main.rs
+
+/root/repo/target/debug/deps/lmbench-0774a624f773f0e0: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lmbench-7a1a22a9e37a86d6.d: src/lib.rs
+
+/root/repo/target/debug/deps/lmbench-7a1a22a9e37a86d6: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

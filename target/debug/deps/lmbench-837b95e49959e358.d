@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lmbench-837b95e49959e358.d: src/main.rs
+
+/root/repo/target/debug/deps/lmbench-837b95e49959e358: src/main.rs
+
+src/main.rs:

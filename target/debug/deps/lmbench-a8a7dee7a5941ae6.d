@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lmbench-a8a7dee7a5941ae6.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblmbench-a8a7dee7a5941ae6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblmbench-a8a7dee7a5941ae6.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lmbench-e1f95b836a885ae2.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmbench-e1f95b836a885ae2.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

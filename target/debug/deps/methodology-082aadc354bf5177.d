@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/methodology-082aadc354bf5177.d: tests/methodology.rs
+
+/root/repo/target/debug/deps/methodology-082aadc354bf5177: tests/methodology.rs
+
+tests/methodology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-a6dd531fb784469f.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-a6dd531fb784469f: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-69919b4d97277f80.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-69919b4d97277f80.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-69919b4d97277f80.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

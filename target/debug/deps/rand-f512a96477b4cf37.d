@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-f512a96477b4cf37.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-f512a96477b4cf37: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rpc_layering-07ad5138a2f2241d.d: tests/rpc_layering.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpc_layering-07ad5138a2f2241d.rmeta: tests/rpc_layering.rs Cargo.toml
+
+tests/rpc_layering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

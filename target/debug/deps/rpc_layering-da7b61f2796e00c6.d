@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rpc_layering-da7b61f2796e00c6.d: tests/rpc_layering.rs
+
+/root/repo/target/debug/deps/rpc_layering-da7b61f2796e00c6: tests/rpc_layering.rs
+
+tests/rpc_layering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-5843686a5e9b57d1.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-5843686a5e9b57d1: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

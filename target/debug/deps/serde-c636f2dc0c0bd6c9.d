@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-c636f2dc0c0bd6c9.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c636f2dc0c0bd6c9.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c636f2dc0c0bd6c9.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-2d0275f54e7d041b.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-2d0275f54e7d041b: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

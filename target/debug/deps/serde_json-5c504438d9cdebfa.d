@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-5c504438d9cdebfa.d: shims/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-5c504438d9cdebfa.rmeta: shims/serde_json/src/lib.rs Cargo.toml
+
+shims/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

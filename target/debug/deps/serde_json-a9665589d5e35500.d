@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-a9665589d5e35500.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-a9665589d5e35500.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-a9665589d5e35500.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

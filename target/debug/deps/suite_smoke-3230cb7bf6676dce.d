@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_smoke-3230cb7bf6676dce.d: tests/suite_smoke.rs
+
+/root/repo/target/debug/deps/suite_smoke-3230cb7bf6676dce: tests/suite_smoke.rs
+
+tests/suite_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table07_syscall-7fed32e6dc250edb.d: crates/bench/benches/table07_syscall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable07_syscall-7fed32e6dc250edb.rmeta: crates/bench/benches/table07_syscall.rs Cargo.toml
+
+crates/bench/benches/table07_syscall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ctx_switch_study-b50344eee87f4cb4.d: examples/ctx_switch_study.rs
+
+/root/repo/target/debug/examples/ctx_switch_study-b50344eee87f4cb4: examples/ctx_switch_study.rs
+
+examples/ctx_switch_study.rs:

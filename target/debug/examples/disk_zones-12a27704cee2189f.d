@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/disk_zones-12a27704cee2189f.d: examples/disk_zones.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdisk_zones-12a27704cee2189f.rmeta: examples/disk_zones.rs Cargo.toml
+
+examples/disk_zones.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

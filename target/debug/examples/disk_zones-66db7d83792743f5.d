@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/disk_zones-66db7d83792743f5.d: examples/disk_zones.rs
+
+/root/repo/target/debug/examples/disk_zones-66db7d83792743f5: examples/disk_zones.rs
+
+examples/disk_zones.rs:

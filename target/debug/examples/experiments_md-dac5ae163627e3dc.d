@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/experiments_md-dac5ae163627e3dc.d: examples/experiments_md.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexperiments_md-dac5ae163627e3dc.rmeta: examples/experiments_md.rs Cargo.toml
+
+examples/experiments_md.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/experiments_md-e432804ca0150264.d: examples/experiments_md.rs
+
+/root/repo/target/debug/examples/experiments_md-e432804ca0150264: examples/experiments_md.rs
+
+examples/experiments_md.rs:

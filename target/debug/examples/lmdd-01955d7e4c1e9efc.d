@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lmdd-01955d7e4c1e9efc.d: examples/lmdd.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblmdd-01955d7e4c1e9efc.rmeta: examples/lmdd.rs Cargo.toml
+
+examples/lmdd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

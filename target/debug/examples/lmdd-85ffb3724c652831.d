@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lmdd-85ffb3724c652831.d: examples/lmdd.rs
+
+/root/repo/target/debug/examples/lmdd-85ffb3724c652831: examples/lmdd.rs
+
+examples/lmdd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lock_manager-9d8afdcb63657b38.d: examples/lock_manager.rs
+
+/root/repo/target/debug/examples/lock_manager-9d8afdcb63657b38: examples/lock_manager.rs
+
+examples/lock_manager.rs:

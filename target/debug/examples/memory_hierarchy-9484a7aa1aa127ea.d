@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/memory_hierarchy-9484a7aa1aa127ea.d: examples/memory_hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmemory_hierarchy-9484a7aa1aa127ea.rmeta: examples/memory_hierarchy.rs Cargo.toml
+
+examples/memory_hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

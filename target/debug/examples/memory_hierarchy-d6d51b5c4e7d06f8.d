@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_hierarchy-d6d51b5c4e7d06f8.d: examples/memory_hierarchy.rs
+
+/root/repo/target/debug/examples/memory_hierarchy-d6d51b5c4e7d06f8: examples/memory_hierarchy.rs
+
+examples/memory_hierarchy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_report-0798d721bc46853b.d: examples/paper_report.rs
+
+/root/repo/target/debug/examples/paper_report-0798d721bc46853b: examples/paper_report.rs
+
+examples/paper_report.rs:

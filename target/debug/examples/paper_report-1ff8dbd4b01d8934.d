@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_report-1ff8dbd4b01d8934.d: examples/paper_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_report-1ff8dbd4b01d8934.rmeta: examples/paper_report.rs Cargo.toml
+
+examples/paper_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

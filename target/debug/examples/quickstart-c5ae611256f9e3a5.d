@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c5ae611256f9e3a5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c5ae611256f9e3a5: examples/quickstart.rs
+
+examples/quickstart.rs:

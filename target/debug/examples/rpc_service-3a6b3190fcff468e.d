@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rpc_service-3a6b3190fcff468e.d: examples/rpc_service.rs
+
+/root/repo/target/debug/examples/rpc_service-3a6b3190fcff468e: examples/rpc_service.rs
+
+examples/rpc_service.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-6fa85479693b9d5a.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-6fa85479693b9d5a.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-6fa85479693b9d5a.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

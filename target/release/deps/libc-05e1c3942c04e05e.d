@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/libc-05e1c3942c04e05e.d: shims/libc/src/lib.rs
+
+/root/repo/target/release/deps/liblibc-05e1c3942c04e05e.rlib: shims/libc/src/lib.rs
+
+/root/repo/target/release/deps/liblibc-05e1c3942c04e05e.rmeta: shims/libc/src/lib.rs
+
+shims/libc/src/lib.rs:

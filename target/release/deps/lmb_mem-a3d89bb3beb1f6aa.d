@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/lmb_mem-a3d89bb3beb1f6aa.d: crates/mem/src/lib.rs crates/mem/src/alias.rs crates/mem/src/bw.rs crates/mem/src/dirty.rs crates/mem/src/hierarchy.rs crates/mem/src/lat.rs crates/mem/src/mlp.rs crates/mem/src/mp.rs crates/mem/src/stream.rs crates/mem/src/tlb.rs
+
+/root/repo/target/release/deps/liblmb_mem-a3d89bb3beb1f6aa.rlib: crates/mem/src/lib.rs crates/mem/src/alias.rs crates/mem/src/bw.rs crates/mem/src/dirty.rs crates/mem/src/hierarchy.rs crates/mem/src/lat.rs crates/mem/src/mlp.rs crates/mem/src/mp.rs crates/mem/src/stream.rs crates/mem/src/tlb.rs
+
+/root/repo/target/release/deps/liblmb_mem-a3d89bb3beb1f6aa.rmeta: crates/mem/src/lib.rs crates/mem/src/alias.rs crates/mem/src/bw.rs crates/mem/src/dirty.rs crates/mem/src/hierarchy.rs crates/mem/src/lat.rs crates/mem/src/mlp.rs crates/mem/src/mp.rs crates/mem/src/stream.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/alias.rs:
+crates/mem/src/bw.rs:
+crates/mem/src/dirty.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/lat.rs:
+crates/mem/src/mlp.rs:
+crates/mem/src/mp.rs:
+crates/mem/src/stream.rs:
+crates/mem/src/tlb.rs:

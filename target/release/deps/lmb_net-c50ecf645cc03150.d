@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lmb_net-c50ecf645cc03150.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/remote.rs
+
+/root/repo/target/release/deps/liblmb_net-c50ecf645cc03150.rlib: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/remote.rs
+
+/root/repo/target/release/deps/liblmb_net-c50ecf645cc03150.rmeta: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/remote.rs
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/remote.rs:

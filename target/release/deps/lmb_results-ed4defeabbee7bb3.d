@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/lmb_results-ed4defeabbee7bb3.d: crates/results/src/lib.rs crates/results/src/compare.rs crates/results/src/dataset.rs crates/results/src/db.rs crates/results/src/patch.rs crates/results/src/plot.rs crates/results/src/runreport.rs crates/results/src/schema.rs crates/results/src/summary.rs crates/results/src/table.rs
+
+/root/repo/target/release/deps/liblmb_results-ed4defeabbee7bb3.rlib: crates/results/src/lib.rs crates/results/src/compare.rs crates/results/src/dataset.rs crates/results/src/db.rs crates/results/src/patch.rs crates/results/src/plot.rs crates/results/src/runreport.rs crates/results/src/schema.rs crates/results/src/summary.rs crates/results/src/table.rs
+
+/root/repo/target/release/deps/liblmb_results-ed4defeabbee7bb3.rmeta: crates/results/src/lib.rs crates/results/src/compare.rs crates/results/src/dataset.rs crates/results/src/db.rs crates/results/src/patch.rs crates/results/src/plot.rs crates/results/src/runreport.rs crates/results/src/schema.rs crates/results/src/summary.rs crates/results/src/table.rs
+
+crates/results/src/lib.rs:
+crates/results/src/compare.rs:
+crates/results/src/dataset.rs:
+crates/results/src/db.rs:
+crates/results/src/patch.rs:
+crates/results/src/plot.rs:
+crates/results/src/runreport.rs:
+crates/results/src/schema.rs:
+crates/results/src/summary.rs:
+crates/results/src/table.rs:

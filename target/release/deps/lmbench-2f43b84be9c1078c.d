@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lmbench-2f43b84be9c1078c.d: src/lib.rs
+
+/root/repo/target/release/deps/liblmbench-2f43b84be9c1078c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblmbench-2f43b84be9c1078c.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

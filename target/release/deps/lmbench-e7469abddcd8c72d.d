@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lmbench-e7469abddcd8c72d.d: src/main.rs
+
+/root/repo/target/release/deps/lmbench-e7469abddcd8c72d: src/main.rs
+
+src/main.rs:

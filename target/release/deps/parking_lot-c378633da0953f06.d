@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-c378633da0953f06.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-c378633da0953f06.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-c378633da0953f06.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-cebfa309fbe61001.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-cebfa309fbe61001.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-cebfa309fbe61001.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

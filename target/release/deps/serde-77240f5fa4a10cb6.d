@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-77240f5fa4a10cb6.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-77240f5fa4a10cb6.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-77240f5fa4a10cb6.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

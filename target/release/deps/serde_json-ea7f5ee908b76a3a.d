@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-ea7f5ee908b76a3a.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-ea7f5ee908b76a3a.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-ea7f5ee908b76a3a.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,107 @@
+//! Fault-drill integration tests: the `lmbench suite` CLI must survive a
+//! panicking benchmark and a hung benchmark, emit the remaining tables,
+//! and list both casualties in the run report with reasons.
+
+use std::process::Command;
+
+/// Runs the real binary with fault-injection env vars and a benchmark
+/// subset, returning (exit_ok, stdout, stderr).
+fn run_suite_cli(envs: &[(&str, &str)], only: &str) -> (bool, String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_lmbench"));
+    cmd.args(["suite", "--only", only]);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn lmbench");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn suite_survives_forced_panic_and_hang() {
+    // One benchmark panics, one hangs past a 500 ms budget; sys_info and
+    // lat_disk must still produce their tables and the exit code must be 0.
+    let (ok, stdout, stderr) = run_suite_cli(
+        &[
+            ("LMBENCH_FAULT_PANIC", "lat_syscall"),
+            ("LMBENCH_FAULT_HANG", "lat_pipe"),
+            ("LMBENCH_TIMEOUT_MS", "500"),
+        ],
+        "sys_info,lat_syscall,lat_pipe,lat_disk",
+    );
+    assert!(ok, "suite exited nonzero despite isolation:\n{stderr}");
+
+    // Report (stderr) lists both casualties with reasons.
+    assert!(stderr.contains("failed"), "no failed row:\n{stderr}");
+    assert!(
+        stderr.contains("forced panic"),
+        "no panic reason:\n{stderr}"
+    );
+    assert!(stderr.contains("timeout"), "no timeout row:\n{stderr}");
+    assert!(
+        stderr.contains("exceeded 500 ms budget"),
+        "no timeout reason:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("2 ok, 1 failed, 1 timeout"),
+        "unexpected summary:\n{stderr}"
+    );
+
+    // The JSON on stdout still carries the surviving tables and omits the
+    // sabotaged ones.
+    assert!(stdout.contains("\"system\""), "no system row:\n{stdout}");
+    assert!(stdout.contains("\"disk\""), "no disk row:\n{stdout}");
+    assert!(
+        stdout.contains("\"syscall\": null"),
+        "panicked benchmark left a row:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("\"pipe_lat\": null"),
+        "hung benchmark left a row:\n{stdout}"
+    );
+}
+
+#[test]
+fn suite_skips_benchmark_with_missing_substrate() {
+    let (ok, _stdout, stderr) = run_suite_cli(
+        &[("LMBENCH_FAULT_NOSUBSTRATE", "lat_syscall")],
+        "sys_info,lat_syscall",
+    );
+    assert!(ok, "suite exited nonzero:\n{stderr}");
+    assert!(
+        stderr.contains("skipped") && stderr.contains("substrate"),
+        "no skip row:\n{stderr}"
+    );
+}
+
+#[test]
+fn unknown_benchmark_and_usage_have_distinct_exit_codes() {
+    let unknown = Command::new(env!("CARGO_BIN_EXE_lmbench"))
+        .args(["run", "lat_warp"])
+        .output()
+        .expect("spawn lmbench");
+    assert_eq!(unknown.status.code(), Some(4), "unknown-benchmark code");
+
+    let only_unknown = Command::new(env!("CARGO_BIN_EXE_lmbench"))
+        .args(["suite", "--only", "lat_warp"])
+        .output()
+        .expect("spawn lmbench");
+    assert_eq!(only_unknown.status.code(), Some(4), "--only unknown code");
+
+    let usage = Command::new(env!("CARGO_BIN_EXE_lmbench"))
+        .arg("frobnicate")
+        .output()
+        .expect("spawn lmbench");
+    assert_eq!(usage.status.code(), Some(2), "usage code");
+
+    // An empty --only list is a typo'd invocation, not a successful
+    // zero-benchmark run.
+    let only_empty = Command::new(env!("CARGO_BIN_EXE_lmbench"))
+        .args(["suite", "--only", ""])
+        .output()
+        .expect("spawn lmbench");
+    assert_eq!(only_empty.status.code(), Some(3), "empty --only code");
+}

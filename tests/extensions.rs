@@ -15,12 +15,7 @@ fn clock_estimate_agrees_with_proc_cpuinfo_order_of_magnitude() {
     // Converting the measured L1 latency to cycles must give a small
     // number (L1 hits are a few cycles on everything).
     let h = harness();
-    let l1 = lmbench::mem::lat::measure_point(
-        &h,
-        8 << 10,
-        64,
-        lmbench::mem::ChasePattern::Stride,
-    );
+    let l1 = lmbench::mem::lat::measure_point(&h, 8 << 10, 64, lmbench::mem::ChasePattern::Stride);
     let cycles = est.cycles(l1.ns_per_load);
     assert!(
         cycles < 100.0,
@@ -106,7 +101,7 @@ fn dirty_chase_extension_composes_with_hierarchy_analysis() {
 
 #[test]
 fn summary_renders_a_full_suite_run() {
-    let run = lmbench::core::run_suite(&lmbench::core::SuiteConfig::quick());
+    let run = lmbench::core::run_suite(&lmbench::core::SuiteConfig::quick()).expect("valid config");
     let name = run.system.as_ref().unwrap().name.clone();
     let text = lmbench::results::summary::host_summary(&name, &run);
     assert!(text.contains(&format!("SUMMARY for {name}")));
@@ -138,7 +133,7 @@ fn registry_extensions_run_end_to_end() {
         let out = registry
             .find(name)
             .unwrap_or_else(|| panic!("{name} not registered"))
-            .run(&h, &config);
+            .run_line(&h, &config);
         assert!(!out.is_empty(), "{name} produced nothing");
     }
 }

@@ -2,8 +2,8 @@
 //! paper's "Benchmarking notes" as executable claims.
 
 use lmbench::timing::{
-    calibrate_iterations, clock_overhead_ns, clock_resolution_ns, probe_available_memory,
-    Harness, MemorySizer, Options, Samples, SummaryPolicy,
+    calibrate_iterations, clock_overhead_ns, clock_resolution_ns, probe_available_memory, Harness,
+    MemorySizer, Options, Samples, SummaryPolicy,
 };
 use std::time::Duration;
 
@@ -20,22 +20,24 @@ fn clock_compensation_keeps_relative_error_small() {
         }
         std::hint::black_box(acc);
     };
-    let short = Harness::new(Options {
-        warmup_runs: 1,
-        repetitions: 5,
-        resolution_multiple: 100,
-        min_interval: Duration::from_micros(100),
-        policy: SummaryPolicy::Minimum,
-    })
+    let short = Harness::new(
+        Options::quick()
+            .with_warmup_runs(1)
+            .with_repetitions(5)
+            .with_resolution_multiple(100)
+            .with_min_interval(Duration::from_micros(100))
+            .with_policy(SummaryPolicy::Minimum),
+    )
     .measure(work)
     .per_op_ns();
-    let long = Harness::new(Options {
-        warmup_runs: 1,
-        repetitions: 5,
-        resolution_multiple: 10_000,
-        min_interval: Duration::from_millis(10),
-        policy: SummaryPolicy::Minimum,
-    })
+    let long = Harness::new(
+        Options::quick()
+            .with_warmup_runs(1)
+            .with_repetitions(5)
+            .with_resolution_multiple(10_000)
+            .with_min_interval(Duration::from_millis(10))
+            .with_policy(SummaryPolicy::Minimum),
+    )
     .measure(work)
     .per_op_ns();
     assert!(short > 0.0 && long > 0.0);

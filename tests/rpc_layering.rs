@@ -49,7 +49,10 @@ fn rpc_payloads_round_trip_through_both_transports() {
         for len in [0usize, 4, 64, 4096] {
             let payload = bytes_of(len);
             let reply = cli.call(ECHO_PROC, payload.clone()).unwrap();
-            assert_eq!(reply, payload, "{protocol:?} corrupted a {len}-byte payload");
+            assert_eq!(
+                reply, payload,
+                "{protocol:?} corrupted a {len}-byte payload"
+            );
         }
     }
 }

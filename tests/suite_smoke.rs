@@ -7,7 +7,7 @@ use lmbench::results::ResultsDb;
 
 #[test]
 fn full_quick_suite_populates_every_row_and_reports() {
-    let run = run_suite(&SuiteConfig::quick());
+    let run = run_suite(&SuiteConfig::quick()).expect("valid config");
 
     // Every table's row must be present.
     assert!(run.system.is_some(), "table 1 row missing");
@@ -36,7 +36,10 @@ fn full_quick_suite_populates_every_row_and_reports() {
     let host_name = run.system.as_ref().unwrap().name.clone();
     let rendered = report::full_report(Some(&run));
     for n in 1..=17 {
-        assert!(rendered.contains(&format!("Table {n}.")), "Table {n} missing");
+        assert!(
+            rendered.contains(&format!("Table {n}.")),
+            "Table {n} missing"
+        );
     }
     assert!(
         rendered.contains(&host_name),
@@ -81,7 +84,7 @@ fn a_2026_host_beats_the_1995_fleet_where_it_matters() {
     // Modern hardware should outrank every 1995 machine on raw memory
     // bandwidth and syscall latency — if it doesn't, the harness is
     // mis-measuring by orders of magnitude.
-    let run = run_suite(&SuiteConfig::quick());
+    let run = run_suite(&SuiteConfig::quick()).expect("valid config");
     let cmp = report::comparisons(&run);
     let by_name = |prefix: &str| {
         cmp.iter()
