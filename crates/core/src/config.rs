@@ -42,6 +42,35 @@ impl RetryPolicy {
     }
 }
 
+/// How much the CLI narrates to stderr.
+///
+/// Precedence is fixed: `--quiet` beats `--verbose` beats the default, so
+/// scripts composing flag sets get deterministic output whatever order the
+/// flags arrive in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// Nothing but errors (and stdout data).
+    Quiet,
+    /// Suite summary and anything abnormal.
+    Normal,
+    /// Live scheduling, probes, calibration and per-metric narration.
+    Verbose,
+}
+
+impl Verbosity {
+    /// Resolves the `--quiet`/`--verbose` flag pair; quiet wins.
+    #[must_use]
+    pub fn from_flags(quiet: bool, verbose: bool) -> Self {
+        if quiet {
+            Verbosity::Quiet
+        } else if verbose {
+            Verbosity::Verbose
+        } else {
+            Verbosity::Normal
+        }
+    }
+}
+
 /// How much of each benchmark to run.
 ///
 /// Construct via [`SuiteConfig::paper`] or [`SuiteConfig::quick`] and
@@ -196,6 +225,16 @@ impl Default for SuiteConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quiet_beats_verbose_whatever_the_combination() {
+        assert_eq!(Verbosity::from_flags(false, false), Verbosity::Normal);
+        assert_eq!(Verbosity::from_flags(false, true), Verbosity::Verbose);
+        assert_eq!(Verbosity::from_flags(true, false), Verbosity::Quiet);
+        assert_eq!(Verbosity::from_flags(true, true), Verbosity::Quiet);
+        assert!(Verbosity::Quiet < Verbosity::Normal);
+        assert!(Verbosity::Normal < Verbosity::Verbose);
+    }
 
     #[test]
     fn both_presets_validate() {

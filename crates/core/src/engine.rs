@@ -21,6 +21,7 @@ use crate::host::detect_host;
 use crate::registry::{Benchmark, Registry};
 use lmb_results::{BenchRecord, BenchStatus, Provenance, RunReport, SuiteRun, TablePatch};
 use lmb_timing::{new_recorder, take_events, Harness, MeasureEvent};
+use lmb_trace::{emit, emit_in, ContextGuard, EventKind, Span, SpanId};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Mutex};
@@ -92,6 +93,10 @@ pub struct RunCtx {
     /// Results measured so far — empty in phase 1, populated for
     /// `derived` entries in phase 2.
     pub snapshot: SuiteRun,
+    /// The benchmark's trace span (`SpanId::NONE` when tracing is off);
+    /// runners may attribute their own events to it via
+    /// [`lmb_trace::emit_in`].
+    pub span: SpanId,
 }
 
 /// Injected failures, for tests and fault drills. Each field names the
@@ -172,6 +177,13 @@ impl Engine {
     pub fn execute(&self) -> EngineOutcome {
         let host = detect_host().name;
         let benches = self.registry.all();
+        let workers = self.config.workers.max(1);
+        let suite_span = Span::enter("suite");
+        let suite_id = suite_span.id();
+        emit(|| EventKind::SuiteStart {
+            benchmarks: benches.len() as u32,
+            workers: workers as u32,
+        });
         let slots: Mutex<Vec<Option<BenchResult>>> =
             Mutex::new((0..benches.len()).map(|_| None).collect());
 
@@ -182,22 +194,34 @@ impl Engine {
                 .filter(|&i| !benches[i].derived && !benches[i].exclusive)
                 .collect(),
         );
-        let workers = self.config.workers.max(1);
+        emit(|| EventKind::PhaseStart {
+            phase: "pool".into(),
+        });
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            // Shadow the owned locals as references so the `move` closures
+            // (which need their per-worker index by value) share them.
+            let (pool_queue, slots, host, empty) = (&pool_queue, &slots, &host, &empty);
+            for worker in 0..workers {
+                scope.spawn(move || loop {
                     let idx = pool_queue.lock().expect("queue lock").pop_front();
                     let Some(idx) = idx else { break };
-                    let result = self.run_one(&benches[idx], &host, &empty);
+                    emit_in(suite_id, || EventKind::Schedule {
+                        bench: benches[idx].name.to_string(),
+                        worker: worker as u32,
+                    });
+                    let result = self.run_one(&benches[idx], host, empty, suite_id);
                     slots.lock().expect("slots lock")[idx] = Some(result);
                 });
             }
         });
 
         // Phase 1b: interference-sensitive benchmarks, strictly serial.
+        emit(|| EventKind::PhaseStart {
+            phase: "exclusive".into(),
+        });
         for (idx, bench) in benches.iter().enumerate() {
             if bench.exclusive && !bench.derived {
-                let result = self.run_one(bench, &host, &empty);
+                let result = self.run_one(bench, &host, &empty, suite_id);
                 slots.lock().expect("slots lock")[idx] = Some(result);
             }
         }
@@ -213,10 +237,13 @@ impl Engine {
 
         // Phase 2: derived entries see the measured snapshot; each one's
         // patches land before the next runs.
+        emit(|| EventKind::PhaseStart {
+            phase: "derived".into(),
+        });
         for (idx, bench) in benches.iter().enumerate() {
             if bench.derived {
                 let snapshot = run.clone();
-                let (record, patches) = self.run_one(bench, &host, &snapshot);
+                let (record, patches) = self.run_one(bench, &host, &snapshot, suite_id);
                 for patch in patches {
                     patch.apply(&mut run);
                 }
@@ -230,12 +257,27 @@ impl Engine {
                 .map(|slot| slot.expect("every benchmark produced a record").0)
                 .collect(),
         };
+        emit(|| EventKind::SuiteEnd {
+            ok: report.count("ok") as u32,
+            failed: report.count("failed") as u32,
+            timeout: report.count("timeout") as u32,
+            skipped: report.count("skipped") as u32,
+        });
+        drop(suite_span);
         EngineOutcome { run, report }
     }
 
-    /// Runs one benchmark through probes, isolation, timeout and retry.
-    fn run_one(&self, bench: &Benchmark, host: &str, snapshot: &SuiteRun) -> BenchResult {
+    /// Runs one benchmark through probes, isolation, timeout and retry,
+    /// narrating every decision into the run's trace span.
+    fn run_one(
+        &self,
+        bench: &Benchmark,
+        host: &str,
+        snapshot: &SuiteRun,
+        suite_span: SpanId,
+    ) -> BenchResult {
         let started = Instant::now();
+        let span = Span::enter_with_parent(format!("bench:{}", bench.name), suite_span);
         let mut record = BenchRecord {
             name: bench.name.to_string(),
             produces: bench.produces.to_string(),
@@ -244,17 +286,41 @@ impl Engine {
             wall_ms: 0.0,
             exclusive: bench.exclusive,
             provenance: None,
+            span: span.id().as_option(),
         };
         let (inject_panic, inject_hang, deny_substrate) = self.faults.names(bench.name);
 
         let probe_failure = if deny_substrate {
-            Some("injected fault: substrate reported missing".to_string())
+            let reason = "injected fault: substrate reported missing".to_string();
+            emit(|| EventKind::Probe {
+                substrate: "injected".into(),
+                ok: false,
+                detail: reason.clone(),
+            });
+            Some(reason)
         } else {
-            bench.requires.iter().find_map(|s| s.probe().err())
+            let mut failure = None;
+            for s in bench.requires {
+                let result = s.probe();
+                emit(|| EventKind::Probe {
+                    substrate: s.describe().to_string(),
+                    ok: result.is_ok(),
+                    detail: result.clone().err().unwrap_or_default(),
+                });
+                if let Err(reason) = result {
+                    failure = Some(reason);
+                    break;
+                }
+            }
+            failure
         };
         if let Some(reason) = probe_failure {
+            emit(|| EventKind::Skip {
+                reason: reason.clone(),
+            });
             record.status = BenchStatus::Skipped(reason);
             record.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            emit_outcome(&record);
             return (record, Vec::new());
         }
 
@@ -268,12 +334,21 @@ impl Engine {
         let mut patches = Vec::new();
         loop {
             record.attempts += 1;
+            emit(|| EventKind::Attempt {
+                attempt: record.attempts,
+            });
+            // Exact under serial execution (exclusive/derived phases, or a
+            // one-worker pool); with concurrent workers a delta may include
+            // a neighbour's calls — the counters are process-global.
+            let sys_before = lmb_sys::syscall_snapshot();
             let recorder = new_recorder();
+            let bench_span = span.id();
             let ctx = RunCtx {
                 harness: Harness::new(self.config.options).with_recorder(recorder.clone()),
                 config: self.config,
                 host: host.to_string(),
                 snapshot: snapshot.clone(),
+                span: bench_span,
             };
             let runner = bench.runner_fn();
             let (tx, rx) = mpsc::channel();
@@ -284,6 +359,10 @@ impl Engine {
             std::thread::Builder::new()
                 .name(format!("bench-{}", bench.name))
                 .spawn(move || {
+                    // The bench span lives on the engine's thread; re-enter
+                    // it here so the harness's warmup/calibration events
+                    // land under the right benchmark.
+                    let _trace_ctx = ContextGuard::enter(bench_span);
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         if inject_panic {
                             panic!("injected fault: forced panic");
@@ -299,35 +378,71 @@ impl Engine {
 
             match rx.recv_timeout(timeout) {
                 Err(_) => {
+                    emit(|| EventKind::Timeout { limit_ms });
                     record.status = BenchStatus::TimedOut { limit_ms };
                     break;
                 }
                 Ok(Err(panic_msg)) => {
+                    emit(|| EventKind::Panic {
+                        message: panic_msg.clone(),
+                    });
                     record.status = BenchStatus::Failed(panic_msg);
                     break;
                 }
                 Ok(Ok(output)) => {
+                    emit(|| EventKind::Syscalls {
+                        counts: sys_before.delta(&lmb_sys::syscall_snapshot()),
+                    });
                     record.provenance = provenance_from(&take_events(&recorder));
                     if let Some(reason) = output.skip {
+                        emit(|| EventKind::Skip {
+                            reason: reason.clone(),
+                        });
                         record.status = BenchStatus::Skipped(reason);
                         break;
                     }
                     record.status = BenchStatus::Ok;
+                    for m in &output.metrics {
+                        emit(|| EventKind::Metric {
+                            label: m.label.to_string(),
+                            value: m.value,
+                            unit: m.unit.name().to_string(),
+                        });
+                    }
                     patches = output.patches;
-                    let noisy = record
+                    let noisy_cv = record
                         .provenance
                         .as_ref()
-                        .is_some_and(|p| p.cv > self.config.retry.cv_threshold);
-                    if noisy && record.attempts < max_attempts {
-                        continue;
+                        .map(|p| p.cv)
+                        .filter(|&cv| cv > self.config.retry.cv_threshold);
+                    if let Some(cv) = noisy_cv {
+                        if record.attempts < max_attempts {
+                            emit(|| EventKind::Retry {
+                                attempt: record.attempts,
+                                cv,
+                                threshold: self.config.retry.cv_threshold,
+                            });
+                            continue;
+                        }
                     }
                     break;
                 }
             }
         }
         record.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        emit_outcome(&record);
         (record, patches)
     }
+}
+
+/// Emits the per-benchmark closing event (the caller's thread still has the
+/// bench span entered, so attribution is implicit).
+fn emit_outcome(record: &BenchRecord) {
+    emit(|| EventKind::Outcome {
+        status: record.status.label().to_string(),
+        attempts: record.attempts,
+        wall_ms: record.wall_ms,
+    });
 }
 
 /// Renders a panic payload as a failure reason.
@@ -506,6 +621,152 @@ mod tests {
             .map(|r| r.name.as_str())
             .collect();
         assert_eq!(reported, names);
+    }
+
+    /// Serializes the tests that install a process-global trace sink.
+    fn trace_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn traced_execute(engine: &Engine) -> (EngineOutcome, Vec<lmb_trace::TraceEvent>) {
+        let sink = lmb_trace::MemorySink::shared();
+        let handle = lmb_trace::install(Box::new(sink.clone()));
+        let outcome = engine.execute();
+        lmb_trace::uninstall(handle);
+        (outcome, sink.events())
+    }
+
+    /// Events attributed to the named benchmark's span in this outcome.
+    fn bench_events<'e>(
+        outcome: &EngineOutcome,
+        events: &'e [lmb_trace::TraceEvent],
+        bench: &str,
+    ) -> Vec<&'e lmb_trace::TraceEvent> {
+        let span = outcome.report.find(bench).unwrap().span;
+        assert!(span.is_some(), "{bench} record carries no span id");
+        events.iter().filter(|e| e.span == span).collect()
+    }
+
+    #[test]
+    fn traced_run_narrates_lifecycle_and_links_spans() {
+        let _guard = trace_test_lock();
+        let engine = engine_for(&["sys_info", "lat_syscall"], fast_config());
+        let (outcome, events) = traced_execute(&engine);
+        assert!(
+            events.iter().any(|e| matches!(
+                e.kind,
+                EventKind::SuiteStart {
+                    benchmarks: 2,
+                    workers: 1
+                }
+            )),
+            "suite_start missing"
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SuiteEnd { ok: 2, .. })));
+        for phase in ["pool", "exclusive", "derived"] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(&e.kind, EventKind::PhaseStart { phase: p } if p == phase)),
+                "phase_start {phase} missing"
+            );
+        }
+        let mine = bench_events(&outcome, &events, "lat_syscall");
+        let has = |pred: &dyn Fn(&EventKind) -> bool| mine.iter().any(|e| pred(&e.kind));
+        assert!(
+            has(&|k| matches!(k, EventKind::SpanStart { name, .. } if name == "bench:lat_syscall")),
+            "span_start missing: {mine:?}"
+        );
+        assert!(has(&|k| matches!(k, EventKind::SpanEnd { .. })));
+        assert!(has(&|k| matches!(k, EventKind::Probe { ok: true, .. })));
+        assert!(has(&|k| matches!(k, EventKind::Attempt { attempt: 1 })));
+        assert!(
+            has(&|k| matches!(k, EventKind::Warmup { .. })),
+            "harness warmup not attributed to the bench span (ContextGuard broken?)"
+        );
+        assert!(has(&|k| matches!(k, EventKind::Calibrated { .. })));
+        assert!(has(&|k| matches!(k, EventKind::Metric { .. })));
+        assert!(
+            has(&|k| matches!(k, EventKind::Syscalls { counts } if counts.contains_key("write"))),
+            "lat_syscall writes /dev/null; write count missing"
+        );
+        assert!(has(
+            &|k| matches!(k, EventKind::Outcome { status, .. } if status == "ok")
+        ));
+    }
+
+    #[test]
+    fn retry_on_noise_emits_retry_events_with_the_cv() {
+        let _guard = trace_test_lock();
+        let config = fast_config().with_retry(RetryPolicy {
+            max_attempts: 3,
+            cv_threshold: -1.0,
+        });
+        let engine = engine_for(&["lat_syscall"], config);
+        let (outcome, events) = traced_execute(&engine);
+        let mine = bench_events(&outcome, &events, "lat_syscall");
+        let retries: Vec<_> = mine
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Retry {
+                    attempt,
+                    cv,
+                    threshold,
+                } => Some((*attempt, *cv, *threshold)),
+                _ => None,
+            })
+            .collect();
+        // Attempts 1 and 2 look noisy and retry; attempt 3 hits the cap.
+        assert_eq!(retries.len(), 2, "{retries:?}");
+        assert_eq!(retries[0].0, 1);
+        assert_eq!(retries[1].0, 2);
+        for (_, cv, threshold) in retries {
+            assert!(cv > threshold, "retry fired with cv {cv} <= {threshold}");
+            assert_eq!(threshold, -1.0);
+        }
+        let attempts = mine
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Attempt { .. }))
+            .count();
+        assert_eq!(attempts, 3);
+    }
+
+    #[test]
+    fn faulted_runs_emit_their_terminal_events() {
+        let _guard = trace_test_lock();
+        let config = fast_config().with_timeout(Duration::from_millis(150));
+        let engine =
+            engine_for(&["lat_syscall", "lat_sig", "lat_fs"], config).with_faults(FaultPlan {
+                panic_in: Some("lat_syscall".into()),
+                hang_in: Some("lat_sig".into()),
+                deny_substrate_in: Some("lat_fs".into()),
+            });
+        let (outcome, events) = traced_execute(&engine);
+        assert!(
+            bench_events(&outcome, &events, "lat_syscall").iter().any(
+                |e| matches!(&e.kind, EventKind::Panic { message } if message.contains("forced panic"))
+            ),
+            "panic event missing"
+        );
+        assert!(bench_events(&outcome, &events, "lat_sig")
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Timeout { limit_ms: 150 })));
+        let fs = bench_events(&outcome, &events, "lat_fs");
+        assert!(fs
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::Probe { ok: false, .. })));
+        assert!(fs.iter().any(|e| matches!(&e.kind, EventKind::Skip { .. })));
+    }
+
+    #[test]
+    fn untraced_run_records_no_span_ids() {
+        let _guard = trace_test_lock();
+        let outcome = engine_for(&["sys_info"], fast_config()).execute();
+        assert_eq!(outcome.report.find("sys_info").unwrap().span, None);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod registry;
 pub mod report;
 pub mod suite;
 
-pub use config::{RetryPolicy, SuiteConfig};
+pub use config::{RetryPolicy, SuiteConfig, Verbosity};
 pub use engine::{Engine, EngineOutcome, FaultPlan, RunCtx, Substrate};
 pub use error::SuiteError;
 pub use host::detect_host;

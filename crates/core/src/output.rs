@@ -41,6 +41,20 @@ impl Unit {
         }
     }
 
+    /// Bare unit name (no spacing), for structured outputs like trace
+    /// metric events.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::MbPerSec => "MB/s",
+            Unit::Micros => "us",
+            Unit::Millis => "ms",
+            Unit::Nanos => "ns",
+            Unit::Ratio => "x",
+            Unit::Count => "count",
+        }
+    }
+
     /// Decimal places appropriate for the unit's typical magnitude.
     fn precision(self) -> usize {
         match self {

@@ -463,6 +463,31 @@ pub fn figure_2(curves: &[lmb_proc::ctx::CtxCurve]) -> String {
     plot.render()
 }
 
+/// Renders the provenance section of `lmbench report`: what the harness
+/// actually did for every measured row.
+pub fn provenance_section(report: &lmb_results::RunReport) -> String {
+    let mut out = String::from("=== Measurement provenance ===\n");
+    out.push_str(&format!(
+        "{:<16} {:<22} {:>4} {:>12} {:>11} {:>11} {:>8} {:>7}\n",
+        "benchmark", "produces", "reps", "iterations", "min(ns)", "median(ns)", "gap", "cv"
+    ));
+    for rec in &report.records {
+        let Some(p) = &rec.provenance else { continue };
+        out.push_str(&format!(
+            "{:<16} {:<22} {:>4} {:>12} {:>11.1} {:>11.1} {:>7.1}% {:>6.1}%\n",
+            rec.name,
+            rec.produces,
+            p.repetitions,
+            p.calibrated_iterations,
+            p.sample_min_ns,
+            p.sample_median_ns,
+            p.min_median_gap * 100.0,
+            p.cv * 100.0
+        ));
+    }
+    out
+}
+
 /// Paper-vs-measured comparisons for every metric the run produced — the
 /// EXPERIMENTS.md feed.
 pub fn comparisons(run: &SuiteRun) -> Vec<Comparison> {
@@ -657,6 +682,47 @@ mod tests {
         // Spot-check paper values survive rendering.
         assert!(report.contains("IBM Power2"));
         assert!(report.contains("79.3"), "hippi bandwidth missing");
+    }
+
+    #[test]
+    fn provenance_section_lists_only_measured_rows() {
+        let measured = lmb_results::BenchRecord {
+            name: "lat_syscall".into(),
+            produces: "Table 7".into(),
+            status: lmb_results::BenchStatus::Ok,
+            attempts: 1,
+            wall_ms: 3.0,
+            exclusive: false,
+            provenance: Some(lmb_results::Provenance {
+                repetitions: 2,
+                warmup_runs: 1,
+                calibrated_iterations: 1024,
+                clock_resolution_ns: 30.0,
+                sample_min_ns: 400.0,
+                sample_median_ns: 410.0,
+                sample_max_ns: 460.0,
+                min_median_gap: 0.025,
+                cv: 0.05,
+                measure_calls: 1,
+            }),
+            span: Some(7),
+        };
+        let skipped = lmb_results::BenchRecord {
+            name: "lat_tcp_rpc".into(),
+            produces: "Table 11".into(),
+            status: lmb_results::BenchStatus::Skipped("no loopback".into()),
+            attempts: 0,
+            wall_ms: 0.1,
+            exclusive: false,
+            provenance: None,
+            span: None,
+        };
+        let text = provenance_section(&lmb_results::RunReport {
+            records: vec![measured, skipped],
+        });
+        assert!(text.contains("lat_syscall"));
+        assert!(text.contains("1024"));
+        assert!(!text.contains("lat_tcp_rpc"), "{text}");
     }
 
     #[test]

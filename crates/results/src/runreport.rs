@@ -141,6 +141,9 @@ pub struct BenchRecord {
     /// Measurement provenance, when the benchmark ran far enough to record
     /// any (absent for skips and derived/model entries).
     pub provenance: Option<Provenance>,
+    /// The benchmark's span id in the run's trace (when `--trace` was
+    /// active), linking this row to its `span_start`/`span_end` events.
+    pub span: Option<u64>,
 }
 
 /// Everything the engine can say about a suite run, beyond the results.
@@ -172,6 +175,17 @@ impl RunReport {
         self.records
             .iter()
             .all(|r| matches!(r.status, BenchStatus::Ok | BenchStatus::Skipped(_)))
+    }
+
+    /// Serializes to pretty-printed JSON (the `--report-json` artifact).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report types always serialize")
+    }
+
+    /// Parses a report back from [`RunReport::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
     }
 
     /// Render the report as a fixed-width text table with a trailing
@@ -226,6 +240,7 @@ mod tests {
             wall_ms: 12.5,
             exclusive: false,
             provenance: None,
+            span: None,
         }
     }
 
@@ -273,6 +288,46 @@ mod tests {
         let text = report.render();
         assert!(text.contains("forced panic"));
         assert!(text.contains("1 ok, 1 failed, 1 timeout, 1 skipped of 4"));
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let report = RunReport {
+            records: vec![
+                record("lat_syscall", BenchStatus::Ok),
+                record("lat_ctx", BenchStatus::Skipped("no loopback".into())),
+            ],
+        };
+        let shown = format!("{report}");
+        assert_eq!(shown, report.render());
+        assert!(shown.starts_with("benchmark"), "header row first: {shown}");
+        assert!(shown.contains("no loopback"));
+        assert!(shown.ends_with("of 2 benchmarks\n"));
+    }
+
+    #[test]
+    fn report_json_roundtrips() {
+        let report = RunReport {
+            records: vec![
+                record("lat_syscall", BenchStatus::Ok),
+                record("bw_mem", BenchStatus::TimedOut { limit_ms: 77 }),
+            ],
+        };
+        let back = RunReport::from_json(&report.to_json()).expect("parse own JSON");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn span_link_roundtrips() {
+        let mut rec = record("lat_syscall", BenchStatus::Ok);
+        rec.span = Some(41);
+        let report = RunReport {
+            records: vec![rec.clone(), record("bw_mem", BenchStatus::Ok)],
+        };
+        let back = RunReport::from_value(&report.to_value()).expect("roundtrip");
+        assert_eq!(back.records[0].span, Some(41));
+        assert_eq!(back.records[1].span, None);
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Owned file descriptors and raw read/write.
 
+use crate::count::{note, SyscallClass};
 use crate::error::{check, Errno, Result};
 use std::ffi::CString;
 use std::os::unix::ffi::OsStrExt;
@@ -33,6 +34,7 @@ impl Fd {
 
     /// Opens `path` with the given `open(2)` flags and mode 0o644.
     pub fn open(path: &Path, flags: i32) -> Result<Self> {
+        note(SyscallClass::Open);
         let cpath = CString::new(path.as_os_str().as_bytes()).map_err(|_| Errno(libc::EINVAL))?;
         // SAFETY: `cpath` is a valid NUL-terminated string; flags/mode are
         // plain integers; open returns -1 on failure which `check_int`
@@ -51,6 +53,7 @@ impl Fd {
     /// One `write(2)` call. Returns bytes written.
     #[inline]
     pub fn write(&self, buf: &[u8]) -> Result<usize> {
+        note(SyscallClass::Write);
         // SAFETY: `buf` is a valid initialized slice for the duration of the
         // call; the kernel reads at most `buf.len()` bytes from it.
         check(unsafe { libc::write(self.0, buf.as_ptr().cast(), buf.len()) })
@@ -59,6 +62,7 @@ impl Fd {
     /// One `read(2)` call. Returns bytes read (0 at EOF).
     #[inline]
     pub fn read(&self, buf: &mut [u8]) -> Result<usize> {
+        note(SyscallClass::Read);
         // SAFETY: `buf` is valid writable memory of `buf.len()` bytes; the
         // kernel writes at most that many bytes into it.
         check(unsafe { libc::read(self.0, buf.as_mut_ptr().cast(), buf.len()) })
@@ -94,6 +98,7 @@ impl Fd {
 
     /// `lseek(2)` to an absolute offset. Returns the new offset.
     pub fn seek_to(&self, offset: u64) -> Result<u64> {
+        note(SyscallClass::Seek);
         // SAFETY: plain integer arguments; -1 indicates failure.
         let ret = unsafe { libc::lseek(self.0, offset as libc::off_t, libc::SEEK_SET) };
         if ret < 0 {

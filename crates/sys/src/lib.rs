@@ -11,6 +11,7 @@
 //! crate, each block carrying a `// SAFETY:` justification per the kernel
 //! Rust coding guidelines.
 
+pub mod count;
 pub mod error;
 pub mod fd;
 pub mod isolate;
@@ -20,6 +21,7 @@ pub mod process;
 pub mod signal;
 pub mod sock;
 
+pub use count::{snapshot as syscall_snapshot, SyscallClass, SyscallSnapshot};
 pub use error::{Errno, Result};
 pub use fd::Fd;
 pub use isolate::{run_isolated, ChildOutcome};

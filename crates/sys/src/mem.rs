@@ -4,6 +4,7 @@
 //! file cache without copying the data." [`FileMapping`] maps a whole file
 //! read-only so the benchmark can sum it in place.
 
+use crate::count::{note, SyscallClass};
 use crate::error::{Errno, Result};
 use crate::fd::Fd;
 use std::path::Path;
@@ -35,6 +36,7 @@ impl FileMapping {
         if len == 0 {
             return Err(Errno(libc::EINVAL));
         }
+        note(SyscallClass::Mmap);
         // SAFETY: fd is open for reading, len matches the file size, addr
         // NULL lets the kernel choose placement. MAP_FAILED is checked.
         let addr = unsafe {

@@ -1,5 +1,6 @@
 //! `pipe(2)` wrapper.
 
+use crate::count::{note, SyscallClass};
 use crate::error::{check_int, Result};
 use crate::fd::Fd;
 
@@ -17,6 +18,7 @@ pub struct Pipe {
 impl Pipe {
     /// Creates a pipe.
     pub fn new() -> Result<Self> {
+        note(SyscallClass::Pipe);
         let mut fds = [0i32; 2];
         // SAFETY: `fds` is a valid 2-element int array; pipe writes both
         // entries exactly when it returns 0.

@@ -4,6 +4,7 @@
 //! new process with a `fork` and/or `fork`/`execve`. Starting programs this
 //! way should be fast and 'light'."
 
+use crate::count::{note, SyscallClass};
 use crate::error::{check_int, Errno, Result};
 use std::ffi::CString;
 
@@ -49,6 +50,7 @@ impl ExitStatus {
 /// `execve`/`_exit`, which is exactly the allowed set.
 #[inline]
 pub fn fork() -> Result<ForkResult> {
+    note(SyscallClass::Fork);
     // SAFETY: fork takes no pointers. The child-side restrictions above are
     // documented for callers; nothing here violates them.
     let pid = check_int(unsafe { libc::fork() })?;
@@ -63,12 +65,14 @@ pub fn fork() -> Result<ForkResult> {
 /// system call, measured alongside the nontrivial `/dev/null` write.
 #[inline]
 pub fn getpid() -> Pid {
+    note(SyscallClass::GetPid);
     // SAFETY: getpid has no failure modes and takes no pointers.
     Pid(unsafe { libc::getpid() })
 }
 
 /// `waitpid(2)` on a specific child, restarted on `EINTR`.
 pub fn waitpid(pid: Pid) -> Result<ExitStatus> {
+    note(SyscallClass::Wait);
     let mut status: i32 = 0;
     loop {
         // SAFETY: `status` is a valid out-pointer for the duration of the
@@ -109,6 +113,7 @@ pub fn exit_immediately(code: i32) -> ! {
 ///
 /// Returns the errno on failure so the child can `_exit` with a marker.
 pub fn execv(path: &str, argv: &[&str]) -> Errno {
+    note(SyscallClass::Exec);
     let cpath = match CString::new(path) {
         Ok(c) => c,
         Err(_) => return Errno(libc::EINVAL),

@@ -5,6 +5,7 @@
 //! process. It measures signal handling by installing a signal handler and
 //! then repeatedly sending itself the signal."
 
+use crate::count::{note, SyscallClass};
 use crate::error::{check_int, Result};
 use crate::process::Pid;
 
@@ -39,6 +40,7 @@ pub type Handler = extern "C" fn(i32);
 /// The handler must be async-signal-safe; the benchmark handlers only
 /// increment an atomic.
 pub fn install_handler(sig: Signal, handler: Handler) -> Result<()> {
+    note(SyscallClass::Sigaction);
     // SAFETY: zero-initialized sigaction is a valid starting state; we then
     // set the handler pointer and an emptied mask before passing it to the
     // kernel. `sigemptyset` initializes the mask field it is given.
@@ -54,6 +56,7 @@ pub fn install_handler(sig: Signal, handler: Handler) -> Result<()> {
 
 /// Resets `sig` to its default disposition.
 pub fn reset_default(sig: Signal) -> Result<()> {
+    note(SyscallClass::Sigaction);
     // SAFETY: as in `install_handler`, with SIG_DFL as the handler.
     unsafe {
         let mut action: libc::sigaction = std::mem::zeroed();
@@ -68,6 +71,7 @@ pub fn reset_default(sig: Signal) -> Result<()> {
 /// the dispatch benchmark generates its signals.
 #[inline]
 pub fn raise(sig: Signal) -> Result<()> {
+    note(SyscallClass::Kill);
     // SAFETY: raise takes a plain signal number.
     check_int(unsafe { libc::raise(sig.raw()) })?;
     Ok(())
@@ -76,6 +80,7 @@ pub fn raise(sig: Signal) -> Result<()> {
 /// Sends `sig` to another process.
 #[inline]
 pub fn kill(pid: Pid, sig: Signal) -> Result<()> {
+    note(SyscallClass::Kill);
     // SAFETY: kill takes plain integers.
     check_int(unsafe { libc::kill(pid.0, sig.raw()) })?;
     Ok(())

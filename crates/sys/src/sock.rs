@@ -5,6 +5,7 @@
 //! found that setting the transfer size equal to the socket buffer size
 //! produces the greatest throughput over the most implementations."
 
+use crate::count::{note, SyscallClass};
 use crate::error::{check_int, Result};
 use std::os::fd::AsRawFd;
 
@@ -16,6 +17,7 @@ pub fn set_socket_buffers<S: AsRawFd>(sock: &S, bytes: usize) -> Result<()> {
     let fd = sock.as_raw_fd();
     let val = bytes as libc::c_int;
     for opt in [libc::SO_SNDBUF, libc::SO_RCVBUF] {
+        note(SyscallClass::Sockopt);
         // SAFETY: `val` outlives the call and optlen matches its size.
         check_int(unsafe {
             libc::setsockopt(
@@ -35,6 +37,7 @@ pub fn socket_buffer_sizes<S: AsRawFd>(sock: &S) -> Result<(usize, usize)> {
     let fd = sock.as_raw_fd();
     let mut out = [0usize; 2];
     for (i, opt) in [libc::SO_SNDBUF, libc::SO_RCVBUF].into_iter().enumerate() {
+        note(SyscallClass::Sockopt);
         let mut val: libc::c_int = 0;
         let mut len = std::mem::size_of::<libc::c_int>() as libc::socklen_t;
         // SAFETY: `val`/`len` are valid out-pointers sized for a c_int.

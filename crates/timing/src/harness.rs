@@ -164,10 +164,17 @@ impl Harness {
     /// operation (one syscall, one signal, ...). Use [`Harness::measure_block`]
     /// when the body is itself a loop.
     pub fn measure(&self, mut body: impl FnMut()) -> Measurement {
+        lmb_trace::emit(|| lmb_trace::EventKind::Warmup {
+            runs: self.options.warmup_runs,
+        });
         for _ in 0..self.options.warmup_runs {
             body();
         }
         let cal = calibrate_iterations(self.target_interval(), &mut body);
+        lmb_trace::emit(|| lmb_trace::EventKind::Calibrated {
+            iterations: cal.iterations,
+            clock_resolution_ns: self.clock.resolution_ns,
+        });
         let mut samples = Samples::new();
         for _ in 0..self.options.repetitions {
             samples.push(time_per_iteration(cal.iterations, &mut body));
@@ -187,9 +194,16 @@ impl Harness {
     /// Panics if `ops` is zero.
     pub fn measure_block(&self, ops: u64, mut body: impl FnMut()) -> Measurement {
         assert!(ops > 0, "measure_block needs ops > 0");
+        lmb_trace::emit(|| lmb_trace::EventKind::Warmup {
+            runs: self.options.warmup_runs,
+        });
         for _ in 0..self.options.warmup_runs {
             body();
         }
+        lmb_trace::emit(|| lmb_trace::EventKind::Calibrated {
+            iterations: ops,
+            clock_resolution_ns: self.clock.resolution_ns,
+        });
         let mut samples = Samples::new();
         for _ in 0..self.options.repetitions {
             samples.push(time_block(ops, &mut body));
@@ -332,6 +346,33 @@ mod tests {
         assert_eq!(o.resolution_multiple, 50);
         assert_eq!(o.min_interval, Duration::from_micros(123));
         assert_eq!(o.policy, SummaryPolicy::Median);
+    }
+
+    #[test]
+    fn measurements_emit_warmup_and_calibration_trace_events() {
+        // The only sink-installing test in this crate; other tests never
+        // emit (tracing stays disabled for them), so no cross-test filter
+        // beyond event kind is needed.
+        let sink = lmb_trace::MemorySink::shared();
+        let handle = lmb_trace::install(Box::new(sink.clone()));
+        let h = Harness::new(Options::quick());
+        h.measure(|| {
+            std::hint::black_box(2u64 * 2);
+        });
+        h.measure_block(64, || {
+            std::hint::black_box((0..64u64).product::<u64>());
+        });
+        lmb_trace::uninstall(handle);
+        let events = sink.events();
+        let warmups = events
+            .iter()
+            .filter(|e| matches!(e.kind, lmb_trace::EventKind::Warmup { .. }))
+            .count();
+        assert!(warmups >= 2, "warmup events: {warmups}");
+        let block_cal = events.iter().any(
+            |e| matches!(e.kind, lmb_trace::EventKind::Calibrated { iterations, .. } if iterations == 64),
+        );
+        assert!(block_cal, "measure_block calibration event missing");
     }
 
     #[test]

@@ -1,0 +1,490 @@
+//! The trace event vocabulary: everything the suite can say about itself.
+//!
+//! One [`TraceEvent`] is one line of a JSONL trace. Events are flat — the
+//! kind tag and its payload fields live next to the sequence number,
+//! timestamp and owning span — so a consumer can `grep '"kind":"timeout"'`
+//! a trace without a parser, and a parser can rebuild every event
+//! losslessly (the round-trip is tested over every kind).
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+
+/// What one trace line reports.
+///
+/// The variants mirror the engine's interesting decisions (paper §3.4
+/// methodology — calibration, warm-up, dispersion — plus the fault
+/// machinery added on top): span boundaries, scheduling, probes,
+/// calibration, retries, timeouts, panics, skips, metrics, syscall counts
+/// and final outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A suite run began.
+    SuiteStart {
+        /// Registry entries about to execute.
+        benchmarks: u32,
+        /// Worker-pool width for non-exclusive entries.
+        workers: u32,
+    },
+    /// The engine moved to a new scheduling phase (`pool`, `exclusive`,
+    /// `derived`).
+    PhaseStart {
+        /// Phase name.
+        phase: String,
+    },
+    /// A benchmark was handed to a worker (worker 0 is the engine's own
+    /// thread, used for exclusive and derived entries).
+    Schedule {
+        /// Benchmark name.
+        bench: String,
+        /// Worker index that picked it up.
+        worker: u32,
+    },
+    /// A span opened; the event's `span` field is the new span's id.
+    SpanStart {
+        /// Span name (`suite`, `bench:lat_syscall`, ...).
+        name: String,
+        /// Enclosing span, if any.
+        parent: Option<u64>,
+    },
+    /// A span closed; the event's `span` field is the closing span's id.
+    SpanEnd {
+        /// Span name, repeated so JSONL consumers need not join.
+        name: String,
+        /// Wall-clock lifetime of the span, microseconds.
+        elapsed_us: f64,
+    },
+    /// A substrate probe ran before a benchmark launched.
+    Probe {
+        /// Probed facility (`/dev/null`, `loopback networking`, ...).
+        substrate: String,
+        /// Whether the facility is usable.
+        ok: bool,
+        /// Failure reason when `ok` is false, empty otherwise.
+        detail: String,
+    },
+    /// The harness ran its untimed warm-up (paper §3.4 "Caching").
+    Warmup {
+        /// Untimed runs performed.
+        runs: u32,
+    },
+    /// The harness calibrated a timed loop (paper §3.4 "Clock resolution").
+    Calibrated {
+        /// Loop iterations chosen per timed interval.
+        iterations: u64,
+        /// Probed clock resolution, ns.
+        clock_resolution_ns: f64,
+    },
+    /// One isolated execution attempt of a benchmark began.
+    Attempt {
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// The engine re-ran a benchmark because its samples were too noisy.
+    Retry {
+        /// The attempt that was judged noisy.
+        attempt: u32,
+        /// The coefficient of variation that triggered the retry.
+        cv: f64,
+        /// The policy ceiling it exceeded.
+        threshold: f64,
+    },
+    /// The watchdog abandoned a benchmark past its wall-clock budget.
+    Timeout {
+        /// The budget that was exceeded, milliseconds.
+        limit_ms: u64,
+    },
+    /// A benchmark panicked and was contained.
+    Panic {
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// A benchmark was skipped (failed probe or mid-run self-report).
+    Skip {
+        /// Why it could not run here.
+        reason: String,
+    },
+    /// A headline number a benchmark produced.
+    Metric {
+        /// What was measured (`pipe`, `fork`, ...; may be empty).
+        label: String,
+        /// The value, in `unit`s.
+        value: f64,
+        /// Unit name (`MB/s`, `us`, `ns`, ...).
+        unit: String,
+    },
+    /// Syscalls observed at the `lmb-sys` wrapper layer during a benchmark
+    /// (process-global counters; exact under serial execution, see
+    /// `lmb_sys::count`).
+    Syscalls {
+        /// Nonzero per-class counts.
+        counts: BTreeMap<String, u64>,
+    },
+    /// A benchmark's final outcome, mirroring its `BenchRecord`.
+    Outcome {
+        /// Status label (`ok`, `failed`, `timeout`, `skipped`).
+        status: String,
+        /// Attempts made.
+        attempts: u32,
+        /// Wall-clock across all attempts, milliseconds.
+        wall_ms: f64,
+    },
+    /// The suite run finished.
+    SuiteEnd {
+        /// Benchmarks that produced usable results.
+        ok: u32,
+        /// Benchmarks that failed.
+        failed: u32,
+        /// Benchmarks the watchdog abandoned.
+        timeout: u32,
+        /// Benchmarks that were skipped.
+        skipped: u32,
+    },
+}
+
+impl EventKind {
+    /// The JSONL `"kind"` tag.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::SuiteStart { .. } => "suite_start",
+            EventKind::PhaseStart { .. } => "phase_start",
+            EventKind::Schedule { .. } => "schedule",
+            EventKind::SpanStart { .. } => "span_start",
+            EventKind::SpanEnd { .. } => "span_end",
+            EventKind::Probe { .. } => "probe",
+            EventKind::Warmup { .. } => "warmup",
+            EventKind::Calibrated { .. } => "calibrated",
+            EventKind::Attempt { .. } => "attempt",
+            EventKind::Retry { .. } => "retry",
+            EventKind::Timeout { .. } => "timeout",
+            EventKind::Panic { .. } => "panic",
+            EventKind::Skip { .. } => "skip",
+            EventKind::Metric { .. } => "metric",
+            EventKind::Syscalls { .. } => "syscalls",
+            EventKind::Outcome { .. } => "outcome",
+            EventKind::SuiteEnd { .. } => "suite_end",
+        }
+    }
+
+    /// One representative of every kind, for round-trip and rendering
+    /// tests (kept here so adding a variant forces updating coverage).
+    #[must_use]
+    pub fn samples() -> Vec<EventKind> {
+        let mut counts = BTreeMap::new();
+        counts.insert("write".to_string(), 4096u64);
+        counts.insert("fork".to_string(), 12u64);
+        vec![
+            EventKind::SuiteStart {
+                benchmarks: 17,
+                workers: 2,
+            },
+            EventKind::PhaseStart {
+                phase: "pool".into(),
+            },
+            EventKind::Schedule {
+                bench: "lat_syscall".into(),
+                worker: 1,
+            },
+            EventKind::SpanStart {
+                name: "bench:lat_syscall".into(),
+                parent: Some(1),
+            },
+            EventKind::SpanEnd {
+                name: "bench:lat_syscall".into(),
+                elapsed_us: 1523.5,
+            },
+            EventKind::Probe {
+                substrate: "/dev/null".into(),
+                ok: false,
+                detail: "unavailable".into(),
+            },
+            EventKind::Warmup { runs: 2 },
+            EventKind::Calibrated {
+                iterations: 4096,
+                clock_resolution_ns: 30.0,
+            },
+            EventKind::Attempt { attempt: 1 },
+            EventKind::Retry {
+                attempt: 1,
+                cv: 0.31,
+                threshold: 0.25,
+            },
+            EventKind::Timeout { limit_ms: 500 },
+            EventKind::Panic {
+                message: "index out of bounds".into(),
+            },
+            EventKind::Skip {
+                reason: "no loopback".into(),
+            },
+            EventKind::Metric {
+                label: "pipe".into(),
+                value: 330.4,
+                unit: "MB/s".into(),
+            },
+            EventKind::Syscalls { counts },
+            EventKind::Outcome {
+                status: "ok".into(),
+                attempts: 2,
+                wall_ms: 81.25,
+            },
+            EventKind::SuiteEnd {
+                ok: 14,
+                failed: 1,
+                timeout: 1,
+                skipped: 1,
+            },
+        ]
+    }
+}
+
+/// One trace line: a globally sequenced, timestamped event, attributed to
+/// the span it happened inside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Process-global sequence number (total order across threads).
+    pub seq: u64,
+    /// Microseconds since the trace epoch (first tracer use).
+    pub t_us: f64,
+    /// The span this event belongs to. For `SpanStart`/`SpanEnd` this is
+    /// the span being opened/closed itself.
+    pub span: Option<u64>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+// The derive shim only handles structs with fixed fields; events flatten
+// their kind payload into the top-level object, so both directions are
+// written by hand (mirroring `BenchStatus` in lmb-results).
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> Value {
+        let mut obj = Value::object();
+        obj.set("seq", Value::Int(i128::from(self.seq)));
+        obj.set("t_us", Value::Float(self.t_us));
+        obj.set("span", self.span.to_value());
+        obj.set("kind", Value::Str(self.kind.tag().to_owned()));
+        match &self.kind {
+            EventKind::SuiteStart {
+                benchmarks,
+                workers,
+            } => {
+                obj.set("benchmarks", benchmarks.to_value());
+                obj.set("workers", workers.to_value());
+            }
+            EventKind::PhaseStart { phase } => obj.set("phase", phase.to_value()),
+            EventKind::Schedule { bench, worker } => {
+                obj.set("bench", bench.to_value());
+                obj.set("worker", worker.to_value());
+            }
+            EventKind::SpanStart { name, parent } => {
+                obj.set("name", name.to_value());
+                obj.set("parent", parent.to_value());
+            }
+            EventKind::SpanEnd { name, elapsed_us } => {
+                obj.set("name", name.to_value());
+                obj.set("elapsed_us", elapsed_us.to_value());
+            }
+            EventKind::Probe {
+                substrate,
+                ok,
+                detail,
+            } => {
+                obj.set("substrate", substrate.to_value());
+                obj.set("ok", ok.to_value());
+                obj.set("detail", detail.to_value());
+            }
+            EventKind::Warmup { runs } => obj.set("runs", runs.to_value()),
+            EventKind::Calibrated {
+                iterations,
+                clock_resolution_ns,
+            } => {
+                obj.set("iterations", iterations.to_value());
+                obj.set("clock_resolution_ns", clock_resolution_ns.to_value());
+            }
+            EventKind::Attempt { attempt } => obj.set("attempt", attempt.to_value()),
+            EventKind::Retry {
+                attempt,
+                cv,
+                threshold,
+            } => {
+                obj.set("attempt", attempt.to_value());
+                obj.set("cv", cv.to_value());
+                obj.set("threshold", threshold.to_value());
+            }
+            EventKind::Timeout { limit_ms } => obj.set("limit_ms", limit_ms.to_value()),
+            EventKind::Panic { message } => obj.set("message", message.to_value()),
+            EventKind::Skip { reason } => obj.set("reason", reason.to_value()),
+            EventKind::Metric { label, value, unit } => {
+                obj.set("label", label.to_value());
+                obj.set("value", value.to_value());
+                obj.set("unit", unit.to_value());
+            }
+            EventKind::Syscalls { counts } => obj.set("counts", counts.to_value()),
+            EventKind::Outcome {
+                status,
+                attempts,
+                wall_ms,
+            } => {
+                obj.set("status", status.to_value());
+                obj.set("attempts", attempts.to_value());
+                obj.set("wall_ms", wall_ms.to_value());
+            }
+            EventKind::SuiteEnd {
+                ok,
+                failed,
+                timeout,
+                skipped,
+            } => {
+                obj.set("ok", ok.to_value());
+                obj.set("failed", failed.to_value());
+                obj.set("timeout", timeout.to_value());
+                obj.set("skipped", skipped.to_value());
+            }
+        }
+        obj
+    }
+}
+
+impl Deserialize for TraceEvent {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let obj = value.expect_object("TraceEvent")?;
+        fn field<T: Deserialize>(obj: &Value, name: &str) -> Result<T, DeError> {
+            T::from_value(obj.field(name)).map_err(|e| e.in_field(name))
+        }
+        let tag: String = field(obj, "kind")?;
+        let kind = match tag.as_str() {
+            "suite_start" => EventKind::SuiteStart {
+                benchmarks: field(obj, "benchmarks")?,
+                workers: field(obj, "workers")?,
+            },
+            "phase_start" => EventKind::PhaseStart {
+                phase: field(obj, "phase")?,
+            },
+            "schedule" => EventKind::Schedule {
+                bench: field(obj, "bench")?,
+                worker: field(obj, "worker")?,
+            },
+            "span_start" => EventKind::SpanStart {
+                name: field(obj, "name")?,
+                parent: field(obj, "parent")?,
+            },
+            "span_end" => EventKind::SpanEnd {
+                name: field(obj, "name")?,
+                elapsed_us: field(obj, "elapsed_us")?,
+            },
+            "probe" => EventKind::Probe {
+                substrate: field(obj, "substrate")?,
+                ok: field(obj, "ok")?,
+                detail: field(obj, "detail")?,
+            },
+            "warmup" => EventKind::Warmup {
+                runs: field(obj, "runs")?,
+            },
+            "calibrated" => EventKind::Calibrated {
+                iterations: field(obj, "iterations")?,
+                clock_resolution_ns: field(obj, "clock_resolution_ns")?,
+            },
+            "attempt" => EventKind::Attempt {
+                attempt: field(obj, "attempt")?,
+            },
+            "retry" => EventKind::Retry {
+                attempt: field(obj, "attempt")?,
+                cv: field(obj, "cv")?,
+                threshold: field(obj, "threshold")?,
+            },
+            "timeout" => EventKind::Timeout {
+                limit_ms: field(obj, "limit_ms")?,
+            },
+            "panic" => EventKind::Panic {
+                message: field(obj, "message")?,
+            },
+            "skip" => EventKind::Skip {
+                reason: field(obj, "reason")?,
+            },
+            "metric" => EventKind::Metric {
+                label: field(obj, "label")?,
+                value: field(obj, "value")?,
+                unit: field(obj, "unit")?,
+            },
+            "syscalls" => EventKind::Syscalls {
+                counts: field(obj, "counts")?,
+            },
+            "outcome" => EventKind::Outcome {
+                status: field(obj, "status")?,
+                attempts: field(obj, "attempts")?,
+                wall_ms: field(obj, "wall_ms")?,
+            },
+            "suite_end" => EventKind::SuiteEnd {
+                ok: field(obj, "ok")?,
+                failed: field(obj, "failed")?,
+                timeout: field(obj, "timeout")?,
+                skipped: field(obj, "skipped")?,
+            },
+            other => return Err(DeError::new(format!("unknown event kind `{other}`"))),
+        };
+        Ok(TraceEvent {
+            seq: field(obj, "seq")?,
+            t_us: field(obj, "t_us")?,
+            span: field(obj, "span")?,
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_roundtrips_through_value() {
+        for (i, kind) in EventKind::samples().into_iter().enumerate() {
+            let event = TraceEvent {
+                seq: i as u64,
+                t_us: 12.5 * i as f64,
+                span: if i % 2 == 0 { Some(7) } else { None },
+                kind,
+            };
+            let back = TraceEvent::from_value(&event.to_value()).expect("roundtrip");
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn every_kind_roundtrips_through_jsonl_text() {
+        for kind in EventKind::samples() {
+            let event = TraceEvent {
+                seq: 3,
+                t_us: 99.25,
+                span: Some(4),
+                kind,
+            };
+            let line = serde_json::to_string(&event).expect("render");
+            assert!(!line.contains('\n'), "JSONL line must be one line: {line}");
+            let back: TraceEvent = serde_json::from_str(&line).expect("parse");
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn tags_are_unique_and_greppable() {
+        let samples = EventKind::samples();
+        let tags: std::collections::HashSet<&str> = samples.iter().map(|k| k.tag()).collect();
+        assert_eq!(tags.len(), samples.len(), "duplicate kind tag");
+        let event = TraceEvent {
+            seq: 0,
+            t_us: 0.0,
+            span: None,
+            kind: EventKind::Timeout { limit_ms: 500 },
+        };
+        let line = serde_json::to_string(&event).unwrap();
+        assert!(line.contains("\"kind\":\"timeout\""), "{line}");
+        assert!(line.contains("\"limit_ms\":500"), "{line}");
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let err = serde_json::from_str::<TraceEvent>(
+            r#"{"seq":0,"t_us":0.0,"span":null,"kind":"frobnicate"}"#,
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! JSONL trace artifacts: one serialized [`TraceEvent`] per line.
+//!
+//! The trace file is the run's machine-readable flight recorder: append
+//! only, valid after a crash up to the last flushed line, and parseable
+//! back into the exact event structs that produced it ([`parse_jsonl`]).
+
+use crate::event::{EventKind, TraceEvent};
+use crate::sink::Sink;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Streams events as JSONL to any writer (file, stderr, a test buffer).
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) a JSONL trace file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out }
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn event(&mut self, event: &TraceEvent) {
+        // A sink must never panic the benchmark it observes: serialization
+        // is infallible here and I/O errors drop the line (best-effort,
+        // like any flight recorder with a dying disk).
+        if let Ok(line) = serde_json::to_string(event) {
+            let _ = writeln!(self.out, "{line}");
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Collects events in memory; cloneable handle for reading them back after
+/// the traced code finished. Used by tests and the engine's unit drills.
+#[derive(Clone, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl MemorySink {
+    /// A fresh, empty shared sink.
+    #[must_use]
+    pub fn shared() -> Self {
+        Self::default()
+    }
+
+    /// Everything recorded so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("memory sink lock").clone()
+    }
+}
+
+impl Sink for MemorySink {
+    fn event(&mut self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("memory sink lock")
+            .push(event.clone());
+    }
+}
+
+/// Parses a JSONL trace back into events; `Err` carries the offending line
+/// number (1-based) and the parse error.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            serde_json::from_str::<TraceEvent>(line).map_err(|e| format!("line {}: {e}", i + 1))
+        })
+        .collect()
+}
+
+/// A span that appeared in a trace, with both endpoints when complete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSummary {
+    /// Span id.
+    pub id: u64,
+    /// Span name (from `span_start`).
+    pub name: String,
+    /// Whether a matching `span_end` was seen.
+    pub complete: bool,
+    /// Lifetime from `span_end`, microseconds (0 when incomplete).
+    pub elapsed_us: f64,
+}
+
+/// Summarizes every span in an event stream, in `span_start` order.
+#[must_use]
+pub fn span_summaries(events: &[TraceEvent]) -> Vec<SpanSummary> {
+    let mut spans: Vec<SpanSummary> = Vec::new();
+    for event in events {
+        match &event.kind {
+            EventKind::SpanStart { name, .. } => {
+                if let Some(id) = event.span {
+                    spans.push(SpanSummary {
+                        id,
+                        name: name.clone(),
+                        complete: false,
+                        elapsed_us: 0.0,
+                    });
+                }
+            }
+            EventKind::SpanEnd { elapsed_us, .. } => {
+                if let Some(summary) = spans.iter_mut().find(|s| Some(s.id) == event.span) {
+                    summary.complete = true;
+                    summary.elapsed_us = *elapsed_us;
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(seq: u64, span: Option<u64>, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            seq,
+            t_us: seq as f64,
+            span,
+            kind,
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for (i, kind) in EventKind::samples().into_iter().enumerate() {
+            let e = event(i as u64, Some(1), kind);
+            sink.event(&e);
+        }
+        sink.flush();
+        let text = String::from_utf8(sink.out).unwrap();
+        let parsed = parse_jsonl(&text).expect("every line parses");
+        assert_eq!(parsed.len(), EventKind::samples().len());
+        assert_eq!(parsed[0].seq, 0);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let err = parse_jsonl(
+            "{\"seq\":0,\"t_us\":0.0,\"span\":null,\"kind\":\"warmup\",\"runs\":1}\nnot json\n",
+        )
+        .unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let events = parse_jsonl("\n\n").unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn span_summaries_pair_starts_and_ends() {
+        let events = vec![
+            event(
+                0,
+                Some(1),
+                EventKind::SpanStart {
+                    name: "suite".into(),
+                    parent: None,
+                },
+            ),
+            event(
+                1,
+                Some(2),
+                EventKind::SpanStart {
+                    name: "bench:lat_syscall".into(),
+                    parent: Some(1),
+                },
+            ),
+            event(
+                2,
+                Some(2),
+                EventKind::SpanEnd {
+                    name: "bench:lat_syscall".into(),
+                    elapsed_us: 42.0,
+                },
+            ),
+        ];
+        let spans = span_summaries(&events);
+        assert_eq!(spans.len(), 2);
+        assert!(!spans[0].complete, "suite span never ended");
+        assert!(spans[1].complete);
+        assert_eq!(spans[1].elapsed_us, 42.0);
+        assert_eq!(spans[1].name, "bench:lat_syscall");
+    }
+}

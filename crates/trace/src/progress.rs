@@ -1,0 +1,250 @@
+//! A live human-readable reporter built on the same event stream as the
+//! JSONL artifact: the CLI's `--progress`/`--verbose` narration is just
+//! another [`Sink`].
+
+use crate::event::{EventKind, TraceEvent};
+use crate::sink::Sink;
+use std::collections::HashMap;
+use std::io::Write;
+
+/// How much the reporter narrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Detail {
+    /// Run boundaries, per-benchmark outcomes, and anything abnormal
+    /// (retries, timeouts, panics, skips).
+    Normal,
+    /// Everything above plus scheduling, probes, calibration and metrics.
+    Verbose,
+}
+
+/// Renders trace events as one-line progress messages.
+pub struct Progress<W: Write + Send> {
+    out: W,
+    detail: Detail,
+    /// Span id -> span name, so bench-scoped events print their benchmark.
+    names: HashMap<u64, String>,
+}
+
+impl<W: Write + Send> Progress<W> {
+    /// A reporter writing to `out` at the given detail level.
+    pub fn new(out: W, detail: Detail) -> Self {
+        Progress {
+            out,
+            detail,
+            names: HashMap::new(),
+        }
+    }
+
+    fn owner(&self, event: &TraceEvent) -> String {
+        event
+            .span
+            .and_then(|id| self.names.get(&id))
+            .map(|name| name.strip_prefix("bench:").unwrap_or(name).to_string())
+            .unwrap_or_else(|| "?".into())
+    }
+
+    fn line(&mut self, text: &str) {
+        // Best-effort, like every sink: a full stderr pipe must not take
+        // the suite down.
+        let _ = writeln!(self.out, "{text}");
+    }
+}
+
+impl<W: Write + Send> Sink for Progress<W> {
+    fn event(&mut self, event: &TraceEvent) {
+        if let (Some(id), EventKind::SpanStart { name, .. }) = (event.span, &event.kind) {
+            self.names.insert(id, name.clone());
+        }
+        let verbose = self.detail >= Detail::Verbose;
+        match &event.kind {
+            EventKind::SuiteStart {
+                benchmarks,
+                workers,
+            } => self.line(&format!(
+                "running {benchmarks} benchmarks ({workers} workers)..."
+            )),
+            EventKind::SuiteEnd {
+                ok,
+                failed,
+                timeout,
+                skipped,
+            } => self.line(&format!(
+                "suite done: {ok} ok, {failed} failed, {timeout} timeout, {skipped} skipped"
+            )),
+            EventKind::Outcome {
+                status,
+                attempts,
+                wall_ms,
+            } => {
+                let owner = self.owner(event);
+                self.line(&format!(
+                    "  {owner}: {status} ({attempts} attempt{}, {wall_ms:.1} ms)",
+                    if *attempts == 1 { "" } else { "s" }
+                ));
+            }
+            EventKind::Retry { attempt, cv, .. } => {
+                let owner = self.owner(event);
+                self.line(&format!(
+                    "  {owner}: noisy attempt {attempt} (cv {:.1}%), retrying",
+                    cv * 100.0
+                ));
+            }
+            EventKind::Timeout { limit_ms } => {
+                let owner = self.owner(event);
+                self.line(&format!(
+                    "  {owner}: exceeded {limit_ms} ms budget, abandoned"
+                ));
+            }
+            EventKind::Panic { message } => {
+                let owner = self.owner(event);
+                self.line(&format!("  {owner}: panicked: {message}"));
+            }
+            EventKind::Skip { reason } => {
+                let owner = self.owner(event);
+                self.line(&format!("  {owner}: skipped: {reason}"));
+            }
+            EventKind::PhaseStart { phase } if verbose => {
+                self.line(&format!("phase: {phase}"));
+            }
+            EventKind::Schedule { bench, worker } if verbose => {
+                self.line(&format!("  {bench} -> worker {worker}"));
+            }
+            EventKind::Probe {
+                substrate,
+                ok,
+                detail,
+            } if verbose => {
+                let owner = self.owner(event);
+                let state = if *ok { "ok" } else { detail.as_str() };
+                self.line(&format!("  {owner}: probe {substrate}: {state}"));
+            }
+            EventKind::Calibrated { iterations, .. } if verbose => {
+                let owner = self.owner(event);
+                self.line(&format!("  {owner}: calibrated {iterations} iterations"));
+            }
+            EventKind::Metric { label, value, unit } if verbose => {
+                let owner = self.owner(event);
+                let label = if label.is_empty() { "result" } else { label };
+                self.line(&format!("  {owner}: {label} = {value:.2} {unit}"));
+            }
+            EventKind::Syscalls { counts } if verbose => {
+                let owner = self.owner(event);
+                let total: u64 = counts.values().sum();
+                self.line(&format!(
+                    "  {owner}: {total} syscalls through lmb-sys ({} classes)",
+                    counts.len()
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(detail: Detail, events: &[TraceEvent]) -> String {
+        let mut p = Progress::new(Vec::new(), detail);
+        for e in events {
+            p.event(e);
+        }
+        String::from_utf8(p.out).unwrap()
+    }
+
+    fn stream() -> Vec<TraceEvent> {
+        let mut seq = 0..;
+        let mut next = |span: Option<u64>, kind: EventKind| TraceEvent {
+            seq: seq.next().unwrap(),
+            t_us: 0.0,
+            span,
+            kind,
+        };
+        vec![
+            next(
+                None,
+                EventKind::SuiteStart {
+                    benchmarks: 2,
+                    workers: 2,
+                },
+            ),
+            next(
+                Some(5),
+                EventKind::SpanStart {
+                    name: "bench:lat_syscall".into(),
+                    parent: None,
+                },
+            ),
+            next(
+                Some(5),
+                EventKind::Schedule {
+                    bench: "lat_syscall".into(),
+                    worker: 1,
+                },
+            ),
+            next(
+                Some(5),
+                EventKind::Retry {
+                    attempt: 1,
+                    cv: 0.31,
+                    threshold: 0.25,
+                },
+            ),
+            next(
+                Some(5),
+                EventKind::Outcome {
+                    status: "ok".into(),
+                    attempts: 2,
+                    wall_ms: 12.0,
+                },
+            ),
+            next(
+                None,
+                EventKind::SuiteEnd {
+                    ok: 1,
+                    failed: 0,
+                    timeout: 0,
+                    skipped: 1,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn normal_detail_reports_outcomes_and_anomalies() {
+        let text = feed(Detail::Normal, &stream());
+        assert!(text.contains("running 2 benchmarks"), "{text}");
+        assert!(
+            text.contains("lat_syscall: ok (2 attempts, 12.0 ms)"),
+            "{text}"
+        );
+        assert!(text.contains("noisy attempt 1 (cv 31.0%)"), "{text}");
+        assert!(text.contains("1 ok, 0 failed"), "{text}");
+        assert!(
+            !text.contains("worker 1"),
+            "schedule shown at normal: {text}"
+        );
+    }
+
+    #[test]
+    fn verbose_detail_adds_scheduling() {
+        let text = feed(Detail::Verbose, &stream());
+        assert!(text.contains("lat_syscall -> worker 1"), "{text}");
+    }
+
+    #[test]
+    fn events_without_a_known_span_still_render() {
+        let events = vec![TraceEvent {
+            seq: 0,
+            t_us: 0.0,
+            span: Some(99),
+            kind: EventKind::Timeout { limit_ms: 250 },
+        }];
+        let text = feed(Detail::Normal, &events);
+        assert!(text.contains("?: exceeded 250 ms budget"), "{text}");
+    }
+}

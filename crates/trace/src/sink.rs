@@ -1,0 +1,199 @@
+//! The process-global event sink: zero-overhead when disabled.
+//!
+//! Benchmarks must not pay for their own observability (nanoBench's rule:
+//! the harness may not perturb the measurement). The entire disabled-path
+//! cost of [`emit`] is one relaxed atomic load and a branch — the event
+//! closure is never called, nothing allocates, no lock is touched. A
+//! guard test in `tests/overhead.rs` holds this crate to that claim with
+//! a calibrated timing loop.
+//!
+//! When one or more sinks are installed, events fan out to all of them
+//! under a mutex, stamped with a process-global sequence number and a
+//! microsecond timestamp relative to the trace epoch.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::span::SpanId;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// A consumer of trace events. Implementations must tolerate events from
+/// multiple threads (delivery is serialized by the tracer's lock).
+pub trait Sink: Send {
+    /// One event, in global sequence order.
+    fn event(&mut self, event: &TraceEvent);
+    /// Flush any buffered output (called on uninstall and [`flush_all`]).
+    fn flush(&mut self) {}
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(0);
+static NEXT_SINK: AtomicU64 = AtomicU64::new(1);
+
+type SinkRegistry = Mutex<Vec<(u64, Box<dyn Sink>)>>;
+
+fn registry() -> &'static SinkRegistry {
+    static REGISTRY: OnceLock<SinkRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Is any sink installed? The fast path every instrumentation site checks
+/// first; inlined to a relaxed load + branch.
+#[inline(always)]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Handle to an installed sink; pass to [`uninstall`] to detach it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkHandle(u64);
+
+/// Installs a sink and enables tracing. Every subsequent event anywhere in
+/// the process is delivered to it until [`uninstall`].
+pub fn install(sink: Box<dyn Sink>) -> SinkHandle {
+    let id = NEXT_SINK.fetch_add(1, Ordering::Relaxed);
+    epoch(); // pin the epoch no later than the first install
+    let mut sinks = registry().lock().expect("sink registry lock");
+    sinks.push((id, sink));
+    ENABLED.store(true, Ordering::Relaxed);
+    SinkHandle(id)
+}
+
+/// Flushes and removes a sink; tracing is disabled again when the last
+/// sink goes away.
+pub fn uninstall(handle: SinkHandle) {
+    let mut sinks = registry().lock().expect("sink registry lock");
+    if let Some(pos) = sinks.iter().position(|(id, _)| *id == handle.0) {
+        let (_, mut sink) = sinks.remove(pos);
+        sink.flush();
+    }
+    if sinks.is_empty() {
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Flushes every installed sink (e.g. before forking or exiting).
+pub fn flush_all() {
+    let mut sinks = registry().lock().expect("sink registry lock");
+    for (_, sink) in sinks.iter_mut() {
+        sink.flush();
+    }
+}
+
+/// Emits an event attributed to the calling thread's current span. The
+/// closure is only evaluated when tracing is enabled, so callers can build
+/// payloads (allocate strings, snapshot counters) for free when it is not.
+#[inline]
+pub fn emit(kind: impl FnOnce() -> EventKind) {
+    if enabled() {
+        deliver(crate::span::current().as_option(), kind());
+    }
+}
+
+/// Emits an event attributed to an explicit span (for code that holds a
+/// span id but runs on a thread that never entered it).
+#[inline]
+pub fn emit_in(span: SpanId, kind: impl FnOnce() -> EventKind) {
+    if enabled() {
+        deliver(span.as_option(), kind());
+    }
+}
+
+/// Slow path: stamp and fan out. Public to the crate for `span` internals.
+pub(crate) fn deliver(span: Option<u64>, kind: EventKind) {
+    let event = TraceEvent {
+        seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
+        t_us: epoch().elapsed().as_secs_f64() * 1e6,
+        span,
+        kind,
+    };
+    let mut sinks = registry().lock().expect("sink registry lock");
+    for (_, sink) in sinks.iter_mut() {
+        sink.event(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonl::MemorySink;
+    use crate::test_lock;
+
+    #[test]
+    fn disabled_tracer_never_evaluates_the_closure() {
+        let _guard = test_lock();
+        assert!(!enabled());
+        let mut called = false;
+        emit(|| {
+            called = true;
+            EventKind::Warmup { runs: 1 }
+        });
+        assert!(!called, "closure ran with tracing disabled");
+    }
+
+    #[test]
+    fn install_enables_and_uninstall_disables() {
+        let _guard = test_lock();
+        let sink = MemorySink::shared();
+        let handle = install(Box::new(sink.clone()));
+        assert!(enabled());
+        emit(|| EventKind::Warmup { runs: 3 });
+        uninstall(handle);
+        assert!(!enabled());
+        emit(|| EventKind::Warmup { runs: 9 });
+        let events = sink.events();
+        let mine: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Warmup { .. }))
+            .collect();
+        assert_eq!(mine.len(), 1, "exactly the enabled-window event: {mine:?}");
+        assert!(matches!(mine[0].kind, EventKind::Warmup { runs: 3 }));
+    }
+
+    #[test]
+    fn events_are_sequenced_and_timestamped() {
+        let _guard = test_lock();
+        let sink = MemorySink::shared();
+        let handle = install(Box::new(sink.clone()));
+        emit(|| EventKind::PhaseStart {
+            phase: "seq-a".into(),
+        });
+        emit(|| EventKind::PhaseStart {
+            phase: "seq-b".into(),
+        });
+        uninstall(handle);
+        let events = sink.events();
+        let mine: Vec<_> = events
+            .iter()
+            .filter(
+                |e| matches!(&e.kind, EventKind::PhaseStart { phase } if phase.starts_with("seq-")),
+            )
+            .collect();
+        assert_eq!(mine.len(), 2);
+        assert!(mine[0].seq < mine[1].seq, "sequence must increase");
+        assert!(mine[0].t_us <= mine[1].t_us, "time must not go backwards");
+    }
+
+    #[test]
+    fn two_sinks_both_see_events() {
+        let _guard = test_lock();
+        let (a, b) = (MemorySink::shared(), MemorySink::shared());
+        let ha = install(Box::new(a.clone()));
+        let hb = install(Box::new(b.clone()));
+        emit(|| EventKind::Warmup { runs: 77 });
+        uninstall(ha);
+        uninstall(hb);
+        for sink in [a, b] {
+            assert!(sink
+                .events()
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::Warmup { runs: 77 })));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The self-overhead guard: with tracing disabled, an instrumented timing
+//! loop must be indistinguishable from an uninstrumented one.
+//!
+//! This is the nanoBench discipline applied to ourselves — the harness may
+//! observe the benchmark, but the observation path must vanish when no one
+//! is listening. The disabled [`lmb_trace::emit`] is one relaxed atomic
+//! load and a branch; here we hold it to that with the paper's own
+//! min-of-N methodology (minimums discard scheduling noise, §3.4), with
+//! bounded retries like the workspace's other timing assertions.
+
+use lmb_trace::EventKind;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A deterministic few-hundred-nanosecond unit of work.
+#[inline(never)]
+fn work(seed: u64) -> u64 {
+    let mut acc = seed;
+    for i in 0..64u64 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+/// Minimum per-iteration time (ns) over `reps` timed runs of `iters`
+/// iterations of `body`.
+fn min_ns_per_iter(reps: u32, iters: u64, mut body: impl FnMut(u64) -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for i in 0..iters {
+            acc = acc.wrapping_add(body(i));
+        }
+        black_box(acc);
+        let ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
+#[test]
+fn disabled_tracing_does_not_perturb_a_timed_loop() {
+    assert!(
+        !lmb_trace::enabled(),
+        "tracing must be disabled for the overhead guard"
+    );
+    const ITERS: u64 = 20_000;
+    const REPS: u32 = 7;
+    // Timing comparisons flake under CI schedulers; retry a few times and
+    // keep the best (smallest) observed ratio, failing only if every
+    // attempt shows a real slowdown.
+    let mut best_ratio = f64::INFINITY;
+    for _ in 0..6 {
+        let baseline = min_ns_per_iter(REPS, ITERS, work);
+        let instrumented = min_ns_per_iter(REPS, ITERS, |i| {
+            // The exact instrumentation shape the engine and harness use:
+            // the closure allocates, but must never be evaluated.
+            lmb_trace::emit(|| EventKind::PhaseStart {
+                phase: format!("never-built-{i}"),
+            });
+            work(i)
+        });
+        assert!(baseline > 0.0 && instrumented > 0.0);
+        best_ratio = best_ratio.min(instrumented / baseline);
+        if best_ratio <= 1.10 {
+            break;
+        }
+    }
+    assert!(
+        best_ratio <= 1.25,
+        "disabled tracing slowed the loop by {:.1}% (want < 25% even under noise)",
+        (best_ratio - 1.0) * 100.0
+    );
+}

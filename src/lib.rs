@@ -20,6 +20,7 @@
 //! | [`disk`] | §6.9 simulated SCSI disk and overhead experiment |
 //! | [`net`] | link models for the remote Tables 4/14 |
 //! | [`results`] | results database, paper dataset, tables, plots |
+//! | [`trace`] | structured tracing: spans, events, JSONL artifacts |
 //! | [`core`] | suite orchestration and report generation |
 //!
 //! # Examples
@@ -44,6 +45,7 @@ pub use lmb_results as results;
 pub use lmb_rpc as rpc;
 pub use lmb_sys as sys;
 pub use lmb_timing as timing;
+pub use lmb_trace as trace;
 
 /// Suite version, matching the workspace.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
@@ -63,6 +65,7 @@ mod tests {
         let _ = crate::disk::SimDisk::classic_1995();
         let _ = crate::net::standard_links();
         let _ = crate::results::dataset::systems();
+        let _ = crate::trace::enabled();
         let _ = crate::core::SuiteConfig::quick();
         assert!(!crate::VERSION.is_empty());
     }

@@ -10,20 +10,36 @@
 //! lmbench suite [--paper] [--only a,b]  # engine run -> JSON on stdout,
 //!                                       # run report on stderr
 //! lmbench report [--paper]           # suite + all 17 tables + provenance
+//! lmbench trace-validate trace.jsonl # parse a trace artifact, exit 0 if valid
 //! ```
 //!
+//! The `suite` and `report` commands share the observability flags:
+//! `--trace PATH` streams the run's event stream as JSONL, `--progress`
+//! narrates it live on stderr, `--report-json PATH` archives the machine-
+//! readable run report, and `--quiet`/`--verbose` set the stderr detail
+//! (quiet wins). All stderr narration is a rendering of the same trace
+//! events the JSONL artifact records.
+//!
 //! Exit codes: 0 success (including suites with failed benchmarks — see
-//! the stderr report), 2 usage, 3 invalid configuration, 4 unknown
-//! benchmark name.
+//! the stderr report), 1 invalid trace artifact, 2 usage, 3 invalid
+//! configuration, 4 unknown benchmark.
 
-use lmbench::core::{report, Engine, FaultPlan, Registry, SuiteConfig, SuiteError};
-use lmbench::results::{ResultsDb, RunReport};
+use lmbench::core::{
+    report, Engine, EngineOutcome, FaultPlan, Registry, SuiteConfig, SuiteError, Verbosity,
+};
+use lmbench::results::ResultsDb;
 use lmbench::timing::Harness;
+use lmbench::trace::{span_summaries, Detail, JsonlSink, Progress, SinkHandle};
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: lmbench <list|run NAME|suite [--paper] [--only A,B]|report [--paper]>");
+    eprintln!(
+        "usage: lmbench <list|run NAME|suite|report|trace-validate PATH>\n\
+         suite/report flags: [--paper] [--only A,B] [--trace PATH] [--report-json PATH]\n\
+         \x20                [--progress] [--quiet] [--verbose]"
+    );
     ExitCode::from(2)
 }
 
@@ -67,29 +83,94 @@ fn registry_from_args(args: &[String]) -> Result<Registry, SuiteError> {
     registry.filtered(&names)
 }
 
-/// Renders the provenance section of `lmbench report`: what the harness
-/// actually did for every measured row.
-fn provenance_section(report: &RunReport) -> String {
-    let mut out = String::from("=== Measurement provenance ===\n");
-    out.push_str(&format!(
-        "{:<16} {:<22} {:>4} {:>12} {:>11} {:>11} {:>8} {:>7}\n",
-        "benchmark", "produces", "reps", "iterations", "min(ns)", "median(ns)", "gap", "cv"
-    ));
-    for rec in &report.records {
-        let Some(p) = &rec.provenance else { continue };
-        out.push_str(&format!(
-            "{:<16} {:<22} {:>4} {:>12} {:>11.1} {:>11.1} {:>7.1}% {:>6.1}%\n",
-            rec.name,
-            rec.produces,
-            p.repetitions,
-            p.calibrated_iterations,
-            p.sample_min_ns,
-            p.sample_median_ns,
-            p.min_median_gap * 100.0,
-            p.cv * 100.0
-        ));
+/// The value following a `--flag`, when present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|pos| args.get(pos + 1))
+        .map(String::as_str)
+}
+
+/// The observability surface of `suite` and `report`: which sinks the
+/// flags asked for, installed for the duration of the engine run.
+struct Observer {
+    verbosity: Verbosity,
+    jsonl: Option<SinkHandle>,
+    progress: Option<SinkHandle>,
+    report_json: Option<String>,
+}
+
+impl Observer {
+    /// Parses the shared flags and installs the requested sinks. `Err`
+    /// carries an unopenable `--trace` path.
+    fn install(args: &[String]) -> Result<Observer, String> {
+        let verbosity = Verbosity::from_flags(
+            args.iter().any(|a| a == "--quiet"),
+            args.iter().any(|a| a == "--verbose"),
+        );
+        let jsonl = match flag_value(args, "--trace") {
+            Some(path) => {
+                let sink = JsonlSink::create(Path::new(path))
+                    .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+                Some(lmbench::trace::install(Box::new(sink)))
+            }
+            None => None,
+        };
+        let wants_progress = args.iter().any(|a| a == "--progress");
+        let progress = match (verbosity, wants_progress) {
+            (Verbosity::Quiet, _) => None,
+            (Verbosity::Verbose, _) => Some(Detail::Verbose),
+            (Verbosity::Normal, true) => Some(Detail::Normal),
+            (Verbosity::Normal, false) => None,
+        }
+        .map(|detail| lmbench::trace::install(Box::new(Progress::new(std::io::stderr(), detail))));
+        Ok(Observer {
+            verbosity,
+            jsonl,
+            progress,
+            report_json: flag_value(args, "--report-json").map(String::from),
+        })
     }
-    out
+
+    /// Flushes and detaches the sinks, then writes the `--report-json`
+    /// artifact.
+    fn finish(self, outcome: &EngineOutcome) {
+        for handle in [self.progress, self.jsonl].into_iter().flatten() {
+            lmbench::trace::uninstall(handle);
+        }
+        if let Some(path) = &self.report_json {
+            if let Err(e) = std::fs::write(path, outcome.report.to_json()) {
+                eprintln!("lmbench: cannot write run report {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Validates a JSONL trace artifact; prints a one-line summary on success.
+fn trace_validate(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lmbench: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match lmbench::trace::parse_jsonl(&text) {
+        Ok(events) => {
+            let spans = span_summaries(&events);
+            let complete = spans.iter().filter(|s| s.complete).count();
+            println!(
+                "{path}: {} events, {} spans ({complete} complete)",
+                events.len(),
+                spans.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lmbench: {path}: invalid trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -142,11 +223,21 @@ fn main() -> ExitCode {
                 Ok(e) => e,
                 Err(err) => return fail(&err),
             };
+            let observer = match Observer::install(&args) {
+                Ok(o) => o,
+                Err(msg) => {
+                    eprintln!("lmbench: {msg}");
+                    return ExitCode::from(3);
+                }
+            };
             let outcome = engine.with_faults(FaultPlan::from_env()).execute();
             // Per-benchmark outcomes to stderr; a failed benchmark costs
             // its own rows, not the run (exit stays 0 so harnesses can
             // collect the partial results).
-            eprint!("{}", outcome.report.render());
+            if observer.verbosity > Verbosity::Quiet {
+                eprint!("{}", outcome.report.render());
+            }
+            observer.finish(&outcome);
             let name = outcome
                 .run
                 .system
@@ -160,18 +251,38 @@ fn main() -> ExitCode {
         }
         "report" => {
             let config = config_from_args(&args);
-            eprintln!("running full suite...");
-            let outcome = match lmbench::core::run_suite_with_report(&config) {
-                Ok(o) => o,
+            let engine = match Engine::new(Registry::standard(), config) {
+                Ok(e) => e,
                 Err(err) => return fail(&err),
             };
+            let observer = match Observer::install(&args) {
+                Ok(o) => o,
+                Err(msg) => {
+                    eprintln!("lmbench: {msg}");
+                    return ExitCode::from(3);
+                }
+            };
+            // The old hard-coded "running full suite..." stderr line is now
+            // the reporter's suite_start rendering — same stream as --trace.
+            if observer.verbosity == Verbosity::Normal && observer.progress.is_none() {
+                eprintln!("running full suite...");
+            }
+            let outcome = engine.with_faults(FaultPlan::from_env()).execute();
+            observer.finish(&outcome);
             println!("{}", report::full_report(Some(&outcome.run)));
-            println!("{}", provenance_section(&outcome.report));
+            println!("{}", report::provenance_section(&outcome.report));
             println!("=== This host vs the paper's 1995 fleet ===");
             for cmp in report::comparisons(&outcome.run) {
                 println!("{}", cmp.summary());
             }
             ExitCode::SUCCESS
+        }
+        "trace-validate" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("lmbench trace-validate: missing trace path");
+                return usage();
+            };
+            trace_validate(path)
         }
         _ => usage(),
     }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_aliasing-48deb6201a98a003.d: crates/bench/benches/ablation_aliasing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_aliasing-48deb6201a98a003.rmeta: crates/bench/benches/ablation_aliasing.rs Cargo.toml
+
+crates/bench/benches/ablation_aliasing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fs_scaling-7dbc82d69fabc532.d: crates/bench/benches/ablation_fs_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fs_scaling-7dbc82d69fabc532.rmeta: crates/bench/benches/ablation_fs_scaling.rs Cargo.toml
+
+crates/bench/benches/ablation_fs_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

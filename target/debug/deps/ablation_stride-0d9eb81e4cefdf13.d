@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_stride-0d9eb81e4cefdf13.d: crates/bench/benches/ablation_stride.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_stride-0d9eb81e4cefdf13.rmeta: crates/bench/benches/ablation_stride.rs Cargo.toml
+
+crates/bench/benches/ablation_stride.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

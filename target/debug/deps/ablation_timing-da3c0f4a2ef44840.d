@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_timing-da3c0f4a2ef44840.d: crates/bench/benches/ablation_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_timing-da3c0f4a2ef44840.rmeta: crates/bench/benches/ablation_timing.rs Cargo.toml
+
+crates/bench/benches/ablation_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

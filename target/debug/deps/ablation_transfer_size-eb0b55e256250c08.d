@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_transfer_size-eb0b55e256250c08.d: crates/bench/benches/ablation_transfer_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_transfer_size-eb0b55e256250c08.rmeta: crates/bench/benches/ablation_transfer_size.rs Cargo.toml
+
+crates/bench/benches/ablation_transfer_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

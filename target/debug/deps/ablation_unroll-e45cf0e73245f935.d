@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_unroll-e45cf0e73245f935.d: crates/bench/benches/ablation_unroll.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_unroll-e45cf0e73245f935.rmeta: crates/bench/benches/ablation_unroll.rs Cargo.toml
+
+crates/bench/benches/ablation_unroll.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

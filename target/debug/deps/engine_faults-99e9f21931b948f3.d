@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/engine_faults-99e9f21931b948f3.d: tests/engine_faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_faults-99e9f21931b948f3.rmeta: tests/engine_faults.rs Cargo.toml
+
+tests/engine_faults.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_lmbench=placeholder:lmbench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

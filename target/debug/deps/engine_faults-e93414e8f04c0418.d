@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/engine_faults-e93414e8f04c0418.d: tests/engine_faults.rs
+
+/root/repo/target/debug/deps/engine_faults-e93414e8f04c0418: tests/engine_faults.rs
+
+tests/engine_faults.rs:
+
+# env-dep:CARGO_BIN_EXE_lmbench=/root/repo/target/debug/lmbench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_dirty_lat-ce88c45e7f010208.d: crates/bench/benches/ext_dirty_lat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_dirty_lat-ce88c45e7f010208.rmeta: crates/bench/benches/ext_dirty_lat.rs Cargo.toml
+
+crates/bench/benches/ext_dirty_lat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_mlp-b288fac4cfdee05d.d: crates/bench/benches/ext_mlp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_mlp-b288fac4cfdee05d.rmeta: crates/bench/benches/ext_mlp.rs Cargo.toml
+
+crates/bench/benches/ext_mlp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_mp_cache-baf9674ed6acff22.d: crates/bench/benches/ext_mp_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_mp_cache-baf9674ed6acff22.rmeta: crates/bench/benches/ext_mp_cache.rs Cargo.toml
+
+crates/bench/benches/ext_mp_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

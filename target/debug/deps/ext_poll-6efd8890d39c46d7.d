@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_poll-6efd8890d39c46d7.d: crates/bench/benches/ext_poll.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_poll-6efd8890d39c46d7.rmeta: crates/bench/benches/ext_poll.rs Cargo.toml
+
+crates/bench/benches/ext_poll.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-0b88c8f64de648b4.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-0b88c8f64de648b4: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_memlat_curves-52adaec9b235e682.d: crates/bench/benches/fig1_memlat_curves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_memlat_curves-52adaec9b235e682.rmeta: crates/bench/benches/fig1_memlat_curves.rs Cargo.toml
+
+crates/bench/benches/fig1_memlat_curves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

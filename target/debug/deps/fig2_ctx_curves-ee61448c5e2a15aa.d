@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_ctx_curves-ee61448c5e2a15aa.d: crates/bench/benches/fig2_ctx_curves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_ctx_curves-ee61448c5e2a15aa.rmeta: crates/bench/benches/fig2_ctx_curves.rs Cargo.toml
+
+crates/bench/benches/fig2_ctx_curves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

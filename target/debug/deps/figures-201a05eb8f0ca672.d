@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-201a05eb8f0ca672.d: tests/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-201a05eb8f0ca672.rmeta: tests/figures.rs Cargo.toml
+
+tests/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

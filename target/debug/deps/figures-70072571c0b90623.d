@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-70072571c0b90623.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-70072571c0b90623: tests/figures.rs
+
+tests/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lmb_bench-a0915222ae5cb3bf.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmb_bench-a0915222ae5cb3bf.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lmb_core-5cd1fdef9818b002.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host.rs crates/core/src/output.rs crates/core/src/registry.rs crates/core/src/report.rs crates/core/src/suite.rs
+
+/root/repo/target/debug/deps/liblmb_core-5cd1fdef9818b002.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host.rs crates/core/src/output.rs crates/core/src/registry.rs crates/core/src/report.rs crates/core/src/suite.rs
+
+/root/repo/target/debug/deps/liblmb_core-5cd1fdef9818b002.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host.rs crates/core/src/output.rs crates/core/src/registry.rs crates/core/src/report.rs crates/core/src/suite.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/host.rs:
+crates/core/src/output.rs:
+crates/core/src/registry.rs:
+crates/core/src/report.rs:
+crates/core/src/suite.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/lmb_core-707f19d479f87745.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host.rs crates/core/src/output.rs crates/core/src/registry.rs crates/core/src/report.rs crates/core/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmb_core-707f19d479f87745.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host.rs crates/core/src/output.rs crates/core/src/registry.rs crates/core/src/report.rs crates/core/src/suite.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/host.rs:
+crates/core/src/output.rs:
+crates/core/src/registry.rs:
+crates/core/src/report.rs:
+crates/core/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lmb_disk-1a379185482bd9c4.d: crates/disk/src/lib.rs crates/disk/src/geometry.rs crates/disk/src/model.rs crates/disk/src/overhead.rs crates/disk/src/zbr.rs
+
+/root/repo/target/debug/deps/liblmb_disk-1a379185482bd9c4.rlib: crates/disk/src/lib.rs crates/disk/src/geometry.rs crates/disk/src/model.rs crates/disk/src/overhead.rs crates/disk/src/zbr.rs
+
+/root/repo/target/debug/deps/liblmb_disk-1a379185482bd9c4.rmeta: crates/disk/src/lib.rs crates/disk/src/geometry.rs crates/disk/src/model.rs crates/disk/src/overhead.rs crates/disk/src/zbr.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/geometry.rs:
+crates/disk/src/model.rs:
+crates/disk/src/overhead.rs:
+crates/disk/src/zbr.rs:

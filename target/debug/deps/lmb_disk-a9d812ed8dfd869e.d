@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lmb_disk-a9d812ed8dfd869e.d: crates/disk/src/lib.rs crates/disk/src/geometry.rs crates/disk/src/model.rs crates/disk/src/overhead.rs crates/disk/src/zbr.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmb_disk-a9d812ed8dfd869e.rmeta: crates/disk/src/lib.rs crates/disk/src/geometry.rs crates/disk/src/model.rs crates/disk/src/overhead.rs crates/disk/src/zbr.rs Cargo.toml
+
+crates/disk/src/lib.rs:
+crates/disk/src/geometry.rs:
+crates/disk/src/model.rs:
+crates/disk/src/overhead.rs:
+crates/disk/src/zbr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lmb_fs-301abd57fc591433.d: crates/fs/src/lib.rs crates/fs/src/create_delete.rs crates/fs/src/lmdd.rs crates/fs/src/mmap_reread.rs crates/fs/src/reread.rs crates/fs/src/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmb_fs-301abd57fc591433.rmeta: crates/fs/src/lib.rs crates/fs/src/create_delete.rs crates/fs/src/lmdd.rs crates/fs/src/mmap_reread.rs crates/fs/src/reread.rs crates/fs/src/scaling.rs Cargo.toml
+
+crates/fs/src/lib.rs:
+crates/fs/src/create_delete.rs:
+crates/fs/src/lmdd.rs:
+crates/fs/src/mmap_reread.rs:
+crates/fs/src/reread.rs:
+crates/fs/src/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

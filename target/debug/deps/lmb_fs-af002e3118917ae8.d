@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lmb_fs-af002e3118917ae8.d: crates/fs/src/lib.rs crates/fs/src/create_delete.rs crates/fs/src/lmdd.rs crates/fs/src/mmap_reread.rs crates/fs/src/reread.rs crates/fs/src/scaling.rs
+
+/root/repo/target/debug/deps/liblmb_fs-af002e3118917ae8.rlib: crates/fs/src/lib.rs crates/fs/src/create_delete.rs crates/fs/src/lmdd.rs crates/fs/src/mmap_reread.rs crates/fs/src/reread.rs crates/fs/src/scaling.rs
+
+/root/repo/target/debug/deps/liblmb_fs-af002e3118917ae8.rmeta: crates/fs/src/lib.rs crates/fs/src/create_delete.rs crates/fs/src/lmdd.rs crates/fs/src/mmap_reread.rs crates/fs/src/reread.rs crates/fs/src/scaling.rs
+
+crates/fs/src/lib.rs:
+crates/fs/src/create_delete.rs:
+crates/fs/src/lmdd.rs:
+crates/fs/src/mmap_reread.rs:
+crates/fs/src/reread.rs:
+crates/fs/src/scaling.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lmb_ipc-ab96ee982ec83ac1.d: crates/ipc/src/lib.rs crates/ipc/src/fifo_lat.rs crates/ipc/src/pipe_bw.rs crates/ipc/src/pipe_lat.rs crates/ipc/src/tcp_bw.rs crates/ipc/src/tcp_connect.rs crates/ipc/src/tcp_lat.rs crates/ipc/src/udp_lat.rs crates/ipc/src/unix_bw.rs crates/ipc/src/unix_lat.rs
+
+/root/repo/target/debug/deps/liblmb_ipc-ab96ee982ec83ac1.rlib: crates/ipc/src/lib.rs crates/ipc/src/fifo_lat.rs crates/ipc/src/pipe_bw.rs crates/ipc/src/pipe_lat.rs crates/ipc/src/tcp_bw.rs crates/ipc/src/tcp_connect.rs crates/ipc/src/tcp_lat.rs crates/ipc/src/udp_lat.rs crates/ipc/src/unix_bw.rs crates/ipc/src/unix_lat.rs
+
+/root/repo/target/debug/deps/liblmb_ipc-ab96ee982ec83ac1.rmeta: crates/ipc/src/lib.rs crates/ipc/src/fifo_lat.rs crates/ipc/src/pipe_bw.rs crates/ipc/src/pipe_lat.rs crates/ipc/src/tcp_bw.rs crates/ipc/src/tcp_connect.rs crates/ipc/src/tcp_lat.rs crates/ipc/src/udp_lat.rs crates/ipc/src/unix_bw.rs crates/ipc/src/unix_lat.rs
+
+crates/ipc/src/lib.rs:
+crates/ipc/src/fifo_lat.rs:
+crates/ipc/src/pipe_bw.rs:
+crates/ipc/src/pipe_lat.rs:
+crates/ipc/src/tcp_bw.rs:
+crates/ipc/src/tcp_connect.rs:
+crates/ipc/src/tcp_lat.rs:
+crates/ipc/src/udp_lat.rs:
+crates/ipc/src/unix_bw.rs:
+crates/ipc/src/unix_lat.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lmb_ipc-dba66ca339b01319.d: crates/ipc/src/lib.rs crates/ipc/src/fifo_lat.rs crates/ipc/src/pipe_bw.rs crates/ipc/src/pipe_lat.rs crates/ipc/src/tcp_bw.rs crates/ipc/src/tcp_connect.rs crates/ipc/src/tcp_lat.rs crates/ipc/src/udp_lat.rs crates/ipc/src/unix_bw.rs crates/ipc/src/unix_lat.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmb_ipc-dba66ca339b01319.rmeta: crates/ipc/src/lib.rs crates/ipc/src/fifo_lat.rs crates/ipc/src/pipe_bw.rs crates/ipc/src/pipe_lat.rs crates/ipc/src/tcp_bw.rs crates/ipc/src/tcp_connect.rs crates/ipc/src/tcp_lat.rs crates/ipc/src/udp_lat.rs crates/ipc/src/unix_bw.rs crates/ipc/src/unix_lat.rs Cargo.toml
+
+crates/ipc/src/lib.rs:
+crates/ipc/src/fifo_lat.rs:
+crates/ipc/src/pipe_bw.rs:
+crates/ipc/src/pipe_lat.rs:
+crates/ipc/src/tcp_bw.rs:
+crates/ipc/src/tcp_connect.rs:
+crates/ipc/src/tcp_lat.rs:
+crates/ipc/src/udp_lat.rs:
+crates/ipc/src/unix_bw.rs:
+crates/ipc/src/unix_lat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

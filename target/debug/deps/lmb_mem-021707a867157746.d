@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lmb_mem-021707a867157746.d: crates/mem/src/lib.rs crates/mem/src/alias.rs crates/mem/src/bw.rs crates/mem/src/dirty.rs crates/mem/src/hierarchy.rs crates/mem/src/lat.rs crates/mem/src/mlp.rs crates/mem/src/mp.rs crates/mem/src/stream.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/liblmb_mem-021707a867157746.rlib: crates/mem/src/lib.rs crates/mem/src/alias.rs crates/mem/src/bw.rs crates/mem/src/dirty.rs crates/mem/src/hierarchy.rs crates/mem/src/lat.rs crates/mem/src/mlp.rs crates/mem/src/mp.rs crates/mem/src/stream.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/liblmb_mem-021707a867157746.rmeta: crates/mem/src/lib.rs crates/mem/src/alias.rs crates/mem/src/bw.rs crates/mem/src/dirty.rs crates/mem/src/hierarchy.rs crates/mem/src/lat.rs crates/mem/src/mlp.rs crates/mem/src/mp.rs crates/mem/src/stream.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/alias.rs:
+crates/mem/src/bw.rs:
+crates/mem/src/dirty.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/lat.rs:
+crates/mem/src/mlp.rs:
+crates/mem/src/mp.rs:
+crates/mem/src/stream.rs:
+crates/mem/src/tlb.rs:

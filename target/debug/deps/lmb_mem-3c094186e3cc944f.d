@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lmb_mem-3c094186e3cc944f.d: crates/mem/src/lib.rs crates/mem/src/alias.rs crates/mem/src/bw.rs crates/mem/src/dirty.rs crates/mem/src/hierarchy.rs crates/mem/src/lat.rs crates/mem/src/mlp.rs crates/mem/src/mp.rs crates/mem/src/stream.rs crates/mem/src/tlb.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmb_mem-3c094186e3cc944f.rmeta: crates/mem/src/lib.rs crates/mem/src/alias.rs crates/mem/src/bw.rs crates/mem/src/dirty.rs crates/mem/src/hierarchy.rs crates/mem/src/lat.rs crates/mem/src/mlp.rs crates/mem/src/mp.rs crates/mem/src/stream.rs crates/mem/src/tlb.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/alias.rs:
+crates/mem/src/bw.rs:
+crates/mem/src/dirty.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/lat.rs:
+crates/mem/src/mlp.rs:
+crates/mem/src/mp.rs:
+crates/mem/src/stream.rs:
+crates/mem/src/tlb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

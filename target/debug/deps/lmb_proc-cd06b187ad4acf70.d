@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lmb_proc-cd06b187ad4acf70.d: crates/os/src/lib.rs crates/os/src/ctx.rs crates/os/src/proc.rs crates/os/src/select.rs crates/os/src/signal.rs crates/os/src/syscall.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmb_proc-cd06b187ad4acf70.rmeta: crates/os/src/lib.rs crates/os/src/ctx.rs crates/os/src/proc.rs crates/os/src/select.rs crates/os/src/signal.rs crates/os/src/syscall.rs Cargo.toml
+
+crates/os/src/lib.rs:
+crates/os/src/ctx.rs:
+crates/os/src/proc.rs:
+crates/os/src/select.rs:
+crates/os/src/signal.rs:
+crates/os/src/syscall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lmb_proc-fd060f11fab573bd.d: crates/os/src/lib.rs crates/os/src/ctx.rs crates/os/src/proc.rs crates/os/src/select.rs crates/os/src/signal.rs crates/os/src/syscall.rs
+
+/root/repo/target/debug/deps/liblmb_proc-fd060f11fab573bd.rlib: crates/os/src/lib.rs crates/os/src/ctx.rs crates/os/src/proc.rs crates/os/src/select.rs crates/os/src/signal.rs crates/os/src/syscall.rs
+
+/root/repo/target/debug/deps/liblmb_proc-fd060f11fab573bd.rmeta: crates/os/src/lib.rs crates/os/src/ctx.rs crates/os/src/proc.rs crates/os/src/select.rs crates/os/src/signal.rs crates/os/src/syscall.rs
+
+crates/os/src/lib.rs:
+crates/os/src/ctx.rs:
+crates/os/src/proc.rs:
+crates/os/src/select.rs:
+crates/os/src/signal.rs:
+crates/os/src/syscall.rs:

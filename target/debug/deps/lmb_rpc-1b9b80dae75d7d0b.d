@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lmb_rpc-1b9b80dae75d7d0b.d: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/registry.rs crates/rpc/src/server.rs crates/rpc/src/xdr.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmb_rpc-1b9b80dae75d7d0b.rmeta: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/registry.rs crates/rpc/src/server.rs crates/rpc/src/xdr.rs Cargo.toml
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/client.rs:
+crates/rpc/src/message.rs:
+crates/rpc/src/record.rs:
+crates/rpc/src/registry.rs:
+crates/rpc/src/server.rs:
+crates/rpc/src/xdr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lmb_rpc-c58401648b6375fc.d: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/registry.rs crates/rpc/src/server.rs crates/rpc/src/xdr.rs
+
+/root/repo/target/debug/deps/liblmb_rpc-c58401648b6375fc.rlib: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/registry.rs crates/rpc/src/server.rs crates/rpc/src/xdr.rs
+
+/root/repo/target/debug/deps/liblmb_rpc-c58401648b6375fc.rmeta: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/registry.rs crates/rpc/src/server.rs crates/rpc/src/xdr.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/client.rs:
+crates/rpc/src/message.rs:
+crates/rpc/src/record.rs:
+crates/rpc/src/registry.rs:
+crates/rpc/src/server.rs:
+crates/rpc/src/xdr.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/lmb_sys-616ca2ef8b113cf8.d: crates/sys/src/lib.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs
+/root/repo/target/debug/deps/lmb_sys-616ca2ef8b113cf8.d: crates/sys/src/lib.rs crates/sys/src/count.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs
 
-/root/repo/target/debug/deps/lmb_sys-616ca2ef8b113cf8: crates/sys/src/lib.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs
+/root/repo/target/debug/deps/lmb_sys-616ca2ef8b113cf8: crates/sys/src/lib.rs crates/sys/src/count.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs
 
 crates/sys/src/lib.rs:
+crates/sys/src/count.rs:
 crates/sys/src/error.rs:
 crates/sys/src/fd.rs:
 crates/sys/src/isolate.rs:

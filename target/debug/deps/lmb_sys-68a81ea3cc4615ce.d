@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/lmb_sys-68a81ea3cc4615ce.d: crates/sys/src/lib.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs
+/root/repo/target/debug/deps/lmb_sys-68a81ea3cc4615ce.d: crates/sys/src/lib.rs crates/sys/src/count.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs
 
-/root/repo/target/debug/deps/liblmb_sys-68a81ea3cc4615ce.rlib: crates/sys/src/lib.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs
+/root/repo/target/debug/deps/liblmb_sys-68a81ea3cc4615ce.rlib: crates/sys/src/lib.rs crates/sys/src/count.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs
 
-/root/repo/target/debug/deps/liblmb_sys-68a81ea3cc4615ce.rmeta: crates/sys/src/lib.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs
+/root/repo/target/debug/deps/liblmb_sys-68a81ea3cc4615ce.rmeta: crates/sys/src/lib.rs crates/sys/src/count.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs
 
 crates/sys/src/lib.rs:
+crates/sys/src/count.rs:
 crates/sys/src/error.rs:
 crates/sys/src/fd.rs:
 crates/sys/src/isolate.rs:

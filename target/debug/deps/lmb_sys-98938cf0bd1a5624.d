@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/lmb_sys-98938cf0bd1a5624.d: crates/sys/src/lib.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs Cargo.toml
+/root/repo/target/debug/deps/lmb_sys-98938cf0bd1a5624.d: crates/sys/src/lib.rs crates/sys/src/count.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs Cargo.toml
 
-/root/repo/target/debug/deps/liblmb_sys-98938cf0bd1a5624.rmeta: crates/sys/src/lib.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs Cargo.toml
+/root/repo/target/debug/deps/liblmb_sys-98938cf0bd1a5624.rmeta: crates/sys/src/lib.rs crates/sys/src/count.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs Cargo.toml
 
 crates/sys/src/lib.rs:
+crates/sys/src/count.rs:
 crates/sys/src/error.rs:
 crates/sys/src/fd.rs:
 crates/sys/src/isolate.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/lmb_timing-634f50131e261f26.d: crates/timing/src/lib.rs crates/timing/src/calibrate.rs crates/timing/src/clock.rs crates/timing/src/cycle.rs crates/timing/src/harness.rs crates/timing/src/record.rs crates/timing/src/result.rs crates/timing/src/sizing.rs crates/timing/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmb_timing-634f50131e261f26.rmeta: crates/timing/src/lib.rs crates/timing/src/calibrate.rs crates/timing/src/clock.rs crates/timing/src/cycle.rs crates/timing/src/harness.rs crates/timing/src/record.rs crates/timing/src/result.rs crates/timing/src/sizing.rs crates/timing/src/stats.rs Cargo.toml
+
+crates/timing/src/lib.rs:
+crates/timing/src/calibrate.rs:
+crates/timing/src/clock.rs:
+crates/timing/src/cycle.rs:
+crates/timing/src/harness.rs:
+crates/timing/src/record.rs:
+crates/timing/src/result.rs:
+crates/timing/src/sizing.rs:
+crates/timing/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

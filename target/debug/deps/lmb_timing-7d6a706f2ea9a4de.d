@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lmb_timing-7d6a706f2ea9a4de.d: crates/timing/src/lib.rs crates/timing/src/calibrate.rs crates/timing/src/clock.rs crates/timing/src/cycle.rs crates/timing/src/harness.rs crates/timing/src/record.rs crates/timing/src/result.rs crates/timing/src/sizing.rs crates/timing/src/stats.rs
+
+/root/repo/target/debug/deps/liblmb_timing-7d6a706f2ea9a4de.rlib: crates/timing/src/lib.rs crates/timing/src/calibrate.rs crates/timing/src/clock.rs crates/timing/src/cycle.rs crates/timing/src/harness.rs crates/timing/src/record.rs crates/timing/src/result.rs crates/timing/src/sizing.rs crates/timing/src/stats.rs
+
+/root/repo/target/debug/deps/liblmb_timing-7d6a706f2ea9a4de.rmeta: crates/timing/src/lib.rs crates/timing/src/calibrate.rs crates/timing/src/clock.rs crates/timing/src/cycle.rs crates/timing/src/harness.rs crates/timing/src/record.rs crates/timing/src/result.rs crates/timing/src/sizing.rs crates/timing/src/stats.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/calibrate.rs:
+crates/timing/src/clock.rs:
+crates/timing/src/cycle.rs:
+crates/timing/src/harness.rs:
+crates/timing/src/record.rs:
+crates/timing/src/result.rs:
+crates/timing/src/sizing.rs:
+crates/timing/src/stats.rs:

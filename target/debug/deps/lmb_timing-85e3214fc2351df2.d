@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lmb_timing-85e3214fc2351df2.d: crates/timing/src/lib.rs crates/timing/src/calibrate.rs crates/timing/src/clock.rs crates/timing/src/cycle.rs crates/timing/src/harness.rs crates/timing/src/record.rs crates/timing/src/result.rs crates/timing/src/sizing.rs crates/timing/src/stats.rs
+
+/root/repo/target/debug/deps/lmb_timing-85e3214fc2351df2: crates/timing/src/lib.rs crates/timing/src/calibrate.rs crates/timing/src/clock.rs crates/timing/src/cycle.rs crates/timing/src/harness.rs crates/timing/src/record.rs crates/timing/src/result.rs crates/timing/src/sizing.rs crates/timing/src/stats.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/calibrate.rs:
+crates/timing/src/clock.rs:
+crates/timing/src/cycle.rs:
+crates/timing/src/harness.rs:
+crates/timing/src/record.rs:
+crates/timing/src/result.rs:
+crates/timing/src/sizing.rs:
+crates/timing/src/stats.rs:

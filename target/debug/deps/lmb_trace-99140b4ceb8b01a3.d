@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lmb_trace-99140b4ceb8b01a3.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/jsonl.rs crates/trace/src/progress.rs crates/trace/src/sink.rs crates/trace/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmb_trace-99140b4ceb8b01a3.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/jsonl.rs crates/trace/src/progress.rs crates/trace/src/sink.rs crates/trace/src/span.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/jsonl.rs:
+crates/trace/src/progress.rs:
+crates/trace/src/sink.rs:
+crates/trace/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

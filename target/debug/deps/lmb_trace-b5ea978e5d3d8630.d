@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lmb_trace-b5ea978e5d3d8630.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/jsonl.rs crates/trace/src/progress.rs crates/trace/src/sink.rs crates/trace/src/span.rs
+
+/root/repo/target/debug/deps/lmb_trace-b5ea978e5d3d8630: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/jsonl.rs crates/trace/src/progress.rs crates/trace/src/sink.rs crates/trace/src/span.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/jsonl.rs:
+crates/trace/src/progress.rs:
+crates/trace/src/sink.rs:
+crates/trace/src/span.rs:

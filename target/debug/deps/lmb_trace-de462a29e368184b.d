@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lmb_trace-de462a29e368184b.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/jsonl.rs crates/trace/src/progress.rs crates/trace/src/sink.rs crates/trace/src/span.rs
+
+/root/repo/target/debug/deps/liblmb_trace-de462a29e368184b.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/jsonl.rs crates/trace/src/progress.rs crates/trace/src/sink.rs crates/trace/src/span.rs
+
+/root/repo/target/debug/deps/liblmb_trace-de462a29e368184b.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/jsonl.rs crates/trace/src/progress.rs crates/trace/src/sink.rs crates/trace/src/span.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/jsonl.rs:
+crates/trace/src/progress.rs:
+crates/trace/src/sink.rs:
+crates/trace/src/span.rs:

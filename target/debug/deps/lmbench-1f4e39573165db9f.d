@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lmbench-1f4e39573165db9f.d: src/lib.rs
+
+/root/repo/target/debug/deps/lmbench-1f4e39573165db9f: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

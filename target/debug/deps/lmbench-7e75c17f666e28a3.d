@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lmbench-7e75c17f666e28a3.d: src/main.rs
+
+/root/repo/target/debug/deps/lmbench-7e75c17f666e28a3: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lmbench-8cbea3e592840d4f.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblmbench-8cbea3e592840d4f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblmbench-8cbea3e592840d4f.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

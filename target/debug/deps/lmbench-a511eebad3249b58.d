@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lmbench-a511eebad3249b58.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmbench-a511eebad3249b58.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lmbench-cf8fed3c3dfe8e17.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblmbench-cf8fed3c3dfe8e17.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lmbench-da9974adc365398f.d: src/main.rs
+
+/root/repo/target/debug/deps/lmbench-da9974adc365398f: src/main.rs
+
+src/main.rs:

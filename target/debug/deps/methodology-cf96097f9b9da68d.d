@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/methodology-cf96097f9b9da68d.d: tests/methodology.rs
+
+/root/repo/target/debug/deps/methodology-cf96097f9b9da68d: tests/methodology.rs
+
+tests/methodology.rs:

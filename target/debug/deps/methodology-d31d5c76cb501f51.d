@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/methodology-d31d5c76cb501f51.d: tests/methodology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmethodology-d31d5c76cb501f51.rmeta: tests/methodology.rs Cargo.toml
+
+tests/methodology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead-1558bcff910f9afa.d: crates/trace/tests/overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead-1558bcff910f9afa.rmeta: crates/trace/tests/overhead.rs Cargo.toml
+
+crates/trace/tests/overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-794f7e244f577e7f.d: crates/trace/tests/overhead.rs
+
+/root/repo/target/debug/deps/overhead-794f7e244f577e7f: crates/trace/tests/overhead.rs
+
+crates/trace/tests/overhead.rs:

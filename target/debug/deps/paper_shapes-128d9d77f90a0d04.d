@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_shapes-128d9d77f90a0d04.d: tests/paper_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_shapes-128d9d77f90a0d04.rmeta: tests/paper_shapes.rs Cargo.toml
+
+tests/paper_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

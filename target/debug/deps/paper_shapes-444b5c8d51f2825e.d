@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-444b5c8d51f2825e.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-444b5c8d51f2825e: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rpc_layering-8ecb85ecc93f888e.d: tests/rpc_layering.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpc_layering-8ecb85ecc93f888e.rmeta: tests/rpc_layering.rs Cargo.toml
+
+tests/rpc_layering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

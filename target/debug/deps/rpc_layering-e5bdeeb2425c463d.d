@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rpc_layering-e5bdeeb2425c463d.d: tests/rpc_layering.rs
+
+/root/repo/target/debug/deps/rpc_layering-e5bdeeb2425c463d: tests/rpc_layering.rs
+
+tests/rpc_layering.rs:

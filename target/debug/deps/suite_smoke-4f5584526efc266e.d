@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_smoke-4f5584526efc266e.d: tests/suite_smoke.rs
+
+/root/repo/target/debug/deps/suite_smoke-4f5584526efc266e: tests/suite_smoke.rs
+
+tests/suite_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suite_smoke-d7a4c74a6b3c7541.d: tests/suite_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuite_smoke-d7a4c74a6b3c7541.rmeta: tests/suite_smoke.rs Cargo.toml
+
+tests/suite_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table02_membw-33a389cb48b06075.d: crates/bench/benches/table02_membw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable02_membw-33a389cb48b06075.rmeta: crates/bench/benches/table02_membw.rs Cargo.toml
+
+crates/bench/benches/table02_membw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

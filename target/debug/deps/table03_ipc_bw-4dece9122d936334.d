@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table03_ipc_bw-4dece9122d936334.d: crates/bench/benches/table03_ipc_bw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable03_ipc_bw-4dece9122d936334.rmeta: crates/bench/benches/table03_ipc_bw.rs Cargo.toml
+
+crates/bench/benches/table03_ipc_bw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table04_remote_bw-345e3f20138bb39f.d: crates/bench/benches/table04_remote_bw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable04_remote_bw-345e3f20138bb39f.rmeta: crates/bench/benches/table04_remote_bw.rs Cargo.toml
+
+crates/bench/benches/table04_remote_bw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table05_file_bw-78058d686c83d7ac.d: crates/bench/benches/table05_file_bw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable05_file_bw-78058d686c83d7ac.rmeta: crates/bench/benches/table05_file_bw.rs Cargo.toml
+
+crates/bench/benches/table05_file_bw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table06_memlat-644f83ed5874e15a.d: crates/bench/benches/table06_memlat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable06_memlat-644f83ed5874e15a.rmeta: crates/bench/benches/table06_memlat.rs Cargo.toml
+
+crates/bench/benches/table06_memlat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

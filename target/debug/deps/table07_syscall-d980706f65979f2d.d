@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table07_syscall-d980706f65979f2d.d: crates/bench/benches/table07_syscall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable07_syscall-d980706f65979f2d.rmeta: crates/bench/benches/table07_syscall.rs Cargo.toml
+
+crates/bench/benches/table07_syscall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

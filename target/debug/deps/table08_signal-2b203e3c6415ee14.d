@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table08_signal-2b203e3c6415ee14.d: crates/bench/benches/table08_signal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable08_signal-2b203e3c6415ee14.rmeta: crates/bench/benches/table08_signal.rs Cargo.toml
+
+crates/bench/benches/table08_signal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

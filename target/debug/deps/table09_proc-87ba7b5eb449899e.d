@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table09_proc-87ba7b5eb449899e.d: crates/bench/benches/table09_proc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable09_proc-87ba7b5eb449899e.rmeta: crates/bench/benches/table09_proc.rs Cargo.toml
+
+crates/bench/benches/table09_proc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table10_ctx-f023831c26a8bb88.d: crates/bench/benches/table10_ctx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable10_ctx-f023831c26a8bb88.rmeta: crates/bench/benches/table10_ctx.rs Cargo.toml
+
+crates/bench/benches/table10_ctx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

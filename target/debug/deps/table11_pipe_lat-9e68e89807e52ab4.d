@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table11_pipe_lat-9e68e89807e52ab4.d: crates/bench/benches/table11_pipe_lat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable11_pipe_lat-9e68e89807e52ab4.rmeta: crates/bench/benches/table11_pipe_lat.rs Cargo.toml
+
+crates/bench/benches/table11_pipe_lat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

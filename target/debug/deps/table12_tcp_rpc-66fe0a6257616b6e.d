@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table12_tcp_rpc-66fe0a6257616b6e.d: crates/bench/benches/table12_tcp_rpc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable12_tcp_rpc-66fe0a6257616b6e.rmeta: crates/bench/benches/table12_tcp_rpc.rs Cargo.toml
+
+crates/bench/benches/table12_tcp_rpc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table13_udp_rpc-3204c61b5b1b1cd1.d: crates/bench/benches/table13_udp_rpc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable13_udp_rpc-3204c61b5b1b1cd1.rmeta: crates/bench/benches/table13_udp_rpc.rs Cargo.toml
+
+crates/bench/benches/table13_udp_rpc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table14_remote_lat-34dfb74040735cbc.d: crates/bench/benches/table14_remote_lat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable14_remote_lat-34dfb74040735cbc.rmeta: crates/bench/benches/table14_remote_lat.rs Cargo.toml
+
+crates/bench/benches/table14_remote_lat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table15_connect-f31538105351ebb6.d: crates/bench/benches/table15_connect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable15_connect-f31538105351ebb6.rmeta: crates/bench/benches/table15_connect.rs Cargo.toml
+
+crates/bench/benches/table15_connect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table16_fs-c959702d616cd437.d: crates/bench/benches/table16_fs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable16_fs-c959702d616cd437.rmeta: crates/bench/benches/table16_fs.rs Cargo.toml
+
+crates/bench/benches/table16_fs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table17_disk-2538583eea94eb0c.d: crates/bench/benches/table17_disk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable17_disk-2538583eea94eb0c.rmeta: crates/bench/benches/table17_disk.rs Cargo.toml
+
+crates/bench/benches/table17_disk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/trace_capture-31b3a493fb12b761.d: tests/trace_capture.rs
+
+/root/repo/target/debug/deps/trace_capture-31b3a493fb12b761: tests/trace_capture.rs
+
+tests/trace_capture.rs:
+
+# env-dep:CARGO_BIN_EXE_lmbench=/root/repo/target/debug/lmbench

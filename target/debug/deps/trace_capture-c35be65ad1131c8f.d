@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/trace_capture-c35be65ad1131c8f.d: tests/trace_capture.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_capture-c35be65ad1131c8f.rmeta: tests/trace_capture.rs Cargo.toml
+
+tests/trace_capture.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_lmbench=placeholder:lmbench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ctx_switch_study-db664f21bab6e18a.d: examples/ctx_switch_study.rs
+
+/root/repo/target/debug/examples/ctx_switch_study-db664f21bab6e18a: examples/ctx_switch_study.rs
+
+examples/ctx_switch_study.rs:

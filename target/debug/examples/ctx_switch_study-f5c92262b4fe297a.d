@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ctx_switch_study-f5c92262b4fe297a.d: examples/ctx_switch_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libctx_switch_study-f5c92262b4fe297a.rmeta: examples/ctx_switch_study.rs Cargo.toml
+
+examples/ctx_switch_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

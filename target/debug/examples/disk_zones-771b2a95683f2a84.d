@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/disk_zones-771b2a95683f2a84.d: examples/disk_zones.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdisk_zones-771b2a95683f2a84.rmeta: examples/disk_zones.rs Cargo.toml
+
+examples/disk_zones.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

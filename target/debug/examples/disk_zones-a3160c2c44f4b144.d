@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/disk_zones-a3160c2c44f4b144.d: examples/disk_zones.rs
+
+/root/repo/target/debug/examples/disk_zones-a3160c2c44f4b144: examples/disk_zones.rs
+
+examples/disk_zones.rs:

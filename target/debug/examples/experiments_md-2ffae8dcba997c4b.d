@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/experiments_md-2ffae8dcba997c4b.d: examples/experiments_md.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexperiments_md-2ffae8dcba997c4b.rmeta: examples/experiments_md.rs Cargo.toml
+
+examples/experiments_md.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

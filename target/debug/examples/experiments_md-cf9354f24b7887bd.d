@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/experiments_md-cf9354f24b7887bd.d: examples/experiments_md.rs
+
+/root/repo/target/debug/examples/experiments_md-cf9354f24b7887bd: examples/experiments_md.rs
+
+examples/experiments_md.rs:

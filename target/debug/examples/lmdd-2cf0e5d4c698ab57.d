@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lmdd-2cf0e5d4c698ab57.d: examples/lmdd.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblmdd-2cf0e5d4c698ab57.rmeta: examples/lmdd.rs Cargo.toml
+
+examples/lmdd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

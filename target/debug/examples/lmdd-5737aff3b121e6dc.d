@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lmdd-5737aff3b121e6dc.d: examples/lmdd.rs
+
+/root/repo/target/debug/examples/lmdd-5737aff3b121e6dc: examples/lmdd.rs
+
+examples/lmdd.rs:

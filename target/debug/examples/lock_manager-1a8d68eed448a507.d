@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lock_manager-1a8d68eed448a507.d: examples/lock_manager.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblock_manager-1a8d68eed448a507.rmeta: examples/lock_manager.rs Cargo.toml
+
+examples/lock_manager.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

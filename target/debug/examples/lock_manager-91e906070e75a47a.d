@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lock_manager-91e906070e75a47a.d: examples/lock_manager.rs
+
+/root/repo/target/debug/examples/lock_manager-91e906070e75a47a: examples/lock_manager.rs
+
+examples/lock_manager.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/memory_hierarchy-7dec5a5468d73677.d: examples/memory_hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmemory_hierarchy-7dec5a5468d73677.rmeta: examples/memory_hierarchy.rs Cargo.toml
+
+examples/memory_hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

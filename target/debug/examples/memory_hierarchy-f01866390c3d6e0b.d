@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_hierarchy-f01866390c3d6e0b.d: examples/memory_hierarchy.rs
+
+/root/repo/target/debug/examples/memory_hierarchy-f01866390c3d6e0b: examples/memory_hierarchy.rs
+
+examples/memory_hierarchy.rs:

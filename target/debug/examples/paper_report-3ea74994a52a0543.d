@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_report-3ea74994a52a0543.d: examples/paper_report.rs
+
+/root/repo/target/debug/examples/paper_report-3ea74994a52a0543: examples/paper_report.rs
+
+examples/paper_report.rs:

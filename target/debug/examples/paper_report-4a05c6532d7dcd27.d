@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_report-4a05c6532d7dcd27.d: examples/paper_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_report-4a05c6532d7dcd27.rmeta: examples/paper_report.rs Cargo.toml
+
+examples/paper_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-830dfd894a046443.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-830dfd894a046443: examples/quickstart.rs
+
+examples/quickstart.rs:

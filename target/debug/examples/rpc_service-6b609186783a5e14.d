@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rpc_service-6b609186783a5e14.d: examples/rpc_service.rs Cargo.toml
+
+/root/repo/target/debug/examples/librpc_service-6b609186783a5e14.rmeta: examples/rpc_service.rs Cargo.toml
+
+examples/rpc_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

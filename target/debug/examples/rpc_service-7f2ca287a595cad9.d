@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rpc_service-7f2ca287a595cad9.d: examples/rpc_service.rs
+
+/root/repo/target/debug/examples/rpc_service-7f2ca287a595cad9: examples/rpc_service.rs
+
+examples/rpc_service.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lmb_core-41452d20c3825fa9.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host.rs crates/core/src/output.rs crates/core/src/registry.rs crates/core/src/report.rs crates/core/src/suite.rs
+
+/root/repo/target/release/deps/liblmb_core-41452d20c3825fa9.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host.rs crates/core/src/output.rs crates/core/src/registry.rs crates/core/src/report.rs crates/core/src/suite.rs
+
+/root/repo/target/release/deps/liblmb_core-41452d20c3825fa9.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host.rs crates/core/src/output.rs crates/core/src/registry.rs crates/core/src/report.rs crates/core/src/suite.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/host.rs:
+crates/core/src/output.rs:
+crates/core/src/registry.rs:
+crates/core/src/report.rs:
+crates/core/src/suite.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lmb_disk-777dcf8a0877506e.d: crates/disk/src/lib.rs crates/disk/src/geometry.rs crates/disk/src/model.rs crates/disk/src/overhead.rs crates/disk/src/zbr.rs
+
+/root/repo/target/release/deps/liblmb_disk-777dcf8a0877506e.rlib: crates/disk/src/lib.rs crates/disk/src/geometry.rs crates/disk/src/model.rs crates/disk/src/overhead.rs crates/disk/src/zbr.rs
+
+/root/repo/target/release/deps/liblmb_disk-777dcf8a0877506e.rmeta: crates/disk/src/lib.rs crates/disk/src/geometry.rs crates/disk/src/model.rs crates/disk/src/overhead.rs crates/disk/src/zbr.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/geometry.rs:
+crates/disk/src/model.rs:
+crates/disk/src/overhead.rs:
+crates/disk/src/zbr.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lmb_fs-fbeb8bc81d45192e.d: crates/fs/src/lib.rs crates/fs/src/create_delete.rs crates/fs/src/lmdd.rs crates/fs/src/mmap_reread.rs crates/fs/src/reread.rs crates/fs/src/scaling.rs
+
+/root/repo/target/release/deps/liblmb_fs-fbeb8bc81d45192e.rlib: crates/fs/src/lib.rs crates/fs/src/create_delete.rs crates/fs/src/lmdd.rs crates/fs/src/mmap_reread.rs crates/fs/src/reread.rs crates/fs/src/scaling.rs
+
+/root/repo/target/release/deps/liblmb_fs-fbeb8bc81d45192e.rmeta: crates/fs/src/lib.rs crates/fs/src/create_delete.rs crates/fs/src/lmdd.rs crates/fs/src/mmap_reread.rs crates/fs/src/reread.rs crates/fs/src/scaling.rs
+
+crates/fs/src/lib.rs:
+crates/fs/src/create_delete.rs:
+crates/fs/src/lmdd.rs:
+crates/fs/src/mmap_reread.rs:
+crates/fs/src/reread.rs:
+crates/fs/src/scaling.rs:

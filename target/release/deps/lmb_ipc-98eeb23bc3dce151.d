@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/lmb_ipc-98eeb23bc3dce151.d: crates/ipc/src/lib.rs crates/ipc/src/fifo_lat.rs crates/ipc/src/pipe_bw.rs crates/ipc/src/pipe_lat.rs crates/ipc/src/tcp_bw.rs crates/ipc/src/tcp_connect.rs crates/ipc/src/tcp_lat.rs crates/ipc/src/udp_lat.rs crates/ipc/src/unix_bw.rs crates/ipc/src/unix_lat.rs
+
+/root/repo/target/release/deps/liblmb_ipc-98eeb23bc3dce151.rlib: crates/ipc/src/lib.rs crates/ipc/src/fifo_lat.rs crates/ipc/src/pipe_bw.rs crates/ipc/src/pipe_lat.rs crates/ipc/src/tcp_bw.rs crates/ipc/src/tcp_connect.rs crates/ipc/src/tcp_lat.rs crates/ipc/src/udp_lat.rs crates/ipc/src/unix_bw.rs crates/ipc/src/unix_lat.rs
+
+/root/repo/target/release/deps/liblmb_ipc-98eeb23bc3dce151.rmeta: crates/ipc/src/lib.rs crates/ipc/src/fifo_lat.rs crates/ipc/src/pipe_bw.rs crates/ipc/src/pipe_lat.rs crates/ipc/src/tcp_bw.rs crates/ipc/src/tcp_connect.rs crates/ipc/src/tcp_lat.rs crates/ipc/src/udp_lat.rs crates/ipc/src/unix_bw.rs crates/ipc/src/unix_lat.rs
+
+crates/ipc/src/lib.rs:
+crates/ipc/src/fifo_lat.rs:
+crates/ipc/src/pipe_bw.rs:
+crates/ipc/src/pipe_lat.rs:
+crates/ipc/src/tcp_bw.rs:
+crates/ipc/src/tcp_connect.rs:
+crates/ipc/src/tcp_lat.rs:
+crates/ipc/src/udp_lat.rs:
+crates/ipc/src/unix_bw.rs:
+crates/ipc/src/unix_lat.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/lmb_mem-07971e00ff9aa91d.d: crates/mem/src/lib.rs crates/mem/src/alias.rs crates/mem/src/bw.rs crates/mem/src/dirty.rs crates/mem/src/hierarchy.rs crates/mem/src/lat.rs crates/mem/src/mlp.rs crates/mem/src/mp.rs crates/mem/src/stream.rs crates/mem/src/tlb.rs
+
+/root/repo/target/release/deps/liblmb_mem-07971e00ff9aa91d.rlib: crates/mem/src/lib.rs crates/mem/src/alias.rs crates/mem/src/bw.rs crates/mem/src/dirty.rs crates/mem/src/hierarchy.rs crates/mem/src/lat.rs crates/mem/src/mlp.rs crates/mem/src/mp.rs crates/mem/src/stream.rs crates/mem/src/tlb.rs
+
+/root/repo/target/release/deps/liblmb_mem-07971e00ff9aa91d.rmeta: crates/mem/src/lib.rs crates/mem/src/alias.rs crates/mem/src/bw.rs crates/mem/src/dirty.rs crates/mem/src/hierarchy.rs crates/mem/src/lat.rs crates/mem/src/mlp.rs crates/mem/src/mp.rs crates/mem/src/stream.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/alias.rs:
+crates/mem/src/bw.rs:
+crates/mem/src/dirty.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/lat.rs:
+crates/mem/src/mlp.rs:
+crates/mem/src/mp.rs:
+crates/mem/src/stream.rs:
+crates/mem/src/tlb.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lmb_proc-f9d5948f47b372c9.d: crates/os/src/lib.rs crates/os/src/ctx.rs crates/os/src/proc.rs crates/os/src/select.rs crates/os/src/signal.rs crates/os/src/syscall.rs
+
+/root/repo/target/release/deps/liblmb_proc-f9d5948f47b372c9.rlib: crates/os/src/lib.rs crates/os/src/ctx.rs crates/os/src/proc.rs crates/os/src/select.rs crates/os/src/signal.rs crates/os/src/syscall.rs
+
+/root/repo/target/release/deps/liblmb_proc-f9d5948f47b372c9.rmeta: crates/os/src/lib.rs crates/os/src/ctx.rs crates/os/src/proc.rs crates/os/src/select.rs crates/os/src/signal.rs crates/os/src/syscall.rs
+
+crates/os/src/lib.rs:
+crates/os/src/ctx.rs:
+crates/os/src/proc.rs:
+crates/os/src/select.rs:
+crates/os/src/signal.rs:
+crates/os/src/syscall.rs:

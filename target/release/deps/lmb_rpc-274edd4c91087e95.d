@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lmb_rpc-274edd4c91087e95.d: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/registry.rs crates/rpc/src/server.rs crates/rpc/src/xdr.rs
+
+/root/repo/target/release/deps/liblmb_rpc-274edd4c91087e95.rlib: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/registry.rs crates/rpc/src/server.rs crates/rpc/src/xdr.rs
+
+/root/repo/target/release/deps/liblmb_rpc-274edd4c91087e95.rmeta: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/registry.rs crates/rpc/src/server.rs crates/rpc/src/xdr.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/client.rs:
+crates/rpc/src/message.rs:
+crates/rpc/src/record.rs:
+crates/rpc/src/registry.rs:
+crates/rpc/src/server.rs:
+crates/rpc/src/xdr.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/lmb_sys-c2b128c4df6d1235.d: crates/sys/src/lib.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs
+/root/repo/target/release/deps/lmb_sys-c2b128c4df6d1235.d: crates/sys/src/lib.rs crates/sys/src/count.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs
 
-/root/repo/target/release/deps/liblmb_sys-c2b128c4df6d1235.rlib: crates/sys/src/lib.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs
+/root/repo/target/release/deps/liblmb_sys-c2b128c4df6d1235.rlib: crates/sys/src/lib.rs crates/sys/src/count.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs
 
-/root/repo/target/release/deps/liblmb_sys-c2b128c4df6d1235.rmeta: crates/sys/src/lib.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs
+/root/repo/target/release/deps/liblmb_sys-c2b128c4df6d1235.rmeta: crates/sys/src/lib.rs crates/sys/src/count.rs crates/sys/src/error.rs crates/sys/src/fd.rs crates/sys/src/isolate.rs crates/sys/src/mem.rs crates/sys/src/pipe.rs crates/sys/src/process.rs crates/sys/src/signal.rs crates/sys/src/sock.rs
 
 crates/sys/src/lib.rs:
+crates/sys/src/count.rs:
 crates/sys/src/error.rs:
 crates/sys/src/fd.rs:
 crates/sys/src/isolate.rs:

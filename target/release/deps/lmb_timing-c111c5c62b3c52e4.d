@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lmb_timing-c111c5c62b3c52e4.d: crates/timing/src/lib.rs crates/timing/src/calibrate.rs crates/timing/src/clock.rs crates/timing/src/cycle.rs crates/timing/src/harness.rs crates/timing/src/record.rs crates/timing/src/result.rs crates/timing/src/sizing.rs crates/timing/src/stats.rs
+
+/root/repo/target/release/deps/liblmb_timing-c111c5c62b3c52e4.rlib: crates/timing/src/lib.rs crates/timing/src/calibrate.rs crates/timing/src/clock.rs crates/timing/src/cycle.rs crates/timing/src/harness.rs crates/timing/src/record.rs crates/timing/src/result.rs crates/timing/src/sizing.rs crates/timing/src/stats.rs
+
+/root/repo/target/release/deps/liblmb_timing-c111c5c62b3c52e4.rmeta: crates/timing/src/lib.rs crates/timing/src/calibrate.rs crates/timing/src/clock.rs crates/timing/src/cycle.rs crates/timing/src/harness.rs crates/timing/src/record.rs crates/timing/src/result.rs crates/timing/src/sizing.rs crates/timing/src/stats.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/calibrate.rs:
+crates/timing/src/clock.rs:
+crates/timing/src/cycle.rs:
+crates/timing/src/harness.rs:
+crates/timing/src/record.rs:
+crates/timing/src/result.rs:
+crates/timing/src/sizing.rs:
+crates/timing/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lmb_trace-b54e5a5d9bdd0fc7.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/jsonl.rs crates/trace/src/progress.rs crates/trace/src/sink.rs crates/trace/src/span.rs
+
+/root/repo/target/release/deps/liblmb_trace-b54e5a5d9bdd0fc7.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/jsonl.rs crates/trace/src/progress.rs crates/trace/src/sink.rs crates/trace/src/span.rs
+
+/root/repo/target/release/deps/liblmb_trace-b54e5a5d9bdd0fc7.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/jsonl.rs crates/trace/src/progress.rs crates/trace/src/sink.rs crates/trace/src/span.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/jsonl.rs:
+crates/trace/src/progress.rs:
+crates/trace/src/sink.rs:
+crates/trace/src/span.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lmbench-5ae0894fe72c30dc.d: src/lib.rs
+
+/root/repo/target/release/deps/liblmbench-5ae0894fe72c30dc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblmbench-5ae0894fe72c30dc.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lmbench-7f1a5d9ce4772b22.d: src/main.rs
+
+/root/repo/target/release/deps/lmbench-7f1a5d9ce4772b22: src/main.rs
+
+src/main.rs:

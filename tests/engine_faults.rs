@@ -1,14 +1,17 @@
 //! Fault-drill integration tests: the `lmbench suite` CLI must survive a
 //! panicking benchmark and a hung benchmark, emit the remaining tables,
-//! and list both casualties in the run report with reasons.
+//! list both casualties in the run report with reasons — and, when
+//! `--trace` is active, record every injected fault as a trace event.
 
+use lmbench::trace::{parse_jsonl, EventKind, TraceEvent};
 use std::process::Command;
 
-/// Runs the real binary with fault-injection env vars and a benchmark
-/// subset, returning (exit_ok, stdout, stderr).
-fn run_suite_cli(envs: &[(&str, &str)], only: &str) -> (bool, String, String) {
+/// Runs the real binary with fault-injection env vars, a benchmark subset
+/// and extra flags, returning (exit_ok, stdout, stderr).
+fn run_suite_cli(envs: &[(&str, &str)], only: &str, extra: &[&str]) -> (bool, String, String) {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_lmbench"));
     cmd.args(["suite", "--only", only]);
+    cmd.args(extra);
     for (k, v) in envs {
         cmd.env(k, v);
     }
@@ -20,10 +23,31 @@ fn run_suite_cli(envs: &[(&str, &str)], only: &str) -> (bool, String, String) {
     )
 }
 
+/// Events attributed to the named benchmark's span (joined through its
+/// `span_start` event).
+fn events_of<'e>(events: &'e [TraceEvent], bench: &str) -> Vec<&'e TraceEvent> {
+    let wanted = format!("bench:{bench}");
+    let span = events
+        .iter()
+        .find_map(|e| match &e.kind {
+            EventKind::SpanStart { name, .. } if *name == wanted => e.span,
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no span_start for {bench}"));
+    events.iter().filter(|e| e.span == Some(span)).collect()
+}
+
+/// A per-test trace file under the system temp dir (pid-qualified so
+/// parallel test binaries never collide).
+fn trace_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("lmbench-{tag}-{}.jsonl", std::process::id()))
+}
+
 #[test]
 fn suite_survives_forced_panic_and_hang() {
     // One benchmark panics, one hangs past a 500 ms budget; sys_info and
     // lat_disk must still produce their tables and the exit code must be 0.
+    let trace = trace_path("panic-hang");
     let (ok, stdout, stderr) = run_suite_cli(
         &[
             ("LMBENCH_FAULT_PANIC", "lat_syscall"),
@@ -31,6 +55,7 @@ fn suite_survives_forced_panic_and_hang() {
             ("LMBENCH_TIMEOUT_MS", "500"),
         ],
         "sys_info,lat_syscall,lat_pipe,lat_disk",
+        &["--trace", trace.to_str().unwrap()],
     );
     assert!(ok, "suite exited nonzero despite isolation:\n{stderr}");
 
@@ -62,18 +87,84 @@ fn suite_survives_forced_panic_and_hang() {
         stdout.contains("\"pipe_lat\": null"),
         "hung benchmark left a row:\n{stdout}"
     );
+
+    // The trace artifact is the same story, machine-readable: the panic is
+    // attributed to lat_syscall's span with its payload, the timeout to
+    // lat_pipe's span with the budget that was exceeded.
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let _ = std::fs::remove_file(&trace);
+    let events = parse_jsonl(&text).expect("trace is valid JSONL");
+
+    let panicked = events_of(&events, "lat_syscall");
+    assert!(
+        panicked.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::Panic { message } if message.contains("forced panic")
+        )),
+        "no panic event in lat_syscall's span"
+    );
+    assert!(
+        panicked.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::Outcome { status, .. } if status == "failed"
+        )),
+        "no failed outcome in lat_syscall's span"
+    );
+
+    let hung = events_of(&events, "lat_pipe");
+    assert!(
+        hung.iter()
+            .any(|e| matches!(&e.kind, EventKind::Timeout { limit_ms: 500 })),
+        "no 500 ms timeout event in lat_pipe's span"
+    );
+    assert!(
+        hung.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::Outcome { status, .. } if status == "timeout"
+        )),
+        "no timeout outcome in lat_pipe's span"
+    );
 }
 
 #[test]
 fn suite_skips_benchmark_with_missing_substrate() {
+    let trace = trace_path("nosubstrate");
     let (ok, _stdout, stderr) = run_suite_cli(
         &[("LMBENCH_FAULT_NOSUBSTRATE", "lat_syscall")],
         "sys_info,lat_syscall",
+        &["--trace", trace.to_str().unwrap()],
     );
     assert!(ok, "suite exited nonzero:\n{stderr}");
     assert!(
         stderr.contains("skipped") && stderr.contains("substrate"),
         "no skip row:\n{stderr}"
+    );
+
+    // The trace records the failed probe and the skip inside the
+    // benchmark's span.
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let _ = std::fs::remove_file(&trace);
+    let events = parse_jsonl(&text).expect("trace is valid JSONL");
+    let skipped = events_of(&events, "lat_syscall");
+    assert!(
+        skipped
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::Probe { ok: false, .. })),
+        "no failed probe event in lat_syscall's span"
+    );
+    assert!(
+        skipped.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::Outcome { status, .. } if status == "skipped"
+        )),
+        "no skipped outcome in lat_syscall's span"
+    );
+    assert!(
+        skipped.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::Skip { reason } if reason.contains("substrate")
+        )),
+        "no skip event naming the substrate"
     );
 }
 

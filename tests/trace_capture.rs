@@ -1,0 +1,118 @@
+//! End-to-end trace artifact tests: a CLI suite run with `--trace` and
+//! `--report-json` must leave a valid JSONL flight recording whose spans
+//! join back to the archived run report.
+
+use lmbench::results::RunReport;
+use lmbench::trace::{parse_jsonl, span_summaries, EventKind};
+use std::process::Command;
+
+const BENCHES: [&str; 3] = ["sys_info", "lat_syscall", "lat_disk"];
+
+/// One CLI run shared by every assertion in this file (the suite takes
+/// real wall-clock time, so run it once).
+fn traced_run() -> (String, RunReport) {
+    let pid = std::process::id();
+    let trace = std::env::temp_dir().join(format!("lmbench-capture-{pid}.jsonl"));
+    let report = std::env::temp_dir().join(format!("lmbench-capture-{pid}-report.json"));
+    let out = Command::new(env!("CARGO_BIN_EXE_lmbench"))
+        .args(["suite", "--only", &BENCHES.join(",")])
+        .args(["--trace", trace.to_str().unwrap()])
+        .args(["--report-json", report.to_str().unwrap()])
+        .output()
+        .expect("spawn lmbench");
+    assert!(
+        out.status.success(),
+        "suite failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The same artifact must satisfy the bundled validator (what CI runs).
+    let validate = Command::new(env!("CARGO_BIN_EXE_lmbench"))
+        .args(["trace-validate", trace.to_str().unwrap()])
+        .output()
+        .expect("spawn lmbench trace-validate");
+    assert!(
+        validate.status.success(),
+        "trace-validate rejected the artifact:\n{}",
+        String::from_utf8_lossy(&validate.stderr)
+    );
+    let summary = String::from_utf8_lossy(&validate.stdout).into_owned();
+    assert!(summary.contains("events"), "no summary line: {summary}");
+
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let report_json = std::fs::read_to_string(&report).expect("report file written");
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&report);
+    let report = RunReport::from_json(&report_json).expect("report JSON parses");
+    (text, report)
+}
+
+#[test]
+fn trace_artifact_is_complete_and_links_to_the_run_report() {
+    let (text, report) = traced_run();
+    let events = parse_jsonl(&text).expect("trace is valid JSONL");
+    assert!(!events.is_empty(), "empty trace");
+
+    // Sequence numbers establish a total order: strictly monotonic as
+    // written (single process, one sink).
+    for pair in events.windows(2) {
+        assert!(
+            pair[0].seq < pair[1].seq,
+            "seq not strictly monotonic: {} then {}",
+            pair[0].seq,
+            pair[1].seq
+        );
+    }
+
+    // The run is bracketed by suite_start/suite_end with matching counts.
+    assert!(
+        events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::SuiteStart { benchmarks, .. } if benchmarks == BENCHES.len() as u32
+        )),
+        "no suite_start for {} benchmarks",
+        BENCHES.len()
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SuiteEnd { .. })),
+        "no suite_end event"
+    );
+    // The final line is the suite span closing (emitted just after
+    // suite_end, when the engine's root span drops).
+    assert!(
+        matches!(
+            events.last().map(|e| &e.kind),
+            Some(EventKind::SpanEnd { name, .. }) if name == "suite"
+        ),
+        "trace does not end with the suite span_end"
+    );
+
+    // Every executed benchmark opened and closed a span (plus the
+    // enclosing suite span).
+    let spans = span_summaries(&events);
+    assert_eq!(spans.len(), BENCHES.len() + 1, "unexpected span count");
+    for span in &spans {
+        assert!(span.complete, "span {} never ended", span.name);
+        assert!(span.elapsed_us > 0.0, "span {} took no time", span.name);
+    }
+
+    // The archived run report names the same spans: each record's `span`
+    // id resolves to the trace's `bench:<name>` span_start.
+    assert_eq!(report.records.len(), BENCHES.len());
+    for record in &report.records {
+        let id = record
+            .span
+            .unwrap_or_else(|| panic!("record {} has no span link", record.name));
+        let span = spans
+            .iter()
+            .find(|s| s.id == id)
+            .unwrap_or_else(|| panic!("record {} links unknown span {id}", record.name));
+        assert_eq!(
+            span.name,
+            format!("bench:{}", record.name),
+            "record/span name mismatch"
+        );
+    }
+}
