@@ -19,8 +19,12 @@ use crate::config::SuiteConfig;
 use crate::error::SuiteError;
 use crate::host::detect_host;
 use crate::registry::{Benchmark, Registry};
-use lmb_results::{BenchRecord, BenchStatus, Provenance, RunReport, SuiteRun, TablePatch};
-use lmb_timing::{new_recorder, take_events, Harness, MeasureEvent};
+use lmb_results::{
+    BenchRecord, BenchStatus, MetricValue, Provenance, ResourceUsage, RunReport, SuiteRun,
+    TablePatch,
+};
+use lmb_sys::{RusageDelta, RusageSnapshot};
+use lmb_timing::{new_recorder, take_events, Harness, MeasureEvent, Quality};
 use lmb_trace::{emit, emit_in, ContextGuard, EventKind, Span, SpanId};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -286,6 +290,8 @@ impl Engine {
             wall_ms: 0.0,
             exclusive: bench.exclusive,
             provenance: None,
+            rusage: None,
+            metrics: Vec::new(),
             span: span.id().as_option(),
         };
         let (inject_panic, inject_hang, deny_substrate) = self.faults.names(bench.name);
@@ -363,6 +369,11 @@ impl Engine {
                     // it here so the harness's warmup/calibration events
                     // land under the right benchmark.
                     let _trace_ctx = ContextGuard::enter(bench_span);
+                    // Thread-scope rusage brackets the runner so the delta
+                    // is exactly this attempt's cost, even with pool
+                    // neighbours running; taken outside `catch_unwind` so a
+                    // panicking attempt still reports what it consumed.
+                    let usage_before = RusageSnapshot::thread();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         if inject_panic {
                             panic!("injected fault: forced panic");
@@ -372,28 +383,34 @@ impl Engine {
                         }
                         runner(&ctx)
                     }));
-                    let _ = tx.send(outcome.map_err(panic_message));
+                    let usage = usage_before.delta(&RusageSnapshot::thread());
+                    let _ = tx.send((outcome.map_err(panic_message), usage));
                 })
                 .expect("spawn benchmark thread");
 
-            match rx.recv_timeout(timeout) {
+            let (outcome, usage) = match rx.recv_timeout(timeout) {
                 Err(_) => {
                     emit(|| EventKind::Timeout { limit_ms });
                     record.status = BenchStatus::TimedOut { limit_ms };
                     break;
                 }
-                Ok(Err(panic_msg)) => {
+                Ok(received) => received,
+            };
+            record.rusage = Some(archive_rusage(&usage));
+            record.provenance = provenance_from(&take_events(&recorder));
+            emit_quality_metrics(record.provenance.as_ref());
+            match outcome {
+                Err(panic_msg) => {
                     emit(|| EventKind::Panic {
                         message: panic_msg.clone(),
                     });
                     record.status = BenchStatus::Failed(panic_msg);
                     break;
                 }
-                Ok(Ok(output)) => {
+                Ok(output) => {
                     emit(|| EventKind::Syscalls {
                         counts: sys_before.delta(&lmb_sys::syscall_snapshot()),
                     });
-                    record.provenance = provenance_from(&take_events(&recorder));
                     if let Some(reason) = output.skip {
                         emit(|| EventKind::Skip {
                             reason: reason.clone(),
@@ -402,11 +419,20 @@ impl Engine {
                         break;
                     }
                     record.status = BenchStatus::Ok;
-                    for m in &output.metrics {
-                        emit(|| EventKind::Metric {
+                    record.metrics = output
+                        .metrics
+                        .iter()
+                        .map(|m| MetricValue {
                             label: m.label.to_string(),
                             value: m.value,
                             unit: m.unit.name().to_string(),
+                        })
+                        .collect();
+                    for m in &record.metrics {
+                        emit(|| EventKind::Metric {
+                            label: m.label.clone(),
+                            value: m.value,
+                            unit: m.unit.clone(),
                         });
                     }
                     patches = output.patches;
@@ -456,6 +482,51 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Archives a kernel-accounted attempt cost into the report's shape,
+/// narrating it into the trace on the way.
+fn archive_rusage(delta: &RusageDelta) -> ResourceUsage {
+    emit(|| EventKind::Rusage {
+        utime_us: delta.utime_us,
+        stime_us: delta.stime_us,
+        maxrss_kb: delta.maxrss_kb,
+        minor_faults: delta.minor_faults,
+        major_faults: delta.major_faults,
+        vol_ctx_switches: delta.vol_ctx_switches,
+        invol_ctx_switches: delta.invol_ctx_switches,
+    });
+    ResourceUsage {
+        utime_us: delta.utime_us,
+        stime_us: delta.stime_us,
+        maxrss_kb: delta.maxrss_kb,
+        minor_faults: delta.minor_faults,
+        major_faults: delta.major_faults,
+        vol_ctx_switches: delta.vol_ctx_switches,
+        invol_ctx_switches: delta.invol_ctx_switches,
+    }
+}
+
+/// Emits the attempt's quality assessment as Metric events, so trace
+/// consumers see the noise band next to the numbers it qualifies.
+fn emit_quality_metrics(provenance: Option<&Provenance>) {
+    let Some(p) = provenance else { return };
+    let (cv, severity) = (
+        p.cv,
+        Quality::from_label(&p.quality)
+            .unwrap_or(Quality::Suspect)
+            .severity(),
+    );
+    emit(|| EventKind::Metric {
+        label: "quality_cv".into(),
+        value: cv,
+        unit: "x".into(),
+    });
+    emit(|| EventKind::Metric {
+        label: "quality_grade".into(),
+        value: severity,
+        unit: "severity".into(),
+    });
+}
+
 /// Summarizes recorded events: calibration and samples of the *noisiest*
 /// measurement (ties broken toward the last), plus the total measurement
 /// count — the dispersion a reader should worry about, not the prettiest.
@@ -465,6 +536,7 @@ fn provenance_from(events: &[MeasureEvent]) -> Option<Provenance> {
         .enumerate()
         .max_by(|(ai, a), (bi, b)| a.cv().total_cmp(&b.cv()).then(ai.cmp(bi)))
         .map(|(_, e)| e)?;
+    let samples = worst.samples();
     Some(Provenance {
         repetitions: worst.per_op_ns.len() as u32,
         warmup_runs: worst.warmup_runs,
@@ -472,9 +544,14 @@ fn provenance_from(events: &[MeasureEvent]) -> Option<Provenance> {
         clock_resolution_ns: worst.clock_resolution_ns,
         sample_min_ns: worst.min_ns(),
         sample_median_ns: worst.median_ns(),
+        sample_p90_ns: samples.p90().unwrap_or(worst.max_ns()),
+        sample_p99_ns: samples.p99().unwrap_or(worst.max_ns()),
         sample_max_ns: worst.max_ns(),
+        mad_ns: samples.mad().unwrap_or(0.0),
         min_median_gap: worst.min_median_gap(),
         cv: worst.cv(),
+        iqr_outliers: samples.outliers() as u32,
+        quality: Quality::from_samples(&samples).label().to_string(),
         measure_calls: events.len() as u32,
     })
 }
@@ -514,7 +591,20 @@ mod tests {
         assert!(prov.calibrated_iterations > 0);
         assert!(prov.sample_min_ns > 0.0);
         assert!(prov.sample_median_ns >= prov.sample_min_ns);
+        assert!(prov.sample_p90_ns > 0.0);
+        assert!(prov.sample_p99_ns >= prov.sample_p90_ns);
+        assert!(prov.sample_max_ns >= prov.sample_p99_ns);
+        assert!(prov.mad_ns >= 0.0);
+        assert!(
+            Quality::from_label(&prov.quality).is_some(),
+            "unparseable quality {:?}",
+            prov.quality
+        );
         assert!(prov.measure_calls >= 1);
+        let usage = rec.rusage.as_ref().expect("rusage recorded");
+        assert!(usage.maxrss_kb > 0, "maxrss missing: {usage:?}");
+        assert!(!rec.metrics.is_empty(), "metrics archived on the record");
+        assert!(rec.metrics.iter().all(|m| !m.unit.is_empty()));
     }
 
     #[test]
@@ -690,6 +780,16 @@ mod tests {
         );
         assert!(has(&|k| matches!(k, EventKind::Calibrated { .. })));
         assert!(has(&|k| matches!(k, EventKind::Metric { .. })));
+        assert!(
+            has(&|k| matches!(k, EventKind::Rusage { .. })),
+            "attempt cost not narrated"
+        );
+        for label in ["quality_cv", "quality_grade"] {
+            assert!(
+                has(&|k| matches!(k, EventKind::Metric { label: l, .. } if l == label)),
+                "{label} metric missing"
+            );
+        }
         assert!(
             has(&|k| matches!(k, EventKind::Syscalls { counts } if counts.contains_key("write"))),
             "lat_syscall writes /dev/null; write count missing"

@@ -468,21 +468,32 @@ pub fn figure_2(curves: &[lmb_proc::ctx::CtxCurve]) -> String {
 pub fn provenance_section(report: &lmb_results::RunReport) -> String {
     let mut out = String::from("=== Measurement provenance ===\n");
     out.push_str(&format!(
-        "{:<16} {:<22} {:>4} {:>12} {:>11} {:>11} {:>8} {:>7}\n",
-        "benchmark", "produces", "reps", "iterations", "min(ns)", "median(ns)", "gap", "cv"
+        "{:<16} {:<22} {:>4} {:>12} {:>11} {:>11} {:>9} {:>8} {:>7} {:<8}\n",
+        "benchmark",
+        "produces",
+        "reps",
+        "iterations",
+        "min(ns)",
+        "median(ns)",
+        "p99(ns)",
+        "gap",
+        "cv",
+        "quality"
     ));
     for rec in &report.records {
         let Some(p) = &rec.provenance else { continue };
         out.push_str(&format!(
-            "{:<16} {:<22} {:>4} {:>12} {:>11.1} {:>11.1} {:>7.1}% {:>6.1}%\n",
+            "{:<16} {:<22} {:>4} {:>12} {:>11.1} {:>11.1} {:>9.1} {:>7.1}% {:>6.1}% {:<8}\n",
             rec.name,
             rec.produces,
             p.repetitions,
             p.calibrated_iterations,
             p.sample_min_ns,
             p.sample_median_ns,
+            p.sample_p99_ns,
             p.min_median_gap * 100.0,
-            p.cv * 100.0
+            p.cv * 100.0,
+            p.quality
         ));
     }
     out
@@ -700,11 +711,18 @@ mod tests {
                 clock_resolution_ns: 30.0,
                 sample_min_ns: 400.0,
                 sample_median_ns: 410.0,
+                sample_p90_ns: 450.0,
+                sample_p99_ns: 458.0,
                 sample_max_ns: 460.0,
+                mad_ns: 5.0,
                 min_median_gap: 0.025,
                 cv: 0.05,
+                iqr_outliers: 0,
+                quality: "good".into(),
                 measure_calls: 1,
             }),
+            rusage: None,
+            metrics: Vec::new(),
             span: Some(7),
         };
         let skipped = lmb_results::BenchRecord {
@@ -715,6 +733,8 @@ mod tests {
             wall_ms: 0.1,
             exclusive: false,
             provenance: None,
+            rusage: None,
+            metrics: Vec::new(),
             span: None,
         };
         let text = provenance_section(&lmb_results::RunReport {
@@ -722,6 +742,8 @@ mod tests {
         });
         assert!(text.contains("lat_syscall"));
         assert!(text.contains("1024"));
+        assert!(text.contains("quality"), "{text}");
+        assert!(text.contains("good"), "{text}");
         assert!(!text.contains("lat_tcp_rpc"), "{text}");
     }
 

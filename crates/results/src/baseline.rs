@@ -1,0 +1,268 @@
+//! Archived reference runs for noise-aware regression gating.
+//!
+//! A baseline is a full [`RunReport`] — values *and* their recorded noise
+//! bands — keyed by a host fingerprint, so `suite --baseline check` can
+//! refuse to compare a laptop against a build server. Files live under
+//! `.lmbench/baselines/` as plain JSON: inspectable with any tool,
+//! diffable in review, uploadable as CI artifacts.
+
+use crate::runreport::RunReport;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A stored reference run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Host fingerprint (see [`fingerprint`]); comparisons across
+    /// fingerprints are refused by callers, not silently wrong.
+    pub fingerprint: String,
+    /// Human-readable host name, for report headers.
+    pub host: String,
+    /// Capture time, seconds since the Unix epoch.
+    pub unix_seconds: u64,
+    /// The archived run, noise bands included.
+    pub report: RunReport,
+}
+
+impl Baseline {
+    /// Wraps a report captured now on the described host.
+    #[must_use]
+    pub fn now(fingerprint: &str, host: &str, report: RunReport) -> Baseline {
+        let unix_seconds = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        Baseline {
+            fingerprint: fingerprint.to_string(),
+            host: host.to_string(),
+            unix_seconds,
+            report,
+        }
+    }
+
+    /// Serializes to pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("baseline types always serialize")
+    }
+
+    /// Parses [`Baseline::to_json`] output back.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// A stable, filename-safe digest of the identity strings that make two
+/// runs comparable (host name, CPU model, memory size, ...). Differing
+/// inputs give differing fingerprints with overwhelming probability;
+/// equal inputs always agree across runs of the same binary.
+#[must_use]
+pub fn fingerprint(parts: &[&str]) -> String {
+    let mut hasher = DefaultHasher::new();
+    for part in parts {
+        part.hash(&mut hasher);
+        0xffu8.hash(&mut hasher); // separator: ["ab","c"] != ["a","bc"]
+    }
+    // A short human hint from the first part keeps filenames greppable.
+    let hint: String = parts
+        .first()
+        .unwrap_or(&"host")
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .take(12)
+        .collect::<String>()
+        .to_ascii_lowercase();
+    let hint = if hint.is_empty() { "host".into() } else { hint };
+    format!("{hint}-{:016x}", hasher.finish())
+}
+
+/// A directory of [`Baseline`] files.
+#[derive(Debug, Clone)]
+pub struct BaselineStore {
+    dir: PathBuf,
+}
+
+impl BaselineStore {
+    /// The conventional location, relative to the working directory.
+    #[must_use]
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from(".lmbench").join("baselines")
+    }
+
+    /// A store rooted at `dir` (created lazily on first save).
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> BaselineStore {
+        BaselineStore { dir: dir.into() }
+    }
+
+    /// The store's directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes a baseline as `{fingerprint}-{unix_seconds}.json` (with a
+    /// numeric suffix if two saves land in the same second) and returns
+    /// the path.
+    pub fn save(&self, baseline: &Baseline) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir)?;
+        let stem = format!("{}-{}", baseline.fingerprint, baseline.unix_seconds);
+        let mut path = self.dir.join(format!("{stem}.json"));
+        let mut n = 1u32;
+        while path.exists() {
+            path = self.dir.join(format!("{stem}-{n}.json"));
+            n += 1;
+        }
+        std::fs::write(&path, baseline.to_json())?;
+        Ok(path)
+    }
+
+    /// The most recent readable baseline for `fingerprint`, or `None` when
+    /// the store has nothing comparable. Unreadable or mismatched files are
+    /// skipped, not fatal: a corrupt baseline should read as "no baseline",
+    /// never as "no regression".
+    pub fn latest(&self, fingerprint: &str) -> io::Result<Option<Baseline>> {
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let mut best: Option<(u64, String, Baseline)> = None;
+        for entry in entries {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let Ok(baseline) = Baseline::from_json(&text) else {
+                continue;
+            };
+            if baseline.fingerprint != fingerprint {
+                continue;
+            }
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let key = (baseline.unix_seconds, name);
+            if best
+                .as_ref()
+                .is_none_or(|(s, n, _)| (*s, n.as_str()) < (key.0, key.1.as_str()))
+            {
+                best = Some((key.0, key.1, baseline));
+            }
+        }
+        Ok(best.map(|(_, _, b)| b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runreport::{BenchRecord, BenchStatus};
+
+    fn report(bench: &str) -> RunReport {
+        RunReport {
+            records: vec![BenchRecord {
+                name: bench.into(),
+                produces: "Table 7".into(),
+                status: BenchStatus::Ok,
+                attempts: 1,
+                wall_ms: 1.0,
+                exclusive: false,
+                provenance: None,
+                rusage: None,
+                metrics: Vec::new(),
+                span: None,
+            }],
+        }
+    }
+
+    fn temp_store(tag: &str) -> BaselineStore {
+        let dir = std::env::temp_dir().join(format!(
+            "lmbench-baseline-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        BaselineStore::new(dir)
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        let a = fingerprint(&["myhost", "x86_64", "Linux 6.1"]);
+        assert_eq!(a, fingerprint(&["myhost", "x86_64", "Linux 6.1"]));
+        assert_ne!(a, fingerprint(&["myhost", "x86_64", "Linux 6.2"]));
+        assert_ne!(fingerprint(&["ab", "c"]), fingerprint(&["a", "bc"]));
+        assert!(a.starts_with("myhost-"), "{a}");
+        assert!(
+            a.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
+            "filename-unsafe fingerprint {a}"
+        );
+    }
+
+    #[test]
+    fn save_then_latest_roundtrips() {
+        let store = temp_store("roundtrip");
+        let fp = fingerprint(&["hostA"]);
+        let baseline = Baseline::now(&fp, "hostA", report("lat_syscall"));
+        let path = store.save(&baseline).expect("save");
+        assert!(path.exists());
+        let loaded = store.latest(&fp).expect("read").expect("found");
+        assert_eq!(loaded, baseline);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn latest_picks_the_newest_and_filters_by_fingerprint() {
+        let store = temp_store("latest");
+        let fp = fingerprint(&["hostA"]);
+        let mut old = Baseline::now(&fp, "hostA", report("old"));
+        old.unix_seconds = 100;
+        let mut new = Baseline::now(&fp, "hostA", report("new"));
+        new.unix_seconds = 200;
+        let other = Baseline::now(&fingerprint(&["hostB"]), "hostB", report("other"));
+        store.save(&old).unwrap();
+        store.save(&new).unwrap();
+        store.save(&other).unwrap();
+        let got = store.latest(&fp).unwrap().unwrap();
+        assert_eq!(got.report.records[0].name, "new");
+        assert_eq!(store.latest(&fingerprint(&["hostC"])).unwrap(), None);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn same_second_saves_do_not_clobber() {
+        let store = temp_store("clobber");
+        let fp = fingerprint(&["hostA"]);
+        let mut a = Baseline::now(&fp, "hostA", report("first"));
+        a.unix_seconds = 42;
+        let mut b = Baseline::now(&fp, "hostA", report("second"));
+        b.unix_seconds = 42;
+        let pa = store.save(&a).unwrap();
+        let pb = store.save(&b).unwrap();
+        assert_ne!(pa, pb);
+        // Tie on seconds: the lexicographically-last filename wins, which
+        // is the later save ("...-42-1.json" > "...-42.json"? No — judged
+        // by name only among equal timestamps, so assert both survive).
+        assert!(pa.exists() && pb.exists());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn missing_store_and_corrupt_files_read_as_no_baseline() {
+        let store = temp_store("corrupt");
+        let fp = fingerprint(&["hostA"]);
+        assert_eq!(store.latest(&fp).unwrap(), None, "missing dir");
+        std::fs::create_dir_all(store.dir()).unwrap();
+        std::fs::write(store.dir().join(format!("{fp}-7.json")), "{not json").unwrap();
+        assert_eq!(store.latest(&fp).unwrap(), None, "corrupt file");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

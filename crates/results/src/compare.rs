@@ -138,4 +138,39 @@ mod tests {
     fn empty_paper_column_rejected() {
         compare_rows("x", 1.0, &[], Better::Lower);
     }
+
+    #[test]
+    fn ranking_is_stable_under_ties() {
+        // The host ties a paper system: equal values do not "beat" the
+        // host, so the tie resolves toward the better rank — and the
+        // answer must not depend on the order the paper column arrives in.
+        let columns: [&[f64]; 3] = [
+            &[10.0, 20.0, 30.0],
+            &[30.0, 20.0, 10.0],
+            &[20.0, 30.0, 10.0],
+        ];
+        for values in columns {
+            let c = compare_rows("lat", 20.0, values, Better::Lower);
+            assert_eq!(c.rank, 2, "order {values:?}");
+            assert_eq!(c.out_of, 4);
+            assert_eq!(c.paper_median, 20.0);
+        }
+        for values in columns {
+            let c = compare_rows("bw", 20.0, values, Better::Higher);
+            assert_eq!(c.rank, 2, "order {values:?}");
+        }
+        // An exact tie with the best ranks first, both directions.
+        assert_eq!(
+            compare_rows("lat", 10.0, &[10.0, 20.0], Better::Lower).rank,
+            1
+        );
+        assert_eq!(
+            compare_rows("bw", 20.0, &[10.0, 20.0], Better::Higher).rank,
+            1
+        );
+        // All-equal column: every entrant ties, rank stays 1.
+        let c = compare_rows("lat", 5.0, &[5.0, 5.0, 5.0], Better::Lower);
+        assert_eq!((c.rank, c.out_of), (1, 4));
+        assert_eq!(c.paper_best, c.paper_worst);
+    }
 }

@@ -1,0 +1,540 @@
+//! Noise-aware run-over-run comparison.
+//!
+//! The paper (§3.4) observes up to 30% run-to-run variation, which is why
+//! a naive "this run is 8% slower" comparison of two suite runs is
+//! meaningless: the question is whether a delta exceeds *that
+//! measurement's own* noise band. The differ judges every archived metric
+//! against the coefficient of variation its provenance recorded, so a
+//! perf PR's claim can be checked from two report artifacts alone — the
+//! Measure-Explain-Test-Improve loop's "test" step as a first-class
+//! operation.
+
+use crate::runreport::{BenchRecord, MetricValue, RunReport};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// When a delta counts as significant.
+///
+/// The band around "unchanged" is `max(floor, cv_multiplier · cv)` with
+/// `cv` the wider of the two runs' recorded dispersions: a quiet
+/// measurement gets a tight gate, a noisy one a wide gate, and nothing is
+/// judged more finely than `floor` — the paper's variability observation
+/// as a guard against false regressions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignificanceRule {
+    /// How many CVs of headroom a delta gets before it is significant.
+    pub cv_multiplier: f64,
+    /// Minimum relative band, whatever the CV claims.
+    pub floor: f64,
+}
+
+impl Default for SignificanceRule {
+    fn default() -> Self {
+        SignificanceRule {
+            cv_multiplier: 3.0,
+            floor: 0.25,
+        }
+    }
+}
+
+/// The verdict on one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffClass {
+    /// Moved beyond the band, in the metric's direction of merit.
+    Improved,
+    /// Moved beyond the band, against the metric's direction of merit.
+    Regressed,
+    /// Within the noise band.
+    Unchanged,
+    /// Cannot be judged: missing on one side, a non-ok status, a suspect
+    /// measurement, or a unit with no direction of merit.
+    Unknown,
+}
+
+impl DiffClass {
+    /// Lowercase tag for tables and JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DiffClass::Improved => "improved",
+            DiffClass::Regressed => "regressed",
+            DiffClass::Unchanged => "unchanged",
+            DiffClass::Unknown => "unknown",
+        }
+    }
+}
+
+impl Serialize for DiffClass {
+    fn to_value(&self) -> Value {
+        Value::Str(self.label().to_owned())
+    }
+}
+
+impl Deserialize for DiffClass {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match String::from_value(value)?.as_str() {
+            "improved" => Ok(DiffClass::Improved),
+            "regressed" => Ok(DiffClass::Regressed),
+            "unchanged" => Ok(DiffClass::Unchanged),
+            "unknown" => Ok(DiffClass::Unknown),
+            other => Err(DeError::new(format!("unknown DiffClass `{other}`"))),
+        }
+    }
+}
+
+/// Direction of merit implied by a unit name.
+fn merit(unit: &str) -> Option<bool> {
+    // Some(true): higher is better; Some(false): lower is better.
+    match unit {
+        "MB/s" => Some(true),
+        "us" | "ms" | "ns" => Some(false),
+        _ => None,
+    }
+}
+
+/// One metric's run-over-run verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffRow {
+    /// Benchmark name.
+    pub bench: String,
+    /// Metric label within the benchmark (may be empty for single-metric
+    /// benchmarks).
+    pub metric: String,
+    /// Unit name.
+    pub unit: String,
+    /// Baseline value (NaN when missing there).
+    pub baseline: f64,
+    /// Current value (NaN when missing there).
+    pub current: f64,
+    /// `(current - baseline) / baseline`; 0.0 when unjudgeable.
+    pub delta_frac: f64,
+    /// The significance band the delta was judged against.
+    pub band_frac: f64,
+    /// The verdict.
+    pub class: DiffClass,
+    /// Why the verdict is `Unknown`, empty otherwise.
+    pub note: String,
+}
+
+/// Every metric of two runs, judged.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ReportDiff {
+    /// One row per (benchmark, metric) present in either run.
+    pub rows: Vec<DiffRow>,
+}
+
+impl ReportDiff {
+    /// Diffs `current` against `baseline` under the default rule.
+    #[must_use]
+    pub fn between(baseline: &RunReport, current: &RunReport) -> ReportDiff {
+        ReportDiff::with_rule(baseline, current, SignificanceRule::default())
+    }
+
+    /// Diffs `current` against `baseline` under an explicit rule.
+    #[must_use]
+    pub fn with_rule(
+        baseline: &RunReport,
+        current: &RunReport,
+        rule: SignificanceRule,
+    ) -> ReportDiff {
+        let mut rows = Vec::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for base_rec in &baseline.records {
+            seen.push(base_rec.name.as_str());
+            diff_bench(
+                Some(base_rec),
+                current.find(&base_rec.name),
+                rule,
+                &mut rows,
+            );
+        }
+        for cur_rec in &current.records {
+            if !seen.contains(&cur_rec.name.as_str()) {
+                diff_bench(None, Some(cur_rec), rule, &mut rows);
+            }
+        }
+        ReportDiff { rows }
+    }
+
+    /// Rows judged significant regressions.
+    pub fn regressions(&self) -> impl Iterator<Item = &DiffRow> {
+        self.rows.iter().filter(|r| r.class == DiffClass::Regressed)
+    }
+
+    /// True if any metric regressed beyond its band — the CI gate.
+    #[must_use]
+    pub fn has_regressions(&self) -> bool {
+        self.regressions().next().is_some()
+    }
+
+    /// Count of rows with the given class.
+    #[must_use]
+    pub fn count(&self, class: DiffClass) -> usize {
+        self.rows.iter().filter(|r| r.class == class).count()
+    }
+
+    /// Serializes to pretty-printed JSON (the `diff --json` output).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("diff types always serialize")
+    }
+
+    /// Parses [`ReportDiff::to_json`] output back.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// The regression table: one fixed-width row per metric plus a
+    /// summary line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:<18} {:<5} {:>12} {:>12} {:>8} {:>7}  {:<10} {}\n",
+            "benchmark", "metric", "unit", "baseline", "current", "delta", "band", "class", "note"
+        ));
+        for r in &self.rows {
+            let value = |v: f64| {
+                if v.is_finite() {
+                    format!("{v:.2}")
+                } else {
+                    "-".to_string()
+                }
+            };
+            out.push_str(&format!(
+                "{:<16} {:<18} {:<5} {:>12} {:>12} {:>+7.1}% {:>6.1}%  {:<10} {}\n",
+                r.bench,
+                if r.metric.is_empty() {
+                    "(result)"
+                } else {
+                    &r.metric
+                },
+                r.unit,
+                value(r.baseline),
+                value(r.current),
+                r.delta_frac * 100.0,
+                r.band_frac * 100.0,
+                r.class.label(),
+                r.note
+            ));
+        }
+        out.push_str(&format!(
+            "{} improved, {} regressed, {} unchanged, {} unknown of {} metrics\n",
+            self.count(DiffClass::Improved),
+            self.count(DiffClass::Regressed),
+            self.count(DiffClass::Unchanged),
+            self.count(DiffClass::Unknown),
+            self.rows.len()
+        ));
+        out
+    }
+}
+
+impl fmt::Display for ReportDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Appends one row per metric label present on either side of a bench
+/// pairing.
+fn diff_bench(
+    base: Option<&BenchRecord>,
+    cur: Option<&BenchRecord>,
+    rule: SignificanceRule,
+    rows: &mut Vec<DiffRow>,
+) {
+    fn metrics(rec: Option<&BenchRecord>) -> &[MetricValue] {
+        rec.map(|r| r.metrics.as_slice()).unwrap_or(&[])
+    }
+    let name = base.or(cur).expect("one side present").name.clone();
+    let mut labels: Vec<(&str, &str)> = Vec::new();
+    for m in metrics(base).iter().chain(metrics(cur)) {
+        if !labels.iter().any(|(l, _)| *l == m.label.as_str()) {
+            labels.push((&m.label, &m.unit));
+        }
+    }
+    if labels.is_empty() {
+        // Nothing measurable on either side (sys_info rows, double skips):
+        // nothing to judge, nothing to alarm on.
+        return;
+    }
+    for (label, unit) in labels {
+        let find = |rec: Option<&BenchRecord>| {
+            metrics(rec)
+                .iter()
+                .find(|m| m.label == label)
+                .map(|m| m.value)
+        };
+        let (bv, cv_val) = (find(base), find(cur));
+        let mut row = DiffRow {
+            bench: name.clone(),
+            metric: label.to_string(),
+            unit: unit.to_string(),
+            baseline: bv.unwrap_or(f64::NAN),
+            current: cv_val.unwrap_or(f64::NAN),
+            delta_frac: 0.0,
+            band_frac: rule.floor,
+            class: DiffClass::Unknown,
+            note: String::new(),
+        };
+        if let Some(note) = unjudgeable(base, cur, bv, cv_val) {
+            row.note = note;
+            rows.push(row);
+            continue;
+        }
+        let (bv, cv_val) = (bv.unwrap(), cv_val.unwrap());
+        let noise = |rec: Option<&BenchRecord>| {
+            rec.and_then(|r| r.provenance.as_ref())
+                .map(|p| p.cv)
+                .filter(|cv| cv.is_finite())
+                .unwrap_or(0.0)
+        };
+        let band = rule
+            .floor
+            .max(rule.cv_multiplier * noise(base).max(noise(cur)));
+        let delta = (cv_val - bv) / bv;
+        row.delta_frac = delta;
+        row.band_frac = band;
+        row.class = if delta.abs() <= band {
+            DiffClass::Unchanged
+        } else {
+            match merit(unit) {
+                Some(higher_better) => {
+                    if (delta > 0.0) == higher_better {
+                        DiffClass::Improved
+                    } else {
+                        DiffClass::Regressed
+                    }
+                }
+                None => {
+                    row.note = "no direction of merit for unit".into();
+                    DiffClass::Unknown
+                }
+            }
+        };
+        rows.push(row);
+    }
+}
+
+/// The reason this metric pairing cannot be judged, if any.
+fn unjudgeable(
+    base: Option<&BenchRecord>,
+    cur: Option<&BenchRecord>,
+    bv: Option<f64>,
+    cv: Option<f64>,
+) -> Option<String> {
+    let side = |rec: Option<&BenchRecord>, which: &str| -> Option<String> {
+        match rec {
+            None => Some(format!("benchmark missing in {which}")),
+            Some(r) if !r.status.is_ok() => Some(format!("{} in {which}", r.status.label())),
+            Some(r)
+                if r.provenance
+                    .as_ref()
+                    .is_some_and(|p| p.quality == "suspect") =>
+            {
+                Some(format!("suspect measurement in {which}"))
+            }
+            Some(_) => None,
+        }
+    };
+    side(base, "baseline")
+        .or_else(|| side(cur, "current"))
+        .or_else(|| match (bv, cv) {
+            (None, _) => Some("metric missing in baseline".into()),
+            (_, None) => Some("metric missing in current".into()),
+            (Some(b), _) if !(b.is_finite() && b > 0.0) => Some("baseline value unusable".into()),
+            (_, Some(c)) if !c.is_finite() => Some("current value unusable".into()),
+            _ => None,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runreport::{BenchStatus, Provenance};
+
+    fn provenance(cv: f64, quality: &str) -> Provenance {
+        Provenance {
+            repetitions: 5,
+            warmup_runs: 1,
+            calibrated_iterations: 1024,
+            clock_resolution_ns: 30.0,
+            sample_min_ns: 100.0,
+            sample_median_ns: 104.0,
+            sample_p90_ns: 110.0,
+            sample_p99_ns: 112.0,
+            sample_max_ns: 113.0,
+            mad_ns: 2.0,
+            min_median_gap: 0.04,
+            cv,
+            iqr_outliers: 0,
+            quality: quality.into(),
+            measure_calls: 1,
+        }
+    }
+
+    fn record(name: &str, metrics: &[(&str, f64, &str)], cv: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.into(),
+            produces: "Table 7".into(),
+            status: BenchStatus::Ok,
+            attempts: 1,
+            wall_ms: 5.0,
+            exclusive: false,
+            provenance: Some(provenance(cv, if cv > 0.30 { "suspect" } else { "good" })),
+            rusage: None,
+            metrics: metrics
+                .iter()
+                .map(|(label, value, unit)| MetricValue {
+                    label: (*label).into(),
+                    value: *value,
+                    unit: (*unit).into(),
+                })
+                .collect(),
+            span: None,
+        }
+    }
+
+    fn report(records: Vec<BenchRecord>) -> RunReport {
+        RunReport { records }
+    }
+
+    #[test]
+    fn identical_reports_have_no_regressions() {
+        let a = report(vec![
+            record("lat_syscall", &[("syscall", 4.1, "us")], 0.02),
+            record("bw_mem", &[("read", 8000.0, "MB/s")], 0.05),
+        ]);
+        let diff = ReportDiff::between(&a, &a.clone());
+        assert!(!diff.has_regressions(), "{}", diff.render());
+        assert_eq!(diff.count(DiffClass::Unchanged), 2);
+    }
+
+    #[test]
+    fn latency_blowup_beyond_band_is_a_regression() {
+        let a = report(vec![record("lat_syscall", &[("syscall", 4.0, "us")], 0.02)]);
+        let b = report(vec![record("lat_syscall", &[("syscall", 8.0, "us")], 0.02)]);
+        let diff = ReportDiff::between(&a, &b);
+        assert!(diff.has_regressions());
+        let row = &diff.rows[0];
+        assert_eq!(row.class, DiffClass::Regressed);
+        assert!((row.delta_frac - 1.0).abs() < 1e-12);
+        // Reverse direction: the same move in bandwidth is an improvement.
+        let a = report(vec![record("bw", &[("read", 4000.0, "MB/s")], 0.02)]);
+        let b = report(vec![record("bw", &[("read", 8000.0, "MB/s")], 0.02)]);
+        assert_eq!(
+            ReportDiff::between(&a, &b).rows[0].class,
+            DiffClass::Improved
+        );
+    }
+
+    #[test]
+    fn noisy_measurements_earn_wider_bands() {
+        // 60% slower, but the baseline recorded cv = 0.28: band is
+        // 3 x 0.28 = 84%, so the delta is noise, not a regression.
+        let a = report(vec![record("lat_ctx", &[("ctx", 10.0, "us")], 0.28)]);
+        let b = report(vec![record("lat_ctx", &[("ctx", 16.0, "us")], 0.02)]);
+        let diff = ReportDiff::between(&a, &b);
+        assert_eq!(
+            diff.rows[0].class,
+            DiffClass::Unchanged,
+            "{}",
+            diff.render()
+        );
+        assert!((diff.rows[0].band_frac - 0.84).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floor_protects_quiet_measurements_from_false_alarms() {
+        // cv ~ 0: without the floor a 1% wiggle would alarm.
+        let a = report(vec![record("lat_syscall", &[("syscall", 4.00, "us")], 0.0)]);
+        let b = report(vec![record("lat_syscall", &[("syscall", 4.04, "us")], 0.0)]);
+        let diff = ReportDiff::between(&a, &b);
+        assert_eq!(diff.rows[0].class, DiffClass::Unchanged);
+        assert_eq!(diff.rows[0].band_frac, SignificanceRule::default().floor);
+    }
+
+    #[test]
+    fn suspect_and_missing_sides_are_unknown_not_alarms() {
+        let suspect = report(vec![record("lat_ctx", &[("ctx", 10.0, "us")], 0.9)]);
+        let fine = report(vec![record("lat_ctx", &[("ctx", 99.0, "us")], 0.02)]);
+        let diff = ReportDiff::between(&suspect, &fine);
+        assert_eq!(diff.rows[0].class, DiffClass::Unknown);
+        assert!(
+            diff.rows[0].note.contains("suspect"),
+            "{}",
+            diff.rows[0].note
+        );
+
+        let empty = report(vec![]);
+        let diff = ReportDiff::between(&empty, &fine);
+        assert_eq!(diff.rows[0].class, DiffClass::Unknown);
+        assert!(diff.rows[0].note.contains("missing in baseline"));
+        assert!(!diff.has_regressions());
+    }
+
+    #[test]
+    fn failed_benchmarks_are_unknown() {
+        let mut bad = record("lat_syscall", &[("syscall", 4.0, "us")], 0.02);
+        bad.status = BenchStatus::Failed("boom".into());
+        let a = report(vec![record("lat_syscall", &[("syscall", 4.0, "us")], 0.02)]);
+        let b = report(vec![bad]);
+        let diff = ReportDiff::between(&a, &b);
+        assert_eq!(diff.rows[0].class, DiffClass::Unknown);
+        assert!(diff.rows[0].note.contains("failed in current"));
+    }
+
+    #[test]
+    fn dimensionless_units_never_regress() {
+        let a = report(vec![record("disk", &[("overhead", 1.0, "x")], 0.0)]);
+        let b = report(vec![record("disk", &[("overhead", 9.0, "x")], 0.0)]);
+        let diff = ReportDiff::between(&a, &b);
+        assert_eq!(diff.rows[0].class, DiffClass::Unknown);
+        assert!(diff.rows[0].note.contains("direction of merit"));
+    }
+
+    #[test]
+    fn custom_rule_tightens_the_gate() {
+        let rule = SignificanceRule {
+            cv_multiplier: 2.0,
+            floor: 0.01,
+        };
+        let a = report(vec![record("lat_syscall", &[("syscall", 4.0, "us")], 0.0)]);
+        let b = report(vec![record("lat_syscall", &[("syscall", 4.2, "us")], 0.0)]);
+        let diff = ReportDiff::with_rule(&a, &b, rule);
+        assert_eq!(diff.rows[0].class, DiffClass::Regressed);
+    }
+
+    #[test]
+    fn render_and_json_roundtrip() {
+        let a = report(vec![
+            record("lat_syscall", &[("syscall", 4.0, "us")], 0.02),
+            record("bw_mem", &[("read", 8000.0, "MB/s")], 0.05),
+        ]);
+        let b = report(vec![
+            record("lat_syscall", &[("syscall", 12.0, "us")], 0.02),
+            record("bw_mem", &[("read", 8100.0, "MB/s")], 0.05),
+        ]);
+        let diff = ReportDiff::between(&a, &b);
+        let text = diff.render();
+        assert!(text.contains("regressed"), "{text}");
+        assert!(
+            text.contains("1 improved") || text.contains("0 improved"),
+            "{text}"
+        );
+        assert!(text.contains("of 2 metrics"), "{text}");
+        let back = ReportDiff::from_json(&diff.to_json()).expect("parse own JSON");
+        assert_eq!(back, diff);
+    }
+
+    #[test]
+    fn benchmarks_only_in_current_are_reported_unknown() {
+        let a = report(vec![]);
+        let b = report(vec![record("lat_new", &[("new", 1.0, "us")], 0.0)]);
+        let diff = ReportDiff::between(&a, &b);
+        assert_eq!(diff.rows.len(), 1);
+        assert_eq!(diff.rows[0].bench, "lat_new");
+        assert_eq!(diff.rows[0].class, DiffClass::Unknown);
+    }
+}

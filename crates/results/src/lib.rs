@@ -16,15 +16,20 @@
 //!   bold" (§4.1).
 //! * [`plot`] — terminal line plots for Figures 1 and 2.
 //! * [`db`] — JSON persistence and merging of result sets.
+//! * [`baseline`] / [`diff`] — archived reference runs keyed by host
+//!   fingerprint, and the noise-aware differ that judges run-over-run
+//!   deltas against each measurement's own recorded CV band (§3.4).
 //!
 //! Transcription note: the available source scan interleaves some table
 //! cells (notably Tables 2, 3, 5, 6, 7, 10 and 16). Row membership and
 //! value magnitudes are faithful; a few intra-row column assignments are
 //! best-effort reconstructions and are marked in `dataset.rs`.
 
+pub mod baseline;
 pub mod compare;
 pub mod dataset;
 pub mod db;
+pub mod diff;
 pub mod patch;
 pub mod plot;
 pub mod runreport;
@@ -32,11 +37,13 @@ pub mod schema;
 pub mod summary;
 pub mod table;
 
+pub use baseline::{fingerprint, Baseline, BaselineStore};
 pub use compare::{compare_rows, Better, Comparison};
 pub use db::ResultsDb;
+pub use diff::{DiffClass, DiffRow, ReportDiff, SignificanceRule};
 pub use patch::{SuiteField, TablePatch};
 pub use plot::{AsciiPlot, Series};
-pub use runreport::{BenchRecord, BenchStatus, Provenance, RunReport};
+pub use runreport::{BenchRecord, BenchStatus, MetricValue, Provenance, ResourceUsage, RunReport};
 pub use schema::*;
 pub use summary::{db_summary, host_summary};
 pub use table::{Align, SortOrder, Table};

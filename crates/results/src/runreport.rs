@@ -97,7 +97,7 @@ impl Deserialize for BenchStatus {
 }
 
 /// How a benchmark's headline numbers were obtained: the calibration
-/// decisions and sample dispersion of its *last* harness measurement,
+/// decisions and sample dispersion of its *noisiest* harness measurement,
 /// plus how many measurements it made in total.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Provenance {
@@ -111,16 +111,62 @@ pub struct Provenance {
     pub clock_resolution_ns: f64,
     /// Fastest repetition, ns per operation.
     pub sample_min_ns: f64,
-    /// Median repetition, ns per operation.
+    /// Median (p50) repetition, ns per operation.
     pub sample_median_ns: f64,
+    /// 90th-percentile repetition, ns per operation.
+    pub sample_p90_ns: f64,
+    /// 99th-percentile repetition, ns per operation.
+    pub sample_p99_ns: f64,
     /// Slowest repetition, ns per operation.
     pub sample_max_ns: f64,
+    /// Median absolute deviation of the repetitions, ns.
+    pub mad_ns: f64,
     /// `(median - min) / min` dispersion; near zero on a quiet machine.
     pub min_median_gap: f64,
-    /// Coefficient of variation (stddev / mean) across repetitions.
+    /// Coefficient of variation (stddev / mean) across repetitions. This
+    /// is the noise band the regression differ judges deltas against.
     pub cv: f64,
+    /// Repetitions outside the Tukey fences (`1.5·IQR` beyond the
+    /// quartiles).
+    pub iqr_outliers: u32,
+    /// Quality grade derived from CV and outlier fraction: `"good"`,
+    /// `"noisy"` or `"suspect"` (see `lmb_timing::Quality`).
+    pub quality: String,
     /// Harness measurements the benchmark performed in total.
     pub measure_calls: u32,
+}
+
+/// Kernel resource accounting across a benchmark's final attempt
+/// (`getrusage`, thread scope).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// User CPU time spent, microseconds.
+    pub utime_us: u64,
+    /// System CPU time spent, microseconds.
+    pub stime_us: u64,
+    /// Peak resident set size, kilobytes.
+    pub maxrss_kb: u64,
+    /// Minor page faults taken.
+    pub minor_faults: u64,
+    /// Major page faults taken.
+    pub major_faults: u64,
+    /// Voluntary context switches.
+    pub vol_ctx_switches: u64,
+    /// Involuntary context switches — scheduler preemptions during the
+    /// measurement, the disturbance §3.4 could only infer.
+    pub invol_ctx_switches: u64,
+}
+
+/// One headline number a benchmark produced, archived so run-over-run
+/// diffs need only the report JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricValue {
+    /// What was measured (`pipe`, `fork`, ...; may be empty).
+    pub label: String,
+    /// The value, in `unit`s.
+    pub value: f64,
+    /// Unit name (`MB/s`, `us`, `ns`, ...).
+    pub unit: String,
 }
 
 /// One registry entry's outcome within a suite run.
@@ -141,6 +187,12 @@ pub struct BenchRecord {
     /// Measurement provenance, when the benchmark ran far enough to record
     /// any (absent for skips and derived/model entries).
     pub provenance: Option<Provenance>,
+    /// Kernel resource accounting across the final attempt (absent for
+    /// skips and timeouts — an abandoned thread cannot be measured).
+    pub rusage: Option<ResourceUsage>,
+    /// Headline metrics the benchmark reported, in display order. These
+    /// are the values the regression differ compares run over run.
+    pub metrics: Vec<MetricValue>,
     /// The benchmark's span id in the run's trace (when `--trace` was
     /// active), linking this row to its `span_start`/`span_end` events.
     pub span: Option<u64>,
@@ -240,6 +292,8 @@ mod tests {
             wall_ms: 12.5,
             exclusive: false,
             provenance: None,
+            rusage: None,
+            metrics: Vec::new(),
             span: None,
         }
     }
@@ -340,15 +394,54 @@ mod tests {
             clock_resolution_ns: 30.0,
             sample_min_ns: 100.0,
             sample_median_ns: 104.0,
+            sample_p90_ns: 120.0,
+            sample_p99_ns: 130.0,
             sample_max_ns: 131.0,
+            mad_ns: 3.0,
             min_median_gap: 0.04,
             cv: 0.09,
+            iqr_outliers: 1,
+            quality: "good".into(),
             measure_calls: 3,
         });
         let report = RunReport {
             records: vec![rec.clone()],
         };
         let back = RunReport::from_value(&report.to_value()).expect("roundtrip");
+        assert_eq!(back.records[0], rec);
+    }
+
+    #[test]
+    fn record_with_rusage_and_metrics_roundtrips() {
+        let mut rec = record("bw_pipe_tcp", BenchStatus::Ok);
+        rec.rusage = Some(ResourceUsage {
+            utime_us: 1500,
+            stime_us: 900,
+            maxrss_kb: 4096,
+            minor_faults: 240,
+            major_faults: 1,
+            vol_ctx_switches: 12,
+            invol_ctx_switches: 3,
+        });
+        rec.metrics = vec![
+            MetricValue {
+                label: "pipe".into(),
+                value: 330.4,
+                unit: "MB/s".into(),
+            },
+            MetricValue {
+                label: "TCP".into(),
+                value: 280.0,
+                unit: "MB/s".into(),
+            },
+        ];
+        let report = RunReport {
+            records: vec![rec.clone()],
+        };
+        let json = report.to_json();
+        assert!(json.contains("invol_ctx_switches"), "{json}");
+        assert!(json.contains("MB/s"), "{json}");
+        let back = RunReport::from_json(&json).expect("roundtrip");
         assert_eq!(back.records[0], rec);
     }
 }

@@ -18,6 +18,7 @@ pub mod isolate;
 pub mod mem;
 pub mod pipe;
 pub mod process;
+pub mod rusage;
 pub mod signal;
 pub mod sock;
 
@@ -28,4 +29,5 @@ pub use isolate::{run_isolated, ChildOutcome};
 pub use mem::FileMapping;
 pub use pipe::Pipe;
 pub use process::{fork, getpid, waitpid, ExitStatus, ForkResult, Pid};
+pub use rusage::{RusageDelta, RusageSnapshot};
 pub use signal::{install_handler, raise, Signal};

@@ -33,6 +33,7 @@ pub mod calibrate;
 pub mod clock;
 pub mod cycle;
 pub mod harness;
+pub mod quality;
 pub mod record;
 pub mod result;
 pub mod sizing;
@@ -42,6 +43,7 @@ pub use calibrate::{calibrate_iterations, Calibration};
 pub use clock::{clock_overhead_ns, clock_resolution_ns, ClockInfo};
 pub use cycle::{estimate_clock, ClockEstimate};
 pub use harness::{Harness, Options};
+pub use quality::Quality;
 pub use record::{new_recorder, take_events, MeasureEvent, Recorder};
 pub use result::{Bandwidth, Latency, Measurement, TimeUnit};
 pub use sizing::{probe_available_memory, MemorySizer};

@@ -65,6 +65,13 @@ impl MeasureEvent {
         }
     }
 
+    /// The repetitions as a [`crate::stats::Samples`] set, for the richer
+    /// dispersion statistics (percentiles, MAD, IQR outliers, quality).
+    #[must_use]
+    pub fn samples(&self) -> crate::stats::Samples {
+        crate::stats::Samples::from_values(self.per_op_ns.iter().copied())
+    }
+
     /// Coefficient of variation (stddev / mean) across repetitions.
     #[must_use]
     pub fn cv(&self) -> f64 {

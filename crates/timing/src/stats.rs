@@ -88,26 +88,49 @@ impl Samples {
         Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
     }
 
-    /// Median (lower-middle for even counts), or `None` if empty.
+    /// Median (midpoint of the middle pair for even counts), or `None` if
+    /// empty.
     pub fn median(&self) -> Option<f64> {
         self.percentile(50.0)
     }
 
-    /// Inclusive percentile in `[0, 100]` using nearest-rank, or `None` if
-    /// empty.
+    /// Inclusive percentile with linear interpolation between closest
+    /// ranks, or `None` if the set is empty or `p` is NaN or outside
+    /// `[0, 100]`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `[0.0, 100.0]` or NaN.
+    /// Never panics: a bad percentile request from report plumbing must not
+    /// take a finished measurement down with it.
     pub fn percentile(&self, p: f64) -> Option<f64> {
-        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if !(0.0..=100.0).contains(&p) {
+            return None;
+        }
         if self.values.is_empty() {
             return None;
         }
         let mut sorted = self.values.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
-        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-        Some(sorted[rank])
+        // Linear interpolation between closest ranks (the R-7/NumPy
+        // default): continuous in p, so quartile-derived fences do not
+        // jump between neighbouring samples on tiny perturbations.
+        let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+        let (lo, hi) = (rank.floor() as usize, rank.ceil() as usize);
+        let frac = rank - rank.floor();
+        Some(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+    }
+
+    /// 50th percentile (the median), or `None` if empty.
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile, or `None` if empty.
+    pub fn p90(&self) -> Option<f64> {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile, or `None` if empty.
+    pub fn p99(&self) -> Option<f64> {
+        self.percentile(99.0)
     }
 
     /// Population standard deviation, or `None` if empty.
@@ -131,6 +154,55 @@ impl Samples {
         let med = self.median()?;
         let deviations = Samples::from_values(self.values.iter().map(|v| (v - med).abs()));
         deviations.median()
+    }
+
+    /// Sample coefficient of variation (stddev over `n - 1` / mean).
+    ///
+    /// Returns 0.0 for fewer than two samples or a non-positive mean — the
+    /// degenerate sets carry no dispersion information, and callers feed
+    /// this straight into noise thresholds where "unknown" must not trip a
+    /// retry. Matches [`crate::record::MeasureEvent::cv`].
+    pub fn cv(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.values.iter().sum::<f64>() / n as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt() / mean
+    }
+
+    /// Interquartile range (p75 - p25), or `None` if empty.
+    pub fn iqr(&self) -> Option<f64> {
+        Some(self.percentile(75.0)? - self.percentile(25.0)?)
+    }
+
+    /// Samples outside the Tukey fences `[q1 - 1.5·IQR, q3 + 1.5·IQR]` —
+    /// the repetitions most likely disturbed by a daemon or a scheduler
+    /// preemption rather than the operation under test.
+    pub fn outliers(&self) -> usize {
+        let (Some(q1), Some(q3)) = (self.percentile(25.0), self.percentile(75.0)) else {
+            return 0;
+        };
+        let fence = 1.5 * (q3 - q1);
+        let (lo, hi) = (q1 - fence, q3 + fence);
+        self.values.iter().filter(|&&v| v < lo || v > hi).count()
+    }
+
+    /// Fraction of samples that are IQR outliers; 0.0 for empty sets.
+    pub fn outlier_fraction(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.outliers() as f64 / self.values.len() as f64
     }
 
     /// Last recorded sample, or `None` if empty.
@@ -206,17 +278,73 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_nearest_rank() {
+    fn percentiles_interpolate_between_ranks() {
         let s = sample(&[10.0, 20.0, 30.0, 40.0, 50.0]);
         assert_eq!(s.percentile(0.0), Some(10.0));
         assert_eq!(s.percentile(50.0), Some(30.0));
         assert_eq!(s.percentile(100.0), Some(50.0));
+        // Rank 0.25 * 4 = 1: exactly the second sample; 90% -> rank 3.6.
+        assert_eq!(s.percentile(25.0), Some(20.0));
+        assert_eq!(s.percentile(90.0), Some(46.0));
+        // Even count: the median is the midpoint of the middle pair.
+        assert_eq!(sample(&[1.0, 2.0]).median(), Some(1.5));
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn percentile_rejects_out_of_range() {
-        sample(&[1.0]).percentile(101.0);
+    fn percentile_rejects_out_of_range_without_panicking() {
+        let s = sample(&[1.0, 2.0]);
+        assert_eq!(s.percentile(101.0), None);
+        assert_eq!(s.percentile(-0.5), None);
+        assert_eq!(s.percentile(f64::NAN), None);
+    }
+
+    #[test]
+    fn percentiles_of_empty_set_are_none() {
+        let s = Samples::new();
+        for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(s.percentile(p), None);
+        }
+        assert_eq!(s.iqr(), None);
+        assert_eq!(s.outliers(), 0);
+        assert_eq!(s.outlier_fraction(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = sample(&[42.0]);
+        assert_eq!(s.p50(), Some(42.0));
+        assert_eq!(s.p90(), Some(42.0));
+        assert_eq!(s.p99(), Some(42.0));
+        assert_eq!(s.iqr(), Some(0.0));
+        assert_eq!(s.outliers(), 0);
+        assert_eq!(s.cv(), 0.0, "one sample has no dispersion");
+    }
+
+    #[test]
+    fn from_values_rejects_nan_and_still_behaves() {
+        let s = Samples::from_values([f64::NAN, f64::NAN]);
+        assert!(s.is_empty(), "all-NaN input collapses to the empty set");
+        assert_eq!(s.median(), None);
+        let mixed = Samples::from_values([f64::NAN, 3.0, f64::NEG_INFINITY]);
+        assert_eq!(mixed.len(), 1);
+        assert_eq!(mixed.p99(), Some(3.0));
+    }
+
+    #[test]
+    fn cv_matches_hand_computation() {
+        // mean 10, sample variance ((−1)²+1²)/1 = 2 -> cv = sqrt(2)/10.
+        let s = sample(&[9.0, 11.0]);
+        assert!((s.cv() - 2.0f64.sqrt() / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outliers_flag_the_disturbed_repetition() {
+        let s = sample(&[10.0, 10.5, 9.8, 10.2, 10.1, 10.3, 50.0]);
+        assert_eq!(s.outliers(), 1);
+        assert!((s.outlier_fraction() - 1.0 / 7.0).abs() < 1e-12);
+        let quiet = sample(&[10.0, 10.5, 9.8, 10.2]);
+        assert_eq!(quiet.outliers(), 0);
     }
 
     #[test]
@@ -296,6 +424,48 @@ mod proptests {
             let s = Samples::from_values(values.iter().copied());
             let spread = s.max().unwrap() - s.min().unwrap();
             prop_assert!(s.mad().unwrap() <= spread + 1e-9);
+        }
+
+        /// On a constant input every summary policy reports the same number:
+        /// the policies only disagree about how to handle dispersion, and a
+        /// constant set has none.
+        #[test]
+        fn policies_agree_on_constant_inputs(value in 0.125f64..1e9, n in 1usize..48) {
+            let s = Samples::from_values(std::iter::repeat_n(value, n));
+            for policy in [
+                SummaryPolicy::Minimum,
+                SummaryPolicy::Median,
+                SummaryPolicy::Mean,
+                SummaryPolicy::Last,
+            ] {
+                let got = s.summarize(policy).unwrap();
+                prop_assert!(
+                    (got - value).abs() <= value * 1e-12,
+                    "{policy:?} gave {got}, want {value}"
+                );
+            }
+        }
+
+        /// Minimum never exceeds Median, and Median never exceeds neither
+        /// Mean-plus-spread nor Maximum: the summaries order the way the
+        /// paper's methodology assumes when it prefers the minimum.
+        #[test]
+        fn policies_order_correctly(values in proptest::collection::vec(0.0f64..1e9, 1..64)) {
+            let s = Samples::from_values(values.iter().copied());
+            let min = s.summarize(SummaryPolicy::Minimum).unwrap();
+            let median = s.summarize(SummaryPolicy::Median).unwrap();
+            prop_assert!(min <= median, "min {min} above median {median}");
+            prop_assert!(median <= s.max().unwrap());
+            prop_assert!(min <= s.summarize(SummaryPolicy::Mean).unwrap() + 1e-9);
+        }
+
+        /// CV is scale-invariant: multiplying every sample by a constant
+        /// leaves the relative dispersion unchanged.
+        #[test]
+        fn cv_is_scale_invariant(values in proptest::collection::vec(1.0f64..1e6, 2..32), scale in 1.0f64..1e3) {
+            let s = Samples::from_values(values.iter().copied());
+            let scaled = Samples::from_values(values.iter().map(|v| v * scale));
+            prop_assert!((s.cv() - scaled.cv()).abs() < 1e-9);
         }
     }
 }

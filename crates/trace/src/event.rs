@@ -119,6 +119,25 @@ pub enum EventKind {
         /// Nonzero per-class counts.
         counts: BTreeMap<String, u64>,
     },
+    /// Kernel resource accounting (`getrusage`, thread scope) across one
+    /// benchmark attempt: the paper's "benchmark disturbed by scheduler
+    /// noise" made observable.
+    Rusage {
+        /// User CPU time spent, microseconds.
+        utime_us: u64,
+        /// System CPU time spent, microseconds.
+        stime_us: u64,
+        /// Peak resident set size, kilobytes.
+        maxrss_kb: u64,
+        /// Minor page faults taken.
+        minor_faults: u64,
+        /// Major page faults taken.
+        major_faults: u64,
+        /// Voluntary context switches.
+        vol_ctx_switches: u64,
+        /// Involuntary context switches (scheduler preemptions).
+        invol_ctx_switches: u64,
+    },
     /// A benchmark's final outcome, mirroring its `BenchRecord`.
     Outcome {
         /// Status label (`ok`, `failed`, `timeout`, `skipped`).
@@ -161,6 +180,7 @@ impl EventKind {
             EventKind::Skip { .. } => "skip",
             EventKind::Metric { .. } => "metric",
             EventKind::Syscalls { .. } => "syscalls",
+            EventKind::Rusage { .. } => "rusage",
             EventKind::Outcome { .. } => "outcome",
             EventKind::SuiteEnd { .. } => "suite_end",
         }
@@ -222,6 +242,15 @@ impl EventKind {
                 unit: "MB/s".into(),
             },
             EventKind::Syscalls { counts },
+            EventKind::Rusage {
+                utime_us: 1500,
+                stime_us: 800,
+                maxrss_kb: 3400,
+                minor_faults: 120,
+                major_faults: 1,
+                vol_ctx_switches: 7,
+                invol_ctx_switches: 2,
+            },
             EventKind::Outcome {
                 status: "ok".into(),
                 attempts: 2,
@@ -319,6 +348,23 @@ impl Serialize for TraceEvent {
                 obj.set("unit", unit.to_value());
             }
             EventKind::Syscalls { counts } => obj.set("counts", counts.to_value()),
+            EventKind::Rusage {
+                utime_us,
+                stime_us,
+                maxrss_kb,
+                minor_faults,
+                major_faults,
+                vol_ctx_switches,
+                invol_ctx_switches,
+            } => {
+                obj.set("utime_us", utime_us.to_value());
+                obj.set("stime_us", stime_us.to_value());
+                obj.set("maxrss_kb", maxrss_kb.to_value());
+                obj.set("minor_faults", minor_faults.to_value());
+                obj.set("major_faults", major_faults.to_value());
+                obj.set("vol_ctx_switches", vol_ctx_switches.to_value());
+                obj.set("invol_ctx_switches", invol_ctx_switches.to_value());
+            }
             EventKind::Outcome {
                 status,
                 attempts,
@@ -407,6 +453,15 @@ impl Deserialize for TraceEvent {
             },
             "syscalls" => EventKind::Syscalls {
                 counts: field(obj, "counts")?,
+            },
+            "rusage" => EventKind::Rusage {
+                utime_us: field(obj, "utime_us")?,
+                stime_us: field(obj, "stime_us")?,
+                maxrss_kb: field(obj, "maxrss_kb")?,
+                minor_faults: field(obj, "minor_faults")?,
+                major_faults: field(obj, "major_faults")?,
+                vol_ctx_switches: field(obj, "vol_ctx_switches")?,
+                invol_ctx_switches: field(obj, "invol_ctx_switches")?,
             },
             "outcome" => EventKind::Outcome {
                 status: field(obj, "status")?,

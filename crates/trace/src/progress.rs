@@ -135,6 +135,20 @@ impl<W: Write + Send> Sink for Progress<W> {
                     counts.len()
                 ));
             }
+            EventKind::Rusage {
+                invol_ctx_switches,
+                vol_ctx_switches,
+                minor_faults,
+                major_faults,
+                maxrss_kb,
+                ..
+            } if verbose => {
+                let owner = self.owner(event);
+                self.line(&format!(
+                    "  {owner}: {invol_ctx_switches} preemptions, {vol_ctx_switches} voluntary switches, {} faults, maxrss {maxrss_kb} KB",
+                    minor_faults + major_faults
+                ));
+            }
             _ => {}
         }
     }

@@ -29,6 +29,7 @@ fn main() {
         "All 1995 numbers are the paper's, from the embedded dataset (`lmb-results::dataset`).\n"
     );
     println!("Absolute magnitudes are expected to differ by ~2-3 orders of magnitude after three decades; the reproduction target is the paper's *shape*: orderings, ratios, and crossovers. Each shape check below is also enforced by an integration test in `tests/`.\n");
+    println!("Noise bands: every measurement keeps its raw repetition samples; the coefficient of variation of the *noisiest* measurement in a benchmark (sample stddev / mean, archived in each run report's provenance together with p50/p90/p99, MAD, and the IQR-outlier count) is the CV band that `lmbench diff` and `suite --baseline check` judge run-over-run deltas against — a delta is significant only beyond `max(25%, 3 x CV)`, sized to the paper's documented up-to-30% run-to-run variability (3.4).\n");
 
     // Per-table comparisons from the generic machinery.
     println!("## Per-table results\n");

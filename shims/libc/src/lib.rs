@@ -109,6 +109,45 @@ pub struct sigaction {
 }
 
 // ---------------------------------------------------------------------------
+// getrusage(2)
+// ---------------------------------------------------------------------------
+
+pub const RUSAGE_SELF: c_int = 0;
+/// Linux-specific: usage of the calling thread only.
+pub const RUSAGE_THREAD: c_int = 1;
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct timeval {
+    pub tv_sec: c_long,
+    pub tv_usec: c_long,
+}
+
+/// glibc's `struct rusage` for x86_64: the two timevals, then sixteen
+/// longs (of which Linux fills maxrss, the fault counters and the context
+/// switch counters; the rest read zero).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct rusage {
+    pub ru_utime: timeval,
+    pub ru_stime: timeval,
+    pub ru_maxrss: c_long,
+    pub ru_ixrss: c_long,
+    pub ru_idrss: c_long,
+    pub ru_isrss: c_long,
+    pub ru_minflt: c_long,
+    pub ru_majflt: c_long,
+    pub ru_nswap: c_long,
+    pub ru_inblock: c_long,
+    pub ru_oublock: c_long,
+    pub ru_msgsnd: c_long,
+    pub ru_msgrcv: c_long,
+    pub ru_nsignals: c_long,
+    pub ru_nvcsw: c_long,
+    pub ru_nivcsw: c_long,
+}
+
+// ---------------------------------------------------------------------------
 // wait(2) status decoding (glibc macro equivalents)
 // ---------------------------------------------------------------------------
 
@@ -167,6 +206,7 @@ extern "C" {
     pub fn raise(sig: c_int) -> c_int;
     pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
     pub fn sigemptyset(set: *mut sigset_t) -> c_int;
+    pub fn getrusage(who: c_int, usage: *mut rusage) -> c_int;
     pub fn getsockopt(
         sockfd: c_int,
         level: c_int,
@@ -219,6 +259,19 @@ mod tests {
         assert_eq!(n, 4);
         // SAFETY: fd was returned by open above.
         assert_eq!(unsafe { close(fd) }, 0);
+    }
+
+    #[test]
+    fn getrusage_reports_a_live_process() {
+        // SAFETY: zeroed rusage is a valid out-parameter.
+        let usage = unsafe {
+            let mut usage: rusage = std::mem::zeroed();
+            assert_eq!(getrusage(RUSAGE_SELF, &mut usage), 0);
+            usage
+        };
+        // A running test process has touched memory and been scheduled.
+        assert!(usage.ru_maxrss > 0, "maxrss {}", usage.ru_maxrss);
+        assert!(usage.ru_minflt > 0, "minflt {}", usage.ru_minflt);
     }
 
     #[test]

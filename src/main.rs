@@ -11,6 +11,8 @@
 //!                                       # run report on stderr
 //! lmbench report [--paper]           # suite + all 17 tables + provenance
 //! lmbench trace-validate trace.jsonl # parse a trace artifact, exit 0 if valid
+//! lmbench diff base.json new.json    # noise-aware regression table, exit 1
+//!                                    # on significant regressions
 //! ```
 //!
 //! The `suite` and `report` commands share the observability flags:
@@ -20,14 +22,22 @@
 //! (quiet wins). All stderr narration is a rendering of the same trace
 //! events the JSONL artifact records.
 //!
+//! `suite` additionally takes `--baseline save` (archive this run's report
+//! under `.lmbench/baselines/`, keyed by a host fingerprint) and
+//! `--baseline check` (diff this run against the newest archived baseline
+//! for this host; exit 1 on significant regressions). `LMBENCH_BASELINE_DIR`
+//! overrides the store location.
+//!
 //! Exit codes: 0 success (including suites with failed benchmarks — see
-//! the stderr report), 1 invalid trace artifact, 2 usage, 3 invalid
-//! configuration, 4 unknown benchmark.
+//! the stderr report), 1 invalid trace artifact or significant regression
+//! from `diff`/`--baseline check`, 2 usage, 3 invalid configuration or
+//! unreadable input, 4 unknown benchmark.
 
 use lmbench::core::{
-    report, Engine, EngineOutcome, FaultPlan, Registry, SuiteConfig, SuiteError, Verbosity,
+    detect_host, report, Engine, EngineOutcome, FaultPlan, Registry, SuiteConfig, SuiteError,
+    Verbosity,
 };
-use lmbench::results::ResultsDb;
+use lmbench::results::{fingerprint, Baseline, BaselineStore, ReportDiff, ResultsDb, RunReport};
 use lmbench::timing::Harness;
 use lmbench::trace::{span_summaries, Detail, JsonlSink, Progress, SinkHandle};
 use std::path::Path;
@@ -36,9 +46,11 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lmbench <list|run NAME|suite|report|trace-validate PATH>\n\
+        "usage: lmbench <list|run NAME|suite|report|trace-validate PATH|diff BASE NEW>\n\
          suite/report flags: [--paper] [--only A,B] [--trace PATH] [--report-json PATH]\n\
-         \x20                [--progress] [--quiet] [--verbose]"
+         \x20                [--progress] [--quiet] [--verbose]\n\
+         suite only:         [--baseline save|check]\n\
+         diff flags:         [--json]"
     );
     ExitCode::from(2)
 }
@@ -146,6 +158,110 @@ impl Observer {
     }
 }
 
+/// Loads a run report from a `--report-json` artifact or a saved baseline
+/// file (either shape is accepted, so archived baselines diff directly).
+fn load_report(path: &str) -> Result<RunReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    RunReport::from_json(&text)
+        .or_else(|_| Baseline::from_json(&text).map(|b| b.report))
+        .map_err(|e| format!("{path}: neither a run report nor a baseline: {e}"))
+}
+
+/// `lmbench diff BASE NEW [--json]`: the noise-aware regression table.
+fn diff_reports(args: &[String]) -> ExitCode {
+    let paths: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+    let [base_path, new_path] = paths.as_slice() else {
+        eprintln!("lmbench diff: need exactly two report paths");
+        return usage();
+    };
+    let (base, new) = match (
+        load_report(base_path.as_str()),
+        load_report(new_path.as_str()),
+    ) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("lmbench: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let diff = ReportDiff::between(&base, &new);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", diff.to_json());
+    } else {
+        print!("{}", diff.render());
+    }
+    if diff.has_regressions() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The baseline store, honouring the `LMBENCH_BASELINE_DIR` override.
+fn baseline_store() -> BaselineStore {
+    match std::env::var("LMBENCH_BASELINE_DIR") {
+        Ok(dir) if !dir.is_empty() => BaselineStore::new(dir),
+        _ => BaselineStore::new(BaselineStore::default_dir()),
+    }
+}
+
+/// This host's baseline identity: the strings that must match for two
+/// runs to be comparable.
+fn host_fingerprint() -> (String, String) {
+    let host = detect_host();
+    let fp = fingerprint(&[&host.vendor_model, &host.name, &host.cpu, &host.os]);
+    (fp, host.vendor_model)
+}
+
+/// Applies `--baseline save|check` after a suite run; returns the exit
+/// code (only `check` with significant regressions is nonzero).
+fn baseline_action(mode: &str, outcome: &EngineOutcome) -> ExitCode {
+    let store = baseline_store();
+    let (fp, host) = host_fingerprint();
+    match mode {
+        "save" => {
+            let baseline = Baseline::now(&fp, &host, outcome.report.clone());
+            match store.save(&baseline) {
+                Ok(path) => {
+                    eprintln!("lmbench: baseline saved to {}", path.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("lmbench: cannot save baseline: {e}");
+                    ExitCode::from(3)
+                }
+            }
+        }
+        "check" => match store.latest(&fp) {
+            Ok(Some(baseline)) => {
+                let diff = ReportDiff::between(&baseline.report, &outcome.report);
+                eprint!("{}", diff.render());
+                if diff.has_regressions() {
+                    eprintln!("lmbench: significant regressions vs baseline");
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Ok(None) => {
+                eprintln!(
+                    "lmbench: no baseline for this host in {} (run `suite --baseline save` first)",
+                    store.dir().display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("lmbench: cannot read baseline store: {e}");
+                ExitCode::from(3)
+            }
+        },
+        other => {
+            eprintln!("lmbench suite: --baseline takes save|check, got `{other}`");
+            ExitCode::from(2)
+        }
+    }
+}
+
 /// Validates a JSONL trace artifact; prints a one-line summary on success.
 fn trace_validate(path: &str) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
@@ -245,9 +361,12 @@ fn main() -> ExitCode {
                 .map(|s| s.name.clone())
                 .unwrap_or_else(|| "host".into());
             let mut db = ResultsDb::new();
-            db.insert(name, outcome.run);
+            db.insert(name, outcome.run.clone());
             println!("{}", db.to_json());
-            ExitCode::SUCCESS
+            match flag_value(&args, "--baseline") {
+                Some(mode) => baseline_action(mode, &outcome),
+                None => ExitCode::SUCCESS,
+            }
         }
         "report" => {
             let config = config_from_args(&args);
@@ -284,6 +403,7 @@ fn main() -> ExitCode {
             };
             trace_validate(path)
         }
+        "diff" => diff_reports(&args),
         _ => usage(),
     }
 }

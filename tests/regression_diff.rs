@@ -1,0 +1,209 @@
+//! End-to-end regression gating: `lmbench diff` on two reports of the
+//! same run must exit 0, a report perturbed beyond its CV band must exit
+//! 1, and the `suite --baseline save|check` flow must archive and gate
+//! against the store — the acceptance criteria of the observability PR,
+//! driven through the real binary.
+
+use lmbench::results::{DiffClass, ReportDiff, RunReport};
+use lmbench::timing::Quality;
+use lmbench::trace::{parse_jsonl, EventKind};
+use std::path::PathBuf;
+use std::process::Command;
+
+const BENCHES: &str = "sys_info,lat_syscall";
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lmbench-diff-{tag}-{}", std::process::id()))
+}
+
+/// One traced suite run shared by the assertions (real wall-clock time).
+fn measured() -> (RunReport, String) {
+    let report_path = temp_path("report.json");
+    let trace_path = temp_path("trace.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_lmbench"))
+        .args(["suite", "--only", BENCHES])
+        .args(["--report-json", report_path.to_str().unwrap()])
+        .args(["--trace", trace_path.to_str().unwrap()])
+        .output()
+        .expect("spawn lmbench suite");
+    assert!(
+        out.status.success(),
+        "suite failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report_json = std::fs::read_to_string(&report_path).expect("report written");
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    let _ = std::fs::remove_file(&report_path);
+    let _ = std::fs::remove_file(&trace_path);
+    (
+        RunReport::from_json(&report_json).expect("report parses"),
+        trace,
+    )
+}
+
+fn diff(
+    base: &RunReport,
+    new: &RunReport,
+    extra: &[&str],
+) -> (std::process::Output, PathBuf, PathBuf) {
+    let a = temp_path(&format!("a-{extra:?}.json").replace(['[', ']', '"', ',', ' '], ""));
+    let b = temp_path(&format!("b-{extra:?}.json").replace(['[', ']', '"', ',', ' '], ""));
+    std::fs::write(&a, base.to_json()).unwrap();
+    std::fs::write(&b, new.to_json()).unwrap();
+    // Flags before positionals, matching the CI invocation.
+    let out = Command::new(env!("CARGO_BIN_EXE_lmbench"))
+        .arg("diff")
+        .args(extra)
+        .args([a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("spawn lmbench diff");
+    (out, a, b)
+}
+
+#[test]
+fn records_carry_quality_rusage_and_the_trace_agrees() {
+    let (report, trace) = measured();
+    let rec = report.find("lat_syscall").expect("lat_syscall ran");
+    assert!(rec.status.is_ok(), "{:?}", rec.status);
+    let p = rec.provenance.as_ref().expect("provenance archived");
+    assert!(p.sample_p90_ns > 0.0 && p.sample_p99_ns >= p.sample_p90_ns);
+    assert!(p.cv >= 0.0 && p.cv.is_finite());
+    assert!(
+        Quality::from_label(&p.quality).is_some(),
+        "bad quality label {:?}",
+        p.quality
+    );
+    let usage = rec.rusage.as_ref().expect("rusage archived");
+    assert!(usage.maxrss_kb > 0);
+    assert!(!rec.metrics.is_empty(), "metrics archived for the differ");
+
+    // The joined trace carries the quality assessment as Metric events
+    // attributed to this benchmark's span.
+    let events = parse_jsonl(&trace).expect("trace parses");
+    let span = rec.span.expect("traced run records span ids");
+    let mine: Vec<_> = events.iter().filter(|e| e.span == Some(span)).collect();
+    for label in ["quality_cv", "quality_grade"] {
+        assert!(
+            mine.iter()
+                .any(|e| matches!(&e.kind, EventKind::Metric { label: l, .. } if l == label)),
+            "{label} event missing from the bench span"
+        );
+    }
+    assert!(
+        mine.iter()
+            .any(|e| matches!(e.kind, EventKind::Rusage { .. })),
+        "rusage event missing from the bench span"
+    );
+}
+
+#[test]
+fn diff_of_identical_reports_passes_and_perturbation_fails() {
+    let (mut report, _) = measured();
+    // Pin the quality grade: under parallel `cargo test` load the syscall
+    // measurement can grade suspect, which the differ (correctly) refuses
+    // to gate on. This test exercises the differ and CLI, not how noisy
+    // the test machine happens to be.
+    for rec in &mut report.records {
+        if let Some(p) = rec.provenance.as_mut() {
+            p.quality = "good".into();
+            p.cv = p.cv.min(0.05);
+        }
+    }
+
+    // Same run on both sides: nothing can be a significant regression.
+    let (out, a, b) = diff(&report, &report, &[]);
+    let table = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        out.status.success(),
+        "identical reports flagged: {table}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(table.contains("0 regressed"), "{table}");
+    let _ = std::fs::remove_file(a);
+    let _ = std::fs::remove_file(b);
+
+    // Perturb the syscall latency far beyond any CV band: 10x slower.
+    let mut perturbed = report.clone();
+    let rec = perturbed
+        .records
+        .iter_mut()
+        .find(|r| r.name == "lat_syscall")
+        .unwrap();
+    for m in &mut rec.metrics {
+        m.value *= 10.0;
+    }
+    let (out, a, b) = diff(&report, &perturbed, &["--json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "10x latency not flagged:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let parsed =
+        ReportDiff::from_json(&String::from_utf8_lossy(&out.stdout)).expect("--json output parses");
+    assert!(parsed
+        .rows
+        .iter()
+        .any(|r| r.bench == "lat_syscall" && r.class == DiffClass::Regressed));
+    let _ = std::fs::remove_file(a);
+    let _ = std::fs::remove_file(b);
+}
+
+#[test]
+fn diff_rejects_unreadable_input_with_a_distinct_exit_code() {
+    let missing = temp_path("nope.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_lmbench"))
+        .args(["diff", missing.to_str().unwrap(), missing.to_str().unwrap()])
+        .output()
+        .expect("spawn lmbench diff");
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn baseline_save_then_check_gates_against_the_store() {
+    let store = temp_path("baselines");
+    let _ = std::fs::remove_dir_all(&store);
+    let run = |mode: &str| {
+        Command::new(env!("CARGO_BIN_EXE_lmbench"))
+            .args(["suite", "--only", BENCHES, "--baseline", mode])
+            .env("LMBENCH_BASELINE_DIR", store.to_str().unwrap())
+            .output()
+            .expect("spawn lmbench suite --baseline")
+    };
+
+    // Checking an empty store is a note, not a failure.
+    let out = run("check");
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no baseline"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = run("save");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let saved: Vec<_> = std::fs::read_dir(&store)
+        .expect("store created")
+        .filter_map(|e| e.ok())
+        .collect();
+    assert_eq!(saved.len(), 1, "one baseline file saved");
+
+    // A repeat run of the same quick benchmarks on the same machine must
+    // sit inside its own noise band.
+    let out = run("check");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        out.status.success(),
+        "repeat run flagged as regression:\n{stderr}"
+    );
+    assert!(stderr.contains("0 regressed"), "{stderr}");
+
+    // Bad mode is a usage error.
+    let out = run("bogus");
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&store);
+}
