@@ -213,7 +213,7 @@ impl Engine {
                         bench: benches[idx].name.to_string(),
                         worker: worker as u32,
                     });
-                    let result = self.run_one(&benches[idx], host, empty, suite_id);
+                    let result = self.run_one(&benches[idx], host, empty, suite_id, workers > 1);
                     slots.lock().expect("slots lock")[idx] = Some(result);
                 });
             }
@@ -225,7 +225,7 @@ impl Engine {
         });
         for (idx, bench) in benches.iter().enumerate() {
             if bench.exclusive && !bench.derived {
-                let result = self.run_one(bench, &host, &empty, suite_id);
+                let result = self.run_one(bench, &host, &empty, suite_id, false);
                 slots.lock().expect("slots lock")[idx] = Some(result);
             }
         }
@@ -247,7 +247,7 @@ impl Engine {
         for (idx, bench) in benches.iter().enumerate() {
             if bench.derived {
                 let snapshot = run.clone();
-                let (record, patches) = self.run_one(bench, &host, &snapshot, suite_id);
+                let (record, patches) = self.run_one(bench, &host, &snapshot, suite_id, false);
                 for patch in patches {
                     patch.apply(&mut run);
                 }
@@ -260,6 +260,7 @@ impl Engine {
                 .into_iter()
                 .map(|slot| slot.expect("every benchmark produced a record").0)
                 .collect(),
+            scaling: Vec::new(),
         };
         emit(|| EventKind::SuiteEnd {
             ok: report.count("ok") as u32,
@@ -279,6 +280,7 @@ impl Engine {
         host: &str,
         snapshot: &SuiteRun,
         suite_span: SpanId,
+        contended: bool,
     ) -> BenchResult {
         let started = Instant::now();
         let span = Span::enter_with_parent(format!("bench:{}", bench.name), suite_span);
@@ -396,7 +398,7 @@ impl Engine {
                 }
                 Ok(received) => received,
             };
-            record.rusage = Some(archive_rusage(&usage));
+            record.rusage = Some(archive_rusage(&usage, contended));
             record.provenance = provenance_from(&take_events(&recorder));
             emit_quality_metrics(record.provenance.as_ref());
             match outcome {
@@ -472,7 +474,7 @@ fn emit_outcome(record: &BenchRecord) {
 }
 
 /// Renders a panic payload as a failure reason.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -483,8 +485,12 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Archives a kernel-accounted attempt cost into the report's shape,
-/// narrating it into the trace on the way.
-fn archive_rusage(delta: &RusageDelta) -> ResourceUsage {
+/// narrating it into the trace on the way. The snapshots are taken on the
+/// bench thread with thread scope, so the CPU-time and fault counts are
+/// this attempt's own; `contended` records that pool neighbours ran
+/// concurrently, which still perturbs maxrss (process-wide) and preemption
+/// counts, so contended deltas must not be compared as isolated-run costs.
+fn archive_rusage(delta: &RusageDelta, contended: bool) -> ResourceUsage {
     emit(|| EventKind::Rusage {
         utime_us: delta.utime_us,
         stime_us: delta.stime_us,
@@ -493,6 +499,7 @@ fn archive_rusage(delta: &RusageDelta) -> ResourceUsage {
         major_faults: delta.major_faults,
         vol_ctx_switches: delta.vol_ctx_switches,
         invol_ctx_switches: delta.invol_ctx_switches,
+        contended,
     });
     ResourceUsage {
         utime_us: delta.utime_us,
@@ -502,6 +509,7 @@ fn archive_rusage(delta: &RusageDelta) -> ResourceUsage {
         major_faults: delta.major_faults,
         vol_ctx_switches: delta.vol_ctx_switches,
         invol_ctx_switches: delta.invol_ctx_switches,
+        contended,
     }
 }
 
@@ -530,7 +538,7 @@ fn emit_quality_metrics(provenance: Option<&Provenance>) {
 /// Summarizes recorded events: calibration and samples of the *noisiest*
 /// measurement (ties broken toward the last), plus the total measurement
 /// count — the dispersion a reader should worry about, not the prettiest.
-fn provenance_from(events: &[MeasureEvent]) -> Option<Provenance> {
+pub(crate) fn provenance_from(events: &[MeasureEvent]) -> Option<Provenance> {
     let worst = events
         .iter()
         .enumerate()

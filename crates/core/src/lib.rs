@@ -27,6 +27,7 @@ pub mod host;
 pub mod output;
 pub mod registry;
 pub mod report;
+pub mod scale;
 pub mod suite;
 
 pub use config::{RetryPolicy, SuiteConfig, Verbosity};
@@ -35,4 +36,5 @@ pub use error::SuiteError;
 pub use host::detect_host;
 pub use output::{BenchOutput, Metric, Unit};
 pub use registry::{Benchmark, Category, Registry};
+pub use scale::{find_scale_spec, scale_registry, LoadGen, LoadSpec, ScaleFaultPlan, ScaleRunner};
 pub use suite::{run_suite, run_suite_with_report};

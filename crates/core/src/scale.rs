@@ -1,0 +1,649 @@
+//! Parallel load scaling: the paper's numbers under concurrency.
+//!
+//! Every measurement in the paper is one client against one resource
+//! (§3.2 "lmbench measures the performance of the primitive" — alone).
+//! The question a server operator asks next is how those primitives
+//! degrade when P processes hit the same resource at once. A
+//! [`ScaleRunner`] answers it by running a benchmark's inner operation
+//! under P = 1, 2, 4, … concurrent generator threads — each generator its
+//! own [`Harness`] with the suite's repetition and quality machinery, all
+//! released together by a rendezvous barrier — and folding the results
+//! into a typed [`ScalingCurve`]: aggregate throughput, p50/p99
+//! latency-under-load, parallel efficiency against P = 1, and a quality
+//! grade per point, judged over the *pooled* cross-generator samples.
+//!
+//! Fault isolation matches the engine's contract: a generator that
+//! panics (or cannot be built) fails only its own P-point; the sweep
+//! continues, and the failure is recorded in the curve rather than
+//! crashing the run.
+
+use crate::config::SuiteConfig;
+use crate::engine::{panic_message, provenance_from, Substrate};
+use crate::error::SuiteError;
+use lmb_results::{
+    BenchRecord, BenchStatus, GeneratorSample, MetricValue, ScalePoint, ScalingCurve,
+};
+use lmb_timing::clock::Stopwatch;
+use lmb_timing::{new_recorder, take_events, Harness, MeasureEvent, Quality, Samples};
+use lmb_trace::{emit, emit_in, ContextGuard, EventKind, Span, SpanId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// One generator's repeated operation: the benchmark body a scaling
+/// sweep multiplies. `Send` is a supertrait because each generator is
+/// moved onto its own thread.
+pub trait LoadGen: Send {
+    /// Performs one operation (one copy, one round trip, one chunk).
+    fn op(&mut self);
+}
+
+/// A scalable benchmark: how to build one load generator and how to
+/// interpret what it does.
+pub struct LoadSpec {
+    /// Benchmark name (`bw_mem`, `lat_pipe`, ...), matching the suite
+    /// registry where the plain benchmark exists.
+    pub name: &'static str,
+    /// What the curve reports, for humans.
+    pub produces: &'static str,
+    /// Throughput unit: `MB/s` when operations move bytes, `ops/s` for
+    /// round trips.
+    pub unit: &'static str,
+    /// OS facilities every generator needs; probed before the sweep.
+    pub requires: &'static [Substrate],
+    /// Bytes one operation moves (0 for latency benchmarks).
+    pub bytes_per_op: fn(&SuiteConfig) -> u64,
+    /// Operations per timed repetition.
+    pub ops_per_rep: fn(&SuiteConfig) -> u64,
+    /// Builds one generator (its own buffers / pipe / socket / process),
+    /// so P generators share nothing but the machine.
+    pub make: fn(&SuiteConfig) -> Result<Box<dyn LoadGen>, String>,
+}
+
+struct MemCopyGen(lmb_mem::bw::CopyBuffers);
+
+impl LoadGen for MemCopyGen {
+    fn op(&mut self) {
+        lmb_mem::bw::bcopy_unrolled(&mut self.0);
+    }
+}
+
+struct PipeLatGen(lmb_ipc::PipeEchoPair);
+
+impl LoadGen for PipeLatGen {
+    fn op(&mut self) {
+        self.0.round_trip();
+    }
+}
+
+struct UnixLatGen(lmb_ipc::UnixEchoPair);
+
+impl LoadGen for UnixLatGen {
+    fn op(&mut self) {
+        self.0.round_trip().expect("unix round trip");
+    }
+}
+
+struct TcpLatGen(lmb_ipc::TcpEchoPair);
+
+impl LoadGen for TcpLatGen {
+    fn op(&mut self) {
+        self.0.round_trip().expect("tcp round trip");
+    }
+}
+
+struct PipeBwGen(lmb_ipc::PipeSink);
+
+impl LoadGen for PipeBwGen {
+    fn op(&mut self) {
+        self.0.write_chunk();
+    }
+}
+
+struct TcpBwGen(lmb_ipc::TcpSink);
+
+impl LoadGen for TcpBwGen {
+    fn op(&mut self) {
+        self.0.write_chunk();
+    }
+}
+
+/// Round trips per repetition for the latency generators: enough to
+/// resolve above clock noise, capped so a P-way sweep stays quick.
+fn round_trip_ops(config: &SuiteConfig) -> u64 {
+    (config.round_trips as u64).clamp(1, 500)
+}
+
+/// Chunks per repetition for the streaming generators.
+fn stream_ops(config: &SuiteConfig, chunk: usize) -> u64 {
+    ((config.stream_total / chunk) as u64).clamp(1, 256)
+}
+
+/// Every scalable benchmark: one byte mover per transport plus the
+/// latency path of each IPC primitive the paper tables.
+#[must_use]
+pub fn scale_registry() -> Vec<LoadSpec> {
+    vec![
+        LoadSpec {
+            name: "bw_mem",
+            produces: "aggregate bcopy bandwidth under P copiers",
+            unit: "MB/s",
+            requires: &[],
+            bytes_per_op: |c| c.copy_bytes as u64,
+            ops_per_rep: |_| 8,
+            make: |c| {
+                Ok(Box::new(MemCopyGen(lmb_mem::bw::CopyBuffers::new(
+                    c.copy_bytes,
+                ))))
+            },
+        },
+        LoadSpec {
+            name: "lat_pipe",
+            produces: "pipe round-trip rate under P process pairs",
+            unit: "ops/s",
+            requires: &[],
+            bytes_per_op: |_| 0,
+            ops_per_rep: round_trip_ops,
+            make: |_| Ok(Box::new(PipeLatGen(lmb_ipc::PipeEchoPair::start()?))),
+        },
+        LoadSpec {
+            name: "lat_unix",
+            produces: "Unix-socket round-trip rate under P client/server pairs",
+            unit: "ops/s",
+            requires: &[Substrate::TempDir],
+            bytes_per_op: |_| 0,
+            ops_per_rep: round_trip_ops,
+            make: |_| {
+                let pair = lmb_ipc::UnixEchoPair::start().map_err(|e| format!("unix pair: {e}"))?;
+                Ok(Box::new(UnixLatGen(pair)))
+            },
+        },
+        LoadSpec {
+            name: "lat_tcp",
+            produces: "loopback TCP round-trip rate under P connections",
+            unit: "ops/s",
+            requires: &[Substrate::Loopback],
+            bytes_per_op: |_| 0,
+            ops_per_rep: round_trip_ops,
+            make: |_| {
+                let pair = lmb_ipc::TcpEchoPair::start().map_err(|e| format!("tcp pair: {e}"))?;
+                Ok(Box::new(TcpLatGen(pair)))
+            },
+        },
+        LoadSpec {
+            name: "bw_pipe",
+            produces: "aggregate pipe bandwidth under P writer/reader pairs",
+            unit: "MB/s",
+            requires: &[],
+            bytes_per_op: |_| lmb_ipc::PIPE_CHUNK as u64,
+            ops_per_rep: |c| stream_ops(c, lmb_ipc::PIPE_CHUNK),
+            make: |_| {
+                Ok(Box::new(PipeBwGen(lmb_ipc::PipeSink::start(
+                    lmb_ipc::PIPE_CHUNK,
+                )?)))
+            },
+        },
+        LoadSpec {
+            name: "bw_tcp",
+            produces: "aggregate loopback TCP bandwidth under P connections",
+            unit: "MB/s",
+            requires: &[Substrate::Loopback],
+            bytes_per_op: |_| lmb_ipc::TCP_CHUNK as u64,
+            ops_per_rep: |c| stream_ops(c, lmb_ipc::TCP_CHUNK),
+            make: |_| {
+                let sink = lmb_ipc::TcpSink::start(lmb_ipc::TCP_CHUNK, lmb_ipc::TCP_SOCKBUF)?;
+                Ok(Box::new(TcpBwGen(sink)))
+            },
+        },
+    ]
+}
+
+/// Looks up one scalable benchmark by name.
+#[must_use]
+pub fn find_scale_spec(name: &str) -> Option<LoadSpec> {
+    scale_registry().into_iter().find(|s| s.name == name)
+}
+
+/// Injected scaling failures, for tests and fault drills.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScaleFaultPlan {
+    /// Panic the last generator of this `(bench, p)` point.
+    pub panic_at: Option<(String, u32)>,
+}
+
+impl ScaleFaultPlan {
+    /// Reads `LMBENCH_FAULT_SCALE_PANIC="bench@p"` so drills can target a
+    /// released binary.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let panic_at = std::env::var("LMBENCH_FAULT_SCALE_PANIC")
+            .ok()
+            .and_then(|v| {
+                let (bench, p) = v.split_once('@')?;
+                Some((bench.to_string(), p.parse().ok()?))
+            });
+        ScaleFaultPlan { panic_at }
+    }
+
+    /// Targets one point directly.
+    #[must_use]
+    pub fn panic_at(bench: &str, p: u32) -> Self {
+        ScaleFaultPlan {
+            panic_at: Some((bench.to_string(), p)),
+        }
+    }
+
+    fn hits(&self, bench: &str, p: u32) -> bool {
+        self.panic_at
+            .as_ref()
+            .is_some_and(|(b, fp)| b == bench && *fp == p)
+    }
+}
+
+/// Runs load-scaling sweeps: P concurrent generators per point, each on
+/// its own thread with its own harness, started together by a barrier.
+pub struct ScaleRunner {
+    config: SuiteConfig,
+    max_p: u32,
+    faults: ScaleFaultPlan,
+}
+
+impl ScaleRunner {
+    /// Builds a runner; rejects invalid configurations.
+    pub fn new(config: SuiteConfig) -> Result<Self, SuiteError> {
+        config.validate()?;
+        Ok(ScaleRunner {
+            config,
+            max_p: 4,
+            faults: ScaleFaultPlan::default(),
+        })
+    }
+
+    /// Sets the largest generator count (default 4, minimum 1).
+    #[must_use]
+    pub fn with_max_p(mut self, max_p: u32) -> Self {
+        self.max_p = max_p.max(1);
+        self
+    }
+
+    /// Installs a fault plan (tests, drills).
+    #[must_use]
+    pub fn with_faults(mut self, faults: ScaleFaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The P values a sweep visits: powers of two up to `max_p`,
+    /// plus `max_p` itself when it is not a power of two.
+    #[must_use]
+    pub fn points(&self) -> Vec<u32> {
+        let mut ps = Vec::new();
+        let mut p = 1u32;
+        while p <= self.max_p {
+            ps.push(p);
+            p = p.saturating_mul(2);
+        }
+        if *ps.last().expect("at least P=1") != self.max_p {
+            ps.push(self.max_p);
+        }
+        ps
+    }
+
+    /// Sweeps one benchmark and returns its curve plus a synthesized
+    /// report record (so curves ride the existing report/diff machinery).
+    pub fn run(&self, spec: &LoadSpec) -> (ScalingCurve, BenchRecord) {
+        let started = Instant::now();
+        let span = Span::enter(format!("scale:{}", spec.name));
+        let mut record = BenchRecord {
+            name: format!("scale_{}", spec.name),
+            produces: spec.produces.to_string(),
+            status: BenchStatus::Ok,
+            attempts: 1,
+            wall_ms: 0.0,
+            // A sweep owns the machine by design; never pooled.
+            exclusive: true,
+            provenance: None,
+            rusage: None,
+            metrics: Vec::new(),
+            span: span.id().as_option(),
+        };
+        let mut curve = ScalingCurve {
+            bench: spec.name.to_string(),
+            unit: spec.unit.to_string(),
+            points: Vec::new(),
+        };
+
+        for substrate in spec.requires {
+            let probe = substrate.probe();
+            emit(|| EventKind::Probe {
+                substrate: substrate.describe().to_string(),
+                ok: probe.is_ok(),
+                detail: probe.clone().err().unwrap_or_default(),
+            });
+            if let Err(reason) = probe {
+                record.status = BenchStatus::Skipped(reason);
+                record.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                return (curve, record);
+            }
+        }
+
+        emit(|| EventKind::ScaleStart {
+            bench: spec.name.to_string(),
+            max_p: self.max_p,
+        });
+
+        let mut events: Vec<MeasureEvent> = Vec::new();
+        for p in self.points() {
+            let point = self.measure_point(spec, p, span.id(), &mut events);
+            if let Some(pt) = point.as_ok() {
+                emit_in(span.id(), || EventKind::ScalePoint {
+                    p: pt.p,
+                    throughput: pt.throughput,
+                    unit: spec.unit.to_string(),
+                    p50_us: pt.p50_us,
+                    p99_us: pt.p99_us,
+                    quality: pt.quality.clone(),
+                });
+            }
+            curve.points.push(point);
+        }
+        curve.compute_efficiency();
+
+        for pt in curve.ok_points() {
+            record.metrics.push(MetricValue {
+                label: format!("p{} tput", pt.p),
+                value: pt.throughput,
+                unit: spec.unit.to_string(),
+            });
+            record.metrics.push(MetricValue {
+                label: format!("p{} p50", pt.p),
+                value: pt.p50_us,
+                unit: "us".to_string(),
+            });
+            record.metrics.push(MetricValue {
+                label: format!("p{} p99", pt.p),
+                value: pt.p99_us,
+                unit: "us".to_string(),
+            });
+        }
+        record.provenance = provenance_from(&events);
+        if curve.ok_points().next().is_none() {
+            record.status = BenchStatus::Failed("every scaling point failed".to_string());
+        }
+        record.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        emit(|| EventKind::Outcome {
+            status: record.status.label().to_string(),
+            attempts: 1,
+            wall_ms: record.wall_ms,
+        });
+        (curve, record)
+    }
+
+    /// Runs one P-point: builds the generators serially (a build failure
+    /// fails the point before any thread blocks on the barrier), then
+    /// releases them together and measures each under its own harness.
+    fn measure_point(
+        &self,
+        spec: &LoadSpec,
+        p: u32,
+        span_id: SpanId,
+        events: &mut Vec<MeasureEvent>,
+    ) -> ScalePoint {
+        // Build everything on the coordinator: if generator k of P fails
+        // to set up, no thread has parked on a P-wide barrier yet.
+        let mut gens = Vec::with_capacity(p as usize);
+        for index in 0..p {
+            match (spec.make)(&self.config) {
+                Ok(g) => gens.push(g),
+                Err(e) => {
+                    return failed_point(p, format!("generator {index} setup failed: {e}"));
+                }
+            }
+        }
+
+        let ops = (spec.ops_per_rep)(&self.config).max(1);
+        let bytes_per_op = (spec.bytes_per_op)(&self.config);
+        let inject = self.faults.hits(spec.name, p);
+        let barrier = Arc::new(Barrier::new(p as usize));
+        let options = self.config.options;
+
+        type GenOutcome = (
+            usize,
+            Result<lmb_timing::Measurement, String>,
+            Vec<MeasureEvent>,
+            f64,
+        );
+        let mut outcomes: Vec<GenOutcome> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p as usize);
+            for (index, mut gen) in gens.into_iter().enumerate() {
+                let barrier = Arc::clone(&barrier);
+                // The last generator is the fault target: deterministic,
+                // and it proves the others' results survive a neighbour's
+                // death.
+                let sabotage = inject && index as u32 == p - 1;
+                handles.push(scope.spawn(move || {
+                    let _trace_ctx = ContextGuard::enter(span_id);
+                    let recorder = new_recorder();
+                    let harness = Harness::new(options).with_recorder(recorder.clone());
+                    barrier.wait();
+                    let sw = Stopwatch::start();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if sabotage {
+                            panic!("injected fault: scale generator panic");
+                        }
+                        harness.measure_block(ops, || {
+                            for _ in 0..ops {
+                                gen.op();
+                            }
+                        })
+                    }));
+                    let elapsed_ms = sw.elapsed_ns() / 1e6;
+                    (
+                        index,
+                        outcome.map_err(panic_message),
+                        take_events(&recorder),
+                        elapsed_ms,
+                    )
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("generator panics are caught inside"))
+                .collect()
+        });
+        outcomes.sort_by_key(|(index, ..)| *index);
+
+        let mut generators = Vec::with_capacity(p as usize);
+        let mut pooled: Vec<f64> = Vec::new();
+        let mut total_ops = 0u64;
+        let mut aggregate = 0.0f64;
+        let mut failure: Option<String> = None;
+        for (index, outcome, gen_events, elapsed_ms) in outcomes {
+            events.extend(gen_events);
+            match outcome {
+                Err(msg) => {
+                    failure.get_or_insert(format!("generator {index}: {msg}"));
+                }
+                Ok(m) => {
+                    let samples = m.samples().clone();
+                    let gen_ops = ops * samples.len() as u64;
+                    let mean_ns = samples.mean().unwrap_or(0.0);
+                    let rate = per_op_rate(mean_ns, bytes_per_op);
+                    emit(|| EventKind::Generator {
+                        p,
+                        index: index as u32,
+                        ops: gen_ops,
+                        elapsed_ms,
+                    });
+                    generators.push(GeneratorSample {
+                        index: index as u32,
+                        throughput: rate,
+                        cv: samples.cv(),
+                        quality: Quality::from_samples(&samples).label().to_string(),
+                    });
+                    aggregate += rate;
+                    total_ops += gen_ops;
+                    pooled.extend_from_slice(samples.values());
+                }
+            }
+        }
+        if let Some(reason) = failure {
+            return failed_point(p, reason);
+        }
+
+        let pool = Samples::from_values(pooled);
+        ScalePoint {
+            p,
+            ops: total_ops,
+            throughput: aggregate,
+            p50_us: pool.p50().unwrap_or(0.0) / 1e3,
+            p99_us: pool.p99().unwrap_or(0.0) / 1e3,
+            cv: pool.cv(),
+            quality: Quality::from_samples(&pool).label().to_string(),
+            efficiency: 0.0,
+            generators,
+            error: None,
+        }
+    }
+}
+
+/// Sustained rate implied by a mean per-op time: MB/s when the op moves
+/// bytes, ops/s otherwise; 0.0 when the clock could not resolve the op.
+fn per_op_rate(mean_ns: f64, bytes_per_op: u64) -> f64 {
+    if mean_ns <= 0.0 {
+        return 0.0;
+    }
+    let ops_per_s = 1e9 / mean_ns;
+    if bytes_per_op > 0 {
+        ops_per_s * bytes_per_op as f64 / (1 << 20) as f64
+    } else {
+        ops_per_s
+    }
+}
+
+/// A point that produced no numbers, only a reason.
+fn failed_point(p: u32, reason: String) -> ScalePoint {
+    ScalePoint {
+        p,
+        ops: 0,
+        throughput: 0.0,
+        p50_us: 0.0,
+        p99_us: 0.0,
+        cv: 0.0,
+        quality: Quality::Suspect.label().to_string(),
+        efficiency: 0.0,
+        generators: Vec::new(),
+        error: Some(reason),
+    }
+}
+
+/// Extension used by [`ScaleRunner::run`] to peek at ok points.
+trait AsOk {
+    fn as_ok(&self) -> Option<&ScalePoint>;
+}
+
+impl AsOk for ScalePoint {
+    fn as_ok(&self) -> Option<&ScalePoint> {
+        self.is_ok().then_some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> SuiteConfig {
+        SuiteConfig::quick()
+    }
+
+    #[test]
+    fn points_are_powers_of_two_plus_the_cap() {
+        let r = ScaleRunner::new(quick_config()).unwrap();
+        assert_eq!(r.with_max_p(4).points(), vec![1, 2, 4]);
+        let r = ScaleRunner::new(quick_config()).unwrap();
+        assert_eq!(r.with_max_p(6).points(), vec![1, 2, 4, 6]);
+        let r = ScaleRunner::new(quick_config()).unwrap();
+        assert_eq!(r.with_max_p(1).points(), vec![1]);
+        let r = ScaleRunner::new(quick_config()).unwrap();
+        assert_eq!(r.with_max_p(0).points(), vec![1], "clamped to 1");
+    }
+
+    #[test]
+    fn fault_plan_parses_bench_at_p() {
+        assert_eq!(
+            ScaleFaultPlan::panic_at("bw_mem", 2),
+            ScaleFaultPlan {
+                panic_at: Some(("bw_mem".into(), 2)),
+            }
+        );
+        assert!(ScaleFaultPlan::panic_at("bw_mem", 2).hits("bw_mem", 2));
+        assert!(!ScaleFaultPlan::panic_at("bw_mem", 2).hits("bw_mem", 4));
+        assert!(!ScaleFaultPlan::panic_at("bw_mem", 2).hits("lat_pipe", 2));
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_units_known() {
+        let specs = scale_registry();
+        let names: std::collections::HashSet<&str> = specs.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), specs.len());
+        for spec in &specs {
+            assert!(matches!(spec.unit, "MB/s" | "ops/s"), "{}", spec.name);
+            // Byte movers report MB/s, round-trippers ops/s.
+            let bytes = (spec.bytes_per_op)(&quick_config());
+            assert_eq!(spec.unit == "MB/s", bytes > 0, "{}", spec.name);
+            assert!((spec.ops_per_rep)(&quick_config()) >= 1, "{}", spec.name);
+        }
+        assert!(find_scale_spec("bw_mem").is_some());
+        assert!(find_scale_spec("no_such_bench").is_none());
+    }
+
+    #[test]
+    fn per_op_rate_converts_bytes_and_ops() {
+        // 1 ms per 1 MB op = 1000 MB/s; 1 us per round trip = 1M ops/s.
+        assert!((per_op_rate(1e6, 1 << 20) - 1000.0).abs() < 1e-9);
+        assert!((per_op_rate(1e3, 0) - 1e6).abs() < 1e-6);
+        assert_eq!(per_op_rate(0.0, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn mem_sweep_produces_graded_points() {
+        let runner = ScaleRunner::new(quick_config()).unwrap().with_max_p(2);
+        let spec = find_scale_spec("bw_mem").unwrap();
+        let (curve, record) = runner.run(&spec);
+        assert_eq!(curve.points.len(), 2);
+        for pt in curve.ok_points() {
+            assert!(pt.throughput > 0.0, "P={}", pt.p);
+            assert!(pt.p99_us >= pt.p50_us, "P={}", pt.p);
+            assert!(Quality::from_label(&pt.quality).is_some(), "P={}", pt.p);
+            assert_eq!(pt.generators.len(), pt.p as usize);
+        }
+        assert_eq!(record.status, BenchStatus::Ok);
+        assert!(record.provenance.is_some());
+        assert!(record
+            .metrics
+            .iter()
+            .any(|m| m.label == "p1 tput" && m.unit == "MB/s"));
+    }
+
+    #[test]
+    fn setup_failure_fails_the_point_without_deadlock() {
+        let spec = LoadSpec {
+            name: "always_fails",
+            produces: "nothing",
+            unit: "ops/s",
+            requires: &[],
+            bytes_per_op: |_| 0,
+            ops_per_rep: |_| 1,
+            make: |_| Err("no such device".into()),
+        };
+        let runner = ScaleRunner::new(quick_config()).unwrap().with_max_p(2);
+        let (curve, record) = runner.run(&spec);
+        assert!(curve.points.iter().all(|pt| !pt.is_ok()));
+        assert!(curve.points[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("no such device"));
+        assert!(matches!(record.status, BenchStatus::Failed(_)));
+    }
+}

@@ -45,6 +45,13 @@ pub fn measure_fifo_latency(h: &Harness, round_trips: usize) -> Latency {
     assert!(round_trips > 0, "need at least one round trip");
     let to_child_path = make_fifo("tc");
     let to_parent_path = make_fifo("tp");
+    // C paths built before fork: the child may only make raw syscalls
+    // between fork and _exit (`CString::new` allocates, and the allocator
+    // lock may be held by another thread at fork time).
+    let to_child_c =
+        std::ffi::CString::new(to_child_path.to_str().expect("utf8 path")).expect("no NUL");
+    let to_parent_c =
+        std::ffi::CString::new(to_parent_path.to_str().expect("utf8 path")).expect("no NUL");
 
     match fork().expect("fork echo child") {
         ForkResult::Child => {
@@ -52,8 +59,8 @@ pub fn measure_fifo_latency(h: &Harness, round_trips: usize) -> Latency {
             // exists, so both sides open read-then-write... which would
             // deadlock symmetrically. Child opens its *read* side first;
             // parent opens its *write* side first.
-            let inbound = Fd::open(&to_child_path, libc::O_RDONLY);
-            let outbound = Fd::open(&to_parent_path, libc::O_WRONLY);
+            let inbound = Fd::open_cstr(&to_child_c, libc::O_RDONLY);
+            let outbound = Fd::open_cstr(&to_parent_c, libc::O_WRONLY);
             let (inbound, outbound) = match (inbound, outbound) {
                 (Ok(i), Ok(o)) => (i, o),
                 _ => exit_immediately(2),

@@ -22,14 +22,14 @@ pub mod unix_bw;
 pub mod unix_lat;
 
 pub use fifo_lat::measure_fifo_latency;
-pub use pipe_bw::measure_pipe_bw;
-pub use pipe_lat::measure_pipe_latency;
-pub use tcp_bw::measure_tcp_bw;
+pub use pipe_bw::{measure_pipe_bw, PipeSink};
+pub use pipe_lat::{measure_pipe_latency, PipeEchoPair};
+pub use tcp_bw::{measure_tcp_bw, TcpSink};
 pub use tcp_connect::measure_tcp_connect;
-pub use tcp_lat::measure_tcp_latency;
-pub use udp_lat::measure_udp_latency;
+pub use tcp_lat::{measure_tcp_latency, TcpEchoPair};
+pub use udp_lat::{measure_udp_latency, UdpEchoPair};
 pub use unix_bw::measure_unix_bw;
-pub use unix_lat::measure_unix_latency;
+pub use unix_lat::{measure_unix_latency, UnixEchoPair};
 
 /// The word exchanged by all latency benchmarks ("pass a small message (a
 /// byte or so) back and forth"; we use 4 bytes like the C suite's `int`).

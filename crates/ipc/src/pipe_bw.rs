@@ -6,7 +6,8 @@
 //! before the timing is finished."
 
 use lmb_sys::pipe::Pipe;
-use lmb_sys::process::{exit_immediately, fork, waitpid, ForkResult};
+use lmb_sys::process::{exit_immediately, fork, waitpid, ForkResult, Pid};
+use lmb_sys::Fd;
 use lmb_timing::clock::Stopwatch;
 use lmb_timing::{Bandwidth, Samples, SummaryPolicy};
 
@@ -15,8 +16,19 @@ use lmb_timing::{Bandwidth, Samples, SummaryPolicy};
 ///
 /// # Panics
 ///
-/// Panics if `chunk` is zero or `total < chunk`, or on process failures.
+/// Panics if `chunk` is zero or `total < chunk`, or on process failures —
+/// including a writer that dies early, which surfaces as a prompt
+/// "writer hung up early" panic (EOF on the pipe), never a hang.
 pub fn run_once(total: usize, chunk: usize) -> Bandwidth {
+    // Fault plan read before fork: the child must not touch the
+    // environment (getenv may allocate or take locks) after fork.
+    let child_fail = std::env::var_os("LMBENCH_FAULT_PIPE_CHILD").is_some();
+    run_once_inner(total, chunk, child_fail)
+}
+
+/// [`run_once`] with the writer-death fault injectable directly, for
+/// tests that should not depend on process-global environment state.
+fn run_once_inner(total: usize, chunk: usize, child_fail: bool) -> Bandwidth {
     assert!(chunk > 0, "chunk must be nonzero");
     assert!(total >= chunk, "total below one chunk");
     let chunks = total / chunk;
@@ -31,9 +43,14 @@ pub fn run_once(total: usize, chunk: usize) -> Bandwidth {
         ForkResult::Child => {
             // Writer: stream all chunks, then exit. Only read/write/_exit.
             drop(read_end);
-            for _ in 0..chunks {
+            for i in 0..chunks {
                 if write_end.write_all(&out).is_err() {
                     exit_immediately(2);
+                }
+                if child_fail && i == 0 {
+                    // Injected fault: die after the first chunk, as a
+                    // crashed writer would.
+                    exit_immediately(1);
                 }
             }
             exit_immediately(0);
@@ -45,7 +62,12 @@ pub fn run_once(total: usize, chunk: usize) -> Bandwidth {
             while received < payload {
                 let want = chunk.min(payload - received);
                 let n = read_end.read_full(&mut inbuf[..want]).expect("pipe read");
-                assert!(n > 0, "writer hung up early at {received}/{payload}");
+                if n == 0 {
+                    // EOF: the writer died before delivering everything.
+                    // Reap it first so the failure doesn't leak a zombie.
+                    let _ = waitpid(pid);
+                    panic!("writer hung up early at {received}/{payload}");
+                }
                 received += n;
             }
             let elapsed = sw.elapsed_ns();
@@ -69,6 +91,80 @@ pub fn measure_pipe_bw(
     let samples = Samples::from_values((0..repetitions).map(|_| run_once(total, chunk).mb_per_s));
     Bandwidth {
         mb_per_s: samples.summarize(policy).unwrap_or(0.0),
+    }
+}
+
+/// A forked drain child on the far end of a pipe: the parent writes
+/// chunks, the child reads and discards until EOF, then `_exit`s. The
+/// pipe-bandwidth load generator for the scaling harness — each sink is
+/// its own kernel pipe plus reader process, so P sinks exercise P
+/// independent pipe data paths.
+pub struct PipeSink {
+    write_end: Option<Fd>,
+    buf: Vec<u8>,
+    child: Option<Pid>,
+}
+
+impl PipeSink {
+    /// Forks the drain child; parent-side writes move `chunk` bytes each.
+    pub fn start(chunk: usize) -> Result<Self, String> {
+        assert!(chunk > 0, "chunk must be nonzero");
+        // Both buffers exist before fork; the child only reads into its
+        // inherited copy and exits.
+        let buf = vec![0xA5u8; chunk];
+        let mut drain = vec![0u8; chunk];
+        let (read_end, write_end) = Pipe::new().map_err(|e| format!("pipe: {e:?}"))?.split();
+        match fork().map_err(|e| format!("fork: {e:?}"))? {
+            ForkResult::Child => {
+                // Drain until the parent closes its end. No allocation, no
+                // panics — raw syscalls and _exit only.
+                drop(write_end);
+                loop {
+                    match read_end.read(&mut drain) {
+                        Ok(0) => exit_immediately(0),
+                        Ok(_) => {}
+                        Err(_) => exit_immediately(2),
+                    }
+                }
+            }
+            ForkResult::Parent(pid) => {
+                drop(read_end);
+                Ok(Self {
+                    write_end: Some(write_end),
+                    buf,
+                    child: Some(pid),
+                })
+            }
+        }
+    }
+
+    /// Bytes one [`PipeSink::write_chunk`] moves.
+    #[must_use]
+    pub fn chunk_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Streams one chunk into the pipe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drain child died (broken pipe).
+    pub fn write_chunk(&mut self) {
+        self.write_end
+            .as_ref()
+            .expect("sink not shut down")
+            .write_all(&self.buf)
+            .expect("pipe write");
+    }
+}
+
+impl Drop for PipeSink {
+    fn drop(&mut self) {
+        // Closing the write end EOFs the child; reap it best-effort.
+        drop(self.write_end.take());
+        if let Some(pid) = self.child.take() {
+            let _ = waitpid(pid);
+        }
     }
 }
 
@@ -107,5 +203,33 @@ mod tests {
     fn non_multiple_totals_round_down() {
         let bw = run_once((1 << 20) + 5000, 64 << 10);
         assert!(bw.mb_per_s > 0.0);
+    }
+
+    #[test]
+    fn dead_writer_surfaces_as_prompt_failure_not_a_hang() {
+        let begin = std::time::Instant::now();
+        let result = std::panic::catch_unwind(|| {
+            run_once_inner(4 << 20, 64 << 10, /* child_fail= */ true)
+        });
+        let err = result.expect_err("dead writer must fail the run");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".into());
+        assert!(msg.contains("writer hung up early"), "{msg}");
+        assert!(
+            begin.elapsed() < std::time::Duration::from_secs(5),
+            "failure must be prompt, not a watchdog timeout"
+        );
+    }
+
+    #[test]
+    fn pipe_sink_drains_chunks_and_reaps_on_drop() {
+        let mut sink = PipeSink::start(64 << 10).unwrap();
+        assert_eq!(sink.chunk_bytes(), 64 << 10);
+        for _ in 0..32 {
+            sink.write_chunk();
+        }
+        drop(sink); // Must not hang: EOF stops the child, waitpid reaps.
     }
 }

@@ -8,7 +8,8 @@
 
 use crate::WORD;
 use lmb_sys::pipe::Pipe;
-use lmb_sys::process::{exit_immediately, fork, waitpid, ForkResult};
+use lmb_sys::process::{exit_immediately, fork, waitpid, ForkResult, Pid};
+use lmb_sys::Fd;
 use lmb_timing::{Harness, Latency, TimeUnit};
 
 /// The shutdown word. A forked child inherits copies of every pipe fd in
@@ -16,6 +17,98 @@ use lmb_timing::{Harness, Latency, TimeUnit};
 /// write end — so EOF can never be relied on to terminate ring members;
 /// shutdown must be an explicit in-band message.
 const STOP: [u8; 4] = [0xFF; 4];
+
+/// A forked echo child connected by two anonymous pipes: the process-pair
+/// fixture behind [`measure_pipe_latency`], reusable as a load generator.
+///
+/// The child's loop is fork-safe by construction: it only calls
+/// `read`/`write`/`_exit` on pre-fork state — no allocation, no panics, no
+/// locks — because another thread may hold the allocator lock at fork
+/// time and the child would inherit it held forever.
+pub struct PipeEchoPair {
+    to_child_write: Fd,
+    to_parent_read: Fd,
+    child: Option<Pid>,
+}
+
+impl PipeEchoPair {
+    /// Forks the echo child and returns the parent's two pipe ends.
+    pub fn start() -> Result<Self, String> {
+        let to_child = Pipe::new().map_err(|e| format!("pipe: {e:?}"))?;
+        let to_parent = Pipe::new().map_err(|e| format!("pipe: {e:?}"))?;
+        match fork().map_err(|e| format!("fork: {e:?}"))? {
+            ForkResult::Child => {
+                // Echo child: read a word, write it back; STOP-or-error
+                // exits. Nothing here may allocate or panic.
+                let mut word = [0u8; WORD.len()];
+                loop {
+                    match to_child.read.read_full(&mut word) {
+                        Ok(n) if n == word.len() => {}
+                        _ => exit_immediately(2),
+                    }
+                    if to_parent.write.write_all(&word).is_err() {
+                        exit_immediately(3);
+                    }
+                    if word == STOP {
+                        exit_immediately(0);
+                    }
+                }
+            }
+            ForkResult::Parent(pid) => {
+                let (_, to_child_write) = to_child.split();
+                let (to_parent_read, _) = to_parent.split();
+                Ok(Self {
+                    to_child_write,
+                    to_parent_read,
+                    child: Some(pid),
+                })
+            }
+        }
+    }
+
+    /// One full A→B→A word exchange.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the child died mid-exchange.
+    pub fn round_trip(&mut self) {
+        let mut word = WORD;
+        self.to_child_write.write_all(&word).expect("parent write");
+        self.to_parent_read
+            .read_full(&mut word)
+            .expect("parent read");
+    }
+
+    /// Stops the child and reaps it, asserting it exited cleanly.
+    fn shutdown(&mut self) -> Result<(), String> {
+        let Some(pid) = self.child.take() else {
+            return Ok(());
+        };
+        self.to_child_write
+            .write_all(&STOP)
+            .map_err(|e| format!("send STOP: {e:?}"))?;
+        let mut echo = [0u8; 4];
+        self.to_parent_read
+            .read_full(&mut echo)
+            .map_err(|e| format!("STOP echo: {e:?}"))?;
+        if echo != STOP {
+            return Err("echo child corrupted STOP word".into());
+        }
+        match waitpid(pid) {
+            Ok(status) if status.success() => Ok(()),
+            Ok(status) => Err(format!("echo child failed: {status:?}")),
+            Err(e) => Err(format!("waitpid: {e:?}")),
+        }
+    }
+}
+
+impl Drop for PipeEchoPair {
+    fn drop(&mut self) {
+        // Best-effort on the drop path; measure_pipe_latency shuts down
+        // explicitly so child failures surface as panics there.
+        let _ = self.shutdown();
+    }
+}
 
 /// Measures pipe round-trip latency with `h`'s repetition/summary policy.
 ///
@@ -26,42 +119,14 @@ const STOP: [u8; 4] = [0xFF; 4];
 /// Panics if `round_trips` is zero or on process failures.
 pub fn measure_pipe_latency(h: &Harness, round_trips: usize) -> Latency {
     assert!(round_trips > 0, "need at least one round trip");
-    let to_child = Pipe::new().expect("pipe");
-    let to_parent = Pipe::new().expect("pipe");
-
-    match fork().expect("fork echo child") {
-        ForkResult::Child => {
-            // Echo child: read a word, write it back; STOP-or-error exits.
-            let mut word = [0u8; WORD.len()];
-            loop {
-                match to_child.read.read_full(&mut word) {
-                    Ok(n) if n == word.len() => {}
-                    _ => exit_immediately(2),
-                }
-                if to_parent.write.write_all(&word).is_err() {
-                    exit_immediately(3);
-                }
-                if word == STOP {
-                    exit_immediately(0);
-                }
-            }
+    let mut pair = PipeEchoPair::start().expect("echo pair");
+    let m = h.measure_block(round_trips as u64, || {
+        for _ in 0..round_trips {
+            pair.round_trip();
         }
-        ForkResult::Parent(pid) => {
-            let mut word = WORD;
-            let m = h.measure_block(round_trips as u64, || {
-                for _ in 0..round_trips {
-                    to_child.write.write_all(&word).expect("parent write");
-                    to_parent.read.read_full(&mut word).expect("parent read");
-                }
-            });
-            to_child.write.write_all(&STOP).expect("send STOP");
-            let mut echo = [0u8; 4];
-            to_parent.read.read_full(&mut echo).expect("STOP echo");
-            assert_eq!(echo, STOP);
-            assert!(waitpid(pid).expect("waitpid").success());
-            m.latency(TimeUnit::Micros)
-        }
-    }
+    });
+    pair.shutdown().expect("clean shutdown");
+    m.latency(TimeUnit::Micros)
 }
 
 #[cfg(test)]
@@ -100,6 +165,17 @@ mod tests {
                 assert!(waitpid(pid).unwrap().success());
             }
         }
+    }
+
+    #[test]
+    fn echo_pair_is_reusable_and_reaps_its_child() {
+        let mut pair = PipeEchoPair::start().unwrap();
+        for _ in 0..25 {
+            pair.round_trip();
+        }
+        pair.shutdown().expect("clean shutdown");
+        // Second shutdown is a no-op, and drop after shutdown is safe.
+        pair.shutdown().expect("idempotent");
     }
 
     #[test]

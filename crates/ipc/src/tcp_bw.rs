@@ -50,6 +50,71 @@ pub fn run_once(total: usize, chunk: usize, sockbuf: usize) -> Bandwidth {
     Bandwidth::from_bytes_ns(payload as u64, elapsed)
 }
 
+/// A discard server thread on the far end of a loopback TCP connection:
+/// the parent writes chunks, the server reads and drops them until the
+/// client closes. The TCP-bandwidth load generator for the scaling
+/// harness — each sink is its own connection, so P sinks drive P
+/// independent loopback streams.
+pub struct TcpSink {
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+    server: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpSink {
+    /// Starts the discard server and connects; each
+    /// [`TcpSink::write_chunk`] moves `chunk` bytes.
+    pub fn start(chunk: usize, sockbuf: usize) -> Result<Self, String> {
+        assert!(chunk > 0, "chunk must be nonzero");
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+        set_socket_buffers(&listener, sockbuf).map_err(|e| format!("sockbuf: {e:?}"))?;
+        let addr = listener.local_addr().map_err(|e| format!("addr: {e}"))?;
+        let server = std::thread::spawn(move || {
+            let Ok((mut conn, _)) = listener.accept() else {
+                return;
+            };
+            let mut drain = vec![0u8; 64 << 10];
+            while matches!(conn.read(&mut drain), Ok(n) if n > 0) {}
+        });
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        set_socket_buffers(&stream, sockbuf).map_err(|e| format!("sockbuf: {e:?}"))?;
+        Ok(Self {
+            stream: Some(stream),
+            buf: vec![0x5Au8; chunk],
+            server: Some(server),
+        })
+    }
+
+    /// Bytes one [`TcpSink::write_chunk`] moves.
+    #[must_use]
+    pub fn chunk_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Streams one chunk into the connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the discard server died (connection reset).
+    pub fn write_chunk(&mut self) {
+        self.stream
+            .as_mut()
+            .expect("sink not shut down")
+            .write_all(&self.buf)
+            .expect("tcp write");
+    }
+}
+
+impl Drop for TcpSink {
+    fn drop(&mut self) {
+        // Closing the client socket EOFs the server thread's read loop.
+        drop(self.stream.take());
+        if let Some(h) = self.server.take() {
+            let _ = h.join();
+        }
+    }
+}
+
 /// Repeats [`run_once`] (after one warm run) and summarizes by `policy`.
 pub fn measure_tcp_bw(
     total: usize,
@@ -101,5 +166,15 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_chunk_rejected() {
         run_once(1 << 20, 0, TCP_SOCKBUF);
+    }
+
+    #[test]
+    fn tcp_sink_drains_chunks_and_joins_on_drop() {
+        let mut sink = TcpSink::start(64 << 10, TCP_SOCKBUF).unwrap();
+        assert_eq!(sink.chunk_bytes(), 64 << 10);
+        for _ in 0..32 {
+            sink.write_chunk();
+        }
+        drop(sink); // Must not hang: close EOFs the server thread.
     }
 }

@@ -84,8 +84,22 @@ impl LinkModel {
 
     /// Steady-state payload throughput of the medium alone, MB/s
     /// (2^20 bytes), at full-MTU packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate model whose full-MTU packet takes no
+    /// positive finite time (zero/negative `per_packet_us` combined with
+    /// an infinite bit rate, or NaN parameters) — a throughput computed
+    /// from such a model would silently be `inf`/NaN and poison every
+    /// table built from it.
     pub fn throughput_mb_s(&self) -> f64 {
-        let per_packet_s = self.wire_time_us(self.mtu) / 1e6 - 0.0; // Full-MTU packets back to back.
+        // Full-MTU packets back to back.
+        let per_packet_s = self.wire_time_us(self.mtu) / 1e6;
+        assert!(
+            per_packet_s.is_finite() && per_packet_s > 0.0,
+            "degenerate link model {}: full-MTU packet time {per_packet_s}s",
+            self.name
+        );
         (self.mtu as f64 / (1 << 20) as f64) / per_packet_s
     }
 }
@@ -157,6 +171,22 @@ mod tests {
     #[should_panic(expected = "zero-byte")]
     fn zero_bytes_rejected() {
         LinkModel::hippi().wire_time_us(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate link model")]
+    fn degenerate_model_rejected_not_divided() {
+        // An infinite bit rate with no fixed packet cost yields a
+        // zero-time packet; throughput must refuse, not return `inf`.
+        let broken = LinkModel {
+            name: "broken",
+            bandwidth_mbit: f64::INFINITY,
+            mtu: 1500,
+            per_packet_us: 0.0,
+            header_bytes: 0,
+            checksum_offload: false,
+        };
+        broken.throughput_mb_s();
     }
 }
 

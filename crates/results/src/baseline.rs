@@ -170,6 +170,7 @@ mod tests {
 
     fn report(bench: &str) -> RunReport {
         RunReport {
+            scaling: Vec::new(),
             records: vec![BenchRecord {
                 name: bench.into(),
                 produces: "Table 7".into(),

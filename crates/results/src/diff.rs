@@ -85,8 +85,9 @@ impl Deserialize for DiffClass {
 /// Direction of merit implied by a unit name.
 fn merit(unit: &str) -> Option<bool> {
     // Some(true): higher is better; Some(false): lower is better.
+    // `ops/s` is the scale runner's rate unit for round-trip benchmarks.
     match unit {
-        "MB/s" => Some(true),
+        "MB/s" | "ops/s" => Some(true),
         "us" | "ms" | "ns" => Some(false),
         _ => None,
     }
@@ -397,7 +398,10 @@ mod tests {
     }
 
     fn report(records: Vec<BenchRecord>) -> RunReport {
-        RunReport { records }
+        RunReport {
+            records,
+            scaling: Vec::new(),
+        }
     }
 
     #[test]

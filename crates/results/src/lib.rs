@@ -33,6 +33,7 @@ pub mod diff;
 pub mod patch;
 pub mod plot;
 pub mod runreport;
+pub mod scaling;
 pub mod schema;
 pub mod summary;
 pub mod table;
@@ -44,6 +45,7 @@ pub use diff::{DiffClass, DiffRow, ReportDiff, SignificanceRule};
 pub use patch::{SuiteField, TablePatch};
 pub use plot::{AsciiPlot, Series};
 pub use runreport::{BenchRecord, BenchStatus, MetricValue, Provenance, ResourceUsage, RunReport};
+pub use scaling::{GeneratorSample, ScalePoint, ScalingCurve};
 pub use schema::*;
 pub use summary::{db_summary, host_summary};
 pub use table::{Align, SortOrder, Table};

@@ -138,7 +138,7 @@ pub struct Provenance {
 
 /// Kernel resource accounting across a benchmark's final attempt
 /// (`getrusage`, thread scope).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct ResourceUsage {
     /// User CPU time spent, microseconds.
     pub utime_us: u64,
@@ -155,6 +155,35 @@ pub struct ResourceUsage {
     /// Involuntary context switches — scheduler preemptions during the
     /// measurement, the disturbance §3.4 could only infer.
     pub invol_ctx_switches: u64,
+    /// True when other worker threads were running benchmarks while this
+    /// attempt executed: the counts are this thread's own
+    /// (`RUSAGE_THREAD`), but preemptions and faults reflect a contended
+    /// machine, so consumers (the differ included) must not treat the
+    /// delta as an isolated-run measurement.
+    pub contended: bool,
+}
+
+// Hand-written so the field added after PR 3 (`contended`) defaults to
+// false when absent: archived baselines from older binaries keep loading.
+impl Deserialize for ResourceUsage {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let obj = value.expect_object("ResourceUsage")?;
+        fn field<T: Deserialize>(obj: &Value, name: &str) -> Result<T, DeError> {
+            T::from_value(obj.field(name)).map_err(|e| e.in_field(name))
+        }
+        Ok(ResourceUsage {
+            utime_us: field(obj, "utime_us")?,
+            stime_us: field(obj, "stime_us")?,
+            maxrss_kb: field(obj, "maxrss_kb")?,
+            minor_faults: field(obj, "minor_faults")?,
+            major_faults: field(obj, "major_faults")?,
+            vol_ctx_switches: field(obj, "vol_ctx_switches")?,
+            invol_ctx_switches: field(obj, "invol_ctx_switches")?,
+            contended: Option::<bool>::from_value(obj.field("contended"))
+                .map_err(|e| e.in_field("contended"))?
+                .unwrap_or(false),
+        })
+    }
 }
 
 /// One headline number a benchmark produced, archived so run-over-run
@@ -199,10 +228,34 @@ pub struct BenchRecord {
 }
 
 /// Everything the engine can say about a suite run, beyond the results.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
     /// One record per registry entry, in registry order.
     pub records: Vec<BenchRecord>,
+    /// Load-scaling curves measured by `lmbench scale` (empty for plain
+    /// suite runs and for reports archived before the scale subsystem).
+    pub scaling: Vec<crate::scaling::ScalingCurve>,
+}
+
+// Hand-written so `scaling` stays optional on the wire: reports archived
+// before the scale subsystem carry only `records`.
+impl Serialize for RunReport {
+    fn to_value(&self) -> Value {
+        let mut obj = Value::object();
+        obj.set("records", self.records.to_value());
+        obj.set("scaling", self.scaling.to_value());
+        obj
+    }
+}
+
+impl Deserialize for RunReport {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let obj = value.expect_object("RunReport")?;
+        Ok(RunReport {
+            records: Vec::from_value(obj.field("records")).map_err(|e| e.in_field("records"))?,
+            scaling: crate::scaling::scaling_from_value(obj.field("scaling"))?,
+        })
+    }
 }
 
 impl RunReport {
@@ -334,6 +387,7 @@ mod tests {
                 record("lat_ctx", BenchStatus::TimedOut { limit_ms: 100 }),
                 record("lat_disk", BenchStatus::Skipped("no raw device".into())),
             ],
+            scaling: Vec::new(),
         };
         assert_eq!(report.count("ok"), 1);
         assert_eq!(report.count("failed"), 1);
@@ -351,6 +405,7 @@ mod tests {
                 record("lat_syscall", BenchStatus::Ok),
                 record("lat_ctx", BenchStatus::Skipped("no loopback".into())),
             ],
+            scaling: Vec::new(),
         };
         let shown = format!("{report}");
         assert_eq!(shown, report.render());
@@ -366,6 +421,7 @@ mod tests {
                 record("lat_syscall", BenchStatus::Ok),
                 record("bw_mem", BenchStatus::TimedOut { limit_ms: 77 }),
             ],
+            scaling: Vec::new(),
         };
         let back = RunReport::from_json(&report.to_json()).expect("parse own JSON");
         assert_eq!(back, report);
@@ -377,6 +433,7 @@ mod tests {
         rec.span = Some(41);
         let report = RunReport {
             records: vec![rec.clone(), record("bw_mem", BenchStatus::Ok)],
+            scaling: Vec::new(),
         };
         let back = RunReport::from_value(&report.to_value()).expect("roundtrip");
         assert_eq!(back.records[0].span, Some(41));
@@ -406,9 +463,29 @@ mod tests {
         });
         let report = RunReport {
             records: vec![rec.clone()],
+            scaling: Vec::new(),
         };
         let back = RunReport::from_value(&report.to_value()).expect("roundtrip");
         assert_eq!(back.records[0], rec);
+    }
+
+    #[test]
+    fn rusage_without_contended_field_reads_as_uncontended() {
+        // Reports archived before the flag existed must keep loading.
+        let mut usage = ResourceUsage {
+            utime_us: 10,
+            stime_us: 5,
+            maxrss_kb: 100,
+            minor_faults: 1,
+            major_faults: 0,
+            vol_ctx_switches: 2,
+            invol_ctx_switches: 1,
+            contended: true,
+        };
+        let mut value = usage.to_value();
+        value.set("contended", Value::Null);
+        usage.contended = false;
+        assert_eq!(ResourceUsage::from_value(&value).expect("tolerant"), usage);
     }
 
     #[test]
@@ -422,6 +499,7 @@ mod tests {
             major_faults: 1,
             vol_ctx_switches: 12,
             invol_ctx_switches: 3,
+            contended: true,
         });
         rec.metrics = vec![
             MetricValue {
@@ -437,6 +515,7 @@ mod tests {
         ];
         let report = RunReport {
             records: vec![rec.clone()],
+            scaling: Vec::new(),
         };
         let json = report.to_json();
         assert!(json.contains("invol_ctx_switches"), "{json}");

@@ -34,12 +34,20 @@ impl Fd {
 
     /// Opens `path` with the given `open(2)` flags and mode 0o644.
     pub fn open(path: &Path, flags: i32) -> Result<Self> {
-        note(SyscallClass::Open);
         let cpath = CString::new(path.as_os_str().as_bytes()).map_err(|_| Errno(libc::EINVAL))?;
-        // SAFETY: `cpath` is a valid NUL-terminated string; flags/mode are
+        Self::open_cstr(&cpath, flags)
+    }
+
+    /// [`Fd::open`] from a pre-built C string. Unlike `open`, this
+    /// allocates nothing, so it is safe between `fork` and `_exit` in a
+    /// multithreaded process — build the `CString` before forking and
+    /// call this in the child.
+    pub fn open_cstr(path: &std::ffi::CStr, flags: i32) -> Result<Self> {
+        note(SyscallClass::Open);
+        // SAFETY: `path` is a valid NUL-terminated string; flags/mode are
         // plain integers; open returns -1 on failure which `check_int`
         // converts.
-        let fd = crate::error::check_int(unsafe { libc::open(cpath.as_ptr(), flags, 0o644) })?;
+        let fd = crate::error::check_int(unsafe { libc::open(path.as_ptr(), flags, 0o644) })?;
         Ok(Self(fd))
     }
 

@@ -137,6 +137,42 @@ pub enum EventKind {
         vol_ctx_switches: u64,
         /// Involuntary context switches (scheduler preemptions).
         invol_ctx_switches: u64,
+        /// True when other worker threads ran concurrently with this
+        /// attempt, so the delta is not an isolated-run cost.
+        contended: bool,
+    },
+    /// A load-scaling sweep began for one benchmark.
+    ScaleStart {
+        /// Benchmark being swept.
+        bench: String,
+        /// Largest generator count the sweep will reach.
+        max_p: u32,
+    },
+    /// One point of a scaling sweep finished: P generators ran together.
+    ScalePoint {
+        /// Concurrent generators at this point.
+        p: u32,
+        /// Aggregate throughput across all generators.
+        throughput: f64,
+        /// Throughput unit (`MB/s`, `ops/s`).
+        unit: String,
+        /// Median per-op latency across pooled samples, µs.
+        p50_us: f64,
+        /// 99th-percentile per-op latency across pooled samples, µs.
+        p99_us: f64,
+        /// Pooled-sample quality grade.
+        quality: String,
+    },
+    /// One generator of a scaling point finished its timed run.
+    Generator {
+        /// The point's generator count.
+        p: u32,
+        /// This generator's index, `0..p`.
+        index: u32,
+        /// Operations this generator completed in timed repetitions.
+        ops: u64,
+        /// Wall-clock spent in the timed section, milliseconds.
+        elapsed_ms: f64,
     },
     /// A benchmark's final outcome, mirroring its `BenchRecord`.
     Outcome {
@@ -181,6 +217,9 @@ impl EventKind {
             EventKind::Metric { .. } => "metric",
             EventKind::Syscalls { .. } => "syscalls",
             EventKind::Rusage { .. } => "rusage",
+            EventKind::ScaleStart { .. } => "scale_start",
+            EventKind::ScalePoint { .. } => "scale_point",
+            EventKind::Generator { .. } => "generator",
             EventKind::Outcome { .. } => "outcome",
             EventKind::SuiteEnd { .. } => "suite_end",
         }
@@ -250,6 +289,25 @@ impl EventKind {
                 major_faults: 1,
                 vol_ctx_switches: 7,
                 invol_ctx_switches: 2,
+                contended: true,
+            },
+            EventKind::ScaleStart {
+                bench: "bw_mem".into(),
+                max_p: 4,
+            },
+            EventKind::ScalePoint {
+                p: 2,
+                throughput: 5120.5,
+                unit: "MB/s".into(),
+                p50_us: 310.25,
+                p99_us: 402.75,
+                quality: "good".into(),
+            },
+            EventKind::Generator {
+                p: 2,
+                index: 1,
+                ops: 24,
+                elapsed_ms: 18.5,
             },
             EventKind::Outcome {
                 status: "ok".into(),
@@ -356,6 +414,7 @@ impl Serialize for TraceEvent {
                 major_faults,
                 vol_ctx_switches,
                 invol_ctx_switches,
+                contended,
             } => {
                 obj.set("utime_us", utime_us.to_value());
                 obj.set("stime_us", stime_us.to_value());
@@ -364,6 +423,37 @@ impl Serialize for TraceEvent {
                 obj.set("major_faults", major_faults.to_value());
                 obj.set("vol_ctx_switches", vol_ctx_switches.to_value());
                 obj.set("invol_ctx_switches", invol_ctx_switches.to_value());
+                obj.set("contended", contended.to_value());
+            }
+            EventKind::ScaleStart { bench, max_p } => {
+                obj.set("bench", bench.to_value());
+                obj.set("max_p", max_p.to_value());
+            }
+            EventKind::ScalePoint {
+                p,
+                throughput,
+                unit,
+                p50_us,
+                p99_us,
+                quality,
+            } => {
+                obj.set("p", p.to_value());
+                obj.set("throughput", throughput.to_value());
+                obj.set("unit", unit.to_value());
+                obj.set("p50_us", p50_us.to_value());
+                obj.set("p99_us", p99_us.to_value());
+                obj.set("quality", quality.to_value());
+            }
+            EventKind::Generator {
+                p,
+                index,
+                ops,
+                elapsed_ms,
+            } => {
+                obj.set("p", p.to_value());
+                obj.set("index", index.to_value());
+                obj.set("ops", ops.to_value());
+                obj.set("elapsed_ms", elapsed_ms.to_value());
             }
             EventKind::Outcome {
                 status,
@@ -462,6 +552,27 @@ impl Deserialize for TraceEvent {
                 major_faults: field(obj, "major_faults")?,
                 vol_ctx_switches: field(obj, "vol_ctx_switches")?,
                 invol_ctx_switches: field(obj, "invol_ctx_switches")?,
+                // Absent in pre-scale traces; those attempts ran the old
+                // engine, which never flagged contention.
+                contended: field::<Option<bool>>(obj, "contended")?.unwrap_or(false),
+            },
+            "scale_start" => EventKind::ScaleStart {
+                bench: field(obj, "bench")?,
+                max_p: field(obj, "max_p")?,
+            },
+            "scale_point" => EventKind::ScalePoint {
+                p: field(obj, "p")?,
+                throughput: field(obj, "throughput")?,
+                unit: field(obj, "unit")?,
+                p50_us: field(obj, "p50_us")?,
+                p99_us: field(obj, "p99_us")?,
+                quality: field(obj, "quality")?,
+            },
+            "generator" => EventKind::Generator {
+                p: field(obj, "p")?,
+                index: field(obj, "index")?,
+                ops: field(obj, "ops")?,
+                elapsed_ms: field(obj, "elapsed_ms")?,
             },
             "outcome" => EventKind::Outcome {
                 status: field(obj, "status")?,

@@ -9,6 +9,8 @@
 //! lmbench run lat_syscall            # one benchmark, quick settings
 //! lmbench suite [--paper] [--only a,b]  # engine run -> JSON on stdout,
 //!                                       # run report on stderr
+//! lmbench scale bw_mem [--max-p 8]   # load-scaling sweep: P = 1, 2, 4, ...
+//!                                    # generators, curve table (or --json)
 //! lmbench report [--paper]           # suite + all 17 tables + provenance
 //! lmbench trace-validate trace.jsonl # parse a trace artifact, exit 0 if valid
 //! lmbench diff base.json new.json    # noise-aware regression table, exit 1
@@ -34,8 +36,8 @@
 //! unreadable input, 4 unknown benchmark.
 
 use lmbench::core::{
-    detect_host, report, Engine, EngineOutcome, FaultPlan, Registry, SuiteConfig, SuiteError,
-    Verbosity,
+    detect_host, find_scale_spec, report, scale_registry, Engine, EngineOutcome, FaultPlan,
+    Registry, ScaleFaultPlan, ScaleRunner, SuiteConfig, SuiteError, Verbosity,
 };
 use lmbench::results::{fingerprint, Baseline, BaselineStore, ReportDiff, ResultsDb, RunReport};
 use lmbench::timing::Harness;
@@ -46,10 +48,12 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lmbench <list|run NAME|suite|report|trace-validate PATH|diff BASE NEW>\n\
+        "usage: lmbench <list|run NAME|suite|scale BENCH|report|trace-validate PATH|diff BASE NEW>\n\
          suite/report flags: [--paper] [--only A,B] [--trace PATH] [--report-json PATH]\n\
          \x20                [--progress] [--quiet] [--verbose]\n\
          suite only:         [--baseline save|check]\n\
+         scale:              BENCH (bw_mem|bw_pipe|bw_tcp|lat_pipe|lat_unix|lat_tcp) or `all`,\n\
+         \x20                [--max-p N] [--json] plus the shared suite/report flags\n\
          diff flags:         [--json]"
     );
     ExitCode::from(2)
@@ -146,12 +150,12 @@ impl Observer {
 
     /// Flushes and detaches the sinks, then writes the `--report-json`
     /// artifact.
-    fn finish(self, outcome: &EngineOutcome) {
+    fn finish(self, report: &RunReport) {
         for handle in [self.progress, self.jsonl].into_iter().flatten() {
             lmbench::trace::uninstall(handle);
         }
         if let Some(path) = &self.report_json {
-            if let Err(e) = std::fs::write(path, outcome.report.to_json()) {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
                 eprintln!("lmbench: cannot write run report {path}: {e}");
             }
         }
@@ -353,7 +357,7 @@ fn main() -> ExitCode {
             if observer.verbosity > Verbosity::Quiet {
                 eprint!("{}", outcome.report.render());
             }
-            observer.finish(&outcome);
+            observer.finish(&outcome.report);
             let name = outcome
                 .run
                 .system
@@ -367,6 +371,65 @@ fn main() -> ExitCode {
                 Some(mode) => baseline_action(mode, &outcome),
                 None => ExitCode::SUCCESS,
             }
+        }
+        "scale" => {
+            let Some(target) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!("lmbench scale: missing benchmark name (try `lmbench scale all`)");
+                return usage();
+            };
+            let specs = if target == "all" {
+                scale_registry()
+            } else {
+                match find_scale_spec(target) {
+                    Some(spec) => vec![spec],
+                    None => {
+                        return fail(&SuiteError::UnknownBenchmark {
+                            name: target.clone(),
+                        })
+                    }
+                }
+            };
+            let config = config_from_args(&args);
+            let max_p = flag_value(&args, "--max-p")
+                .and_then(|v| v.parse::<u32>().ok())
+                .unwrap_or(4);
+            let runner = match ScaleRunner::new(config) {
+                Ok(r) => r,
+                Err(err) => return fail(&err),
+            }
+            .with_max_p(max_p)
+            .with_faults(ScaleFaultPlan::from_env());
+            let observer = match Observer::install(&args) {
+                Ok(o) => o,
+                Err(msg) => {
+                    eprintln!("lmbench: {msg}");
+                    return ExitCode::from(3);
+                }
+            };
+            let mut report = RunReport::default();
+            for spec in &specs {
+                let (curve, record) = runner.run(spec);
+                report.records.push(record);
+                // Skipped sweeps produce an empty curve; keep only
+                // measured ones so consumers need not re-filter.
+                if !curve.points.is_empty() {
+                    report.scaling.push(curve);
+                }
+            }
+            // Statuses to stderr (like `suite`): a failed sweep costs its
+            // own rows, not the run.
+            if observer.verbosity > Verbosity::Quiet {
+                eprint!("{}", report.render());
+            }
+            observer.finish(&report);
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", report.to_json());
+            } else {
+                for curve in &report.scaling {
+                    print!("{}", curve.render());
+                }
+            }
+            ExitCode::SUCCESS
         }
         "report" => {
             let config = config_from_args(&args);
@@ -387,7 +450,7 @@ fn main() -> ExitCode {
                 eprintln!("running full suite...");
             }
             let outcome = engine.with_faults(FaultPlan::from_env()).execute();
-            observer.finish(&outcome);
+            observer.finish(&outcome.report);
             println!("{}", report::full_report(Some(&outcome.run)));
             println!("{}", report::provenance_section(&outcome.report));
             println!("=== This host vs the paper's 1995 fleet ===");

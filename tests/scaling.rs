@@ -1,0 +1,266 @@
+//! Load-scaling integration drills: the `scale` subsystem end to end.
+//!
+//! Covers the acceptance contract: curves with at least three P-points
+//! for a memory, a pipe, a Unix-socket and a TCP benchmark, each point
+//! quality-graded; P = 1 agreeing with the plain benchmark's number
+//! within a generous noise band; aggregate-throughput sanity under load;
+//! fault isolation (a panicking generator fails only its point); JSON
+//! round-tripping through [`RunReport`]; trace visibility; and the
+//! noise-aware differ gating on latency-under-load regressions.
+
+use lmbench::core::{find_scale_spec, LoadSpec, ScaleFaultPlan, ScaleRunner, SuiteConfig};
+use lmbench::results::{
+    BenchRecord, BenchStatus, MetricValue, Provenance, ReportDiff, RunReport, ScalingCurve,
+};
+use lmbench::timing::{Harness, Quality};
+use lmbench::trace::{EventKind, MemorySink};
+use std::sync::Mutex;
+
+/// The global trace sink is process-wide; tests that install one must not
+/// overlap.
+static TRACE_GATE: Mutex<()> = Mutex::new(());
+
+fn runner(max_p: u32) -> ScaleRunner {
+    ScaleRunner::new(SuiteConfig::quick())
+        .expect("quick config is valid")
+        .with_max_p(max_p)
+}
+
+fn sweep(name: &str, max_p: u32) -> (ScalingCurve, BenchRecord) {
+    let spec = find_scale_spec(name).expect(name);
+    runner(max_p).run(&spec)
+}
+
+#[test]
+fn acceptance_four_transports_three_points_each_all_graded() {
+    // One mem, one pipe, one Unix-socket and one TCP benchmark, ≥ 3
+    // P-points each, every point quality-graded.
+    for name in ["bw_mem", "lat_pipe", "lat_unix", "lat_tcp"] {
+        let (curve, record) = sweep(name, 4);
+        assert_eq!(record.status, BenchStatus::Ok, "{name}: {record:?}");
+        assert!(
+            curve.points.len() >= 3,
+            "{name}: {} points",
+            curve.points.len()
+        );
+        for pt in &curve.points {
+            assert!(pt.is_ok(), "{name} P={}: {:?}", pt.p, pt.error);
+            assert!(pt.throughput > 0.0, "{name} P={}", pt.p);
+            assert!(
+                pt.p50_us > 0.0 && pt.p99_us >= pt.p50_us,
+                "{name} P={}",
+                pt.p
+            );
+            assert!(
+                Quality::from_label(&pt.quality).is_some(),
+                "{name} P={}: ungraded `{}`",
+                pt.p,
+                pt.quality
+            );
+            assert_eq!(pt.generators.len(), pt.p as usize, "{name} P={}", pt.p);
+        }
+        // The P=1 point is the efficiency reference.
+        assert!((curve.points[0].efficiency - 1.0).abs() < 1e-9, "{name}");
+    }
+}
+
+#[test]
+fn p1_point_agrees_with_the_plain_benchmark() {
+    // A single generator is the plain benchmark under the same harness;
+    // the two must land within a generous noise band (scheduler noise and
+    // separate buffer allocations make a tight band flaky by design).
+    let config = SuiteConfig::quick();
+    let (curve, _) = sweep("bw_mem", 1);
+    let p1 = curve.baseline().expect("P=1 measured").throughput;
+    let plain =
+        lmbench::mem::bw::measure_bcopy_unrolled(&Harness::new(config.options), config.copy_bytes)
+            .mb_per_s;
+    assert!(p1 > 0.0 && plain > 0.0);
+    let ratio = p1 / plain;
+    assert!(
+        (1.0 / 3.0..3.0).contains(&ratio),
+        "P=1 {p1} MB/s vs plain {plain} MB/s (ratio {ratio})"
+    );
+}
+
+#[test]
+fn aggregate_memory_throughput_does_not_collapse_under_load() {
+    // More copiers must not crater aggregate throughput: every measured
+    // point stays above half the P=1 rate (real scaling keeps it at or
+    // above 1x; 0.5x allows a saturated memory bus plus noise).
+    let (curve, _) = sweep("bw_mem", 4);
+    let base = curve.baseline().expect("P=1 measured").throughput;
+    for pt in curve.ok_points() {
+        assert!(
+            pt.throughput >= 0.5 * base,
+            "P={} aggregate {} MB/s collapsed below half of P=1 ({} MB/s)",
+            pt.p,
+            pt.throughput,
+            base
+        );
+    }
+}
+
+#[test]
+fn panicking_generator_fails_only_its_point() {
+    let spec = find_scale_spec("bw_mem").unwrap();
+    let (curve, record) = runner(4)
+        .with_faults(ScaleFaultPlan::panic_at("bw_mem", 2))
+        .run(&spec);
+    let failed: Vec<u32> = curve
+        .points
+        .iter()
+        .filter(|pt| !pt.is_ok())
+        .map(|pt| pt.p)
+        .collect();
+    assert_eq!(failed, vec![2], "exactly the sabotaged point fails");
+    let p2 = curve.points.iter().find(|pt| pt.p == 2).unwrap();
+    assert!(
+        p2.error.as_deref().unwrap().contains("injected fault"),
+        "{:?}",
+        p2.error
+    );
+    // The sweep as a whole still produced usable points.
+    assert_eq!(record.status, BenchStatus::Ok);
+    assert!(curve.baseline().is_some(), "P=1 survived");
+    assert!(curve.points.iter().any(|pt| pt.p == 4 && pt.is_ok()));
+}
+
+#[test]
+fn setup_failure_is_isolated_the_same_way() {
+    // A spec whose generators can never be built: every point fails, the
+    // record says so, and nothing deadlocks on the start barrier.
+    let spec = LoadSpec {
+        name: "no_dev",
+        produces: "nothing",
+        unit: "ops/s",
+        requires: &[],
+        bytes_per_op: |_| 0,
+        ops_per_rep: |_| 1,
+        make: |_| Err("device withheld".into()),
+    };
+    let (curve, record) = runner(2).run(&spec);
+    assert!(curve.points.iter().all(|pt| !pt.is_ok()));
+    assert!(matches!(record.status, BenchStatus::Failed(_)));
+}
+
+#[test]
+fn curves_roundtrip_through_runreport_json() {
+    let (curve, record) = sweep("lat_pipe", 2);
+    let report = RunReport {
+        records: vec![record],
+        scaling: vec![curve],
+    };
+    let back = RunReport::from_json(&report.to_json()).expect("roundtrip");
+    assert_eq!(back, report);
+    assert_eq!(back.scaling[0].bench, "lat_pipe");
+    assert_eq!(back.scaling[0].unit, "ops/s");
+    // Pre-scale artifacts (no `scaling` field) still load.
+    let legacy = r#"{"records": []}"#;
+    let old = RunReport::from_json(legacy).expect("legacy report");
+    assert!(old.scaling.is_empty());
+}
+
+#[test]
+fn sweep_narrates_itself_into_the_trace() {
+    let _gate = TRACE_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let sink = MemorySink::shared();
+    let handle = lmbench::trace::install(Box::new(sink.clone()));
+    let (curve, _) = sweep("bw_mem", 2);
+    lmbench::trace::uninstall(handle);
+
+    let events = sink.events();
+    let starts: Vec<_> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::ScaleStart { bench, max_p } => Some((bench.clone(), *max_p)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(starts, vec![("bw_mem".to_string(), 2)]);
+
+    let points: Vec<u32> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::ScalePoint { p, .. } => Some(*p),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(points, vec![1, 2], "one scale_point event per P");
+
+    // Every generator of every point reported in.
+    let generators = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Generator { .. }))
+        .count();
+    let expected: usize = curve.points.iter().map(|pt| pt.p as usize).sum();
+    assert_eq!(generators, expected);
+
+    // The sweep's events sit under a scale span.
+    assert!(events.iter().any(|e| matches!(
+        &e.kind,
+        EventKind::SpanStart { name, .. } if name == "scale:bw_mem"
+    )));
+}
+
+/// A hand-built record with trustworthy provenance, so the differ's
+/// quality gate does not mask the comparison under test.
+fn scaled_record(p50_us: f64) -> BenchRecord {
+    BenchRecord {
+        name: "scale_lat_pipe".into(),
+        produces: "pipe round-trip rate under P process pairs".into(),
+        status: BenchStatus::Ok,
+        attempts: 1,
+        wall_ms: 10.0,
+        exclusive: true,
+        provenance: Some(Provenance {
+            repetitions: 11,
+            warmup_runs: 2,
+            calibrated_iterations: 100,
+            clock_resolution_ns: 30.0,
+            sample_min_ns: 9_000.0,
+            sample_median_ns: 10_000.0,
+            sample_p90_ns: 10_500.0,
+            sample_p99_ns: 11_000.0,
+            sample_max_ns: 11_000.0,
+            mad_ns: 200.0,
+            min_median_gap: 0.1,
+            cv: 0.05,
+            iqr_outliers: 0,
+            quality: "good".into(),
+            measure_calls: 4,
+        }),
+        rusage: None,
+        metrics: vec![
+            MetricValue {
+                label: "p2 tput".into(),
+                value: 150_000.0,
+                unit: "ops/s".into(),
+            },
+            MetricValue {
+                label: "p2 p50".into(),
+                value: p50_us,
+                unit: "us".into(),
+            },
+        ],
+        span: None,
+    }
+}
+
+#[test]
+fn differ_gates_on_latency_under_load_regressions() {
+    let base = RunReport {
+        records: vec![scaled_record(12.0)],
+        scaling: Vec::new(),
+    };
+    // Same throughput, 10x the p50 under load: a latency-under-load
+    // regression the plain headline number would never show.
+    let worse = RunReport {
+        records: vec![scaled_record(120.0)],
+        scaling: Vec::new(),
+    };
+    let diff = ReportDiff::between(&base, &worse);
+    assert!(diff.has_regressions(), "{}", diff.render());
+    let unchanged = ReportDiff::between(&base, &base);
+    assert!(!unchanged.has_regressions(), "{}", unchanged.render());
+}
