@@ -535,14 +535,23 @@ fn emit_quality_metrics(provenance: Option<&Provenance>) {
     });
 }
 
-/// Summarizes recorded events: calibration and samples of the *noisiest*
-/// measurement (ties broken toward the last), plus the total measurement
-/// count — the dispersion a reader should worry about, not the prettiest.
+/// Summarizes recorded events: calibration and samples of the *worst*
+/// measurement (gravest quality grade, then highest CV, ties broken toward
+/// the last), plus the total measurement count — the dispersion a reader
+/// should worry about, not the prettiest.
+///
+/// Quality ranks before CV because an overhead-clamped measurement is a
+/// set of identical zero floors: its CV is 0.0, and sorting by CV alone
+/// would bury the suite's most broken measurement under ordinary noise.
 pub(crate) fn provenance_from(events: &[MeasureEvent]) -> Option<Provenance> {
     let worst = events
         .iter()
         .enumerate()
-        .max_by(|(ai, a), (bi, b)| a.cv().total_cmp(&b.cv()).then(ai.cmp(bi)))
+        .max_by(|(ai, a), (bi, b)| {
+            (a.quality().severity(), a.cv(), ai)
+                .partial_cmp(&(b.quality().severity(), b.cv(), bi))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .map(|(_, e)| e)?;
     let samples = worst.samples();
     Some(Provenance {
@@ -559,8 +568,9 @@ pub(crate) fn provenance_from(events: &[MeasureEvent]) -> Option<Provenance> {
         min_median_gap: worst.min_median_gap(),
         cv: worst.cv(),
         iqr_outliers: samples.outliers() as u32,
-        quality: Quality::from_samples(&samples).label().to_string(),
+        quality: worst.quality().label().to_string(),
         measure_calls: events.len() as u32,
+        clamped_samples: worst.clamped_samples,
     })
 }
 
@@ -613,6 +623,31 @@ mod tests {
         assert!(usage.maxrss_kb > 0, "maxrss missing: {usage:?}");
         assert!(!rec.metrics.is_empty(), "metrics archived on the record");
         assert!(rec.metrics.iter().all(|m| !m.unit.is_empty()));
+    }
+
+    #[test]
+    fn provenance_prefers_the_clamped_measurement_over_the_noisy_one() {
+        let event = |per_op_ns: &[f64], iterations: u64, clamped: u32| MeasureEvent {
+            iterations,
+            warmup_runs: 1,
+            clock_resolution_ns: 30.0,
+            per_op_ns: per_op_ns.to_vec(),
+            clamped_samples: clamped,
+        };
+        // A fully clamped measurement has CV 0.0 — sorting by CV alone
+        // would bury it under ordinary noise. Quality severity must win.
+        let noisy = event(&[100.0, 150.0, 90.0, 160.0], 100, 0);
+        let clamped = event(&[0.0, 0.0, 0.0], 7, 3);
+        let p = provenance_from(&[noisy.clone(), clamped]).expect("provenance");
+        assert_eq!(p.quality, "suspect");
+        assert_eq!(p.clamped_samples, 3);
+        assert_eq!(p.calibrated_iterations, 7, "clamped event selected");
+        // Without clamps anywhere, the highest-CV event is still the pick.
+        let quiet = event(&[100.0, 101.0, 99.0, 100.5], 200, 0);
+        let p = provenance_from(&[quiet, noisy]).expect("provenance");
+        assert_eq!(p.calibrated_iterations, 100, "noisiest event selected");
+        assert_eq!(p.clamped_samples, 0);
+        assert!(provenance_from(&[]).is_none());
     }
 
     #[test]

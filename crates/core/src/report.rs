@@ -720,6 +720,7 @@ mod tests {
                 iqr_outliers: 0,
                 quality: "good".into(),
                 measure_calls: 1,
+                clamped_samples: 0,
             }),
             rusage: None,
             metrics: Vec::new(),

@@ -372,6 +372,7 @@ mod tests {
             iqr_outliers: 0,
             quality: quality.into(),
             measure_calls: 1,
+            clamped_samples: 0,
         }
     }
 

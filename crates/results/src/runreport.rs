@@ -99,7 +99,7 @@ impl Deserialize for BenchStatus {
 /// How a benchmark's headline numbers were obtained: the calibration
 /// decisions and sample dispersion of its *noisiest* harness measurement,
 /// plus how many measurements it made in total.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Provenance {
     /// Timed repetitions per measurement.
     pub repetitions: u32,
@@ -129,11 +129,46 @@ pub struct Provenance {
     /// Repetitions outside the Tukey fences (`1.5·IQR` beyond the
     /// quartiles).
     pub iqr_outliers: u32,
-    /// Quality grade derived from CV and outlier fraction: `"good"`,
-    /// `"noisy"` or `"suspect"` (see `lmb_timing::Quality`).
+    /// Quality grade derived from CV, outlier fraction and overhead
+    /// clamping: `"good"`, `"noisy"` or `"suspect"` (see
+    /// `lmb_timing::Quality`).
     pub quality: String,
     /// Harness measurements the benchmark performed in total.
     pub measure_calls: u32,
+    /// Repetitions of the recorded measurement whose interval fell below
+    /// the clock-read overhead and were clamped at 0.0 instead of going
+    /// negative. Nonzero forces `quality` to `"suspect"`: the samples are
+    /// floors, not measurements.
+    pub clamped_samples: u32,
+}
+
+// Hand-written so the field added after PR 4 (`clamped_samples`) defaults
+// to 0 when absent: archived baselines from older binaries keep loading.
+impl Deserialize for Provenance {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let obj = value.expect_object("Provenance")?;
+        fn field<T: Deserialize>(obj: &Value, name: &str) -> Result<T, DeError> {
+            T::from_value(obj.field(name)).map_err(|e| e.in_field(name))
+        }
+        Ok(Provenance {
+            repetitions: field(obj, "repetitions")?,
+            warmup_runs: field(obj, "warmup_runs")?,
+            calibrated_iterations: field(obj, "calibrated_iterations")?,
+            clock_resolution_ns: field(obj, "clock_resolution_ns")?,
+            sample_min_ns: field(obj, "sample_min_ns")?,
+            sample_median_ns: field(obj, "sample_median_ns")?,
+            sample_p90_ns: field(obj, "sample_p90_ns")?,
+            sample_p99_ns: field(obj, "sample_p99_ns")?,
+            sample_max_ns: field(obj, "sample_max_ns")?,
+            mad_ns: field(obj, "mad_ns")?,
+            min_median_gap: field(obj, "min_median_gap")?,
+            cv: field(obj, "cv")?,
+            iqr_outliers: field(obj, "iqr_outliers")?,
+            quality: field(obj, "quality")?,
+            measure_calls: field(obj, "measure_calls")?,
+            clamped_samples: field::<Option<u32>>(obj, "clamped_samples")?.unwrap_or(0),
+        })
+    }
 }
 
 /// Kernel resource accounting across a benchmark's final attempt
@@ -460,6 +495,7 @@ mod tests {
             iqr_outliers: 1,
             quality: "good".into(),
             measure_calls: 3,
+            clamped_samples: 2,
         });
         let report = RunReport {
             records: vec![rec.clone()],
@@ -467,6 +503,34 @@ mod tests {
         };
         let back = RunReport::from_value(&report.to_value()).expect("roundtrip");
         assert_eq!(back.records[0], rec);
+    }
+
+    #[test]
+    fn provenance_without_clamped_field_reads_as_unclamped() {
+        // Reports archived before overhead-clamp accounting existed must
+        // keep loading, with zero clamps assumed.
+        let mut p = Provenance {
+            repetitions: 5,
+            warmup_runs: 1,
+            calibrated_iterations: 256,
+            clock_resolution_ns: 30.0,
+            sample_min_ns: 10.0,
+            sample_median_ns: 11.0,
+            sample_p90_ns: 12.0,
+            sample_p99_ns: 12.5,
+            sample_max_ns: 13.0,
+            mad_ns: 0.5,
+            min_median_gap: 0.1,
+            cv: 0.05,
+            iqr_outliers: 0,
+            quality: "good".into(),
+            measure_calls: 1,
+            clamped_samples: 7,
+        };
+        let mut value = p.to_value();
+        value.set("clamped_samples", Value::Null);
+        p.clamped_samples = 0;
+        assert_eq!(Provenance::from_value(&value).expect("tolerant"), p);
     }
 
     #[test]

@@ -5,31 +5,66 @@
 //! time interval lasting for many clock ticks. Typically, this is done by
 //! executing the operation in a small loop ... and then dividing the loop
 //! time by the loop count." We automate the hand-tuning: a geometric ramp
-//! doubles the loop count until one timed interval exceeds the target.
+//! doubles the loop count until one timed interval exceeds the target, with
+//! a linear projection to land the final interval *near* the target instead
+//! of far beyond it.
 
-use crate::clock::Stopwatch;
+use crate::clock::{RealClock, TimeSource};
 use std::time::Duration;
 
 /// Result of calibrating a benchmark body against the clock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Calibration {
     /// Iterations per timed interval.
     pub iterations: u64,
     /// The interval the calibration aimed for.
     pub target: Duration,
+    /// Elapsed nanoseconds of the final calibration probe — the interval
+    /// `iterations` runs of the body actually took. Callers that need a
+    /// per-iteration estimate before the first timed repetition (time
+    /// budgeting, trace narration) can use this instead of re-timing blind.
+    pub observed_ns: f64,
+}
+
+impl Calibration {
+    /// Observed nanoseconds per iteration during the final probe (0.0 when
+    /// the probe interval was below clock resolution).
+    #[must_use]
+    pub fn observed_per_iter_ns(&self) -> f64 {
+        if self.iterations > 0 {
+            self.observed_ns / self.iterations as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Upper bound on the calibration ramp; protects against a body that the
 /// optimizer reduced to nothing (which would otherwise ramp forever).
 pub const MAX_ITERATIONS: u64 = 1 << 34;
 
-/// Finds an iteration count such that `iterations` runs of `body` take at
-/// least `target` wall time.
+/// Cap on how far past the target one projection jump may aim, as a
+/// multiple of the target interval.
 ///
-/// The ramp starts at 1 and doubles. The returned count is the first power
-/// of two whose measured interval met the target, scaled linearly from the
-/// last observation so the final interval lands near the target rather than
-/// up to 2x beyond it.
+/// The linear projection divides by the last observed elapsed time; when
+/// that observation is a tiny nonzero value (a single coarse-clock tick, a
+/// jitter artifact) the quotient can be wildly optimistic, and an uncapped
+/// jump would time one enormous interval — long enough to trip the
+/// engine's per-benchmark timeout. Bounding the *predicted interval* (not
+/// just the iteration step) keeps the worst single probe near the target.
+pub const MAX_PROJECTED_TARGET_MULTIPLE: f64 = 2.0;
+
+/// Finds an iteration count such that `iterations` runs of `body` take at
+/// least `target` time on the real clock.
+///
+/// The ramp starts at 1 and doubles until a probe lands within 2x of the
+/// target; from there the final count is projected linearly from the last
+/// observation (with a 1.2 fudge for loop overhead amortization), capped so
+/// the predicted interval never exceeds [`MAX_PROJECTED_TARGET_MULTIPLE`]
+/// times the target and the step never exceeds 16x. Projection waits for a
+/// close-in observation because an interval spanning a single coarse clock
+/// tick can under-read its true length by half, and a jump computed from it
+/// overshoots accordingly.
 ///
 /// # Examples
 ///
@@ -39,20 +74,27 @@ pub const MAX_ITERATIONS: u64 = 1 << 34;
 ///     std::hint::black_box((0..64u64).sum::<u64>());
 /// });
 /// assert!(cal.iterations >= 1);
+/// assert!(cal.observed_ns > 0.0);
 /// ```
-pub fn calibrate_iterations(target: Duration, mut body: impl FnMut()) -> Calibration {
+pub fn calibrate_iterations(target: Duration, body: impl FnMut()) -> Calibration {
+    calibrate_iterations_with(&RealClock, target, body)
+}
+
+/// [`calibrate_iterations`] against an arbitrary [`TimeSource`].
+pub fn calibrate_iterations_with<T: TimeSource>(
+    source: &T,
+    target: Duration,
+    mut body: impl FnMut(),
+) -> Calibration {
     let target_ns = target.as_nanos() as f64;
     let mut n: u64 = 1;
     loop {
-        let sw = Stopwatch::start();
-        for _ in 0..n {
-            body();
-        }
-        let elapsed = sw.elapsed_ns();
+        let elapsed = time_interval_ns_with(source, n, &mut body);
         if elapsed >= target_ns {
             return Calibration {
                 iterations: n,
                 target,
+                observed_ns: elapsed,
             };
         }
         if n >= MAX_ITERATIONS {
@@ -62,32 +104,67 @@ pub fn calibrate_iterations(target: Duration, mut body: impl FnMut()) -> Calibra
             return Calibration {
                 iterations: MAX_ITERATIONS,
                 target,
+                observed_ns: elapsed,
             };
         }
-        // Jump straight to the projected count when we have signal, else
-        // double. The 1.2 fudge covers per-iteration cost shrinking as loop
-        // overhead amortizes.
-        let next = if elapsed > 0.0 {
-            let projected = (n as f64 * target_ns / elapsed * 1.2).ceil() as u64;
-            projected.clamp(n * 2, n.saturating_mul(16))
+        let next = if elapsed * 2.0 >= target_ns {
+            // Linear projection toward the target, 1.2 fudge for loop
+            // overhead amortizing away. Projection is only trusted from
+            // within 2x of the target: that close, the interval spans
+            // enough clock ticks that the quantization error (under one
+            // tick per endpoint) is a small fraction of the estimate.
+            // Projecting from the first stray tick used to overshoot the
+            // target by 2.4x on coarse clocks — a single tick can
+            // under-read the true interval by half. The jump stays
+            // double-bounded anyway: the predicted interval must sit
+            // within MAX_PROJECTED_TARGET_MULTIPLE of the target, and the
+            // count may grow at most 16x (and must grow at least 1).
+            let per_iter = elapsed / n as f64;
+            let projected = (target_ns / per_iter * 1.2).ceil() as u64;
+            let interval_cap =
+                (target_ns * MAX_PROJECTED_TARGET_MULTIPLE / per_iter).floor() as u64;
+            projected
+                .min(interval_cap)
+                .clamp(n + 1, n.saturating_mul(16))
         } else {
-            n * 2
+            // No signal yet, or still far from the target: double blindly.
+            // A doubling step lands at most 2x past the target.
+            n.saturating_mul(2)
         };
         n = next.min(MAX_ITERATIONS);
     }
 }
 
-/// Times `iterations` runs of `body` and returns nanoseconds per iteration.
+/// Times `iterations` runs of `body` on `source` and returns the raw
+/// elapsed interval in nanoseconds (no division, no compensation).
 ///
-/// This is the measurement half of the `BENCH` macro: calibration picks the
-/// loop count, this divides the interval by it.
-pub fn time_per_iteration(iterations: u64, mut body: impl FnMut()) -> f64 {
+/// This is the primitive the harness builds on: it subtracts the probed
+/// clock-read overhead itself so the clamping decision stays observable.
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+pub fn time_interval_ns_with<T: TimeSource>(
+    source: &T,
+    iterations: u64,
+    mut body: impl FnMut(),
+) -> f64 {
     assert!(iterations > 0, "cannot time zero iterations");
-    let sw = Stopwatch::start();
+    let start = source.now_ns();
     for _ in 0..iterations {
         body();
     }
-    sw.elapsed_ns() / iterations as f64
+    source.now_ns() - start
+}
+
+/// Times `iterations` runs of `body` and returns nanoseconds per iteration.
+///
+/// This is the measurement half of the `BENCH` macro: calibration picks the
+/// loop count, this divides the interval by it. No clock-overhead
+/// compensation is applied; use [`crate::Harness`] for compensated
+/// measurements.
+pub fn time_per_iteration(iterations: u64, body: impl FnMut()) -> f64 {
+    time_interval_ns_with(&RealClock, iterations, body) / iterations as f64
 }
 
 /// Times a single run of `body` that internally performs `ops` operations
@@ -97,14 +174,16 @@ pub fn time_per_iteration(iterations: u64, mut body: impl FnMut()) -> f64 {
 /// kernels), where the harness must not add an outer loop.
 pub fn time_block(ops: u64, body: impl FnOnce()) -> f64 {
     assert!(ops > 0, "cannot time zero operations");
-    let sw = Stopwatch::start();
+    let clock = RealClock;
+    let start = clock.now_ns();
     body();
-    sw.elapsed_ns() / ops as f64
+    (clock.now_ns() - start) / ops as f64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::{CostModel, SimClock};
     use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
@@ -122,6 +201,11 @@ mod tests {
         assert!(
             total >= target.as_nanos() as f64 * 0.25,
             "calibrated interval {total}ns far below target"
+        );
+        assert!(
+            cal.observed_ns >= target.as_nanos() as f64,
+            "observed {} below target",
+            cal.observed_ns
         );
     }
 
@@ -164,5 +248,72 @@ mod tests {
     #[should_panic(expected = "zero iterations")]
     fn zero_iterations_rejected() {
         time_per_iteration(0, || {});
+    }
+
+    #[test]
+    fn simulated_calibration_lands_near_the_target() {
+        // Constant 80ns body, clean clock: the final probe must meet the
+        // target without overshooting past the projection cap.
+        let target = Duration::from_millis(5);
+        let target_ns = target.as_nanos() as f64;
+        let sim = SimClock::new(21).with_read_overhead_ns(20.0);
+        let body = sim.scripted_body(CostModel::Constant { ns: 80.0 });
+        let cal = calibrate_iterations_with(&sim, target, body);
+        assert!(
+            cal.observed_ns >= target_ns,
+            "undershot: {}",
+            cal.observed_ns
+        );
+        assert!(
+            cal.observed_ns <= target_ns * 2.0,
+            "overshot: {}ns for a {}ns target",
+            cal.observed_ns,
+            target_ns
+        );
+        assert!((cal.observed_per_iter_ns() - 80.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn projection_is_capped_when_the_first_signal_is_a_tiny_tick() {
+        // Coarse 1ms clock, 50us body: early probes read 0 or one stray
+        // tick, which used to project a single enormous interval. The
+        // interval cap bounds the worst probe near the target.
+        let target = Duration::from_millis(100);
+        let target_ns = target.as_nanos() as f64;
+        let sim = SimClock::new(22)
+            .with_resolution_ns(1e6)
+            .with_read_overhead_ns(100.0);
+        let body = sim.scripted_body(CostModel::Constant { ns: 50_000.0 });
+        let before = sim.true_now_ns();
+        let cal = calibrate_iterations_with(&sim, target, body);
+        assert!(cal.observed_ns >= target_ns);
+        assert!(
+            cal.observed_ns <= target_ns * (MAX_PROJECTED_TARGET_MULTIPLE + 0.1),
+            "final probe {}ns blew past the cap for target {}ns",
+            cal.observed_ns,
+            target_ns
+        );
+        // The whole ramp (sum of all probes) stays bounded too: every
+        // below-target probe is < target, there are O(log) of them, and the
+        // final one is capped. 20x the target is a generous envelope that
+        // still catches a multi-second runaway.
+        let spent = sim.true_now_ns() - before;
+        assert!(
+            spent <= target_ns * 20.0,
+            "calibration spent {spent}ns on a {target_ns}ns target"
+        );
+    }
+
+    #[test]
+    fn simulated_zero_elapsed_probes_double_until_signal() {
+        // Body far below resolution: the ramp must double blindly, then
+        // finish once intervals become visible.
+        let sim = SimClock::new(23)
+            .with_resolution_ns(10_000.0)
+            .with_read_overhead_ns(5.0);
+        let body = sim.scripted_body(CostModel::Constant { ns: 3.0 });
+        let cal = calibrate_iterations_with(&sim, Duration::from_micros(100), body);
+        assert!(cal.iterations > 1_000, "iterations {}", cal.iterations);
+        assert!(cal.observed_ns >= 100_000.0);
     }
 }

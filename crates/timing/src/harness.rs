@@ -7,12 +7,19 @@
 //! 2. warm caches by running the body a few times (paper §3.4 "Caching"),
 //! 3. calibrate a loop count so each interval spans many clock ticks
 //!    ([`crate::calibrate`]),
-//! 4. repeat the timed interval N times,
+//! 4. repeat the timed interval N times, subtracting the probed clock-read
+//!    overhead from each interval (clamped at zero, never negative),
 //! 5. summarize with the benchmark's policy ([`crate::stats`]), minimum by
 //!    default (paper §3.4 "Variability").
+//!
+//! The harness is generic over its [`TimeSource`]. Benchmarks use the
+//! default [`RealClock`] (`Harness::new`, monomorphized to raw `Instant`
+//! reads); tests drive the same code against a seeded
+//! [`crate::sim::SimClock`] via [`Harness::with_source`], which makes every
+//! step above a deterministic, provable function of the scripted clock.
 
-use crate::calibrate::{calibrate_iterations, time_block, time_per_iteration};
-use crate::clock::ClockInfo;
+use crate::calibrate::{calibrate_iterations_with, time_interval_ns_with};
+use crate::clock::{ClockInfo, RealClock, TimeSource};
 use crate::record::{MeasureEvent, Recorder};
 use crate::result::Measurement;
 use crate::stats::{Samples, SummaryPolicy};
@@ -105,21 +112,52 @@ impl Default for Options {
     }
 }
 
-/// A configured measurement harness.
+/// A configured measurement harness, generic over its clock.
+///
+/// The default type parameter keeps every existing call site spelled
+/// `Harness` (and every `&Harness` argument) pointing at the real-clock
+/// harness; only tests that inject a [`crate::sim::SimClock`] name the
+/// parameter. Each instantiation monomorphizes separately, so the real
+/// path pays nothing for the seam.
 #[derive(Debug, Clone)]
-pub struct Harness {
+pub struct Harness<T: TimeSource = RealClock> {
     options: Options,
     clock: ClockInfo,
     recorder: Option<Recorder>,
+    source: T,
 }
 
-impl Harness {
-    /// Builds a harness, probing the clock once up front.
+impl Harness<RealClock> {
+    /// Builds a real-clock harness, probing the clock once up front.
     pub fn new(options: Options) -> Self {
+        Self::with_source(options, RealClock)
+    }
+}
+
+impl<T: TimeSource> Harness<T> {
+    /// Builds a harness over an arbitrary [`TimeSource`], probing it once
+    /// up front exactly as [`Harness::new`] probes the host clock.
+    pub fn with_source(options: Options, source: T) -> Self {
+        let clock = ClockInfo::probe_with(&source);
         Self {
             options,
-            clock: ClockInfo::probe(),
+            clock,
             recorder: None,
+            source,
+        }
+    }
+
+    /// Builds a harness with a pinned [`ClockInfo`] instead of probing.
+    ///
+    /// For tests that need hand-computable results: the probe's estimates
+    /// carry sub-nanosecond noise, a pinned value does not. Also useful to
+    /// replay a previously probed clock.
+    pub fn with_source_and_clock(options: Options, source: T, clock: ClockInfo) -> Self {
+        Self {
+            options,
+            clock,
+            recorder: None,
+            source,
         }
     }
 
@@ -130,13 +168,14 @@ impl Harness {
         self
     }
 
-    fn record(&self, iterations: u64, samples: &Samples) {
+    fn record(&self, iterations: u64, samples: &Samples, clamped_samples: u32) {
         if let Some(recorder) = &self.recorder {
             recorder.lock().expect("recorder lock").push(MeasureEvent {
                 iterations,
                 warmup_runs: self.options.warmup_runs,
                 clock_resolution_ns: self.clock.resolution_ns,
                 per_op_ns: samples.values().to_vec(),
+                clamped_samples,
             });
         }
     }
@@ -144,6 +183,11 @@ impl Harness {
     /// The probed clock characteristics.
     pub fn clock(&self) -> ClockInfo {
         self.clock
+    }
+
+    /// The time source measurements run against.
+    pub fn source(&self) -> &T {
+        &self.source
     }
 
     /// The options in force.
@@ -158,6 +202,22 @@ impl Harness {
             .max(self.options.min_interval)
     }
 
+    /// Times one repetition of `iterations` runs of `body`, subtracts the
+    /// clock-read overhead bracketed into the interval, and divides.
+    ///
+    /// An interval shorter than the read overhead clamps to 0.0 and counts
+    /// as clamped — the per-op time is a floor, not a measurement, and the
+    /// quality grade downstream turns `Suspect` (never a negative latency).
+    fn timed_rep(&self, iterations: u64, body: impl FnMut(), clamped: &mut u32) -> f64 {
+        let elapsed = time_interval_ns_with(&self.source, iterations, body);
+        let compensated = elapsed - self.clock.overhead_ns;
+        if compensated < 0.0 {
+            *clamped += 1;
+            return 0.0;
+        }
+        compensated / iterations as f64
+    }
+
     /// Measures the per-call cost of `body`.
     ///
     /// The harness adds the outer loop: `body` should perform exactly one
@@ -170,24 +230,27 @@ impl Harness {
         for _ in 0..self.options.warmup_runs {
             body();
         }
-        let cal = calibrate_iterations(self.target_interval(), &mut body);
+        let cal = calibrate_iterations_with(&self.source, self.target_interval(), &mut body);
         lmb_trace::emit(|| lmb_trace::EventKind::Calibrated {
             iterations: cal.iterations,
             clock_resolution_ns: self.clock.resolution_ns,
         });
         let mut samples = Samples::new();
+        let mut clamped = 0u32;
         for _ in 0..self.options.repetitions {
-            samples.push(time_per_iteration(cal.iterations, &mut body));
+            let per_op = self.timed_rep(cal.iterations, &mut body, &mut clamped);
+            samples.push(per_op);
         }
-        self.record(cal.iterations, &samples);
+        self.record(cal.iterations, &samples, clamped);
         Measurement::from_per_op_samples(samples, cal.iterations, self.options.policy)
+            .with_clamped_samples(clamped)
     }
 
     /// Measures a body that internally performs `ops` operations per call
     /// (e.g. one pass over an 8 MB buffer counted as `ops` word reads).
     ///
     /// No outer loop is added; the body is run once per repetition after
-    /// warm-up, and per-op time is `elapsed / ops`.
+    /// warm-up, and per-op time is `(elapsed - clock overhead) / ops`.
     ///
     /// # Panics
     ///
@@ -205,11 +268,20 @@ impl Harness {
             clock_resolution_ns: self.clock.resolution_ns,
         });
         let mut samples = Samples::new();
+        let mut clamped = 0u32;
         for _ in 0..self.options.repetitions {
-            samples.push(time_block(ops, &mut body));
+            let elapsed = time_interval_ns_with(&self.source, 1, &mut body);
+            let compensated = elapsed - self.clock.overhead_ns;
+            if compensated < 0.0 {
+                clamped += 1;
+                samples.push(0.0);
+            } else {
+                samples.push(compensated / ops as f64);
+            }
         }
-        self.record(ops, &samples);
+        self.record(ops, &samples, clamped);
         Measurement::from_per_op_samples(samples, ops, self.options.policy)
+            .with_clamped_samples(clamped)
     }
 
     /// Measures the *difference* between `body` and `baseline`, both run at
@@ -228,10 +300,11 @@ impl Harness {
             with.ops_per_sample(),
             self.options.policy,
         )
+        .with_clamped_samples(with.clamped_samples() + without.clamped_samples())
     }
 }
 
-impl Default for Harness {
+impl Default for Harness<RealClock> {
     fn default() -> Self {
         Self::new(Options::paper())
     }
@@ -240,6 +313,8 @@ impl Default for Harness {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::quality::Quality;
+    use crate::sim::{CostModel, SimClock};
     use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
@@ -254,6 +329,7 @@ mod tests {
         });
         assert!(m.per_op_ns() > 0.0);
         assert_eq!(m.samples().len() as u32, Options::quick().repetitions);
+        assert_eq!(m.clamped_samples(), 0, "real work must not clamp");
     }
 
     #[test]
@@ -394,5 +470,72 @@ mod tests {
             assert_eq!(e.warmup_runs, Options::quick().warmup_runs);
             assert!(e.clock_resolution_ns > 0.0);
         }
+    }
+
+    #[test]
+    fn per_op_never_negative_even_when_overhead_dwarfs_the_interval() {
+        // Satellite regression (sim reproduction): a body far cheaper than
+        // the clock-read overhead used to report a negative per-op time
+        // after compensation. The pinned ClockInfo exaggerates a coarse,
+        // expensive clock; the sim body costs 100ns against a claimed
+        // 10us read overhead.
+        let sim = SimClock::new(77).with_read_overhead_ns(50.0);
+        let body = sim.scripted_body(CostModel::Constant { ns: 100.0 });
+        let pinned = ClockInfo {
+            resolution_ns: 1.0,
+            overhead_ns: 10_000.0,
+        };
+        let h = Harness::with_source_and_clock(
+            Options::quick().with_warmup_runs(0).with_repetitions(5),
+            sim,
+            pinned,
+        );
+        let m = h.measure_block(1, body);
+        assert!(m.per_op_ns() >= 0.0, "negative per-op {}", m.per_op_ns());
+        assert_eq!(m.per_op_ns(), 0.0, "clamped floor is exactly zero");
+        assert_eq!(m.clamped_samples(), 5, "every repetition clamped");
+        assert_eq!(m.quality(), Quality::Suspect, "clamps must taint quality");
+    }
+
+    #[test]
+    fn clamped_count_reaches_the_recorder() {
+        let sim = SimClock::new(78).with_read_overhead_ns(50.0);
+        let body = sim.scripted_body(CostModel::Constant { ns: 10.0 });
+        let recorder = crate::record::new_recorder();
+        let h = Harness::with_source_and_clock(
+            Options::quick().with_warmup_runs(0).with_repetitions(3),
+            sim,
+            ClockInfo {
+                resolution_ns: 1.0,
+                overhead_ns: 1_000.0,
+            },
+        )
+        .with_recorder(recorder.clone());
+        h.measure_block(1, body);
+        let events = crate::record::take_events(&recorder);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].clamped_samples, 3);
+        assert_eq!(events[0].quality(), Quality::Suspect);
+    }
+
+    #[test]
+    fn simulated_constant_body_measures_exactly() {
+        // With a pinned clock matching the sim's read overhead, the
+        // compensation algebra cancels exactly: elapsed = cost + overhead,
+        // compensated = cost.
+        let sim = SimClock::new(79).with_read_overhead_ns(50.0);
+        let body = sim.scripted_body(CostModel::Constant { ns: 200.0 });
+        let h = Harness::with_source_and_clock(
+            Options::quick().with_warmup_runs(1).with_repetitions(5),
+            sim,
+            ClockInfo {
+                resolution_ns: 1.0,
+                overhead_ns: 50.0,
+            },
+        );
+        let m = h.measure_block(1, body);
+        assert_eq!(m.per_op_ns(), 200.0, "exact sim fixture");
+        assert_eq!(m.clamped_samples(), 0);
+        assert_eq!(m.quality(), Quality::Good);
     }
 }

@@ -36,17 +36,25 @@ pub mod harness;
 pub mod quality;
 pub mod record;
 pub mod result;
+pub mod sim;
 pub mod sizing;
 pub mod stats;
 
-pub use calibrate::{calibrate_iterations, Calibration};
-pub use clock::{clock_overhead_ns, clock_resolution_ns, ClockInfo};
+pub use calibrate::{
+    calibrate_iterations, calibrate_iterations_with, time_interval_ns_with, Calibration,
+    MAX_PROJECTED_TARGET_MULTIPLE,
+};
+pub use clock::{
+    clock_overhead_ns, clock_resolution_ns, overhead_ns_of, resolution_ns_of, ClockInfo, RealClock,
+    TimeSource,
+};
 pub use cycle::{estimate_clock, ClockEstimate};
 pub use harness::{Harness, Options};
 pub use quality::Quality;
 pub use record::{new_recorder, take_events, MeasureEvent, Recorder};
 pub use result::{Bandwidth, Latency, Measurement, TimeUnit};
-pub use sizing::{probe_available_memory, MemorySizer};
+pub use sim::{CostModel, SimClock};
+pub use sizing::{paged_out_fraction_with, probe_available_memory, MemorySizer};
 pub use stats::{Samples, SummaryPolicy};
 
 /// Consumes a computed value so the optimizer cannot elide the loop that

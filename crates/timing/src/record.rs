@@ -23,6 +23,9 @@ pub struct MeasureEvent {
     pub clock_resolution_ns: f64,
     /// Per-operation time of every repetition, ns, in collection order.
     pub per_op_ns: Vec<f64>,
+    /// Repetitions whose interval fell below the clock-read overhead and
+    /// were clamped at 0.0 instead of going negative.
+    pub clamped_samples: u32,
 }
 
 impl MeasureEvent {
@@ -70,6 +73,14 @@ impl MeasureEvent {
     #[must_use]
     pub fn samples(&self) -> crate::stats::Samples {
         crate::stats::Samples::from_values(self.per_op_ns.iter().copied())
+    }
+
+    /// Quality grade of this measurement, overhead-clamps included: any
+    /// clamped repetition forces `Suspect` (the zeros are floors, not
+    /// measurements).
+    #[must_use]
+    pub fn quality(&self) -> crate::quality::Quality {
+        crate::quality::Quality::from_samples_with_clamped(&self.samples(), self.clamped_samples)
     }
 
     /// Coefficient of variation (stddev / mean) across repetitions.
@@ -120,6 +131,7 @@ mod tests {
             warmup_runs: 1,
             clock_resolution_ns: 30.0,
             per_op_ns: samples.to_vec(),
+            clamped_samples: 0,
         }
     }
 
@@ -131,6 +143,14 @@ mod tests {
         assert_eq!(e.median_ns(), 11.5);
         assert!((e.min_median_gap() - 0.15).abs() < 1e-12);
         assert!(e.cv() > 0.0);
+    }
+
+    #[test]
+    fn clamped_events_grade_suspect() {
+        let mut e = event(&[0.0, 0.0, 0.0]);
+        assert_eq!(e.quality(), crate::quality::Quality::Good, "pre-mark");
+        e.clamped_samples = 3;
+        assert_eq!(e.quality(), crate::quality::Quality::Suspect);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! per-operation time together with the repetition samples so downstream
 //! consumers (tables, plots, the results database) can re-summarize.
 
+use crate::quality::Quality;
 use crate::stats::{Samples, SummaryPolicy};
 use std::fmt;
 
@@ -49,6 +50,9 @@ pub struct Measurement {
     ops_per_sample: u64,
     /// Policy used by [`Measurement::per_op_ns`].
     policy: SummaryPolicy,
+    /// Repetitions whose interval fell below the clock-read overhead and
+    /// were clamped to 0.0 instead of reporting a negative time.
+    clamped_samples: u32,
 }
 
 impl Measurement {
@@ -62,7 +66,33 @@ impl Measurement {
             samples,
             ops_per_sample,
             policy,
+            clamped_samples: 0,
         }
+    }
+
+    /// Marks `clamped` repetitions as overhead-clamped (interval shorter
+    /// than the clock-read overhead, reported as 0.0 rather than negative).
+    #[must_use]
+    pub fn with_clamped_samples(mut self, clamped: u32) -> Self {
+        self.clamped_samples = clamped;
+        self
+    }
+
+    /// Repetitions clamped at 0.0 by overhead compensation.
+    ///
+    /// A nonzero count means the operation was too fast for this clock:
+    /// the summary is a floor, not a measurement, and
+    /// [`Measurement::quality`] grades the set `Suspect`.
+    pub fn clamped_samples(&self) -> u32 {
+        self.clamped_samples
+    }
+
+    /// Grades this measurement's repetition set (see [`Quality`]).
+    ///
+    /// Overhead-clamped samples force `Suspect` regardless of dispersion:
+    /// a set of identical zeros looks perfectly quiet but measures nothing.
+    pub fn quality(&self) -> Quality {
+        Quality::from_samples_with_clamped(&self.samples, self.clamped_samples)
     }
 
     /// Per-operation time in nanoseconds under the configured policy.

@@ -1,0 +1,425 @@
+//! A deterministic, seeded virtual clock for testing the timing machinery.
+//!
+//! Every number the suite reports flows through the same pipeline — clock
+//! probe, warm-up, calibration, repetition, overhead subtraction, quality
+//! grading — and all of it is deterministic logic over observed intervals
+//! (§3.4). [`SimClock`] replays that logic against a scripted clock instead
+//! of the wall clock, the way time-virtualized schedulers are tested: a
+//! seeded simulation with configurable resolution (1 ns to the paper's
+//! 10 ms `gettimeofday`), per-read overhead, per-read jitter, and scripted
+//! benchmark-body cost models ([`CostModel`]). Same seed, same
+//! measurements, byte for byte — so calibration convergence, negative-time
+//! clamping and quality grades become provable properties instead of flaky
+//! CI observations.
+//!
+//! # Examples
+//!
+//! ```
+//! use lmb_timing::{CostModel, Harness, Options, SimClock};
+//!
+//! let sim = SimClock::new(42).with_resolution_ns(100.0);
+//! let body = sim.scripted_body(CostModel::Constant { ns: 250.0 });
+//! let h = Harness::with_source(Options::quick(), sim.clone());
+//! let m = h.measure(body);
+//! // The simulated operation costs exactly 250 ns.
+//! assert!((m.per_op_ns() - 250.0).abs() < 1.0);
+//! ```
+
+use crate::clock::TimeSource;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Scripted per-call cost of a simulated benchmark body, in nanoseconds.
+///
+/// The models mirror the shapes real benchmark bodies produce: flat
+/// syscall-like costs, the cache-knee step a §6.1 memory walk shows when a
+/// working set falls out of a cache level, scheduler-noise dispersion, and
+/// thermal-drift style slow ramps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostModel {
+    /// Every call costs exactly `ns`.
+    Constant {
+        /// Per-call cost, ns.
+        ns: f64,
+    },
+    /// Calls before the `knee`-th cost `before_ns`, later ones `after_ns` —
+    /// the §3.1 cache/paging step function.
+    Step {
+        /// First call index (0-based) that pays the post-knee cost.
+        knee: u64,
+        /// Cost while inside the fast regime, ns.
+        before_ns: f64,
+        /// Cost after falling off the knee, ns.
+        after_ns: f64,
+    },
+    /// `base_ns` plus uniform noise in `[0, spread_ns)` drawn from the
+    /// body's seeded generator.
+    Noisy {
+        /// Quiet-machine cost, ns.
+        base_ns: f64,
+        /// Width of the uniform disturbance band, ns.
+        spread_ns: f64,
+    },
+    /// `start_ns` growing by `per_call_ns` every call (clock drift, cache
+    /// pollution, heap growth).
+    Drifting {
+        /// Cost of call 0, ns.
+        start_ns: f64,
+        /// Additional cost per subsequent call, ns.
+        per_call_ns: f64,
+    },
+}
+
+impl CostModel {
+    /// Cost of the `call`-th invocation (0-based), in nanoseconds.
+    fn cost_ns(&self, call: u64, rng: &mut SplitMix) -> f64 {
+        match *self {
+            CostModel::Constant { ns } => ns,
+            CostModel::Step {
+                knee,
+                before_ns,
+                after_ns,
+            } => {
+                if call < knee {
+                    before_ns
+                } else {
+                    after_ns
+                }
+            }
+            CostModel::Noisy { base_ns, spread_ns } => base_ns + rng.uniform() * spread_ns,
+            CostModel::Drifting {
+                start_ns,
+                per_call_ns,
+            } => start_ns + per_call_ns * call as f64,
+        }
+    }
+}
+
+/// Minimal deterministic generator (splitmix64) — kept private so the sim
+/// stays dependency-free and its streams are stable across toolchains.
+#[derive(Debug, Clone)]
+struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn uniform(&mut self) -> f64 {
+        // 53 mantissa bits: the standard u64 -> f64 uniform construction.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Mutable simulation state, shared by every clone of a [`SimClock`].
+#[derive(Debug)]
+struct SimState {
+    /// True virtual time, ns — what the simulated hardware has actually
+    /// spent. Readings quantize this to `resolution_ns`.
+    now_ns: f64,
+    /// Reported-tick granularity, ns.
+    resolution_ns: f64,
+    /// Virtual cost of one clock read, ns.
+    read_overhead_ns: f64,
+    /// Uniform extra per-read cost in `[0, jitter)`, ns.
+    read_jitter_ns: f64,
+    /// Generator for read jitter.
+    rng: SplitMix,
+    /// Clock reads performed so far.
+    reads: u64,
+    /// Seed the clock (and its scripted bodies) derive streams from.
+    seed: u64,
+}
+
+/// A seeded virtual monotonic clock.
+///
+/// Clones share state: hand one clone to a [`crate::Harness`] and keep
+/// another to script body costs ([`SimClock::advance`],
+/// [`SimClock::scripted_body`]) and inspect the simulation
+/// ([`SimClock::true_now_ns`], [`SimClock::reads`]).
+///
+/// Reading the clock advances virtual time by the configured read overhead
+/// (plus jitter) and returns the advanced time quantized down to the
+/// configured resolution — the two imperfections §3.4's compensation
+/// machinery exists to defeat. The defaults model a good modern clock:
+/// 1 ns resolution, 15 ns reads, no jitter.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    state: Arc<Mutex<SimState>>,
+}
+
+impl SimClock {
+    /// Creates a clock with the default profile, seeded for determinism.
+    ///
+    /// The same seed and the same sequence of operations yield bitwise
+    /// identical readings, regardless of host speed or wall-clock time.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: Arc::new(Mutex::new(SimState {
+                now_ns: 0.0,
+                resolution_ns: 1.0,
+                read_overhead_ns: 15.0,
+                read_jitter_ns: 0.0,
+                rng: SplitMix::new(seed),
+                reads: 0,
+                seed,
+            })),
+        }
+    }
+
+    /// Sets the reported-tick granularity (1995 `gettimeofday`: `1e7`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `resolution_ns` is finite and positive.
+    #[must_use]
+    pub fn with_resolution_ns(self, resolution_ns: f64) -> Self {
+        assert!(
+            resolution_ns.is_finite() && resolution_ns > 0.0,
+            "resolution must be finite and positive"
+        );
+        self.state.lock().expect("sim lock").resolution_ns = resolution_ns;
+        self
+    }
+
+    /// Sets the virtual cost of one clock read.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `overhead_ns` is finite and positive — a free read
+    /// would let probe loops spin without ever advancing virtual time.
+    #[must_use]
+    pub fn with_read_overhead_ns(self, overhead_ns: f64) -> Self {
+        assert!(
+            overhead_ns.is_finite() && overhead_ns > 0.0,
+            "read overhead must be finite and positive"
+        );
+        self.state.lock().expect("sim lock").read_overhead_ns = overhead_ns;
+        self
+    }
+
+    /// Sets the uniform per-read jitter band `[0, jitter_ns)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `jitter_ns` is finite and non-negative.
+    #[must_use]
+    pub fn with_read_jitter_ns(self, jitter_ns: f64) -> Self {
+        assert!(
+            jitter_ns.is_finite() && jitter_ns >= 0.0,
+            "jitter must be finite and non-negative"
+        );
+        self.state.lock().expect("sim lock").read_jitter_ns = jitter_ns;
+        self
+    }
+
+    /// Advances virtual time by `ns` — the cost of simulated work.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ns` is finite and non-negative (virtual time is
+    /// monotonic by construction).
+    pub fn advance(&self, ns: f64) {
+        assert!(ns.is_finite() && ns >= 0.0, "advance must be >= 0, finite");
+        self.state.lock().expect("sim lock").now_ns += ns;
+    }
+
+    /// Unquantized virtual time, ns — the simulation's ground truth, not
+    /// what a [`TimeSource::now_ns`] reading reports.
+    #[must_use]
+    pub fn true_now_ns(&self) -> f64 {
+        self.state.lock().expect("sim lock").now_ns
+    }
+
+    /// Clock reads performed so far across all clones.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.state.lock().expect("sim lock").reads
+    }
+
+    /// A benchmark body whose per-call cost follows `model`.
+    ///
+    /// Each body owns a call counter and a generator derived from the
+    /// clock's seed and the model, so two bodies with the same script are
+    /// independent yet reproducible.
+    pub fn scripted_body(&self, model: CostModel) -> impl FnMut() + Send + 'static {
+        let clock = self.clone();
+        let seed = self.state.lock().expect("sim lock").seed;
+        // Derive the body stream from the seed so clock jitter and body
+        // noise are decorrelated but both reproducible.
+        let mut rng = SplitMix::new(seed ^ 0xB0D7_5EED_0000_0001);
+        let mut call: u64 = 0;
+        move || {
+            let cost = model.cost_ns(call, &mut rng);
+            clock.advance(cost);
+            call += 1;
+        }
+    }
+}
+
+impl TimeSource for SimClock {
+    fn now_ns(&self) -> f64 {
+        let mut s = self.state.lock().expect("sim lock");
+        let jitter = if s.read_jitter_ns > 0.0 {
+            let draw = s.rng.uniform();
+            draw * s.read_jitter_ns
+        } else {
+            0.0
+        };
+        s.now_ns += s.read_overhead_ns + jitter;
+        s.reads += 1;
+        (s.now_ns / s.resolution_ns).floor() * s.resolution_ns
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d.as_nanos() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{overhead_ns_of, resolution_ns_of, ClockInfo};
+
+    #[test]
+    fn readings_are_monotonic_and_cost_overhead() {
+        let sim = SimClock::new(1).with_read_overhead_ns(10.0);
+        let t0 = sim.now_ns();
+        let t1 = sim.now_ns();
+        assert!(t1 > t0);
+        assert_eq!(t1 - t0, 10.0, "one read advances by its overhead");
+        assert_eq!(sim.reads(), 2);
+    }
+
+    #[test]
+    fn readings_quantize_to_resolution() {
+        let sim = SimClock::new(2)
+            .with_resolution_ns(1000.0)
+            .with_read_overhead_ns(10.0);
+        for _ in 0..200 {
+            let t = sim.now_ns();
+            assert_eq!(t % 1000.0, 0.0, "reading {t} is not a 1000ns tick");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let run = |seed| {
+            let sim = SimClock::new(seed)
+                .with_read_jitter_ns(25.0)
+                .with_read_overhead_ns(5.0);
+            let mut body = sim.scripted_body(CostModel::Noisy {
+                base_ns: 100.0,
+                spread_ns: 40.0,
+            });
+            (0..64)
+                .map(|_| {
+                    body();
+                    sim.now_ns()
+                })
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(run(7), run(7), "same seed diverged");
+        assert_ne!(run(7), run(8), "different seeds agreed");
+    }
+
+    #[test]
+    fn clones_share_virtual_time() {
+        let a = SimClock::new(3).with_read_overhead_ns(1.0);
+        let b = a.clone();
+        a.advance(500.0);
+        assert_eq!(b.true_now_ns(), 500.0);
+        b.advance(250.0);
+        assert_eq!(a.true_now_ns(), 750.0);
+    }
+
+    #[test]
+    fn sleep_advances_without_reading() {
+        let sim = SimClock::new(4);
+        sim.sleep(Duration::from_micros(3));
+        assert_eq!(sim.true_now_ns(), 3000.0);
+        assert_eq!(sim.reads(), 0);
+    }
+
+    #[test]
+    fn cost_models_follow_their_scripts() {
+        let sim = SimClock::new(5);
+        let mut rng = SplitMix::new(9);
+        let step = CostModel::Step {
+            knee: 2,
+            before_ns: 10.0,
+            after_ns: 90.0,
+        };
+        assert_eq!(step.cost_ns(0, &mut rng), 10.0);
+        assert_eq!(step.cost_ns(1, &mut rng), 10.0);
+        assert_eq!(step.cost_ns(2, &mut rng), 90.0);
+        let drift = CostModel::Drifting {
+            start_ns: 100.0,
+            per_call_ns: 7.0,
+        };
+        assert_eq!(drift.cost_ns(0, &mut rng), 100.0);
+        assert_eq!(drift.cost_ns(10, &mut rng), 170.0);
+        let mut body = sim.scripted_body(CostModel::Constant { ns: 42.0 });
+        body();
+        body();
+        assert_eq!(sim.true_now_ns(), 84.0);
+    }
+
+    #[test]
+    fn noisy_model_stays_inside_its_band() {
+        let mut rng = SplitMix::new(11);
+        let noisy = CostModel::Noisy {
+            base_ns: 100.0,
+            spread_ns: 30.0,
+        };
+        for call in 0..512 {
+            let c = noisy.cost_ns(call, &mut rng);
+            assert!((100.0..130.0).contains(&c), "cost {c} outside band");
+        }
+    }
+
+    #[test]
+    fn generic_probe_recovers_configured_clock_properties() {
+        // Resolution far above read overhead: the probe must report the
+        // quantization step, and the overhead probe the read cost.
+        let sim = SimClock::new(6)
+            .with_resolution_ns(10_000.0)
+            .with_read_overhead_ns(20.0);
+        let res = resolution_ns_of(&sim);
+        assert_eq!(res, 10_000.0, "probed resolution {res}");
+        // Overhead probing needs a clock fine enough to resolve single
+        // reads; quantization noise is exactly what §3.4 warns about.
+        let fine = SimClock::new(6).with_read_overhead_ns(20.0);
+        let overhead = overhead_ns_of(&fine);
+        assert!(
+            (overhead - 20.0).abs() <= 1.0,
+            "probed overhead {overhead}, configured 20"
+        );
+        let info = ClockInfo::probe_with(&SimClock::new(6).with_read_overhead_ns(50.0));
+        assert!(info.overhead_ns > 0.0 && info.resolution_ns > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "read overhead must be finite and positive")]
+    fn zero_read_overhead_rejected() {
+        let _ = SimClock::new(0).with_read_overhead_ns(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance must be >= 0")]
+    fn negative_advance_rejected() {
+        SimClock::new(0).advance(-1.0);
+    }
+}

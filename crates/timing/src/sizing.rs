@@ -15,7 +15,7 @@
 //! benchmark sizes (8 MB copies shrunk to 4 MB on small machines — the
 //! paper's own footnote 1 behaviour).
 
-use std::time::Instant;
+use crate::clock::{ClockInfo, RealClock, TimeSource};
 
 /// Page size used by the touch probe; 4 KiB matches every platform the
 /// suite targets (and over-striding merely touches more often, which is
@@ -47,10 +47,15 @@ pub const PAGED_OUT_FRACTION: f64 = 0.01;
 pub fn probe_available_memory(start: usize, limit: usize) -> usize {
     assert!(start > 0, "start must be nonzero");
     assert!(limit >= start, "limit below start");
+    // Probe the clock once: every timed page reference below compensates
+    // for the read overhead, so an expensive clock no longer masquerades
+    // as a slow page (which used to misclassify resident memory as paged
+    // out on hosts where a clock read costs microseconds).
+    let clock = ClockInfo::probe();
     let mut good = 0usize;
     let mut size = start;
     loop {
-        match try_touch(size) {
+        match try_touch(&clock, size) {
             Some(slow_fraction) if slow_fraction <= PAGED_OUT_FRACTION => good = size,
             _ => break,
         }
@@ -62,10 +67,38 @@ pub fn probe_available_memory(start: usize, limit: usize) -> usize {
     good
 }
 
+/// Times one reference per page via `touch(page_index)` on `source`,
+/// subtracts the clock-read overhead from each interval (clamped at zero),
+/// and returns the fraction slower than [`PAGED_OUT_THRESHOLD_NS`].
+///
+/// This is the classification core of the paper's §3.1 probe, factored out
+/// so a simulated clock can drive it with scripted page costs. The real
+/// probe ([`probe_available_memory`]) calls it with a buffer-backed touch.
+pub fn paged_out_fraction_with<T: TimeSource>(
+    source: &T,
+    clock: &ClockInfo,
+    pages: usize,
+    mut touch: impl FnMut(usize),
+) -> f64 {
+    if pages == 0 {
+        return 0.0;
+    }
+    let mut slow = 0usize;
+    for p in 0..pages {
+        let start = source.now_ns();
+        touch(p);
+        let dt = (source.now_ns() - start - clock.overhead_ns).max(0.0);
+        if dt > PAGED_OUT_THRESHOLD_NS {
+            slow += 1;
+        }
+    }
+    slow as f64 / pages as f64
+}
+
 /// Allocates `size` bytes, touches each page, and returns the fraction of
-/// page references slower than [`PAGED_OUT_THRESHOLD_NS`] (or `None` if
-/// the allocation failed).
-fn try_touch(size: usize) -> Option<f64> {
+/// page references slower than [`PAGED_OUT_THRESHOLD_NS`] after clock
+/// compensation (or `None` if the allocation failed).
+fn try_touch(clock: &ClockInfo, size: usize) -> Option<f64> {
     let pages = size / PROBE_PAGE;
     if pages == 0 {
         return Some(0.0);
@@ -79,15 +112,9 @@ fn try_touch(size: usize) -> Option<f64> {
     for p in 0..pages {
         buf[p * PROBE_PAGE] = 1;
     }
-    let mut slow = 0usize;
-    for p in 0..pages {
-        let t = Instant::now();
+    Some(paged_out_fraction_with(&RealClock, clock, pages, |p| {
         std::hint::black_box(buf[p * PROBE_PAGE]);
-        if t.elapsed().as_nanos() as f64 > PAGED_OUT_THRESHOLD_NS {
-            slow += 1;
-        }
-    }
-    Some(slow as f64 / pages as f64)
+    }))
 }
 
 /// Concrete sizes for the suite's memory-hungry benchmarks, derived from the
@@ -216,6 +243,60 @@ mod tests {
         let grown = s.grow_past_cache(8 << 20, 1 << 30);
         assert!(grown * 3 >= s.available || grown >= 4 << 30 || grown <= 32 << 20);
         assert!(grown <= 32 << 20);
+    }
+
+    #[test]
+    fn expensive_clock_reads_no_longer_fake_paging() {
+        // Regression (sim reproduction): a 5µs clock read around a 100ns
+        // page touch used to read as 5.1µs > threshold, classifying every
+        // resident page as paged out. With compensation the probe sees
+        // 100ns and the region is resident.
+        use crate::sim::{CostModel, SimClock};
+        let sim = SimClock::new(31).with_read_overhead_ns(5_000.0);
+        let clock = ClockInfo {
+            resolution_ns: 1.0,
+            overhead_ns: 5_000.0,
+        };
+        let mut touch = sim.scripted_body(CostModel::Constant { ns: 100.0 });
+        let fraction = paged_out_fraction_with(&sim, &clock, 64, |_| touch());
+        assert_eq!(fraction, 0.0, "resident pages misread as paged out");
+    }
+
+    #[test]
+    fn simulated_paged_out_region_is_classified_as_such() {
+        // A quarter of the pages fault at 50µs apiece: far over the
+        // threshold even after compensation, and far over the tolerated
+        // fraction.
+        use crate::sim::{CostModel, SimClock};
+        let sim = SimClock::new(32).with_read_overhead_ns(30.0);
+        let clock = ClockInfo {
+            resolution_ns: 1.0,
+            overhead_ns: 30.0,
+        };
+        let mut fast = sim.scripted_body(CostModel::Constant { ns: 120.0 });
+        let fraction = paged_out_fraction_with(&sim, &clock, 100, |p| {
+            if p % 4 == 0 {
+                sim.advance(50_000.0);
+            } else {
+                fast();
+            }
+        });
+        assert!(
+            (fraction - 0.25).abs() < 1e-9,
+            "slow fraction {fraction}, expected 0.25"
+        );
+        assert!(fraction > PAGED_OUT_FRACTION, "must classify as paged out");
+    }
+
+    #[test]
+    fn empty_region_has_no_slow_pages() {
+        use crate::sim::SimClock;
+        let sim = SimClock::new(33);
+        let clock = ClockInfo {
+            resolution_ns: 1.0,
+            overhead_ns: 15.0,
+        };
+        assert_eq!(paged_out_fraction_with(&sim, &clock, 0, |_| {}), 0.0);
     }
 
     #[test]

@@ -322,6 +322,39 @@ mod tests {
     }
 
     #[test]
+    fn all_equal_samples_collapse_every_percentile() {
+        let s = sample(&[7.5; 9]);
+        for p in [0.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            assert_eq!(s.percentile(p), Some(7.5), "p{p}");
+        }
+        assert_eq!(s.iqr(), Some(0.0));
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn p50_is_the_median_on_even_length_sets() {
+        for values in [
+            &[1.0, 2.0][..],
+            &[4.0, 1.0, 3.0, 2.0][..],
+            &[10.0, 10.0, 20.0, 30.0, 40.0, 40.0][..],
+        ] {
+            let s = sample(values);
+            assert_eq!(s.p50(), s.median(), "values {values:?}");
+        }
+        // And the midpoint rule itself: R-7 on [1,2,3,4] gives 2.5.
+        assert_eq!(sample(&[4.0, 2.0, 1.0, 3.0]).p50(), Some(2.5));
+    }
+
+    #[test]
+    fn extreme_percentiles_are_exact_order_statistics() {
+        // p=0 and p=100 must return min/max exactly — no interpolation
+        // artifacts off the ends of the sorted array.
+        let s = sample(&[3.0, 1.0, 4.0, 1.5, 9.0, 2.6]);
+        assert_eq!(s.percentile(0.0), s.min());
+        assert_eq!(s.percentile(100.0), s.max());
+    }
+
+    #[test]
     fn from_values_rejects_nan_and_still_behaves() {
         let s = Samples::from_values([f64::NAN, f64::NAN]);
         assert!(s.is_empty(), "all-NaN input collapses to the empty set");

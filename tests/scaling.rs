@@ -229,6 +229,7 @@ fn scaled_record(p50_us: f64) -> BenchRecord {
             iqr_outliers: 0,
             quality: "good".into(),
             measure_calls: 4,
+            clamped_samples: 0,
         }),
         rusage: None,
         metrics: vec![
