@@ -260,7 +260,7 @@ impl Engine {
                 .into_iter()
                 .map(|slot| slot.expect("every benchmark produced a record").0)
                 .collect(),
-            scaling: Vec::new(),
+            ..Default::default()
         };
         emit(|| EventKind::SuiteEnd {
             ok: report.count("ok") as u32,

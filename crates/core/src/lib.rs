@@ -28,6 +28,7 @@ pub mod output;
 pub mod registry;
 pub mod report;
 pub mod scale;
+pub mod service;
 pub mod suite;
 
 pub use config::{RetryPolicy, SuiteConfig, Verbosity};
@@ -37,4 +38,5 @@ pub use host::detect_host;
 pub use output::{BenchOutput, Metric, Unit};
 pub use registry::{Benchmark, Category, Registry};
 pub use scale::{find_scale_spec, scale_registry, LoadGen, LoadSpec, ScaleFaultPlan, ScaleRunner};
+pub use service::{ReportClient, ResultsService, ServiceConfig};
 pub use suite::{run_suite, run_suite_with_report};

@@ -740,7 +740,7 @@ mod tests {
         };
         let text = provenance_section(&lmb_results::RunReport {
             records: vec![measured, skipped],
-            scaling: Vec::new(),
+            ..Default::default()
         });
         assert!(text.contains("lat_syscall"));
         assert!(text.contains("1024"));

@@ -1,0 +1,193 @@
+//! The fleet-side client: pushes reports and runs queries against a
+//! results daemon, retrying transport failures the way the engine
+//! retries noisy samples — bounded attempts, growing intervals, then an
+//! honest error.
+
+use super::proto::{
+    self, DiffReply, DiffRequest, HistoryReply, HistoryRequest, PushReply, PushRequest, TableReply,
+    TableRequest,
+};
+use bytes::Bytes;
+use lmb_results::Baseline;
+use lmb_rpc::{
+    CallError, RpcClient, RESULTS_PROC_DIFF, RESULTS_PROC_HISTORY, RESULTS_PROC_PUSH,
+    RESULTS_PROC_TABLE, RESULTS_PROGRAM, RESULTS_VERSION,
+};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// How many times a call is attempted before its transport error is
+/// surfaced. Mirrors the engine's [`crate::RetryPolicy`] discipline:
+/// retries are bounded and visible, never silent and unbounded.
+const MAX_ATTEMPTS: u32 = 4;
+
+/// Backoff before attempt `n` (1-based retry): 50ms, 100ms, 200ms.
+const BACKOFF_BASE_MS: u64 = 50;
+
+/// A connection to a results daemon, lazily established and re-dialed
+/// after transport errors.
+pub struct ReportClient {
+    addr: String,
+    conn: Option<RpcClient>,
+}
+
+impl ReportClient {
+    /// Creates a client for `addr` (`host:port`). No connection is made
+    /// until the first call, so constructing one cannot fail.
+    pub fn new(addr: impl Into<String>) -> ReportClient {
+        ReportClient {
+            addr: addr.into(),
+            conn: None,
+        }
+    }
+
+    /// The address this client dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Pushes one entry into its host's shard; returns the daemon's ack.
+    pub fn push(&mut self, entry: Baseline) -> Result<PushReply, CallError> {
+        self.call_json(RESULTS_PROC_PUSH, &PushRequest { entry })
+    }
+
+    /// Asks for the newest-vs-previous diff of a host's series.
+    pub fn diff(&mut self, fingerprint: &str) -> Result<DiffReply, CallError> {
+        self.call_json(
+            RESULTS_PROC_DIFF,
+            &DiffRequest {
+                fingerprint: fingerprint.into(),
+            },
+        )
+    }
+
+    /// Asks for one metric's value across a host's series.
+    pub fn history(
+        &mut self,
+        fingerprint: &str,
+        bench: &str,
+        metric: &str,
+    ) -> Result<HistoryReply, CallError> {
+        self.call_json(
+            RESULTS_PROC_HISTORY,
+            &HistoryRequest {
+                fingerprint: fingerprint.into(),
+                bench: bench.into(),
+                metric: metric.into(),
+            },
+        )
+    }
+
+    /// Asks for the paper tables regenerated from a host's newest run.
+    pub fn table(&mut self, fingerprint: &str) -> Result<TableReply, CallError> {
+        self.call_json(
+            RESULTS_PROC_TABLE,
+            &TableRequest {
+                fingerprint: fingerprint.into(),
+            },
+        )
+    }
+
+    /// Encodes `request`, calls `procedure`, decodes the reply. Transport
+    /// errors drop the cached connection, back off, re-dial, and retry up
+    /// to [`MAX_ATTEMPTS`]; RPC faults and decode failures are final (the
+    /// daemon answered — asking again would get the same answer).
+    fn call_json<Req: Serialize, Reply: Deserialize>(
+        &mut self,
+        procedure: u32,
+        request: &Req,
+    ) -> Result<Reply, CallError> {
+        let wire = proto::to_wire(request);
+        let reply = self.call_retrying(procedure, wire)?;
+        proto::from_wire(reply).map_err(|_| CallError::BadReply)
+    }
+
+    fn call_retrying(&mut self, procedure: u32, args: Bytes) -> Result<Bytes, CallError> {
+        let mut last = None;
+        for attempt in 0..MAX_ATTEMPTS {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(BACKOFF_BASE_MS << (attempt - 1)));
+            }
+            let conn = match self.connection() {
+                Ok(conn) => conn,
+                Err(err) => {
+                    last = Some(err);
+                    continue;
+                }
+            };
+            match conn.call(procedure, args.clone()) {
+                Ok(reply) => return Ok(reply),
+                Err(CallError::Io(err)) => {
+                    // The connection is in an unknown state; dial fresh.
+                    self.conn = None;
+                    last = Some(CallError::Io(err));
+                }
+                Err(final_err) => return Err(final_err),
+            }
+        }
+        Err(last.unwrap_or(CallError::BadReply))
+    }
+
+    fn connection(&mut self) -> Result<&mut RpcClient, CallError> {
+        if self.conn.is_none() {
+            self.conn = Some(RpcClient::connect_tcp(
+                self.addr.as_str(),
+                RESULTS_PROGRAM,
+                RESULTS_VERSION,
+            )?);
+        }
+        Ok(self.conn.as_mut().expect("connection just established"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_rpc::{read_record, write_record, RpcMessage};
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    #[test]
+    fn unreachable_daemon_fails_after_bounded_attempts() {
+        // A listener that is bound then dropped: the port refuses.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let mut client = ReportClient::new(format!("127.0.0.1:{port}"));
+        match client.diff("fp-a") {
+            Err(CallError::Io(_)) => {}
+            other => panic!("expected Io after retries, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn client_survives_a_dropped_first_connection() {
+        // A daemon stand-in that accepts, drops the first connection cold,
+        // then serves the second properly — the client must reconnect and
+        // succeed without the caller noticing.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let server = std::thread::spawn(move || {
+            let (conn, _) = listener.accept().unwrap();
+            drop(conn); // First connection torn down before any reply.
+            let (mut conn, _) = listener.accept().unwrap();
+            let call = RpcMessage::decode(read_record(&mut conn).unwrap()).unwrap();
+            let xid = call.xid;
+            let args = match call.body {
+                lmb_rpc::Body::Call(c) => c.args,
+                _ => panic!("expected a call"),
+            };
+            let req: DiffRequest = proto::from_wire(args).unwrap();
+            assert_eq!(req.fingerprint, "fp-a");
+            let reply = RpcMessage::reply_success(xid, proto::to_wire(&proto::diff_reply(&[])));
+            write_record(&mut conn, &reply.encode()).unwrap();
+            conn.flush().unwrap();
+        });
+
+        let mut client = ReportClient::new(format!("127.0.0.1:{port}"));
+        let reply = client.diff("fp-a").unwrap();
+        assert!(!reply.found, "empty shard diff from the stand-in");
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,273 @@
+//! The results daemon: lmb-rpc dispatch wired to the segment store.
+
+use super::proto::{self, DiffRequest, HistoryRequest, PushReply, PushRequest, TableRequest};
+use super::store::SegmentStore;
+use bytes::Bytes;
+use lmb_results::ReportStore;
+use lmb_rpc::{
+    Registry, RpcServer, ServerOptions, RESULTS_PROC_DIFF, RESULTS_PROC_HISTORY, RESULTS_PROC_PUSH,
+    RESULTS_PROC_TABLE, RESULTS_PROGRAM, RESULTS_VERSION,
+};
+use lmb_sys::signal::{install_handler, Signal};
+use lmb_trace::EventKind;
+use parking_lot::Mutex;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Tunables for [`ResultsService::start`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Where segment files live.
+    pub data_dir: PathBuf,
+    /// Pushes buffered per shard before sealing a segment.
+    pub batch_size: usize,
+    /// Sealed segments per shard before they merge into one.
+    pub compact_threshold: usize,
+    /// Largest RPC record accepted from a peer; larger ones drop the
+    /// connection before buffering.
+    pub max_record_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            data_dir: PathBuf::from(".lmbench/service"),
+            batch_size: 8,
+            compact_threshold: 4,
+            max_record_bytes: 4 << 20,
+        }
+    }
+}
+
+/// A running ingest/query daemon. Dropping it stops the RPC server;
+/// [`ResultsService::shutdown`] additionally seals pending batches first.
+pub struct ResultsService {
+    server: RpcServer,
+    store: Arc<Mutex<SegmentStore>>,
+}
+
+impl ResultsService {
+    /// Opens the store, binds an ephemeral TCP port, and registers the
+    /// four results procedures on a concurrent [`RpcServer`].
+    pub fn start(config: ServiceConfig) -> io::Result<ResultsService> {
+        let store = Arc::new(Mutex::new(SegmentStore::open(
+            &config.data_dir,
+            config.batch_size,
+            config.compact_threshold,
+        )?));
+        let server = RpcServer::start_with(
+            Registry::new(),
+            ServerOptions {
+                concurrent: true,
+                max_record_bytes: Some(config.max_record_bytes),
+            },
+        )?;
+
+        let s = store.clone();
+        register(&server, RESULTS_PROC_PUSH, move |args: Bytes| {
+            let bytes = args.len() as u64;
+            let req: PushRequest = proto::from_wire(args)?;
+            let fingerprint = req.entry.fingerprint.clone();
+            let shard_seq = s.lock().append(req.entry).map_err(|_| ())?;
+            let fp = fingerprint.clone();
+            lmb_trace::emit(|| EventKind::Ingest {
+                fingerprint: fp.clone(),
+                shard_seq,
+                bytes,
+            });
+            Ok(proto::to_wire(&PushReply {
+                fingerprint,
+                shard_seq,
+            }))
+        });
+
+        let s = store.clone();
+        register(&server, RESULTS_PROC_DIFF, move |args: Bytes| {
+            let req: DiffRequest = proto::from_wire(args)?;
+            let history = s.lock().history(&req.fingerprint).map_err(|_| ())?;
+            let reply = proto::diff_reply(&history);
+            note_query("diff", &req.fingerprint, u64::from(reply.regressions));
+            Ok(proto::to_wire(&reply))
+        });
+
+        let s = store.clone();
+        register(&server, RESULTS_PROC_HISTORY, move |args: Bytes| {
+            let req: HistoryRequest = proto::from_wire(args)?;
+            let history = s.lock().history(&req.fingerprint).map_err(|_| ())?;
+            let reply = proto::history_reply(&history, &req.bench, &req.metric);
+            note_query("history", &req.fingerprint, reply.points.len() as u64);
+            Ok(proto::to_wire(&reply))
+        });
+
+        let s = store.clone();
+        register(&server, RESULTS_PROC_TABLE, move |args: Bytes| {
+            let req: TableRequest = proto::from_wire(args)?;
+            let latest = s.lock().latest(&req.fingerprint).map_err(|_| ())?;
+            let reply = proto::table_reply(latest.as_ref());
+            note_query("table", &req.fingerprint, reply.text.lines().count() as u64);
+            Ok(proto::to_wire(&reply))
+        });
+
+        Ok(ResultsService { server, store })
+    }
+
+    /// The TCP port the daemon listens on.
+    pub fn tcp_port(&self) -> u16 {
+        self.server.tcp_port()
+    }
+
+    /// Seals every shard's pending batch to disk.
+    pub fn flush(&self) -> io::Result<()> {
+        self.store.lock().flush_all()
+    }
+
+    /// Flushes, then stops the server (joining its connection threads).
+    pub fn shutdown(self) -> io::Result<()> {
+        self.flush()
+        // `self.server` drops here, stopping accept/connection threads.
+    }
+}
+
+fn register(
+    server: &RpcServer,
+    procedure: u32,
+    handler: impl Fn(Bytes) -> Result<Bytes, ()> + Send + Sync + 'static,
+) {
+    server.register(
+        RESULTS_PROGRAM,
+        RESULTS_VERSION,
+        procedure,
+        Box::new(handler),
+    );
+}
+
+fn note_query(procedure: &str, fingerprint: &str, rows: u64) {
+    let p = procedure.to_string();
+    let fp = fingerprint.to_string();
+    lmb_trace::emit(|| EventKind::Query {
+        procedure: p.clone(),
+        fingerprint: fp.clone(),
+        rows,
+    });
+}
+
+/// Set by [`request_shutdown`] when SIGINT or SIGTERM arrives.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn request_shutdown(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers that flip a flag instead of killing
+/// the process, so `lmbench serve` can seal pending segments on the way
+/// out. Returns the flag to poll.
+pub fn install_shutdown_handler() -> io::Result<&'static AtomicBool> {
+    for sig in [Signal::Int, Signal::Term] {
+        install_handler(sig, request_shutdown)
+            .map_err(|e| io::Error::other(format!("installing {sig:?} handler: {e}")))?;
+    }
+    Ok(&SHUTDOWN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmb_results::{Baseline, RunReport};
+    use lmb_rpc::{CallError, RpcClient, RpcFault};
+    use std::sync::atomic::AtomicU64;
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch_config() -> ServiceConfig {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        ServiceConfig {
+            data_dir: std::env::temp_dir().join(format!("lmb-daemon-{}-{n}", std::process::id())),
+            batch_size: 2,
+            compact_threshold: 3,
+            max_record_bytes: 4 << 20,
+        }
+    }
+
+    fn entry(fingerprint: &str, seconds: u64) -> Baseline {
+        let mut b = Baseline::now(fingerprint, "host", RunReport::default());
+        b.unix_seconds = seconds;
+        b
+    }
+
+    #[test]
+    fn push_then_query_round_trip() {
+        let config = scratch_config();
+        let dir = config.data_dir.clone();
+        let service = ResultsService::start(config).unwrap();
+        let mut client = RpcClient::connect_tcp(
+            ("127.0.0.1", service.tcp_port()),
+            RESULTS_PROGRAM,
+            RESULTS_VERSION,
+        )
+        .unwrap();
+
+        for s in [10, 20] {
+            let reply = client
+                .call(
+                    RESULTS_PROC_PUSH,
+                    proto::to_wire(&PushRequest {
+                        entry: entry("fp-a", s),
+                    }),
+                )
+                .unwrap();
+            let reply: PushReply = proto::from_wire(reply).unwrap();
+            assert_eq!(reply.fingerprint, "fp-a");
+            assert_eq!(reply.shard_seq, s / 10);
+        }
+
+        let reply = client
+            .call(
+                RESULTS_PROC_DIFF,
+                proto::to_wire(&DiffRequest {
+                    fingerprint: "fp-a".into(),
+                }),
+            )
+            .unwrap();
+        let diff: super::super::proto::DiffReply = proto::from_wire(reply).unwrap();
+        assert!(diff.found);
+        assert_eq!(diff.runs, 2);
+
+        let reply = client
+            .call(
+                RESULTS_PROC_TABLE,
+                proto::to_wire(&TableRequest {
+                    fingerprint: "missing".into(),
+                }),
+            )
+            .unwrap();
+        let table: super::super::proto::TableReply = proto::from_wire(reply).unwrap();
+        assert!(!table.found);
+
+        drop(client);
+        service.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_args_fault_instead_of_crashing() {
+        let config = scratch_config();
+        let dir = config.data_dir.clone();
+        let service = ResultsService::start(config).unwrap();
+        let mut client = RpcClient::connect_tcp(
+            ("127.0.0.1", service.tcp_port()),
+            RESULTS_PROGRAM,
+            RESULTS_VERSION,
+        )
+        .unwrap();
+        // Aligned (the transport checks that) but meaningless as a body.
+        match client.call(RESULTS_PROC_PUSH, Bytes::from_static(b"garbage!")) {
+            Err(CallError::Fault(RpcFault::GarbageArguments)) => {}
+            other => panic!("expected GARBAGE_ARGS, got {other:?}"),
+        }
+        drop(client);
+        service.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -5,18 +5,30 @@
 //! refuse to compare a laptop against a build server. Files live under
 //! `.lmbench/baselines/` as plain JSON: inspectable with any tool,
 //! diffable in review, uploadable as CI artifacts.
+//!
+//! The directory store itself lives in [`crate::store`] ([`BaselineStore`]
+//! is its [`DirStore`](crate::store::DirStore) under the name the CLI
+//! grew up with); this module keeps the envelope type and the host
+//! [`fingerprint`].
 
 use crate::runreport::RunReport;
-use serde::{Deserialize, Serialize};
+use crate::schema::SuiteRun;
+use crate::store::SCHEMA_VERSION;
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::io;
-use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
 
-/// A stored reference run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub use crate::store::DirStore as BaselineStore;
+
+/// A stored reference run: the unit every [`ReportStore`](crate::store::ReportStore)
+/// appends, and the envelope the results daemon ships over the wire.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Baseline {
+    /// Schema version this entry was written with (see
+    /// [`crate::store::SCHEMA_VERSION`]); files that predate the field
+    /// read as version 1.
+    pub schema_version: u32,
     /// Host fingerprint (see [`fingerprint`]); comparisons across
     /// fingerprints are refused by callers, not silently wrong.
     pub fingerprint: String,
@@ -26,6 +38,49 @@ pub struct Baseline {
     pub unix_seconds: u64,
     /// The archived run, noise bands included.
     pub report: RunReport,
+    /// The table payload (paper rows) the run produced, when the donor
+    /// shipped one — this is what lets the results daemon regenerate
+    /// paper tables from any stored entry. Absent in v1 files.
+    pub run: Option<SuiteRun>,
+}
+
+// Hand-written for the two tolerances the store's versioning policy
+// promises: `schema_version` absent reads as v1, and the v2 `run` payload
+// stays optional (and unserialized when absent, keeping v1-era files and
+// plain baselines byte-minimal).
+impl Serialize for Baseline {
+    fn to_value(&self) -> Value {
+        let mut obj = Value::object();
+        obj.set(
+            "schema_version",
+            Value::Int(i128::from(self.schema_version)),
+        );
+        obj.set("fingerprint", Value::Str(self.fingerprint.clone()));
+        obj.set("host", Value::Str(self.host.clone()));
+        obj.set("unix_seconds", Value::Int(i128::from(self.unix_seconds)));
+        obj.set("report", self.report.to_value());
+        if let Some(run) = &self.run {
+            obj.set("run", run.to_value());
+        }
+        obj
+    }
+}
+
+impl Deserialize for Baseline {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let obj = value.expect_object("Baseline")?;
+        fn field<T: Deserialize>(obj: &Value, name: &str) -> Result<T, DeError> {
+            T::from_value(obj.field(name)).map_err(|e| e.in_field(name))
+        }
+        Ok(Baseline {
+            schema_version: field::<Option<u32>>(obj, "schema_version")?.unwrap_or(1),
+            fingerprint: field(obj, "fingerprint")?,
+            host: field(obj, "host")?,
+            unix_seconds: field(obj, "unix_seconds")?,
+            report: field(obj, "report")?,
+            run: field(obj, "run")?,
+        })
+    }
 }
 
 impl Baseline {
@@ -37,11 +92,21 @@ impl Baseline {
             .map(|d| d.as_secs())
             .unwrap_or(0);
         Baseline {
+            schema_version: SCHEMA_VERSION,
             fingerprint: fingerprint.to_string(),
             host: host.to_string(),
             unix_seconds,
             report,
+            run: None,
         }
+    }
+
+    /// Attaches the table payload the run produced, so the entry can
+    /// regenerate paper tables wherever it is stored.
+    #[must_use]
+    pub fn with_run(mut self, run: SuiteRun) -> Baseline {
+        self.run = Some(run);
+        self
     }
 
     /// Serializes to pretty-printed JSON.
@@ -53,6 +118,11 @@ impl Baseline {
     /// Parses [`Baseline::to_json`] output back.
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(json)
+    }
+
+    /// Serializes without whitespace, for one-entry-per-line segment files.
+    pub fn to_json_compact(&self) -> String {
+        serde_json::to_string(self).expect("baseline types always serialize")
     }
 }
 
@@ -80,97 +150,14 @@ pub fn fingerprint(parts: &[&str]) -> String {
     format!("{hint}-{:016x}", hasher.finish())
 }
 
-/// A directory of [`Baseline`] files.
-#[derive(Debug, Clone)]
-pub struct BaselineStore {
-    dir: PathBuf,
-}
-
-impl BaselineStore {
-    /// The conventional location, relative to the working directory.
-    #[must_use]
-    pub fn default_dir() -> PathBuf {
-        PathBuf::from(".lmbench").join("baselines")
-    }
-
-    /// A store rooted at `dir` (created lazily on first save).
-    #[must_use]
-    pub fn new(dir: impl Into<PathBuf>) -> BaselineStore {
-        BaselineStore { dir: dir.into() }
-    }
-
-    /// The store's directory.
-    #[must_use]
-    pub fn dir(&self) -> &Path {
-        &self.dir
-    }
-
-    /// Writes a baseline as `{fingerprint}-{unix_seconds}.json` (with a
-    /// numeric suffix if two saves land in the same second) and returns
-    /// the path.
-    pub fn save(&self, baseline: &Baseline) -> io::Result<PathBuf> {
-        std::fs::create_dir_all(&self.dir)?;
-        let stem = format!("{}-{}", baseline.fingerprint, baseline.unix_seconds);
-        let mut path = self.dir.join(format!("{stem}.json"));
-        let mut n = 1u32;
-        while path.exists() {
-            path = self.dir.join(format!("{stem}-{n}.json"));
-            n += 1;
-        }
-        std::fs::write(&path, baseline.to_json())?;
-        Ok(path)
-    }
-
-    /// The most recent readable baseline for `fingerprint`, or `None` when
-    /// the store has nothing comparable. Unreadable or mismatched files are
-    /// skipped, not fatal: a corrupt baseline should read as "no baseline",
-    /// never as "no regression".
-    pub fn latest(&self, fingerprint: &str) -> io::Result<Option<Baseline>> {
-        let entries = match std::fs::read_dir(&self.dir) {
-            Ok(entries) => entries,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e),
-        };
-        let mut best: Option<(u64, String, Baseline)> = None;
-        for entry in entries {
-            let path = entry?.path();
-            if path.extension().and_then(|e| e.to_str()) != Some("json") {
-                continue;
-            }
-            let Ok(text) = std::fs::read_to_string(&path) else {
-                continue;
-            };
-            let Ok(baseline) = Baseline::from_json(&text) else {
-                continue;
-            };
-            if baseline.fingerprint != fingerprint {
-                continue;
-            }
-            let name = path
-                .file_name()
-                .and_then(|n| n.to_str())
-                .unwrap_or_default()
-                .to_string();
-            let key = (baseline.unix_seconds, name);
-            if best
-                .as_ref()
-                .is_none_or(|(s, n, _)| (*s, n.as_str()) < (key.0, key.1.as_str()))
-            {
-                best = Some((key.0, key.1, baseline));
-            }
-        }
-        Ok(best.map(|(_, _, b)| b))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::runreport::{BenchRecord, BenchStatus};
+    use crate::schema::SyscallRow;
 
     fn report(bench: &str) -> RunReport {
         RunReport {
-            scaling: Vec::new(),
             records: vec![BenchRecord {
                 name: bench.into(),
                 produces: "Table 7".into(),
@@ -183,6 +170,7 @@ mod tests {
                 metrics: Vec::new(),
                 span: None,
             }],
+            ..Default::default()
         }
     }
 
@@ -265,5 +253,40 @@ mod tests {
         std::fs::write(store.dir().join(format!("{fp}-7.json")), "{not json").unwrap();
         assert_eq!(store.latest(&fp).unwrap(), None, "corrupt file");
         let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn v1_envelope_without_schema_version_reads_as_v1() {
+        // Files written before the field existed must keep loading.
+        let fp = fingerprint(&["hostA"]);
+        let mut value = Baseline::now(&fp, "hostA", report("lat_syscall")).to_value();
+        value.set("schema_version", Value::Null);
+        let loaded = Baseline::from_value(&value).expect("tolerant");
+        assert_eq!(loaded.schema_version, 1);
+        assert_eq!(loaded.run, None);
+        // Re-serializing preserves the version it was loaded with.
+        let again = Baseline::from_json(&loaded.to_json()).expect("reparse");
+        assert_eq!(again.schema_version, 1);
+    }
+
+    #[test]
+    fn run_payload_roundtrips_and_stays_optional() {
+        let fp = fingerprint(&["hostA"]);
+        let plain = Baseline::now(&fp, "hostA", report("lat_syscall"));
+        assert!(
+            !plain.to_json().contains("\"run\""),
+            "absent payload is not serialized"
+        );
+        let with_run = plain.clone().with_run(SuiteRun {
+            syscall: Some(SyscallRow {
+                system: "hostA".into(),
+                syscall_us: 4.2,
+            }),
+            ..Default::default()
+        });
+        assert_eq!(with_run.schema_version, SCHEMA_VERSION);
+        let back = Baseline::from_json(&with_run.to_json()).expect("roundtrip");
+        assert_eq!(back, with_run);
+        assert_eq!(back.run.unwrap().syscall.unwrap().syscall_us, 4.2);
     }
 }

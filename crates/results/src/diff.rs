@@ -401,7 +401,7 @@ mod tests {
     fn report(records: Vec<BenchRecord>) -> RunReport {
         RunReport {
             records,
-            scaling: Vec::new(),
+            ..Default::default()
         }
     }
 

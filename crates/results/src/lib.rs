@@ -35,6 +35,7 @@ pub mod plot;
 pub mod runreport;
 pub mod scaling;
 pub mod schema;
+pub mod store;
 pub mod summary;
 pub mod table;
 
@@ -47,5 +48,6 @@ pub use plot::{AsciiPlot, Series};
 pub use runreport::{BenchRecord, BenchStatus, MetricValue, Provenance, ResourceUsage, RunReport};
 pub use scaling::{GeneratorSample, ScalePoint, ScalingCurve};
 pub use schema::*;
+pub use store::{load_entry, DirStore, MemoryStore, ReportStore, SCHEMA_VERSION};
 pub use summary::{db_summary, host_summary};
 pub use table::{Align, SortOrder, Table};

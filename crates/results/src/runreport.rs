@@ -263,8 +263,12 @@ pub struct BenchRecord {
 }
 
 /// Everything the engine can say about a suite run, beyond the results.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
+    /// Schema version this report was written with (see
+    /// [`crate::store::SCHEMA_VERSION`]); reports that predate the field
+    /// read as version 1.
+    pub schema_version: u32,
     /// One record per registry entry, in registry order.
     pub records: Vec<BenchRecord>,
     /// Load-scaling curves measured by `lmbench scale` (empty for plain
@@ -272,11 +276,26 @@ pub struct RunReport {
     pub scaling: Vec<crate::scaling::ScalingCurve>,
 }
 
-// Hand-written so `scaling` stays optional on the wire: reports archived
-// before the scale subsystem carry only `records`.
+impl Default for RunReport {
+    fn default() -> RunReport {
+        RunReport {
+            schema_version: crate::store::SCHEMA_VERSION,
+            records: Vec::new(),
+            scaling: Vec::new(),
+        }
+    }
+}
+
+// Hand-written so `scaling` and `schema_version` stay optional on the
+// wire: reports archived before the scale subsystem carry only `records`,
+// and reports archived before the versioning policy read as version 1.
 impl Serialize for RunReport {
     fn to_value(&self) -> Value {
         let mut obj = Value::object();
+        obj.set(
+            "schema_version",
+            Value::Int(i128::from(self.schema_version)),
+        );
         obj.set("records", self.records.to_value());
         obj.set("scaling", self.scaling.to_value());
         obj
@@ -287,6 +306,9 @@ impl Deserialize for RunReport {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         let obj = value.expect_object("RunReport")?;
         Ok(RunReport {
+            schema_version: Option::<u32>::from_value(obj.field("schema_version"))
+                .map_err(|e| e.in_field("schema_version"))?
+                .unwrap_or(1),
             records: Vec::from_value(obj.field("records")).map_err(|e| e.in_field("records"))?,
             scaling: crate::scaling::scaling_from_value(obj.field("scaling"))?,
         })
@@ -422,7 +444,7 @@ mod tests {
                 record("lat_ctx", BenchStatus::TimedOut { limit_ms: 100 }),
                 record("lat_disk", BenchStatus::Skipped("no raw device".into())),
             ],
-            scaling: Vec::new(),
+            ..Default::default()
         };
         assert_eq!(report.count("ok"), 1);
         assert_eq!(report.count("failed"), 1);
@@ -440,7 +462,7 @@ mod tests {
                 record("lat_syscall", BenchStatus::Ok),
                 record("lat_ctx", BenchStatus::Skipped("no loopback".into())),
             ],
-            scaling: Vec::new(),
+            ..Default::default()
         };
         let shown = format!("{report}");
         assert_eq!(shown, report.render());
@@ -456,7 +478,7 @@ mod tests {
                 record("lat_syscall", BenchStatus::Ok),
                 record("bw_mem", BenchStatus::TimedOut { limit_ms: 77 }),
             ],
-            scaling: Vec::new(),
+            ..Default::default()
         };
         let back = RunReport::from_json(&report.to_json()).expect("parse own JSON");
         assert_eq!(back, report);
@@ -468,7 +490,7 @@ mod tests {
         rec.span = Some(41);
         let report = RunReport {
             records: vec![rec.clone(), record("bw_mem", BenchStatus::Ok)],
-            scaling: Vec::new(),
+            ..Default::default()
         };
         let back = RunReport::from_value(&report.to_value()).expect("roundtrip");
         assert_eq!(back.records[0].span, Some(41));
@@ -499,7 +521,7 @@ mod tests {
         });
         let report = RunReport {
             records: vec![rec.clone()],
-            scaling: Vec::new(),
+            ..Default::default()
         };
         let back = RunReport::from_value(&report.to_value()).expect("roundtrip");
         assert_eq!(back.records[0], rec);
@@ -579,7 +601,7 @@ mod tests {
         ];
         let report = RunReport {
             records: vec![rec.clone()],
-            scaling: Vec::new(),
+            ..Default::default()
         };
         let json = report.to_json();
         assert!(json.contains("invol_ctx_switches"), "{json}");

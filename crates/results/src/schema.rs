@@ -227,8 +227,12 @@ pub struct DiskRow {
 }
 
 /// A full suite run: everything one machine produced.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SuiteRun {
+    /// Schema version this run was written with (see
+    /// [`crate::store::SCHEMA_VERSION`]); runs that predate the field
+    /// read as version 1.
+    pub schema_version: u32,
     /// The machine (Table 1 row).
     pub system: Option<SystemInfo>,
     /// Table 2 measurements.
@@ -263,6 +267,66 @@ pub struct SuiteRun {
     pub fs_lat: Option<FsLatRow>,
     /// Table 17.
     pub disk: Option<DiskRow>,
+}
+
+impl Default for SuiteRun {
+    fn default() -> SuiteRun {
+        SuiteRun {
+            schema_version: crate::store::SCHEMA_VERSION,
+            system: None,
+            mem_bw: None,
+            ipc_bw: None,
+            remote_bw: Vec::new(),
+            file_bw: None,
+            cache_lat: None,
+            syscall: None,
+            signal: None,
+            proc: None,
+            ctx: None,
+            pipe_lat: None,
+            tcp_rpc: None,
+            udp_rpc: None,
+            remote_lat: Vec::new(),
+            connect: None,
+            fs_lat: None,
+            disk: None,
+        }
+    }
+}
+
+// Hand-written so `schema_version` stays optional on the wire: runs
+// archived before the versioning policy read as version 1 (the same
+// tolerance `rusage.contended` and `provenance.clamped_samples` get).
+impl serde::Deserialize for SuiteRun {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = value.expect_object("SuiteRun")?;
+        fn field<T: serde::Deserialize>(
+            obj: &serde::Value,
+            name: &str,
+        ) -> Result<T, serde::DeError> {
+            T::from_value(obj.field(name)).map_err(|e| e.in_field(name))
+        }
+        Ok(SuiteRun {
+            schema_version: field::<Option<u32>>(obj, "schema_version")?.unwrap_or(1),
+            system: field(obj, "system")?,
+            mem_bw: field(obj, "mem_bw")?,
+            ipc_bw: field(obj, "ipc_bw")?,
+            remote_bw: field(obj, "remote_bw")?,
+            file_bw: field(obj, "file_bw")?,
+            cache_lat: field(obj, "cache_lat")?,
+            syscall: field(obj, "syscall")?,
+            signal: field(obj, "signal")?,
+            proc: field(obj, "proc")?,
+            ctx: field(obj, "ctx")?,
+            pipe_lat: field(obj, "pipe_lat")?,
+            tcp_rpc: field(obj, "tcp_rpc")?,
+            udp_rpc: field(obj, "udp_rpc")?,
+            remote_lat: field(obj, "remote_lat")?,
+            connect: field(obj, "connect")?,
+            fs_lat: field(obj, "fs_lat")?,
+            disk: field(obj, "disk")?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -94,6 +94,27 @@ impl RpcClient {
         })
     }
 
+    /// Connects straight to a TCP endpoint, bypassing the registry — for
+    /// clients that were handed an address out of band, the way
+    /// `lmbench report push --to host:port` is. `addr` is anything
+    /// `ToSocketAddrs` accepts (`"127.0.0.1:4045"`, a `SocketAddr`, ...).
+    pub fn connect_tcp(
+        addr: impl std::net::ToSocketAddrs,
+        program: u32,
+        version: u32,
+    ) -> Result<Self, CallError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+        Ok(Self {
+            transport: Transport::Tcp(stream),
+            program,
+            version,
+            next_xid: 1,
+            udp_buf: Vec::new(),
+        })
+    }
+
     /// One remote procedure call; `args` must be XDR-encoded (4-aligned).
     pub fn call(&mut self, procedure: u32, args: Bytes) -> Result<Bytes, CallError> {
         let xid = self.next_xid;

@@ -29,10 +29,11 @@ pub mod registry;
 pub mod server;
 pub mod xdr;
 
-pub use client::RpcClient;
-pub use message::{CallBody, MsgType, ReplyBody, RpcMessage, RPC_VERSION};
+pub use client::{CallError, RpcClient};
+pub use message::{Body, CallBody, MsgType, ReplyBody, RpcFault, RpcMessage, RPC_VERSION};
+pub use record::{read_record, read_record_limited, write_record, MAX_FRAGMENT};
 pub use registry::{Protocol, Registry};
-pub use server::{Procedure, RpcServer};
+pub use server::{Procedure, RpcServer, ServerOptions};
 pub use xdr::{XdrDecoder, XdrEncoder, XdrError};
 
 /// The echo program used by the latency benchmarks.
@@ -41,3 +42,17 @@ pub const ECHO_PROGRAM: u32 = 0x2000_0001;
 pub const ECHO_VERSION: u32 = 1;
 /// Echo procedure number (0 is the conventional NULL proc).
 pub const ECHO_PROC: u32 = 1;
+
+/// The results-service program served by `lmbench serve`.
+pub const RESULTS_PROGRAM: u32 = 0x2000_0002;
+/// Version of the results program (the RPC interface version; the
+/// payload schema is versioned separately by `lmb-results`).
+pub const RESULTS_VERSION: u32 = 1;
+/// Ingest one pushed run report.
+pub const RESULTS_PROC_PUSH: u32 = 1;
+/// Latest-vs-previous regression diff for one host fingerprint.
+pub const RESULTS_PROC_DIFF: u32 = 2;
+/// Metric history for a (fingerprint, bench, metric) triple.
+pub const RESULTS_PROC_HISTORY: u32 = 3;
+/// Regenerated paper tables from a stored run.
+pub const RESULTS_PROC_TABLE: u32 = 4;

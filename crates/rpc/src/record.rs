@@ -34,6 +34,18 @@ pub fn write_record<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
 
 /// Reads one complete record (possibly multiple fragments).
 pub fn read_record<R: Read>(r: &mut R) -> io::Result<Bytes> {
+    read_record_limited(r, usize::MAX)
+}
+
+/// Reads one complete record, rejecting any record whose *total*
+/// reassembled size exceeds `max_total` bytes.
+///
+/// [`read_record`] caps each fragment at [`MAX_FRAGMENT`] but places no
+/// bound on how many fragments a record may span — fine between trusted
+/// benchmark processes, not for a long-running daemon whose peers can be
+/// buggy. The check runs against the declared fragment lengths *before*
+/// buffering, so an oversized record is refused without allocating for it.
+pub fn read_record_limited<R: Read>(r: &mut R, max_total: usize) -> io::Result<Bytes> {
     let mut out = BytesMut::new();
     loop {
         let mut hdr = [0u8; 4];
@@ -45,6 +57,15 @@ pub fn read_record<R: Read>(r: &mut R) -> io::Result<Bytes> {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("fragment of {len} bytes exceeds cap"),
+            ));
+        }
+        if out.len().saturating_add(len) > max_total {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "record exceeds {max_total}-byte cap ({} buffered + {len} declared)",
+                    out.len()
+                ),
             ));
         }
         let start = out.len();
@@ -124,6 +145,36 @@ mod tests {
         let cut = framed.slice(0..6);
         let mut cursor = std::io::Cursor::new(cut.as_ref());
         assert!(read_record(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn limited_read_rejects_oversized_records_before_buffering() {
+        let framed = frame(b"twelve bytes");
+        let mut cursor = std::io::Cursor::new(framed.as_ref());
+        let err = read_record_limited(&mut cursor, 5).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // A record at exactly the cap passes.
+        let mut cursor = std::io::Cursor::new(framed.as_ref());
+        let record = read_record_limited(&mut cursor, 12).unwrap();
+        assert_eq!(record.as_ref(), b"twelve bytes");
+    }
+
+    #[test]
+    fn limited_read_caps_the_fragment_total_not_each_fragment() {
+        // Two 3-byte fragments: total 6 exceeds a 5-byte cap even though
+        // each fragment alone fits.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&3u32.to_be_bytes());
+        stream.extend_from_slice(b"abc");
+        stream.extend_from_slice(&(3u32 | 0x8000_0000).to_be_bytes());
+        stream.extend_from_slice(b"def");
+        let mut cursor = std::io::Cursor::new(stream.as_slice());
+        assert!(read_record_limited(&mut cursor, 5).is_err());
+        let mut cursor = std::io::Cursor::new(stream.as_slice());
+        assert_eq!(
+            read_record_limited(&mut cursor, 6).unwrap().as_ref(),
+            b"abcdef"
+        );
     }
 
     #[test]

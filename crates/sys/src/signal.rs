@@ -16,6 +16,11 @@ pub enum Signal {
     Usr1,
     /// `SIGUSR2` — secondary, for install-cost alternation.
     Usr2,
+    /// `SIGINT` — interactive interrupt; the results daemon treats it as
+    /// a graceful-shutdown request.
+    Int,
+    /// `SIGTERM` — polite termination; same graceful-shutdown path.
+    Term,
 }
 
 impl Signal {
@@ -24,6 +29,8 @@ impl Signal {
         match self {
             Signal::Usr1 => libc::SIGUSR1,
             Signal::Usr2 => libc::SIGUSR2,
+            Signal::Int => libc::SIGINT,
+            Signal::Term => libc::SIGTERM,
         }
     }
 }

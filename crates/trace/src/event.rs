@@ -174,6 +174,46 @@ pub enum EventKind {
         /// Wall-clock spent in the timed section, milliseconds.
         elapsed_ms: f64,
     },
+    /// The results service accepted one pushed run report into a shard.
+    Ingest {
+        /// Host fingerprint the report was sharded under.
+        fingerprint: String,
+        /// 1-based position of this run within its shard's time series.
+        /// (Named distinctly from the event's own global `seq`, next to
+        /// which it is flattened in the JSONL line.)
+        shard_seq: u64,
+        /// Size of the stored record's JSON encoding, bytes.
+        bytes: u64,
+    },
+    /// The results service answered a query procedure.
+    Query {
+        /// Procedure name (`diff`, `history`, `table`).
+        procedure: String,
+        /// Host fingerprint the query targeted.
+        fingerprint: String,
+        /// Result rows (diff rows, history points, table lines) returned.
+        rows: u64,
+    },
+    /// The results store merged a shard's on-disk segments.
+    Compaction {
+        /// Host fingerprint of the compacted shard.
+        fingerprint: String,
+        /// Sealed segment files before the merge.
+        segments_before: u32,
+        /// Sealed segment files after the merge.
+        segments_after: u32,
+        /// Stored runs carried through the merge.
+        runs: u64,
+    },
+    /// A results-store file could not be read or parsed and was skipped.
+    /// Skipping is correct (a corrupt baseline must read as "no baseline",
+    /// never "no regression") but fleet operators need to see the loss.
+    StoreWarning {
+        /// Path of the offending file.
+        path: String,
+        /// Why it was skipped.
+        detail: String,
+    },
     /// A benchmark's final outcome, mirroring its `BenchRecord`.
     Outcome {
         /// Status label (`ok`, `failed`, `timeout`, `skipped`).
@@ -220,6 +260,10 @@ impl EventKind {
             EventKind::ScaleStart { .. } => "scale_start",
             EventKind::ScalePoint { .. } => "scale_point",
             EventKind::Generator { .. } => "generator",
+            EventKind::Ingest { .. } => "ingest",
+            EventKind::Query { .. } => "query",
+            EventKind::Compaction { .. } => "compaction",
+            EventKind::StoreWarning { .. } => "store_warning",
             EventKind::Outcome { .. } => "outcome",
             EventKind::SuiteEnd { .. } => "suite_end",
         }
@@ -308,6 +352,26 @@ impl EventKind {
                 index: 1,
                 ops: 24,
                 elapsed_ms: 18.5,
+            },
+            EventKind::Ingest {
+                fingerprint: "buildbox-00ab54cd12ef3401".into(),
+                shard_seq: 17,
+                bytes: 20480,
+            },
+            EventKind::Query {
+                procedure: "diff".into(),
+                fingerprint: "buildbox-00ab54cd12ef3401".into(),
+                rows: 12,
+            },
+            EventKind::Compaction {
+                fingerprint: "buildbox-00ab54cd12ef3401".into(),
+                segments_before: 9,
+                segments_after: 1,
+                runs: 72,
+            },
+            EventKind::StoreWarning {
+                path: ".lmbench/baselines/host-1.json".into(),
+                detail: "expected JSON object for `Baseline`".into(),
             },
             EventKind::Outcome {
                 status: "ok".into(),
@@ -455,6 +519,39 @@ impl Serialize for TraceEvent {
                 obj.set("ops", ops.to_value());
                 obj.set("elapsed_ms", elapsed_ms.to_value());
             }
+            EventKind::Ingest {
+                fingerprint,
+                shard_seq,
+                bytes,
+            } => {
+                obj.set("fingerprint", fingerprint.to_value());
+                obj.set("shard_seq", shard_seq.to_value());
+                obj.set("bytes", bytes.to_value());
+            }
+            EventKind::Query {
+                procedure,
+                fingerprint,
+                rows,
+            } => {
+                obj.set("procedure", procedure.to_value());
+                obj.set("fingerprint", fingerprint.to_value());
+                obj.set("rows", rows.to_value());
+            }
+            EventKind::Compaction {
+                fingerprint,
+                segments_before,
+                segments_after,
+                runs,
+            } => {
+                obj.set("fingerprint", fingerprint.to_value());
+                obj.set("segments_before", segments_before.to_value());
+                obj.set("segments_after", segments_after.to_value());
+                obj.set("runs", runs.to_value());
+            }
+            EventKind::StoreWarning { path, detail } => {
+                obj.set("path", path.to_value());
+                obj.set("detail", detail.to_value());
+            }
             EventKind::Outcome {
                 status,
                 attempts,
@@ -573,6 +670,26 @@ impl Deserialize for TraceEvent {
                 index: field(obj, "index")?,
                 ops: field(obj, "ops")?,
                 elapsed_ms: field(obj, "elapsed_ms")?,
+            },
+            "ingest" => EventKind::Ingest {
+                fingerprint: field(obj, "fingerprint")?,
+                shard_seq: field(obj, "shard_seq")?,
+                bytes: field(obj, "bytes")?,
+            },
+            "query" => EventKind::Query {
+                procedure: field(obj, "procedure")?,
+                fingerprint: field(obj, "fingerprint")?,
+                rows: field(obj, "rows")?,
+            },
+            "compaction" => EventKind::Compaction {
+                fingerprint: field(obj, "fingerprint")?,
+                segments_before: field(obj, "segments_before")?,
+                segments_after: field(obj, "segments_after")?,
+                runs: field(obj, "runs")?,
+            },
+            "store_warning" => EventKind::StoreWarning {
+                path: field(obj, "path")?,
+                detail: field(obj, "detail")?,
             },
             "outcome" => EventKind::Outcome {
                 status: field(obj, "status")?,

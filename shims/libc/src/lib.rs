@@ -82,6 +82,7 @@ pub const SO_RCVBUF: c_int = 8;
 // signals
 // ---------------------------------------------------------------------------
 
+pub const SIGINT: c_int = 2;
 pub const SIGKILL: c_int = 9;
 pub const SIGUSR1: c_int = 10;
 pub const SIGUSR2: c_int = 12;

@@ -35,26 +35,37 @@
 //! from `diff`/`--baseline check`, 2 usage, 3 invalid configuration or
 //! unreadable input, 4 unknown benchmark.
 
+use lmbench::core::service::install_shutdown_handler;
 use lmbench::core::{
     detect_host, find_scale_spec, report, scale_registry, Engine, EngineOutcome, FaultPlan,
-    Registry, ScaleFaultPlan, ScaleRunner, SuiteConfig, SuiteError, Verbosity,
+    Registry, ReportClient, ResultsService, ScaleFaultPlan, ScaleRunner, ServiceConfig,
+    SuiteConfig, SuiteError, Verbosity,
 };
-use lmbench::results::{fingerprint, Baseline, BaselineStore, ReportDiff, ResultsDb, RunReport};
+use lmbench::results::{
+    fingerprint, load_entry, Baseline, BaselineStore, ReportDiff, ResultsDb, RunReport,
+};
 use lmbench::timing::Harness;
 use lmbench::trace::{span_summaries, Detail, JsonlSink, Progress, SinkHandle};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lmbench <list|run NAME|suite|scale BENCH|report|trace-validate PATH|diff BASE NEW>\n\
+        "usage: lmbench <list|run NAME|suite|scale BENCH|report|trace-validate PATH|diff BASE NEW\n\
+         \x20               |serve|report push FILE|query diff|history|table>\n\
          suite/report flags: [--paper] [--only A,B] [--trace PATH] [--report-json PATH]\n\
          \x20                [--progress] [--quiet] [--verbose]\n\
          suite only:         [--baseline save|check]\n\
          scale:              BENCH (bw_mem|bw_pipe|bw_tcp|lat_pipe|lat_unix|lat_tcp) or `all`,\n\
          \x20                [--max-p N] [--json] plus the shared suite/report flags\n\
-         diff flags:         [--json]"
+         diff flags:         [--json]\n\
+         serve:              [--dir PATH] [--trace PATH] [--batch N] [--compact N]\n\
+         report push:        FILE --to HOST:PORT [--fingerprint FP] [--host-name NAME]\n\
+         \x20                [--at SECONDS]\n\
+         query:              diff|table --to HOST:PORT [--fingerprint FP] [--json],\n\
+         \x20                history BENCH [METRIC] --to HOST:PORT [--fingerprint FP]"
     );
     ExitCode::from(2)
 }
@@ -164,11 +175,11 @@ impl Observer {
 
 /// Loads a run report from a `--report-json` artifact or a saved baseline
 /// file (either shape is accepted, so archived baselines diff directly).
+/// Both shapes route through the unified store loader.
 fn load_report(path: &str) -> Result<RunReport, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    RunReport::from_json(&text)
-        .or_else(|_| Baseline::from_json(&text).map(|b| b.report))
-        .map_err(|e| format!("{path}: neither a run report nor a baseline: {e}"))
+    load_entry(Path::new(path))
+        .map(|entry| entry.report)
+        .map_err(|e| format!("{path}: {e}"))
 }
 
 /// `lmbench diff BASE NEW [--json]`: the noise-aware regression table.
@@ -198,6 +209,238 @@ fn diff_reports(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Positional (non-flag) arguments, skipping the values of flags that
+/// take one.
+fn positionals(args: &[String]) -> Vec<&str> {
+    const VALUE_FLAGS: &[&str] = &[
+        "--to",
+        "--fingerprint",
+        "--host-name",
+        "--at",
+        "--dir",
+        "--batch",
+        "--compact",
+        "--trace",
+        "--report-json",
+        "--only",
+        "--max-p",
+        "--baseline",
+    ];
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if VALUE_FLAGS.contains(&args[i].as_str()) {
+            i += 2;
+        } else if args[i].starts_with("--") {
+            i += 1;
+        } else {
+            out.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// `lmbench serve`: the fleet results daemon. Listens until SIGINT or
+/// SIGTERM, then seals pending segments and exits cleanly.
+fn serve_daemon(args: &[String]) -> ExitCode {
+    let mut config = ServiceConfig::default();
+    if let Some(dir) = flag_value(args, "--dir") {
+        config.data_dir = dir.into();
+    }
+    if let Some(n) = flag_value(args, "--batch").and_then(|v| v.parse().ok()) {
+        config.batch_size = n;
+    }
+    if let Some(n) = flag_value(args, "--compact").and_then(|v| v.parse().ok()) {
+        config.compact_threshold = n;
+    }
+    // The daemon's audit log: every ingest, query, compaction and store
+    // warning as trace JSONL.
+    let trace = match flag_value(args, "--trace") {
+        Some(path) => match JsonlSink::create(Path::new(path)) {
+            Ok(sink) => Some(lmbench::trace::install(Box::new(sink))),
+            Err(e) => {
+                eprintln!("lmbench: cannot create trace file {path}: {e}");
+                return ExitCode::from(3);
+            }
+        },
+        None => None,
+    };
+    let shutdown = match install_shutdown_handler() {
+        Ok(flag) => flag,
+        Err(e) => {
+            eprintln!("lmbench: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let service = match ResultsService::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lmbench: cannot start results service: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    // The port line is the contract with scripts (and the E2E tests):
+    // printed first, flushed immediately.
+    println!("listening on 127.0.0.1:{}", service.tcp_port());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    while !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("lmbench: results service shutting down");
+    let code = match service.shutdown() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("lmbench: cannot flush results store: {e}");
+            ExitCode::from(3)
+        }
+    };
+    if let Some(handle) = trace {
+        lmbench::trace::uninstall(handle);
+    }
+    code
+}
+
+/// `lmbench report push FILE --to HOST:PORT`: send a run report (or a
+/// saved baseline) into a results daemon's shard for this host.
+fn report_push(args: &[String]) -> ExitCode {
+    let pos = positionals(args);
+    let [_report, _push, file] = pos.as_slice() else {
+        eprintln!("lmbench report push: need exactly one report file");
+        return usage();
+    };
+    let Some(addr) = flag_value(args, "--to") else {
+        eprintln!("lmbench report push: missing --to HOST:PORT");
+        return usage();
+    };
+    let mut entry = match load_entry(Path::new(file)) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("lmbench: {file}: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    if let Some(fp) = flag_value(args, "--fingerprint") {
+        entry.fingerprint = fp.into();
+    }
+    if let Some(name) = flag_value(args, "--host-name") {
+        entry.host = name.into();
+    }
+    if let Some(at) = flag_value(args, "--at").and_then(|v| v.parse().ok()) {
+        entry.unix_seconds = at;
+    }
+    // Plain run reports carry no identity; default to this host's.
+    if entry.fingerprint.is_empty() {
+        let (fp, host) = host_fingerprint();
+        entry.fingerprint = fp;
+        if entry.host.is_empty() {
+            entry.host = host;
+        }
+    }
+    let mut client = ReportClient::new(addr);
+    match client.push(entry) {
+        Ok(reply) => {
+            println!("pushed to {} as run {}", reply.fingerprint, reply.shard_seq);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lmbench: cannot push to {addr}: {e}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+/// `lmbench query diff|history|table --to HOST:PORT`: interrogate a
+/// results daemon. `diff` exits 1 when the daemon flags significant
+/// regressions, mirroring `lmbench diff`.
+fn query_daemon(args: &[String]) -> ExitCode {
+    let pos = positionals(args);
+    let Some(&procedure) = pos.get(1) else {
+        eprintln!("lmbench query: missing procedure (diff|history|table)");
+        return usage();
+    };
+    let Some(addr) = flag_value(args, "--to") else {
+        eprintln!("lmbench query: missing --to HOST:PORT");
+        return usage();
+    };
+    let fp = flag_value(args, "--fingerprint")
+        .map(String::from)
+        .unwrap_or_else(|| host_fingerprint().0);
+    let mut client = ReportClient::new(addr);
+    match procedure {
+        "diff" => match client.diff(&fp) {
+            Ok(reply) if !reply.found => {
+                eprintln!(
+                    "lmbench: fewer than two runs stored for {fp} ({} so far)",
+                    reply.runs
+                );
+                ExitCode::from(3)
+            }
+            Ok(reply) => {
+                if args.iter().any(|a| a == "--json") {
+                    println!("{}", reply.json);
+                } else {
+                    print!("{}", reply.text);
+                }
+                if reply.regressions > 0 {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("lmbench: cannot query {addr}: {e}");
+                ExitCode::from(3)
+            }
+        },
+        "history" => {
+            let Some(&bench) = pos.get(2) else {
+                eprintln!("lmbench query history: missing benchmark name");
+                return usage();
+            };
+            let metric = pos.get(3).copied().unwrap_or("");
+            match client.history(&fp, bench, metric) {
+                Ok(reply) if !reply.found => {
+                    eprintln!("lmbench: no runs stored for {fp}");
+                    ExitCode::from(3)
+                }
+                Ok(reply) => {
+                    for p in &reply.points {
+                        println!(
+                            "{:>12} {:>6} {:>14} {}",
+                            p.unix_seconds, p.shard_seq, p.value, p.unit
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("lmbench: cannot query {addr}: {e}");
+                    ExitCode::from(3)
+                }
+            }
+        }
+        "table" => match client.table(&fp) {
+            Ok(reply) if !reply.found => {
+                eprintln!("lmbench: no runs stored for {fp}");
+                ExitCode::from(3)
+            }
+            Ok(reply) => {
+                print!("{}", reply.text);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("lmbench: cannot query {addr}: {e}");
+                ExitCode::from(3)
+            }
+        },
+        other => {
+            eprintln!("lmbench query: unknown procedure `{other}` (diff|history|table)");
+            usage()
+        }
     }
 }
 
@@ -431,6 +674,9 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "serve" => serve_daemon(&args),
+        "query" => query_daemon(&args),
+        "report" if args.get(1).is_some_and(|a| a == "push") => report_push(&args),
         "report" => {
             let config = config_from_args(&args);
             let engine = match Engine::new(Registry::standard(), config) {

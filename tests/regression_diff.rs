@@ -207,3 +207,37 @@ fn baseline_save_then_check_gates_against_the_store() {
     assert_eq!(out.status.code(), Some(2));
     let _ = std::fs::remove_dir_all(&store);
 }
+
+#[test]
+fn corrupt_store_file_warns_but_does_not_block_the_check() {
+    let store = temp_path("corrupt-store");
+    let _ = std::fs::remove_dir_all(&store);
+    let run = |mode: &str| {
+        Command::new(env!("CARGO_BIN_EXE_lmbench"))
+            .args(["suite", "--only", "sys_info", "--baseline", mode])
+            .env("LMBENCH_BASELINE_DIR", store.to_str().unwrap())
+            .output()
+            .expect("spawn lmbench suite --baseline")
+    };
+
+    let out = run("save");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // A half-written file lands next to the good baseline.
+    let bad = store.join("torn-entry.json");
+    std::fs::write(&bad, "{\"fingerprint\": \"torn").unwrap();
+
+    // The check still finds the good baseline; the corrupt file is
+    // skipped loudly — a warning naming the path, not silence and not a
+    // failure.
+    let out = run("check");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("warning"), "{stderr}");
+    assert!(stderr.contains("torn-entry.json"), "{stderr}");
+    assert!(stderr.contains("0 regressed"), "good baseline still gates");
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -150,6 +150,7 @@ fn curves_roundtrip_through_runreport_json() {
     let report = RunReport {
         records: vec![record],
         scaling: vec![curve],
+        ..Default::default()
     };
     let back = RunReport::from_json(&report.to_json()).expect("roundtrip");
     assert_eq!(back, report);
@@ -252,13 +253,13 @@ fn scaled_record(p50_us: f64) -> BenchRecord {
 fn differ_gates_on_latency_under_load_regressions() {
     let base = RunReport {
         records: vec![scaled_record(12.0)],
-        scaling: Vec::new(),
+        ..Default::default()
     };
     // Same throughput, 10x the p50 under load: a latency-under-load
     // regression the plain headline number would never show.
     let worse = RunReport {
         records: vec![scaled_record(120.0)],
-        scaling: Vec::new(),
+        ..Default::default()
     };
     let diff = ReportDiff::between(&base, &worse);
     assert!(diff.has_regressions(), "{}", diff.render());

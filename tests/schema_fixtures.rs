@@ -1,0 +1,77 @@
+//! Schema-version compatibility: the checked-in v1 fixtures (written
+//! before `schema_version` existed) must keep loading, report themselves
+//! as version 1, and keep their version across a round trip — the
+//! tolerance contract every store reader relies on.
+
+use lmbench::results::{load_entry, Baseline, RunReport, SCHEMA_VERSION};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn v1_run_report_loads_and_keeps_its_version() {
+    let text = fixture("v1-runreport.json");
+    assert!(
+        !text.contains("schema_version"),
+        "fixture must predate versioning"
+    );
+    let report = RunReport::from_json(&text).expect("v1 report parses");
+    assert_eq!(report.schema_version, 1, "missing field reads as v1");
+    assert_eq!(report.records.len(), 1);
+    let rec = report.find("lat_syscall").expect("fixture benchmark");
+    assert!(rec.status.is_ok());
+    assert_eq!(rec.metrics[0].value, 4.2);
+
+    // Round trip: the version is preserved, not silently upgraded.
+    let back = RunReport::from_json(&report.to_json()).expect("round trip");
+    assert_eq!(back.schema_version, 1);
+    assert_eq!(back.records, report.records);
+}
+
+#[test]
+fn v1_baseline_envelope_loads_and_keeps_its_version() {
+    let text = fixture("v1-baseline.json");
+    let baseline = Baseline::from_json(&text).expect("v1 baseline parses");
+    assert_eq!(baseline.schema_version, 1);
+    assert_eq!(baseline.fingerprint, "fleet-host-00ab54cd12ef3401");
+    assert_eq!(baseline.unix_seconds, 820454400);
+    assert!(
+        baseline.run.is_none(),
+        "v1 envelopes carry no table payload"
+    );
+    assert_eq!(baseline.report.schema_version, 1);
+
+    let back = Baseline::from_json(&baseline.to_json()).expect("round trip");
+    assert_eq!(back.schema_version, 1);
+    assert_eq!(back.report, baseline.report);
+}
+
+#[test]
+fn load_entry_wraps_a_bare_v1_report_at_current_version() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/v1-runreport.json");
+    let entry = load_entry(&path).expect("bare report loads as an entry");
+    // The synthesized envelope is new (current version); the payload
+    // keeps the version it was written with.
+    assert_eq!(entry.schema_version, SCHEMA_VERSION);
+    assert_eq!(entry.report.schema_version, 1);
+    assert!(entry.fingerprint.is_empty(), "no identity in a bare report");
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/v1-baseline.json");
+    let entry = load_entry(&path).expect("envelope loads as itself");
+    assert_eq!(entry.schema_version, 1);
+    assert_eq!(entry.fingerprint, "fleet-host-00ab54cd12ef3401");
+}
+
+#[test]
+fn freshly_written_artifacts_carry_the_current_version() {
+    let report = RunReport::default();
+    assert_eq!(report.schema_version, SCHEMA_VERSION);
+    assert!(report.to_json().contains("\"schema_version\": 2"));
+    let baseline = Baseline::now("fp", "host", report);
+    assert_eq!(baseline.schema_version, SCHEMA_VERSION);
+}
