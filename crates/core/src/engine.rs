@@ -20,15 +20,19 @@ use crate::error::SuiteError;
 use crate::host::detect_host;
 use crate::registry::{Benchmark, Registry};
 use lmb_results::{
-    BenchRecord, BenchStatus, MetricValue, Provenance, ResourceUsage, RunReport, SuiteRun,
-    TablePatch,
+    BenchRecord, BenchStatus, CounterDelta, MetricValue, Provenance, ResourceUsage, RunReport,
+    SuiteRun, TablePatch,
 };
 use lmb_sys::{RusageDelta, RusageSnapshot};
-use lmb_timing::{new_recorder, take_events, Harness, MeasureEvent, Quality};
+use lmb_timing::{
+    new_recorder, open_perf, take_events, CounterValues, Counters, Harness, MeasureEvent,
+    PerfCounters, Quality,
+};
 use lmb_trace::{emit, emit_in, ContextGuard, EventKind, Span, SpanId};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Mutex};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{mpsc, Mutex, Once};
 use std::time::{Duration, Instant};
 
 /// An OS facility a benchmark needs; probed before launch so a degraded
@@ -293,6 +297,7 @@ impl Engine {
             exclusive: bench.exclusive,
             provenance: None,
             rusage: None,
+            counters: None,
             metrics: Vec::new(),
             span: span.id().as_option(),
         };
@@ -376,6 +381,14 @@ impl Engine {
                     // neighbours running; taken outside `catch_unwind` so a
                     // panicking attempt still reports what it consumed.
                     let usage_before = RusageSnapshot::thread();
+                    // The hardware-counter bracket nests just inside the
+                    // rusage one and around `catch_unwind`: a panicking
+                    // attempt still closes to a whole (never torn) delta,
+                    // and the counts cover exactly what the attempt ran.
+                    // Opened on this thread because perf groups bind to
+                    // the opener (`pid = 0`).
+                    let mut counters = thread_counters();
+                    let counting = counters.as_mut().is_some_and(|c| c.begin());
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         if inject_panic {
                             panic!("injected fault: forced panic");
@@ -385,12 +398,17 @@ impl Engine {
                         }
                         runner(&ctx)
                     }));
+                    let delta = if counting {
+                        counters.as_mut().and_then(|c| c.end())
+                    } else {
+                        None
+                    };
                     let usage = usage_before.delta(&RusageSnapshot::thread());
-                    let _ = tx.send((outcome.map_err(panic_message), usage));
+                    let _ = tx.send((outcome.map_err(panic_message), usage, delta));
                 })
                 .expect("spawn benchmark thread");
 
-            let (outcome, usage) = match rx.recv_timeout(timeout) {
+            let (outcome, usage, counter_delta) = match rx.recv_timeout(timeout) {
                 Err(_) => {
                     emit(|| EventKind::Timeout { limit_ms });
                     record.status = BenchStatus::TimedOut { limit_ms };
@@ -399,6 +417,7 @@ impl Engine {
                 Ok(received) => received,
             };
             record.rusage = Some(archive_rusage(&usage, contended));
+            record.counters = counter_delta.map(archive_counters);
             record.provenance = provenance_from(&take_events(&recorder));
             emit_quality_metrics(record.provenance.as_ref());
             match outcome {
@@ -430,6 +449,9 @@ impl Engine {
                             unit: m.unit.name().to_string(),
                         })
                         .collect();
+                    record
+                        .metrics
+                        .extend(counter_metrics(record.counters.as_ref()));
                     for m in &record.metrics {
                         emit(|| EventKind::Metric {
                             label: m.label.clone(),
@@ -511,6 +533,87 @@ fn archive_rusage(delta: &RusageDelta, contended: bool) -> ResourceUsage {
         invol_ctx_switches: delta.invol_ctx_switches,
         contended,
     }
+}
+
+/// Process-global counter availability: 0 = unprobed, 1 = seen working,
+/// 2 = unavailable (reported; stop trying).
+static COUNTERS_STATE: AtomicU8 = AtomicU8::new(0);
+static COUNTERS_REPORT: Once = Once::new();
+
+/// Opens a calibrated hardware-counter bracket on the calling bench
+/// thread, or `None` where the host denies counters. The first failure
+/// emits a single `counters_unavailable` trace event for the whole
+/// process; after that every attempt runs exactly as an uncounted run
+/// would, with no per-attempt open retries.
+fn thread_counters() -> Option<Counters<PerfCounters>> {
+    if COUNTERS_STATE.load(Ordering::Relaxed) == 2 {
+        return None;
+    }
+    match open_perf() {
+        Ok(counters) => {
+            COUNTERS_STATE.store(1, Ordering::Relaxed);
+            Some(counters)
+        }
+        Err(e) => {
+            COUNTERS_STATE.store(2, Ordering::Relaxed);
+            COUNTERS_REPORT.call_once(|| {
+                emit(|| EventKind::CountersUnavailable {
+                    reason: e.reason().to_string(),
+                    paranoid: e.paranoid(),
+                });
+            });
+            None
+        }
+    }
+}
+
+/// Archives a compensated hardware-counter delta into the report's shape,
+/// narrating it into the trace on the way (the counter analog of
+/// [`archive_rusage`]; the bracket ran on the bench thread, so the counts
+/// are that attempt's own).
+fn archive_counters(delta: CounterValues) -> CounterDelta {
+    emit(|| EventKind::Counters {
+        cycles: delta.cycles,
+        instructions: delta.instructions,
+        branch_misses: delta.branch_misses,
+        cache_misses: delta.cache_misses,
+        dtlb_misses: delta.dtlb_misses,
+        enabled_ns: delta.enabled_ns,
+        running_ns: delta.running_ns,
+    });
+    CounterDelta {
+        cycles: delta.cycles,
+        instructions: delta.instructions,
+        branch_misses: delta.branch_misses,
+        cache_misses: delta.cache_misses,
+        dtlb_misses: delta.dtlb_misses,
+        enabled_ns: delta.enabled_ns,
+        running_ns: delta.running_ns,
+    }
+}
+
+/// Derived counter metrics (IPC, misses per kilo-instruction) appended to
+/// a record's metric rows, so they flow through `lmbench diff` under the
+/// same noise-aware significance rules as the headline numbers.
+fn counter_metrics(counters: Option<&CounterDelta>) -> Vec<MetricValue> {
+    let Some(c) = counters else {
+        return Vec::new();
+    };
+    let mut rows = Vec::new();
+    let mut push = |label: &str, value: Option<f64>, unit: &str| {
+        if let Some(value) = value {
+            rows.push(MetricValue {
+                label: label.into(),
+                value,
+                unit: unit.into(),
+            });
+        }
+    };
+    push("ipc", c.ipc(), "ipc");
+    push("branch_miss_pki", c.branch_miss_pki(), "pki");
+    push("cache_miss_pki", c.cache_miss_pki(), "pki");
+    push("dtlb_miss_pki", c.dtlb_miss_pki(), "pki");
+    rows
 }
 
 /// Emits the attempt's quality assessment as Metric events, so trace

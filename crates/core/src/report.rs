@@ -499,6 +499,49 @@ pub fn provenance_section(report: &lmb_results::RunReport) -> String {
     out
 }
 
+/// Renders the hardware-counter section of `lmbench report`: what each
+/// benchmark's final attempt actually executed, per the PMU. Empty when
+/// no record carries counters (perf denied), so counter-less hosts print
+/// byte-identical reports.
+pub fn counters_section(report: &lmb_results::RunReport) -> String {
+    if report.records.iter().all(|r| r.counters.is_none()) {
+        return String::new();
+    }
+    let mut out = String::from("=== Hardware counters ===\n");
+    out.push_str(&format!(
+        "{:<16} {:<22} {:>13} {:>13} {:>5} {:>8} {:>8} {:>8} {:<4}\n",
+        "benchmark",
+        "produces",
+        "cycles",
+        "instructions",
+        "ipc",
+        "br/ki",
+        "cache/ki",
+        "dtlb/ki",
+        "mux"
+    ));
+    for rec in &report.records {
+        let Some(c) = &rec.counters else { continue };
+        let ratio = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.2}"),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<16} {:<22} {:>13} {:>13} {:>5} {:>8} {:>8} {:>8} {:<4}\n",
+            rec.name,
+            rec.produces,
+            c.cycles,
+            c.instructions,
+            ratio(c.ipc()),
+            ratio(c.branch_miss_pki()),
+            ratio(c.cache_miss_pki()),
+            ratio(c.dtlb_miss_pki()),
+            if c.multiplexed() { "yes" } else { "no" }
+        ));
+    }
+    out
+}
+
 /// Paper-vs-measured comparisons for every metric the run produced — the
 /// EXPERIMENTS.md feed.
 pub fn comparisons(run: &SuiteRun) -> Vec<Comparison> {
@@ -723,6 +766,7 @@ mod tests {
                 clamped_samples: 0,
             }),
             rusage: None,
+            counters: None,
             metrics: Vec::new(),
             span: Some(7),
         };
@@ -735,6 +779,7 @@ mod tests {
             exclusive: false,
             provenance: None,
             rusage: None,
+            counters: None,
             metrics: Vec::new(),
             span: None,
         };
@@ -747,6 +792,57 @@ mod tests {
         assert!(text.contains("quality"), "{text}");
         assert!(text.contains("good"), "{text}");
         assert!(!text.contains("lat_tcp_rpc"), "{text}");
+    }
+
+    #[test]
+    fn counters_section_is_empty_without_counters_and_tabular_with() {
+        let mut counted = lmb_results::BenchRecord {
+            name: "bw_mem".into(),
+            produces: "Table 2".into(),
+            status: lmb_results::BenchStatus::Ok,
+            attempts: 1,
+            wall_ms: 3.0,
+            exclusive: true,
+            provenance: None,
+            rusage: None,
+            counters: None,
+            metrics: Vec::new(),
+            span: None,
+        };
+        let uncounted = lmb_results::BenchRecord {
+            name: "lat_syscall".into(),
+            ..counted.clone()
+        };
+        // No counters anywhere: the section must vanish entirely so a
+        // counter-denied host prints byte-identical reports.
+        let text = counters_section(&lmb_results::RunReport {
+            records: vec![counted.clone(), uncounted.clone()],
+            ..Default::default()
+        });
+        assert!(text.is_empty(), "{text}");
+
+        counted.counters = Some(lmb_results::CounterDelta {
+            cycles: 1_000_000,
+            instructions: 2_500_000,
+            branch_misses: 5_000,
+            cache_misses: 250,
+            dtlb_misses: 0,
+            enabled_ns: 400_000,
+            running_ns: 300_000,
+        });
+        let text = counters_section(&lmb_results::RunReport {
+            records: vec![counted, uncounted],
+            ..Default::default()
+        });
+        assert!(text.starts_with("=== Hardware counters ==="), "{text}");
+        assert!(text.contains("bw_mem"), "{text}");
+        assert!(
+            !text.contains("lat_syscall"),
+            "uncounted row listed: {text}"
+        );
+        assert!(text.contains("2.50"), "ipc column missing: {text}");
+        assert!(text.contains("2.00"), "branch pki missing: {text}");
+        assert!(text.contains("yes"), "mux flag missing: {text}");
     }
 
     #[test]

@@ -304,6 +304,7 @@ impl ScaleRunner {
             exclusive: true,
             provenance: None,
             rusage: None,
+            counters: None,
             metrics: Vec::new(),
             span: span.id().as_option(),
         };

@@ -216,6 +216,7 @@ mod tests {
                     exclusive: false,
                     provenance: None,
                     rusage: None,
+                    counters: None,
                     metrics: vec![MetricValue {
                         label: String::new(),
                         value,

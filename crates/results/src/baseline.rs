@@ -167,6 +167,7 @@ mod tests {
                 exclusive: false,
                 provenance: None,
                 rusage: None,
+                counters: None,
                 metrics: Vec::new(),
                 span: None,
             }],

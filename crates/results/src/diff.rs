@@ -86,9 +86,12 @@ impl Deserialize for DiffClass {
 fn merit(unit: &str) -> Option<bool> {
     // Some(true): higher is better; Some(false): lower is better.
     // `ops/s` is the scale runner's rate unit for round-trip benchmarks.
+    // `ipc` (instructions per cycle) and `pki` (misses per
+    // kilo-instruction) are the hardware-counter figures of merit: an
+    // IPC drop or a miss-rate rise past the band is a regression.
     match unit {
-        "MB/s" | "ops/s" => Some(true),
-        "us" | "ms" | "ns" => Some(false),
+        "MB/s" | "ops/s" | "ipc" => Some(true),
+        "us" | "ms" | "ns" | "pki" => Some(false),
         _ => None,
     }
 }
@@ -386,6 +389,7 @@ mod tests {
             exclusive: false,
             provenance: Some(provenance(cv, if cv > 0.30 { "suspect" } else { "good" })),
             rusage: None,
+            counters: None,
             metrics: metrics
                 .iter()
                 .map(|(label, value, unit)| MetricValue {
@@ -432,6 +436,51 @@ mod tests {
             ReportDiff::between(&a, &b).rows[0].class,
             DiffClass::Improved
         );
+    }
+
+    #[test]
+    fn ipc_is_a_higher_is_better_metric() {
+        // Counter-derived rows flow through the same gate: an IPC drop
+        // past the band is a regression, a rise is an improvement.
+        let a = report(vec![record("bw_mem", &[("ipc", 2.0, "ipc")], 0.02)]);
+        let b = report(vec![record("bw_mem", &[("ipc", 1.0, "ipc")], 0.02)]);
+        let diff = ReportDiff::between(&a, &b);
+        assert_eq!(diff.rows[0].class, DiffClass::Regressed);
+        assert!(diff.has_regressions());
+        assert_eq!(
+            ReportDiff::between(&b, &a).rows[0].class,
+            DiffClass::Improved
+        );
+    }
+
+    #[test]
+    fn miss_rates_are_lower_is_better_metrics() {
+        let a = report(vec![record(
+            "lat_mem",
+            &[("cache_miss_pki", 2.0, "pki")],
+            0.02,
+        )]);
+        let b = report(vec![record(
+            "lat_mem",
+            &[("cache_miss_pki", 8.0, "pki")],
+            0.02,
+        )]);
+        let diff = ReportDiff::between(&a, &b);
+        assert_eq!(diff.rows[0].class, DiffClass::Regressed);
+        assert_eq!(
+            ReportDiff::between(&b, &a).rows[0].class,
+            DiffClass::Improved
+        );
+    }
+
+    #[test]
+    fn ipc_wiggle_inside_the_band_is_noise() {
+        // The noise-aware rules apply to counter metrics unchanged: a
+        // 10% IPC dip sits inside the 25% floor.
+        let a = report(vec![record("bw_mem", &[("ipc", 2.0, "ipc")], 0.0)]);
+        let b = report(vec![record("bw_mem", &[("ipc", 1.8, "ipc")], 0.0)]);
+        let diff = ReportDiff::between(&a, &b);
+        assert_eq!(diff.rows[0].class, DiffClass::Unchanged);
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub use db::ResultsDb;
 pub use diff::{DiffClass, DiffRow, ReportDiff, SignificanceRule};
 pub use patch::{SuiteField, TablePatch};
 pub use plot::{AsciiPlot, Series};
-pub use runreport::{BenchRecord, BenchStatus, MetricValue, Provenance, ResourceUsage, RunReport};
+pub use runreport::{
+    BenchRecord, BenchStatus, CounterDelta, MetricValue, Provenance, ResourceUsage, RunReport,
+};
 pub use scaling::{GeneratorSample, ScalePoint, ScalingCurve};
 pub use schema::*;
 pub use store::{load_entry, DirStore, MemoryStore, ReportStore, SCHEMA_VERSION};

@@ -221,6 +221,79 @@ impl Deserialize for ResourceUsage {
     }
 }
 
+/// Hardware-counter deltas across a benchmark's final attempt
+/// (`perf_event_open` group, thread scope, overhead-compensated the way
+/// §3.4 compensates clock reads).
+///
+/// Raw counts are archived; the derived figures of merit (IPC and
+/// misses per kilo-instruction) are computed on demand so the archive
+/// never disagrees with its own ratios.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterDelta {
+    /// Core clock cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Mispredicted branches.
+    pub branch_misses: u64,
+    /// Last-level cache misses.
+    pub cache_misses: u64,
+    /// Data-TLB read misses.
+    pub dtlb_misses: u64,
+    /// Wall time the counter group was enabled, nanoseconds.
+    pub enabled_ns: u64,
+    /// Time the group actually counted on the PMU, nanoseconds.
+    pub running_ns: u64,
+}
+
+impl CounterDelta {
+    /// Instructions per cycle — the headline "what did the loop do"
+    /// figure; `None` when no cycles were counted.
+    #[must_use]
+    pub fn ipc(&self) -> Option<f64> {
+        if self.cycles == 0 {
+            None
+        } else {
+            Some(self.instructions as f64 / self.cycles as f64)
+        }
+    }
+
+    /// Branch misses per kilo-instruction; `None` without instructions.
+    #[must_use]
+    pub fn branch_miss_pki(&self) -> Option<f64> {
+        self.per_kilo_instruction(self.branch_misses)
+    }
+
+    /// Cache misses per kilo-instruction; `None` without instructions.
+    #[must_use]
+    pub fn cache_miss_pki(&self) -> Option<f64> {
+        self.per_kilo_instruction(self.cache_misses)
+    }
+
+    /// dTLB read misses per kilo-instruction; `None` without
+    /// instructions.
+    #[must_use]
+    pub fn dtlb_miss_pki(&self) -> Option<f64> {
+        self.per_kilo_instruction(self.dtlb_misses)
+    }
+
+    /// True when the kernel time-sliced the group (`running < enabled`):
+    /// the counts are scaled samples, not exact totals, and consumers
+    /// should distrust small differences.
+    #[must_use]
+    pub fn multiplexed(&self) -> bool {
+        self.running_ns < self.enabled_ns
+    }
+
+    fn per_kilo_instruction(&self, count: u64) -> Option<f64> {
+        if self.instructions == 0 {
+            None
+        } else {
+            Some(count as f64 * 1000.0 / self.instructions as f64)
+        }
+    }
+}
+
 /// One headline number a benchmark produced, archived so run-over-run
 /// diffs need only the report JSON.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -234,7 +307,7 @@ pub struct MetricValue {
 }
 
 /// One registry entry's outcome within a suite run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
     /// Registry name (`lat_syscall`, `bw_mem`, ...).
     pub name: String,
@@ -254,12 +327,62 @@ pub struct BenchRecord {
     /// Kernel resource accounting across the final attempt (absent for
     /// skips and timeouts — an abandoned thread cannot be measured).
     pub rusage: Option<ResourceUsage>,
+    /// Hardware-counter deltas across the final attempt (absent when the
+    /// host denies `perf_event_open` — containers, strict
+    /// `perf_event_paranoid` — and for skips and timeouts).
+    pub counters: Option<CounterDelta>,
     /// Headline metrics the benchmark reported, in display order. These
     /// are the values the regression differ compares run over run.
     pub metrics: Vec<MetricValue>,
     /// The benchmark's span id in the run's trace (when `--trace` was
     /// active), linking this row to its `span_start`/`span_end` events.
     pub span: Option<u64>,
+}
+
+// Hand-written so the field added in PR 7 (`counters`) is *omitted* when
+// absent rather than serialized as null: a run on a counter-denied host
+// must produce byte-identical report JSON to a pre-counter binary, and
+// old reports (no `counters` key) must read back as `None`.
+impl Serialize for BenchRecord {
+    fn to_value(&self) -> Value {
+        let mut obj = Value::object();
+        obj.set("name", self.name.to_value());
+        obj.set("produces", self.produces.to_value());
+        obj.set("status", self.status.to_value());
+        obj.set("attempts", self.attempts.to_value());
+        obj.set("wall_ms", self.wall_ms.to_value());
+        obj.set("exclusive", self.exclusive.to_value());
+        obj.set("provenance", self.provenance.to_value());
+        obj.set("rusage", self.rusage.to_value());
+        if self.counters.is_some() {
+            obj.set("counters", self.counters.to_value());
+        }
+        obj.set("metrics", self.metrics.to_value());
+        obj.set("span", self.span.to_value());
+        obj
+    }
+}
+
+impl Deserialize for BenchRecord {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let obj = value.expect_object("BenchRecord")?;
+        fn field<T: Deserialize>(obj: &Value, name: &str) -> Result<T, DeError> {
+            T::from_value(obj.field(name)).map_err(|e| e.in_field(name))
+        }
+        Ok(BenchRecord {
+            name: field(obj, "name")?,
+            produces: field(obj, "produces")?,
+            status: field(obj, "status")?,
+            attempts: field(obj, "attempts")?,
+            wall_ms: field(obj, "wall_ms")?,
+            exclusive: field(obj, "exclusive")?,
+            provenance: field(obj, "provenance")?,
+            rusage: field(obj, "rusage")?,
+            counters: field(obj, "counters")?,
+            metrics: field(obj, "metrics")?,
+            span: field(obj, "span")?,
+        })
+    }
 }
 
 /// Everything the engine can say about a suite run, beyond the results.
@@ -403,6 +526,7 @@ mod tests {
             exclusive: false,
             provenance: None,
             rusage: None,
+            counters: None,
             metrics: Vec::new(),
             span: None,
         }
@@ -572,6 +696,90 @@ mod tests {
         value.set("contended", Value::Null);
         usage.contended = false;
         assert_eq!(ResourceUsage::from_value(&value).expect("tolerant"), usage);
+    }
+
+    #[test]
+    fn counter_delta_derives_ipc_and_pki_figures() {
+        let d = CounterDelta {
+            cycles: 2_000,
+            instructions: 4_000,
+            branch_misses: 8,
+            cache_misses: 2,
+            dtlb_misses: 1,
+            enabled_ns: 1_000,
+            running_ns: 1_000,
+        };
+        assert_eq!(d.ipc(), Some(2.0));
+        assert_eq!(d.branch_miss_pki(), Some(2.0));
+        assert_eq!(d.cache_miss_pki(), Some(0.5));
+        assert_eq!(d.dtlb_miss_pki(), Some(0.25));
+        assert!(!d.multiplexed());
+        // Degenerate deltas derive nothing rather than dividing by zero.
+        let empty = CounterDelta::default();
+        assert_eq!(empty.ipc(), None);
+        assert_eq!(empty.branch_miss_pki(), None);
+        assert_eq!(empty.cache_miss_pki(), None);
+        assert_eq!(empty.dtlb_miss_pki(), None);
+        let sliced = CounterDelta {
+            enabled_ns: 100,
+            running_ns: 40,
+            ..CounterDelta::default()
+        };
+        assert!(sliced.multiplexed());
+    }
+
+    #[test]
+    fn record_without_counters_field_reads_as_none() {
+        // Reports archived before counters existed must keep loading.
+        let rec = record("lat_syscall", BenchStatus::Ok);
+        let value = rec.to_value();
+        let rendered = serde_json::to_string(&value).unwrap();
+        assert!(
+            !rendered.contains("counters"),
+            "absent counters must be omitted, not null: {rendered}"
+        );
+        let back = BenchRecord::from_value(&value).expect("tolerant");
+        assert_eq!(back.counters, None);
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn counter_absence_survives_a_round_trip() {
+        // A counter-denied host must write byte-identical record JSON to
+        // a pre-counter binary: parse → re-serialize must not invent the
+        // key.
+        let report = RunReport {
+            records: vec![record("lat_syscall", BenchStatus::Ok)],
+            ..Default::default()
+        };
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).expect("roundtrip");
+        assert_eq!(back.to_json(), json);
+        assert!(!json.contains("counters"));
+    }
+
+    #[test]
+    fn record_with_counters_roundtrips() {
+        let mut rec = record("bw_mem", BenchStatus::Ok);
+        rec.counters = Some(CounterDelta {
+            cycles: 1_200_000,
+            instructions: 2_400_000,
+            branch_misses: 310,
+            cache_misses: 42,
+            dtlb_misses: 5,
+            enabled_ns: 500_000,
+            running_ns: 400_000,
+        });
+        let report = RunReport {
+            records: vec![rec.clone()],
+            ..Default::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"counters\""), "{json}");
+        assert!(json.contains("dtlb_misses"), "{json}");
+        let back = RunReport::from_json(&json).expect("roundtrip");
+        assert_eq!(back.records[0], rec);
+        assert!(back.records[0].counters.unwrap().multiplexed());
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod error;
 pub mod fd;
 pub mod isolate;
 pub mod mem;
+pub mod perf;
 pub mod pipe;
 pub mod process;
 pub mod rusage;
@@ -27,6 +28,9 @@ pub use error::{Errno, Result};
 pub use fd::Fd;
 pub use isolate::{run_isolated, ChildOutcome};
 pub use mem::FileMapping;
+pub use perf::{
+    perf_event_paranoid, probe_counter, CounterKind, CounterValues, PerfError, PerfGroup,
+};
 pub use pipe::Pipe;
 pub use process::{fork, getpid, waitpid, ExitStatus, ForkResult, Pid};
 pub use rusage::{RusageDelta, RusageSnapshot};

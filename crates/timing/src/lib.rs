@@ -31,6 +31,7 @@
 
 pub mod calibrate;
 pub mod clock;
+pub mod counters;
 pub mod cycle;
 pub mod harness;
 pub mod quality;
@@ -47,6 +48,9 @@ pub use calibrate::{
 pub use clock::{
     clock_overhead_ns, clock_resolution_ns, overhead_ns_of, resolution_ns_of, ClockInfo, RealClock,
     TimeSource,
+};
+pub use counters::{
+    open_perf, CounterSource, CounterValues, Counters, PerfCounters, PerfError, SimCounters,
 };
 pub use cycle::{estimate_clock, ClockEstimate};
 pub use harness::{Harness, Options};

@@ -141,6 +141,36 @@ pub enum EventKind {
         /// attempt, so the delta is not an isolated-run cost.
         contended: bool,
     },
+    /// Hardware counter deltas across one benchmark attempt: the §5.1
+    /// "the loop is load-bound" claim made observable. Counts are
+    /// overhead-compensated (the measured cost of an empty bracket is
+    /// subtracted, the §3.4 clock treatment applied to the PMU).
+    Counters {
+        /// Core clock cycles.
+        cycles: u64,
+        /// Retired instructions.
+        instructions: u64,
+        /// Mispredicted branches.
+        branch_misses: u64,
+        /// Last-level cache misses.
+        cache_misses: u64,
+        /// Data-TLB read misses.
+        dtlb_misses: u64,
+        /// Wall time the group was enabled, nanoseconds.
+        enabled_ns: u64,
+        /// Time the group actually counted on the PMU, nanoseconds
+        /// (< `enabled_ns` means the kernel multiplexed the group).
+        running_ns: u64,
+    },
+    /// Hardware counters could not be opened; emitted once per process,
+    /// after which the run proceeds exactly as an uncounted run would.
+    CountersUnavailable {
+        /// Stable failure class (`denied`, `unsupported`, `io`).
+        reason: String,
+        /// `perf_event_paranoid` at failure time, when the denial was a
+        /// permission problem and the level was readable.
+        paranoid: Option<i64>,
+    },
     /// A load-scaling sweep began for one benchmark.
     ScaleStart {
         /// Benchmark being swept.
@@ -257,6 +287,8 @@ impl EventKind {
             EventKind::Metric { .. } => "metric",
             EventKind::Syscalls { .. } => "syscalls",
             EventKind::Rusage { .. } => "rusage",
+            EventKind::Counters { .. } => "counters",
+            EventKind::CountersUnavailable { .. } => "counters_unavailable",
             EventKind::ScaleStart { .. } => "scale_start",
             EventKind::ScalePoint { .. } => "scale_point",
             EventKind::Generator { .. } => "generator",
@@ -334,6 +366,19 @@ impl EventKind {
                 vol_ctx_switches: 7,
                 invol_ctx_switches: 2,
                 contended: true,
+            },
+            EventKind::Counters {
+                cycles: 1_200_000,
+                instructions: 2_400_000,
+                branch_misses: 310,
+                cache_misses: 42,
+                dtlb_misses: 5,
+                enabled_ns: 500_000,
+                running_ns: 500_000,
+            },
+            EventKind::CountersUnavailable {
+                reason: "denied".into(),
+                paranoid: Some(3),
             },
             EventKind::ScaleStart {
                 bench: "bw_mem".into(),
@@ -488,6 +533,27 @@ impl Serialize for TraceEvent {
                 obj.set("vol_ctx_switches", vol_ctx_switches.to_value());
                 obj.set("invol_ctx_switches", invol_ctx_switches.to_value());
                 obj.set("contended", contended.to_value());
+            }
+            EventKind::Counters {
+                cycles,
+                instructions,
+                branch_misses,
+                cache_misses,
+                dtlb_misses,
+                enabled_ns,
+                running_ns,
+            } => {
+                obj.set("cycles", cycles.to_value());
+                obj.set("instructions", instructions.to_value());
+                obj.set("branch_misses", branch_misses.to_value());
+                obj.set("cache_misses", cache_misses.to_value());
+                obj.set("dtlb_misses", dtlb_misses.to_value());
+                obj.set("enabled_ns", enabled_ns.to_value());
+                obj.set("running_ns", running_ns.to_value());
+            }
+            EventKind::CountersUnavailable { reason, paranoid } => {
+                obj.set("reason", reason.to_value());
+                obj.set("paranoid", paranoid.to_value());
             }
             EventKind::ScaleStart { bench, max_p } => {
                 obj.set("bench", bench.to_value());
@@ -653,6 +719,19 @@ impl Deserialize for TraceEvent {
                 // engine, which never flagged contention.
                 contended: field::<Option<bool>>(obj, "contended")?.unwrap_or(false),
             },
+            "counters" => EventKind::Counters {
+                cycles: field(obj, "cycles")?,
+                instructions: field(obj, "instructions")?,
+                branch_misses: field(obj, "branch_misses")?,
+                cache_misses: field(obj, "cache_misses")?,
+                dtlb_misses: field(obj, "dtlb_misses")?,
+                enabled_ns: field(obj, "enabled_ns")?,
+                running_ns: field(obj, "running_ns")?,
+            },
+            "counters_unavailable" => EventKind::CountersUnavailable {
+                reason: field(obj, "reason")?,
+                paranoid: field(obj, "paranoid")?,
+            },
             "scale_start" => EventKind::ScaleStart {
                 bench: field(obj, "bench")?,
                 max_p: field(obj, "max_p")?,
@@ -761,6 +840,41 @@ mod tests {
         let line = serde_json::to_string(&event).unwrap();
         assert!(line.contains("\"kind\":\"timeout\""), "{line}");
         assert!(line.contains("\"limit_ms\":500"), "{line}");
+    }
+
+    #[test]
+    fn counters_tag_greps_distinctly_from_unavailable() {
+        // CI greps traces for `"kind":"counters",` (note the comma) to
+        // count real brackets without also matching the unavailable
+        // marker; pin the rendered shapes that makes that reliable.
+        let counted = TraceEvent {
+            seq: 0,
+            t_us: 0.0,
+            span: Some(2),
+            kind: EventKind::Counters {
+                cycles: 1,
+                instructions: 2,
+                branch_misses: 0,
+                cache_misses: 0,
+                dtlb_misses: 0,
+                enabled_ns: 10,
+                running_ns: 10,
+            },
+        };
+        let line = serde_json::to_string(&counted).unwrap();
+        assert!(line.contains("\"kind\":\"counters\","), "{line}");
+        let missing = TraceEvent {
+            seq: 1,
+            t_us: 0.0,
+            span: None,
+            kind: EventKind::CountersUnavailable {
+                reason: "unsupported".into(),
+                paranoid: None,
+            },
+        };
+        let line = serde_json::to_string(&missing).unwrap();
+        assert!(line.contains("\"kind\":\"counters_unavailable\""), "{line}");
+        assert!(!line.contains("\"kind\":\"counters\","), "{line}");
     }
 
     #[test]

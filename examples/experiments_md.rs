@@ -30,6 +30,15 @@ fn main() {
     );
     println!("Absolute magnitudes are expected to differ by ~2-3 orders of magnitude after three decades; the reproduction target is the paper's *shape*: orderings, ratios, and crossovers. Each shape check below is also enforced by an integration test in `tests/`.\n");
     println!("Noise bands: every measurement keeps its raw repetition samples; the coefficient of variation of the *noisiest* measurement in a benchmark (sample stddev / mean, archived in each run report's provenance together with p50/p90/p99, MAD, and the IQR-outlier count) is the CV band that `lmbench diff` and `suite --baseline check` judge run-over-run deltas against — a delta is significant only beyond `max(25%, 3 x CV)`, sized to the paper's documented up-to-30% run-to-run variability (3.4).\n");
+    match lmbench::timing::open_perf() {
+        Ok(counters) => {
+            let o = counters.overhead();
+            println!("Hardware counters: available — every benchmark attempt is bracketed by a five-event `perf_event_open` group (cycles, instructions, branch/cache/dTLB misses; bracket cost {} cycles / {} instructions, probed and subtracted as 3.4 does for the clock), archived per record and condensed into `ipc` and misses-per-kilo-instruction columns that diff under the same noise bands. The counters are cross-validated against kernels with known budgets in `tests/counters.rs`: ~1 instruction per dependent pointer-chase load, a few per word for the unrolled bcopy, and the cycle counter must agree with the chase-derived clock estimate (6.1).\n", o.cycles, o.instructions);
+        }
+        Err(e) => {
+            println!("Hardware counters: unavailable on this host ({e}), the usual state inside VMs and containers — the suite runs identically, flags the loss with a single `counters_unavailable` trace event, writes reports with no `counters` keys at all, and the counter-validation tests in `tests/counters.rs` (~1 instruction per dependent pointer-chase load, a few per word for the unrolled bcopy, cycle counter vs the chase-derived clock estimate) self-skip. Rerun on a PMU host (`perf_event_paranoid <= 2` or `CAP_PERFMON`) for IPC and miss columns; `lmbench env` diagnoses which world you are in.\n");
+        }
+    }
 
     // Per-table comparisons from the generic machinery.
     println!("## Per-table results\n");

@@ -32,11 +32,16 @@ pub type sighandler_t = usize;
 // errno values (asm-generic, shared by every Linux architecture)
 // ---------------------------------------------------------------------------
 
+pub const EPERM: c_int = 1;
 pub const ENOENT: c_int = 2;
 pub const EINTR: c_int = 4;
 pub const EIO: c_int = 5;
 pub const EBADF: c_int = 9;
+pub const EACCES: c_int = 13;
+pub const ENODEV: c_int = 19;
 pub const EINVAL: c_int = 22;
+pub const ENOSYS: c_int = 38;
+pub const EOPNOTSUPP: c_int = 95;
 
 // ---------------------------------------------------------------------------
 // open(2) / lseek(2)
@@ -149,6 +154,87 @@ pub struct rusage {
 }
 
 // ---------------------------------------------------------------------------
+// perf_event_open(2)
+// ---------------------------------------------------------------------------
+
+/// x86_64 syscall number for `perf_event_open`; glibc exposes no wrapper,
+/// so callers go through `syscall(SYS_perf_event_open, ...)`. (Named as
+/// the real libc crate names it, hence the style exception.)
+#[allow(non_upper_case_globals)]
+pub const SYS_perf_event_open: c_long = 298;
+
+// perf_event_attr.type_
+pub const PERF_TYPE_HARDWARE: u32 = 0;
+pub const PERF_TYPE_SOFTWARE: u32 = 1;
+pub const PERF_TYPE_HW_CACHE: u32 = 3;
+
+// PERF_TYPE_HARDWARE configs
+pub const PERF_COUNT_HW_CPU_CYCLES: u64 = 0;
+pub const PERF_COUNT_HW_INSTRUCTIONS: u64 = 1;
+pub const PERF_COUNT_HW_CACHE_MISSES: u64 = 3;
+pub const PERF_COUNT_HW_BRANCH_MISSES: u64 = 5;
+
+// PERF_TYPE_SOFTWARE configs (used by probes where no PMU exists)
+pub const PERF_COUNT_SW_TASK_CLOCK: u64 = 1;
+
+// PERF_TYPE_HW_CACHE config is `id | (op << 8) | (result << 16)`.
+pub const PERF_COUNT_HW_CACHE_DTLB: u64 = 3;
+pub const PERF_COUNT_HW_CACHE_OP_READ: u64 = 0;
+pub const PERF_COUNT_HW_CACHE_RESULT_MISS: u64 = 1;
+
+// perf_event_attr.read_format bits
+pub const PERF_FORMAT_TOTAL_TIME_ENABLED: u64 = 1;
+pub const PERF_FORMAT_TOTAL_TIME_RUNNING: u64 = 2;
+pub const PERF_FORMAT_GROUP: u64 = 8;
+
+// ioctl requests on perf fds
+pub const PERF_EVENT_IOC_ENABLE: c_ulong = 0x2400;
+pub const PERF_EVENT_IOC_DISABLE: c_ulong = 0x2401;
+pub const PERF_EVENT_IOC_RESET: c_ulong = 0x2403;
+/// ioctl arg: apply the request to the whole group, not just one fd.
+pub const PERF_IOC_FLAG_GROUP: c_ulong = 1;
+
+// perf_event_attr flag bits (the kernel's C bitfield, as a plain word)
+pub const PERF_ATTR_FLAG_DISABLED: u64 = 1 << 0;
+pub const PERF_ATTR_FLAG_EXCLUDE_KERNEL: u64 = 1 << 5;
+pub const PERF_ATTR_FLAG_EXCLUDE_HV: u64 = 1 << 6;
+
+/// `struct perf_event_attr`, size 128 (`PERF_ATTR_SIZE_VER7`).
+///
+/// The kernel's bitfield block (`disabled`, `exclude_kernel`, ...) is a
+/// single little-endian u64 here (`flags`); use the `PERF_ATTR_FLAG_*`
+/// bits. Later kernel versions append fields — passing the VER7 size is
+/// valid on every kernel that has the events we ask for.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct perf_event_attr {
+    pub type_: u32,
+    pub size: u32,
+    pub config: u64,
+    pub sample_period: u64,
+    pub sample_type: u64,
+    pub read_format: u64,
+    pub flags: u64,
+    pub wakeup_events: u32,
+    pub bp_type: u32,
+    pub config1: u64,
+    pub config2: u64,
+    pub branch_sample_type: u64,
+    pub sample_regs_user: u64,
+    pub sample_stack_user: u32,
+    pub clockid: i32,
+    pub sample_regs_intr: u64,
+    pub aux_watermark: u32,
+    pub sample_max_stack: u16,
+    pub __reserved_2: u16,
+    pub aux_sample_size: u32,
+    pub __reserved_3: u32,
+    pub sig_data: u64,
+}
+
+pub const PERF_ATTR_SIZE_VER7: u32 = 128;
+
+// ---------------------------------------------------------------------------
 // wait(2) status decoding (glibc macro equivalents)
 // ---------------------------------------------------------------------------
 
@@ -222,6 +308,8 @@ extern "C" {
         optval: *const c_void,
         optlen: socklen_t,
     ) -> c_int;
+    pub fn syscall(num: c_long, ...) -> c_long;
+    pub fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
 }
 
 #[cfg(test)]
@@ -273,6 +361,17 @@ mod tests {
         // A running test process has touched memory and been scheduled.
         assert!(usage.ru_maxrss > 0, "maxrss {}", usage.ru_maxrss);
         assert!(usage.ru_minflt > 0, "minflt {}", usage.ru_minflt);
+    }
+
+    #[test]
+    fn perf_event_attr_layout_matches_ver7() {
+        // The kernel validates `size` against the struct it copies in; a
+        // layout drift here would surface as E2BIG at open time.
+        assert_eq!(
+            std::mem::size_of::<perf_event_attr>(),
+            PERF_ATTR_SIZE_VER7 as usize
+        );
+        assert_eq!(std::mem::align_of::<perf_event_attr>(), 8);
     }
 
     #[test]

@@ -53,8 +53,9 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lmbench <list|run NAME|suite|scale BENCH|report|trace-validate PATH|diff BASE NEW\n\
+        "usage: lmbench <list|run NAME|suite|scale BENCH|report|env|trace-validate PATH|diff BASE NEW\n\
          \x20               |serve|report push FILE|query diff|history|table>\n\
+         env:                clock + hardware-counter + baseline diagnosis for this host\n\
          suite/report flags: [--paper] [--only A,B] [--trace PATH] [--report-json PATH]\n\
          \x20                [--progress] [--quiet] [--verbose]\n\
          suite only:         [--baseline save|check]\n\
@@ -460,6 +461,57 @@ fn host_fingerprint() -> (String, String) {
     (fp, host.vendor_model)
 }
 
+/// The `lmbench env` doctor: answers "what will a measurement on this
+/// host actually see" — clock quality, hardware-counter access, and
+/// where baselines land — before any benchmark runs.
+fn env_doctor() -> ExitCode {
+    let host = detect_host();
+    let (fp, _) = host_fingerprint();
+    println!("=== Host ===");
+    println!("  name          {}", host.name);
+    println!("  machine       {}", host.vendor_model);
+    println!("  cpu           {} ({} MHz)", host.cpu, host.mhz);
+    println!("  os            {}", host.os);
+    println!("  fingerprint   {fp}");
+
+    println!("=== Clock ===");
+    let clock = lmbench::timing::ClockInfo::probe();
+    println!("  resolution    {:.1} ns", clock.resolution_ns);
+    println!("  read overhead {:.1} ns", clock.overhead_ns);
+    let est = lmbench::timing::estimate_clock(3);
+    println!(
+        "  cycle est.    {:.0} MHz ({:.3} ns/cycle)",
+        est.mhz, est.cycle_ns
+    );
+
+    println!("=== Hardware counters ===");
+    match lmbench::sys::perf_event_paranoid() {
+        Some(level) => println!("  perf_event_paranoid {level}"),
+        None => println!("  perf_event_paranoid unreadable"),
+    }
+    for kind in lmbench::sys::CounterKind::ALL {
+        match lmbench::sys::probe_counter(kind) {
+            Ok(()) => println!("  {:<14} ok", kind.label()),
+            Err(e) => println!("  {:<14} unavailable ({})", kind.label(), e.reason()),
+        }
+    }
+    match lmbench::timing::open_perf() {
+        Ok(counters) => {
+            let o = counters.overhead();
+            println!(
+                "  group         ok (bracket overhead: {} cycles, {} instructions)",
+                o.cycles, o.instructions
+            );
+        }
+        Err(e) => println!("  group         unavailable: {e}"),
+    }
+
+    println!("=== Results ===");
+    println!("  baseline dir  {}", baseline_store().dir().display());
+    println!("  schema        v{}", lmbench::results::SCHEMA_VERSION);
+    ExitCode::SUCCESS
+}
+
 /// Applies `--baseline save|check` after a suite run; returns the exit
 /// code (only `check` with significant regressions is nonzero).
 fn baseline_action(mode: &str, outcome: &EngineOutcome) -> ExitCode {
@@ -699,6 +751,10 @@ fn main() -> ExitCode {
             observer.finish(&outcome.report);
             println!("{}", report::full_report(Some(&outcome.run)));
             println!("{}", report::provenance_section(&outcome.report));
+            let counters = report::counters_section(&outcome.report);
+            if !counters.is_empty() {
+                println!("{counters}");
+            }
             println!("=== This host vs the paper's 1995 fleet ===");
             for cmp in report::comparisons(&outcome.run) {
                 println!("{}", cmp.summary());
@@ -712,6 +768,7 @@ fn main() -> ExitCode {
             };
             trace_validate(path)
         }
+        "env" => env_doctor(),
         "diff" => diff_reports(&args),
         _ => usage(),
     }

@@ -169,6 +169,73 @@ fn suite_skips_benchmark_with_missing_substrate() {
 }
 
 #[test]
+fn panicking_attempt_never_tears_the_rusage_or_counter_brackets() {
+    // The counter bracket wraps catch_unwind inside the rusage bracket: a
+    // panic mid-attempt must still close both. The record either carries a
+    // whole, internally consistent counter delta (counters available) or
+    // none at all (unavailable) — never a torn half-measurement.
+    let trace = trace_path("panic-brackets");
+    let report_path = std::env::temp_dir().join(format!(
+        "lmbench-panic-brackets-{}.json",
+        std::process::id()
+    ));
+    let (ok, _stdout, stderr) = run_suite_cli(
+        &[("LMBENCH_FAULT_PANIC", "lat_syscall")],
+        "sys_info,lat_syscall",
+        &[
+            "--trace",
+            trace.to_str().unwrap(),
+            "--report-json",
+            report_path.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "suite exited nonzero:\n{stderr}");
+
+    let report_text = std::fs::read_to_string(&report_path).expect("report written");
+    let _ = std::fs::remove_file(&report_path);
+    let report = lmbench::results::RunReport::from_json(&report_text).expect("report parses");
+    let record = report
+        .records
+        .iter()
+        .find(|r| r.name == "lat_syscall")
+        .expect("lat_syscall recorded");
+    assert!(
+        matches!(&record.status, lmbench::results::BenchStatus::Failed(reason)
+            if reason.contains("forced panic")),
+        "status not failed-with-panic: {:?}",
+        record.status
+    );
+    assert!(
+        record.rusage.is_some(),
+        "rusage bracket torn by the panic: {record:?}"
+    );
+    match &record.counters {
+        // Counting host: the delta closed across the unwind, so both time
+        // windows are populated and consistent.
+        Some(delta) => {
+            assert!(delta.enabled_ns > 0, "torn delta (enabled_ns=0): {delta:?}");
+            assert!(
+                delta.running_ns <= delta.enabled_ns,
+                "impossible delta: {delta:?}"
+            );
+        }
+        // Degraded host: absence must come with the loss report, not
+        // silently.
+        None => {
+            let text = std::fs::read_to_string(&trace).expect("trace written");
+            let events = parse_jsonl(&text).expect("trace valid");
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(e.kind, EventKind::CountersUnavailable { .. })),
+                "counters absent with no counters_unavailable event"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
 fn unknown_benchmark_and_usage_have_distinct_exit_codes() {
     let unknown = Command::new(env!("CARGO_BIN_EXE_lmbench"))
         .args(["run", "lat_warp"])

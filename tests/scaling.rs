@@ -233,6 +233,7 @@ fn scaled_record(p50_us: f64) -> BenchRecord {
             clamped_samples: 0,
         }),
         rusage: None,
+        counters: None,
         metrics: vec![
             MetricValue {
                 label: "p2 tput".into(),

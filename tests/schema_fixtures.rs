@@ -52,6 +52,36 @@ fn v1_baseline_envelope_loads_and_keeps_its_version() {
 }
 
 #[test]
+fn v2_report_tolerates_records_with_and_without_counters() {
+    // The counters field arrived mid-v2: reports archived by
+    // counter-denied hosts (or before the field existed) simply lack the
+    // key. Both shapes coexist in one fixture and both must survive a
+    // round trip without the absent key being invented.
+    let text = fixture("v2-runreport.json");
+    let report = RunReport::from_json(&text).expect("v2 report parses");
+    assert_eq!(report.schema_version, 2);
+
+    let plain = report.find("lat_syscall").expect("counter-less record");
+    assert!(plain.counters.is_none(), "missing key must read as None");
+
+    let counted = report.find("bw_mem").expect("counted record");
+    let delta = counted.counters.as_ref().expect("counters key must load");
+    assert_eq!(delta.cycles, 2_400_000);
+    assert_eq!(delta.instructions, 3_600_000);
+    assert_eq!(delta.ipc(), Some(1.5));
+    assert!(!delta.multiplexed());
+
+    let rendered = report.to_json();
+    let back = RunReport::from_json(&rendered).expect("round trip");
+    assert_eq!(back.records, report.records);
+    assert_eq!(
+        rendered.matches("\"counters\"").count(),
+        1,
+        "round trip must neither drop the present key nor invent the absent one"
+    );
+}
+
+#[test]
 fn load_entry_wraps_a_bare_v1_report_at_current_version() {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/v1-runreport.json");
     let entry = load_entry(&path).expect("bare report loads as an entry");
