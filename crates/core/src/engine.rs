@@ -20,8 +20,8 @@ use crate::error::SuiteError;
 use crate::host::detect_host;
 use crate::registry::{Benchmark, Registry};
 use lmb_results::{
-    BenchRecord, BenchStatus, CounterDelta, MetricValue, Provenance, ResourceUsage, RunReport,
-    SuiteRun, TablePatch,
+    BenchRecord, BenchStatus, CounterDelta, HarnessMetrics, MetricValue, Provenance, ResourceUsage,
+    RunReport, SuiteRun, TablePatch,
 };
 use lmb_sys::{RusageDelta, RusageSnapshot};
 use lmb_timing::{
@@ -31,9 +31,44 @@ use lmb_timing::{
 use lmb_trace::{emit, emit_in, ContextGuard, EventKind, Span, SpanId};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{mpsc, Mutex, Once};
 use std::time::{Duration, Instant};
+
+/// Per-execute phase accounting, in nanoseconds. Owned by one `execute`
+/// call (never global), so concurrent engines — parallel tests, nested
+/// harnesses — cannot pollute each other's budgets. Pool workers add
+/// concurrently, which is why the fields are atomics; the sums are
+/// therefore CPU-ish time and may exceed the suite's wall clock.
+#[derive(Default)]
+struct PhaseBudget {
+    probe_ns: AtomicU64,
+    attempt_ns: AtomicU64,
+    retry_ns: AtomicU64,
+}
+
+/// Folds a region's wall time into a [`PhaseBudget`] field on drop, so
+/// every `break`/`continue` path through the attempt loop is accounted.
+struct PhaseTimer<'a> {
+    sink: &'a AtomicU64,
+    started: Instant,
+}
+
+impl<'a> PhaseTimer<'a> {
+    fn start(sink: &'a AtomicU64) -> Self {
+        PhaseTimer {
+            sink,
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        self.sink
+            .fetch_add(self.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
 
 /// An OS facility a benchmark needs; probed before launch so a degraded
 /// machine yields `Skipped` rows instead of mid-run crashes.
@@ -186,6 +221,15 @@ impl Engine {
         let host = detect_host().name;
         let benches = self.registry.all();
         let workers = self.config.workers.max(1);
+        // The self-budget brackets: wall clock, the process-wide metrics
+        // registry (harness warmup/calibration counters accumulate only
+        // while the switch is on), and the trace sink's emission stats.
+        let suite_started = Instant::now();
+        let metrics_were_enabled = lmb_metrics::enabled();
+        lmb_metrics::enable();
+        let metrics_before = lmb_metrics::snapshot();
+        let sink_before = lmb_trace::sink_stats();
+        let budget = PhaseBudget::default();
         let suite_span = Span::enter("suite");
         let suite_id = suite_span.id();
         emit(|| EventKind::SuiteStart {
@@ -208,7 +252,8 @@ impl Engine {
         std::thread::scope(|scope| {
             // Shadow the owned locals as references so the `move` closures
             // (which need their per-worker index by value) share them.
-            let (pool_queue, slots, host, empty) = (&pool_queue, &slots, &host, &empty);
+            let (pool_queue, slots, host, empty, budget) =
+                (&pool_queue, &slots, &host, &empty, &budget);
             for worker in 0..workers {
                 scope.spawn(move || loop {
                     let idx = pool_queue.lock().expect("queue lock").pop_front();
@@ -217,7 +262,8 @@ impl Engine {
                         bench: benches[idx].name.to_string(),
                         worker: worker as u32,
                     });
-                    let result = self.run_one(&benches[idx], host, empty, suite_id, workers > 1);
+                    let result =
+                        self.run_one(&benches[idx], host, empty, suite_id, workers > 1, budget);
                     slots.lock().expect("slots lock")[idx] = Some(result);
                 });
             }
@@ -229,7 +275,7 @@ impl Engine {
         });
         for (idx, bench) in benches.iter().enumerate() {
             if bench.exclusive && !bench.derived {
-                let result = self.run_one(bench, &host, &empty, suite_id, false);
+                let result = self.run_one(bench, &host, &empty, suite_id, false, &budget);
                 slots.lock().expect("slots lock")[idx] = Some(result);
             }
         }
@@ -251,7 +297,8 @@ impl Engine {
         for (idx, bench) in benches.iter().enumerate() {
             if bench.derived {
                 let snapshot = run.clone();
-                let (record, patches) = self.run_one(bench, &host, &snapshot, suite_id, false);
+                let (record, patches) =
+                    self.run_one(bench, &host, &snapshot, suite_id, false, &budget);
                 for patch in patches {
                     patch.apply(&mut run);
                 }
@@ -259,11 +306,16 @@ impl Engine {
             }
         }
 
+        let harness = harness_budget(suite_started, &budget, &metrics_before, &sink_before);
+        if !metrics_were_enabled {
+            lmb_metrics::disable();
+        }
         let report = RunReport {
             records: slots
                 .into_iter()
                 .map(|slot| slot.expect("every benchmark produced a record").0)
                 .collect(),
+            harness: Some(harness),
             ..Default::default()
         };
         emit(|| EventKind::SuiteEnd {
@@ -285,6 +337,7 @@ impl Engine {
         snapshot: &SuiteRun,
         suite_span: SpanId,
         contended: bool,
+        budget: &PhaseBudget,
     ) -> BenchResult {
         let started = Instant::now();
         let span = Span::enter_with_parent(format!("bench:{}", bench.name), suite_span);
@@ -303,6 +356,7 @@ impl Engine {
         };
         let (inject_panic, inject_hang, deny_substrate) = self.faults.names(bench.name);
 
+        let probe_timer = PhaseTimer::start(&budget.probe_ns);
         let probe_failure = if deny_substrate {
             let reason = "injected fault: substrate reported missing".to_string();
             emit(|| EventKind::Probe {
@@ -327,6 +381,7 @@ impl Engine {
             }
             failure
         };
+        drop(probe_timer);
         if let Some(reason) = probe_failure {
             emit(|| EventKind::Skip {
                 reason: reason.clone(),
@@ -347,6 +402,13 @@ impl Engine {
         let mut patches = Vec::new();
         loop {
             record.attempts += 1;
+            // Drops at every exit from this iteration: the first attempt
+            // bills the attempt phase, noise re-runs bill the retry one.
+            let _attempt_timer = PhaseTimer::start(if record.attempts == 1 {
+                &budget.attempt_ns
+            } else {
+                &budget.retry_ns
+            });
             emit(|| EventKind::Attempt {
                 attempt: record.attempts,
             });
@@ -482,6 +544,39 @@ impl Engine {
         record.wall_ms = started.elapsed().as_secs_f64() * 1e3;
         emit_outcome(&record);
         (record, patches)
+    }
+}
+
+/// Assembles the run's self-budget: wall clock, phase atomics, the
+/// metrics-registry delta (the timing harness accumulates warmup and
+/// calibration time there) and the trace sink's emission delta.
+fn harness_budget(
+    suite_started: Instant,
+    budget: &PhaseBudget,
+    metrics_before: &lmb_metrics::Snapshot,
+    sink_before: &lmb_trace::SinkStatsSnapshot,
+) -> HarnessMetrics {
+    let ns_to_ms = |ns: u64| ns as f64 / 1e6;
+    let delta = lmb_metrics::snapshot().delta_from(metrics_before);
+    let counter = |name: &str| {
+        delta
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    let sink = lmb_trace::sink_stats().delta_from(sink_before);
+    HarnessMetrics {
+        suite_ms: suite_started.elapsed().as_secs_f64() * 1e3,
+        probe_ms: ns_to_ms(budget.probe_ns.load(Ordering::Relaxed)),
+        warmup_ms: ns_to_ms(counter("harness.warmup_ns")),
+        calibrate_ms: ns_to_ms(counter("harness.calibrate_ns")),
+        attempt_ms: ns_to_ms(budget.attempt_ns.load(Ordering::Relaxed)),
+        retry_ms: ns_to_ms(budget.retry_ns.load(Ordering::Relaxed)),
+        trace_events: sink.events,
+        trace_bytes: sink.bytes,
+        trace_writes: sink.writes,
+        trace_dropped: sink.dropped,
     }
 }
 
@@ -844,6 +939,50 @@ mod tests {
             BenchStatus::Skipped(_)
         ));
         assert!(outcome.run.remote_bw.is_empty());
+    }
+
+    #[test]
+    fn execute_attaches_a_harness_budget() {
+        let outcome = engine_for(&["lat_syscall"], fast_config()).execute();
+        let h = outcome.report.harness.expect("self-budget attached");
+        assert!(h.suite_ms > 0.0, "{h:?}");
+        assert!(h.probe_ms > 0.0, "substrate probes ran: {h:?}");
+        assert!(h.attempt_ms > 0.0, "{h:?}");
+        assert!(h.calibrate_ms > 0.0, "the harness calibrated: {h:?}");
+        // A single clean attempt bills nothing to the retry phase.
+        assert_eq!(h.retry_ms, 0.0, "{h:?}");
+        // Phases nest inside the suite; on this one-worker config each
+        // must fit inside the total wall time.
+        assert!(h.attempt_ms <= h.suite_ms, "{h:?}");
+    }
+
+    #[test]
+    fn retries_bill_the_retry_phase() {
+        let config = fast_config().with_retry(RetryPolicy {
+            max_attempts: 3,
+            cv_threshold: -1.0,
+        });
+        let outcome = engine_for(&["lat_syscall"], config).execute();
+        let h = outcome.report.harness.expect("self-budget attached");
+        assert!(h.retry_ms > 0.0, "two noise re-runs happened: {h:?}");
+    }
+
+    #[test]
+    fn traced_run_budgets_its_trace_emission() {
+        let _guard = trace_test_lock();
+        let engine = engine_for(&["lat_syscall"], fast_config());
+        let (outcome, events) = traced_execute(&engine);
+        let h = outcome.report.harness.expect("self-budget attached");
+        assert!(h.trace_events > 0, "{h:?}");
+        // The budget is sealed before the run's own closing events
+        // (`suite_end`, the suite `span_end`), so it may trail the sink's
+        // final count by exactly those two.
+        assert!(
+            h.trace_events + 2 >= events.len() as u64 && h.trace_events <= events.len() as u64,
+            "sink saw {} events, budget claims {}",
+            events.len(),
+            h.trace_events
+        );
     }
 
     #[test]

@@ -4,14 +4,14 @@
 //! honest error.
 
 use super::proto::{
-    self, DiffReply, DiffRequest, HistoryReply, HistoryRequest, PushReply, PushRequest, TableReply,
-    TableRequest,
+    self, DiffReply, DiffRequest, HistoryReply, HistoryRequest, PushReply, PushRequest, StatsReply,
+    StatsRequest, TableReply, TableRequest,
 };
 use bytes::Bytes;
 use lmb_results::Baseline;
 use lmb_rpc::{
     CallError, RpcClient, RESULTS_PROC_DIFF, RESULTS_PROC_HISTORY, RESULTS_PROC_PUSH,
-    RESULTS_PROC_TABLE, RESULTS_PROGRAM, RESULTS_VERSION,
+    RESULTS_PROC_STATS, RESULTS_PROC_TABLE, RESULTS_PROGRAM, RESULTS_VERSION,
 };
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -86,6 +86,12 @@ impl ReportClient {
                 fingerprint: fingerprint.into(),
             },
         )
+    }
+
+    /// Asks for the daemon's operational statistics: per-procedure request
+    /// accounting plus the segment store's ingest-derived totals.
+    pub fn stats(&mut self) -> Result<StatsReply, CallError> {
+        self.call_json(RESULTS_PROC_STATS, &StatsRequest::default())
     }
 
     /// Encodes `request`, calls `procedure`, decodes the reply. Transport

@@ -1,20 +1,77 @@
 //! The results daemon: lmb-rpc dispatch wired to the segment store.
 
-use super::proto::{self, DiffRequest, HistoryRequest, PushReply, PushRequest, TableRequest};
+use super::proto::{
+    self, DiffRequest, HistoryRequest, ProcedureStats, PushReply, PushRequest, StatsRequest,
+    TableRequest,
+};
 use super::store::SegmentStore;
 use bytes::Bytes;
+use lmb_metrics::Counter;
 use lmb_results::ReportStore;
 use lmb_rpc::{
     Registry, RpcServer, ServerOptions, RESULTS_PROC_DIFF, RESULTS_PROC_HISTORY, RESULTS_PROC_PUSH,
-    RESULTS_PROC_TABLE, RESULTS_PROGRAM, RESULTS_VERSION,
+    RESULTS_PROC_STATS, RESULTS_PROC_TABLE, RESULTS_PROGRAM, RESULTS_VERSION,
 };
 use lmb_sys::signal::{install_handler, Signal};
 use lmb_trace::EventKind;
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// One procedure's request accounting. Updates use the ungated metrics
+/// path: the versioned `query stats` reply is built from these, so they
+/// must be correct whether or not anyone turned the process-wide metrics
+/// switch on — and the daemon's request path is not a measured benchmark.
+#[derive(Default)]
+struct ProcCounters {
+    calls: Counter,
+    errors: Counter,
+    bytes_in: Counter,
+}
+
+impl ProcCounters {
+    fn hit(&self, bytes: u64) {
+        self.calls.add_always(1);
+        self.bytes_in.add_always(bytes);
+    }
+
+    fn row(&self, procedure: &str) -> ProcedureStats {
+        ProcedureStats {
+            procedure: procedure.to_string(),
+            calls: self.calls.get(),
+            errors: self.errors.get(),
+            bytes_in: self.bytes_in.get(),
+        }
+    }
+}
+
+/// Per-service operational counters. Owned by the service (not the
+/// process-global registry) so two daemons in one test process never mix
+/// their deterministic stats replies.
+#[derive(Default)]
+struct ServiceMetrics {
+    push: ProcCounters,
+    diff: ProcCounters,
+    history: ProcCounters,
+    table: ProcCounters,
+    stats: ProcCounters,
+}
+
+impl ServiceMetrics {
+    fn procedure_rows(&self) -> Vec<ProcedureStats> {
+        vec![
+            self.push.row("push"),
+            self.diff.row("diff"),
+            self.history.row("history"),
+            self.table.row("table"),
+            self.stats.row("stats"),
+        ]
+    }
+}
 
 /// Tunables for [`ResultsService::start`].
 #[derive(Debug, Clone)]
@@ -46,6 +103,8 @@ impl Default for ServiceConfig {
 pub struct ResultsService {
     server: RpcServer,
     store: Arc<Mutex<SegmentStore>>,
+    metrics: Arc<ServiceMetrics>,
+    started: Instant,
 }
 
 impl ResultsService {
@@ -65,52 +124,110 @@ impl ResultsService {
             },
         )?;
 
+        let metrics = Arc::new(ServiceMetrics::default());
+
         let s = store.clone();
+        let m = metrics.clone();
         register(&server, RESULTS_PROC_PUSH, move |args: Bytes| {
             let bytes = args.len() as u64;
-            let req: PushRequest = proto::from_wire(args)?;
-            let fingerprint = req.entry.fingerprint.clone();
-            let shard_seq = s.lock().append(req.entry).map_err(|_| ())?;
-            let fp = fingerprint.clone();
-            lmb_trace::emit(|| EventKind::Ingest {
-                fingerprint: fp.clone(),
-                shard_seq,
-                bytes,
-            });
-            Ok(proto::to_wire(&PushReply {
-                fingerprint,
-                shard_seq,
-            }))
+            m.push.hit(bytes);
+            let handled = (|| {
+                let req: PushRequest = proto::from_wire(args)?;
+                let fingerprint = req.entry.fingerprint.clone();
+                let shard_seq = s.lock().append(req.entry).map_err(|_| ())?;
+                let fp = fingerprint.clone();
+                lmb_trace::emit(|| EventKind::Ingest {
+                    fingerprint: fp.clone(),
+                    shard_seq,
+                    bytes,
+                });
+                Ok(proto::to_wire(&PushReply {
+                    fingerprint,
+                    shard_seq,
+                }))
+            })();
+            if handled.is_err() {
+                m.push.errors.add_always(1);
+            }
+            handled
         });
 
         let s = store.clone();
+        let m = metrics.clone();
         register(&server, RESULTS_PROC_DIFF, move |args: Bytes| {
-            let req: DiffRequest = proto::from_wire(args)?;
-            let history = s.lock().history(&req.fingerprint).map_err(|_| ())?;
-            let reply = proto::diff_reply(&history);
-            note_query("diff", &req.fingerprint, u64::from(reply.regressions));
-            Ok(proto::to_wire(&reply))
+            m.diff.hit(args.len() as u64);
+            let handled = (|| {
+                let req: DiffRequest = proto::from_wire(args)?;
+                let history = s.lock().history(&req.fingerprint).map_err(|_| ())?;
+                let reply = proto::diff_reply(&history);
+                note_query("diff", &req.fingerprint, u64::from(reply.regressions));
+                Ok(proto::to_wire(&reply))
+            })();
+            if handled.is_err() {
+                m.diff.errors.add_always(1);
+            }
+            handled
         });
 
         let s = store.clone();
+        let m = metrics.clone();
         register(&server, RESULTS_PROC_HISTORY, move |args: Bytes| {
-            let req: HistoryRequest = proto::from_wire(args)?;
-            let history = s.lock().history(&req.fingerprint).map_err(|_| ())?;
-            let reply = proto::history_reply(&history, &req.bench, &req.metric);
-            note_query("history", &req.fingerprint, reply.points.len() as u64);
-            Ok(proto::to_wire(&reply))
+            m.history.hit(args.len() as u64);
+            let handled = (|| {
+                let req: HistoryRequest = proto::from_wire(args)?;
+                let history = s.lock().history(&req.fingerprint).map_err(|_| ())?;
+                let reply = proto::history_reply(&history, &req.bench, &req.metric);
+                note_query("history", &req.fingerprint, reply.points.len() as u64);
+                Ok(proto::to_wire(&reply))
+            })();
+            if handled.is_err() {
+                m.history.errors.add_always(1);
+            }
+            handled
         });
 
         let s = store.clone();
+        let m = metrics.clone();
         register(&server, RESULTS_PROC_TABLE, move |args: Bytes| {
-            let req: TableRequest = proto::from_wire(args)?;
-            let latest = s.lock().latest(&req.fingerprint).map_err(|_| ())?;
-            let reply = proto::table_reply(latest.as_ref());
-            note_query("table", &req.fingerprint, reply.text.lines().count() as u64);
-            Ok(proto::to_wire(&reply))
+            m.table.hit(args.len() as u64);
+            let handled = (|| {
+                let req: TableRequest = proto::from_wire(args)?;
+                let latest = s.lock().latest(&req.fingerprint).map_err(|_| ())?;
+                let reply = proto::table_reply(latest.as_ref());
+                note_query("table", &req.fingerprint, reply.text.lines().count() as u64);
+                Ok(proto::to_wire(&reply))
+            })();
+            if handled.is_err() {
+                m.table.errors.add_always(1);
+            }
+            handled
         });
 
-        Ok(ResultsService { server, store })
+        let s = store.clone();
+        let m = metrics.clone();
+        register(&server, RESULTS_PROC_STATS, move |args: Bytes| {
+            // Count this call before snapshotting so the reply reflects it:
+            // a client that asks twice in a row sees calls go 1 -> 2.
+            m.stats.hit(args.len() as u64);
+            let handled = (|| {
+                let _req: StatsRequest = proto::from_wire(args)?;
+                let store_stats = s.lock().stats();
+                let reply = proto::stats_reply(m.procedure_rows(), store_stats);
+                note_query("stats", "", reply.procedures.len() as u64);
+                Ok(proto::to_wire(&reply))
+            })();
+            if handled.is_err() {
+                m.stats.errors.add_always(1);
+            }
+            handled
+        });
+
+        Ok(ResultsService {
+            server,
+            store,
+            metrics,
+            started: Instant::now(),
+        })
     }
 
     /// The TCP port the daemon listens on.
@@ -123,8 +240,34 @@ impl ResultsService {
         self.store.lock().flush_all()
     }
 
+    /// Emits a `metrics_snapshot` trace event: the flattened process-wide
+    /// registry (rpc.*, trace.*, service.*) plus this service's own
+    /// per-procedure counters and wall-clock values. Wall-clock rows live
+    /// here — in the audit log — and never in the versioned `query stats`
+    /// reply, which stays deterministic.
+    pub fn emit_metrics_snapshot(&self) {
+        if !lmb_trace::enabled() {
+            return;
+        }
+        let mut counters: BTreeMap<String, u64> =
+            lmb_metrics::snapshot().flatten().into_iter().collect();
+        counters.insert(
+            "service.uptime_ms".into(),
+            self.started.elapsed().as_millis() as u64,
+        );
+        for row in self.metrics.procedure_rows() {
+            counters.insert(format!("service.{}.calls", row.procedure), row.calls);
+            counters.insert(format!("service.{}.errors", row.procedure), row.errors);
+            counters.insert(format!("service.{}.bytes_in", row.procedure), row.bytes_in);
+        }
+        lmb_trace::emit(|| EventKind::MetricsSnapshot {
+            counters: counters.clone(),
+        });
+    }
+
     /// Flushes, then stops the server (joining its connection threads).
     pub fn shutdown(self) -> io::Result<()> {
+        self.emit_metrics_snapshot();
         self.flush()
         // `self.server` drops here, stopping accept/connection threads.
     }
@@ -244,6 +387,94 @@ mod tests {
             .unwrap();
         let table: super::super::proto::TableReply = proto::from_wire(reply).unwrap();
         assert!(!table.found);
+
+        drop(client);
+        service.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_reports_per_procedure_and_store_totals() {
+        let config = scratch_config();
+        let dir = config.data_dir.clone();
+        let service = ResultsService::start(config).unwrap();
+        let mut client = RpcClient::connect_tcp(
+            ("127.0.0.1", service.tcp_port()),
+            RESULTS_PROGRAM,
+            RESULTS_VERSION,
+        )
+        .unwrap();
+
+        let mut push_bytes = 0u64;
+        for s in [10, 20, 30] {
+            let wire = proto::to_wire(&PushRequest {
+                entry: entry("fp-s", s),
+            });
+            push_bytes += wire.len() as u64;
+            client.call(RESULTS_PROC_PUSH, wire).unwrap();
+        }
+        client
+            .call(
+                RESULTS_PROC_DIFF,
+                proto::to_wire(&DiffRequest {
+                    fingerprint: "fp-s".into(),
+                }),
+            )
+            .unwrap();
+
+        let ask = || proto::to_wire(&StatsRequest::default());
+        let reply = client.call(RESULTS_PROC_STATS, ask()).unwrap();
+        let stats: super::super::proto::StatsReply = proto::from_wire(reply).unwrap();
+        assert_eq!(stats.schema_version, lmb_results::SCHEMA_VERSION);
+
+        let row = |name: &str| {
+            stats
+                .procedures
+                .iter()
+                .find(|p| p.procedure == name)
+                .unwrap_or_else(|| panic!("no {name} row"))
+                .clone()
+        };
+        assert_eq!(row("push").calls, 3);
+        assert_eq!(row("push").errors, 0);
+        assert_eq!(row("push").bytes_in, push_bytes);
+        assert_eq!(row("diff").calls, 1);
+        // The stats handler counts itself before replying.
+        assert_eq!(row("stats").calls, 1);
+        assert_eq!(stats.store.hosts, 1);
+        assert_eq!(stats.store.runs, 3);
+        // batch_size = 2: one sealed batch, one run still pending.
+        assert_eq!(stats.store.sealed_batches, 1);
+
+        // A second identical ask advances only the stats row, and the
+        // rendered table is deterministic text.
+        let reply = client.call(RESULTS_PROC_STATS, ask()).unwrap();
+        let again: super::super::proto::StatsReply = proto::from_wire(reply).unwrap();
+        assert_eq!(
+            again
+                .procedures
+                .iter()
+                .find(|p| p.procedure == "stats")
+                .unwrap()
+                .calls,
+            2
+        );
+        assert!(again.render().contains("results-service stats"));
+
+        // Malformed stats args count as an error on the stats row.
+        match client.call(RESULTS_PROC_STATS, Bytes::from_static(b"garbage!")) {
+            Err(CallError::Fault(RpcFault::GarbageArguments)) => {}
+            other => panic!("expected GARBAGE_ARGS, got {other:?}"),
+        }
+        let reply = client.call(RESULTS_PROC_STATS, ask()).unwrap();
+        let last: super::super::proto::StatsReply = proto::from_wire(reply).unwrap();
+        let stats_row = last
+            .procedures
+            .iter()
+            .find(|p| p.procedure == "stats")
+            .unwrap();
+        assert_eq!(stats_row.calls, 4);
+        assert_eq!(stats_row.errors, 1);
 
         drop(client);
         service.shutdown().unwrap();

@@ -7,8 +7,9 @@
 //! the query engine is lmb-results' noise-aware differ, and the audit log
 //! is lmb-trace JSONL.
 //!
-//! - [`proto`] — the four procedures (push / diff / history / table) and
-//!   their request/reply bodies, JSON carried in one XDR string.
+//! - [`proto`] — the five procedures (push / diff / history / table /
+//!   stats) and their request/reply bodies, JSON carried in one XDR
+//!   string.
 //! - [`SegmentStore`] — fingerprint-sharded, append-only time series with
 //!   batched segment files and compaction.
 //! - [`ResultsService`] — the daemon: a concurrent [`lmb_rpc::RpcServer`]

@@ -106,6 +106,117 @@ pub struct TableReply {
     pub text: String,
 }
 
+/// `RESULTS_PROC_STATS`: the daemon's operational statistics. The request
+/// carries no parameters; the field pins the reply schema the caller
+/// expects (the daemon answers its own version regardless, like the
+/// store's tolerant reads).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsRequest {
+    /// Stats schema the client was built against.
+    pub schema_version: u32,
+}
+
+impl Default for StatsRequest {
+    fn default() -> StatsRequest {
+        StatsRequest {
+            schema_version: lmb_results::SCHEMA_VERSION,
+        }
+    }
+}
+
+/// One procedure's request accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcedureStats {
+    /// Procedure name (`push`, `diff`, `history`, `table`, `stats`).
+    pub procedure: String,
+    /// Requests answered (including the reply that carries this row, for
+    /// the `stats` procedure itself).
+    pub calls: u64,
+    /// Requests that failed (undecodable args or a store error).
+    pub errors: u64,
+    /// Request payload bytes received (XDR-encoded argument bodies).
+    pub bytes_in: u64,
+}
+
+/// The segment store's ingest-derived totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Shards (distinct host fingerprints) with at least one entry.
+    pub hosts: u64,
+    /// Stored runs across every shard.
+    pub runs: u64,
+    /// Sealed segment files currently on disk.
+    pub segments: u64,
+    /// Pending batches sealed into segments since this store opened.
+    pub sealed_batches: u64,
+    /// Shard compactions performed since this store opened.
+    pub compactions: u64,
+    /// Runs replayed from disk when this store opened.
+    pub replayed_runs: u64,
+}
+
+/// Reply to a stats query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Schema version of this snapshot (the unified results schema).
+    pub schema_version: u32,
+    /// Per-procedure accounting, sorted by procedure name.
+    pub procedures: Vec<ProcedureStats>,
+    /// Store totals.
+    pub store: StoreStats,
+}
+
+impl StatsReply {
+    /// Renders the snapshot as a fixed-width table. Deterministic: every
+    /// value derives from the request/ingest sequence, so two daemons fed
+    /// the same operations render byte-identical text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("results-service stats (schema v{})\n", self.schema_version);
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>7} {:>10}\n",
+            "procedure", "calls", "errors", "bytes_in"
+        ));
+        for p in &self.procedures {
+            out.push_str(&format!(
+                "{:<10} {:>8} {:>7} {:>10}\n",
+                p.procedure, p.calls, p.errors, p.bytes_in
+            ));
+        }
+        let s = &self.store;
+        out.push_str(&format!(
+            "store: {} host(s), {} run(s), {} segment(s), {} sealed batch(es), {} compaction(s), {} replayed\n",
+            s.hosts, s.runs, s.segments, s.sealed_batches, s.compactions, s.replayed_runs
+        ));
+        out
+    }
+
+    /// Serializes to pretty-printed JSON (the `query stats --json`
+    /// output). Deterministic by the same contract as [`render`].
+    ///
+    /// [`render`]: StatsReply::render
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("service types always serialize")
+    }
+}
+
+/// Builds a [`StatsReply`] from per-procedure rows and store totals.
+/// Deterministic by the same contract as [`diff_reply`]: no wall-clock
+/// values, no ports, no process identity — only request/ingest-derived
+/// counts, with rows sorted by name. Wall-clock operational state (uptime,
+/// latency histograms, connection gauges) goes to the audit trace as
+/// `metrics_snapshot` events instead, precisely because it can never be
+/// byte-identical across daemons.
+pub fn stats_reply(mut procedures: Vec<ProcedureStats>, store: StoreStats) -> StatsReply {
+    procedures.sort_by(|a, b| a.procedure.cmp(&b.procedure));
+    StatsReply {
+        schema_version: lmb_results::SCHEMA_VERSION,
+        procedures,
+        store,
+    }
+}
+
 /// Encodes a request or reply body: its JSON, as one XDR string.
 pub fn to_wire<T: Serialize>(value: &T) -> Bytes {
     let json = serde_json::to_string(value).expect("service types always serialize");

@@ -9,12 +9,36 @@
 //! at a bounded file count no matter how many runs it absorbs, and a
 //! restart replays the directory back into exactly the series it held.
 
+use super::proto::StoreStats;
 use lmb_results::{Baseline, ReportStore};
 use lmb_trace::EventKind;
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Registry-backed instruments for every store in the process, under
+/// `service.*` names; they feed the daemon's periodic `metrics_snapshot`
+/// trace events. The deterministic per-store totals for `query stats`
+/// come from [`SegmentStore::stats`] instead, so parallel stores in one
+/// process never mix their versioned replies.
+struct StoreInstruments {
+    batch_runs: &'static lmb_metrics::Histogram,
+    seal_latency_us: &'static lmb_metrics::Histogram,
+    compactions: &'static lmb_metrics::Counter,
+    replay_ms: &'static lmb_metrics::Histogram,
+}
+
+fn instruments() -> &'static StoreInstruments {
+    static I: std::sync::OnceLock<StoreInstruments> = std::sync::OnceLock::new();
+    I.get_or_init(|| StoreInstruments {
+        batch_runs: lmb_metrics::histogram("service.batch_runs"),
+        seal_latency_us: lmb_metrics::histogram("service.seal_latency_us"),
+        compactions: lmb_metrics::counter("service.compactions"),
+        replay_ms: lmb_metrics::histogram("service.replay_ms"),
+    })
+}
 
 /// Suffix shared by every segment file.
 const SEGMENT_SUFFIX: &str = ".seg.jsonl";
@@ -43,6 +67,12 @@ pub struct SegmentStore {
     batch_size: usize,
     compact_threshold: usize,
     shards: BTreeMap<String, Shard>,
+    /// Pending batches sealed into segment files since open.
+    sealed_batches: u64,
+    /// Shard compactions performed since open.
+    compactions: u64,
+    /// Entries replayed from disk at open.
+    replayed_runs: u64,
 }
 
 impl SegmentStore {
@@ -62,8 +92,16 @@ impl SegmentStore {
             batch_size: batch_size.max(1),
             compact_threshold: compact_threshold.max(1),
             shards: BTreeMap::new(),
+            sealed_batches: 0,
+            compactions: 0,
+            replayed_runs: 0,
         };
+        let started = Instant::now();
         store.replay()?;
+        store.replayed_runs = store.len() as u64;
+        instruments()
+            .replay_ms
+            .record(started.elapsed().as_millis() as u64);
         Ok(store)
     }
 
@@ -92,6 +130,20 @@ impl SegmentStore {
     /// in flight); tests assert on it.
     pub fn segment_count(&self, fingerprint: &str) -> usize {
         self.shards.get(fingerprint).map_or(0, |s| s.sealed.len())
+    }
+
+    /// Ingest-derived totals for the versioned `query stats` reply. All
+    /// six values are deterministic functions of the sequence of appends
+    /// (plus the directory state at open), never of the clock.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hosts: self.shards.len() as u64,
+            runs: self.len() as u64,
+            segments: self.shards.values().map(|s| s.sealed.len() as u64).sum(),
+            sealed_batches: self.sealed_batches,
+            compactions: self.compactions,
+            replayed_runs: self.replayed_runs,
+        }
     }
 
     /// Seals every shard's pending batch to disk. Called on shutdown and
@@ -167,14 +219,27 @@ impl SegmentStore {
             return Ok(());
         };
         if !shard.pending.is_empty() {
+            let timer = lmb_metrics::enabled().then(Instant::now);
             let path = segment_path(&dir, fingerprint, shard.next_segment);
             write_segment(&path, &shard.pending)?;
             shard.next_segment += 1;
             shard.sealed.push(path);
+            instruments().batch_runs.record(shard.pending.len() as u64);
+            if let Some(t) = timer {
+                instruments()
+                    .seal_latency_us
+                    .record(t.elapsed().as_micros() as u64);
+            }
             shard.pending.clear();
+            self.sealed_batches += 1;
+            // A seal is a durability point: push buffered audit-trace
+            // lines out with it so the JSONL never lags the store.
+            lmb_trace::flush_all();
         }
         if shard.sealed.len() > threshold {
             compact_shard(&dir, fingerprint, shard)?;
+            self.compactions += 1;
+            instruments().compactions.add_always(1);
         }
         Ok(())
     }

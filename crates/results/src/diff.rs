@@ -157,6 +157,7 @@ impl ReportDiff {
                 diff_bench(None, Some(cur_rec), rule, &mut rows);
             }
         }
+        diff_harness(baseline, current, rule, &mut rows);
         ReportDiff { rows }
     }
 
@@ -317,6 +318,75 @@ fn diff_bench(
                 }
             }
         };
+        rows.push(row);
+    }
+}
+
+/// Relative band for harness self-budget rows: 100%, far wider than any
+/// benchmark band. Suite wall time swings with machine load in ways no
+/// provenance CV captures, so only a gross blowup (the scripted 10×
+/// drill, a runaway retry loop) should alarm — a slow CI host must not.
+const HARNESS_BAND: f64 = 1.0;
+
+/// Absolute materiality floor for harness phases. A sub-millisecond
+/// phase (warm-up on a quick run, say) can swing several hundred
+/// percent between two healthy runs while costing nothing; a delta
+/// must be large relatively AND absolutely before it alarms.
+const HARNESS_ABS_FLOOR_MS: f64 = 1.0;
+
+/// Appends the harness self-budget rows: per-phase wall time, lower is
+/// better, judged against [`HARNESS_BAND`]. Reports without a budget on
+/// either side contribute no rows — an older baseline or a hand-built
+/// report must never alarm on infrastructure it did not measure.
+fn diff_harness(
+    baseline: &RunReport,
+    current: &RunReport,
+    rule: SignificanceRule,
+    rows: &mut Vec<DiffRow>,
+) {
+    let (Some(b), Some(c)) = (&baseline.harness, &current.harness) else {
+        return;
+    };
+    let band = HARNESS_BAND.max(rule.floor);
+    for (metric, bv, cv) in [
+        ("suite_ms", b.suite_ms, c.suite_ms),
+        ("probe_ms", b.probe_ms, c.probe_ms),
+        ("warmup_ms", b.warmup_ms, c.warmup_ms),
+        ("calibrate_ms", b.calibrate_ms, c.calibrate_ms),
+        ("attempt_ms", b.attempt_ms, c.attempt_ms),
+        ("retry_ms", b.retry_ms, c.retry_ms),
+    ] {
+        if bv <= 0.0 && cv <= 0.0 {
+            // The phase ran in neither report (no retries, say): nothing
+            // to judge, nothing to clutter the table with.
+            continue;
+        }
+        let mut row = DiffRow {
+            bench: "(harness)".into(),
+            metric: metric.into(),
+            unit: "ms".into(),
+            baseline: bv,
+            current: cv,
+            delta_frac: 0.0,
+            band_frac: band,
+            class: DiffClass::Unknown,
+            note: String::new(),
+        };
+        if !(bv.is_finite() && bv > 0.0) {
+            row.note = "baseline value unusable".into();
+        } else if !cv.is_finite() {
+            row.note = "current value unusable".into();
+        } else {
+            let delta = (cv - bv) / bv;
+            row.delta_frac = delta;
+            row.class = if delta.abs() <= band || (cv - bv).abs() <= HARNESS_ABS_FLOOR_MS {
+                DiffClass::Unchanged
+            } else if delta > 0.0 {
+                DiffClass::Regressed
+            } else {
+                DiffClass::Improved
+            };
+        }
         rows.push(row);
     }
 }
@@ -580,6 +650,138 @@ mod tests {
         assert!(text.contains("of 2 metrics"), "{text}");
         let back = ReportDiff::from_json(&diff.to_json()).expect("parse own JSON");
         assert_eq!(back, diff);
+    }
+
+    fn budget(suite_ms: f64) -> crate::runreport::HarnessMetrics {
+        crate::runreport::HarnessMetrics {
+            suite_ms,
+            probe_ms: suite_ms / 100.0,
+            warmup_ms: suite_ms / 10.0,
+            calibrate_ms: suite_ms / 5.0,
+            attempt_ms: suite_ms / 2.0,
+            retry_ms: 0.0,
+            trace_events: 100,
+            trace_bytes: 10_000,
+            trace_writes: 2,
+            trace_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn harness_budget_blowup_is_a_regression() {
+        // The acceptance drill: a 10x suite-time blowup must alarm even
+        // though every benchmark number is identical.
+        let mut a = report(vec![record("lat_syscall", &[("syscall", 4.0, "us")], 0.02)]);
+        a.harness = Some(budget(1_000.0));
+        let mut b = a.clone();
+        b.harness = Some(budget(10_000.0));
+        let diff = ReportDiff::between(&a, &b);
+        assert!(diff.has_regressions(), "{}", diff.render());
+        let row = diff
+            .rows
+            .iter()
+            .find(|r| r.bench == "(harness)" && r.metric == "suite_ms")
+            .expect("suite_ms row");
+        assert_eq!(row.class, DiffClass::Regressed);
+        assert!((row.delta_frac - 9.0).abs() < 1e-12);
+        assert_eq!(row.unit, "ms");
+        // Both sides report zero retry time: the phase never ran, so it
+        // must not appear at all.
+        assert!(!diff.rows.iter().any(|r| r.metric == "retry_ms"));
+    }
+
+    #[test]
+    fn harness_budget_tolerates_wide_wall_clock_swings() {
+        // CI hosts differ: 80% slower is inside the 100% harness band
+        // even though it would blow through every benchmark band.
+        let mut a = report(vec![record("lat_syscall", &[("syscall", 4.0, "us")], 0.02)]);
+        a.harness = Some(budget(1_000.0));
+        let mut b = a.clone();
+        b.harness = Some(budget(1_800.0));
+        let diff = ReportDiff::between(&a, &b);
+        assert!(!diff.has_regressions(), "{}", diff.render());
+        let row = diff
+            .rows
+            .iter()
+            .find(|r| r.bench == "(harness)" && r.metric == "suite_ms")
+            .expect("suite_ms row");
+        assert_eq!(row.class, DiffClass::Unchanged);
+        assert_eq!(row.band_frac, 1.0);
+    }
+
+    #[test]
+    fn sub_millisecond_phase_swings_are_immaterial() {
+        // A quick run's warm-up is a few microseconds; tripling it is a
+        // huge relative delta on a cost nobody can feel. The absolute
+        // materiality floor keeps it quiet; a delta that is large both
+        // relatively and absolutely still alarms.
+        let mut a = report(vec![record("lat_syscall", &[("syscall", 4.0, "us")], 0.02)]);
+        let mut base = budget(1_000.0);
+        base.warmup_ms = 0.004;
+        a.harness = Some(base);
+        let mut b = a.clone();
+        let mut cur = budget(1_000.0);
+        cur.warmup_ms = 0.011; // +175%, but only 7 microseconds
+        b.harness = Some(cur);
+        let diff = ReportDiff::between(&a, &b);
+        assert!(!diff.has_regressions(), "{}", diff.render());
+        let row = diff
+            .rows
+            .iter()
+            .find(|r| r.bench == "(harness)" && r.metric == "warmup_ms")
+            .expect("warmup_ms row");
+        assert_eq!(row.class, DiffClass::Unchanged);
+
+        // The same relative swing at material scale is a real alarm.
+        a.harness.as_mut().unwrap().warmup_ms = 100.0;
+        b.harness.as_mut().unwrap().warmup_ms = 275.0;
+        let diff = ReportDiff::between(&a, &b);
+        assert!(
+            diff.rows
+                .iter()
+                .any(|r| r.metric == "warmup_ms" && r.class == DiffClass::Regressed),
+            "{}",
+            diff.render()
+        );
+    }
+
+    #[test]
+    fn missing_harness_budget_never_alarms() {
+        // Older baselines predate the self-budget; the differ must stay
+        // silent about infrastructure they did not measure.
+        let a = report(vec![record("lat_syscall", &[("syscall", 4.0, "us")], 0.02)]);
+        let mut b = a.clone();
+        b.harness = Some(budget(10_000.0));
+        for (base, cur) in [(&a, &b), (&b, &a), (&a, &a)] {
+            let diff = ReportDiff::between(base, cur);
+            assert!(!diff.has_regressions(), "{}", diff.render());
+            assert!(
+                !diff.rows.iter().any(|r| r.bench == "(harness)"),
+                "{}",
+                diff.render()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_baseline_phase_is_unknown_not_an_alarm() {
+        // retry_ms goes 0 -> 50: no relative judgement exists. The row
+        // shows up as unknown, never as a regression.
+        let mut a = report(vec![record("lat_syscall", &[("syscall", 4.0, "us")], 0.02)]);
+        a.harness = Some(budget(1_000.0));
+        let mut b = a.clone();
+        let mut h = budget(1_000.0);
+        h.retry_ms = 50.0;
+        b.harness = Some(h);
+        let diff = ReportDiff::between(&a, &b);
+        assert!(!diff.has_regressions(), "{}", diff.render());
+        let row = diff
+            .rows
+            .iter()
+            .find(|r| r.metric == "retry_ms")
+            .expect("retry row");
+        assert_eq!(row.class, DiffClass::Unknown);
+        assert!(row.note.contains("unusable"), "{}", row.note);
     }
 
     #[test]

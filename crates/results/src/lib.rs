@@ -46,7 +46,8 @@ pub use diff::{DiffClass, DiffRow, ReportDiff, SignificanceRule};
 pub use patch::{SuiteField, TablePatch};
 pub use plot::{AsciiPlot, Series};
 pub use runreport::{
-    BenchRecord, BenchStatus, CounterDelta, MetricValue, Provenance, ResourceUsage, RunReport,
+    BenchRecord, BenchStatus, CounterDelta, HarnessMetrics, MetricValue, Provenance, ResourceUsage,
+    RunReport,
 };
 pub use scaling::{GeneratorSample, ScalePoint, ScalingCurve};
 pub use schema::*;

@@ -294,6 +294,39 @@ impl CounterDelta {
     }
 }
 
+/// What the *harness itself* cost to produce a run: total suite wall time
+/// with a per-phase breakdown, plus the trace sink's emission accounting.
+/// This is the suite's self-budget — `lmbench diff` compares it run over
+/// run (lower is better) so a measurement-infrastructure regression is as
+/// visible as a kernel one.
+///
+/// Phases overlap (probe/warmup/calibrate/attempt all nest inside the
+/// suite, and pool workers run concurrently), so the per-phase columns sum
+/// to *CPU-ish* time that may exceed `suite_ms` on multi-worker runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HarnessMetrics {
+    /// Whole-suite wall time, `Engine::execute` entry to exit, ms.
+    pub suite_ms: f64,
+    /// Substrate probing across all benchmarks, ms.
+    pub probe_ms: f64,
+    /// Untimed warm-up loops across all measurements, ms.
+    pub warmup_ms: f64,
+    /// Iteration-count calibration across all measurements, ms.
+    pub calibrate_ms: f64,
+    /// First attempts: benchmark-thread lifetime across benchmarks, ms.
+    pub attempt_ms: f64,
+    /// Noise-retry attempts beyond the first, ms.
+    pub retry_ms: f64,
+    /// Trace events delivered to the installed sink (0 when untraced).
+    pub trace_events: u64,
+    /// Bytes the JSONL trace sink wrote.
+    pub trace_bytes: u64,
+    /// Batched writes the JSONL trace sink performed.
+    pub trace_writes: u64,
+    /// Trace events lost to serialization or write errors.
+    pub trace_dropped: u64,
+}
+
 /// One headline number a benchmark produced, archived so run-over-run
 /// diffs need only the report JSON.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -397,6 +430,9 @@ pub struct RunReport {
     /// Load-scaling curves measured by `lmbench scale` (empty for plain
     /// suite runs and for reports archived before the scale subsystem).
     pub scaling: Vec<crate::scaling::ScalingCurve>,
+    /// The harness's own execution budget (absent in reports archived
+    /// before self-budget tracking, and in hand-built reports).
+    pub harness: Option<HarnessMetrics>,
 }
 
 impl Default for RunReport {
@@ -405,6 +441,7 @@ impl Default for RunReport {
             schema_version: crate::store::SCHEMA_VERSION,
             records: Vec::new(),
             scaling: Vec::new(),
+            harness: None,
         }
     }
 }
@@ -412,6 +449,8 @@ impl Default for RunReport {
 // Hand-written so `scaling` and `schema_version` stay optional on the
 // wire: reports archived before the scale subsystem carry only `records`,
 // and reports archived before the versioning policy read as version 1.
+// `harness` follows the `counters` discipline: omitted when absent, so
+// a budget-less report stays byte-identical to a pre-budget binary's.
 impl Serialize for RunReport {
     fn to_value(&self) -> Value {
         let mut obj = Value::object();
@@ -421,6 +460,9 @@ impl Serialize for RunReport {
         );
         obj.set("records", self.records.to_value());
         obj.set("scaling", self.scaling.to_value());
+        if self.harness.is_some() {
+            obj.set("harness", self.harness.to_value());
+        }
         obj
     }
 }
@@ -434,6 +476,8 @@ impl Deserialize for RunReport {
                 .unwrap_or(1),
             records: Vec::from_value(obj.field("records")).map_err(|e| e.in_field("records"))?,
             scaling: crate::scaling::scaling_from_value(obj.field("scaling"))?,
+            harness: Option::<HarnessMetrics>::from_value(obj.field("harness"))
+                .map_err(|e| e.in_field("harness"))?,
         })
     }
 }
@@ -756,6 +800,46 @@ mod tests {
         let back = RunReport::from_json(&json).expect("roundtrip");
         assert_eq!(back.to_json(), json);
         assert!(!json.contains("counters"));
+    }
+
+    #[test]
+    fn harness_absence_survives_a_round_trip() {
+        // Reports without a self-budget (older binaries, hand-built
+        // fixtures) must not grow the key on re-serialization.
+        let report = RunReport {
+            records: vec![record("lat_syscall", BenchStatus::Ok)],
+            ..Default::default()
+        };
+        let json = report.to_json();
+        assert!(!json.contains("harness"), "{json}");
+        let back = RunReport::from_json(&json).expect("roundtrip");
+        assert_eq!(back.harness, None);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn harness_budget_roundtrips() {
+        let report = RunReport {
+            records: vec![record("lat_syscall", BenchStatus::Ok)],
+            harness: Some(HarnessMetrics {
+                suite_ms: 1234.5,
+                probe_ms: 1.25,
+                warmup_ms: 40.0,
+                calibrate_ms: 210.0,
+                attempt_ms: 950.0,
+                retry_ms: 120.0,
+                trace_events: 4096,
+                trace_bytes: 1_048_576,
+                trace_writes: 16,
+                trace_dropped: 1,
+            }),
+            ..Default::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"harness\""), "{json}");
+        assert!(json.contains("calibrate_ms"), "{json}");
+        let back = RunReport::from_json(&json).expect("roundtrip");
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -56,3 +56,5 @@ pub const RESULTS_PROC_DIFF: u32 = 2;
 pub const RESULTS_PROC_HISTORY: u32 = 3;
 /// Regenerated paper tables from a stored run.
 pub const RESULTS_PROC_TABLE: u32 = 4;
+/// Operational statistics snapshot of the serving daemon.
+pub const RESULTS_PROC_STATS: u32 = 5;

@@ -16,41 +16,121 @@ use crate::message::{Body, RpcFault, RpcMessage};
 use crate::record::{read_record_limited, write_record};
 use crate::registry::{Protocol, Registry};
 use bytes::Bytes;
+use lmb_metrics::{Counter, Gauge, Histogram};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io;
 use std::net::{TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// A procedure implementation: XDR-encoded args in, XDR-encoded result out.
 ///
 /// Returning `Err` produces a `GARBAGE_ARGS` fault.
 pub type Procedure = Box<dyn Fn(Bytes) -> Result<Bytes, ()> + Send + Sync>;
 
+/// Registry-backed instruments shared by every `RpcServer` in the process,
+/// all under `rpc.*` names. Every update is gated on the `lmb-metrics`
+/// switch, so the measured echo-latency path (Tables 12–13) pays one
+/// relaxed load per touch when nobody is collecting.
+struct ServerStats {
+    requests: &'static Counter,
+    faults: &'static Counter,
+    bytes_in: &'static Counter,
+    bytes_out: &'static Counter,
+    connections: &'static Counter,
+    active: &'static Gauge,
+    latency_us: &'static Histogram,
+}
+
+fn stats() -> &'static ServerStats {
+    static STATS: OnceLock<ServerStats> = OnceLock::new();
+    STATS.get_or_init(|| ServerStats {
+        requests: lmb_metrics::counter("rpc.requests"),
+        faults: lmb_metrics::counter("rpc.faults"),
+        bytes_in: lmb_metrics::counter("rpc.bytes_in"),
+        bytes_out: lmb_metrics::counter("rpc.bytes_out"),
+        connections: lmb_metrics::counter("rpc.connections"),
+        active: lmb_metrics::gauge("rpc.active_connections"),
+        latency_us: lmb_metrics::histogram("rpc.latency_us"),
+    })
+}
+
+/// One dispatch-table entry: the handler plus its per-procedure
+/// instruments, resolved once at [`RpcServer::register`] time so the
+/// request path never touches the metrics registry lock.
+struct ProcEntry {
+    handler: Procedure,
+    calls: &'static Counter,
+    errors: &'static Counter,
+    latency_us: &'static Histogram,
+}
+
 #[derive(Default)]
 struct Dispatch {
-    procs: HashMap<(u32, u32, u32), Procedure>,
+    procs: HashMap<(u32, u32, u32), ProcEntry>,
     versions: HashMap<u32, Vec<u32>>,
 }
 
 impl Dispatch {
+    fn add(&mut self, program: u32, version: u32, procedure: u32, handler: Procedure) {
+        // The instrument names live as long as the registry; one small
+        // leak per registered procedure, never per request.
+        let name = |kind: &str| -> &'static str {
+            Box::leak(format!("rpc.{program:08x}.{procedure}.{kind}").into_boxed_str())
+        };
+        self.procs.insert(
+            (program, version, procedure),
+            ProcEntry {
+                handler,
+                calls: lmb_metrics::counter(name("calls")),
+                errors: lmb_metrics::counter(name("errors")),
+                latency_us: lmb_metrics::histogram(name("latency_us")),
+            },
+        );
+        let versions = self.versions.entry(program).or_default();
+        if !versions.contains(&version) {
+            versions.push(version);
+        }
+    }
+
     fn answer(&self, call: RpcMessage) -> RpcMessage {
         let xid = call.xid;
         let c = match call.body {
             Body::Call(c) => c,
-            Body::Reply(_) => return RpcMessage::reply_fault(xid, RpcFault::GarbageArguments),
+            Body::Reply(_) => {
+                stats().faults.add(1);
+                return RpcMessage::reply_fault(xid, RpcFault::GarbageArguments);
+            }
         };
         if c.program == 0 {
             // The decoder marks wrong-rpc-version calls with program 0.
+            stats().faults.add(1);
             return RpcMessage::reply_fault(xid, RpcFault::RpcMismatch);
         }
+        stats().requests.add(1);
         match self.procs.get(&(c.program, c.version, c.procedure)) {
-            Some(handler) => match handler(c.args) {
-                Ok(result) => RpcMessage::reply_success(xid, result),
-                Err(()) => RpcMessage::reply_fault(xid, RpcFault::GarbageArguments),
-            },
+            Some(entry) => {
+                entry.calls.add(1);
+                let timer = lmb_metrics::enabled().then(Instant::now);
+                let reply = match (entry.handler)(c.args) {
+                    Ok(result) => RpcMessage::reply_success(xid, result),
+                    Err(()) => {
+                        stats().faults.add(1);
+                        entry.errors.add(1);
+                        RpcMessage::reply_fault(xid, RpcFault::GarbageArguments)
+                    }
+                };
+                if let Some(t) = timer {
+                    let us = t.elapsed().as_micros() as u64;
+                    stats().latency_us.record(us);
+                    entry.latency_us.record(us);
+                }
+                reply
+            }
             None => {
+                stats().faults.add(1);
                 let versions = self.versions.get(&c.program);
                 match versions {
                     None => RpcMessage::reply_fault(xid, RpcFault::ProgramUnavailable),
@@ -142,11 +222,7 @@ impl RpcServer {
     /// Registers a procedure and announces the program in the registry.
     pub fn register(&self, program: u32, version: u32, procedure: u32, handler: Procedure) {
         let mut d = self.dispatch.write();
-        d.procs.insert((program, version, procedure), handler);
-        let versions = d.versions.entry(program).or_default();
-        if !versions.contains(&version) {
-            versions.push(version);
-        }
+        d.add(program, version, procedure, handler);
         drop(d);
         self.registry
             .register(program, version, Protocol::Tcp, self.tcp_port);
@@ -196,18 +272,24 @@ fn tcp_loop(
             return;
         }
         let _ = conn.set_nodelay(true);
+        stats().connections.add(1);
+        stats().active.add(1);
         // Serve this connection until it closes; benchmark clients hold one
         // connection for the whole run.
         let max = options.max_record_bytes.unwrap_or(usize::MAX);
         while let Ok(record) = read_record_limited(&mut conn, max) {
+            stats().bytes_in.add(record.len() as u64);
             let reply = match RpcMessage::decode(record) {
                 Ok(call) => dispatch.read().answer(call),
                 Err(_) => break,
             };
-            if write_record(&mut conn, &reply.encode()).is_err() {
+            let encoded = reply.encode();
+            stats().bytes_out.add(encoded.len() as u64);
+            if write_record(&mut conn, &encoded).is_err() {
                 break;
             }
         }
+        stats().active.add(-1);
     }
 }
 
@@ -249,6 +331,16 @@ fn serve_connection(
 ) {
     let _ = conn.set_nodelay(true);
     let _ = conn.set_read_timeout(Some(std::time::Duration::from_millis(100)));
+    stats().connections.add(1);
+    stats().active.add(1);
+    // Balance the gauge on every exit path below.
+    struct ActiveGuard;
+    impl Drop for ActiveGuard {
+        fn drop(&mut self) {
+            stats().active.add(-1);
+        }
+    }
+    let _active = ActiveGuard;
     while !stop.load(Ordering::Relaxed) {
         let record = match read_record_limited(&mut conn, max_record_bytes) {
             Ok(record) => record,
@@ -259,11 +351,14 @@ fn serve_connection(
             }
             Err(_) => return, // Closed, torn or oversized: drop the peer.
         };
+        stats().bytes_in.add(record.len() as u64);
         let reply = match RpcMessage::decode(record) {
             Ok(call) => dispatch.read().answer(call),
             Err(_) => return,
         };
-        if write_record(&mut conn, &reply.encode()).is_err() {
+        let encoded = reply.encode();
+        stats().bytes_out.add(encoded.len() as u64);
+        if write_record(&mut conn, &encoded).is_err() {
             return;
         }
     }
@@ -276,11 +371,14 @@ fn udp_loop(udp: &UdpSocket, dispatch: &Arc<RwLock<Dispatch>>, stop: &Arc<Atomic
             Ok(x) => x,
             Err(_) => continue, // Timeout: re-check stop flag.
         };
+        stats().bytes_in.add(n as u64);
         let reply = match RpcMessage::decode(Bytes::copy_from_slice(&buf[..n])) {
             Ok(call) => dispatch.read().answer(call),
             Err(_) => continue, // Undecodable datagram: drop, as real servers do.
         };
-        let _ = udp.send_to(&reply.encode(), peer);
+        let encoded = reply.encode();
+        stats().bytes_out.add(encoded.len() as u64);
+        let _ = udp.send_to(&encoded, peer);
     }
 }
 
@@ -318,8 +416,7 @@ mod tests {
     fn dispatch_faults_are_specific() {
         let d = {
             let mut d = Dispatch::default();
-            d.procs.insert((5, 1, 0), Box::new(Ok) as Procedure);
-            d.versions.insert(5, vec![1]);
+            d.add(5, 1, 0, Box::new(Ok));
             d
         };
         let fault = |msg: RpcMessage| match d.answer(msg).body {
@@ -343,8 +440,7 @@ mod tests {
     #[test]
     fn dispatch_success_echoes() {
         let mut d = Dispatch::default();
-        d.procs.insert((5, 1, 0), Box::new(Ok) as Procedure);
-        d.versions.insert(5, vec![1]);
+        d.add(5, 1, 0, Box::new(Ok));
         let args = Bytes::from_static(b"1234");
         let reply = d.answer(RpcMessage::call(77, 5, 1, 0, args.clone()));
         assert_eq!(reply.xid, 77);
@@ -354,9 +450,7 @@ mod tests {
     #[test]
     fn handler_error_becomes_garbage_args() {
         let mut d = Dispatch::default();
-        d.procs
-            .insert((5, 1, 0), Box::new(|_| Err(())) as Procedure);
-        d.versions.insert(5, vec![1]);
+        d.add(5, 1, 0, Box::new(|_| Err(())));
         let reply = d.answer(RpcMessage::call(1, 5, 1, 0, Bytes::new()));
         assert_eq!(
             reply.body,

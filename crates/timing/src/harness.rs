@@ -227,10 +227,14 @@ impl<T: TimeSource> Harness<T> {
         lmb_trace::emit(|| lmb_trace::EventKind::Warmup {
             runs: self.options.warmup_runs,
         });
+        let budget = lmb_metrics::enabled().then(std::time::Instant::now);
         for _ in 0..self.options.warmup_runs {
             body();
         }
+        account_phase(lmb_metrics::counter!("harness.warmup_ns"), budget);
+        let budget = lmb_metrics::enabled().then(std::time::Instant::now);
         let cal = calibrate_iterations_with(&self.source, self.target_interval(), &mut body);
+        account_phase(lmb_metrics::counter!("harness.calibrate_ns"), budget);
         lmb_trace::emit(|| lmb_trace::EventKind::Calibrated {
             iterations: cal.iterations,
             clock_resolution_ns: self.clock.resolution_ns,
@@ -260,9 +264,11 @@ impl<T: TimeSource> Harness<T> {
         lmb_trace::emit(|| lmb_trace::EventKind::Warmup {
             runs: self.options.warmup_runs,
         });
+        let budget = lmb_metrics::enabled().then(std::time::Instant::now);
         for _ in 0..self.options.warmup_runs {
             body();
         }
+        account_phase(lmb_metrics::counter!("harness.warmup_ns"), budget);
         lmb_trace::emit(|| lmb_trace::EventKind::Calibrated {
             iterations: ops,
             clock_resolution_ns: self.clock.resolution_ns,
@@ -301,6 +307,15 @@ impl<T: TimeSource> Harness<T> {
             self.options.policy,
         )
         .with_clamped_samples(with.clamped_samples() + without.clamped_samples())
+    }
+}
+
+/// Folds a phase's wall time into the named harness-budget counter. The
+/// `started` option is `Some` only when the process-wide metrics switch
+/// was on at phase entry, so a disabled registry never reads the clock.
+fn account_phase(counter: &'static lmb_metrics::Counter, started: Option<std::time::Instant>) {
+    if let Some(t) = started {
+        counter.add_always(t.elapsed().as_nanos() as u64);
     }
 }
 

@@ -244,6 +244,16 @@ pub enum EventKind {
         /// Why it was skipped.
         detail: String,
     },
+    /// A periodic dump of the process's `lmb-metrics` registry (the serve
+    /// daemon emits one every few seconds and one at shutdown), flattened
+    /// to sorted `name -> value` rows so the audit JSONL carries uptime,
+    /// latency histograms and connection gauges without a schema per
+    /// instrument.
+    MetricsSnapshot {
+        /// Flattened registry rows: counters as-is, gauges clamped at
+        /// zero, histograms as `name.count` / `name.sum` / `name.ge_<lo>`.
+        counters: BTreeMap<String, u64>,
+    },
     /// A benchmark's final outcome, mirroring its `BenchRecord`.
     Outcome {
         /// Status label (`ok`, `failed`, `timeout`, `skipped`).
@@ -296,6 +306,7 @@ impl EventKind {
             EventKind::Query { .. } => "query",
             EventKind::Compaction { .. } => "compaction",
             EventKind::StoreWarning { .. } => "store_warning",
+            EventKind::MetricsSnapshot { .. } => "metrics_snapshot",
             EventKind::Outcome { .. } => "outcome",
             EventKind::SuiteEnd { .. } => "suite_end",
         }
@@ -417,6 +428,15 @@ impl EventKind {
             EventKind::StoreWarning {
                 path: ".lmbench/baselines/host-1.json".into(),
                 detail: "expected JSON object for `Baseline`".into(),
+            },
+            EventKind::MetricsSnapshot {
+                counters: {
+                    let mut rows = BTreeMap::new();
+                    rows.insert("rpc.requests".to_string(), 204u64);
+                    rows.insert("service.uptime_ms".to_string(), 5210u64);
+                    rows.insert("rpc.latency_us.ge_64".to_string(), 31u64);
+                    rows
+                },
             },
             EventKind::Outcome {
                 status: "ok".into(),
@@ -618,6 +638,7 @@ impl Serialize for TraceEvent {
                 obj.set("path", path.to_value());
                 obj.set("detail", detail.to_value());
             }
+            EventKind::MetricsSnapshot { counters } => obj.set("counters", counters.to_value()),
             EventKind::Outcome {
                 status,
                 attempts,
@@ -769,6 +790,9 @@ impl Deserialize for TraceEvent {
             "store_warning" => EventKind::StoreWarning {
                 path: field(obj, "path")?,
                 detail: field(obj, "detail")?,
+            },
+            "metrics_snapshot" => EventKind::MetricsSnapshot {
+                counters: field(obj, "counters")?,
             },
             "outcome" => EventKind::Outcome {
                 status: field(obj, "status")?,

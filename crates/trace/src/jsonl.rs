@@ -11,39 +11,110 @@ use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
+/// Serialized lines accumulate in the sink's own buffer until it holds this
+/// many bytes; the underlying writer then sees one large write instead of
+/// one small write per event (the ROADMAP "raw-speed" batching item).
+const BATCH_BYTES: usize = 64 * 1024;
+
 /// Streams events as JSONL to any writer (file, stderr, a test buffer).
+///
+/// Emission is batched: events append to an in-memory buffer which is
+/// written out when it reaches [`BATCH_BYTES`] or when the sink is flushed
+/// (the global tracer flushes every sink on span close, and [`install`]d
+/// sinks are flushed on uninstall — so the artifact is valid up to the last
+/// closed span even after a crash).
+///
+/// Write errors are never allowed to panic the benchmark being observed;
+/// instead every event lost to a failed write or serialization is counted
+/// in the process-wide `trace.dropped` metric and reported once on stderr
+/// when the sink is dropped.
+///
+/// [`install`]: crate::install
 pub struct JsonlSink<W: Write + Send> {
     out: W,
+    buf: Vec<u8>,
+    /// Events currently sitting in `buf` (lost in one batch if a write fails).
+    buffered: u64,
+    /// Events this sink lost to failed serialization or I/O.
+    dropped: u64,
 }
 
 impl JsonlSink<BufWriter<File>> {
     /// Creates (truncating) a JSONL trace file at `path`.
     pub fn create(path: &Path) -> std::io::Result<Self> {
-        Ok(JsonlSink {
-            out: BufWriter::new(File::create(path)?),
-        })
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
     }
 }
 
 impl<W: Write + Send> JsonlSink<W> {
     /// Wraps an arbitrary writer.
     pub fn new(out: W) -> Self {
-        JsonlSink { out }
+        JsonlSink {
+            out,
+            buf: Vec::new(),
+            buffered: 0,
+            dropped: 0,
+        }
+    }
+
+    fn drop_events(&mut self, n: u64) {
+        self.dropped += n;
+        crate::sink::stats().dropped.add_always(n);
+    }
+
+    /// Pushes the line buffer to the writer (one batched write).
+    fn write_batch(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        match self.out.write_all(&self.buf) {
+            Ok(()) => {
+                let stats = crate::sink::stats();
+                stats.writes.add_always(1);
+                stats.bytes.add_always(self.buf.len() as u64);
+            }
+            Err(_) => {
+                // Best-effort, like any flight recorder with a dying disk:
+                // the whole batch is lost, counted, and reported at drop.
+                let lost = self.buffered;
+                self.drop_events(lost);
+            }
+        }
+        self.buf.clear();
+        self.buffered = 0;
     }
 }
 
 impl<W: Write + Send> Sink for JsonlSink<W> {
     fn event(&mut self, event: &TraceEvent) {
-        // A sink must never panic the benchmark it observes: serialization
-        // is infallible here and I/O errors drop the line (best-effort,
-        // like any flight recorder with a dying disk).
-        if let Ok(line) = serde_json::to_string(event) {
-            let _ = writeln!(self.out, "{line}");
+        match serde_json::to_string(event) {
+            Ok(line) => {
+                self.buf.extend_from_slice(line.as_bytes());
+                self.buf.push(b'\n');
+                self.buffered += 1;
+            }
+            Err(_) => self.drop_events(1),
+        }
+        if self.buf.len() >= BATCH_BYTES {
+            self.write_batch();
         }
     }
 
     fn flush(&mut self) {
+        self.write_batch();
         let _ = self.out.flush();
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        self.flush();
+        if self.dropped > 0 {
+            eprintln!(
+                "lmb-trace: warning: {} trace event(s) dropped on write errors",
+                self.dropped
+            );
+        }
     }
 }
 
@@ -151,10 +222,60 @@ mod tests {
             sink.event(&e);
         }
         sink.flush();
-        let text = String::from_utf8(sink.out).unwrap();
+        let text = String::from_utf8(sink.out.clone()).unwrap();
         let parsed = parse_jsonl(&text).expect("every line parses");
         assert_eq!(parsed.len(), EventKind::samples().len());
         assert_eq!(parsed[0].seq, 0);
+    }
+
+    #[test]
+    fn emission_batches_until_flush() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.event(&event(0, None, EventKind::Warmup { runs: 1 }));
+        assert!(
+            sink.out.is_empty(),
+            "one small event must not reach the writer before a flush"
+        );
+        assert_eq!(sink.buffered, 1);
+        sink.flush();
+        assert!(!sink.out.is_empty(), "flush pushes the batch through");
+        assert_eq!(sink.buffered, 0);
+        let parsed = parse_jsonl(&String::from_utf8(sink.out.clone()).unwrap()).unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn a_full_buffer_writes_itself_out() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let mut n = 0u64;
+        while sink.out.is_empty() {
+            sink.event(&event(n, None, EventKind::Warmup { runs: 1 }));
+            n += 1;
+            assert!(n < 1_000_000, "batch never spilled");
+        }
+        assert!(n > 1, "batching collapsed to per-event writes");
+    }
+
+    /// A writer that fails every write, for the dropped-event accounting.
+    struct BrokenWriter;
+    impl Write for BrokenWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk on fire"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    // Send is auto-derived for the field-less struct.
+
+    #[test]
+    fn failed_writes_count_dropped_events_instead_of_panicking() {
+        let mut sink = JsonlSink::new(BrokenWriter);
+        sink.event(&event(0, None, EventKind::Warmup { runs: 1 }));
+        sink.event(&event(1, None, EventKind::Warmup { runs: 2 }));
+        sink.flush();
+        assert_eq!(sink.dropped, 2, "both buffered events lost in one batch");
+        assert_eq!(sink.buffered, 0);
     }
 
     #[test]

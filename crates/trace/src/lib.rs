@@ -48,7 +48,10 @@ pub mod span;
 pub use event::{EventKind, TraceEvent};
 pub use jsonl::{parse_jsonl, span_summaries, JsonlSink, MemorySink, SpanSummary};
 pub use progress::{Detail, Progress};
-pub use sink::{emit, emit_in, enabled, flush_all, install, uninstall, Sink, SinkHandle};
+pub use sink::{
+    emit, emit_in, enabled, flush_all, install, sink_stats, stats, uninstall, Sink, SinkHandle,
+    SinkStatsSnapshot, TraceStats,
+};
 pub use span::{current, ContextGuard, Span, SpanId};
 
 /// Serializes unit tests that install global sinks, so parallel tests in

@@ -13,6 +13,7 @@
 
 use crate::event::{EventKind, TraceEvent};
 use crate::span::SpanId;
+use lmb_metrics::Counter;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -40,6 +41,72 @@ fn registry() -> &'static SinkRegistry {
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
+}
+
+/// The tracer's own operational counters, registered in the `lmb-metrics`
+/// registry under `trace.*` so `metrics_snapshot` events and the harness
+/// budget can see them. All updates use the ungated path: every counting
+/// site is already behind [`enabled`], so a disabled tracer still costs
+/// nothing.
+pub struct TraceStats {
+    /// Events delivered to installed sinks (counted once, not per sink).
+    pub events: &'static Counter,
+    /// Bytes of JSONL successfully handed to sink writers.
+    pub bytes: &'static Counter,
+    /// Batched writes issued by JSONL sinks.
+    pub writes: &'static Counter,
+    /// Events lost to serialization or I/O failures.
+    pub dropped: &'static Counter,
+}
+
+/// The process-wide [`TraceStats`] block.
+pub fn stats() -> &'static TraceStats {
+    static STATS: OnceLock<TraceStats> = OnceLock::new();
+    STATS.get_or_init(|| TraceStats {
+        events: lmb_metrics::counter("trace.events"),
+        bytes: lmb_metrics::counter("trace.bytes"),
+        writes: lmb_metrics::counter("trace.writes"),
+        dropped: lmb_metrics::counter("trace.dropped"),
+    })
+}
+
+/// Cumulative tracer activity for this process, readable at any time (the
+/// engine diffs two of these around a suite run for the harness budget).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkStatsSnapshot {
+    /// Events delivered to installed sinks.
+    pub events: u64,
+    /// JSONL bytes successfully written.
+    pub bytes: u64,
+    /// Batched writes issued.
+    pub writes: u64,
+    /// Events dropped on errors.
+    pub dropped: u64,
+}
+
+impl SinkStatsSnapshot {
+    /// Activity since `earlier` (all fields are monotonic).
+    #[must_use]
+    pub fn delta_from(&self, earlier: &SinkStatsSnapshot) -> SinkStatsSnapshot {
+        SinkStatsSnapshot {
+            events: self.events.saturating_sub(earlier.events),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            writes: self.writes.saturating_sub(earlier.writes),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+        }
+    }
+}
+
+/// Reads the current [`TraceStats`] values.
+#[must_use]
+pub fn sink_stats() -> SinkStatsSnapshot {
+    let s = stats();
+    SinkStatsSnapshot {
+        events: s.events.get(),
+        bytes: s.bytes.get(),
+        writes: s.writes.get(),
+        dropped: s.dropped.get(),
+    }
 }
 
 /// Is any sink installed? The fast path every instrumentation site checks
@@ -113,9 +180,16 @@ pub(crate) fn deliver(span: Option<u64>, kind: EventKind) {
         span,
         kind,
     };
+    stats().events.add_always(1);
+    // A closing span is the batching boundary: sinks buffer freely between
+    // span ends, and the artifact on disk is valid up to the last one.
+    let span_closed = matches!(event.kind, EventKind::SpanEnd { .. });
     let mut sinks = registry().lock().expect("sink registry lock");
     for (_, sink) in sinks.iter_mut() {
         sink.event(&event);
+        if span_closed {
+            sink.flush();
+        }
     }
 }
 

@@ -21,6 +21,7 @@
 //! | [`net`] | link models for the remote Tables 4/14 |
 //! | [`results`] | results database, paper dataset, tables, plots |
 //! | [`trace`] | structured tracing: spans, events, JSONL artifacts |
+//! | [`metrics`] | operational telemetry: counters, gauges, histograms |
 //! | [`core`] | suite orchestration and report generation |
 //!
 //! # Examples
@@ -39,6 +40,7 @@ pub use lmb_disk as disk;
 pub use lmb_fs as fs;
 pub use lmb_ipc as ipc;
 pub use lmb_mem as mem;
+pub use lmb_metrics as metrics;
 pub use lmb_net as net;
 pub use lmb_proc as proc;
 pub use lmb_results as results;
@@ -66,6 +68,7 @@ mod tests {
         let _ = crate::net::standard_links();
         let _ = crate::results::dataset::systems();
         let _ = crate::trace::enabled();
+        let _ = crate::metrics::enabled();
         let _ = crate::core::SuiteConfig::quick();
         assert!(!crate::VERSION.is_empty());
     }

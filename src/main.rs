@@ -54,7 +54,7 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: lmbench <list|run NAME|suite|scale BENCH|report|env|trace-validate PATH|diff BASE NEW\n\
-         \x20               |serve|report push FILE|query diff|history|table>\n\
+         \x20               |serve|report push FILE|query diff|history|table|stats>\n\
          env:                clock + hardware-counter + baseline diagnosis for this host\n\
          suite/report flags: [--paper] [--only A,B] [--trace PATH] [--report-json PATH]\n\
          \x20                [--progress] [--quiet] [--verbose]\n\
@@ -66,7 +66,8 @@ fn usage() -> ExitCode {
          report push:        FILE --to HOST:PORT [--fingerprint FP] [--host-name NAME]\n\
          \x20                [--at SECONDS]\n\
          query:              diff|table --to HOST:PORT [--fingerprint FP] [--json],\n\
-         \x20                history BENCH [METRIC] --to HOST:PORT [--fingerprint FP]"
+         \x20                history BENCH [METRIC] --to HOST:PORT [--fingerprint FP],\n\
+         \x20                stats --to HOST:PORT [--json]"
     );
     ExitCode::from(2)
 }
@@ -284,13 +285,25 @@ fn serve_daemon(args: &[String]) -> ExitCode {
             return ExitCode::from(3);
         }
     };
+    // Operational metrics on: RPC request/latency instruments and the
+    // store's batch/seal/compaction accounting feed the periodic
+    // `metrics_snapshot` events in the audit trace.
+    lmbench::metrics::enable();
     // The port line is the contract with scripts (and the E2E tests):
     // printed first, flushed immediately.
     println!("listening on 127.0.0.1:{}", service.tcp_port());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
+    // One snapshot every ~5 s of the 50 ms poll loop; a final one is
+    // emitted by `shutdown()` so short-lived daemons still leave one.
+    const SNAPSHOT_EVERY: u32 = 100;
+    let mut ticks = 0u32;
     while !shutdown.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(50));
+        ticks += 1;
+        if ticks.is_multiple_of(SNAPSHOT_EVERY) {
+            service.emit_metrics_snapshot();
+        }
     }
     eprintln!("lmbench: results service shutting down");
     let code = match service.shutdown() {
@@ -361,7 +374,7 @@ fn report_push(args: &[String]) -> ExitCode {
 fn query_daemon(args: &[String]) -> ExitCode {
     let pos = positionals(args);
     let Some(&procedure) = pos.get(1) else {
-        eprintln!("lmbench query: missing procedure (diff|history|table)");
+        eprintln!("lmbench query: missing procedure (diff|history|table|stats)");
         return usage();
     };
     let Some(addr) = flag_value(args, "--to") else {
@@ -438,8 +451,22 @@ fn query_daemon(args: &[String]) -> ExitCode {
                 ExitCode::from(3)
             }
         },
+        "stats" => match client.stats() {
+            Ok(reply) => {
+                if args.iter().any(|a| a == "--json") {
+                    println!("{}", reply.to_json());
+                } else {
+                    print!("{}", reply.render());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("lmbench: cannot query {addr}: {e}");
+                ExitCode::from(3)
+            }
+        },
         other => {
-            eprintln!("lmbench query: unknown procedure `{other}` (diff|history|table)");
+            eprintln!("lmbench query: unknown procedure `{other}` (diff|history|table|stats)");
             usage()
         }
     }

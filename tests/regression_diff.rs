@@ -150,6 +150,60 @@ fn diff_of_identical_reports_passes_and_perturbation_fails() {
 }
 
 #[test]
+fn harness_budget_blowup_gates_and_missing_budget_never_alarms() {
+    let (report, _) = measured();
+    let h = report
+        .harness
+        .expect("suite run archives its harness budget");
+    assert!(h.suite_ms > 0.0, "suite wall-clock accounted");
+    assert!(h.attempt_ms > 0.0, "attempt phase accounted");
+
+    // A scripted 10x blowup of the harness's own spend must gate exactly
+    // like a benchmark regression: exit 1 with a "(harness)" row.
+    let mut slow = report.clone();
+    let hb = slow.harness.as_mut().unwrap();
+    hb.suite_ms *= 10.0;
+    hb.attempt_ms *= 10.0;
+    let (out, a, b) = diff(&report, &slow, &[]);
+    let table = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "10x self-budget not gated:\n{table}"
+    );
+    assert!(table.contains("(harness)"), "{table}");
+    let _ = std::fs::remove_file(a);
+    let _ = std::fs::remove_file(b);
+
+    // An ordinary CI wall-clock swing (well under the 100% band) is noise,
+    // not an alarm.
+    let mut wobbly = report.clone();
+    wobbly.harness.as_mut().unwrap().suite_ms *= 1.8;
+    let (out, a, b) = diff(&report, &wobbly, &["--json"]);
+    assert!(
+        out.status.success(),
+        "1.8x wall-clock swing flagged:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_file(a);
+    let _ = std::fs::remove_file(b);
+
+    // A report with no harness section — an older binary, say — must
+    // never alarm, even against a blown-up current side.
+    let mut bare = report.clone();
+    bare.harness = None;
+    let (out, a, b) = diff(&bare, &slow, &[]);
+    let table = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        out.status.success(),
+        "missing baseline budget alarmed:\n{table}"
+    );
+    assert!(!table.contains("(harness)"), "{table}");
+    let _ = std::fs::remove_file(a);
+    let _ = std::fs::remove_file(b);
+}
+
+#[test]
 fn diff_rejects_unreadable_input_with_a_distinct_exit_code() {
     let missing = temp_path("nope.json");
     let out = Command::new(env!("CARGO_BIN_EXE_lmbench"))

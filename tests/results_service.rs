@@ -4,6 +4,7 @@
 //! the client library and the `query` subcommands, and shut down
 //! gracefully with a real signal.
 
+use lmbench::core::service::proto::{to_wire, PushRequest};
 use lmbench::core::ReportClient;
 use lmbench::results::{Baseline, RunReport};
 use lmbench::sys::signal::{kill, Signal};
@@ -165,6 +166,43 @@ fn fleet_ingest_is_complete_ordered_and_survives_restart() {
             assert_eq!(seconds, vec![100, 200, 300, 400], "{fp}");
         }
     }
+
+    // The daemon's own accounting reconciles exactly with what the fleet
+    // sent: 200 pushes whose wire bytes we can recompute client-side,
+    // plus the 50 diff and 50 history queries above, zero errors.
+    let expected_push_bytes: u64 = (0..10)
+        .flat_map(|t| (0..HOSTS / 10).map(move |h| format!("sim-{:02}-{h}", t)))
+        .flat_map(|fp| {
+            (1..=RUNS_PER_HOST).map(move |run| {
+                to_wire(&PushRequest {
+                    entry: entry(&fp, run * 100, 1.0),
+                })
+                .len() as u64
+            })
+        })
+        .sum();
+    let stats = client.stats().expect("stats answers");
+    let row = |name: &str| {
+        stats
+            .procedures
+            .iter()
+            .find(|p| p.procedure == name)
+            .unwrap_or_else(|| panic!("no {name} row"))
+    };
+    assert_eq!(row("push").calls, (HOSTS as u64) * RUNS_PER_HOST);
+    assert_eq!(row("push").errors, 0);
+    assert_eq!(
+        row("push").bytes_in,
+        expected_push_bytes,
+        "daemon byte accounting disagrees with what clients sent"
+    );
+    assert_eq!(row("diff").calls, HOSTS as u64);
+    assert_eq!(row("history").calls, HOSTS as u64);
+    assert_eq!(row("table").calls, 0);
+    assert_eq!(row("stats").calls, 1, "the stats call counts itself");
+    assert_eq!(stats.store.hosts, HOSTS as u64);
+    assert_eq!(stats.store.runs, (HOSTS as u64) * RUNS_PER_HOST);
+    assert_eq!(stats.store.replayed_runs, 0, "fresh store replayed nothing");
     drop(client);
 
     // Graceful SIGTERM: pending batches sealed, exit 0.
@@ -200,6 +238,22 @@ fn fleet_ingest_is_complete_ordered_and_survives_restart() {
             assert_eq!(hist.points.len(), RUNS_PER_HOST as usize, "{fp}");
         }
     }
+    // Request counters start over with the process; the store stats
+    // remember the replayed fleet.
+    let stats = client.stats().expect("stats after restart");
+    let push_row = stats
+        .procedures
+        .iter()
+        .find(|p| p.procedure == "push")
+        .expect("push row");
+    assert_eq!(push_row.calls, 0, "a fresh daemon has taken no pushes");
+    assert_eq!(stats.store.hosts, HOSTS as u64);
+    assert_eq!(stats.store.runs, (HOSTS as u64) * RUNS_PER_HOST);
+    assert_eq!(
+        stats.store.replayed_runs,
+        (HOSTS as u64) * RUNS_PER_HOST,
+        "restart replays the whole directory"
+    );
     drop(client);
     daemon.stop();
     let _ = std::fs::remove_dir_all(&dir);
@@ -238,6 +292,17 @@ fn identical_ingest_sequences_answer_byte_identically() {
                     full.extend(["--to", &addr]);
                     transcript.extend_from_slice(&query(&full).stdout);
                 }
+            }
+            // The stats reply is part of the determinism contract too: it
+            // is built only from request counters and store totals, so two
+            // daemons that served the same sequence must agree on it —
+            // including the stats call counting itself.
+            let addr = daemon.addr();
+            for args in [
+                vec!["stats", "--to", &addr],
+                vec!["stats", "--json", "--to", &addr],
+            ] {
+                transcript.extend_from_slice(&query(&args).stdout);
             }
             daemon.stop();
             let _ = std::fs::remove_dir_all(&dir);
