@@ -25,15 +25,68 @@ use lmb_results::{
 };
 use lmb_sys::{RusageDelta, RusageSnapshot};
 use lmb_timing::{
-    new_recorder, open_perf, take_events, CounterValues, Counters, Harness, MeasureEvent,
-    PerfCounters, Quality,
+    new_recorder, open_perf, take_events, ClockInfo, CounterValues, Counters, Harness,
+    MeasureEvent, PerfCounters, Quality, RealClock, SimClock, TimeSource,
 };
 use lmb_trace::{emit, emit_in, ContextGuard, EventKind, Span, SpanId};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{mpsc, Mutex, Once};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// The clock every engine-level decision reads: scheduling stamps, phase
+/// budgets, watchdog deadlines, retry sleeps.
+///
+/// An enum rather than a generic parameter so `Engine`, `RunCtx` and every
+/// public signature stay un-parameterized: the real arm delegates to the
+/// zero-sized [`RealClock`] (one match on a fieldless discriminant), the
+/// sim arm shares a seeded [`SimClock`] with the scripted benchmark bodies
+/// so a whole suite run advances one virtual timeline.
+#[derive(Debug, Clone)]
+pub enum EngineClock {
+    /// The host monotonic clock (the default).
+    Real(RealClock),
+    /// A seeded virtual clock; the engine runs with zero real-time sleeps.
+    Sim(SimClock),
+}
+
+impl EngineClock {
+    /// The shared sim clock, when this engine runs under virtual time.
+    #[must_use]
+    pub fn sim(&self) -> Option<&SimClock> {
+        match self {
+            EngineClock::Real(_) => None,
+            EngineClock::Sim(sim) => Some(sim),
+        }
+    }
+}
+
+impl Default for EngineClock {
+    fn default() -> Self {
+        EngineClock::Real(RealClock)
+    }
+}
+
+impl TimeSource for EngineClock {
+    fn now_ns(&self) -> f64 {
+        match self {
+            EngineClock::Real(c) => c.now_ns(),
+            EngineClock::Sim(c) => c.now_ns(),
+        }
+    }
+
+    fn sleep(&self, d: Duration) {
+        match self {
+            EngineClock::Real(c) => c.sleep(d),
+            EngineClock::Sim(c) => c.sleep(d),
+        }
+    }
+
+    fn is_virtual(&self) -> bool {
+        matches!(self, EngineClock::Sim(_))
+    }
+}
 
 /// Per-execute phase accounting, in nanoseconds. Owned by one `execute`
 /// call (never global), so concurrent engines — parallel tests, nested
@@ -45,28 +98,38 @@ struct PhaseBudget {
     probe_ns: AtomicU64,
     attempt_ns: AtomicU64,
     retry_ns: AtomicU64,
+    /// Benchmark threads abandoned past their watchdog deadline that are
+    /// still (possibly) running. A nonzero count means later records in
+    /// the same run are `contended`: the zombie holds its substrate and
+    /// competes for CPU even through the exclusive phase.
+    leaked_threads: AtomicU32,
 }
 
-/// Folds a region's wall time into a [`PhaseBudget`] field on drop, so
-/// every `break`/`continue` path through the attempt loop is accounted.
+/// Folds a region's elapsed time (read from the engine's clock, so virtual
+/// under simulation) into a [`PhaseBudget`] field on drop, so every
+/// `break`/`continue` path through the attempt loop is accounted.
 struct PhaseTimer<'a> {
     sink: &'a AtomicU64,
-    started: Instant,
+    clock: &'a EngineClock,
+    started: f64,
 }
 
 impl<'a> PhaseTimer<'a> {
-    fn start(sink: &'a AtomicU64) -> Self {
+    fn start(clock: &'a EngineClock, sink: &'a AtomicU64) -> Self {
         PhaseTimer {
             sink,
-            started: Instant::now(),
+            clock,
+            started: clock.now_ns(),
         }
     }
 }
 
 impl Drop for PhaseTimer<'_> {
     fn drop(&mut self) {
-        self.sink
-            .fetch_add(self.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.sink.fetch_add(
+            (self.clock.now_ns() - self.started).max(0.0) as u64,
+            Ordering::Relaxed,
+        );
     }
 }
 
@@ -195,6 +258,7 @@ pub struct Engine {
     registry: Registry,
     config: SuiteConfig,
     faults: FaultPlan,
+    clock: EngineClock,
 }
 
 impl Engine {
@@ -205,6 +269,7 @@ impl Engine {
             registry,
             config,
             faults: FaultPlan::default(),
+            clock: EngineClock::default(),
         })
     }
 
@@ -215,16 +280,32 @@ impl Engine {
         self
     }
 
+    /// Installs the clock engine-level decisions read. Pass
+    /// [`EngineClock::Sim`] with the same [`SimClock`] the scripted
+    /// benchmark bodies share to run the whole suite under virtual time.
+    #[must_use]
+    pub fn with_clock(mut self, clock: EngineClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
     /// Runs every registered benchmark and returns the partial result set
     /// plus the run report. Never panics on a benchmark's behalf.
     pub fn execute(&self) -> EngineOutcome {
         let host = detect_host().name;
         let benches = self.registry.all();
-        let workers = self.config.workers.max(1);
+        // Virtual runs are single-worker by decree: a shared SimClock has
+        // no scheduler, so concurrent workers would interleave virtual
+        // advances nondeterministically and break same-seed byte identity.
+        let workers = if self.clock.is_virtual() {
+            1
+        } else {
+            self.config.workers.max(1)
+        };
         // The self-budget brackets: wall clock, the process-wide metrics
         // registry (harness warmup/calibration counters accumulate only
         // while the switch is on), and the trace sink's emission stats.
-        let suite_started = Instant::now();
+        let suite_started = self.clock.now_ns();
         let metrics_were_enabled = lmb_metrics::enabled();
         lmb_metrics::enable();
         let metrics_before = lmb_metrics::snapshot();
@@ -306,7 +387,13 @@ impl Engine {
             }
         }
 
-        let harness = harness_budget(suite_started, &budget, &metrics_before, &sink_before);
+        let harness = harness_budget(
+            &self.clock,
+            suite_started,
+            &budget,
+            &metrics_before,
+            &sink_before,
+        );
         if !metrics_were_enabled {
             lmb_metrics::disable();
         }
@@ -316,6 +403,12 @@ impl Engine {
                 .map(|slot| slot.expect("every benchmark produced a record").0)
                 .collect(),
             harness: Some(harness),
+            sim: self.clock.sim().map(|sim| lmb_results::SimProvenance {
+                seed: sim.seed(),
+                resolution_ns: sim.resolution_ns(),
+                read_overhead_ns: sim.read_overhead_ns(),
+                read_jitter_ns: sim.read_jitter_ns(),
+            }),
             ..Default::default()
         };
         emit(|| EventKind::SuiteEnd {
@@ -339,7 +432,7 @@ impl Engine {
         contended: bool,
         budget: &PhaseBudget,
     ) -> BenchResult {
-        let started = Instant::now();
+        let started = self.clock.now_ns();
         let span = Span::enter_with_parent(format!("bench:{}", bench.name), suite_span);
         let mut record = BenchRecord {
             name: bench.name.to_string(),
@@ -356,7 +449,7 @@ impl Engine {
         };
         let (inject_panic, inject_hang, deny_substrate) = self.faults.names(bench.name);
 
-        let probe_timer = PhaseTimer::start(&budget.probe_ns);
+        let probe_timer = PhaseTimer::start(&self.clock, &budget.probe_ns);
         let probe_failure = if deny_substrate {
             let reason = "injected fault: substrate reported missing".to_string();
             emit(|| EventKind::Probe {
@@ -387,7 +480,7 @@ impl Engine {
                 reason: reason.clone(),
             });
             record.status = BenchStatus::Skipped(reason);
-            record.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            record.wall_ms = (self.clock.now_ns() - started).max(0.0) / 1e6;
             emit_outcome(&record);
             return (record, Vec::new());
         }
@@ -404,11 +497,14 @@ impl Engine {
             record.attempts += 1;
             // Drops at every exit from this iteration: the first attempt
             // bills the attempt phase, noise re-runs bill the retry one.
-            let _attempt_timer = PhaseTimer::start(if record.attempts == 1 {
-                &budget.attempt_ns
-            } else {
-                &budget.retry_ns
-            });
+            let _attempt_timer = PhaseTimer::start(
+                &self.clock,
+                if record.attempts == 1 {
+                    &budget.attempt_ns
+                } else {
+                    &budget.retry_ns
+                },
+            );
             emit(|| EventKind::Attempt {
                 attempt: record.attempts,
             });
@@ -418,14 +514,37 @@ impl Engine {
             let sys_before = lmb_sys::syscall_snapshot();
             let recorder = new_recorder();
             let bench_span = span.id();
+            // Under simulation the context harness is never measured with
+            // (scripted bodies build their own sim-clocked harness), so a
+            // pinned ClockInfo replaces the real probe: no wall-clock work
+            // and no host-dependent numbers anywhere near the report.
+            let harness = match self.clock.sim() {
+                Some(_) => Harness::with_source_and_clock(
+                    self.config.options,
+                    RealClock,
+                    ClockInfo {
+                        resolution_ns: 1.0,
+                        overhead_ns: 15.0,
+                    },
+                ),
+                None => Harness::new(self.config.options),
+            };
             let ctx = RunCtx {
-                harness: Harness::new(self.config.options).with_recorder(recorder.clone()),
+                harness: harness.with_recorder(recorder.clone()),
                 config: self.config,
                 host: host.to_string(),
                 snapshot: snapshot.clone(),
                 span: bench_span,
             };
             let runner = bench.runner_fn();
+            // Moved onto the bench thread so the injected hang sleeps on
+            // the engine's clock: real time on hardware, an 86,400 s
+            // virtual advance (and an instant return) under simulation.
+            let hang_clock = self.clock.clone();
+            // Virtual deadline anchor, read before the body advances the
+            // shared timeline; `None` on hardware, where the blocking
+            // `recv_timeout` below enforces the budget instead.
+            let attempt_virtual_start = self.clock.is_virtual().then(|| self.clock.now_ns());
             let (tx, rx) = mpsc::channel();
             // Detached on purpose: a wedged benchmark thread is abandoned at
             // the deadline (it cannot be cancelled), and only its result
@@ -456,9 +575,9 @@ impl Engine {
                             panic!("injected fault: forced panic");
                         }
                         if inject_hang {
-                            std::thread::sleep(Duration::from_secs(86_400));
+                            hang_clock.sleep(Duration::from_secs(86_400));
                         }
-                        runner(&ctx)
+                        (*runner)(&ctx)
                     }));
                     let delta = if counting {
                         counters.as_mut().and_then(|c| c.end())
@@ -470,16 +589,48 @@ impl Engine {
                 })
                 .expect("spawn benchmark thread");
 
-            let (outcome, usage, counter_delta) = match rx.recv_timeout(timeout) {
-                Err(_) => {
+            // The watchdog. On hardware, `recv_timeout` enforces the
+            // budget in real time and expiry abandons a still-running
+            // thread (a tracked leak, below). Under simulation scripted
+            // bodies always terminate — virtual sleeps return instantly —
+            // so the engine joins the result unconditionally and then
+            // classifies against the virtual clock: deterministic
+            // timeouts, no leak.
+            let received = match attempt_virtual_start {
+                Some(t0) => rx
+                    .recv()
+                    .ok()
+                    .filter(|_| (self.clock.now_ns() - t0) <= timeout.as_nanos() as f64),
+                None => rx.recv_timeout(timeout).ok(),
+            };
+            let (outcome, usage, counter_delta) = match received {
+                None => {
                     emit(|| EventKind::Timeout { limit_ms });
+                    if !self.clock.is_virtual() {
+                        // The benchmark thread is abandoned, not dead: it
+                        // keeps its substrate and its CPU until the body
+                        // returns, so every later record in this run is
+                        // measured on a contended machine.
+                        let leaked = budget.leaked_threads.fetch_add(1, Ordering::Relaxed) + 1;
+                        emit(|| EventKind::ThreadLeak {
+                            bench: bench.name.to_string(),
+                            leaked,
+                        });
+                    }
                     record.status = BenchStatus::TimedOut { limit_ms };
                     break;
                 }
-                Ok(received) => received,
+                Some(received) => received,
             };
-            record.rusage = Some(archive_rusage(&usage, contended));
-            record.counters = counter_delta.map(archive_counters);
+            // Kernel-accounted costs and hardware counters are real-world
+            // observations; under simulation they are nondeterministic
+            // noise that would break same-seed byte identity, so the
+            // record omits them (the tolerant schema already allows it).
+            if !self.clock.is_virtual() {
+                let leaked = budget.leaked_threads.load(Ordering::Relaxed) > 0;
+                record.rusage = Some(archive_rusage(&usage, contended || leaked));
+                record.counters = counter_delta.map(archive_counters);
+            }
             record.provenance = provenance_from(&take_events(&recorder));
             emit_quality_metrics(record.provenance.as_ref());
             match outcome {
@@ -541,7 +692,7 @@ impl Engine {
                 }
             }
         }
-        record.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        record.wall_ms = (self.clock.now_ns() - started).max(0.0) / 1e6;
         emit_outcome(&record);
         (record, patches)
     }
@@ -551,7 +702,8 @@ impl Engine {
 /// metrics-registry delta (the timing harness accumulates warmup and
 /// calibration time there) and the trace sink's emission delta.
 fn harness_budget(
-    suite_started: Instant,
+    clock: &EngineClock,
+    suite_started: f64,
     budget: &PhaseBudget,
     metrics_before: &lmb_metrics::Snapshot,
     sink_before: &lmb_trace::SinkStatsSnapshot,
@@ -567,7 +719,7 @@ fn harness_budget(
     };
     let sink = lmb_trace::sink_stats().delta_from(sink_before);
     HarnessMetrics {
-        suite_ms: suite_started.elapsed().as_secs_f64() * 1e3,
+        suite_ms: (clock.now_ns() - suite_started).max(0.0) / 1e6,
         probe_ms: ns_to_ms(budget.probe_ns.load(Ordering::Relaxed)),
         warmup_ms: ns_to_ms(counter("harness.warmup_ns")),
         calibrate_ms: ns_to_ms(counter("harness.calibrate_ns")),
@@ -776,6 +928,7 @@ pub(crate) fn provenance_from(events: &[MeasureEvent]) -> Option<Provenance> {
 mod tests {
     use super::*;
     use crate::config::RetryPolicy;
+    use std::time::Instant;
 
     fn engine_for(names: &[&str], config: SuiteConfig) -> Engine {
         Engine::new(Registry::standard().filtered(names).unwrap(), config).unwrap()

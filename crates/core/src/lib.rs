@@ -29,14 +29,16 @@ pub mod registry;
 pub mod report;
 pub mod scale;
 pub mod service;
+pub mod simfuzz;
 pub mod suite;
 
 pub use config::{RetryPolicy, SuiteConfig, Verbosity};
-pub use engine::{Engine, EngineOutcome, FaultPlan, RunCtx, Substrate};
+pub use engine::{Engine, EngineClock, EngineOutcome, FaultPlan, RunCtx, Substrate};
 pub use error::SuiteError;
 pub use host::detect_host;
 pub use output::{BenchOutput, Metric, Unit};
-pub use registry::{Benchmark, Category, Registry};
+pub use registry::{BenchRunner, Benchmark, Category, Registry};
 pub use scale::{find_scale_spec, scale_registry, LoadGen, LoadSpec, ScaleFaultPlan, ScaleRunner};
 pub use service::{ReportClient, ResultsService, ServiceConfig};
+pub use simfuzz::{run_scenario, scenario_config, Scenario, ScriptedBench};
 pub use suite::{run_suite, run_suite_with_report};

@@ -15,6 +15,21 @@ use crate::output::{BenchOutput, Unit};
 use crate::suite;
 use lmb_results::{RemoteBwRow, RemoteLatRow, SuiteField, SuiteRun, TablePatch};
 use lmb_timing::Harness;
+use std::sync::Arc;
+
+/// A benchmark body the engine can move onto a watchdogged thread.
+///
+/// `Arc`'d so scripted simulation benchmarks can capture state (a shared
+/// `SimClock`, a cost model) while the standard registry keeps paying only
+/// a pointer per entry via [`arc_runner`].
+pub type BenchRunner = Arc<dyn Fn(&RunCtx) -> BenchOutput + Send + Sync>;
+
+/// Wraps a plain function pointer as a [`BenchRunner`]. Taking `fn` rather
+/// than a generic closure keeps the 23 standard-registry literals coercing
+/// without type annotations.
+fn arc_runner(f: fn(&RunCtx) -> BenchOutput) -> BenchRunner {
+    Arc::new(f)
+}
 
 /// The paper section a benchmark belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,19 +61,40 @@ pub struct Benchmark {
     /// Derives its rows from earlier entries' results (runs in the
     /// engine's second phase with a populated snapshot, never retried).
     pub derived: bool,
-    runner: fn(&RunCtx) -> BenchOutput,
+    runner: BenchRunner,
 }
 
 impl Benchmark {
-    /// Runs the benchmark against an execution context.
-    pub fn run(&self, ctx: &RunCtx) -> BenchOutput {
-        (self.runner)(ctx)
+    /// Builds a benchmark around an arbitrary (possibly capturing) runner —
+    /// the constructor the simulation registry uses for scripted bodies.
+    pub fn scripted(
+        name: &'static str,
+        produces: &'static str,
+        category: Category,
+        exclusive: bool,
+        runner: BenchRunner,
+    ) -> Self {
+        Self {
+            name,
+            produces,
+            category,
+            exclusive,
+            requires: &[],
+            fills: &[],
+            derived: false,
+            runner,
+        }
     }
 
-    /// The raw runner, for the engine to move onto a watchdogged thread
-    /// (fn pointers are `'static`; `&Benchmark` is not).
-    pub(crate) fn runner_fn(&self) -> fn(&RunCtx) -> BenchOutput {
-        self.runner
+    /// Runs the benchmark against an execution context.
+    pub fn run(&self, ctx: &RunCtx) -> BenchOutput {
+        (*self.runner)(ctx)
+    }
+
+    /// The shared runner, for the engine to move onto a watchdogged thread
+    /// (the `Arc` is `'static`; `&Benchmark` is not).
+    pub(crate) fn runner_fn(&self) -> BenchRunner {
+        self.runner.clone()
     }
 
     /// Compatibility wrapper for the pre-engine API: runs with an empty
@@ -92,12 +128,12 @@ impl Registry {
                 requires: &[],
                 fills: &[SuiteField::System],
                 derived: false,
-                runner: |_| {
+                runner: arc_runner(|_| {
                     let info = detect_host();
                     BenchOutput::new()
                         .metric("cpu MHz", f64::from(info.mhz), Unit::Count)
                         .patch(TablePatch::System(info))
-                },
+                }),
             },
             Benchmark {
                 name: "bw_mem",
@@ -107,7 +143,7 @@ impl Registry {
                 requires: &[],
                 fills: &[SuiteField::MemBw],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let r = suite::measure_mem_bw(&ctx.harness, &ctx.config, &ctx.host);
                     BenchOutput::new()
                         .metric("bcopy unrolled", r.bcopy_unrolled, Unit::MbPerSec)
@@ -115,7 +151,7 @@ impl Registry {
                         .metric("read", r.read, Unit::MbPerSec)
                         .metric("write", r.write, Unit::MbPerSec)
                         .patch(TablePatch::MemBw(r))
-                },
+                }),
             },
             Benchmark {
                 name: "bw_pipe_tcp",
@@ -125,13 +161,13 @@ impl Registry {
                 requires: &[Substrate::Loopback],
                 fills: &[SuiteField::IpcBw],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let r = suite::measure_ipc_bw(&ctx.harness, &ctx.config, &ctx.host);
                     BenchOutput::new()
                         .metric("pipe", r.pipe, Unit::MbPerSec)
                         .metric("TCP", r.tcp.unwrap_or(0.0), Unit::MbPerSec)
                         .patch(TablePatch::IpcBw(r))
-                },
+                }),
             },
             Benchmark {
                 name: "remote_bw_model",
@@ -141,7 +177,7 @@ impl Registry {
                 requires: &[],
                 fills: &[SuiteField::RemoteBw],
                 derived: true,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let Some(tcp_bw) = ctx.snapshot.ipc_bw.as_ref().and_then(|r| r.tcp) else {
                         return BenchOutput::skipped("needs a measured Table 3 TCP bandwidth");
                     };
@@ -156,7 +192,7 @@ impl Registry {
                     BenchOutput::new()
                         .metric("links modeled", rows.len() as f64, Unit::Count)
                         .patch(TablePatch::RemoteBw(rows))
-                },
+                }),
             },
             Benchmark {
                 name: "bw_file",
@@ -166,14 +202,14 @@ impl Registry {
                 requires: &[Substrate::TempDir],
                 fills: &[SuiteField::FileBw],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let r = suite::measure_file_bw(&ctx.harness, &ctx.config, &ctx.host);
                     BenchOutput::new()
                         .metric("file read", r.file_read, Unit::MbPerSec)
                         .metric("mmap", r.file_mmap, Unit::MbPerSec)
                         .metric("mem read", r.mem_read, Unit::MbPerSec)
                         .patch(TablePatch::FileBw(r))
-                },
+                }),
             },
             Benchmark {
                 name: "lat_mem_rd",
@@ -183,14 +219,14 @@ impl Registry {
                 requires: &[],
                 fills: &[SuiteField::CacheLat],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let r = suite::measure_cache_lat(&ctx.harness, &ctx.config, &ctx.host);
                     BenchOutput::new()
                         .metric("L1", r.l1_ns.unwrap_or(0.0), Unit::Nanos)
                         .metric("L2", r.l2_ns.unwrap_or(0.0), Unit::Nanos)
                         .metric("memory", r.memory_ns, Unit::Nanos)
                         .patch(TablePatch::CacheLat(r))
-                },
+                }),
             },
             Benchmark {
                 name: "lat_syscall",
@@ -200,12 +236,12 @@ impl Registry {
                 requires: &[Substrate::DevNull],
                 fills: &[SuiteField::Syscall],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let r = suite::measure_syscall(&ctx.harness, &ctx.host);
                     BenchOutput::new()
                         .metric("", r.syscall_us, Unit::Micros)
                         .patch(TablePatch::Syscall(r))
-                },
+                }),
             },
             Benchmark {
                 name: "lat_sig",
@@ -215,13 +251,13 @@ impl Registry {
                 requires: &[],
                 fills: &[SuiteField::Signal],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let r = suite::measure_signal(&ctx.harness, &ctx.host);
                     BenchOutput::new()
                         .metric("install", r.sigaction_us, Unit::Micros)
                         .metric("dispatch", r.handler_us, Unit::Micros)
                         .patch(TablePatch::Signal(r))
-                },
+                }),
             },
             Benchmark {
                 name: "lat_proc",
@@ -231,14 +267,14 @@ impl Registry {
                 requires: &[],
                 fills: &[SuiteField::Proc],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let r = suite::measure_proc(&ctx.harness, &ctx.host);
                     BenchOutput::new()
                         .metric("fork", r.fork_ms, Unit::Millis)
                         .metric("exec", r.fork_exec_ms, Unit::Millis)
                         .metric("sh", r.fork_sh_ms, Unit::Millis)
                         .patch(TablePatch::Proc(r))
-                },
+                }),
             },
             Benchmark {
                 name: "lat_ctx",
@@ -248,13 +284,13 @@ impl Registry {
                 requires: &[],
                 fills: &[SuiteField::Ctx],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let r = suite::measure_ctx(&ctx.harness, &ctx.config, &ctx.host);
                     BenchOutput::new()
                         .metric("2p/0K", r.p2_0k, Unit::Micros)
                         .metric("8p/32K", r.p8_32k, Unit::Micros)
                         .patch(TablePatch::Ctx(r))
-                },
+                }),
             },
             Benchmark {
                 name: "lat_pipe",
@@ -264,12 +300,12 @@ impl Registry {
                 requires: &[],
                 fills: &[SuiteField::PipeLat],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let r = suite::measure_pipe_lat(&ctx.harness, &ctx.config, &ctx.host);
                     BenchOutput::new()
                         .metric("", r.pipe_us, Unit::Micros)
                         .patch(TablePatch::PipeLat(r))
-                },
+                }),
             },
             Benchmark {
                 name: "lat_tcp_rpc",
@@ -279,13 +315,13 @@ impl Registry {
                 requires: &[Substrate::Loopback],
                 fills: &[SuiteField::TcpRpc],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let r = suite::measure_tcp_rpc(&ctx.harness, &ctx.config, &ctx.host);
                     BenchOutput::new()
                         .metric("TCP", r.tcp_us, Unit::Micros)
                         .metric("RPC/TCP", r.rpc_tcp_us, Unit::Micros)
                         .patch(TablePatch::TcpRpc(r))
-                },
+                }),
             },
             Benchmark {
                 name: "lat_udp_rpc",
@@ -295,13 +331,13 @@ impl Registry {
                 requires: &[Substrate::Loopback],
                 fills: &[SuiteField::UdpRpc],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let r = suite::measure_udp_rpc(&ctx.harness, &ctx.config, &ctx.host);
                     BenchOutput::new()
                         .metric("UDP", r.udp_us, Unit::Micros)
                         .metric("RPC/UDP", r.rpc_udp_us, Unit::Micros)
                         .patch(TablePatch::UdpRpc(r))
-                },
+                }),
             },
             Benchmark {
                 name: "remote_lat_model",
@@ -311,7 +347,7 @@ impl Registry {
                 requires: &[],
                 fills: &[SuiteField::RemoteLat],
                 derived: true,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let (Some(tcp_rpc), Some(udp_rpc)) =
                         (&ctx.snapshot.tcp_rpc, &ctx.snapshot.udp_rpc)
                     else {
@@ -334,7 +370,7 @@ impl Registry {
                     BenchOutput::new()
                         .metric("links modeled", rows.len() as f64, Unit::Count)
                         .patch(TablePatch::RemoteLat(rows))
-                },
+                }),
             },
             Benchmark {
                 name: "lat_connect",
@@ -344,12 +380,12 @@ impl Registry {
                 requires: &[Substrate::Loopback],
                 fills: &[SuiteField::Connect],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let r = suite::measure_connect(&ctx.config, &ctx.host);
                     BenchOutput::new()
                         .metric("", r.connect_us, Unit::Micros)
                         .patch(TablePatch::Connect(r))
-                },
+                }),
             },
             Benchmark {
                 name: "lat_fs",
@@ -359,13 +395,13 @@ impl Registry {
                 requires: &[Substrate::TempDir],
                 fills: &[SuiteField::FsLat],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let r = suite::measure_fs_lat(&ctx.config, &ctx.host);
                     BenchOutput::new()
                         .metric("create", r.create_us, Unit::Micros)
                         .metric("delete", r.delete_us, Unit::Micros)
                         .patch(TablePatch::FsLat(r))
-                },
+                }),
             },
             Benchmark {
                 name: "lat_disk",
@@ -375,12 +411,12 @@ impl Registry {
                 requires: &[],
                 fills: &[SuiteField::Disk],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let r = suite::measure_disk(&ctx.harness, &ctx.config, &ctx.host);
                     BenchOutput::new()
                         .metric("", r.overhead_us, Unit::Micros)
                         .patch(TablePatch::Disk(r))
-                },
+                }),
             },
             // Extensions: the paper's §7 future-work items and the §1
             // aliasing pathology, runnable like any other benchmark. They
@@ -393,7 +429,7 @@ impl Registry {
                 requires: &[],
                 fills: &[],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let bw = lmb_ipc::measure_unix_bw(
                         ctx.config.stream_total,
                         lmb_ipc::PIPE_CHUNK,
@@ -401,7 +437,7 @@ impl Registry {
                         lmb_timing::SummaryPolicy::Last,
                     );
                     BenchOutput::new().metric("unix socket", bw.mb_per_s, Unit::MbPerSec)
-                },
+                }),
             },
             Benchmark {
                 name: "lat_mem_dirty",
@@ -411,7 +447,7 @@ impl Registry {
                 requires: &[],
                 fills: &[],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let clean = lmb_mem::lat::measure_point(
                         &ctx.harness,
                         ctx.config.sweep_max,
@@ -427,7 +463,7 @@ impl Registry {
                     BenchOutput::new()
                         .metric("clean", clean.ns_per_load, Unit::Nanos)
                         .metric("dirty", dirty.ns_per_load, Unit::Nanos)
-                },
+                }),
             },
             Benchmark {
                 name: "lat_mp_c2c",
@@ -437,13 +473,13 @@ impl Registry {
                 requires: &[],
                 fills: &[],
                 derived: false,
-                runner: |_| {
+                runner: arc_runner(|_| {
                     let line = lmb_mem::measure_line_pingpong(2000, 3);
                     let bw = lmb_mem::measure_cache_to_cache_bw(256 << 10, 8);
                     BenchOutput::new()
                         .metric("line transfer", line.as_micros(), Unit::Micros)
                         .metric("c2c bandwidth", bw.mb_per_s, Unit::MbPerSec)
-                },
+                }),
             },
             Benchmark {
                 name: "lat_poll",
@@ -453,13 +489,13 @@ impl Registry {
                 requires: &[],
                 fills: &[],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let few = lmb_proc::measure_poll(&ctx.harness, 8).latency;
                     let many = lmb_proc::measure_poll(&ctx.harness, 1024).latency;
                     BenchOutput::new()
                         .metric("8 fds", few.as_micros(), Unit::Micros)
                         .metric("1024 fds", many.as_micros(), Unit::Micros)
-                },
+                }),
             },
             Benchmark {
                 name: "lat_mlp",
@@ -469,13 +505,13 @@ impl Registry {
                 requires: &[],
                 fills: &[],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let pts = lmb_mem::mlp::sweep(&ctx.harness, 4, ctx.config.sweep_max, 64);
                     BenchOutput::new()
                         .metric("1 chain", pts[0].ns_per_load, Unit::Nanos)
                         .metric("4 chains", pts[3].ns_per_load, Unit::Nanos)
                         .metric("MLP", lmb_mem::mlp::effective_mlp(&pts), Unit::Ratio)
-                },
+                }),
             },
             Benchmark {
                 name: "lat_alias",
@@ -485,15 +521,22 @@ impl Registry {
                 requires: &[],
                 fills: &[],
                 derived: false,
-                runner: |ctx| {
+                runner: arc_runner(|ctx| {
                     let r = lmb_mem::measure_alias(&ctx.harness, 512, 256 << 10);
                     BenchOutput::new()
                         .metric("packed", r.compact_ns, Unit::Nanos)
                         .metric("aliased", r.aliased_ns, Unit::Nanos)
                         .metric("slowdown", r.slowdown(), Unit::Ratio)
-                },
+                }),
             },
         ];
+        Self { benchmarks }
+    }
+
+    /// Builds a registry from an arbitrary benchmark list — the entry
+    /// point for scripted simulation suites whose bodies are synthesized
+    /// per scenario rather than drawn from the standard table set.
+    pub fn custom(benchmarks: Vec<Benchmark>) -> Self {
         Self { benchmarks }
     }
 

@@ -18,17 +18,19 @@
 //! crashing the run.
 
 use crate::config::SuiteConfig;
-use crate::engine::{panic_message, provenance_from, Substrate};
+use crate::engine::{panic_message, provenance_from, EngineClock, Substrate};
 use crate::error::SuiteError;
 use lmb_results::{
     BenchRecord, BenchStatus, GeneratorSample, MetricValue, ScalePoint, ScalingCurve,
 };
 use lmb_timing::clock::Stopwatch;
-use lmb_timing::{new_recorder, take_events, Harness, MeasureEvent, Quality, Samples};
+use lmb_timing::{
+    new_recorder, take_events, ClockInfo, Harness, MeasureEvent, Quality, Samples, SimClock,
+    TimeSource,
+};
 use lmb_trace::{emit, emit_in, ContextGuard, EventKind, Span, SpanId};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
 
 /// One generator's repeated operation: the benchmark body a scaling
 /// sweep multiplies. `Send` is a supertrait because each generator is
@@ -36,6 +38,15 @@ use std::time::Instant;
 pub trait LoadGen: Send {
     /// Performs one operation (one copy, one round trip, one chunk).
     fn op(&mut self);
+
+    /// The virtual clock this generator advances, when it is a scripted
+    /// simulation generator rather than a real one. A `Some` return makes
+    /// the sweep time this generator against that clock (pinned
+    /// resolution, no hardware probe) so a whole sweep can run in virtual
+    /// milliseconds.
+    fn sim_clock(&self) -> Option<SimClock> {
+        None
+    }
 }
 
 /// A scalable benchmark: how to build one load generator and how to
@@ -246,6 +257,7 @@ pub struct ScaleRunner {
     config: SuiteConfig,
     max_p: u32,
     faults: ScaleFaultPlan,
+    clock: EngineClock,
 }
 
 impl ScaleRunner {
@@ -256,7 +268,16 @@ impl ScaleRunner {
             config,
             max_p: 4,
             faults: ScaleFaultPlan::default(),
+            clock: EngineClock::default(),
         })
+    }
+
+    /// Replaces the runner's wall clock (virtual runs pass
+    /// [`EngineClock::Sim`] so sweep wall times are deterministic).
+    #[must_use]
+    pub fn with_clock(mut self, clock: EngineClock) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// Sets the largest generator count (default 4, minimum 1).
@@ -292,7 +313,7 @@ impl ScaleRunner {
     /// Sweeps one benchmark and returns its curve plus a synthesized
     /// report record (so curves ride the existing report/diff machinery).
     pub fn run(&self, spec: &LoadSpec) -> (ScalingCurve, BenchRecord) {
-        let started = Instant::now();
+        let started = self.clock.now_ns();
         let span = Span::enter(format!("scale:{}", spec.name));
         let mut record = BenchRecord {
             name: format!("scale_{}", spec.name),
@@ -323,7 +344,7 @@ impl ScaleRunner {
             });
             if let Err(reason) = probe {
                 record.status = BenchStatus::Skipped(reason);
-                record.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                record.wall_ms = (self.clock.now_ns() - started).max(0.0) / 1e6;
                 return (curve, record);
             }
         }
@@ -371,7 +392,7 @@ impl ScaleRunner {
         if curve.ok_points().next().is_none() {
             record.status = BenchStatus::Failed("every scaling point failed".to_string());
         }
-        record.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        record.wall_ms = (self.clock.now_ns() - started).max(0.0) / 1e6;
         emit(|| EventKind::Outcome {
             status: record.status.label().to_string(),
             attempts: 1,
@@ -425,20 +446,53 @@ impl ScaleRunner {
                 handles.push(scope.spawn(move || {
                     let _trace_ctx = ContextGuard::enter(span_id);
                     let recorder = new_recorder();
-                    let harness = Harness::new(options).with_recorder(recorder.clone());
+                    // A scripted generator carries its own virtual clock;
+                    // time it against that clock (pinned resolution, no
+                    // hardware probe) so the whole point is deterministic.
+                    let sim = gen.sim_clock();
+                    let real_harness = if sim.is_none() {
+                        Some(Harness::new(options).with_recorder(recorder.clone()))
+                    } else {
+                        None
+                    };
+                    let sim_harness = sim.as_ref().map(|s| {
+                        Harness::with_source_and_clock(
+                            options,
+                            s.clone(),
+                            ClockInfo {
+                                resolution_ns: 1.0,
+                                overhead_ns: 15.0,
+                            },
+                        )
+                        .with_recorder(recorder.clone())
+                    });
                     barrier.wait();
                     let sw = Stopwatch::start();
+                    let sim_t0 = sim.as_ref().map(SimClock::true_now_ns);
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         if sabotage {
                             panic!("injected fault: scale generator panic");
                         }
-                        harness.measure_block(ops, || {
-                            for _ in 0..ops {
-                                gen.op();
+                        match &sim_harness {
+                            Some(h) => h.measure_block(ops, || {
+                                for _ in 0..ops {
+                                    gen.op();
+                                }
+                            }),
+                            None => {
+                                let h = real_harness.as_ref().expect("real harness when no sim");
+                                h.measure_block(ops, || {
+                                    for _ in 0..ops {
+                                        gen.op();
+                                    }
+                                })
                             }
-                        })
+                        }
                     }));
-                    let elapsed_ms = sw.elapsed_ns() / 1e6;
+                    let elapsed_ms = match (&sim, sim_t0) {
+                        (Some(s), Some(t0)) => (s.true_now_ns() - t0).max(0.0) / 1e6,
+                        _ => sw.elapsed_ns() / 1e6,
+                    };
                     (
                         index,
                         outcome.map_err(panic_message),
@@ -453,6 +507,16 @@ impl ScaleRunner {
                 .collect()
         });
         outcomes.sort_by_key(|(index, ..)| *index);
+
+        // Generators ran concurrently, so the sweep's own virtual clock
+        // advances by the slowest generator's span, not the sum.
+        if let Some(sim) = self.clock.sim() {
+            let max_ns = outcomes
+                .iter()
+                .map(|(_, _, _, elapsed_ms)| elapsed_ms * 1e6)
+                .fold(0.0f64, f64::max);
+            sim.advance(max_ns);
+        }
 
         let mut generators = Vec::with_capacity(p as usize);
         let mut pooled: Vec<f64> = Vec::new();

@@ -7,12 +7,14 @@ use super::proto::{
     self, DiffReply, DiffRequest, HistoryReply, HistoryRequest, PushReply, PushRequest, StatsReply,
     StatsRequest, TableReply, TableRequest,
 };
+use crate::engine::EngineClock;
 use bytes::Bytes;
 use lmb_results::Baseline;
 use lmb_rpc::{
     CallError, RpcClient, RESULTS_PROC_DIFF, RESULTS_PROC_HISTORY, RESULTS_PROC_PUSH,
     RESULTS_PROC_STATS, RESULTS_PROC_TABLE, RESULTS_PROGRAM, RESULTS_VERSION,
 };
+use lmb_timing::TimeSource;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -24,11 +26,27 @@ const MAX_ATTEMPTS: u32 = 4;
 /// Backoff before attempt `n` (1-based retry): 50ms, 100ms, 200ms.
 const BACKOFF_BASE_MS: u64 = 50;
 
+/// Ceiling on any single backoff interval. The exponential schedule is
+/// derived from the attempt number, so a raised [`MAX_ATTEMPTS`] must
+/// widen the retry window, not the intervals without bound.
+const BACKOFF_CAP_MS: u64 = 2_000;
+
+/// Backoff before 1-based retry `attempt`: exponential from
+/// [`BACKOFF_BASE_MS`], with the shift exponent clamped (an unclamped
+/// `<< (attempt - 1)` overflows — a debug panic or a wrapped, effectively
+/// random sleep — as soon as attempts exceed 64) and the interval capped
+/// at [`BACKOFF_CAP_MS`].
+fn backoff_ms(attempt: u32) -> u64 {
+    let shift = (attempt - 1).min(32);
+    (BACKOFF_BASE_MS << shift).min(BACKOFF_CAP_MS)
+}
+
 /// A connection to a results daemon, lazily established and re-dialed
 /// after transport errors.
 pub struct ReportClient {
     addr: String,
     conn: Option<RpcClient>,
+    clock: EngineClock,
 }
 
 impl ReportClient {
@@ -38,7 +56,17 @@ impl ReportClient {
         ReportClient {
             addr: addr.into(),
             conn: None,
+            clock: EngineClock::default(),
         }
+    }
+
+    /// Replaces the clock that paces retry backoff (virtual runs pass
+    /// [`EngineClock::Sim`] so the retry schedule is testable without
+    /// real sleeps).
+    #[must_use]
+    pub fn with_clock(mut self, clock: EngineClock) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// The address this client dials.
@@ -112,7 +140,7 @@ impl ReportClient {
         let mut last = None;
         for attempt in 0..MAX_ATTEMPTS {
             if attempt > 0 {
-                std::thread::sleep(Duration::from_millis(BACKOFF_BASE_MS << (attempt - 1)));
+                self.clock.sleep(Duration::from_millis(backoff_ms(attempt)));
             }
             let conn = match self.connection() {
                 Ok(conn) => conn,
@@ -152,6 +180,33 @@ mod tests {
     use lmb_rpc::{read_record, write_record, RpcMessage};
     use std::io::Write;
     use std::net::TcpListener;
+
+    #[test]
+    fn backoff_exponent_is_clamped_and_capped() {
+        assert_eq!(backoff_ms(1), 50);
+        assert_eq!(backoff_ms(2), 100);
+        assert_eq!(backoff_ms(3), 200);
+        assert_eq!(backoff_ms(7), BACKOFF_CAP_MS);
+        // Before the clamp this shifted by 199 — an overflow panic in
+        // debug builds, a wrapped sleep in release builds.
+        assert_eq!(backoff_ms(200), BACKOFF_CAP_MS);
+    }
+
+    #[test]
+    fn retry_schedule_is_exact_under_virtual_time() {
+        // A port that refuses: every attempt fails at dial time, so the
+        // only time that passes on a virtual clock is the backoff itself.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let sim = lmb_timing::SimClock::new(7);
+        let mut client = ReportClient::new(format!("127.0.0.1:{port}"))
+            .with_clock(EngineClock::Sim(sim.clone()));
+        assert!(client.diff("fp-a").is_err());
+        // 4 attempts sleep 50 + 100 + 200 ms between them, exactly.
+        assert_eq!(sim.true_now_ns(), 350.0 * 1e6);
+    }
 
     #[test]
     fn unreachable_daemon_fails_after_bounded_attempts() {

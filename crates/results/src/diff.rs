@@ -46,8 +46,11 @@ pub enum DiffClass {
     Regressed,
     /// Within the noise band.
     Unchanged,
-    /// Cannot be judged: missing on one side, a non-ok status, a suspect
-    /// measurement, or a unit with no direction of merit.
+    /// Cannot be judged: missing on one side, a non-ok status, a unit
+    /// with no direction of merit, or a suspect measurement whose delta
+    /// stayed inside its (widened) band. A suspect side that still moves
+    /// beyond the band is judged, not hidden — a grader flag must never
+    /// mask a gross regression from the CI gate.
     Unknown,
 }
 
@@ -295,6 +298,14 @@ fn diff_bench(
                 .filter(|cv| cv.is_finite())
                 .unwrap_or(0.0)
         };
+        // A suspect grade means the measurement's own spread is untrust-
+        // worthy, so its (large) CV widens the band — but it must not
+        // erase the comparison: values that still move beyond even the
+        // widened band are a finding the grader flag cannot veto. (Found
+        // by scenario fuzzing: a cost knee graded the baseline suspect
+        // and a scripted 10x regression sailed through the CI gate as
+        // "unknown".)
+        let suspect = suspect_note(base, cur);
         let band = rule
             .floor
             .max(rule.cv_multiplier * noise(base).max(noise(cur)));
@@ -302,10 +313,19 @@ fn diff_bench(
         row.delta_frac = delta;
         row.band_frac = band;
         row.class = if delta.abs() <= band {
-            DiffClass::Unchanged
+            match suspect {
+                Some(note) => {
+                    row.note = note;
+                    DiffClass::Unknown
+                }
+                None => DiffClass::Unchanged,
+            }
         } else {
             match merit(unit) {
                 Some(higher_better) => {
+                    if let Some(note) = suspect {
+                        row.note = format!("{note}, beyond its widened band");
+                    }
                     if (delta > 0.0) == higher_better {
                         DiffClass::Improved
                     } else {
@@ -391,7 +411,11 @@ fn diff_harness(
     }
 }
 
-/// The reason this metric pairing cannot be judged, if any.
+/// The reason this metric pairing cannot be judged at all, if any: a
+/// side that is missing, did not finish, or produced no usable value.
+/// (A *suspect* grade is not in this list — it degrades confidence, via
+/// [`suspect_note`] and a widened band, but both values exist and a
+/// gross move between them is still a judgment.)
 fn unjudgeable(
     base: Option<&BenchRecord>,
     cur: Option<&BenchRecord>,
@@ -402,13 +426,6 @@ fn unjudgeable(
         match rec {
             None => Some(format!("benchmark missing in {which}")),
             Some(r) if !r.status.is_ok() => Some(format!("{} in {which}", r.status.label())),
-            Some(r)
-                if r.provenance
-                    .as_ref()
-                    .is_some_and(|p| p.quality == "suspect") =>
-            {
-                Some(format!("suspect measurement in {which}"))
-            }
             Some(_) => None,
         }
     };
@@ -421,6 +438,20 @@ fn unjudgeable(
             (_, Some(c)) if !c.is_finite() => Some("current value unusable".into()),
             _ => None,
         })
+}
+
+/// A note naming the first side whose measurement graded `suspect`,
+/// if either did.
+fn suspect_note(base: Option<&BenchRecord>, cur: Option<&BenchRecord>) -> Option<String> {
+    let side = |rec: Option<&BenchRecord>, which: &str| -> Option<String> {
+        rec.filter(|r| {
+            r.provenance
+                .as_ref()
+                .is_some_and(|p| p.quality == "suspect")
+        })
+        .map(|_| format!("suspect measurement in {which}"))
+    };
+    side(base, "baseline").or_else(|| side(cur, "current"))
 }
 
 #[cfg(test)]
@@ -581,10 +612,13 @@ mod tests {
 
     #[test]
     fn suspect_and_missing_sides_are_unknown_not_alarms() {
+        // A suspect side widens the band (3x its 0.9 CV here = 270%): a
+        // 100% move hides inside it and stays Unknown, noted.
         let suspect = report(vec![record("lat_ctx", &[("ctx", 10.0, "us")], 0.9)]);
-        let fine = report(vec![record("lat_ctx", &[("ctx", 99.0, "us")], 0.02)]);
+        let fine = report(vec![record("lat_ctx", &[("ctx", 20.0, "us")], 0.02)]);
         let diff = ReportDiff::between(&suspect, &fine);
         assert_eq!(diff.rows[0].class, DiffClass::Unknown);
+        assert_eq!(diff.rows[0].band_frac, 2.7);
         assert!(
             diff.rows[0].note.contains("suspect"),
             "{}",
@@ -596,6 +630,27 @@ mod tests {
         assert_eq!(diff.rows[0].class, DiffClass::Unknown);
         assert!(diff.rows[0].note.contains("missing in baseline"));
         assert!(!diff.has_regressions());
+    }
+
+    #[test]
+    fn suspect_side_cannot_veto_a_gross_regression() {
+        // Found by scenario fuzzing (simfuzz seed 1): a cost knee graded
+        // the baseline suspect (cv 0.31) and a scripted 10x regression
+        // was classed Unknown — invisible to the has_regressions() gate.
+        // A move beyond even the suspect-widened band must alarm.
+        let knee = report(vec![record("lat_ctx", &[("ctx", 1.0, "us")], 0.31)]);
+        let ten_x = report(vec![record("lat_ctx", &[("ctx", 10.0, "us")], 0.02)]);
+        let diff = ReportDiff::between(&knee, &ten_x);
+        assert_eq!(diff.rows[0].class, DiffClass::Regressed);
+        assert!((diff.rows[0].band_frac - 0.93).abs() < 1e-9); // 3 x 0.31
+        assert!(
+            diff.rows[0]
+                .note
+                .contains("suspect measurement in baseline"),
+            "{}",
+            diff.rows[0].note
+        );
+        assert!(diff.has_regressions());
     }
 
     #[test]

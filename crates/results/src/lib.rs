@@ -47,7 +47,7 @@ pub use patch::{SuiteField, TablePatch};
 pub use plot::{AsciiPlot, Series};
 pub use runreport::{
     BenchRecord, BenchStatus, CounterDelta, HarnessMetrics, MetricValue, Provenance, ResourceUsage,
-    RunReport,
+    RunReport, SimProvenance,
 };
 pub use scaling::{GeneratorSample, ScalePoint, ScalingCurve};
 pub use schema::*;

@@ -327,6 +327,22 @@ pub struct HarnessMetrics {
     pub trace_dropped: u64,
 }
 
+/// How a virtual (simulated) run was seeded: enough to re-run the exact
+/// same suite — same scripted costs, same clock behaviour — from the
+/// report alone. Absent on real-hardware runs, which is the common case,
+/// so the field is omitted from the wire entirely when `None`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimProvenance {
+    /// The seed every scripted cost model and clock derived from.
+    pub seed: u64,
+    /// Virtual clock tick granularity, ns.
+    pub resolution_ns: f64,
+    /// Virtual cost charged per clock read, ns.
+    pub read_overhead_ns: f64,
+    /// Virtual jitter spread added per clock read, ns.
+    pub read_jitter_ns: f64,
+}
+
 /// One headline number a benchmark produced, archived so run-over-run
 /// diffs need only the report JSON.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -433,6 +449,10 @@ pub struct RunReport {
     /// The harness's own execution budget (absent in reports archived
     /// before self-budget tracking, and in hand-built reports).
     pub harness: Option<HarnessMetrics>,
+    /// Virtual-run provenance: present only when the suite executed under
+    /// a seeded virtual clock (`lmb-timing`'s `SimClock`) rather than
+    /// hardware.
+    pub sim: Option<SimProvenance>,
 }
 
 impl Default for RunReport {
@@ -442,6 +462,7 @@ impl Default for RunReport {
             records: Vec::new(),
             scaling: Vec::new(),
             harness: None,
+            sim: None,
         }
     }
 }
@@ -463,6 +484,9 @@ impl Serialize for RunReport {
         if self.harness.is_some() {
             obj.set("harness", self.harness.to_value());
         }
+        if self.sim.is_some() {
+            obj.set("sim", self.sim.to_value());
+        }
         obj
     }
 }
@@ -478,6 +502,8 @@ impl Deserialize for RunReport {
             scaling: crate::scaling::scaling_from_value(obj.field("scaling"))?,
             harness: Option::<HarnessMetrics>::from_value(obj.field("harness"))
                 .map_err(|e| e.in_field("harness"))?,
+            sim: Option::<SimProvenance>::from_value(obj.field("sim"))
+                .map_err(|e| e.in_field("sim"))?,
         })
     }
 }

@@ -35,6 +35,15 @@ pub trait TimeSource {
 
     /// Blocks (or, under simulation, advances virtual time) for `d`.
     fn sleep(&self, d: Duration);
+
+    /// Whether this source advances virtual rather than wall-clock time.
+    ///
+    /// Engine-level machinery (watchdogs, retry backoff, phase budgets)
+    /// branches on this to stay deterministic under simulation while
+    /// keeping the real path byte-for-byte unchanged.
+    fn is_virtual(&self) -> bool {
+        false
+    }
 }
 
 /// Anchor instant for [`RealClock::now_ns`]; process-global so readings

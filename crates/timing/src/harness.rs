@@ -168,6 +168,13 @@ impl<T: TimeSource> Harness<T> {
         self
     }
 
+    /// The attached provenance recorder, if any. Scripted sim benchmark
+    /// bodies use this to build their own sim-clocked harness that still
+    /// reports calibration provenance into the engine's record stream.
+    pub fn recorder(&self) -> Option<Recorder> {
+        self.recorder.clone()
+    }
+
     fn record(&self, iterations: u64, samples: &Samples, clamped_samples: u32) {
         if let Some(recorder) = &self.recorder {
             recorder.lock().expect("recorder lock").push(MeasureEvent {
@@ -227,14 +234,22 @@ impl<T: TimeSource> Harness<T> {
         lmb_trace::emit(|| lmb_trace::EventKind::Warmup {
             runs: self.options.warmup_runs,
         });
-        let budget = lmb_metrics::enabled().then(std::time::Instant::now);
+        let budget = lmb_metrics::enabled().then(|| self.source.now_ns());
         for _ in 0..self.options.warmup_runs {
             body();
         }
-        account_phase(lmb_metrics::counter!("harness.warmup_ns"), budget);
-        let budget = lmb_metrics::enabled().then(std::time::Instant::now);
+        account_phase(
+            &self.source,
+            lmb_metrics::counter!("harness.warmup_ns"),
+            budget,
+        );
+        let budget = lmb_metrics::enabled().then(|| self.source.now_ns());
         let cal = calibrate_iterations_with(&self.source, self.target_interval(), &mut body);
-        account_phase(lmb_metrics::counter!("harness.calibrate_ns"), budget);
+        account_phase(
+            &self.source,
+            lmb_metrics::counter!("harness.calibrate_ns"),
+            budget,
+        );
         lmb_trace::emit(|| lmb_trace::EventKind::Calibrated {
             iterations: cal.iterations,
             clock_resolution_ns: self.clock.resolution_ns,
@@ -264,11 +279,15 @@ impl<T: TimeSource> Harness<T> {
         lmb_trace::emit(|| lmb_trace::EventKind::Warmup {
             runs: self.options.warmup_runs,
         });
-        let budget = lmb_metrics::enabled().then(std::time::Instant::now);
+        let budget = lmb_metrics::enabled().then(|| self.source.now_ns());
         for _ in 0..self.options.warmup_runs {
             body();
         }
-        account_phase(lmb_metrics::counter!("harness.warmup_ns"), budget);
+        account_phase(
+            &self.source,
+            lmb_metrics::counter!("harness.warmup_ns"),
+            budget,
+        );
         lmb_trace::emit(|| lmb_trace::EventKind::Calibrated {
             iterations: ops,
             clock_resolution_ns: self.clock.resolution_ns,
@@ -310,12 +329,17 @@ impl<T: TimeSource> Harness<T> {
     }
 }
 
-/// Folds a phase's wall time into the named harness-budget counter. The
+/// Folds a phase's elapsed time (read from the harness's own source, so
+/// virtual under simulation) into the named harness-budget counter. The
 /// `started` option is `Some` only when the process-wide metrics switch
 /// was on at phase entry, so a disabled registry never reads the clock.
-fn account_phase(counter: &'static lmb_metrics::Counter, started: Option<std::time::Instant>) {
+fn account_phase<T: TimeSource>(
+    source: &T,
+    counter: &'static lmb_metrics::Counter,
+    started: Option<f64>,
+) {
     if let Some(t) = started {
-        counter.add_always(t.elapsed().as_nanos() as u64);
+        counter.add_always((source.now_ns() - t).max(0.0) as u64);
     }
 }
 

@@ -43,7 +43,7 @@ pub mod stats;
 
 pub use calibrate::{
     calibrate_iterations, calibrate_iterations_with, time_interval_ns_with, Calibration,
-    MAX_PROJECTED_TARGET_MULTIPLE,
+    MAX_ITERATIONS, MAX_PROJECTED_TARGET_MULTIPLE,
 };
 pub use clock::{
     clock_overhead_ns, clock_resolution_ns, overhead_ns_of, resolution_ns_of, ClockInfo, RealClock,

@@ -249,6 +249,30 @@ impl SimClock {
         self.state.lock().expect("sim lock").reads
     }
 
+    /// The seed this clock (and its scripted bodies) derive streams from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.state.lock().expect("sim lock").seed
+    }
+
+    /// Configured reported-tick granularity, ns.
+    #[must_use]
+    pub fn resolution_ns(&self) -> f64 {
+        self.state.lock().expect("sim lock").resolution_ns
+    }
+
+    /// Configured virtual cost of one clock read, ns.
+    #[must_use]
+    pub fn read_overhead_ns(&self) -> f64 {
+        self.state.lock().expect("sim lock").read_overhead_ns
+    }
+
+    /// Configured uniform per-read jitter band width, ns.
+    #[must_use]
+    pub fn read_jitter_ns(&self) -> f64 {
+        self.state.lock().expect("sim lock").read_jitter_ns
+    }
+
     /// A benchmark body whose per-call cost follows `model`.
     ///
     /// Each body owns a call counter and a generator derived from the
@@ -285,6 +309,10 @@ impl TimeSource for SimClock {
 
     fn sleep(&self, d: Duration) {
         self.advance(d.as_nanos() as f64);
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
     }
 }
 

@@ -93,6 +93,15 @@ pub enum EventKind {
         /// The budget that was exceeded, milliseconds.
         limit_ms: u64,
     },
+    /// The watchdog abandoned a benchmark's thread without joining it: the
+    /// thread keeps running, holding its substrate (pipes, scratch files,
+    /// CPU) and perturbing every later benchmark in the same process.
+    ThreadLeak {
+        /// Benchmark whose thread was abandoned.
+        bench: String,
+        /// Leaked threads alive in this run after this one, cumulative.
+        leaked: u32,
+    },
     /// A benchmark panicked and was contained.
     Panic {
         /// Rendered panic payload.
@@ -292,6 +301,7 @@ impl EventKind {
             EventKind::Attempt { .. } => "attempt",
             EventKind::Retry { .. } => "retry",
             EventKind::Timeout { .. } => "timeout",
+            EventKind::ThreadLeak { .. } => "thread_leak",
             EventKind::Panic { .. } => "panic",
             EventKind::Skip { .. } => "skip",
             EventKind::Metric { .. } => "metric",
@@ -356,6 +366,10 @@ impl EventKind {
                 threshold: 0.25,
             },
             EventKind::Timeout { limit_ms: 500 },
+            EventKind::ThreadLeak {
+                bench: "lat_ctx".into(),
+                leaked: 1,
+            },
             EventKind::Panic {
                 message: "index out of bounds".into(),
             },
@@ -527,6 +541,10 @@ impl Serialize for TraceEvent {
                 obj.set("threshold", threshold.to_value());
             }
             EventKind::Timeout { limit_ms } => obj.set("limit_ms", limit_ms.to_value()),
+            EventKind::ThreadLeak { bench, leaked } => {
+                obj.set("bench", bench.to_value());
+                obj.set("leaked", leaked.to_value());
+            }
             EventKind::Panic { message } => obj.set("message", message.to_value()),
             EventKind::Skip { reason } => obj.set("reason", reason.to_value()),
             EventKind::Metric { label, value, unit } => {
@@ -713,6 +731,10 @@ impl Deserialize for TraceEvent {
             },
             "timeout" => EventKind::Timeout {
                 limit_ms: field(obj, "limit_ms")?,
+            },
+            "thread_leak" => EventKind::ThreadLeak {
+                bench: field(obj, "bench")?,
+                leaked: field(obj, "leaked")?,
             },
             "panic" => EventKind::Panic {
                 message: field(obj, "message")?,

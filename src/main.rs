@@ -37,9 +37,9 @@
 
 use lmbench::core::service::install_shutdown_handler;
 use lmbench::core::{
-    detect_host, find_scale_spec, report, scale_registry, Engine, EngineOutcome, FaultPlan,
-    Registry, ReportClient, ResultsService, ScaleFaultPlan, ScaleRunner, ServiceConfig,
-    SuiteConfig, SuiteError, Verbosity,
+    detect_host, find_scale_spec, report, scale_registry, scenario_config, Engine, EngineClock,
+    EngineOutcome, FaultPlan, Registry, ReportClient, ResultsService, ScaleFaultPlan, ScaleRunner,
+    Scenario, ServiceConfig, SuiteConfig, SuiteError, Verbosity,
 };
 use lmbench::results::{
     fingerprint, load_entry, Baseline, BaselineStore, ReportDiff, ResultsDb, RunReport,
@@ -58,7 +58,7 @@ fn usage() -> ExitCode {
          env:                clock + hardware-counter + baseline diagnosis for this host\n\
          suite/report flags: [--paper] [--only A,B] [--trace PATH] [--report-json PATH]\n\
          \x20                [--progress] [--quiet] [--verbose]\n\
-         suite only:         [--baseline save|check]\n\
+         suite only:         [--baseline save|check] [--sim-seed N]\n\
          scale:              BENCH (bw_mem|bw_pipe|bw_tcp|lat_pipe|lat_unix|lat_tcp) or `all`,\n\
          \x20                [--max-p N] [--json] plus the shared suite/report flags\n\
          diff flags:         [--json]\n\
@@ -230,6 +230,7 @@ fn positionals(args: &[String]) -> Vec<&str> {
         "--only",
         "--max-p",
         "--baseline",
+        "--sim-seed",
     ];
     let mut out = Vec::new();
     let mut i = 0;
@@ -656,15 +657,39 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "suite" => {
-            let config = config_from_args(&args);
-            let registry = match registry_from_args(&args) {
-                Ok(r) => r,
-                Err(err) => return fail(&err),
+            // `--sim-seed N` swaps the whole run onto virtual time: a
+            // seeded scripted scenario replaces the registry, the engine
+            // clock becomes the scenario's SimClock, and the run is a
+            // deterministic function of N — two invocations with the same
+            // seed produce byte-identical `--report-json` artifacts (the
+            // CI determinism gate `cmp`s exactly that).
+            let (registry, config, clock) = match flag_value(&args, "--sim-seed") {
+                Some(value) => {
+                    let Ok(seed) = value.parse::<u64>() else {
+                        eprintln!("lmbench: --sim-seed needs an unsigned integer, got {value}");
+                        return ExitCode::from(2);
+                    };
+                    let scenario = Scenario::from_seed(seed);
+                    let sim = scenario.clock();
+                    (
+                        scenario.registry(&sim),
+                        scenario_config(&scenario),
+                        EngineClock::Sim(sim),
+                    )
+                }
+                None => {
+                    let registry = match registry_from_args(&args) {
+                        Ok(r) => r,
+                        Err(err) => return fail(&err),
+                    };
+                    (registry, config_from_args(&args), EngineClock::default())
+                }
             };
             let engine = match Engine::new(registry, config) {
                 Ok(e) => e,
                 Err(err) => return fail(&err),
             };
+            let engine = engine.with_clock(clock);
             let observer = match Observer::install(&args) {
                 Ok(o) => o,
                 Err(msg) => {

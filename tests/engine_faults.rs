@@ -48,6 +48,7 @@ fn suite_survives_forced_panic_and_hang() {
     // One benchmark panics, one hangs past a 500 ms budget; sys_info and
     // lat_disk must still produce their tables and the exit code must be 0.
     let trace = trace_path("panic-hang");
+    let report = trace_path("panic-hang-report");
     let (ok, stdout, stderr) = run_suite_cli(
         &[
             ("LMBENCH_FAULT_PANIC", "lat_syscall"),
@@ -55,7 +56,12 @@ fn suite_survives_forced_panic_and_hang() {
             ("LMBENCH_TIMEOUT_MS", "500"),
         ],
         "sys_info,lat_syscall,lat_pipe,lat_disk",
-        &["--trace", trace.to_str().unwrap()],
+        &[
+            "--trace",
+            trace.to_str().unwrap(),
+            "--report-json",
+            report.to_str().unwrap(),
+        ],
     );
     assert!(ok, "suite exited nonzero despite isolation:\n{stderr}");
 
@@ -123,6 +129,36 @@ fn suite_survives_forced_panic_and_hang() {
             EventKind::Outcome { status, .. } if status == "timeout"
         )),
         "no timeout outcome in lat_pipe's span"
+    );
+
+    // The watchdog did not join that thread — it abandoned it. The leak
+    // is a first-class event in the hung benchmark's span...
+    assert!(
+        hung.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::ThreadLeak { bench, leaked: 1 } if bench == "lat_pipe"
+        )),
+        "no thread_leak event in lat_pipe's span"
+    );
+
+    // ...and every benchmark measured after it ran on a machine still
+    // burning CPU in the abandoned body, so its record must say so: the
+    // archived rusage is flagged contended (the differ and any consumer
+    // must not read it as an isolated-run cost).
+    let report_json = std::fs::read_to_string(&report).expect("report file written");
+    let _ = std::fs::remove_file(&report);
+    let archived =
+        lmbench::results::RunReport::from_json(&report_json).expect("report JSON parses");
+    let disk = archived
+        .records
+        .iter()
+        .find(|r| r.name == "lat_disk")
+        .expect("lat_disk record");
+    assert!(disk.status.is_ok(), "lat_disk should still complete");
+    let rusage = disk.rusage.as_ref().expect("lat_disk rusage archived");
+    assert!(
+        rusage.contended,
+        "record measured after a thread leak is not flagged contended"
     );
 }
 

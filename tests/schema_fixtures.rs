@@ -3,7 +3,7 @@
 //! as version 1, and keep their version across a round trip — the
 //! tolerance contract every store reader relies on.
 
-use lmbench::results::{load_entry, Baseline, RunReport, SCHEMA_VERSION};
+use lmbench::results::{load_entry, Baseline, RunReport, SimProvenance, SCHEMA_VERSION};
 use std::path::Path;
 
 fn fixture(name: &str) -> String {
@@ -79,6 +79,43 @@ fn v2_report_tolerates_records_with_and_without_counters() {
         1,
         "round trip must neither drop the present key nor invent the absent one"
     );
+}
+
+#[test]
+fn reports_predating_sim_provenance_load_and_stay_simless() {
+    // The `sim` block arrived with whole-engine virtual time: every
+    // report archived before it (the v1 and v2 fixtures alike) lacks the
+    // key, must read back as `None`, and must not have the key invented
+    // by a round trip.
+    for name in ["v1-runreport.json", "v2-runreport.json"] {
+        let text = fixture(name);
+        assert!(
+            !text.contains("\"sim\""),
+            "{name} must predate sim provenance"
+        );
+        let report = RunReport::from_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(report.sim.is_none(), "{name}: missing key must read None");
+        let rendered = report.to_json();
+        assert!(
+            !rendered.contains("\"sim\""),
+            "{name}: round trip invented the absent key"
+        );
+        let back = RunReport::from_json(&rendered).expect("round trip");
+        assert_eq!(back.records, report.records);
+    }
+
+    // A virtual run's report carries the block and keeps it intact.
+    let stamped = RunReport {
+        sim: Some(SimProvenance {
+            seed: 7,
+            resolution_ns: 100.0,
+            read_overhead_ns: 15.0,
+            read_jitter_ns: 5.0,
+        }),
+        ..RunReport::default()
+    };
+    let back = RunReport::from_json(&stamped.to_json()).expect("stamped round trip");
+    assert_eq!(back.sim, stamped.sim);
 }
 
 #[test]
