@@ -38,7 +38,12 @@ pub use error::SuiteError;
 pub use host::detect_host;
 pub use output::{BenchOutput, Metric, Unit};
 pub use registry::{BenchRunner, Benchmark, Category, Registry};
-pub use scale::{find_scale_spec, scale_registry, LoadGen, LoadSpec, ScaleFaultPlan, ScaleRunner};
+pub use scale::{
+    find_scale_spec, omission_gap, scale_registry, LoadGen, LoadMode, LoadRunner, LoadSpec,
+    ScaleFaultPlan, ScaleRunner, SimServerGen, LADDER_FRACTIONS,
+};
 pub use service::{ReportClient, ResultsService, ServiceConfig};
-pub use simfuzz::{run_scenario, scenario_config, Scenario, ScriptedBench};
+pub use simfuzz::{
+    load_sim_rig, run_load_scenario, run_scenario, scenario_config, Scenario, ScriptedBench,
+};
 pub use suite::{run_suite, run_suite_with_report};

@@ -21,16 +21,18 @@ use crate::config::SuiteConfig;
 use crate::engine::{panic_message, provenance_from, EngineClock, Substrate};
 use crate::error::SuiteError;
 use lmb_results::{
-    BenchRecord, BenchStatus, GeneratorSample, MetricValue, ScalePoint, ScalingCurve,
+    BenchRecord, BenchStatus, GeneratorSample, MetricValue, RatePoint, RateSweep, ScalePoint,
+    ScalingCurve,
 };
 use lmb_timing::clock::Stopwatch;
 use lmb_timing::{
-    new_recorder, take_events, ClockInfo, Harness, MeasureEvent, Quality, Samples, SimClock,
-    TimeSource,
+    new_recorder, take_events, ArrivalProcess, ClockInfo, CostModel, Harness, MeasureEvent,
+    Quality, Samples, SimClock, TimeSource,
 };
 use lmb_trace::{emit, emit_in, ContextGuard, EventKind, Span, SpanId};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Barrier};
+use std::time::Duration;
 
 /// One generator's repeated operation: the benchmark body a scaling
 /// sweep multiplies. `Send` is a supertrait because each generator is
@@ -45,6 +47,15 @@ pub trait LoadGen: Send {
     /// resolution, no hardware probe) so a whole sweep can run in virtual
     /// milliseconds.
     fn sim_clock(&self) -> Option<SimClock> {
+        None
+    }
+
+    /// The first error this generator's `op()` hit, when its transport
+    /// can fail transiently (a socket round trip, say). A failed
+    /// generator must keep `op()` a cheap no-op — the runners poll this
+    /// after (or between) operations and fail the point with the
+    /// underlying error instead of panicking mid-measurement.
+    fn failure(&self) -> Option<String> {
         None
     }
 }
@@ -87,19 +98,43 @@ impl LoadGen for PipeLatGen {
     }
 }
 
-struct UnixLatGen(lmb_ipc::UnixEchoPair);
+struct UnixLatGen {
+    pair: lmb_ipc::UnixEchoPair,
+    error: Option<String>,
+}
 
 impl LoadGen for UnixLatGen {
     fn op(&mut self) {
-        self.0.round_trip().expect("unix round trip");
+        // A transient socket error fails the point through `failure()`,
+        // not a panic; once failed, further ops are no-ops.
+        if self.error.is_none() {
+            if let Err(e) = self.pair.round_trip() {
+                self.error = Some(format!("unix round trip: {e}"));
+            }
+        }
+    }
+
+    fn failure(&self) -> Option<String> {
+        self.error.clone()
     }
 }
 
-struct TcpLatGen(lmb_ipc::TcpEchoPair);
+struct TcpLatGen {
+    pair: lmb_ipc::TcpEchoPair,
+    error: Option<String>,
+}
 
 impl LoadGen for TcpLatGen {
     fn op(&mut self) {
-        self.0.round_trip().expect("tcp round trip");
+        if self.error.is_none() {
+            if let Err(e) = self.pair.round_trip() {
+                self.error = Some(format!("tcp round trip: {e}"));
+            }
+        }
+    }
+
+    fn failure(&self) -> Option<String> {
+        self.error.clone()
     }
 }
 
@@ -166,7 +201,7 @@ pub fn scale_registry() -> Vec<LoadSpec> {
             ops_per_rep: round_trip_ops,
             make: |_| {
                 let pair = lmb_ipc::UnixEchoPair::start().map_err(|e| format!("unix pair: {e}"))?;
-                Ok(Box::new(UnixLatGen(pair)))
+                Ok(Box::new(UnixLatGen { pair, error: None }))
             },
         },
         LoadSpec {
@@ -178,7 +213,7 @@ pub fn scale_registry() -> Vec<LoadSpec> {
             ops_per_rep: round_trip_ops,
             make: |_| {
                 let pair = lmb_ipc::TcpEchoPair::start().map_err(|e| format!("tcp pair: {e}"))?;
-                Ok(Box::new(TcpLatGen(pair)))
+                Ok(Box::new(TcpLatGen { pair, error: None }))
             },
         },
         LoadSpec {
@@ -493,12 +528,17 @@ impl ScaleRunner {
                         (Some(s), Some(t0)) => (s.true_now_ns() - t0).max(0.0) / 1e6,
                         _ => sw.elapsed_ns() / 1e6,
                     };
-                    (
-                        index,
-                        outcome.map_err(panic_message),
-                        take_events(&recorder),
-                        elapsed_ms,
-                    )
+                    // A generator that swallowed a transport error mid-run
+                    // measured no-ops after the failure; its numbers are
+                    // void and the underlying io error fails the point.
+                    let outcome =
+                        outcome
+                            .map_err(panic_message)
+                            .and_then(|m| match gen.failure() {
+                                Some(e) => Err(e),
+                                None => Ok(m),
+                            });
+                    (index, outcome, take_events(&recorder), elapsed_ms)
                 }));
             }
             handles
@@ -557,15 +597,21 @@ impl ScaleRunner {
         }
 
         let pool = Samples::from_values(pooled);
+        // An empty pool has no percentiles. It must fail the point, never
+        // emit p50/p99 = 0.0: a zero latency reads as "fastest ever" to
+        // the lower-is-better differ and would mask a regression.
+        let (Some(p50), Some(p99)) = (pool.p50(), pool.p99()) else {
+            return failed_point(p, "no latency samples were collected".to_string());
+        };
         ScalePoint {
             p,
             ops: total_ops,
             throughput: aggregate,
-            p50_us: pool.p50().unwrap_or(0.0) / 1e3,
-            p99_us: pool.p99().unwrap_or(0.0) / 1e3,
+            p50_us: p50 / 1e3,
+            p99_us: p99 / 1e3,
             cv: pool.cv(),
             quality: Quality::from_samples(&pool).label().to_string(),
-            efficiency: 0.0,
+            efficiency: None,
             generators,
             error: None,
         }
@@ -596,7 +642,7 @@ fn failed_point(p: u32, reason: String) -> ScalePoint {
         p99_us: 0.0,
         cv: 0.0,
         quality: Quality::Suspect.label().to_string(),
-        efficiency: 0.0,
+        efficiency: None,
         generators: Vec::new(),
         error: Some(reason),
     }
@@ -611,6 +657,453 @@ impl AsOk for ScalePoint {
     fn as_ok(&self) -> Option<&ScalePoint> {
         self.is_ok().then_some(self)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop load generation: scheduled arrivals, rate sweeps, and the
+// coordinated-omission gap.
+// ---------------------------------------------------------------------------
+
+/// Pacing discipline of a rate point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Arrivals fire on a pre-computed schedule; each operation's latency
+    /// is measured from its *intended* start time, so queueing delay when
+    /// the service falls behind is counted, not dropped.
+    Open,
+    /// The next operation is paced from the previous one's *completion*:
+    /// latency is service time only, and delays never accumulate. This is
+    /// the coordinated-omission bug made explicit, kept as the comparison
+    /// arm so the gap between the two modes is itself a metric.
+    Closed,
+}
+
+impl LoadMode {
+    /// Stable label for reports and trace lines.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            LoadMode::Open => "open",
+            LoadMode::Closed => "closed",
+        }
+    }
+}
+
+/// Offered-rate ladder, as fractions of the probed peak service rate.
+/// Fractions rather than absolute rates keep metric labels stable across
+/// runs (the probed peak varies run to run on real hardware), so sweep
+/// metrics stay diffable. The ladder crosses 1.0 because the omission gap
+/// only opens once the offered rate approaches and passes what the
+/// service can sustain.
+pub const LADDER_FRACTIONS: [f64; 7] = [0.3, 0.5, 0.7, 0.85, 1.0, 1.15, 1.3];
+
+/// Builds one fresh load generator per rate point, so a point's backlog
+/// (a full pipe, a wedged socket) cannot leak into the next point.
+pub type MakeGen<'a> = &'a dyn Fn() -> Result<Box<dyn LoadGen>, String>;
+
+/// A scripted open-loop service for virtual sweeps: `op()` advances a
+/// shared [`SimClock`] by a seeded service-time model, so a whole rate
+/// sweep — arrivals, queueing, knee — runs in virtual milliseconds and is
+/// a deterministic function of the seed.
+pub struct SimServerGen {
+    clock: SimClock,
+    body: Box<dyn FnMut() + Send>,
+}
+
+impl SimServerGen {
+    /// Scripts one server whose per-op service time follows `model`.
+    #[must_use]
+    pub fn new(clock: &SimClock, model: CostModel) -> Self {
+        SimServerGen {
+            clock: clock.clone(),
+            body: Box::new(clock.scripted_body(model)),
+        }
+    }
+}
+
+impl LoadGen for SimServerGen {
+    fn op(&mut self) {
+        (self.body)();
+    }
+
+    fn sim_clock(&self) -> Option<SimClock> {
+        Some(self.clock.clone())
+    }
+}
+
+/// Raw per-arrival measurements of one rate point.
+struct PacedRun {
+    /// Per-operation latency samples, ns (origin depends on the mode).
+    latencies_ns: Vec<f64>,
+    /// Operations completed.
+    completed: u64,
+    /// Arrivals whose service started after their intended time.
+    late: u64,
+    /// Worst start lag behind the schedule, ns.
+    max_lag_ns: f64,
+    /// Span from the point's epoch to the last completion, ns.
+    elapsed_ns: f64,
+    /// First generator failure, when the transport died mid-run.
+    error: Option<String>,
+}
+
+/// Drives one generator through `ops` operations under the given pacing
+/// discipline, timed against `source` (the generator's own virtual clock
+/// for scripted runs, the host clock otherwise).
+fn paced_run<T: TimeSource>(
+    source: &T,
+    gen: &mut dyn LoadGen,
+    mode: LoadMode,
+    process: &ArrivalProcess,
+    ops: u64,
+) -> PacedRun {
+    let mut schedule = process.schedule();
+    let closed_gap_ns = 1e9 / process.rate_per_s();
+    let mut latencies_ns = Vec::with_capacity(ops as usize);
+    let mut late = 0u64;
+    let mut max_lag_ns = 0.0f64;
+    let mut error = None;
+    let t_base = source.now_ns();
+    for i in 0..ops {
+        let (origin_ns, done_ns) = match mode {
+            LoadMode::Open => {
+                let t_arr = t_base + schedule.next_arrival_ns();
+                // The first arrival is scheduled at the epoch itself;
+                // reading the clock again to check it would charge the
+                // read's own overhead as a fake late start.
+                let now = if i == 0 { t_base } else { source.now_ns() };
+                if now < t_arr {
+                    source.sleep(Duration::from_nanos((t_arr - now) as u64));
+                } else if now > t_arr {
+                    // The service is behind schedule: this arrival queues.
+                    late += 1;
+                    max_lag_ns = max_lag_ns.max(now - t_arr);
+                }
+                gen.op();
+                (t_arr, source.now_ns())
+            }
+            LoadMode::Closed => {
+                let start = source.now_ns();
+                gen.op();
+                let done = source.now_ns();
+                // Pace from completion: the generator throttles itself to
+                // the offered rate only while the service keeps up, and
+                // never notices falling behind.
+                let idle_ns = closed_gap_ns - (done - start);
+                if idle_ns > 0.0 {
+                    source.sleep(Duration::from_nanos(idle_ns as u64));
+                }
+                (start, done)
+            }
+        };
+        if let Some(e) = gen.failure() {
+            error = Some(e);
+            break;
+        }
+        latencies_ns.push((done_ns - origin_ns).max(0.0));
+    }
+    PacedRun {
+        completed: latencies_ns.len() as u64,
+        elapsed_ns: (source.now_ns() - t_base).max(0.0),
+        latencies_ns,
+        late,
+        max_lag_ns,
+        error,
+    }
+}
+
+/// The clock a point is timed against: the generator's own virtual clock
+/// when it is scripted, the host monotonic clock otherwise.
+fn point_clock(gen: &dyn LoadGen) -> EngineClock {
+    match gen.sim_clock() {
+        Some(sim) => EngineClock::Sim(sim),
+        None => EngineClock::default(),
+    }
+}
+
+/// A rate point that produced no numbers, only a reason.
+fn failed_rate_point(offered_per_s: f64, reason: String) -> RatePoint {
+    RatePoint {
+        offered_per_s,
+        achieved_per_s: 0.0,
+        ops: 0,
+        late: 0,
+        max_lag_us: 0.0,
+        p50_us: 0.0,
+        p99_us: 0.0,
+        cv: 0.0,
+        quality: Quality::Suspect.label().to_string(),
+        error: Some(reason),
+    }
+}
+
+/// Runs open- and closed-loop rate sweeps: one generator offered a
+/// scheduled arrival rate, swept up a ladder of fractions of its probed
+/// peak rate until the knee (p99 blowup or throughput plateau).
+pub struct LoadRunner {
+    config: SuiteConfig,
+    clock: EngineClock,
+    /// Arrival-process shape and seed; the rate is replaced per point.
+    process: ArrivalProcess,
+    /// Scheduled arrivals per rate point.
+    ops: u64,
+}
+
+impl LoadRunner {
+    /// Builds a runner; rejects invalid configurations. Defaults: uniform
+    /// arrivals, the config's round-trip count (at least 64 so p99 has
+    /// tail samples to stand on) per point.
+    pub fn new(config: SuiteConfig) -> Result<Self, SuiteError> {
+        config.validate()?;
+        let ops = round_trip_ops(&config).max(64);
+        Ok(LoadRunner {
+            config,
+            clock: EngineClock::default(),
+            process: ArrivalProcess::uniform(1.0),
+            ops,
+        })
+    }
+
+    /// Replaces the runner's wall clock (virtual runs pass
+    /// [`EngineClock::Sim`] so report wall times are deterministic).
+    #[must_use]
+    pub fn with_clock(mut self, clock: EngineClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Sets the arrival-process shape (and seed, for Poisson); its rate
+    /// is a placeholder the sweep replaces per point.
+    #[must_use]
+    pub fn with_process(mut self, process: ArrivalProcess) -> Self {
+        self.process = process;
+        self
+    }
+
+    /// Sets scheduled arrivals per rate point (minimum 1).
+    #[must_use]
+    pub fn with_ops(mut self, ops: u64) -> Self {
+        self.ops = ops.max(1);
+        self
+    }
+
+    /// Scheduled arrivals per rate point.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Peak closed-loop service rate, ops/s, from one unpaced burst of a
+    /// fresh generator — the denominator the sweep's rate ladder scales.
+    pub fn probe_peak(&self, make: MakeGen) -> Result<f64, String> {
+        let mut gen = make().map_err(|e| format!("generator setup failed: {e}"))?;
+        let source = point_clock(gen.as_ref());
+        let t0 = source.now_ns();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            for _ in 0..self.ops {
+                gen.op();
+            }
+        }));
+        if let Err(p) = outcome {
+            return Err(panic_message(p));
+        }
+        if let Some(e) = gen.failure() {
+            return Err(e);
+        }
+        let elapsed_ns = source.now_ns() - t0;
+        if elapsed_ns <= 0.0 {
+            return Err("service burst took no measurable time".to_string());
+        }
+        Ok(self.ops as f64 * 1e9 / elapsed_ns)
+    }
+
+    /// Measures one offered rate in one mode with a fresh generator.
+    pub fn run_point(&self, make: MakeGen, mode: LoadMode, rate_per_s: f64) -> RatePoint {
+        let mut gen = match make() {
+            Ok(g) => g,
+            Err(e) => return failed_rate_point(rate_per_s, format!("generator setup failed: {e}")),
+        };
+        let process = self.process.at_rate(rate_per_s);
+        let source = point_clock(gen.as_ref());
+        let run = match catch_unwind(AssertUnwindSafe(|| {
+            paced_run(&source, gen.as_mut(), mode, &process, self.ops)
+        })) {
+            Ok(run) => run,
+            Err(p) => return failed_rate_point(rate_per_s, panic_message(p)),
+        };
+        if let Some(e) = run.error {
+            return failed_rate_point(rate_per_s, e);
+        }
+        let samples = Samples::from_values(run.latencies_ns);
+        // Same contract as the scale runner: no percentiles, no point —
+        // a fabricated 0.0 latency would read as an improvement.
+        let (Some(p50), Some(p99)) = (samples.p50(), samples.p99()) else {
+            return failed_rate_point(rate_per_s, "no latency samples were collected".to_string());
+        };
+        let point = RatePoint {
+            offered_per_s: rate_per_s,
+            achieved_per_s: if run.elapsed_ns > 0.0 {
+                run.completed as f64 * 1e9 / run.elapsed_ns
+            } else {
+                0.0
+            },
+            ops: run.completed,
+            late: run.late,
+            max_lag_us: run.max_lag_ns / 1e3,
+            p50_us: p50 / 1e3,
+            p99_us: p99 / 1e3,
+            cv: samples.cv(),
+            quality: Quality::from_samples(&samples).label().to_string(),
+            error: None,
+        };
+        emit(|| EventKind::RatePoint {
+            offered_per_s: point.offered_per_s,
+            achieved_per_s: point.achieved_per_s,
+            mode: mode.label().to_string(),
+            p50_us: point.p50_us,
+            p99_us: point.p99_us,
+            quality: point.quality.clone(),
+        });
+        if point.late > 0 {
+            emit(|| EventKind::Backlog {
+                offered_per_s: point.offered_per_s,
+                late: point.late,
+                max_lag_us: point.max_lag_us,
+            });
+        }
+        point
+    }
+
+    /// Sweeps one mode up the given rate ladder, stopping after the first
+    /// saturated point (the knee is included, then the sweep ends).
+    pub fn sweep(&self, bench: &str, make: MakeGen, mode: LoadMode, rates: &[f64]) -> RateSweep {
+        emit(|| EventKind::SweepStart {
+            bench: bench.to_string(),
+            mode: mode.label().to_string(),
+            process: self.process.label().to_string(),
+        });
+        let mut sweep = RateSweep {
+            bench: bench.to_string(),
+            mode: mode.label().to_string(),
+            process: self.process.label().to_string(),
+            points: Vec::new(),
+            knee: None,
+        };
+        for &rate in rates {
+            let point = self.run_point(make, mode, rate);
+            sweep.points.push(point);
+            sweep.mark_knee();
+            if sweep.knee.is_some() {
+                break;
+            }
+        }
+        sweep
+    }
+
+    /// Sweeps one registered scalable benchmark in the given modes.
+    pub fn run_spec(&self, spec: &LoadSpec, modes: &[LoadMode]) -> (Vec<RateSweep>, BenchRecord) {
+        self.run_target(
+            spec.name,
+            spec.produces,
+            &|| (spec.make)(&self.config),
+            modes,
+        )
+    }
+
+    /// Probes the peak rate, sweeps every requested mode up the same
+    /// fraction ladder, and synthesizes a report record whose metric rows
+    /// (per-fraction throughput and p99, plus the omission gap when both
+    /// modes ran) ride the existing report/diff machinery.
+    pub fn run_target(
+        &self,
+        bench: &str,
+        produces: &str,
+        make: MakeGen,
+        modes: &[LoadMode],
+    ) -> (Vec<RateSweep>, BenchRecord) {
+        let started = self.clock.now_ns();
+        let span = Span::enter(format!("load:{bench}"));
+        let mut record = BenchRecord {
+            name: format!("load_{bench}"),
+            produces: produces.to_string(),
+            status: BenchStatus::Ok,
+            attempts: 1,
+            wall_ms: 0.0,
+            // A sweep owns the machine by design; never pooled.
+            exclusive: true,
+            provenance: None,
+            rusage: None,
+            counters: None,
+            metrics: Vec::new(),
+            span: span.id().as_option(),
+        };
+        let _guard = ContextGuard::enter(span.id());
+        let peak = match self.probe_peak(make) {
+            Ok(p) => p,
+            Err(e) => {
+                record.status = BenchStatus::Failed(format!("peak probe: {e}"));
+                record.wall_ms = (self.clock.now_ns() - started).max(0.0) / 1e6;
+                return (Vec::new(), record);
+            }
+        };
+        let rates: Vec<f64> = LADDER_FRACTIONS.iter().map(|f| peak * f).collect();
+        let sweeps: Vec<RateSweep> = modes
+            .iter()
+            .map(|&mode| self.sweep(bench, make, mode, &rates))
+            .collect();
+
+        for sweep in &sweeps {
+            for (i, pt) in sweep.points.iter().enumerate() {
+                if !pt.is_ok() {
+                    continue;
+                }
+                let f = LADDER_FRACTIONS[i];
+                record.metrics.push(MetricValue {
+                    label: format!("{} f{f:.2} tput", sweep.mode),
+                    value: pt.achieved_per_s,
+                    unit: "ops/s".to_string(),
+                });
+                record.metrics.push(MetricValue {
+                    label: format!("{} f{f:.2} p99", sweep.mode),
+                    value: pt.p99_us,
+                    unit: "us".to_string(),
+                });
+            }
+        }
+        if let Some((f, gap)) = omission_gap(&sweeps) {
+            record.metrics.push(MetricValue {
+                label: format!("omission gap f{f:.2}"),
+                value: gap,
+                unit: "x".to_string(),
+            });
+        }
+        if sweeps.iter().all(|s| s.ok_points().next().is_none()) {
+            record.status = BenchStatus::Failed("every rate point failed".to_string());
+        }
+        record.wall_ms = (self.clock.now_ns() - started).max(0.0) / 1e6;
+        emit(|| EventKind::Outcome {
+            status: record.status.label().to_string(),
+            attempts: 1,
+            wall_ms: record.wall_ms,
+        });
+        (sweeps, record)
+    }
+}
+
+/// The omission gap: open-loop p99 over closed-loop p99 at the highest
+/// ladder fraction where both sweeps have an ok point, tagged with that
+/// fraction. `None` unless both modes ran and the ratio is judgeable.
+#[must_use]
+pub fn omission_gap(sweeps: &[RateSweep]) -> Option<(f64, f64)> {
+    let open = sweeps.iter().find(|s| s.mode == "open")?;
+    let closed = sweeps.iter().find(|s| s.mode == "closed")?;
+    (0..open.points.len().min(closed.points.len()))
+        .rev()
+        .find_map(|i| {
+            let (o, c) = (&open.points[i], &closed.points[i]);
+            (o.is_ok() && c.is_ok() && c.p99_us > 0.0)
+                .then(|| (LADDER_FRACTIONS[i], o.p99_us / c.p99_us))
+        })
 }
 
 #[cfg(test)]
@@ -631,6 +1124,89 @@ mod tests {
         assert_eq!(r.with_max_p(1).points(), vec![1]);
         let r = ScaleRunner::new(quick_config()).unwrap();
         assert_eq!(r.with_max_p(0).points(), vec![1], "clamped to 1");
+    }
+
+    #[test]
+    fn open_loop_measures_from_the_intended_arrival() {
+        // Service 50 us, arrivals every 100 us: the server keeps up, no
+        // arrival starts late, and latency is pure service time.
+        let sim = SimClock::new(1);
+        let mut gen = SimServerGen::new(&sim, CostModel::Constant { ns: 50_000.0 });
+        let process = ArrivalProcess::uniform(10_000.0);
+        let run = paced_run(&sim, &mut gen, LoadMode::Open, &process, 50);
+        assert_eq!(run.completed, 50);
+        assert_eq!(run.late, 0);
+        assert_eq!(run.max_lag_ns, 0.0);
+        for lat in &run.latencies_ns {
+            assert!(
+                (*lat - 50_000.0).abs() < 100.0,
+                "underload latency is service time, got {lat}"
+            );
+        }
+
+        // Service 50 us, arrivals every 25 us: arrival i queues behind
+        // its predecessors and the measured latency grows linearly —
+        // the queueing a closed loop would silently drop.
+        let sim = SimClock::new(1);
+        let mut gen = SimServerGen::new(&sim, CostModel::Constant { ns: 50_000.0 });
+        let process = ArrivalProcess::uniform(40_000.0);
+        let run = paced_run(&sim, &mut gen, LoadMode::Open, &process, 50);
+        assert!(run.late > 40, "almost every arrival starts late");
+        assert!(run.max_lag_ns > 1_000_000.0, "lag accumulates past 1 ms");
+        let first = run.latencies_ns[0];
+        let last = *run.latencies_ns.last().unwrap();
+        assert!(
+            last > first + 1_000_000.0,
+            "latency grows with the backlog ({first} -> {last})"
+        );
+    }
+
+    #[test]
+    fn closed_loop_hides_the_queue_by_design() {
+        // The same overload as above, closed-loop: every sample still
+        // reads as bare service time and nothing is ever late.
+        let sim = SimClock::new(1);
+        let mut gen = SimServerGen::new(&sim, CostModel::Constant { ns: 50_000.0 });
+        let process = ArrivalProcess::uniform(40_000.0);
+        let run = paced_run(&sim, &mut gen, LoadMode::Closed, &process, 50);
+        assert_eq!(run.late, 0);
+        assert_eq!(run.max_lag_ns, 0.0);
+        for lat in &run.latencies_ns {
+            assert!(
+                (*lat - 50_000.0).abs() < 100.0,
+                "closed-loop latency stays service time, got {lat}"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_peak_reports_the_service_rate() {
+        let sim = SimClock::new(1);
+        let runner = LoadRunner::new(quick_config()).unwrap().with_ops(100);
+        let sim2 = sim.clone();
+        let make = move || -> Result<Box<dyn LoadGen>, String> {
+            Ok(Box::new(SimServerGen::new(
+                &sim2,
+                CostModel::Constant { ns: 100_000.0 },
+            )))
+        };
+        let peak = runner.probe_peak(&make).unwrap();
+        assert!(
+            (9_000.0..10_100.0).contains(&peak),
+            "100 us service probes near 10k ops/s, got {peak:.0}"
+        );
+        let broken = || -> Result<Box<dyn LoadGen>, String> { Err("nope".into()) };
+        assert!(runner.probe_peak(&broken).is_err());
+    }
+
+    #[test]
+    fn ladder_fractions_cross_the_knee() {
+        assert!(LADDER_FRACTIONS.windows(2).all(|w| w[0] < w[1]));
+        assert!(*LADDER_FRACTIONS.first().unwrap() < 1.0);
+        assert!(
+            *LADDER_FRACTIONS.last().unwrap() > 1.0,
+            "the sweep must offer more than the service can sustain"
+        );
     }
 
     #[test]

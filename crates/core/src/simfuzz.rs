@@ -22,7 +22,8 @@ use crate::config::{RetryPolicy, SuiteConfig};
 use crate::engine::{Engine, EngineClock, EngineOutcome};
 use crate::output::{BenchOutput, Unit};
 use crate::registry::{BenchRunner, Benchmark, Category, Registry};
-use lmb_results::ReportDiff;
+use crate::scale::{omission_gap, LoadGen, LoadMode, LoadRunner, SimServerGen};
+use lmb_results::{ReportDiff, RunReport, SimProvenance};
 use lmb_timing::{ClockInfo, CostModel, Harness, SimClock, TimeUnit};
 use std::sync::Arc;
 
@@ -404,6 +405,97 @@ pub fn check_determinism(scenario: &Scenario) -> Result<(), String> {
     Ok(())
 }
 
+/// Floor on the open-over-closed p99 ratio a load scenario must show
+/// past the knee: closed-loop pacing hides at least this much queueing.
+pub const OMISSION_GAP_FLOOR: f64 = 5.0;
+
+/// One virtual load run for `seed`: a scripted server whose constant
+/// per-op service time is drawn from the seed (40–120 µs — far above the
+/// clock-read overhead, small enough that a 256-arrival sweep finishes in
+/// virtual milliseconds), swept open- and closed-loop up the shared
+/// fraction ladder on one [`SimClock`]. Past the knee the inter-arrival
+/// gap drops below the service time, so the open loop must observe the
+/// queueing that closed-loop pacing absorbs. Returns the full report
+/// (record plus sweeps) so callers can check both the gap and byte
+/// determinism.
+/// The scripted rig behind [`run_load_scenario`]: the shared virtual
+/// clock plus the seeded constant service-cost model, exposed so the CLI
+/// can drive the same rig under user-chosen modes and arrival processes.
+#[must_use]
+pub fn load_sim_rig(seed: u64) -> (SimClock, CostModel) {
+    let mut rng = SplitMix::new(seed ^ 0x10AD_0000_0BAD_C0DE);
+    let service_ns = 40_000.0 * (1.0 + 2.0 * rng.uniform());
+    (SimClock::new(seed), CostModel::Constant { ns: service_ns })
+}
+
+#[must_use]
+pub fn run_load_scenario(seed: u64) -> RunReport {
+    let (sim, model) = load_sim_rig(seed);
+    let provenance = SimProvenance {
+        seed,
+        resolution_ns: sim.resolution_ns(),
+        read_overhead_ns: sim.read_overhead_ns(),
+        read_jitter_ns: sim.read_jitter_ns(),
+    };
+    let runner = LoadRunner::new(SuiteConfig::quick().with_sim_seed(seed))
+        .expect("quick preset validates")
+        .with_clock(EngineClock::Sim(sim.clone()))
+        .with_ops(256);
+    let make = move || -> Result<Box<dyn LoadGen>, String> {
+        Ok(Box::new(SimServerGen::new(&sim, model)))
+    };
+    let (sweeps, record) = runner.run_target(
+        "sim_server",
+        "virtual service latency under offered load",
+        &make,
+        &[LoadMode::Open, LoadMode::Closed],
+    );
+    RunReport {
+        records: vec![record],
+        rate_sweeps: sweeps,
+        sim: Some(provenance),
+        ..RunReport::default()
+    }
+}
+
+/// Property 5: when the offered rate passes the service rate, the
+/// open-loop p99 must exceed the closed-loop p99 by at least
+/// [`OMISSION_GAP_FLOOR`] at the same offered rate — the coordinated
+/// omission the closed loop is scripted to hide.
+pub fn check_omission_gap(seed: u64) -> Result<(), String> {
+    let report = run_load_scenario(seed);
+    let Some((fraction, gap)) = omission_gap(&report.rate_sweeps) else {
+        return Err(format!(
+            "seed {seed}: load sweeps produced no comparable open/closed point"
+        ));
+    };
+    if gap < OMISSION_GAP_FLOOR {
+        return Err(format!(
+            "seed {seed}: omission gap only {gap:.1}x at f{fraction:.2} \
+             (expected >= {OMISSION_GAP_FLOOR}x past the knee)"
+        ));
+    }
+    Ok(())
+}
+
+/// Property 6: the same seed reproduces the load report byte for byte —
+/// arrivals, queueing, knee and all.
+pub fn check_sweep_determinism(seed: u64) -> Result<(), String> {
+    let a = run_load_scenario(seed).to_json();
+    let b = run_load_scenario(seed).to_json();
+    if a != b {
+        let at = a
+            .lines()
+            .zip(b.lines())
+            .position(|(x, y)| x != y)
+            .unwrap_or(0);
+        return Err(format!(
+            "seed {seed}: same-seed load reports diverge (first differing line {at})"
+        ));
+    }
+    Ok(())
+}
+
 /// Runs every property over `count` seeds starting at `first_seed` and
 /// returns the counterexamples (empty means the space held). This is the
 /// entry the `sim-fuzz` CI job calls through `tests/sim_fuzz.rs`.
@@ -422,6 +514,11 @@ pub fn fuzz(first_seed: u64, count: u64) -> Vec<String> {
             check_regression_alarms,
         ] {
             if let Err(e) = check(&scenario) {
+                counterexamples.push(e);
+            }
+        }
+        for check in [check_omission_gap, check_sweep_determinism] {
+            if let Err(e) = check(seed) {
                 counterexamples.push(e);
             }
         }
@@ -475,6 +572,40 @@ mod tests {
         let sim = outcome.report.sim.expect("sim provenance present");
         assert_eq!(sim.seed, 1);
         assert_eq!(sim.resolution_ns, scenario.resolution_ns);
+    }
+
+    #[test]
+    fn load_scenario_pins_the_omission_gap() {
+        // The acceptance pin: service time above the inter-arrival gap
+        // past the knee must open a >= 5x open-over-closed p99 gap.
+        let report = run_load_scenario(7);
+        let (fraction, gap) = omission_gap(&report.rate_sweeps).expect("comparable point");
+        assert!(
+            gap >= OMISSION_GAP_FLOOR,
+            "open p99 only {gap:.1}x closed p99 at f{fraction:.2}"
+        );
+        assert!(fraction > 1.0, "the gap should open past the knee");
+        let record = &report.records[0];
+        assert_eq!(record.name, "load_sim_server");
+        assert_eq!(record.status.label(), "ok");
+        let metric = record
+            .metrics
+            .iter()
+            .find(|m| m.label.starts_with("omission gap"))
+            .expect("gap metric");
+        assert_eq!(metric.unit, "x");
+        assert!((metric.value - gap).abs() < 1e-9);
+        check_omission_gap(7).expect("property 5 holds for seed 7");
+    }
+
+    #[test]
+    fn load_scenario_reproduces_byte_for_byte() {
+        check_sweep_determinism(7).expect("property 6 holds for seed 7");
+        assert_ne!(
+            run_load_scenario(7).to_json(),
+            run_load_scenario(8).to_json(),
+            "different seeds draw different service costs"
+        );
     }
 
     #[test]

@@ -92,9 +92,12 @@ fn merit(unit: &str) -> Option<bool> {
     // `ipc` (instructions per cycle) and `pki` (misses per
     // kilo-instruction) are the hardware-counter figures of merit: an
     // IPC drop or a miss-rate rise past the band is a regression.
+    // `x` is a dimensionless penalty ratio (the load runner's omission
+    // gap: open-loop p99 over closed-loop p99) — growth means the
+    // service hides more queueing at load, so lower is better.
     match unit {
         "MB/s" | "ops/s" | "ipc" => Some(true),
-        "us" | "ms" | "ns" | "pki" => Some(false),
+        "us" | "ms" | "ns" | "pki" | "x" => Some(false),
         _ => None,
     }
 }
@@ -665,12 +668,27 @@ mod tests {
     }
 
     #[test]
-    fn dimensionless_units_never_regress() {
-        let a = report(vec![record("disk", &[("overhead", 1.0, "x")], 0.0)]);
-        let b = report(vec![record("disk", &[("overhead", 9.0, "x")], 0.0)]);
+    fn unmapped_units_never_regress() {
+        let a = report(vec![record("disk", &[("overhead", 1.0, "widgets")], 0.0)]);
+        let b = report(vec![record("disk", &[("overhead", 9.0, "widgets")], 0.0)]);
         let diff = ReportDiff::between(&a, &b);
         assert_eq!(diff.rows[0].class, DiffClass::Unknown);
         assert!(diff.rows[0].note.contains("direction of merit"));
+    }
+
+    #[test]
+    fn a_growing_omission_gap_is_a_regression() {
+        // `x` is the load runner's omission-gap ratio: open-loop p99 over
+        // closed-loop p99. Growth means the service hides more queueing
+        // at load, so the differ judges it lower-is-better.
+        let a = report(vec![record("load_lat_pipe", &[("gap", 1.2, "x")], 0.0)]);
+        let b = report(vec![record("load_lat_pipe", &[("gap", 9.0, "x")], 0.0)]);
+        let diff = ReportDiff::between(&a, &b);
+        assert_eq!(diff.rows[0].class, DiffClass::Regressed);
+        assert_eq!(
+            ReportDiff::between(&b, &a).rows[0].class,
+            DiffClass::Improved
+        );
     }
 
     #[test]

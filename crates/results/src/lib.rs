@@ -32,6 +32,7 @@ pub mod db;
 pub mod diff;
 pub mod patch;
 pub mod plot;
+pub mod ratesweep;
 pub mod runreport;
 pub mod scaling;
 pub mod schema;
@@ -45,6 +46,7 @@ pub use db::ResultsDb;
 pub use diff::{DiffClass, DiffRow, ReportDiff, SignificanceRule};
 pub use patch::{SuiteField, TablePatch};
 pub use plot::{AsciiPlot, Series};
+pub use ratesweep::{render_side_by_side, RatePoint, RateSweep};
 pub use runreport::{
     BenchRecord, BenchStatus, CounterDelta, HarnessMetrics, MetricValue, Provenance, ResourceUsage,
     RunReport, SimProvenance,

@@ -446,6 +446,10 @@ pub struct RunReport {
     /// Load-scaling curves measured by `lmbench scale` (empty for plain
     /// suite runs and for reports archived before the scale subsystem).
     pub scaling: Vec<crate::scaling::ScalingCurve>,
+    /// Open-/closed-loop throughput–latency sweeps measured by
+    /// `lmbench load` (empty for other runs and for reports archived
+    /// before open-loop load generation).
+    pub rate_sweeps: Vec<crate::ratesweep::RateSweep>,
     /// The harness's own execution budget (absent in reports archived
     /// before self-budget tracking, and in hand-built reports).
     pub harness: Option<HarnessMetrics>,
@@ -461,6 +465,7 @@ impl Default for RunReport {
             schema_version: crate::store::SCHEMA_VERSION,
             records: Vec::new(),
             scaling: Vec::new(),
+            rate_sweeps: Vec::new(),
             harness: None,
             sim: None,
         }
@@ -471,7 +476,9 @@ impl Default for RunReport {
 // wire: reports archived before the scale subsystem carry only `records`,
 // and reports archived before the versioning policy read as version 1.
 // `harness` follows the `counters` discipline: omitted when absent, so
-// a budget-less report stays byte-identical to a pre-budget binary's.
+// a budget-less report stays byte-identical to a pre-budget binary's;
+// `rate_sweeps` likewise: omitted when empty, so a sweep-less report
+// stays byte-identical to a pre-open-loop binary's.
 impl Serialize for RunReport {
     fn to_value(&self) -> Value {
         let mut obj = Value::object();
@@ -481,6 +488,9 @@ impl Serialize for RunReport {
         );
         obj.set("records", self.records.to_value());
         obj.set("scaling", self.scaling.to_value());
+        if !self.rate_sweeps.is_empty() {
+            obj.set("rate_sweeps", self.rate_sweeps.to_value());
+        }
         if self.harness.is_some() {
             obj.set("harness", self.harness.to_value());
         }
@@ -500,6 +510,7 @@ impl Deserialize for RunReport {
                 .unwrap_or(1),
             records: Vec::from_value(obj.field("records")).map_err(|e| e.in_field("records"))?,
             scaling: crate::scaling::scaling_from_value(obj.field("scaling"))?,
+            rate_sweeps: crate::ratesweep::rate_sweeps_from_value(obj.field("rate_sweeps"))?,
             harness: Option::<HarnessMetrics>::from_value(obj.field("harness"))
                 .map_err(|e| e.in_field("harness"))?,
             sim: Option::<SimProvenance>::from_value(obj.field("sim"))

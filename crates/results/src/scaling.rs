@@ -45,9 +45,11 @@ pub struct ScalePoint {
     pub cv: f64,
     /// Quality grade of the pooled samples ("good", "noisy", "suspect").
     pub quality: String,
-    /// `throughput / (p × throughput(P=1))`: 1.0 is perfect scaling,
-    /// 0.0 when no P = 1 reference exists.
-    pub efficiency: f64,
+    /// `throughput / (p × throughput(P=1))`: 1.0 is perfect scaling.
+    /// `None` when it cannot be judged — this point failed, or the
+    /// P = 1 reference failed or measured zero throughput (a 0.0 or
+    /// non-finite ratio would leak into JSON as a fake number).
+    pub efficiency: Option<f64>,
     /// Per-generator breakdown, index order.
     pub generators: Vec<GeneratorSample>,
     /// Why the point failed (a generator panicked or could not be built);
@@ -87,14 +89,18 @@ impl ScalingCurve {
     }
 
     /// Fills in each point's parallel efficiency from the P = 1 point.
-    /// No-op (efficiency 0.0) when the baseline failed.
+    /// Points that cannot be judged — a failed point, a failed or
+    /// zero-throughput baseline, a non-finite ratio — get `None` rather
+    /// than a fabricated number.
     pub fn compute_efficiency(&mut self) {
-        let base = self.baseline().map(|pt| pt.throughput).unwrap_or(0.0);
+        let base = self.baseline().map(|pt| pt.throughput);
         for pt in &mut self.points {
-            pt.efficiency = if base > 0.0 && pt.is_ok() {
-                pt.throughput / (f64::from(pt.p) * base)
-            } else {
-                0.0
+            pt.efficiency = match base {
+                Some(b) if b > 0.0 && b.is_finite() && pt.is_ok() => {
+                    let eff = pt.throughput / (f64::from(pt.p) * b);
+                    eff.is_finite().then_some(eff)
+                }
+                _ => None,
             };
         }
     }
@@ -117,10 +123,15 @@ impl ScalingCurve {
                     "{:>4} {:>12} {:>10} {:>10} {:>6} {:>8}  {}\n",
                     pt.p, "-", "-", "-", "-", "failed", reason
                 )),
-                None => out.push_str(&format!(
-                    "{:>4} {:>12.1} {:>10.2} {:>10.2} {:>6.2} {:>8}  \n",
-                    pt.p, pt.throughput, pt.p50_us, pt.p99_us, pt.efficiency, pt.quality
-                )),
+                None => {
+                    let eff = pt
+                        .efficiency
+                        .map_or_else(|| "-".to_string(), |e| format!("{e:.2}"));
+                    out.push_str(&format!(
+                        "{:>4} {:>12.1} {:>10.2} {:>10.2} {:>6} {:>8}  \n",
+                        pt.p, pt.throughput, pt.p50_us, pt.p99_us, eff, pt.quality
+                    ));
+                }
             }
         }
         out
@@ -154,7 +165,7 @@ mod tests {
             p99_us: 5.0 + f64::from(p),
             cv: 0.05,
             quality: "good".into(),
-            efficiency: 0.0,
+            efficiency: None,
             generators: (0..p)
                 .map(|index| GeneratorSample {
                     index,
@@ -180,18 +191,35 @@ mod tests {
     #[test]
     fn efficiency_is_relative_to_p1() {
         let c = curve();
-        assert!((c.points[0].efficiency - 1.0).abs() < 1e-12);
-        assert!((c.points[1].efficiency - 0.8).abs() < 1e-12);
-        assert!((c.points[2].efficiency - 0.5).abs() < 1e-12);
+        assert!((c.points[0].efficiency.unwrap() - 1.0).abs() < 1e-12);
+        assert!((c.points[1].efficiency.unwrap() - 0.8).abs() < 1e-12);
+        assert!((c.points[2].efficiency.unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]
-    fn efficiency_zero_without_a_baseline() {
+    fn efficiency_unknown_without_a_baseline() {
         let mut c = curve();
         c.points[0].error = Some("generator panicked".into());
         c.compute_efficiency();
         assert!(c.baseline().is_none());
-        assert!(c.points.iter().all(|pt| pt.efficiency == 0.0));
+        assert!(c.points.iter().all(|pt| pt.efficiency.is_none()));
+    }
+
+    #[test]
+    fn efficiency_unknown_on_zero_throughput_baseline() {
+        // A P=1 point that "succeeded" with zero throughput must not put
+        // inf/NaN into later points' JSON.
+        let mut c = curve();
+        c.points[0].throughput = 0.0;
+        c.compute_efficiency();
+        assert!(
+            c.points.iter().all(|pt| pt.efficiency.is_none()),
+            "zero baseline must yield unknown efficiency, got {:?}",
+            c.points.iter().map(|p| p.efficiency).collect::<Vec<_>>()
+        );
+        let json = c.to_value();
+        let back = ScalingCurve::from_value(&json).expect("roundtrip");
+        assert_eq!(back, c, "unknown efficiency survives serialization");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! assert!(m.per_op_ns() >= 0.0);
 //! ```
 
+pub mod arrival;
 pub mod calibrate;
 pub mod clock;
 pub mod counters;
@@ -41,6 +42,7 @@ pub mod sim;
 pub mod sizing;
 pub mod stats;
 
+pub use arrival::{ArrivalProcess, ArrivalSchedule};
 pub use calibrate::{
     calibrate_iterations, calibrate_iterations_with, time_interval_ns_with, Calibration,
     MAX_ITERATIONS, MAX_PROJECTED_TARGET_MULTIPLE,

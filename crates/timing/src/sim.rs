@@ -95,15 +95,17 @@ impl CostModel {
     }
 }
 
-/// Minimal deterministic generator (splitmix64) — kept private so the sim
+/// Minimal deterministic generator (splitmix64) — crate-private so the sim
 /// stays dependency-free and its streams are stable across toolchains.
+/// Shared with [`crate::arrival`] so Poisson inter-arrival draws come from
+/// the same stable algorithm as clock jitter and scripted-body noise.
 #[derive(Debug, Clone)]
-struct SplitMix {
+pub(crate) struct SplitMix {
     state: u64,
 }
 
 impl SplitMix {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         Self { state: seed }
     }
 
@@ -116,7 +118,7 @@ impl SplitMix {
     }
 
     /// Uniform draw in `[0, 1)`.
-    fn uniform(&mut self) -> f64 {
+    pub(crate) fn uniform(&mut self) -> f64 {
         // 53 mantissa bits: the standard u64 -> f64 uniform construction.
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }

@@ -213,6 +213,40 @@ pub enum EventKind {
         /// Wall-clock spent in the timed section, milliseconds.
         elapsed_ms: f64,
     },
+    /// An open-/closed-loop rate sweep began for one benchmark.
+    SweepStart {
+        /// Benchmark being swept.
+        bench: String,
+        /// Pacing mode (`open`, `closed`).
+        mode: String,
+        /// Arrival process (`uniform`, `poisson`).
+        process: String,
+    },
+    /// One offered-rate point of a load sweep finished.
+    RatePoint {
+        /// Scheduled arrival rate, ops/s.
+        offered_per_s: f64,
+        /// Completed-operation rate over the point's span, ops/s.
+        achieved_per_s: f64,
+        /// Pacing mode (`open`, `closed`).
+        mode: String,
+        /// Median latency, µs (from intended arrival in open mode).
+        p50_us: f64,
+        /// 99th-percentile latency, µs.
+        p99_us: f64,
+        /// Latency-sample quality grade.
+        quality: String,
+    },
+    /// Arrivals fell behind their schedule during an open-loop point —
+    /// the backlog a closed-loop generator would silently absorb.
+    Backlog {
+        /// Scheduled arrival rate of the point, ops/s.
+        offered_per_s: f64,
+        /// Arrivals whose service started after their intended time.
+        late: u64,
+        /// Worst start lag behind the schedule, µs.
+        max_lag_us: f64,
+    },
     /// The results service accepted one pushed run report into a shard.
     Ingest {
         /// Host fingerprint the report was sharded under.
@@ -312,6 +346,9 @@ impl EventKind {
             EventKind::ScaleStart { .. } => "scale_start",
             EventKind::ScalePoint { .. } => "scale_point",
             EventKind::Generator { .. } => "generator",
+            EventKind::SweepStart { .. } => "sweep_start",
+            EventKind::RatePoint { .. } => "rate_point",
+            EventKind::Backlog { .. } => "backlog",
             EventKind::Ingest { .. } => "ingest",
             EventKind::Query { .. } => "query",
             EventKind::Compaction { .. } => "compaction",
@@ -422,6 +459,24 @@ impl EventKind {
                 index: 1,
                 ops: 24,
                 elapsed_ms: 18.5,
+            },
+            EventKind::SweepStart {
+                bench: "lat_pipe".into(),
+                mode: "open".into(),
+                process: "uniform".into(),
+            },
+            EventKind::RatePoint {
+                offered_per_s: 12_000.0,
+                achieved_per_s: 11_400.0,
+                mode: "open".into(),
+                p50_us: 84.5,
+                p99_us: 412.75,
+                quality: "noisy".into(),
+            },
+            EventKind::Backlog {
+                offered_per_s: 12_000.0,
+                late: 37,
+                max_lag_us: 5125.0,
             },
             EventKind::Ingest {
                 fingerprint: "buildbox-00ab54cd12ef3401".into(),
@@ -623,6 +678,39 @@ impl Serialize for TraceEvent {
                 obj.set("ops", ops.to_value());
                 obj.set("elapsed_ms", elapsed_ms.to_value());
             }
+            EventKind::SweepStart {
+                bench,
+                mode,
+                process,
+            } => {
+                obj.set("bench", bench.to_value());
+                obj.set("mode", mode.to_value());
+                obj.set("process", process.to_value());
+            }
+            EventKind::RatePoint {
+                offered_per_s,
+                achieved_per_s,
+                mode,
+                p50_us,
+                p99_us,
+                quality,
+            } => {
+                obj.set("offered_per_s", offered_per_s.to_value());
+                obj.set("achieved_per_s", achieved_per_s.to_value());
+                obj.set("mode", mode.to_value());
+                obj.set("p50_us", p50_us.to_value());
+                obj.set("p99_us", p99_us.to_value());
+                obj.set("quality", quality.to_value());
+            }
+            EventKind::Backlog {
+                offered_per_s,
+                late,
+                max_lag_us,
+            } => {
+                obj.set("offered_per_s", offered_per_s.to_value());
+                obj.set("late", late.to_value());
+                obj.set("max_lag_us", max_lag_us.to_value());
+            }
             EventKind::Ingest {
                 fingerprint,
                 shard_seq,
@@ -792,6 +880,24 @@ impl Deserialize for TraceEvent {
                 index: field(obj, "index")?,
                 ops: field(obj, "ops")?,
                 elapsed_ms: field(obj, "elapsed_ms")?,
+            },
+            "sweep_start" => EventKind::SweepStart {
+                bench: field(obj, "bench")?,
+                mode: field(obj, "mode")?,
+                process: field(obj, "process")?,
+            },
+            "rate_point" => EventKind::RatePoint {
+                offered_per_s: field(obj, "offered_per_s")?,
+                achieved_per_s: field(obj, "achieved_per_s")?,
+                mode: field(obj, "mode")?,
+                p50_us: field(obj, "p50_us")?,
+                p99_us: field(obj, "p99_us")?,
+                quality: field(obj, "quality")?,
+            },
+            "backlog" => EventKind::Backlog {
+                offered_per_s: field(obj, "offered_per_s")?,
+                late: field(obj, "late")?,
+                max_lag_us: field(obj, "max_lag_us")?,
             },
             "ingest" => EventKind::Ingest {
                 fingerprint: field(obj, "fingerprint")?,

@@ -11,6 +11,10 @@
 //!                                       # run report on stderr
 //! lmbench scale bw_mem [--max-p 8]   # load-scaling sweep: P = 1, 2, 4, ...
 //!                                    # generators, curve table (or --json)
+//! lmbench load lat_pipe              # open- vs closed-loop rate sweep up to
+//!                                    # the knee; the p99 gap between the two
+//!                                    # is the coordinated omission the closed
+//!                                    # loop hides
 //! lmbench report [--paper]           # suite + all 17 tables + provenance
 //! lmbench trace-validate trace.jsonl # parse a trace artifact, exit 0 if valid
 //! lmbench diff base.json new.json    # noise-aware regression table, exit 1
@@ -37,14 +41,16 @@
 
 use lmbench::core::service::install_shutdown_handler;
 use lmbench::core::{
-    detect_host, find_scale_spec, report, scale_registry, scenario_config, Engine, EngineClock,
-    EngineOutcome, FaultPlan, Registry, ReportClient, ResultsService, ScaleFaultPlan, ScaleRunner,
-    Scenario, ServiceConfig, SuiteConfig, SuiteError, Verbosity,
+    detect_host, find_scale_spec, load_sim_rig, report, scale_registry, scenario_config, Engine,
+    EngineClock, EngineOutcome, FaultPlan, LoadGen, LoadMode, LoadRunner, Registry, ReportClient,
+    ResultsService, ScaleFaultPlan, ScaleRunner, Scenario, ServiceConfig, SimServerGen,
+    SuiteConfig, SuiteError, Verbosity,
 };
 use lmbench::results::{
-    fingerprint, load_entry, Baseline, BaselineStore, ReportDiff, ResultsDb, RunReport,
+    fingerprint, load_entry, render_side_by_side, Baseline, BaselineStore, ReportDiff, ResultsDb,
+    RunReport, SimProvenance,
 };
-use lmbench::timing::Harness;
+use lmbench::timing::{ArrivalProcess, Harness};
 use lmbench::trace::{span_summaries, Detail, JsonlSink, Progress, SinkHandle};
 use std::path::Path;
 use std::process::ExitCode;
@@ -53,14 +59,17 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lmbench <list|run NAME|suite|scale BENCH|report|env|trace-validate PATH|diff BASE NEW\n\
-         \x20               |serve|report push FILE|query diff|history|table|stats>\n\
+        "usage: lmbench <list|run NAME|suite|scale BENCH|load BENCH|report|env|trace-validate PATH\n\
+         \x20               |diff BASE NEW|serve|report push FILE|query diff|history|table|stats>\n\
          env:                clock + hardware-counter + baseline diagnosis for this host\n\
          suite/report flags: [--paper] [--only A,B] [--trace PATH] [--report-json PATH]\n\
          \x20                [--progress] [--quiet] [--verbose]\n\
          suite only:         [--baseline save|check] [--sim-seed N]\n\
          scale:              BENCH (bw_mem|bw_pipe|bw_tcp|lat_pipe|lat_unix|lat_tcp) or `all`,\n\
          \x20                [--max-p N] [--json] plus the shared suite/report flags\n\
+         load:               BENCH (same set) or `all`, or --sim-seed N for a scripted server;\n\
+         \x20                [--open|--closed] [--rate OPS_PER_S] [--poisson] [--json]\n\
+         \x20                plus the shared suite/report flags\n\
          diff flags:         [--json]\n\
          serve:              [--dir PATH] [--trace PATH] [--batch N] [--compact N]\n\
          report push:        FILE --to HOST:PORT [--fingerprint FP] [--host-name NAME]\n\
@@ -214,6 +223,164 @@ fn diff_reports(args: &[String]) -> ExitCode {
     }
 }
 
+/// `lmbench load BENCH|all [--open|--closed] [--rate R] [--poisson]
+/// [--sim-seed N] [--json]`: open- vs closed-loop throughput–latency
+/// sweeps for one load generator, rendered side by side so the
+/// coordinated-omission gap is a visible number. By default the offered
+/// rate is swept up a ladder of fractions of the probed peak until the
+/// knee; `--rate` measures one offered rate instead. `--sim-seed N`
+/// replaces the real generator with a scripted virtual server on a
+/// seeded [`SimClock`], making the whole sweep — arrivals, queueing,
+/// knee, report bytes — a deterministic function of N (the CI
+/// `load-sweep` job `cmp`s exactly that).
+fn load_command(args: &[String]) -> ExitCode {
+    let sim_seed = match flag_value(args, "--sim-seed") {
+        Some(value) => match value.parse::<u64>() {
+            Ok(seed) => Some(seed),
+            Err(_) => {
+                eprintln!("lmbench: --sim-seed needs an unsigned integer, got {value}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let pos = positionals(args);
+    let target = pos.get(1).copied();
+    if target.is_none() && sim_seed.is_none() {
+        eprintln!(
+            "lmbench load: missing benchmark name (try `lmbench load all` or `--sim-seed N`)"
+        );
+        return usage();
+    }
+    let modes: Vec<LoadMode> = match (
+        args.iter().any(|a| a == "--open"),
+        args.iter().any(|a| a == "--closed"),
+    ) {
+        (true, false) => vec![LoadMode::Open],
+        (false, true) => vec![LoadMode::Closed],
+        // Both flags (or neither) mean both modes: the gap between them
+        // is the point of the command.
+        _ => vec![LoadMode::Open, LoadMode::Closed],
+    };
+    let rate = match flag_value(args, "--rate") {
+        Some(value) => match value.parse::<f64>() {
+            Ok(r) if r.is_finite() && r > 0.0 => Some(r),
+            _ => {
+                eprintln!("lmbench: --rate needs a positive ops/s value, got {value}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let mut config = config_from_args(args);
+    if let Some(seed) = sim_seed {
+        config = config.with_sim_seed(seed);
+    }
+    let mut runner = match LoadRunner::new(config) {
+        Ok(r) => r,
+        Err(err) => return fail(&err),
+    };
+    // One (name, produces, builder) per target; the sim path scripts a
+    // seeded virtual server and shares its clock with the runner so the
+    // report's wall times are deterministic too.
+    type Make = Box<dyn Fn() -> Result<Box<dyn LoadGen>, String>>;
+    let mut targets: Vec<(String, String, Make)> = Vec::new();
+    let mut sim_provenance = None;
+    if let Some(seed) = sim_seed {
+        let (sim, model) = load_sim_rig(seed);
+        sim_provenance = Some(SimProvenance {
+            seed,
+            resolution_ns: sim.resolution_ns(),
+            read_overhead_ns: sim.read_overhead_ns(),
+            read_jitter_ns: sim.read_jitter_ns(),
+        });
+        runner = runner
+            .with_clock(EngineClock::Sim(sim.clone()))
+            .with_ops(256);
+        targets.push((
+            "sim_server".into(),
+            "virtual service latency under offered load".into(),
+            Box::new(move || Ok(Box::new(SimServerGen::new(&sim, model)) as Box<dyn LoadGen>)),
+        ));
+    } else {
+        let name = target.unwrap_or_default();
+        let specs = if name == "all" {
+            scale_registry()
+        } else {
+            match find_scale_spec(name) {
+                Some(spec) => vec![spec],
+                None => {
+                    return fail(&SuiteError::UnknownBenchmark {
+                        name: name.to_string(),
+                    })
+                }
+            }
+        };
+        for spec in specs {
+            targets.push((
+                spec.name.to_string(),
+                spec.produces.to_string(),
+                Box::new(move || (spec.make)(&config)),
+            ));
+        }
+    }
+    if args.iter().any(|a| a == "--poisson") {
+        // The rate inside the process is a placeholder the sweep replaces
+        // per point; only the shape and seed matter here.
+        runner = runner.with_process(ArrivalProcess::poisson(1.0, sim_seed.unwrap_or(42)));
+    }
+    let observer = match Observer::install(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("lmbench: {msg}");
+            return ExitCode::from(3);
+        }
+    };
+    let mut report = RunReport {
+        sim: sim_provenance,
+        ..RunReport::default()
+    };
+    for (bench, produces, make) in &targets {
+        match rate {
+            // A pinned rate: one point per mode, no peak probe, no record.
+            Some(r) => {
+                for &mode in &modes {
+                    report
+                        .rate_sweeps
+                        .push(runner.sweep(bench, make, mode, &[r]));
+                }
+            }
+            None => {
+                let (sweeps, record) = runner.run_target(bench, produces, make, &modes);
+                report.records.push(record);
+                report.rate_sweeps.extend(sweeps);
+            }
+        }
+    }
+    if observer.verbosity > Verbosity::Quiet && !report.records.is_empty() {
+        eprint!("{}", report.render());
+    }
+    observer.finish(&report);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        for (bench, _, _) in &targets {
+            let sweep_in = |mode: &str| {
+                report
+                    .rate_sweeps
+                    .iter()
+                    .find(|s| &s.bench == bench && s.mode == mode)
+            };
+            match (sweep_in("open"), sweep_in("closed")) {
+                (Some(open), Some(closed)) => print!("{}", render_side_by_side(open, closed)),
+                (Some(only), None) | (None, Some(only)) => print!("{}", only.render()),
+                (None, None) => {}
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// Positional (non-flag) arguments, skipping the values of flags that
 /// take one.
 fn positionals(args: &[String]) -> Vec<&str> {
@@ -229,6 +396,7 @@ fn positionals(args: &[String]) -> Vec<&str> {
         "--report-json",
         "--only",
         "--max-p",
+        "--rate",
         "--baseline",
         "--sim-seed",
     ];
@@ -778,6 +946,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "load" => load_command(&args),
         "serve" => serve_daemon(&args),
         "query" => query_daemon(&args),
         "report" if args.get(1).is_some_and(|a| a == "push") => report_push(&args),

@@ -60,7 +60,10 @@ fn acceptance_four_transports_three_points_each_all_graded() {
             assert_eq!(pt.generators.len(), pt.p as usize, "{name} P={}", pt.p);
         }
         // The P=1 point is the efficiency reference.
-        assert!((curve.points[0].efficiency - 1.0).abs() < 1e-9, "{name}");
+        let eff = curve.points[0]
+            .efficiency
+            .unwrap_or_else(|| panic!("{name}: P=1 efficiency unjudged"));
+        assert!((eff - 1.0).abs() < 1e-9, "{name}");
     }
 }
 

@@ -82,6 +82,53 @@ fn v2_report_tolerates_records_with_and_without_counters() {
 }
 
 #[test]
+fn reports_predating_rate_sweeps_load_and_stay_sweepless() {
+    // Open-loop rate sweeps arrived mid-v2: every report archived before
+    // them lacks the key, must read back as empty, and must not have the
+    // key invented by a round trip.
+    for name in ["v1-runreport.json", "v2-runreport.json"] {
+        let text = fixture(name);
+        assert!(
+            !text.contains("rate_sweeps"),
+            "{name} must predate open-loop sweeps"
+        );
+        let report = RunReport::from_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            report.rate_sweeps.is_empty(),
+            "{name}: missing key reads empty"
+        );
+        assert!(
+            !report.to_json().contains("rate_sweeps"),
+            "{name}: round trip invented the absent key"
+        );
+    }
+}
+
+#[test]
+fn rate_sweep_reports_load_and_round_trip() {
+    let text = fixture("v2-ratesweep.json");
+    let report = RunReport::from_json(&text).expect("sweep report parses");
+    assert_eq!(report.rate_sweeps.len(), 2);
+    let open = &report.rate_sweeps[0];
+    assert_eq!(
+        (open.bench.as_str(), open.mode.as_str()),
+        ("lat_pipe", "open")
+    );
+    assert_eq!(open.knee, Some(1));
+    assert_eq!(open.points[1].late, 37);
+    assert!(
+        open.points[1].saturated(&open.points[0]),
+        "the archived knee point still judges as saturated"
+    );
+    let gap_metric = &report.find("load_lat_pipe").expect("load record").metrics[0];
+    assert_eq!(gap_metric.unit, "x");
+
+    let back = RunReport::from_json(&report.to_json()).expect("round trip");
+    assert_eq!(back.rate_sweeps, report.rate_sweeps);
+    assert_eq!(back.records, report.records);
+}
+
+#[test]
 fn reports_predating_sim_provenance_load_and_stay_simless() {
     // The `sim` block arrived with whole-engine virtual time: every
     // report archived before it (the v1 and v2 fixtures alike) lacks the
